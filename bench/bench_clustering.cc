@@ -1,0 +1,69 @@
+// Experiment T1/clustering (Figure 3, clustering bar): k-means on UniTS
+// representations (with the k-means-regularized fine-tuning of §3.3) vs
+// k-means on raw flattened series and on an untrained (random) encoder.
+
+#include "bench_util.h"
+
+#include "cluster/kmeans.h"
+
+namespace units {
+namespace {
+
+void RunSeed(uint64_t seed) {
+  auto opts = bench::BenchClassOpts(seed);
+  auto dataset = data::MakeClassificationDataset(opts);
+  const std::string exp = "fig3_clustering_seed" + std::to_string(seed);
+
+  // UniTS: pre-train, then cluster with the fine-tuning regularizer.
+  auto cfg = bench::BenchConfig("clustering", seed);
+  cfg.finetune_params.SetInt("num_clusters", opts.num_classes);
+  cfg.finetune_params.SetInt("cluster_finetune_epochs", 3);
+  auto pipe = core::UnitsPipeline::Create(cfg, 3);
+  pipe.status().CheckOk();
+  (*pipe)->Pretrain(dataset.values()).CheckOk();
+  (*pipe)->FineTune(dataset).CheckOk();
+  auto pred = (*pipe)->Predict(dataset.values());
+  bench::PrintRow(exp, "clustering", "units", "nmi",
+                  metrics::NormalizedMutualInfo(dataset.labels(),
+                                                pred->labels));
+  bench::PrintRow(exp, "clustering", "units", "ari",
+                  metrics::AdjustedRandIndex(dataset.labels(), pred->labels));
+
+  // Random-encoder baseline: same pipeline, no pre-training, no fine-tune.
+  auto random_cfg = bench::BenchConfig("clustering", seed);
+  random_cfg.finetune_params.SetInt("num_clusters", opts.num_classes);
+  random_cfg.finetune_params.SetInt("cluster_finetune_epochs", 0);
+  auto random_pipe = core::UnitsPipeline::Create(random_cfg, 3);
+  (*random_pipe)->FineTune(dataset).CheckOk();
+  auto random_pred = (*random_pipe)->Predict(dataset.values());
+  bench::PrintRow(exp, "clustering", "random_encoder", "nmi",
+                  metrics::NormalizedMutualInfo(dataset.labels(),
+                                                random_pred->labels));
+  bench::PrintRow(exp, "clustering", "random_encoder", "ari",
+                  metrics::AdjustedRandIndex(dataset.labels(),
+                                             random_pred->labels));
+
+  // Classical baseline: k-means on the flattened raw series.
+  Rng rng(seed * 13 + 5);
+  auto raw = core::RawKMeansClustering(dataset.values(), opts.num_classes,
+                                       &rng);
+  raw.status().CheckOk();
+  bench::PrintRow(exp, "clustering", "raw_kmeans", "nmi",
+                  metrics::NormalizedMutualInfo(dataset.labels(), *raw));
+  bench::PrintRow(exp, "clustering", "raw_kmeans", "ari",
+                  metrics::AdjustedRandIndex(dataset.labels(), *raw));
+}
+
+}  // namespace
+}  // namespace units
+
+int main() {
+  units::bench::BenchInit();
+  units::bench::PrintHeader(
+      "Fig. 3 / clustering: k-means on UniTS representations vs raw series "
+      "and random encoder");
+  for (uint64_t seed : {7, 21}) {
+    units::RunSeed(seed);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment Fig2a/domain-shift: pre-train on a source domain, fine-tune
+// on a small target-domain set; compare against (a) the same architecture
+// trained from scratch on the small target set and (b) scratch trained on
+// source + target pooled (the paper: UniTS generalizes better than models
+// trained from scratch on source+target of the same size).
+
+#include "bench_util.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace units {
+namespace {
+
+void RunSeed(uint64_t seed) {
+  auto opts = bench::BenchClassOpts(seed);
+  data::DomainShift shift;  // amplitude x1.6, freq x1.15, drift, 1.8x noise
+  // (DomainShift::channel_rotation provides an even harsher, class-
+  // conditional shift; with it every method degrades — see EXPERIMENTS.md.)
+  auto [source, target] = data::MakeDomainShiftPair(opts, shift);
+
+  Rng rng(seed * 5 + 3);
+  auto [target_pool, target_test] = target.TrainTestSplit(0.5, &rng);
+
+  // Pre-train once on the full source domain; snapshot for reuse.
+  auto cfg = bench::BenchConfig("classification", seed);
+  auto pretrained = core::UnitsPipeline::Create(cfg, 3);
+  pretrained.status().CheckOk();
+  (*pretrained)->Pretrain(source.values()).CheckOk();
+  const std::string snapshot =
+      "/tmp/units_domain_shift_" + std::to_string(seed) + ".json";
+  (*pretrained)->SaveJson(snapshot).CheckOk();
+
+  for (const int64_t budget : {16, 32, 64}) {  // labeled target windows
+    const double fraction =
+        static_cast<double>(budget) /
+        static_cast<double>(target_pool.num_samples());
+    Rng split_rng(seed * 17 + static_cast<uint64_t>(budget));
+    auto [target_train, ignored] =
+        target_pool.PartialLabelSplit(fraction, &split_rng);
+    const std::string exp =
+        "fig2a_domain_seed" + std::to_string(seed) + "_n" +
+        std::to_string(budget);
+
+    // UniTS: source pre-training + small target fine-tuning.
+    auto units_copy = core::UnitsPipeline::LoadJson(snapshot);
+    units_copy.status().CheckOk();
+    (*units_copy)->FineTune(target_train).CheckOk();
+    auto units_pred = (*units_copy)->Predict(target_test.values());
+    bench::PrintRow(exp, "domain_shift", "units", "target_accuracy",
+                    metrics::Accuracy(target_test.labels(),
+                                      units_pred->labels));
+
+    // Scratch on the small target set only.
+    auto scratch_t = core::MakeScratchBaseline(cfg, 3, 1);
+    scratch_t.status().CheckOk();
+    (*scratch_t)->FineTune(target_train).CheckOk();
+    auto scratch_t_pred = (*scratch_t)->Predict(target_test.values());
+    bench::PrintRow(exp, "domain_shift", "scratch_target_only",
+                    "target_accuracy",
+                    metrics::Accuracy(target_test.labels(),
+                                      scratch_t_pred->labels));
+
+    // Scratch on source + target pooled (labels from both domains).
+    auto pooled_values = ops::Concat(
+        {source.values(), target_train.values()}, 0);
+    std::vector<int64_t> pooled_labels = source.labels();
+    pooled_labels.insert(pooled_labels.end(), target_train.labels().begin(),
+                         target_train.labels().end());
+    data::TimeSeriesDataset pooled(std::move(pooled_values),
+                                   std::move(pooled_labels));
+    auto scratch_p = core::MakeScratchBaseline(cfg, 3, 1);
+    scratch_p.status().CheckOk();
+    (*scratch_p)->FineTune(pooled).CheckOk();
+    auto scratch_p_pred = (*scratch_p)->Predict(target_test.values());
+    bench::PrintRow(exp, "domain_shift", "scratch_source_plus_target",
+                    "target_accuracy",
+                    metrics::Accuracy(target_test.labels(),
+                                      scratch_p_pred->labels));
+  }
+}
+
+}  // namespace
+}  // namespace units
+
+int main() {
+  units::bench::BenchInit();
+  units::bench::PrintHeader(
+      "Fig. 2a / domain shift: source pre-training + small target fine-tune "
+      "vs scratch (target-only and source+target)");
+  units::RunSeed(11);
+  return 0;
+}

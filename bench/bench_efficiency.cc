@@ -1,0 +1,125 @@
+// Experiment Fig3/efficiency (§2.2 discussion): the pipeline is "more
+// efficient when conducting several tasks on one dataset, because the
+// pre-training is needed only once while the fine-tuning usually requires a
+// much less number of iterations". We time: one pre-training + three
+// fine-tunings at E epochs, vs three from-scratch trainings at 3E epochs,
+// and report wall-clock plus quality per task.
+
+#include "bench_util.h"
+
+#include "core/tasks/tasks.h"
+#include "data/window.h"
+#include "tensor/tensor_ops.h"
+
+namespace units {
+namespace {
+
+void Run() {
+  const uint64_t seed = 7;
+  const std::string exp = "fig3_efficiency";
+
+  // One dataset, three downstream tasks on it: classification, clustering,
+  // imputation (all consume the same [N, D, T] windows).
+  auto dataset = data::MakeClassificationDataset(bench::BenchClassOpts(seed));
+  Rng rng(seed);
+  auto [train, test] = dataset.TrainTestSplit(0.5, &rng);
+
+  auto base_cfg = bench::BenchConfig("classification", seed);
+  base_cfg.finetune_params.SetInt("num_clusters", dataset.NumClasses());
+  base_cfg.finetune_params.SetInt("cluster_finetune_epochs", 2);
+
+  // --- UniTS: pre-train once, fine-tune three tasks. ---
+  auto pipe = core::UnitsPipeline::Create(base_cfg, 3);
+  pipe.status().CheckOk();
+  const double pretrain_seconds = bench::TimeSeconds(
+      [&] { (*pipe)->Pretrain(train.values()).CheckOk(); });
+  bench::PrintRow(exp, "efficiency", "units", "pretrain_seconds",
+                  pretrain_seconds);
+
+  double units_finetune_seconds = 0.0;
+  // Task 1: classification.
+  units_finetune_seconds += bench::TimeSeconds([&] {
+    (*pipe)->SetTask(std::make_unique<core::ClassificationTask>());
+    (*pipe)->FineTune(train).CheckOk();
+  });
+  auto cls_pred = (*pipe)->Predict(test.values());
+  bench::PrintRow(exp, "efficiency", "units", "classification_accuracy",
+                  metrics::Accuracy(test.labels(), cls_pred->labels));
+  // Task 2: clustering.
+  units_finetune_seconds += bench::TimeSeconds([&] {
+    (*pipe)->SetTask(
+        std::make_unique<core::ClusteringTask>(dataset.NumClasses()));
+    (*pipe)->FineTune(train).CheckOk();
+  });
+  auto clu_pred = (*pipe)->Predict(test.values());
+  bench::PrintRow(exp, "efficiency", "units", "clustering_nmi",
+                  metrics::NormalizedMutualInfo(test.labels(),
+                                                clu_pred->labels));
+  // Task 3: imputation.
+  units_finetune_seconds += bench::TimeSeconds([&] {
+    (*pipe)->SetTask(std::make_unique<core::ImputationTask>());
+    (*pipe)->FineTune(train).CheckOk();
+  });
+  Rng mask_rng(99);
+  Tensor mask =
+      data::MakeMissingMask(test.values().shape(), 0.25f, 4.0f, &mask_rng);
+  auto* imp_task = dynamic_cast<core::ImputationTask*>((*pipe)->task());
+  auto imputed = imp_task->Impute(pipe->get(), test.values(), mask);
+  bench::PrintRow(exp, "efficiency", "units", "imputation_masked_rmse",
+                  metrics::MaskedRmse(test.values(), *imputed, mask));
+  bench::PrintRow(exp, "efficiency", "units", "total_finetune_seconds",
+                  units_finetune_seconds);
+  bench::PrintRow(exp, "efficiency", "units", "total_seconds",
+                  pretrain_seconds + units_finetune_seconds);
+
+  // --- Scratch: three independent trainings at 3x the epochs. ---
+  double scratch_seconds = 0.0;
+  {
+    auto scratch = core::MakeScratchBaseline(base_cfg, 3, 3);
+    scratch.status().CheckOk();
+    scratch_seconds +=
+        bench::TimeSeconds([&] { (*scratch)->FineTune(train).CheckOk(); });
+    auto pred = (*scratch)->Predict(test.values());
+    bench::PrintRow(exp, "efficiency", "scratch3x",
+                    "classification_accuracy",
+                    metrics::Accuracy(test.labels(), pred->labels));
+  }
+  {
+    auto cfg = base_cfg;
+    cfg.task = "clustering";
+    auto scratch = core::MakeScratchBaseline(cfg, 3, 3);
+    scratch.status().CheckOk();
+    scratch_seconds +=
+        bench::TimeSeconds([&] { (*scratch)->FineTune(train).CheckOk(); });
+    auto pred = (*scratch)->Predict(test.values());
+    bench::PrintRow(exp, "efficiency", "scratch3x", "clustering_nmi",
+                    metrics::NormalizedMutualInfo(test.labels(),
+                                                  pred->labels));
+  }
+  {
+    auto cfg = base_cfg;
+    cfg.task = "imputation";
+    auto scratch = core::MakeScratchBaseline(cfg, 3, 3);
+    scratch.status().CheckOk();
+    scratch_seconds +=
+        bench::TimeSeconds([&] { (*scratch)->FineTune(train).CheckOk(); });
+    auto* task = dynamic_cast<core::ImputationTask*>((*scratch)->task());
+    auto imputed2 = task->Impute(scratch->get(), test.values(), mask);
+    bench::PrintRow(exp, "efficiency", "scratch3x", "imputation_masked_rmse",
+                    metrics::MaskedRmse(test.values(), *imputed2, mask));
+  }
+  bench::PrintRow(exp, "efficiency", "scratch3x", "total_seconds",
+                  scratch_seconds);
+}
+
+}  // namespace
+}  // namespace units
+
+int main() {
+  units::bench::BenchInit();
+  units::bench::PrintHeader(
+      "Fig. 3 / efficiency: pre-train once + 3 fine-tunings vs 3 scratch "
+      "trainings at 3x epochs");
+  units::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Experiment T1/forecasting (Figure 3, forecasting bar): UniTS forecaster
+// vs training from scratch vs classical naive / seasonal-naive baselines,
+// on a trend+seasonal synthetic series. Chronological train/test split.
+
+#include "bench_util.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace units {
+namespace {
+
+constexpr int64_t kInputLen = 96;
+constexpr int64_t kHorizon = 24;
+
+void RunSeed(uint64_t seed) {
+  data::ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 1800;
+  opts.seed = seed;
+  auto dataset = data::MakeForecastDataset(opts, kInputLen, kHorizon, 12);
+
+  // Chronological split: first 70% of windows train, rest test.
+  const int64_t n = dataset.num_samples();
+  const int64_t n_train = n * 7 / 10;
+  std::vector<int64_t> train_idx;
+  std::vector<int64_t> test_idx;
+  for (int64_t i = 0; i < n; ++i) {
+    (i < n_train ? train_idx : test_idx).push_back(i);
+  }
+  auto train = dataset.Subset(train_idx);
+  auto test = dataset.Subset(test_idx);
+  const std::string exp = "fig3_forecasting_seed" + std::to_string(seed);
+
+  // UniTS.
+  auto cfg = bench::BenchConfig("forecasting", seed);
+  auto pipe = core::UnitsPipeline::Create(cfg, 2);
+  pipe.status().CheckOk();
+  (*pipe)->Pretrain(train.values()).CheckOk();
+  (*pipe)->FineTune(train).CheckOk();
+  auto pred = (*pipe)->Predict(test.values());
+  bench::PrintRow(exp, "forecasting", "units", "mse",
+                  metrics::MeanSquaredError(test.targets(),
+                                            pred->predictions));
+  bench::PrintRow(exp, "forecasting", "units", "mae",
+                  metrics::MeanAbsoluteError(test.targets(),
+                                             pred->predictions));
+
+  // Scratch (same architecture, supervised only, same epochs).
+  auto scratch = core::MakeScratchBaseline(cfg, 2, 1);
+  scratch.status().CheckOk();
+  (*scratch)->FineTune(train).CheckOk();
+  auto scratch_pred = (*scratch)->Predict(test.values());
+  bench::PrintRow(exp, "forecasting", "scratch", "mse",
+                  metrics::MeanSquaredError(test.targets(),
+                                            scratch_pred->predictions));
+  bench::PrintRow(exp, "forecasting", "scratch", "mae",
+                  metrics::MeanAbsoluteError(test.targets(),
+                                             scratch_pred->predictions));
+
+  // Classical baselines.
+  Tensor naive = core::NaiveForecast(test.values(), kHorizon);
+  bench::PrintRow(exp, "forecasting", "naive", "mse",
+                  metrics::MeanSquaredError(test.targets(), naive));
+  Tensor seasonal = core::SeasonalNaiveForecast(
+      test.values(), kHorizon, static_cast<int64_t>(opts.daily_period));
+  bench::PrintRow(exp, "forecasting", "seasonal_naive", "mse",
+                  metrics::MeanSquaredError(test.targets(), seasonal));
+}
+
+}  // namespace
+}  // namespace units
+
+int main() {
+  units::bench::BenchInit();
+  units::bench::PrintHeader(
+      "Fig. 3 / forecasting: UniTS vs scratch vs naive baselines "
+      "(horizon 24)");
+  for (uint64_t seed : {3, 15}) {
+    units::RunSeed(seed);
+  }
+  return 0;
+}

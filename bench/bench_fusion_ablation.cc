@@ -1,0 +1,58 @@
+// Experiment §3.2 fusion ablation: individual pre-training templates vs
+// the concatenation and projection fusions of multiple templates. Frozen
+// encoders + linear probe isolate representation quality (the fusion
+// module's job). Motivates the paper's "avoid method selection" claim.
+
+#include "bench_util.h"
+
+namespace units {
+namespace {
+
+double ProbeAccuracy(const std::vector<std::string>& templates,
+                     const std::string& fusion, uint64_t seed,
+                     const data::TimeSeriesDataset& train,
+                     const data::TimeSeriesDataset& test) {
+  auto cfg = bench::BenchConfig("classification", seed);
+  cfg.templates = templates;
+  cfg.fusion = fusion;
+  cfg.finetune_params.SetInt("finetune_encoder", 0);  // probe the reps
+  cfg.finetune_params.SetInt("epochs", 40);
+  auto pipe = core::UnitsPipeline::Create(cfg, 3);
+  pipe.status().CheckOk();
+  (*pipe)->Pretrain(train.values()).CheckOk();
+  (*pipe)->FineTune(train).CheckOk();
+  auto pred = (*pipe)->Predict(test.values());
+  return metrics::Accuracy(test.labels(), pred->labels);
+}
+
+void RunSeed(uint64_t seed) {
+  auto dataset = data::MakeClassificationDataset(bench::BenchClassOpts(seed));
+  Rng rng(seed * 7 + 1);
+  auto [train, test] = dataset.TrainTestSplit(0.5, &rng);
+  const std::string exp = "sec32_fusion_seed" + std::to_string(seed);
+
+  const std::vector<std::string> singles = {
+      "whole_series_contrastive", "subsequence_contrastive",
+      "masked_autoregression"};
+  for (const std::string& tmpl : singles) {
+    bench::PrintRow(exp, "fusion_ablation", tmpl, "probe_accuracy",
+                    ProbeAccuracy({tmpl}, "concat", seed, train, test));
+  }
+  bench::PrintRow(exp, "fusion_ablation", "concat_all3", "probe_accuracy",
+                  ProbeAccuracy(singles, "concat", seed, train, test));
+  bench::PrintRow(exp, "fusion_ablation", "projection_all3",
+                  "probe_accuracy",
+                  ProbeAccuracy(singles, "projection", seed, train, test));
+}
+
+}  // namespace
+}  // namespace units
+
+int main() {
+  units::bench::BenchInit();
+  units::bench::PrintHeader(
+      "Section 3.2 / fusion ablation: single templates vs concat vs "
+      "projection fusion (frozen-encoder linear probe)");
+  units::RunSeed(7);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment §2.2 Smart mode: Bayesian-optimization hyper-parameter tuning
+// of the fine-tuning stage vs random search vs the Default configuration,
+// at an equal trial budget. Objective: validation accuracy with frozen
+// pre-trained encoders (so each trial is a cheap head fit).
+
+#include "bench_util.h"
+
+#include "hpo/bayes_opt.h"
+#include "hpo/random_search.h"
+
+namespace units {
+namespace {
+
+struct Workbench {
+  data::TimeSeriesDataset train;
+  data::TimeSeriesDataset val;
+  data::TimeSeriesDataset test;
+  std::string snapshot;
+};
+
+double EvaluateTrial(const Workbench& wb, const hpo::ParamSet& trial_params,
+                     uint64_t seed, bool on_test) {
+  auto pipeline = core::UnitsPipeline::LoadJson(wb.snapshot);
+  pipeline.status().CheckOk();
+  hpo::ParamSet ft = (*pipeline)->finetune_params().MergedWith(trial_params);
+  ft.SetInt("finetune_encoder", 0);
+  ft.SetInt("epochs", 15);
+  (void)seed;
+  (*pipeline)->SetFineTuneParams(ft);
+  (*pipeline)->FineTune(wb.train).CheckOk();
+  const auto& eval = on_test ? wb.test : wb.val;
+  auto pred = (*pipeline)->Predict(eval.values());
+  return metrics::Accuracy(eval.labels(), pred->labels);
+}
+
+void Run() {
+  const uint64_t seed = 7;
+  auto dataset = data::MakeClassificationDataset(bench::BenchClassOpts(seed));
+  Rng rng(seed);
+  auto [train_all, test] = dataset.TrainTestSplit(0.6, &rng);
+  auto [train, val] = train_all.TrainTestSplit(0.7, &rng);
+
+  // Shared pre-trained encoders (Smart mode tunes fine-tuning on top).
+  auto cfg = bench::BenchConfig("classification", seed);
+  auto pretrained = core::UnitsPipeline::Create(cfg, 3);
+  pretrained.status().CheckOk();
+  (*pretrained)->Pretrain(train.values()).CheckOk();
+  Workbench wb{std::move(train), std::move(val), std::move(test),
+               "/tmp/units_hpo_snapshot.json"};
+  (*pretrained)->SaveJson(wb.snapshot).CheckOk();
+
+  hpo::ParamSpace space;
+  space.AddDouble("lr", 1e-4, 3e-2, /*log_scale=*/true)
+      .AddInt("head_hidden", 0, 64)
+      .AddDouble("dropout", 0.0, 0.4);
+
+  const int kBudget = 8;
+  const std::string exp = "sec22_smart_mode";
+
+  // Default mode: library defaults, no tuning.
+  bench::PrintRow(exp, "hpo", "default_mode", "test_accuracy",
+                  EvaluateTrial(wb, hpo::ParamSet(), seed, /*on_test=*/true));
+
+  auto run_optimizer = [&](hpo::HpOptimizer* opt, const std::string& name) {
+    for (int i = 0; i < kBudget; ++i) {
+      hpo::Trial trial;
+      trial.params = opt->Propose();
+      trial.objective = EvaluateTrial(wb, trial.params, seed, false);
+      opt->Observe(trial);
+    }
+    const auto& best = opt->Best();
+    bench::PrintRow(exp, "hpo", name, "best_val_accuracy", best.objective);
+    bench::PrintRow(exp, "hpo", name, "test_accuracy",
+                    EvaluateTrial(wb, best.params, seed, true));
+  };
+
+  hpo::BayesianOptimizer::Options bo_options;
+  bo_options.initial_random_trials = 3;
+  hpo::BayesianOptimizer bo(&space, seed + 1, bo_options);
+  run_optimizer(&bo, "smart_bayes_opt");
+
+  hpo::RandomSearch rs(&space, seed + 1);
+  run_optimizer(&rs, "random_search");
+}
+
+}  // namespace
+}  // namespace units
+
+int main() {
+  units::bench::BenchInit();
+  units::bench::PrintHeader(
+      "Section 2.2 / Smart mode: Bayesian optimization vs random search vs "
+      "Default configuration (8-trial budget)");
+  units::Run();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Substrate micro-benchmarks (google-benchmark): throughput of the tensor
+// kernels, autograd, encoders, FFT, and k-means that every experiment sits
+// on. Not a paper figure; supports performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "base/rng.h"
+#include "cluster/kmeans.h"
+#include "nn/attention.h"
+#include "nn/tcn.h"
+#include "tensor/fft.h"
+#include "tensor/tensor_ops.h"
+
+namespace units {
+namespace {
+
+namespace ag = ::units::autograd;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({n, n}, &rng);
+  Tensor b = Tensor::RandNormal({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::RandNormal({8, 64, 32}, &rng);
+  Tensor b = Tensor::RandNormal({8, 32, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::BatchedMatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_Conv1dForward(benchmark::State& state) {
+  Rng rng(3);
+  ag::Variable x(Tensor::RandNormal({16, 16, 128}, &rng));
+  ag::Variable w(Tensor::RandNormal({16, 16, 3}, &rng));
+  ag::Variable bias(Tensor::RandNormal({16}, &rng));
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv1d(x, w, bias, 1, 1, 1));
+  }
+}
+BENCHMARK(BM_Conv1dForward);
+
+void BM_TcnEncoderForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::TcnConfig config;
+  config.input_channels = 3;
+  config.hidden_channels = 24;
+  config.repr_channels = 48;
+  config.num_blocks = 3;
+  nn::TcnEncoder encoder(config, &rng);
+  encoder.SetTraining(false);
+  ag::Variable x(Tensor::RandNormal({16, 3, 96}, &rng));
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Forward(x));
+  }
+}
+BENCHMARK(BM_TcnEncoderForward);
+
+void BM_TcnEncoderForwardBackward(benchmark::State& state) {
+  Rng rng(5);
+  nn::TcnConfig config;
+  config.input_channels = 3;
+  config.hidden_channels = 24;
+  config.repr_channels = 48;
+  config.num_blocks = 3;
+  nn::TcnEncoder encoder(config, &rng);
+  ag::Variable x(Tensor::RandNormal({16, 3, 96}, &rng));
+  for (auto _ : state) {
+    encoder.ZeroGrad();
+    ag::Variable loss = ag::MeanAll(ag::Square(encoder.Forward(x)));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_TcnEncoderForwardBackward);
+
+void BM_TransformerForward(benchmark::State& state) {
+  Rng rng(6);
+  nn::TransformerBackbone backbone(3, 32, 48, 2, 4, &rng, 0.0f);
+  backbone.SetTraining(false);
+  ag::Variable x(Tensor::RandNormal({8, 3, 96}, &rng));
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backbone.Forward(x));
+  }
+}
+BENCHMARK(BM_TransformerForward);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(7);
+  Tensor x = Tensor::RandNormal({64, 256}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Softmax(x, 1));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_Fft(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  std::vector<float> signal(static_cast<size_t>(n));
+  for (auto& v : signal) {
+    v = static_cast<float>(rng.Normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::RealFft(signal));
+  }
+}
+BENCHMARK(BM_Fft)->Arg(128)->Arg(1024);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(9);
+  Tensor points = Tensor::RandNormal({256, 48}, &rng);
+  cluster::KMeansOptions opts;
+  opts.num_clusters = 4;
+  opts.num_restarts = 1;
+  for (auto _ : state) {
+    Rng local(10);
+    benchmark::DoNotOptimize(cluster::KMeans(points, opts, &local));
+  }
+}
+BENCHMARK(BM_KMeans);
+
+void BM_NtXentStyleLoss(benchmark::State& state) {
+  Rng rng(11);
+  ag::Variable z1(Tensor::RandNormal({32, 48}, &rng), true);
+  ag::Variable z2(Tensor::RandNormal({32, 48}, &rng), true);
+  for (auto _ : state) {
+    z1.ZeroGrad();
+    z2.ZeroGrad();
+    ag::Variable z1n = ag::L2Normalize(z1, 1);
+    ag::Variable z2n = ag::L2Normalize(z2, 1);
+    ag::Variable sim =
+        ag::MulScalar(ag::MatMul(z1n, ag::Transpose(z2n, 0, 1)), 5.0f);
+    std::vector<int64_t> targets(32);
+    for (int64_t i = 0; i < 32; ++i) {
+      targets[static_cast<size_t>(i)] = i;
+    }
+    ag::Variable loss = ag::CrossEntropyLoss(sim, targets);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_NtXentStyleLoss);
+
+}  // namespace
+}  // namespace units

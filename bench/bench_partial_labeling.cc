@@ -1,0 +1,65 @@
+// Experiment Fig2a/partial-labeling: accuracy as a function of the labeled
+// fraction. UniTS pre-trains once on all (unlabeled) training data, is
+// snapshotted to JSON, and each label budget fine-tunes a fresh copy; the
+// scratch baseline sees only the labeled subset. The paper's claim:
+// competitive accuracy with several times fewer labels.
+
+#include "bench_util.h"
+
+namespace units {
+namespace {
+
+void RunSeed(uint64_t seed) {
+  auto dataset = data::MakeClassificationDataset(bench::BenchClassOpts(seed));
+  Rng rng(seed * 7 + 1);
+  auto [train, test] = dataset.TrainTestSplit(0.5, &rng);
+
+  // Pre-train once; snapshot so every label budget starts from the same
+  // encoders (this also exercises the JSON model format end to end).
+  auto cfg = bench::BenchConfig("classification", seed);
+  auto pretrained = core::UnitsPipeline::Create(cfg, 3);
+  pretrained.status().CheckOk();
+  (*pretrained)->Pretrain(train.values()).CheckOk();
+  const std::string snapshot =
+      "/tmp/units_partial_label_" + std::to_string(seed) + ".json";
+  (*pretrained)->SaveJson(snapshot).CheckOk();
+
+  for (const double fraction : {0.05, 0.10, 0.25, 1.0}) {
+    Rng split_rng(seed * 91 + static_cast<uint64_t>(fraction * 1000));
+    data::TimeSeriesDataset labeled =
+        fraction < 1.0
+            ? train.PartialLabelSplit(fraction, &split_rng).first
+            : train;
+    const std::string exp =
+        "fig2a_partial_seed" + std::to_string(seed) + "_frac" +
+        std::to_string(static_cast<int>(fraction * 100));
+
+    auto units_copy = core::UnitsPipeline::LoadJson(snapshot);
+    units_copy.status().CheckOk();
+    (*units_copy)->FineTune(labeled).CheckOk();
+    auto units_pred = (*units_copy)->Predict(test.values());
+    bench::PrintRow(exp, "partial_labeling", "units", "accuracy",
+                    metrics::Accuracy(test.labels(), units_pred->labels));
+    bench::PrintRow(exp, "partial_labeling", "units", "num_labels",
+                    static_cast<double>(labeled.num_samples()));
+
+    auto scratch = core::MakeScratchBaseline(cfg, 3, 1);
+    scratch.status().CheckOk();
+    (*scratch)->FineTune(labeled).CheckOk();
+    auto scratch_pred = (*scratch)->Predict(test.values());
+    bench::PrintRow(exp, "partial_labeling", "scratch", "accuracy",
+                    metrics::Accuracy(test.labels(), scratch_pred->labels));
+  }
+}
+
+}  // namespace
+}  // namespace units
+
+int main() {
+  units::bench::BenchInit();
+  units::bench::PrintHeader(
+      "Fig. 2a / partial labeling: label-fraction sweep, UniTS (pre-trained "
+      "once on unlabeled data) vs scratch on the labeled subset");
+  units::RunSeed(7);
+  return 0;
+}

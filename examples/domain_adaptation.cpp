@@ -1,0 +1,67 @@
+// Domain shift (Figure 2a, right): a fault-detection-style model is
+// pre-trained on data from one machine installation (source domain) and
+// adapted to a second installation (target domain) whose sensors differ in
+// gain, drift, and noise — using only a handful of labeled target windows.
+
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "base/logging.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+
+int main() {
+  using namespace units;
+  SetLogLevel(LogLevel::kWarning);
+
+  data::ClassificationOpts opts;
+  opts.num_samples = 240;
+  opts.num_classes = 3;  // healthy / bearing fault / imbalance
+  opts.num_channels = 3;
+  opts.length = 96;
+  opts.noise = 0.4f;
+  opts.phase_jitter = 6.28f;
+
+  data::DomainShift shift;
+  shift.amp_scale = 1.6f;     // different sensor gain
+  shift.freq_scale = 1.15f;   // different rotation speed
+  shift.drift_amp = 0.8f;     // baseline drift
+  shift.noise_mult = 1.8f;    // noisier installation
+  auto [source, target] = data::MakeDomainShiftPair(opts, shift);
+
+  Rng rng(3);
+  auto [target_pool, target_test] = target.TrainTestSplit(0.5, &rng);
+  auto [target_train, ignored] = target_pool.PartialLabelSplit(0.25, &rng);
+  std::printf("source windows: %lld, labeled target windows: %lld\n",
+              static_cast<long long>(source.num_samples()),
+              static_cast<long long>(target_train.num_samples()));
+
+  core::UnitsPipeline::Config config;
+  config.templates = {"whole_series_contrastive", "subsequence_contrastive"};
+  config.task = "classification";
+  config.mode = core::ConfigMode::kManual;
+  config.pretrain_params.SetInt("epochs", 30);
+  config.finetune_params.SetInt("epochs", 20);
+  config.finetune_params.SetDouble("encoder_lr_scale", 1.0);
+
+  // UniTS: pre-train on the *source* domain only, fine-tune on the small
+  // target set — the transferable-representation story.
+  auto pipeline = core::UnitsPipeline::Create(config, 3);
+  pipeline.status().CheckOk();
+  (*pipeline)->Pretrain(source.values()).CheckOk();
+  (*pipeline)->FineTune(target_train).CheckOk();
+  auto units_pred = (*pipeline)->Predict(target_test.values());
+  units_pred.status().CheckOk();
+  std::printf("UniTS (source pre-train -> target fine-tune): %.3f\n",
+              metrics::Accuracy(target_test.labels(), units_pred->labels));
+
+  // Baseline: train from scratch on the same small target set.
+  auto scratch = core::MakeScratchBaseline(config, 3, 1);
+  scratch.status().CheckOk();
+  (*scratch)->FineTune(target_train).CheckOk();
+  auto scratch_pred = (*scratch)->Predict(target_test.values());
+  std::printf("scratch (target only):                        %.3f\n",
+              metrics::Accuracy(target_test.labels(), scratch_pred->labels));
+  return 0;
+}

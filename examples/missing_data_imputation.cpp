@@ -1,0 +1,64 @@
+// Missing-value imputation with the denoising autoencoder of Section 3.3:
+// train on complete sensor windows, then fill gaps in a corrupted stream
+// and compare against zero-fill.
+
+#include <cstdio>
+
+#include "base/logging.h"
+#include "core/pipeline.h"
+#include "core/tasks/tasks.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+int main() {
+  using namespace units;
+  SetLogLevel(LogLevel::kWarning);
+
+  data::ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 1600;
+  auto dataset = data::MakeForecastDataset(opts, 96, 1, 16);
+  Rng rng(4);
+  auto [train, test] = dataset.TrainTestSplit(0.7, &rng);
+
+  core::UnitsPipeline::Config config;
+  config.templates = {"masked_autoregression"};  // a natural fit for gaps
+  config.task = "imputation";
+  config.mode = core::ConfigMode::kManual;
+  config.pretrain_params.SetInt("epochs", 20);
+  config.finetune_params.SetInt("epochs", 25);
+  config.finetune_params.SetDouble("imputation_mask_ratio", 0.3);
+
+  auto pipeline = core::UnitsPipeline::Create(config, 2);
+  pipeline.status().CheckOk();
+  (*pipeline)->Pretrain(train.values()).CheckOk();
+  (*pipeline)->FineTune(train).CheckOk();
+
+  // Corrupt the test stream: 25% missing in bursts (sensor dropouts).
+  Tensor mask =
+      data::MakeMissingMask(test.values().shape(), 0.25f, 5.0f, &rng);
+  int64_t missing = 0;
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    missing += mask[i] == 0.0f ? 1 : 0;
+  }
+  std::printf("corrupted %lld of %lld values (%.1f%%)\n",
+              static_cast<long long>(missing),
+              static_cast<long long>(mask.numel()),
+              100.0 * static_cast<double>(missing) /
+                  static_cast<double>(mask.numel()));
+
+  auto* task = dynamic_cast<core::ImputationTask*>((*pipeline)->task());
+  auto imputed = task->Impute(pipeline->get(), test.values(), mask);
+  imputed.status().CheckOk();
+
+  const double units_rmse =
+      metrics::MaskedRmse(test.values(), *imputed, mask);
+  const double zero_rmse = metrics::MaskedRmse(
+      test.values(), ops::Mul(test.values(), mask), mask);
+  std::printf("masked RMSE — UniTS DAE: %.4f, zero-fill: %.4f\n", units_rmse,
+              zero_rmse);
+  std::printf("improvement over zero-fill: %.1f%%\n",
+              100.0 * (1.0 - units_rmse / zero_rmse));
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs every experiment binary in DESIGN.md §4 order and captures raw
+# output. Usage: scripts/run_all_benches.sh [build-dir] [output-file]
+set -uo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+BENCHES=(
+  bench_classification
+  bench_clustering
+  bench_forecasting
+  bench_anomaly
+  bench_imputation
+  bench_partial_labeling
+  bench_domain_shift
+  bench_efficiency
+  bench_fusion_ablation
+  bench_hpo
+  bench_micro
+)
+
+: > "$OUT"
+for bench in "${BENCHES[@]}"; do
+  echo "### $bench" | tee -a "$OUT"
+  "$BUILD/bench/$bench" 2>&1 | tee -a "$OUT"
+  echo "### exit=$?" | tee -a "$OUT"
+done
+
+echo
+echo "== aggregated means =="
+"$(dirname "$0")/summarize_results.sh" < "$OUT"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Aggregates RESULT,<exp>,<task>,<method>,<metric>,<value> rows emitted by
+# the bench binaries into a per-(task, method, metric) mean table —
+# averaging across seeds — for pasting into EXPERIMENTS.md.
+#
+# Usage:  for b in build/bench/*; do $b; done | scripts/summarize_results.sh
+#    or:  scripts/summarize_results.sh < bench_output.txt
+
+awk -F, '
+/^RESULT,/ {
+  # Strip the _seedN suffix so seeds aggregate.
+  e = $2;
+  sub(/_seed[0-9]+/, "", e);
+  key = e "," $3 "," $4 "," $5;
+  sum[key] += $6;
+  count[key] += 1;
+}
+END {
+  for (key in sum) {
+    split(key, parts, ",");
+    printf "%-40s %-16s %-28s %-24s %.4f\n", parts[1], parts[2], parts[3],
+           parts[4], sum[key] / count[key];
+  }
+}' "$@" | sort

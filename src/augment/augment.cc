@@ -1,0 +1,283 @@
+#include "augment/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "tensor/fft.h"
+
+namespace units::augment {
+
+Tensor Jitter(const Tensor& batch, float sigma, Rng* rng) {
+  Tensor out = batch.Clone();
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    p[i] += sigma * static_cast<float>(rng->Normal());
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& batch, float sigma, Rng* rng) {
+  UNITS_CHECK_EQ(batch.ndim(), 3);
+  Tensor out = batch.Clone();
+  const int64_t n = out.dim(0);
+  const int64_t d = out.dim(1);
+  const int64_t t = out.dim(2);
+  float* p = out.data();
+  for (int64_t i = 0; i < n * d; ++i) {
+    const float factor = 1.0f + sigma * static_cast<float>(rng->Normal());
+    float* row = p + i * t;
+    for (int64_t j = 0; j < t; ++j) {
+      row[j] *= factor;
+    }
+  }
+  return out;
+}
+
+Tensor MagnitudeWarp(const Tensor& batch, float sigma, int64_t num_knots,
+                     Rng* rng) {
+  UNITS_CHECK_EQ(batch.ndim(), 3);
+  UNITS_CHECK_GE(num_knots, 2);
+  Tensor out = batch.Clone();
+  const int64_t n = out.dim(0);
+  const int64_t d = out.dim(1);
+  const int64_t t = out.dim(2);
+  float* p = out.data();
+  std::vector<float> knots(static_cast<size_t>(num_knots));
+  for (int64_t i = 0; i < n * d; ++i) {
+    for (auto& k : knots) {
+      k = 1.0f + sigma * static_cast<float>(rng->Normal());
+    }
+    float* row = p + i * t;
+    for (int64_t j = 0; j < t; ++j) {
+      // Piecewise-linear interpolation of the knot curve over [0, T).
+      const float pos = static_cast<float>(j) /
+                        static_cast<float>(std::max<int64_t>(t - 1, 1)) *
+                        static_cast<float>(num_knots - 1);
+      const int64_t k0 = std::min<int64_t>(static_cast<int64_t>(pos),
+                                           num_knots - 2);
+      const float frac = pos - static_cast<float>(k0);
+      const float warp = knots[static_cast<size_t>(k0)] * (1.0f - frac) +
+                         knots[static_cast<size_t>(k0 + 1)] * frac;
+      row[j] *= warp;
+    }
+  }
+  return out;
+}
+
+Tensor Permute(const Tensor& batch, int64_t max_segments, Rng* rng) {
+  UNITS_CHECK_EQ(batch.ndim(), 3);
+  UNITS_CHECK_GE(max_segments, 2);
+  const int64_t n = batch.dim(0);
+  const int64_t d = batch.dim(1);
+  const int64_t t = batch.dim(2);
+  Tensor out = Tensor::Zeros(batch.shape());
+  const float* pin = batch.data();
+  float* pout = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t num_segs = rng->UniformInt(2, max_segments);
+    // Random distinct cut points.
+    std::vector<int64_t> cuts = {0, t};
+    for (int64_t s = 1; s < num_segs; ++s) {
+      cuts.push_back(rng->UniformInt(1, t - 1));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    const int64_t actual_segs = static_cast<int64_t>(cuts.size()) - 1;
+    std::vector<int64_t> order = rng->Permutation(actual_segs);
+    int64_t write_pos = 0;
+    for (int64_t s = 0; s < actual_segs; ++s) {
+      const int64_t seg = order[static_cast<size_t>(s)];
+      const int64_t seg_start = cuts[static_cast<size_t>(seg)];
+      const int64_t seg_len = cuts[static_cast<size_t>(seg + 1)] - seg_start;
+      for (int64_t di = 0; di < d; ++di) {
+        const float* src = pin + (i * d + di) * t + seg_start;
+        float* dst = pout + (i * d + di) * t + write_pos;
+        std::copy(src, src + seg_len, dst);
+      }
+      write_pos += seg_len;
+    }
+    UNITS_CHECK_EQ(write_pos, t);
+  }
+  return out;
+}
+
+Tensor TimeMask(const Tensor& batch, float mask_ratio, float mean_block,
+                Rng* rng) {
+  UNITS_CHECK_EQ(batch.ndim(), 3);
+  UNITS_CHECK(mask_ratio >= 0.0f && mask_ratio < 1.0f);
+  Tensor out = batch.Clone();
+  const int64_t n = out.dim(0);
+  const int64_t d = out.dim(1);
+  const int64_t t = out.dim(2);
+  float* p = out.data();
+  const float p_leave = 1.0f / std::max(1.0f, mean_block);
+  const float p_enter =
+      mask_ratio * p_leave / std::max(1e-6f, 1.0f - mask_ratio);
+  for (int64_t i = 0; i < n; ++i) {
+    bool masked = rng->Bernoulli(mask_ratio);
+    for (int64_t j = 0; j < t; ++j) {
+      if (masked) {
+        for (int64_t di = 0; di < d; ++di) {
+          p[(i * d + di) * t + j] = 0.0f;
+        }
+      }
+      if (rng->Bernoulli(masked ? p_leave : p_enter)) {
+        masked = !masked;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TimeWarp(const Tensor& batch, float sigma, int64_t num_knots,
+                Rng* rng) {
+  UNITS_CHECK_EQ(batch.ndim(), 3);
+  UNITS_CHECK_GE(num_knots, 2);
+  const int64_t n = batch.dim(0);
+  const int64_t d = batch.dim(1);
+  const int64_t t = batch.dim(2);
+  Tensor out = Tensor::Zeros(batch.shape());
+  const float* pin = batch.data();
+  float* pout = out.data();
+  std::vector<float> speeds(static_cast<size_t>(num_knots));
+  std::vector<float> cum(static_cast<size_t>(t));
+  for (int64_t i = 0; i < n; ++i) {
+    // Random positive local speeds, interpolated over time, then integrated
+    // and rescaled so the warp maps [0, T-1] onto itself (endpoints fixed).
+    for (auto& s : speeds) {
+      s = std::max(0.1f, 1.0f + sigma * static_cast<float>(rng->Normal()));
+    }
+    // cum[j] = time consumed before step j; with unit speeds cum[j] == j,
+    // making sigma -> 0 an exact identity.
+    float acc = 0.0f;
+    for (int64_t j = 0; j < t; ++j) {
+      cum[static_cast<size_t>(j)] = acc;
+      const float pos = static_cast<float>(j) /
+                        static_cast<float>(std::max<int64_t>(t - 1, 1)) *
+                        static_cast<float>(num_knots - 1);
+      const int64_t k0 = std::min<int64_t>(static_cast<int64_t>(pos),
+                                           num_knots - 2);
+      const float frac = pos - static_cast<float>(k0);
+      const float speed = speeds[static_cast<size_t>(k0)] * (1.0f - frac) +
+                          speeds[static_cast<size_t>(k0 + 1)] * frac;
+      acc += speed;
+    }
+    const float scale =
+        static_cast<float>(t - 1) / std::max(cum[static_cast<size_t>(t - 1)], 1e-6f);
+    for (int64_t di = 0; di < d; ++di) {
+      const float* src = pin + (i * d + di) * t;
+      float* dst = pout + (i * d + di) * t;
+      for (int64_t j = 0; j < t; ++j) {
+        // Sample the source at the warped position.
+        const float warped = cum[static_cast<size_t>(j)] * scale;
+        const float clamped =
+            std::clamp(warped, 0.0f, static_cast<float>(t - 1));
+        const int64_t lo = static_cast<int64_t>(clamped);
+        const int64_t hi = std::min<int64_t>(lo + 1, t - 1);
+        const float frac = clamped - static_cast<float>(lo);
+        dst[j] = src[lo] * (1.0f - frac) + src[hi] * frac;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor RandomCrop(const Tensor& batch, int64_t crop_len, Rng* rng,
+                  std::vector<int64_t>* offsets) {
+  UNITS_CHECK_EQ(batch.ndim(), 3);
+  const int64_t n = batch.dim(0);
+  const int64_t d = batch.dim(1);
+  const int64_t t = batch.dim(2);
+  UNITS_CHECK(crop_len >= 1 && crop_len <= t);
+  Tensor out = Tensor::Zeros({n, d, crop_len});
+  const float* pin = batch.data();
+  float* pout = out.data();
+  if (offsets != nullptr) {
+    offsets->assign(static_cast<size_t>(n), 0);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t start = static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(t - crop_len + 1)));
+    if (offsets != nullptr) {
+      (*offsets)[static_cast<size_t>(i)] = start;
+    }
+    for (int64_t di = 0; di < d; ++di) {
+      const float* src = pin + (i * d + di) * t + start;
+      float* dst = pout + (i * d + di) * crop_len;
+      std::copy(src, src + crop_len, dst);
+    }
+  }
+  return out;
+}
+
+Tensor FrequencyPerturb(const Tensor& batch, float remove_ratio,
+                        float perturb_ratio, Rng* rng) {
+  UNITS_CHECK_EQ(batch.ndim(), 3);
+  const int64_t n = batch.dim(0);
+  const int64_t d = batch.dim(1);
+  const int64_t t = batch.dim(2);
+  Tensor out = Tensor::Zeros(batch.shape());
+  const float* pin = batch.data();
+  float* pout = out.data();
+  std::vector<float> signal(static_cast<size_t>(t));
+  for (int64_t i = 0; i < n * d; ++i) {
+    std::copy(pin + i * t, pin + (i + 1) * t, signal.begin());
+    auto spectrum = fft::RealFft(signal);
+    const size_t half = spectrum.size() / 2;
+    // Operate on conjugate-symmetric pairs so the inverse stays real.
+    for (size_t k = 1; k < half; ++k) {
+      if (rng->Bernoulli(remove_ratio)) {
+        spectrum[k] = {0.0f, 0.0f};
+        spectrum[spectrum.size() - k] = {0.0f, 0.0f};
+      } else if (rng->Bernoulli(perturb_ratio)) {
+        const float gain = static_cast<float>(rng->Uniform(1.2, 2.0));
+        spectrum[k] *= gain;
+        spectrum[spectrum.size() - k] *= gain;
+      }
+    }
+    const auto restored = fft::InverseRealFft(std::move(spectrum), t);
+    std::copy(restored.begin(), restored.end(), pout + i * t);
+  }
+  return out;
+}
+
+void AugmentationPipeline::Add(
+    std::string name, std::function<Tensor(const Tensor&, Rng*)> fn) {
+  ops_.push_back({std::move(name), std::move(fn)});
+}
+
+Tensor AugmentationPipeline::Apply(const Tensor& batch, Rng* rng) const {
+  Tensor x = batch;
+  for (const AugmentationOp& op : ops_) {
+    x = op.fn(x, rng);
+  }
+  return x;
+}
+
+AugmentationPipeline AugmentationPipeline::DefaultContrastiveViews() {
+  return ContrastiveViews(0.3f, 0.3f, 0.15f);
+}
+
+AugmentationPipeline AugmentationPipeline::ContrastiveViews(
+    float jitter_sigma, float scale_sigma, float mask_ratio,
+    float warp_sigma) {
+  AugmentationPipeline pipeline;
+  if (warp_sigma > 0.0f) {
+    pipeline.Add("time_warp", [warp_sigma](const Tensor& x, Rng* rng) {
+      return TimeWarp(x, warp_sigma, 6, rng);
+    });
+  }
+  pipeline.Add("jitter", [jitter_sigma](const Tensor& x, Rng* rng) {
+    return Jitter(x, jitter_sigma, rng);
+  });
+  pipeline.Add("scale", [scale_sigma](const Tensor& x, Rng* rng) {
+    return Scale(x, scale_sigma, rng);
+  });
+  pipeline.Add("time_mask", [mask_ratio](const Tensor& x, Rng* rng) {
+    return TimeMask(x, mask_ratio, 5.0f, rng);
+  });
+  return pipeline;
+}
+
+}  // namespace units::augment

@@ -1,0 +1,91 @@
+#ifndef UNITS_AUGMENT_AUGMENT_H_
+#define UNITS_AUGMENT_AUGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace units::augment {
+
+// Stochastic time-series augmentations used to build contrastive views.
+// All functions take a batch [N, D, T] and return a transformed copy of the
+// same shape (except RandomCrop, which shortens T).
+
+/// Additive Gaussian noise with standard deviation `sigma`.
+Tensor Jitter(const Tensor& batch, float sigma, Rng* rng);
+
+/// Per-(sample, channel) amplitude scaling by N(1, sigma).
+Tensor Scale(const Tensor& batch, float sigma, Rng* rng);
+
+/// Smooth multiplicative warp: a random curve through `num_knots` knots
+/// drawn from N(1, sigma), linearly interpolated over time.
+Tensor MagnitudeWarp(const Tensor& batch, float sigma, int64_t num_knots,
+                     Rng* rng);
+
+/// Splits time into up to `max_segments` random segments and permutes them
+/// (independently per sample; channels move together).
+Tensor Permute(const Tensor& batch, int64_t max_segments, Rng* rng);
+
+/// Zeroes out a random fraction of timesteps (all channels at once),
+/// in contiguous blocks of mean length `mean_block`.
+Tensor TimeMask(const Tensor& batch, float mask_ratio, float mean_block,
+                Rng* rng);
+
+/// Smooth random time warping: a monotone reparameterization of the time
+/// axis built from `num_knots` random local speeds ~ N(1, sigma), followed
+/// by linear resampling. Channels of a sample warp together.
+Tensor TimeWarp(const Tensor& batch, float sigma, int64_t num_knots,
+                Rng* rng);
+
+/// Crops `crop_len` timesteps starting at a random offset per sample.
+/// If `offsets` is non-null it receives the chosen start per sample.
+Tensor RandomCrop(const Tensor& batch, int64_t crop_len, Rng* rng,
+                  std::vector<int64_t>* offsets = nullptr);
+
+/// Frequency-domain perturbation (TF-C style): per (sample, channel) series
+/// zeroes a random `remove_ratio` of frequency bins and amplifies a random
+/// `perturb_ratio` of bins, then transforms back.
+Tensor FrequencyPerturb(const Tensor& batch, float remove_ratio,
+                        float perturb_ratio, Rng* rng);
+
+/// A named augmentation closure plus a pipeline for composing them.
+struct AugmentationOp {
+  std::string name;
+  std::function<Tensor(const Tensor&, Rng*)> fn;
+};
+
+/// Applies a sequence of augmentations in order.
+class AugmentationPipeline {
+ public:
+  AugmentationPipeline() = default;
+
+  void Add(std::string name, std::function<Tensor(const Tensor&, Rng*)> fn);
+
+  Tensor Apply(const Tensor& batch, Rng* rng) const;
+
+  size_t size() const { return ops_.size(); }
+
+  /// The default contrastive view generator used by the whole-series and
+  /// hybrid templates: jitter + scale + time masking.
+  static AugmentationPipeline DefaultContrastiveViews();
+
+  /// Same structure with explicit strengths. The augmentation strength
+  /// should roughly match the nuisance variability of the data: the
+  /// invariances contrastive learning acquires are exactly the
+  /// transformations it is shown.
+  static AugmentationPipeline ContrastiveViews(float jitter_sigma,
+                                               float scale_sigma,
+                                               float mask_ratio,
+                                               float warp_sigma = 0.2f);
+
+ private:
+  std::vector<AugmentationOp> ops_;
+};
+
+}  // namespace units::augment
+
+#endif  // UNITS_AUGMENT_AUGMENT_H_

@@ -1,0 +1,60 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace units::autograd {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, float eps, float tol) {
+  GradCheckResult result;
+  result.passed = true;
+
+  // Analytic pass.
+  for (Variable& v : inputs) {
+    UNITS_CHECK(v.requires_grad());
+    v.ZeroGrad();
+  }
+  Variable out = fn(inputs);
+  UNITS_CHECK_EQ(out.numel(), 1);
+  out.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (const Variable& v : inputs) {
+    analytic.push_back(v.grad().Clone());
+  }
+
+  // Numeric pass: central differences, one coordinate at a time. Gradients
+  // are float32 computed over potentially long chains, so the tolerance is
+  // necessarily loose.
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    Tensor& x = inputs[vi].data();
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      const float saved = x[i];
+      x[i] = saved + eps;
+      const float f_plus = fn(inputs).item();
+      x[i] = saved - eps;
+      const float f_minus = fn(inputs).item();
+      x[i] = saved;
+      const float numeric = (f_plus - f_minus) / (2.0f * eps);
+      const float a = analytic[vi][i];
+      const float abs_err = std::fabs(a - numeric);
+      const float rel_err = abs_err / std::max(1.0f, std::fabs(numeric));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tol && result.passed) {
+        result.passed = false;
+        result.detail =
+            StrFormat("input %zu coord %lld: analytic=%g numeric=%g", vi,
+                      static_cast<long long>(i), static_cast<double>(a),
+                      static_cast<double>(numeric));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace units::autograd

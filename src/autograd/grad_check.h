@@ -1,0 +1,30 @@
+#ifndef UNITS_AUTOGRAD_GRAD_CHECK_H_
+#define UNITS_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace units::autograd {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool passed = false;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  std::string detail;  // first failing coordinate, if any
+};
+
+/// Verifies the analytic gradient of `fn` (a scalar-valued function of the
+/// given inputs) against central finite differences. Each input must be a
+/// leaf with requires_grad=true. `eps` is the perturbation; `tol` bounds
+/// max(|analytic - numeric| / max(1, |numeric|)).
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, float eps = 1e-3f, float tol = 5e-2f);
+
+}  // namespace units::autograd
+
+#endif  // UNITS_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,567 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::autograd {
+
+namespace {
+
+/// Accumulates `g` (shaped like the op output) into `v`, reducing over
+/// broadcast dimensions first.
+void AccumulateBroadcast(Variable v, const Tensor& g) {
+  if (!v.requires_grad()) {
+    return;
+  }
+  v.AccumulateGrad(ops::ReduceToShape(g, v.shape()));
+}
+
+void Accumulate(Variable v, const Tensor& g) {
+  if (!v.requires_grad()) {
+    return;
+  }
+  v.AccumulateGrad(g);
+}
+
+}  // namespace
+
+Variable Constant(Tensor t) { return Variable(std::move(t), false); }
+
+// --- arithmetic -----------------------------------------------------------
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor out = ops::Add(a.data(), b.data());
+  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    AccumulateBroadcast(a, g);
+    AccumulateBroadcast(b, g);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor out = ops::Sub(a.data(), b.data());
+  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    AccumulateBroadcast(a, g);
+    AccumulateBroadcast(b, ops::Neg(g));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor out = ops::Mul(a.data(), b.data());
+  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    AccumulateBroadcast(a, ops::Mul(g, b.data()));
+    AccumulateBroadcast(b, ops::Mul(g, a.data()));
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  Tensor out = ops::Div(a.data(), b.data());
+  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    AccumulateBroadcast(a, ops::Div(g, b.data()));
+    // d/db (a/b) = -a / b^2
+    Tensor gb = ops::Neg(
+        ops::Div(ops::Mul(g, a.data()), ops::Square(b.data())));
+    AccumulateBroadcast(b, gb);
+  });
+}
+
+Variable Neg(const Variable& a) {
+  return Variable::MakeNode(ops::Neg(a.data()), {a}, [a](const Tensor& g) {
+    Accumulate(a, ops::Neg(g));
+  });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  return Variable::MakeNode(ops::AddScalar(a.data(), s), {a},
+                            [a](const Tensor& g) { Accumulate(a, g); });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  return Variable::MakeNode(ops::MulScalar(a.data(), s), {a},
+                            [a, s](const Tensor& g) {
+                              Accumulate(a, ops::MulScalar(g, s));
+                            });
+}
+
+Variable PowScalar(const Variable& a, float p) {
+  Tensor out = ops::UnaryOp(a.data(), [p](float x) { return std::pow(x, p); });
+  return Variable::MakeNode(std::move(out), {a}, [a, p](const Tensor& g) {
+    Tensor dx = ops::UnaryOp(a.data(), [p](float x) {
+      return p * std::pow(x, p - 1.0f);
+    });
+    Accumulate(a, ops::Mul(g, dx));
+  });
+}
+
+// --- linear algebra -------------------------------------------------------
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor out = ops::MatMul(a.data(), b.data());
+  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    if (a.requires_grad()) {
+      a.AccumulateGrad(ops::MatMul(g, ops::Transpose2D(b.data())));
+    }
+    if (b.requires_grad()) {
+      b.AccumulateGrad(ops::MatMul(ops::Transpose2D(a.data()), g));
+    }
+  });
+}
+
+Variable BatchedMatMul(const Variable& a, const Variable& b) {
+  Tensor out = ops::BatchedMatMul(a.data(), b.data());
+  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+    if (a.requires_grad()) {
+      a.AccumulateGrad(
+          ops::BatchedMatMul(g, ops::Transpose(b.data(), 1, 2)));
+    }
+    if (b.requires_grad()) {
+      b.AccumulateGrad(
+          ops::BatchedMatMul(ops::Transpose(a.data(), 1, 2), g));
+    }
+  });
+}
+
+Variable Transpose(const Variable& a, int axis0, int axis1) {
+  Tensor out = ops::Transpose(a.data(), axis0, axis1);
+  return Variable::MakeNode(std::move(out), {a},
+                            [a, axis0, axis1](const Tensor& g) {
+                              Accumulate(a, ops::Transpose(g, axis0, axis1));
+                            });
+}
+
+Variable Reshape(const Variable& a, Shape new_shape) {
+  Tensor out = a.data().Reshape(std::move(new_shape));
+  const Shape original = a.shape();
+  return Variable::MakeNode(std::move(out), {a},
+                            [a, original](const Tensor& g) {
+                              Accumulate(a, g.Reshape(original));
+                            });
+}
+
+// --- nonlinearities -------------------------------------------------------
+
+Variable Relu(const Variable& a) {
+  Tensor out = ops::Relu(a.data());
+  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+    Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
+      return x > 0.0f ? gi : 0.0f;
+    });
+    Accumulate(a, dx);
+  });
+}
+
+Variable LeakyRelu(const Variable& a, float slope) {
+  Tensor out = ops::UnaryOp(
+      a.data(), [slope](float x) { return x > 0.0f ? x : slope * x; });
+  return Variable::MakeNode(std::move(out), {a}, [a, slope](const Tensor& g) {
+    Tensor dx = ops::BinaryOp(g, a.data(), [slope](float gi, float x) {
+      return x > 0.0f ? gi : slope * gi;
+    });
+    Accumulate(a, dx);
+  });
+}
+
+Variable Gelu(const Variable& a) {
+  Tensor out = ops::Gelu(a.data());
+  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+    Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
+      const float kC = 0.7978845608f;  // sqrt(2/pi)
+      const float u = kC * (x + 0.044715f * x * x * x);
+      const float t = std::tanh(u);
+      const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+      return gi * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du);
+    });
+    Accumulate(a, dx);
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor out = ops::Tanh(a.data());
+  Tensor saved = out;  // aliases out's storage (cheap)
+  return Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
+    Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
+      return gi * (1.0f - y * y);
+    });
+    Accumulate(a, dx);
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor out = ops::Sigmoid(a.data());
+  Tensor saved = out;
+  return Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
+    Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
+      return gi * y * (1.0f - y);
+    });
+    Accumulate(a, dx);
+  });
+}
+
+Variable Exp(const Variable& a) {
+  Tensor out = ops::Exp(a.data());
+  Tensor saved = out;
+  return Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
+    Accumulate(a, ops::Mul(g, saved));
+  });
+}
+
+Variable Log(const Variable& a) {
+  Tensor out = ops::Log(a.data());
+  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+    Accumulate(a, ops::Div(g, a.data()));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor out = ops::Sqrt(a.data());
+  Tensor saved = out;
+  return Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
+    Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
+      return gi * 0.5f / y;
+    });
+    Accumulate(a, dx);
+  });
+}
+
+Variable Square(const Variable& a) {
+  Tensor out = ops::Square(a.data());
+  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+    Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
+      return gi * 2.0f * x;
+    });
+    Accumulate(a, dx);
+  });
+}
+
+Variable Abs(const Variable& a) {
+  Tensor out = ops::Abs(a.data());
+  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+    Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
+      return x > 0.0f ? gi : (x < 0.0f ? -gi : 0.0f);
+    });
+    Accumulate(a, dx);
+  });
+}
+
+Variable Softmax(const Variable& a, int axis) {
+  Tensor out = ops::Softmax(a.data(), axis);
+  Tensor saved = out;
+  return Variable::MakeNode(
+      std::move(out), {a}, [a, saved, axis](const Tensor& g) {
+        // dx = y * (g - sum(g*y, axis, keepdim))
+        Tensor gy = ops::Mul(g, saved);
+        Tensor s = ops::Sum(gy, axis, /*keepdim=*/true);
+        Tensor dx = ops::Mul(saved, ops::Sub(g, s));
+        Accumulate(a, dx);
+      });
+}
+
+Variable LogSoftmax(const Variable& a, int axis) {
+  Tensor out = ops::LogSoftmax(a.data(), axis);
+  Tensor saved = out;
+  return Variable::MakeNode(
+      std::move(out), {a}, [a, saved, axis](const Tensor& g) {
+        // dx = g - softmax(x) * sum(g, axis, keepdim)
+        Tensor s = ops::Sum(g, axis, /*keepdim=*/true);
+        Tensor dx = ops::Sub(g, ops::Mul(ops::Exp(saved), s));
+        Accumulate(a, dx);
+      });
+}
+
+// --- reductions -----------------------------------------------------------
+
+Variable Sum(const Variable& a, int axis, bool keepdim) {
+  Tensor out = ops::Sum(a.data(), axis, keepdim);
+  const Shape in_shape = a.shape();
+  const int ndim = a.ndim();
+  const int norm_axis = axis < 0 ? axis + ndim : axis;
+  return Variable::MakeNode(
+      std::move(out), {a},
+      [a, in_shape, norm_axis, keepdim](const Tensor& g) {
+        Tensor gk = g;
+        if (!keepdim) {
+          Shape keep = in_shape;
+          keep[static_cast<size_t>(norm_axis)] = 1;
+          gk = g.Reshape(keep);
+        }
+        // Broadcast back up to the input shape.
+        Accumulate(a, ops::Add(Tensor::Zeros(in_shape), gk));
+      });
+}
+
+Variable Mean(const Variable& a, int axis, bool keepdim) {
+  const int ndim = a.ndim();
+  const int norm_axis = axis < 0 ? axis + ndim : axis;
+  const float inv = 1.0f / static_cast<float>(a.dim(norm_axis));
+  return MulScalar(Sum(a, axis, keepdim), inv);
+}
+
+Variable SumAll(const Variable& a) {
+  Tensor out = Tensor::Scalar(ops::SumAll(a.data()));
+  const Shape in_shape = a.shape();
+  return Variable::MakeNode(std::move(out), {a},
+                            [a, in_shape](const Tensor& g) {
+                              Accumulate(a, Tensor::Full(in_shape, g[0]));
+                            });
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return MulScalar(SumAll(a), inv);
+}
+
+Variable MaxPoolOverTime(const Variable& a) {
+  UNITS_CHECK_EQ(a.ndim(), 3);
+  auto [values, args] = ops::MaxWithArg(a.data(), /*axis=*/2);
+  const Shape in_shape = a.shape();
+  return Variable::MakeNode(
+      std::move(values), {a},
+      [a, in_shape, args = std::move(args)](const Tensor& g) {
+        Tensor dx = Tensor::Zeros(in_shape);
+        float* pd = dx.data();
+        const float* pg = g.data();
+        for (size_t i = 0; i < args.size(); ++i) {
+          pd[args[i]] += pg[static_cast<int64_t>(i)];
+        }
+        Accumulate(a, dx);
+      });
+}
+
+Variable MeanPoolOverTime(const Variable& a) {
+  UNITS_CHECK_EQ(a.ndim(), 3);
+  return Mean(a, /*axis=*/2, /*keepdim=*/false);
+}
+
+// --- shape ops ------------------------------------------------------------
+
+Variable Slice(const Variable& a, int axis, int64_t start, int64_t length) {
+  Tensor out = ops::Slice(a.data(), axis, start, length);
+  const Shape in_shape = a.shape();
+  const int ndim = a.ndim();
+  const int norm_axis = axis < 0 ? axis + ndim : axis;
+  return Variable::MakeNode(
+      std::move(out), {a},
+      [a, in_shape, norm_axis, start, length](const Tensor& g) {
+        // Embed g back into a zero tensor of the input shape.
+        Tensor dx = Tensor::Zeros(in_shape);
+        int64_t outer = 1;
+        int64_t inner = 1;
+        for (int d = 0; d < norm_axis; ++d) {
+          outer *= in_shape[static_cast<size_t>(d)];
+        }
+        for (size_t d = static_cast<size_t>(norm_axis) + 1;
+             d < in_shape.size(); ++d) {
+          inner *= in_shape[d];
+        }
+        const int64_t len_in = in_shape[static_cast<size_t>(norm_axis)];
+        const float* pg = g.data();
+        float* pd = dx.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t x = 0; x < length; ++x) {
+            const float* src = pg + (o * length + x) * inner;
+            float* dst = pd + (o * len_in + start + x) * inner;
+            for (int64_t i = 0; i < inner; ++i) {
+              dst[i] += src[i];
+            }
+          }
+        }
+        Accumulate(a, dx);
+      });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int axis) {
+  UNITS_CHECK(!parts.empty());
+  std::vector<Tensor> datas;
+  datas.reserve(parts.size());
+  for (const Variable& p : parts) {
+    datas.push_back(p.data());
+  }
+  Tensor out = ops::Concat(datas, axis);
+  const int ndim = parts[0].ndim();
+  const int norm_axis = axis < 0 ? axis + ndim : axis;
+  std::vector<int64_t> lengths;
+  lengths.reserve(parts.size());
+  for (const Variable& p : parts) {
+    lengths.push_back(p.dim(norm_axis));
+  }
+  return Variable::MakeNode(
+      std::move(out), parts,
+      [parts, norm_axis, lengths](const Tensor& g) {
+        int64_t offset = 0;
+        for (size_t i = 0; i < parts.size(); ++i) {
+          if (parts[i].requires_grad()) {
+            parts[i].AccumulateGrad(
+                ops::Slice(g, norm_axis, offset, lengths[i]));
+          }
+          offset += lengths[i];
+        }
+      });
+}
+
+Variable GatherRows(const Variable& a, std::vector<int64_t> indices) {
+  Tensor out = ops::GatherRows(a.data(), indices);
+  const int64_t num_rows = a.dim(0);
+  return Variable::MakeNode(
+      std::move(out), {a},
+      [a, indices = std::move(indices), num_rows](const Tensor& g) {
+        Accumulate(a, ops::ScatterAddRows(g, indices, num_rows));
+      });
+}
+
+// --- convolution ----------------------------------------------------------
+
+namespace {
+
+/// [Cout, N*Tout] -> [N, Cout, Tout].
+Tensor UnpackConvOutput(const Tensor& out2, int64_t n, int64_t c_out,
+                        int64_t t_out) {
+  Tensor out = Tensor::Zeros({n, c_out, t_out});
+  const float* p2 = out2.data();
+  float* po = out.data();
+  for (int64_t co = 0; co < c_out; ++co) {
+    for (int64_t ni = 0; ni < n; ++ni) {
+      const float* src = p2 + co * (n * t_out) + ni * t_out;
+      float* dst = po + (ni * c_out + co) * t_out;
+      std::copy(src, src + t_out, dst);
+    }
+  }
+  return out;
+}
+
+/// [N, Cout, Tout] -> [Cout, N*Tout].
+Tensor PackConvGrad(const Tensor& g, int64_t n, int64_t c_out, int64_t t_out) {
+  Tensor g2 = Tensor::Zeros({c_out, n * t_out});
+  const float* pg = g.data();
+  float* p2 = g2.data();
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t co = 0; co < c_out; ++co) {
+      const float* src = pg + (ni * c_out + co) * t_out;
+      float* dst = p2 + co * (n * t_out) + ni * t_out;
+      std::copy(src, src + t_out, dst);
+    }
+  }
+  return g2;
+}
+
+}  // namespace
+
+Variable Conv1d(const Variable& input, const Variable& weight,
+                const Variable& bias, int64_t dilation, int64_t pad_left,
+                int64_t pad_right) {
+  UNITS_CHECK_EQ(input.ndim(), 3);
+  UNITS_CHECK_EQ(weight.ndim(), 3);
+  const int64_t n = input.dim(0);
+  const int64_t c_in = input.dim(1);
+  const int64_t t = input.dim(2);
+  const int64_t c_out = weight.dim(0);
+  UNITS_CHECK_EQ(weight.dim(1), c_in);
+  const int64_t kernel = weight.dim(2);
+  const int64_t t_out = t + pad_left + pad_right - (kernel - 1) * dilation;
+  UNITS_CHECK_GT(t_out, 0);
+
+  Tensor cols = ops::Im2Col1D(input.data(), kernel, dilation, pad_left,
+                              pad_right);                     // [Cin*k, N*Tout]
+  Tensor w2 = weight.data().Reshape({c_out, c_in * kernel});  // view
+  Tensor out2 = ops::MatMul(w2, cols);                        // [Cout, N*Tout]
+  Tensor out = UnpackConvOutput(out2, n, c_out, t_out);
+  if (bias.defined()) {
+    UNITS_CHECK_EQ(bias.numel(), c_out);
+    // Broadcast bias over N and Tout: reshape to [Cout, 1].
+    out = ops::Add(out, bias.data().Reshape({c_out, 1}));
+  }
+
+  const Shape in_shape = input.shape();
+  const Shape w_shape = weight.shape();
+  std::vector<Variable> parents = {input, weight};
+  if (bias.defined()) {
+    parents.push_back(bias);
+  }
+  return Variable::MakeNode(
+      std::move(out), parents,
+      [input, weight, bias, cols, in_shape, w_shape, n, c_in, c_out, kernel,
+       t_out, dilation, pad_left, pad_right](const Tensor& g) {
+        Tensor g2 = PackConvGrad(g, n, c_out, t_out);  // [Cout, N*Tout]
+        if (weight.requires_grad()) {
+          Tensor gw2 = ops::MatMul(g2, ops::Transpose2D(cols));
+          weight.AccumulateGrad(gw2.Reshape(w_shape));
+        }
+        if (input.requires_grad()) {
+          Tensor w2b = weight.data().Reshape({c_out, c_in * kernel});
+          Tensor gcols = ops::MatMul(ops::Transpose2D(w2b), g2);
+          input.AccumulateGrad(ops::Col2Im1D(gcols, in_shape, kernel,
+                                             dilation, pad_left, pad_right));
+        }
+        if (bias.defined() && bias.requires_grad()) {
+          // Sum over batch and time: rows of g2 sum to per-channel grads.
+          Tensor gb = ops::Sum(g2, /*axis=*/1, /*keepdim=*/false);
+          bias.AccumulateGrad(gb.Reshape(bias.shape()));
+        }
+      });
+}
+
+// --- losses ---------------------------------------------------------------
+
+Variable NllLoss(const Variable& log_probs,
+                 const std::vector<int64_t>& targets) {
+  UNITS_CHECK_EQ(log_probs.ndim(), 2);
+  const int64_t n = log_probs.dim(0);
+  const int64_t c = log_probs.dim(1);
+  UNITS_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  const float* p = log_probs.data().data();
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = targets[static_cast<size_t>(i)];
+    UNITS_CHECK(y >= 0 && y < c);
+    loss -= static_cast<double>(p[i * c + y]);
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(loss / static_cast<double>(n)));
+  return Variable::MakeNode(
+      std::move(out), {log_probs}, [log_probs, targets, n, c](const Tensor& g) {
+        Tensor dx = Tensor::Zeros({n, c});
+        const float scale = -g[0] / static_cast<float>(n);
+        float* pd = dx.data();
+        for (int64_t i = 0; i < n; ++i) {
+          pd[i * c + targets[static_cast<size_t>(i)]] = scale;
+        }
+        Accumulate(log_probs, dx);
+      });
+}
+
+Variable CrossEntropyLoss(const Variable& logits,
+                          const std::vector<int64_t>& targets) {
+  return NllLoss(LogSoftmax(logits, /*axis=*/-1), targets);
+}
+
+Variable MseLoss(const Variable& pred, const Variable& target) {
+  return MeanAll(Square(Sub(pred, target)));
+}
+
+Variable L1Loss(const Variable& pred, const Variable& target) {
+  return MeanAll(Abs(Sub(pred, target)));
+}
+
+Variable MaskedMseLoss(const Variable& pred, const Variable& target,
+                       const Tensor& mask) {
+  UNITS_CHECK(SameShape(pred.shape(), mask.shape()));
+  const float mask_sum = ops::SumAll(mask);
+  if (mask_sum <= 0.0f) {
+    return Constant(Tensor::Scalar(0.0f));
+  }
+  Variable diff = Sub(pred, target);
+  Variable masked = Mul(diff, Constant(mask));
+  Variable sq = Square(masked);
+  return MulScalar(SumAll(sq), 1.0f / mask_sum);
+}
+
+// --- composite helpers ----------------------------------------------------
+
+Variable L2Normalize(const Variable& a, int axis, float eps) {
+  Variable sq = Square(a);
+  Variable s = Sum(sq, axis, /*keepdim=*/true);
+  Variable norm = Sqrt(AddScalar(s, eps));
+  return Div(a, norm);
+}
+
+}  // namespace units::autograd

@@ -1,0 +1,118 @@
+#ifndef UNITS_AUTOGRAD_OPS_H_
+#define UNITS_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace units::autograd {
+
+// Differentiable operations over Variables. Each op computes its forward
+// value eagerly and, when gradient recording is enabled and some input
+// requires grad, registers a backward closure on the output node.
+//
+// Binary ops broadcast NumPy-style; gradients of broadcast operands are
+// summed back to the operand shape.
+
+// --- arithmetic -----------------------------------------------------------
+
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+Variable Neg(const Variable& a);
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+/// Elementwise x^p for constant p.
+Variable PowScalar(const Variable& a, float p);
+
+// --- linear algebra -------------------------------------------------------
+
+/// [M,K] x [K,N] -> [M,N].
+Variable MatMul(const Variable& a, const Variable& b);
+/// [B,M,K] x [B,K,N] -> [B,M,N].
+Variable BatchedMatMul(const Variable& a, const Variable& b);
+Variable Transpose(const Variable& a, int axis0, int axis1);
+Variable Reshape(const Variable& a, Shape new_shape);
+
+// --- nonlinearities -------------------------------------------------------
+
+Variable Relu(const Variable& a);
+Variable LeakyRelu(const Variable& a, float slope = 0.01f);
+Variable Gelu(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Square(const Variable& a);
+Variable Abs(const Variable& a);
+
+/// Softmax / log-softmax along `axis` (numerically stable, fused backward).
+Variable Softmax(const Variable& a, int axis);
+Variable LogSoftmax(const Variable& a, int axis);
+
+// --- reductions -----------------------------------------------------------
+
+Variable Sum(const Variable& a, int axis, bool keepdim = false);
+Variable Mean(const Variable& a, int axis, bool keepdim = false);
+/// Scalar (rank-0) sum / mean over all elements.
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+
+/// Global max pooling over the last axis: [N,C,T] -> [N,C]. Gradient flows
+/// to the argmax positions only.
+Variable MaxPoolOverTime(const Variable& a);
+
+/// Mean pooling over the last axis: [N,C,T] -> [N,C].
+Variable MeanPoolOverTime(const Variable& a);
+
+// --- shape ops ------------------------------------------------------------
+
+Variable Slice(const Variable& a, int axis, int64_t start, int64_t length);
+Variable Concat(const std::vector<Variable>& parts, int axis);
+/// Selects rows along axis 0; rows may repeat (gradient scatter-adds).
+Variable GatherRows(const Variable& a, std::vector<int64_t> indices);
+
+// --- convolution ----------------------------------------------------------
+
+/// 1-D convolution: input [N,Cin,T], weight [Cout,Cin,k], optional bias
+/// [Cout]; output [N,Cout,Tout], Tout = T + pad_left + pad_right -
+/// (k-1)*dilation. Pass an undefined bias Variable to skip bias.
+Variable Conv1d(const Variable& input, const Variable& weight,
+                const Variable& bias, int64_t dilation, int64_t pad_left,
+                int64_t pad_right);
+
+// --- losses ---------------------------------------------------------------
+
+/// Negative log-likelihood of integer targets given log-probabilities
+/// [N,C]; returns the scalar mean.
+Variable NllLoss(const Variable& log_probs, const std::vector<int64_t>& targets);
+
+/// Cross entropy = NllLoss(LogSoftmax(logits)).
+Variable CrossEntropyLoss(const Variable& logits,
+                          const std::vector<int64_t>& targets);
+
+/// Mean squared error (scalar mean over all elements).
+Variable MseLoss(const Variable& pred, const Variable& target);
+
+/// Mean absolute error.
+Variable L1Loss(const Variable& pred, const Variable& target);
+
+/// MSE restricted to positions where mask==1; normalized by mask sum
+/// (returns 0 if the mask is empty). Used by masked autoregression / DAE.
+Variable MaskedMseLoss(const Variable& pred, const Variable& target,
+                       const Tensor& mask);
+
+// --- composite helpers ----------------------------------------------------
+
+/// L2-normalizes along `axis`: x / sqrt(sum(x^2, axis) + eps).
+Variable L2Normalize(const Variable& a, int axis, float eps = 1e-8f);
+
+/// Constant (non-differentiable) wrapper.
+Variable Constant(Tensor t);
+
+}  // namespace units::autograd
+
+#endif  // UNITS_AUTOGRAD_OPS_H_

@@ -1,0 +1,161 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::autograd {
+
+namespace {
+thread_local bool t_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return t_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_enabled) {
+  t_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { t_grad_enabled = previous_; }
+
+Variable::Variable(Tensor data, bool requires_grad)
+    : impl_(std::make_shared<internal::VariableImpl>()) {
+  impl_->data = std::move(data);
+  impl_->requires_grad = requires_grad;
+}
+
+Tensor& Variable::data() {
+  UNITS_CHECK(defined());
+  return impl_->data;
+}
+
+const Tensor& Variable::data() const {
+  UNITS_CHECK(defined());
+  return impl_->data;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+void Variable::set_requires_grad(bool value) {
+  UNITS_CHECK(defined());
+  impl_->requires_grad = value;
+}
+
+const Tensor& Variable::grad() const {
+  UNITS_CHECK(defined());
+  if (!impl_->has_grad) {
+    // Lazily allocate a zero gradient so callers can read it uniformly.
+    impl_->grad = Tensor::Zeros(impl_->data.shape());
+    impl_->has_grad = true;
+  }
+  return impl_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && impl_->has_grad; }
+
+Tensor& Variable::mutable_grad() const {
+  grad();  // ensure allocated
+  return impl_->grad;
+}
+
+void Variable::AccumulateGrad(const Tensor& g) const {
+  UNITS_CHECK(defined());
+  UNITS_CHECK(SameShape(g.shape(), impl_->data.shape()));
+  if (!impl_->has_grad) {
+    impl_->grad = g.Clone();
+    impl_->has_grad = true;
+    return;
+  }
+  float* dst = impl_->grad.data();
+  const float* src = g.data();
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    dst[i] += src[i];
+  }
+}
+
+void Variable::ZeroGrad() const {
+  UNITS_CHECK(defined());
+  if (impl_->has_grad) {
+    impl_->grad.Fill(0.0f);
+  }
+}
+
+void Variable::Backward() {
+  UNITS_CHECK(defined());
+  UNITS_CHECK_MSG(impl_->data.numel() == 1,
+                  "Backward() requires a scalar output");
+  UNITS_CHECK_MSG(impl_->requires_grad,
+                  "Backward() on a node that does not require grad");
+
+  // Topological order via iterative post-order DFS over parents.
+  std::vector<internal::VariableImpl*> order;
+  std::unordered_set<internal::VariableImpl*> visited;
+  std::vector<std::pair<internal::VariableImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, child_idx] = stack.back();
+    if (child_idx < node->parents.size()) {
+      internal::VariableImpl* parent = node->parents[child_idx].get();
+      ++child_idx;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed d(out)/d(out) = 1.
+  AccumulateGrad(Tensor::Ones(impl_->data.shape()));
+
+  // Reverse topological order: every node's grad is complete before its
+  // backward_fn runs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VariableImpl* node = *it;
+    if (node->backward_fn && node->has_grad) {
+      node->backward_fn(node->grad);
+    }
+  }
+}
+
+Variable Variable::Detach() const {
+  UNITS_CHECK(defined());
+  return Variable(impl_->data, /*requires_grad=*/false);
+}
+
+float Variable::item() const {
+  UNITS_CHECK(defined());
+  UNITS_CHECK_EQ(data().numel(), 1);
+  return data()[0];
+}
+
+Variable Variable::MakeNode(Tensor data, std::vector<Variable> parents,
+                            std::function<void(const Tensor&)> backward_fn) {
+  bool any_requires = false;
+  if (GradEnabled()) {
+    for (const Variable& p : parents) {
+      if (p.requires_grad()) {
+        any_requires = true;
+        break;
+      }
+    }
+  }
+  Variable out(std::move(data), any_requires);
+  if (any_requires) {
+    out.impl_->backward_fn = std::move(backward_fn);
+    out.impl_->parents.reserve(parents.size());
+    for (Variable& p : parents) {
+      if (p.defined()) {
+        out.impl_->parents.push_back(p.impl());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace units::autograd

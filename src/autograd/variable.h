@@ -1,0 +1,112 @@
+#ifndef UNITS_AUTOGRAD_VARIABLE_H_
+#define UNITS_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace units::autograd {
+
+class Variable;
+
+namespace internal {
+
+/// Node in the dynamic computation graph. Holds the forward value, the
+/// accumulated gradient, the parent edges and the backward closure that
+/// pushes this node's gradient into its parents.
+struct VariableImpl {
+  Tensor data;
+  Tensor grad;               // allocated lazily (empty until first use)
+  bool has_grad = false;     // whether `grad` is allocated
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VariableImpl>> parents;
+  /// Receives d(loss)/d(this). Must accumulate into each parent that
+  /// requires grad (via Variable::AccumulateGrad on a wrapper).
+  std::function<void(const Tensor&)> backward_fn;
+};
+
+}  // namespace internal
+
+/// True while gradients are being recorded (default). Use NoGradGuard to
+/// switch off graph construction for inference / evaluation.
+bool GradEnabled();
+
+/// RAII scope that disables graph recording.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Handle to a node in the autograd graph. Copying is cheap (shared impl).
+/// Leaf variables created with requires_grad=true accumulate gradients when
+/// Backward() is called on a downstream scalar.
+class Variable {
+ public:
+  /// Null handle; defined() is false.
+  Variable() = default;
+
+  /// Leaf variable wrapping `data`.
+  explicit Variable(Tensor data, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  Tensor& data();
+  const Tensor& data() const;
+
+  const Shape& shape() const { return data().shape(); }
+  int64_t numel() const { return data().numel(); }
+  int ndim() const { return data().ndim(); }
+  int64_t dim(int axis) const { return data().dim(axis); }
+
+  bool requires_grad() const;
+  void set_requires_grad(bool value);
+
+  /// Gradient tensor (zeros if never written). Valid only for nodes that
+  /// required grad during a Backward() pass.
+  const Tensor& grad() const;
+  bool has_grad() const;
+
+  /// Mutable view of the gradient buffer (allocating it if absent); used by
+  /// optimizers for in-place transforms such as clipping.
+  Tensor& mutable_grad() const;
+
+  /// Adds `g` into this node's gradient buffer. Const because it mutates
+  /// the shared node, not this handle (Variables are shared references).
+  void AccumulateGrad(const Tensor& g) const;
+
+  /// Clears the gradient buffer.
+  void ZeroGrad() const;
+
+  /// Runs reverse-mode differentiation from this scalar node. Seeds the
+  /// gradient with 1.0. Requires numel()==1 and requires_grad().
+  void Backward();
+
+  /// Detached copy sharing the same data but cut off from the graph.
+  Variable Detach() const;
+
+  /// Scalar value of a one-element variable.
+  float item() const;
+
+  /// Internal: constructs an interior node. If grad recording is off or no
+  /// parent requires grad, the node is detached (no backward_fn kept).
+  static Variable MakeNode(Tensor data, std::vector<Variable> parents,
+                           std::function<void(const Tensor&)> backward_fn);
+
+  /// Internal: underlying impl, for identity comparisons.
+  const std::shared_ptr<internal::VariableImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<internal::VariableImpl> impl_;
+};
+
+}  // namespace units::autograd
+
+#endif  // UNITS_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,36 @@
+#ifndef UNITS_BASE_CHECK_H_
+#define UNITS_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks for programming errors. Unlike Status (which reports
+/// anticipated failures to the caller), a failed UNITS_CHECK aborts: the
+/// process state is presumed corrupted. Active in all build modes — these
+/// guard correctness of numeric kernels, not hot-path micro-ops.
+#define UNITS_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FATAL %s:%d: CHECK failed: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define UNITS_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FATAL %s:%d: CHECK failed: %s — %s\n",         \
+                   __FILE__, __LINE__, #cond, (msg));                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define UNITS_CHECK_EQ(a, b) UNITS_CHECK((a) == (b))
+#define UNITS_CHECK_NE(a, b) UNITS_CHECK((a) != (b))
+#define UNITS_CHECK_LT(a, b) UNITS_CHECK((a) < (b))
+#define UNITS_CHECK_LE(a, b) UNITS_CHECK((a) <= (b))
+#define UNITS_CHECK_GT(a, b) UNITS_CHECK((a) > (b))
+#define UNITS_CHECK_GE(a, b) UNITS_CHECK((a) >= (b))
+
+#endif  // UNITS_BASE_CHECK_H_

@@ -1,0 +1,58 @@
+#include "base/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace units {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(GetLogLevel())) {
+    return;
+  }
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal_logging
+
+}  // namespace units

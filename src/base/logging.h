@@ -1,0 +1,47 @@
+#ifndef UNITS_BASE_LOGGING_H_
+#define UNITS_BASE_LOGGING_H_
+
+#include <sstream>
+
+namespace units {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction if its severity
+/// clears the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace units
+
+/// Usage: UNITS_LOG(Info) << "epoch " << e << " loss " << loss;
+#define UNITS_LOG(level)                                              \
+  ::units::internal_logging::LogMessage(::units::LogLevel::k##level,  \
+                                        __FILE__, __LINE__)
+
+#endif  // UNITS_BASE_LOGGING_H_

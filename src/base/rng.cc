@@ -1,0 +1,102 @@
+#include "base/rng.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256** by Blackman & Vigna.
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 top bits → double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  UNITS_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  UNITS_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller on two fresh uniforms; guard against log(0).
+  double u1 = Uniform();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    perm[static_cast<size_t>(i)] = i;
+  }
+  Shuffle(&perm);
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace units

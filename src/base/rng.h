@@ -1,0 +1,66 @@
+#ifndef UNITS_BASE_RNG_H_
+#define UNITS_BASE_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace units {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). Every stochastic component in the library draws from an Rng
+/// that is explicitly threaded through, so experiments are reproducible
+/// given a seed. Not cryptographically secure; not thread-safe — give each
+/// thread its own instance (use Fork()).
+class Rng {
+ public:
+  /// Seeds the generator. Identical seeds produce identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Random permutation of {0, ..., n-1} (Fisher–Yates).
+  std::vector<int64_t> Permutation(int64_t n);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int64_t i = static_cast<int64_t>(v->size()) - 1; i > 0; --i) {
+      const auto j = static_cast<int64_t>(UniformInt(static_cast<uint64_t>(i + 1)));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent generator (for per-worker streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace units
+
+#endif  // UNITS_BASE_RNG_H_

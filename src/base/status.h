@@ -1,0 +1,156 @@
+#ifndef UNITS_BASE_STATUS_H_
+#define UNITS_BASE_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace units {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation);
+/// carries a code + message otherwise. Functions that can fail in ways the
+/// caller should handle return Status (or Result<T>); programming errors
+/// use UNITS_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if this status is not OK.
+  /// Use at call sites where failure indicates a bug.
+  void CheckOk() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. The database-style
+/// alternative to exceptions for fallible constructors and parsers.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: allows `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value. Aborts if this holds an error.
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      status_.CheckOk();  // aborts with the carried diagnostic
+      std::abort();       // unreachable; silences no-return warnings
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace units
+
+/// Propagates a non-OK Status to the caller.
+#define UNITS_RETURN_IF_ERROR(expr)           \
+  do {                                        \
+    ::units::Status _units_status = (expr);   \
+    if (!_units_status.ok()) {                \
+      return _units_status;                   \
+    }                                         \
+  } while (false)
+
+#define UNITS_CONCAT_IMPL_(a, b) a##b
+#define UNITS_CONCAT_(a, b) UNITS_CONCAT_IMPL_(a, b)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on error returns the Status to the caller.
+#define UNITS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto UNITS_CONCAT_(_units_result_, __LINE__) = (rexpr);         \
+  if (!UNITS_CONCAT_(_units_result_, __LINE__).ok()) {            \
+    return UNITS_CONCAT_(_units_result_, __LINE__).status();      \
+  }                                                               \
+  lhs = std::move(UNITS_CONCAT_(_units_result_, __LINE__)).value()
+
+#endif  // UNITS_BASE_STATUS_H_

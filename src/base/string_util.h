@@ -1,0 +1,41 @@
+#ifndef UNITS_BASE_STRING_UTIL_H_
+#define UNITS_BASE_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace units {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+/// Splits `text` on `delim`; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// Joins `parts` with `delim`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string StrStrip(std::string_view text);
+
+/// True if `text` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace units
+
+#endif  // UNITS_BASE_STRING_UTIL_H_

@@ -1,0 +1,178 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+
+namespace units::cluster {
+
+namespace {
+
+float SquaredDistance(const float* a, const float* b, int64_t f) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < f; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+Tensor KMeansPlusPlusInit(const Tensor& points, int64_t k, Rng* rng) {
+  const int64_t n = points.dim(0);
+  const int64_t f = points.dim(1);
+  const float* p = points.data();
+  Tensor centroids = Tensor::Zeros({k, f});
+  float* c = centroids.data();
+
+  std::vector<float> min_dist(static_cast<size_t>(n),
+                              std::numeric_limits<float>::max());
+  int64_t first = static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(n)));
+  std::copy(p + first * f, p + (first + 1) * f, c);
+
+  for (int64_t ci = 1; ci < k; ++ci) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float d =
+          SquaredDistance(p + i * f, c + (ci - 1) * f, f);
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)], d);
+      total += min_dist[static_cast<size_t>(i)];
+    }
+    int64_t chosen = n - 1;
+    if (total > 0.0) {
+      double r = rng->Uniform() * total;
+      for (int64_t i = 0; i < n; ++i) {
+        r -= min_dist[static_cast<size_t>(i)];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(n)));
+    }
+    std::copy(p + chosen * f, p + (chosen + 1) * f, c + ci * f);
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const Tensor& points, const KMeansOptions& options,
+                     Rng* rng) {
+  const int64_t n = points.dim(0);
+  const int64_t f = points.dim(1);
+  const int64_t k = options.num_clusters;
+  const float* p = points.data();
+
+  KMeansResult result;
+  result.centroids = KMeansPlusPlusInit(points, k, rng);
+  result.assignments.assign(static_cast<size_t>(n), 0);
+  float prev_inertia = std::numeric_limits<float>::max();
+
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    float* c = result.centroids.data();
+    double inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      float best = std::numeric_limits<float>::max();
+      int64_t best_k = 0;
+      for (int64_t ci = 0; ci < k; ++ci) {
+        const float d = SquaredDistance(p + i * f, c + ci * f, f);
+        if (d < best) {
+          best = d;
+          best_k = ci;
+        }
+      }
+      result.assignments[static_cast<size_t>(i)] = best_k;
+      inertia += best;
+    }
+    result.inertia = static_cast<float>(inertia);
+
+    // Update step.
+    Tensor sums = Tensor::Zeros({k, f});
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    float* s = sums.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t ci = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(ci)];
+      const float* row = p + i * f;
+      float* dst = s + ci * f;
+      for (int64_t j = 0; j < f; ++j) {
+        dst[j] += row[j];
+      }
+    }
+    for (int64_t ci = 0; ci < k; ++ci) {
+      if (counts[static_cast<size_t>(ci)] == 0) {
+        // Re-seed empty cluster at a random point.
+        const int64_t r =
+            static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(n)));
+        std::copy(p + r * f, p + (r + 1) * f, c + ci * f);
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(ci)]);
+      float* dst = c + ci * f;
+      const float* src = s + ci * f;
+      for (int64_t j = 0; j < f; ++j) {
+        dst[j] = src[j] * inv;
+      }
+    }
+
+    if (prev_inertia - result.inertia <
+        options.tolerance * std::max(1.0f, prev_inertia)) {
+      break;
+    }
+    prev_inertia = result.inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const Tensor& points,
+                            const KMeansOptions& options, Rng* rng) {
+  if (points.ndim() != 2) {
+    return Status::InvalidArgument("KMeans expects [N, F] points");
+  }
+  if (options.num_clusters < 1 ||
+      options.num_clusters > points.dim(0)) {
+    return Status::InvalidArgument("invalid cluster count");
+  }
+  KMeansResult best;
+  best.inertia = std::numeric_limits<float>::max();
+  for (int64_t r = 0; r < std::max<int64_t>(1, options.num_restarts); ++r) {
+    KMeansResult run = RunOnce(points, options, rng);
+    if (run.inertia < best.inertia) {
+      best = std::move(run);
+    }
+  }
+  return best;
+}
+
+std::vector<int64_t> AssignToCentroids(const Tensor& points,
+                                       const Tensor& centroids) {
+  UNITS_CHECK_EQ(points.ndim(), 2);
+  UNITS_CHECK_EQ(centroids.ndim(), 2);
+  UNITS_CHECK_EQ(points.dim(1), centroids.dim(1));
+  const int64_t n = points.dim(0);
+  const int64_t f = points.dim(1);
+  const int64_t k = centroids.dim(0);
+  const float* p = points.data();
+  const float* c = centroids.data();
+  std::vector<int64_t> out(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    float best = std::numeric_limits<float>::max();
+    for (int64_t ci = 0; ci < k; ++ci) {
+      const float d = SquaredDistance(p + i * f, c + ci * f, f);
+      if (d < best) {
+        best = d;
+        out[static_cast<size_t>(i)] = ci;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace units::cluster

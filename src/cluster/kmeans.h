@@ -1,0 +1,40 @@
+#ifndef UNITS_CLUSTER_KMEANS_H_
+#define UNITS_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "tensor/tensor.h"
+
+namespace units::cluster {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  Tensor centroids;                  // [K, F]
+  std::vector<int64_t> assignments;  // size N
+  float inertia = 0.0f;              // sum of squared distances to centroids
+  int64_t iterations = 0;
+};
+
+/// Options for KMeans.
+struct KMeansOptions {
+  int64_t num_clusters = 2;
+  int64_t max_iterations = 100;
+  float tolerance = 1e-4f;   // relative inertia improvement to keep going
+  int64_t num_restarts = 3;  // best-of-n restarts (k-means++ init each)
+};
+
+/// Lloyd's algorithm with k-means++ initialization over row vectors
+/// [N, F]. Returns the best run across restarts.
+Result<KMeansResult> KMeans(const Tensor& points, const KMeansOptions& options,
+                            Rng* rng);
+
+/// Assigns each row of `points` to its nearest centroid.
+std::vector<int64_t> AssignToCentroids(const Tensor& points,
+                                       const Tensor& centroids);
+
+}  // namespace units::cluster
+
+#endif  // UNITS_CLUSTER_KMEANS_H_

@@ -1,0 +1,86 @@
+#include "core/baselines.h"
+
+#include "base/check.h"
+#include "cluster/kmeans.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+Result<std::unique_ptr<UnitsPipeline>> MakeScratchBaseline(
+    const UnitsPipeline::Config& config, int64_t input_channels,
+    int64_t epoch_multiplier) {
+  UnitsPipeline::Config scratch = config;
+  scratch.mode = ConfigMode::kManual;
+  // Keep exactly one encoder so the architecture matches a single-template
+  // UniTS pipeline.
+  if (scratch.templates.size() > 1) {
+    scratch.templates.resize(1);
+  }
+  // Full-rate end-to-end training from random initialization.
+  scratch.finetune_params.SetDouble("encoder_lr_scale", 1.0);
+  const int64_t base_epochs = DefaultFineTuneParams()
+                                  .MergedWith(config.finetune_params)
+                                  .GetInt("epochs", 10);
+  scratch.finetune_params.SetInt("epochs", base_epochs * epoch_multiplier);
+  const int64_t base_cluster_epochs =
+      DefaultFineTuneParams()
+          .MergedWith(config.finetune_params)
+          .GetInt("cluster_finetune_epochs", 5);
+  scratch.finetune_params.SetInt("cluster_finetune_epochs",
+                                 base_cluster_epochs * epoch_multiplier);
+  return UnitsPipeline::Create(scratch, input_channels);
+}
+
+Result<std::vector<int64_t>> RawKMeansClustering(const Tensor& x,
+                                                 int64_t num_clusters,
+                                                 Rng* rng) {
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("expected [N, D, T]");
+  }
+  const Tensor flat = x.Reshape({x.dim(0), x.dim(1) * x.dim(2)});
+  cluster::KMeansOptions opts;
+  opts.num_clusters = num_clusters;
+  UNITS_ASSIGN_OR_RETURN(cluster::KMeansResult result,
+                         cluster::KMeans(flat, opts, rng));
+  return result.assignments;
+}
+
+Tensor NaiveForecast(const Tensor& x, int64_t horizon) {
+  UNITS_CHECK_EQ(x.ndim(), 3);
+  const int64_t n = x.dim(0);
+  const int64_t d = x.dim(1);
+  const int64_t t = x.dim(2);
+  Tensor out = Tensor::Zeros({n, d, horizon});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n * d; ++i) {
+    const float last = px[i * t + t - 1];
+    for (int64_t h = 0; h < horizon; ++h) {
+      po[i * horizon + h] = last;
+    }
+  }
+  return out;
+}
+
+Tensor SeasonalNaiveForecast(const Tensor& x, int64_t horizon,
+                             int64_t period) {
+  UNITS_CHECK_EQ(x.ndim(), 3);
+  UNITS_CHECK_GE(period, 1);
+  const int64_t n = x.dim(0);
+  const int64_t d = x.dim(1);
+  const int64_t t = x.dim(2);
+  UNITS_CHECK_GE(t, period);
+  Tensor out = Tensor::Zeros({n, d, horizon});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n * d; ++i) {
+    for (int64_t h = 0; h < horizon; ++h) {
+      // Value one (or more) seasons back from the forecast point.
+      const int64_t offset = t - period + (h % period);
+      po[i * horizon + h] = px[i * t + offset];
+    }
+  }
+  return out;
+}
+
+}  // namespace units::core

@@ -1,0 +1,40 @@
+#ifndef UNITS_CORE_BASELINES_H_
+#define UNITS_CORE_BASELINES_H_
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace units::core {
+
+// Baselines corresponding to the paper's comparison point: "directly
+// training task-specific model f_T without self-supervised pre-training"
+// (Figure 3), plus classical non-learned baselines for context.
+
+/// Builds a pipeline with the same architecture as `config` but meant to be
+/// trained from scratch: callers skip Pretrain() and FineTune() performs
+/// full end-to-end supervised training (encoder learning rate scale is
+/// raised to 1 and fine-tuning epochs are multiplied by
+/// `epoch_multiplier`, since from-scratch training needs more iterations —
+/// this is exactly the efficiency gap the paper highlights).
+Result<std::unique_ptr<UnitsPipeline>> MakeScratchBaseline(
+    const UnitsPipeline::Config& config, int64_t input_channels,
+    int64_t epoch_multiplier = 3);
+
+/// k-means directly on the flattened raw series (classical clustering
+/// baseline without any learned representation).
+Result<std::vector<int64_t>> RawKMeansClustering(const Tensor& x,
+                                                 int64_t num_clusters,
+                                                 Rng* rng);
+
+/// Repeats the last observed value over the horizon ("naive" forecast).
+Tensor NaiveForecast(const Tensor& x, int64_t horizon);
+
+/// Repeats the last full period ("seasonal naive").
+Tensor SeasonalNaiveForecast(const Tensor& x, int64_t horizon,
+                             int64_t period);
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_BASELINES_H_

@@ -1,0 +1,43 @@
+#include "core/encoder_factory.h"
+
+#include "nn/attention.h"
+#include "nn/gru.h"
+#include "nn/tcn.h"
+
+namespace units::core {
+
+Result<EncoderHandle> BuildEncoder(const hpo::ParamSet& params,
+                                   int64_t input_channels, Rng* rng) {
+  if (input_channels < 1) {
+    return Status::InvalidArgument("input_channels must be positive");
+  }
+  EncoderHandle handle;
+  handle.backbone = params.GetString("backbone", "tcn");
+  handle.repr_dim = params.GetInt("repr_dim", 64);
+  if (handle.backbone == "tcn") {
+    nn::TcnConfig config;
+    config.input_channels = input_channels;
+    config.hidden_channels = params.GetInt("hidden_channels", 32);
+    config.repr_channels = handle.repr_dim;
+    config.num_blocks = params.GetInt("num_blocks", 3);
+    config.kernel = params.GetInt("kernel", 3);
+    handle.module = std::make_shared<nn::TcnEncoder>(config, rng);
+    return handle;
+  }
+  if (handle.backbone == "transformer") {
+    handle.module = std::make_shared<nn::TransformerBackbone>(
+        input_channels, params.GetInt("hidden_channels", 32),
+        handle.repr_dim, params.GetInt("num_layers", 2),
+        params.GetInt("num_heads", 4), rng);
+    return handle;
+  }
+  if (handle.backbone == "gru") {
+    handle.module = std::make_shared<nn::GruBackbone>(
+        input_channels, params.GetInt("hidden_channels", 32),
+        handle.repr_dim, rng);
+    return handle;
+  }
+  return Status::InvalidArgument("unknown backbone: " + handle.backbone);
+}
+
+}  // namespace units::core

@@ -1,0 +1,31 @@
+#ifndef UNITS_CORE_ENCODER_FACTORY_H_
+#define UNITS_CORE_ENCODER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "hpo/param_space.h"
+#include "nn/module.h"
+
+namespace units::core {
+
+/// Architecture-agnostic encoder handle. The paper treats the model
+/// architecture as a hyper-parameter; templates obtain their encoder from
+/// this factory so any backbone works with any pre-training objective.
+struct EncoderHandle {
+  std::shared_ptr<nn::Module> module;  // Forward: [N, D, T] -> [N, K, T]
+  int64_t repr_dim = 0;
+  std::string backbone;  // "tcn" or "transformer"
+};
+
+/// Builds an encoder from hyper-parameters. Recognized params: "backbone"
+/// ("tcn" | "transformer" | "gru"), "hidden_channels", "repr_dim",
+/// "num_blocks", "kernel" (tcn), "num_layers", "num_heads" (transformer).
+Result<EncoderHandle> BuildEncoder(const hpo::ParamSet& params,
+                                   int64_t input_channels, Rng* rng);
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_ENCODER_FACTORY_H_

@@ -1,0 +1,96 @@
+#include "core/estimator.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+Variable FeatureFusion::TransformPerTimestep(
+    const std::vector<Variable>& zs) {
+  // Default per-timestep fusion: concatenate along the channel axis.
+  if (zs.size() == 1) {
+    return zs[0];
+  }
+  return ag::Concat(zs, /*axis=*/1);
+}
+
+int64_t FeatureFusion::fused_dim_per_timestep() const {
+  int64_t total = 0;
+  for (int64_t d : in_dims_) {
+    total += d;
+  }
+  return total;
+}
+
+ParamSet DefaultPretrainParams() {
+  ParamSet p;
+  // Encoder architecture.
+  p.SetString("backbone", "tcn");
+  p.SetInt("hidden_channels", 32);
+  p.SetInt("repr_dim", 64);
+  p.SetInt("num_blocks", 3);
+  p.SetInt("kernel", 3);
+  p.SetInt("num_heads", 4);       // transformer backbone only
+  p.SetInt("num_layers", 2);      // transformer backbone only
+  // Optimization.
+  p.SetInt("epochs", 20);
+  p.SetInt("batch_size", 32);  // contrastive objectives want negatives
+  p.SetDouble("lr", 1e-3);
+  p.SetDouble("weight_decay", 1e-5);
+  p.SetDouble("clip_norm", 5.0);
+  p.SetString("lr_schedule", "constant");  // or "cosine" (warmup + decay)
+  // Objective knobs.
+  p.SetDouble("temperature", 0.2);
+  p.SetDouble("aug_jitter", 0.3);
+  p.SetDouble("aug_scale", 0.3);
+  p.SetDouble("aug_mask_ratio", 0.15);
+  p.SetDouble("aug_time_warp", 0.2);
+  p.SetDouble("mask_ratio", 0.25);
+  p.SetDouble("mask_mean_block", 5.0);
+  p.SetInt("neg_samples", 8);
+  p.SetDouble("crop_frac", 0.6);
+  p.SetDouble("hybrid_alpha", 0.5);
+  p.SetInt("instance_timestamps", 8);
+  return p;
+}
+
+ParamSet DefaultFineTuneParams() {
+  ParamSet p;
+  p.SetInt("epochs", 10);
+  p.SetInt("batch_size", 16);
+  p.SetDouble("lr", 1e-3);
+  // Fine-tune the encoders at full rate by default: with a pre-trained
+  // initialization this matches or beats the small-step convention on all
+  // our workloads (set < 1 to protect the representation instead).
+  p.SetDouble("encoder_lr_scale", 1.0);
+  p.SetDouble("weight_decay", 1e-5);
+  p.SetDouble("clip_norm", 5.0);
+  p.SetInt("head_hidden", 0);            // 0 = linear head
+  p.SetDouble("dropout", 0.0);
+  p.SetInt("finetune_encoder", 1);       // 0 freezes the encoders
+  p.SetInt("normalize_repr", 1);         // L2-normalize fused reps for
+                                         // classification/clustering heads
+  // Task-specific knobs.
+  p.SetDouble("cluster_reg_weight", 0.5);  // k-means regularizer lambda
+  p.SetInt("cluster_finetune_epochs", 5);
+  p.SetString("forecast_loss", "mse");     // or "mae"
+  p.SetString("forecast_repr", "last");    // decode from the last-timestep
+                                           // state; "pooled" uses max-pool
+  p.SetDouble("anomaly_quantile", 0.995);  // train-score threshold quantile
+  p.SetDouble("imputation_mask_ratio", 0.25);
+  p.SetDouble("imputation_mask_block", 4.0);
+  return p;
+}
+
+ParamSet ResolveParams(ConfigMode mode, const ParamSet& defaults,
+                       const ParamSet& manual) {
+  switch (mode) {
+    case ConfigMode::kDefault:
+      return defaults;
+    case ConfigMode::kManual:
+    case ConfigMode::kSmart:  // Smart seeds from defaults + overrides too
+      return defaults.MergedWith(manual);
+  }
+  return defaults;
+}
+
+}  // namespace units::core

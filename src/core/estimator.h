@@ -1,0 +1,184 @@
+#ifndef UNITS_CORE_ESTIMATOR_H_
+#define UNITS_CORE_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "data/dataset.h"
+#include "hpo/param_space.h"
+#include "json/json.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace units::core {
+
+using autograd::Variable;
+using hpo::ParamSet;
+
+/// Hyper-parameter configuration modes (Section 2.2 of the paper).
+enum class ConfigMode {
+  kDefault,  // run with the library's pre-defined hyper-parameters
+  kManual,   // caller-supplied ParamSet overrides the defaults
+  kSmart,    // Bayesian optimization over a small fine-tuning space
+};
+
+// ---------------------------------------------------------------------------
+// Pre-training template (Section 3.1)
+// ---------------------------------------------------------------------------
+
+/// A self-supervised pre-training method. Mirrors the paper's sklearn-like
+/// contract: `Fit` consumes unlabeled X only; `Transform` maps X to
+/// representations Z. The differentiable Encode* methods expose the encoder
+/// to downstream fine-tuning, and BuildLoss exposes the self-supervised
+/// objective for hybrid fine-tuning (e.g. the clustering regularizer).
+class PretrainTemplate {
+ public:
+  virtual ~PretrainTemplate() = default;
+
+  /// Registry name, e.g. "whole_series_contrastive".
+  virtual std::string name() const = 0;
+
+  /// Pre-trains the encoder on unlabeled data X [N, D, T].
+  virtual Status Fit(const Tensor& x) = 0;
+
+  /// Pooled representations Z [N, K] (no gradient tracking).
+  virtual Tensor Transform(const Tensor& x) = 0;
+
+  /// Per-timestep representations [N, K, T] (no gradient tracking).
+  virtual Tensor TransformPerTimestep(const Tensor& x) = 0;
+
+  /// Differentiable pooled encoding of a batch [B, D, T] -> [B, K].
+  virtual Variable Encode(const Variable& x) = 0;
+
+  /// Differentiable per-timestep encoding [B, D, T] -> [B, K, T].
+  virtual Variable EncodePerTimestep(const Variable& x) = 0;
+
+  /// The self-supervised loss on a raw batch (used during pre-training and
+  /// reused as a regularizer by some fine-tuning procedures).
+  virtual Variable BuildLoss(const Tensor& batch_values, Rng* rng) = 0;
+
+  /// Representation width K.
+  virtual int64_t repr_dim() const = 0;
+
+  /// The underlying encoder module (parameters, train/eval mode).
+  virtual nn::Module* encoder() = 0;
+
+  /// Builds the encoder (and any auxiliary modules) without training, so
+  /// saved weights can be loaded into a freshly constructed template.
+  virtual Status Initialize() = 0;
+
+  /// Mean pre-training loss per epoch (for the GUI-style loss curves).
+  virtual const std::vector<float>& loss_history() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Feature fusion (Section 3.2)
+// ---------------------------------------------------------------------------
+
+/// Fuses the representations of M pre-training instances into one vector
+/// per sample. Learnable fusions expose their parameters for fine-tuning.
+class FeatureFusion {
+ public:
+  virtual ~FeatureFusion() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Prepares the fusion for inputs of the given widths; returns the fused
+  /// width K'. Must be called before Transform.
+  virtual int64_t Initialize(const std::vector<int64_t>& in_dims,
+                             Rng* rng) = 0;
+
+  /// Fuses pooled representations: M tensors [B, K_m] -> [B, K'].
+  virtual Variable Transform(const std::vector<Variable>& zs) = 0;
+
+  /// Fuses per-timestep representations: M tensors [B, K_m, T] ->
+  /// [B, K'_pt, T]. Default: concatenation along the channel axis.
+  virtual Variable TransformPerTimestep(const std::vector<Variable>& zs);
+
+  /// Fused width for pooled / per-timestep outputs.
+  virtual int64_t fused_dim() const = 0;
+  virtual int64_t fused_dim_per_timestep() const;
+
+  /// Learnable parameters (empty for non-learnable fusions).
+  virtual std::vector<Variable> Parameters() { return {}; }
+
+  /// Underlying module for serialization (null for non-learnable fusions).
+  virtual nn::Module* module() { return nullptr; }
+
+ protected:
+  std::vector<int64_t> in_dims_;
+};
+
+// ---------------------------------------------------------------------------
+// Analysis task (Section 3.3)
+// ---------------------------------------------------------------------------
+
+/// What a task produces at inference time; tasks fill the fields that apply
+/// to them (labels for classification/clustering, predictions for
+/// forecasting/imputation, scores for anomaly detection).
+struct TaskResult {
+  std::vector<int64_t> labels;
+  Tensor predictions;
+  Tensor scores;
+};
+
+class UnitsPipeline;
+
+/// A downstream analysis task: `Fit` fine-tunes on (possibly small) labeled
+/// data through the pipeline's fused representations; `Predict` produces
+/// final outputs. Tasks never touch raw encoders directly — everything
+/// flows through the pipeline so new tasks compose with any template mix.
+class AnalysisTask {
+ public:
+  virtual ~AnalysisTask() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Status Fit(UnitsPipeline* pipeline,
+                     const data::TimeSeriesDataset& train) = 0;
+
+  virtual Result<TaskResult> Predict(UnitsPipeline* pipeline,
+                                     const Tensor& x) = 0;
+
+  /// Task head module for serialization (may be null before Fit).
+  virtual nn::Module* head() { return nullptr; }
+
+  /// Serializes the task's fitted state (head architecture + weights and
+  /// any calibration such as thresholds or centroids) for SaveJson.
+  virtual Result<json::JsonValue> SaveState(UnitsPipeline* pipeline);
+
+  /// Restores state saved by SaveState into a fresh task instance.
+  virtual Status LoadState(UnitsPipeline* pipeline,
+                           const json::JsonValue& state);
+
+  /// Mean fine-tuning loss per epoch.
+  const std::vector<float>& loss_history() const { return loss_history_; }
+
+ protected:
+  std::vector<float> loss_history_;
+};
+
+// ---------------------------------------------------------------------------
+// Default hyper-parameters (the paper's Default mode)
+// ---------------------------------------------------------------------------
+
+/// Library-wide defaults for pre-training templates.
+ParamSet DefaultPretrainParams();
+
+/// Library-wide defaults for fine-tuning.
+ParamSet DefaultFineTuneParams();
+
+/// Resolves the effective ParamSet for a configuration mode: Default
+/// ignores `manual`; Manual overlays it on the defaults. (Smart-mode search
+/// is orchestrated by hpo::BayesianOptimizer around the pipeline.)
+ParamSet ResolveParams(ConfigMode mode, const ParamSet& defaults,
+                       const ParamSet& manual);
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_ESTIMATOR_H_

@@ -1,0 +1,104 @@
+#include "core/evaluate.h"
+
+#include "core/tasks/tasks.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace {
+
+std::vector<int> PointLabelsToInt(const Tensor& labels) {
+  std::vector<int> out(static_cast<size_t>(labels.numel()));
+  for (int64_t i = 0; i < labels.numel(); ++i) {
+    out[static_cast<size_t>(i)] = labels[i] > 0.5f ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::map<std::string, double>> Evaluate(
+    UnitsPipeline* pipeline, const data::TimeSeriesDataset& test) {
+  if (pipeline->task() == nullptr) {
+    return Status::FailedPrecondition("pipeline has no task");
+  }
+  const std::string task = pipeline->task()->name();
+  std::map<std::string, double> out;
+
+  if (task == "classification") {
+    if (!test.has_labels()) {
+      return Status::InvalidArgument("classification eval needs labels");
+    }
+    UNITS_ASSIGN_OR_RETURN(TaskResult result,
+                           pipeline->Predict(test.values()));
+    const auto report = metrics::ClassifierReport(
+        test.labels(), result.labels, test.NumClasses());
+    out["accuracy"] = report.accuracy;
+    out["macro_f1"] = report.macro_f1;
+    return out;
+  }
+
+  if (task == "clustering") {
+    if (!test.has_labels()) {
+      return Status::InvalidArgument("clustering eval needs labels");
+    }
+    UNITS_ASSIGN_OR_RETURN(TaskResult result,
+                           pipeline->Predict(test.values()));
+    out["nmi"] = metrics::NormalizedMutualInfo(test.labels(), result.labels);
+    out["ari"] = metrics::AdjustedRandIndex(test.labels(), result.labels);
+    return out;
+  }
+
+  if (task == "forecasting") {
+    if (!test.has_targets()) {
+      return Status::InvalidArgument("forecasting eval needs targets");
+    }
+    UNITS_ASSIGN_OR_RETURN(TaskResult result,
+                           pipeline->Predict(test.values()));
+    out["mse"] = metrics::MeanSquaredError(test.targets(),
+                                           result.predictions);
+    out["mae"] = metrics::MeanAbsoluteError(test.targets(),
+                                            result.predictions);
+    return out;
+  }
+
+  if (task == "anomaly_detection") {
+    if (!test.has_point_labels()) {
+      return Status::InvalidArgument("anomaly eval needs point labels");
+    }
+    UNITS_ASSIGN_OR_RETURN(TaskResult result,
+                           pipeline->Predict(test.values()));
+    const std::vector<int> truth = PointLabelsToInt(test.point_labels());
+    std::vector<float> scores(result.scores.data(),
+                              result.scores.data() + result.scores.numel());
+    const auto best =
+        metrics::BestF1Search(scores, truth, /*point_adjust=*/true);
+    out["best_point_adjusted_f1"] = best.f1;
+    out["precision"] = best.precision;
+    out["recall"] = best.recall;
+    return out;
+  }
+
+  if (task == "imputation") {
+    auto* imputer = dynamic_cast<ImputationTask*>(pipeline->task());
+    if (imputer == nullptr) {
+      return Status::Internal("task name/type mismatch");
+    }
+    const float rate = static_cast<float>(
+        pipeline->finetune_params().GetDouble("imputation_eval_rate", 0.25));
+    Rng rng(pipeline->finetune_params().GetInt("imputation_eval_seed", 7));
+    Tensor mask =
+        data::MakeMissingMask(test.values().shape(), rate, 4.0f, &rng);
+    UNITS_ASSIGN_OR_RETURN(Tensor imputed,
+                           imputer->Impute(pipeline, test.values(), mask));
+    out["masked_rmse"] = metrics::MaskedRmse(test.values(), imputed, mask);
+    out["masked_mae"] = metrics::MaskedMae(test.values(), imputed, mask);
+    return out;
+  }
+
+  return Status::Unimplemented("no evaluation recipe for task " + task);
+}
+
+}  // namespace units::core

@@ -1,0 +1,30 @@
+#ifndef UNITS_CORE_EVALUATE_H_
+#define UNITS_CORE_EVALUATE_H_
+
+#include <map>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace units::core {
+
+/// Task-aware evaluation (the demo GUI's "result visualization and
+/// evaluation" panel): runs Predict on `test` and scores it against the
+/// supervision the dataset carries, with metrics chosen by the fitted
+/// task:
+///
+///   classification    accuracy, macro_f1          (needs labels)
+///   clustering        nmi, ari                    (needs labels)
+///   forecasting       mse, mae                    (needs targets)
+///   anomaly_detection best_point_adjusted_f1, precision, recall
+///                                                 (needs point labels)
+///   imputation        masked_rmse, masked_mae     (mask drawn internally
+///                                                  at `imputation_eval_rate`)
+///
+/// Returns InvalidArgument if the dataset lacks the required supervision.
+Result<std::map<std::string, double>> Evaluate(
+    UnitsPipeline* pipeline, const data::TimeSeriesDataset& test);
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_EVALUATE_H_

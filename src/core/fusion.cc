@@ -1,0 +1,105 @@
+#include "core/fusion.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+int64_t ConcatFusion::Initialize(const std::vector<int64_t>& in_dims,
+                                 Rng* rng) {
+  (void)rng;
+  UNITS_CHECK(!in_dims.empty());
+  in_dims_ = in_dims;
+  fused_dim_ = 0;
+  for (int64_t d : in_dims) {
+    fused_dim_ += d;
+  }
+  return fused_dim_;
+}
+
+Variable ConcatFusion::Transform(const std::vector<Variable>& zs) {
+  UNITS_CHECK_EQ(zs.size(), in_dims_.size());
+  if (zs.size() == 1) {
+    return zs[0];
+  }
+  return ag::Concat(zs, /*axis=*/1);
+}
+
+int64_t ProjectionFusion::Initialize(const std::vector<int64_t>& in_dims,
+                                     Rng* rng) {
+  UNITS_CHECK(!in_dims.empty());
+  in_dims_ = in_dims;
+  int64_t total = 0;
+  for (int64_t d : in_dims) {
+    total += d;
+  }
+  if (out_dim_ <= 0) {
+    out_dim_ = std::max<int64_t>(8, total / 2);
+  }
+  proj_ = std::make_shared<nn::Linear>(total, out_dim_, rng);
+  return out_dim_;
+}
+
+Variable ProjectionFusion::Transform(const std::vector<Variable>& zs) {
+  UNITS_CHECK(proj_ != nullptr);
+  UNITS_CHECK_EQ(zs.size(), in_dims_.size());
+  Variable cat = zs.size() == 1 ? zs[0] : ag::Concat(zs, /*axis=*/1);
+  return proj_->Forward(cat);
+}
+
+std::vector<Variable> ProjectionFusion::Parameters() {
+  UNITS_CHECK(proj_ != nullptr);
+  return proj_->Parameters();
+}
+
+int64_t GatedFusion::Initialize(const std::vector<int64_t>& in_dims,
+                                Rng* rng) {
+  (void)rng;
+  UNITS_CHECK(!in_dims.empty());
+  in_dims_ = in_dims;
+  fused_dim_ = 0;
+  for (int64_t d : in_dims) {
+    fused_dim_ += d;
+  }
+  gates_ = std::make_shared<GateModule>(
+      static_cast<int64_t>(in_dims.size()));
+  return fused_dim_;
+}
+
+Variable GatedFusion::Transform(const std::vector<Variable>& zs) {
+  UNITS_CHECK(gates_ != nullptr);
+  UNITS_CHECK_EQ(zs.size(), in_dims_.size());
+  // Gates start at sigmoid(0) = 0.5 for every template; we scale by 2 so
+  // the initial transform is the identity concatenation.
+  std::vector<Variable> gated;
+  gated.reserve(zs.size());
+  for (size_t m = 0; m < zs.size(); ++m) {
+    Variable gate = ag::MulScalar(
+        ag::Sigmoid(ag::Slice(gates_->logits(), 0,
+                              static_cast<int64_t>(m), 1)),
+        2.0f);
+    gated.push_back(ag::Mul(zs[m], gate));  // [B, K_m] * [1] broadcast
+  }
+  return gated.size() == 1 ? gated[0] : ag::Concat(gated, /*axis=*/1);
+}
+
+std::vector<Variable> GatedFusion::Parameters() {
+  UNITS_CHECK(gates_ != nullptr);
+  return gates_->Parameters();
+}
+
+std::vector<float> GatedFusion::GateValues() const {
+  UNITS_CHECK(gates_ != nullptr);
+  const Tensor& logits = gates_->logits().data();
+  std::vector<float> values(static_cast<size_t>(logits.numel()));
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    values[static_cast<size_t>(i)] =
+        2.0f / (1.0f + std::exp(-logits[i]));
+  }
+  return values;
+}
+
+}  // namespace units::core

@@ -1,0 +1,87 @@
+#ifndef UNITS_CORE_FUSION_H_
+#define UNITS_CORE_FUSION_H_
+
+#include <memory>
+
+#include "core/estimator.h"
+#include "nn/linear.h"
+
+namespace units::core {
+
+/// Concatenation fusion (Section 3.2): z' = z_1 ⊕ ... ⊕ z_M. Non-learnable.
+class ConcatFusion : public FeatureFusion {
+ public:
+  std::string name() const override { return "concat"; }
+
+  int64_t Initialize(const std::vector<int64_t>& in_dims, Rng* rng) override;
+  Variable Transform(const std::vector<Variable>& zs) override;
+  int64_t fused_dim() const override { return fused_dim_; }
+
+ private:
+  int64_t fused_dim_ = 0;
+};
+
+/// Projection fusion: z' = p(z_1 ⊕ ... ⊕ z_M) with a learnable linear map
+/// p into a lower-dimensional latent space; its parameters are optimized
+/// during fine-tuning (Section 3.2 highlights this for clustering).
+class ProjectionFusion : public FeatureFusion {
+ public:
+  /// `out_dim` <= 0 picks a default of half the concatenated width.
+  explicit ProjectionFusion(int64_t out_dim = 0) : out_dim_(out_dim) {}
+
+  std::string name() const override { return "projection"; }
+
+  int64_t Initialize(const std::vector<int64_t>& in_dims, Rng* rng) override;
+  Variable Transform(const std::vector<Variable>& zs) override;
+  int64_t fused_dim() const override { return out_dim_; }
+  std::vector<Variable> Parameters() override;
+  nn::Module* module() override { return proj_.get(); }
+
+ private:
+  int64_t out_dim_;
+  std::shared_ptr<nn::Linear> proj_;
+};
+
+/// Gated fusion (an "advanced technique" extension beyond the paper's two
+/// basics): each template's representation is scaled by a learnable gate
+/// g_m = sigmoid(w_m) before concatenation, so fine-tuning can
+/// automatically down-weight templates that do not help the task —
+/// a soft, differentiable form of the paper's method-selection goal.
+class GatedFusion : public FeatureFusion {
+ public:
+  GatedFusion() = default;
+
+  std::string name() const override { return "gated"; }
+
+  int64_t Initialize(const std::vector<int64_t>& in_dims, Rng* rng) override;
+  Variable Transform(const std::vector<Variable>& zs) override;
+  int64_t fused_dim() const override { return fused_dim_; }
+  std::vector<Variable> Parameters() override;
+  nn::Module* module() override { return gates_.get(); }
+
+  /// Current gate values sigmoid(w_m), one per template (for inspection).
+  std::vector<float> GateValues() const;
+
+ private:
+  /// Trivial module holding the gate logits so serialization reuses the
+  /// standard named-parameter machinery.
+  class GateModule : public nn::Module {
+   public:
+    explicit GateModule(int64_t num_templates) {
+      logits_ = RegisterParameter(
+          "gate_logits", Variable(Tensor::Zeros({num_templates})));
+    }
+    Variable Forward(const Variable& input) override { return input; }
+    const Variable& logits() const { return logits_; }
+
+   private:
+    Variable logits_;
+  };
+
+  int64_t fused_dim_ = 0;
+  std::shared_ptr<GateModule> gates_;
+};
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_FUSION_H_

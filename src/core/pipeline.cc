@@ -1,0 +1,241 @@
+#include "core/pipeline.h"
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "core/registry.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+Result<std::unique_ptr<UnitsPipeline>> UnitsPipeline::Create(
+    const Config& config, int64_t input_channels) {
+  if (config.templates.empty()) {
+    return Status::InvalidArgument("pipeline needs at least one template");
+  }
+  auto pipeline = std::make_unique<UnitsPipeline>(input_channels, config.seed);
+  pipeline->config_ = config;
+
+  const ParamSet pretrain_params = ResolveParams(
+      config.mode, DefaultPretrainParams(), config.pretrain_params);
+  uint64_t seed = config.seed;
+  for (const std::string& name : config.templates) {
+    UNITS_ASSIGN_OR_RETURN(
+        std::unique_ptr<PretrainTemplate> tmpl,
+        MakePretrainTemplate(name, pretrain_params, input_channels, ++seed));
+    pipeline->AddTemplate(std::move(tmpl));
+  }
+
+  const ParamSet finetune_params = ResolveParams(
+      config.mode, DefaultFineTuneParams(), config.finetune_params);
+  UNITS_ASSIGN_OR_RETURN(std::unique_ptr<FeatureFusion> fusion,
+                         MakeFusion(config.fusion, finetune_params));
+  pipeline->SetFusion(std::move(fusion));
+
+  if (!config.task.empty()) {
+    UNITS_ASSIGN_OR_RETURN(std::unique_ptr<AnalysisTask> task,
+                           MakeTask(config.task, finetune_params));
+    pipeline->SetTask(std::move(task));
+  }
+  pipeline->SetFineTuneParams(finetune_params);
+  return pipeline;
+}
+
+UnitsPipeline::UnitsPipeline(int64_t input_channels, uint64_t seed)
+    : input_channels_(input_channels),
+      rng_(seed),
+      finetune_params_(DefaultFineTuneParams()) {
+  config_.seed = seed;
+}
+
+void UnitsPipeline::AddTemplate(std::unique_ptr<PretrainTemplate> tmpl) {
+  UNITS_CHECK(tmpl != nullptr);
+  UNITS_CHECK_MSG(!fusion_ready_, "cannot add templates after fusion init");
+  templates_.push_back(std::move(tmpl));
+}
+
+void UnitsPipeline::SetFusion(std::unique_ptr<FeatureFusion> fusion) {
+  UNITS_CHECK(fusion != nullptr);
+  fusion_ = std::move(fusion);
+  fusion_ready_ = false;
+}
+
+void UnitsPipeline::SetTask(std::unique_ptr<AnalysisTask> task) {
+  UNITS_CHECK(task != nullptr);
+  task_ = std::move(task);
+}
+
+void UnitsPipeline::SetFineTuneParams(const ParamSet& params) {
+  finetune_params_ = DefaultFineTuneParams().MergedWith(params);
+}
+
+Status UnitsPipeline::EnsureFusion() {
+  if (fusion_ready_) {
+    return Status::Ok();
+  }
+  if (templates_.empty()) {
+    return Status::FailedPrecondition("no pre-training templates configured");
+  }
+  if (fusion_ == nullptr) {
+    return Status::FailedPrecondition("no fusion module configured");
+  }
+  std::vector<int64_t> dims;
+  dims.reserve(templates_.size());
+  for (auto& tmpl : templates_) {
+    UNITS_RETURN_IF_ERROR(tmpl->Initialize());  // repr_dim needs the encoder
+    dims.push_back(tmpl->repr_dim());
+  }
+  fusion_->Initialize(dims, &rng_);
+  fusion_ready_ = true;
+  return Status::Ok();
+}
+
+Status UnitsPipeline::Pretrain(const Tensor& x) {
+  if (templates_.empty()) {
+    return Status::FailedPrecondition("no pre-training templates configured");
+  }
+  for (auto& tmpl : templates_) {
+    UNITS_LOG(Info) << "pre-training template '" << tmpl->name() << "'";
+    UNITS_RETURN_IF_ERROR(tmpl->Fit(x));
+  }
+  pretrained_ = true;
+  return Status::Ok();
+}
+
+Status UnitsPipeline::FineTune(const data::TimeSeriesDataset& train) {
+  if (task_ == nullptr) {
+    return Status::FailedPrecondition("no analysis task configured");
+  }
+  UNITS_RETURN_IF_ERROR(EnsureFusion());
+  return task_->Fit(this, train);
+}
+
+Result<TaskResult> UnitsPipeline::Predict(const Tensor& x) {
+  if (task_ == nullptr) {
+    return Status::FailedPrecondition("no analysis task configured");
+  }
+  UNITS_RETURN_IF_ERROR(EnsureFusion());
+  return task_->Predict(this, x);
+}
+
+Variable UnitsPipeline::EncodeFused(const Variable& x) {
+  EnsureFusion().CheckOk();
+  std::vector<Variable> zs;
+  zs.reserve(templates_.size());
+  for (auto& tmpl : templates_) {
+    zs.push_back(tmpl->Encode(x));
+  }
+  return fusion_->Transform(zs);
+}
+
+Variable UnitsPipeline::EncodeFusedPerTimestep(const Variable& x) {
+  EnsureFusion().CheckOk();
+  std::vector<Variable> zs;
+  zs.reserve(templates_.size());
+  for (auto& tmpl : templates_) {
+    zs.push_back(tmpl->EncodePerTimestep(x));
+  }
+  return fusion_->TransformPerTimestep(zs);
+}
+
+namespace {
+
+/// Batched no-grad evaluation of `encode` over the rows of x.
+Tensor BatchedEval(
+    const Tensor& x, const Shape& out_tail,
+    const std::function<Variable(const Variable&)>& encode) {
+  ag::NoGradGuard no_grad;
+  const int64_t n = x.dim(0);
+  Shape out_shape = out_tail;
+  out_shape.insert(out_shape.begin(), n);
+  Tensor out = Tensor::Zeros(out_shape);
+  const int64_t per_sample = out.numel() / std::max<int64_t>(n, 1);
+  const int64_t chunk = 64;
+  for (int64_t start = 0; start < n; start += chunk) {
+    const int64_t len = std::min(chunk, n - start);
+    Variable z = encode(Variable(ops::Slice(x, 0, start, len)));
+    std::copy(z.data().data(), z.data().data() + z.numel(),
+              out.data() + start * per_sample);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor UnitsPipeline::TransformFused(const Tensor& x) {
+  EnsureFusion().CheckOk();
+  const bool was_training = templates_.empty()
+                                ? false
+                                : templates_[0]->encoder()->training();
+  SetTraining(false);
+  Tensor out = BatchedEval(x, {fused_dim()}, [this](const Variable& batch) {
+    return EncodeFused(batch);
+  });
+  SetTraining(was_training);
+  return out;
+}
+
+Tensor UnitsPipeline::TransformFusedPerTimestep(const Tensor& x) {
+  EnsureFusion().CheckOk();
+  const bool was_training = templates_.empty()
+                                ? false
+                                : templates_[0]->encoder()->training();
+  SetTraining(false);
+  Tensor out = BatchedEval(
+      x, {fused_dim_per_timestep(), x.dim(2)},
+      [this](const Variable& batch) { return EncodeFusedPerTimestep(batch); });
+  SetTraining(was_training);
+  return out;
+}
+
+int64_t UnitsPipeline::fused_dim() {
+  EnsureFusion().CheckOk();
+  return fusion_->fused_dim();
+}
+
+int64_t UnitsPipeline::fused_dim_per_timestep() {
+  EnsureFusion().CheckOk();
+  return fusion_->fused_dim_per_timestep();
+}
+
+std::vector<Variable> UnitsPipeline::EncoderAndFusionParams() {
+  EnsureFusion().CheckOk();
+  std::vector<Variable> params;
+  if (finetune_params_.GetInt("finetune_encoder", 1) != 0) {
+    for (auto& tmpl : templates_) {
+      for (Variable& v : tmpl->encoder()->Parameters()) {
+        params.push_back(v);
+      }
+    }
+  }
+  for (Variable& v : fusion_->Parameters()) {
+    params.push_back(v);
+  }
+  return params;
+}
+
+void UnitsPipeline::SetTraining(bool training) {
+  for (auto& tmpl : templates_) {
+    if (tmpl->encoder() != nullptr) {
+      tmpl->encoder()->SetTraining(training);
+    }
+  }
+  if (fusion_ != nullptr && fusion_->module() != nullptr) {
+    fusion_->module()->SetTraining(training);
+  }
+  if (task_ != nullptr && task_->head() != nullptr) {
+    task_->head()->SetTraining(training);
+  }
+}
+
+std::vector<std::vector<float>> UnitsPipeline::PretrainLossCurves() const {
+  std::vector<std::vector<float>> curves;
+  curves.reserve(templates_.size());
+  for (const auto& tmpl : templates_) {
+    curves.push_back(tmpl->loss_history());
+  }
+  return curves;
+}
+
+}  // namespace units::core

@@ -1,0 +1,131 @@
+#ifndef UNITS_CORE_PIPELINE_H_
+#define UNITS_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace units::core {
+
+/// The UniTS pipeline (Figure 1): one or more self-supervised pre-training
+/// instances, a feature-fusion module, and an analysis-task module. The
+/// pipeline is the single entry point users interact with:
+///
+///   UnitsPipeline::Config cfg;
+///   cfg.templates = {"timestamp_contrastive", "masked_autoregression"};
+///   cfg.task = "classification";
+///   auto pipeline = UnitsPipeline::Create(cfg, /*input_channels=*/3);
+///   pipeline->Pretrain(unlabeled_x);      // self-supervised, labels unused
+///   pipeline->FineTune(small_labeled);    // task-specific fine-tuning
+///   auto result = pipeline->Predict(test_x);
+class UnitsPipeline {
+ public:
+  /// Declarative pipeline configuration (resolved through the registry).
+  struct Config {
+    std::vector<std::string> templates = {"timestamp_contrastive"};
+    std::string fusion = "concat";
+    std::string task = "classification";
+    ConfigMode mode = ConfigMode::kDefault;
+    ParamSet pretrain_params;  // Manual-mode overrides
+    ParamSet finetune_params;
+    uint64_t seed = 42;
+  };
+
+  /// Builds a pipeline from names via the registry.
+  static Result<std::unique_ptr<UnitsPipeline>> Create(
+      const Config& config, int64_t input_channels);
+
+  /// Manual assembly (for custom templates/tasks not in the registry).
+  UnitsPipeline(int64_t input_channels, uint64_t seed);
+
+  UnitsPipeline(const UnitsPipeline&) = delete;
+  UnitsPipeline& operator=(const UnitsPipeline&) = delete;
+
+  void AddTemplate(std::unique_ptr<PretrainTemplate> tmpl);
+  void SetFusion(std::unique_ptr<FeatureFusion> fusion);
+  void SetTask(std::unique_ptr<AnalysisTask> task);
+  void SetFineTuneParams(const ParamSet& params);
+
+  // --- the three pipeline stages -------------------------------------------
+
+  /// Stage 1: self-supervised pre-training of every template on unlabeled
+  /// X [N, D, T]. Needed only once per dataset; all downstream tasks reuse
+  /// the encoders.
+  Status Pretrain(const Tensor& x);
+
+  /// Stage 2+3: fine-tunes fusion + task head (and optionally the encoders)
+  /// on the task's (possibly small) training data.
+  Status FineTune(const data::TimeSeriesDataset& train);
+
+  /// Inference through the fitted pipeline.
+  Result<TaskResult> Predict(const Tensor& x);
+
+  // --- services used by AnalysisTask implementations ------------------------
+
+  /// Differentiable fused pooled encoding [B, D, T] -> [B, K'].
+  Variable EncodeFused(const Variable& x);
+
+  /// Differentiable fused per-timestep encoding [B, D, T] -> [B, K'_pt, T].
+  Variable EncodeFusedPerTimestep(const Variable& x);
+
+  /// No-grad fused representations of a full dataset (batched internally).
+  Tensor TransformFused(const Tensor& x);
+  Tensor TransformFusedPerTimestep(const Tensor& x);
+
+  int64_t fused_dim();
+  int64_t fused_dim_per_timestep();
+  int64_t input_channels() const { return input_channels_; }
+
+  /// Encoder + fusion parameters for fine-tuning (empty when the finetune
+  /// params freeze the encoders via finetune_encoder=0; fusion parameters
+  /// are always trainable).
+  std::vector<Variable> EncoderAndFusionParams();
+
+  /// Puts all modules in train/eval mode.
+  void SetTraining(bool training);
+
+  const ParamSet& finetune_params() const { return finetune_params_; }
+  Rng* rng() { return &rng_; }
+
+  size_t num_templates() const { return templates_.size(); }
+  PretrainTemplate* template_at(size_t i) { return templates_.at(i).get(); }
+  FeatureFusion* fusion() { return fusion_.get(); }
+  AnalysisTask* task() { return task_.get(); }
+  bool pretrained() const { return pretrained_; }
+
+  /// Per-template pre-training loss curves (the GUI's monitoring plots).
+  std::vector<std::vector<float>> PretrainLossCurves() const;
+
+  // --- persistence (Section 4: "save the model as a standard JSON file") ----
+
+  Status SaveJson(const std::string& path) const;
+
+  /// Restores a pipeline saved by SaveJson. The configuration (template
+  /// names, hyper-parameters, fusion, task) is read from the file.
+  static Result<std::unique_ptr<UnitsPipeline>> LoadJson(
+      const std::string& path);
+
+  /// Marks the pipeline as pre-trained without running Pretrain; used when
+  /// restoring encoder weights from a saved model.
+  void MarkPretrained() { pretrained_ = true; }
+
+ private:
+  /// Initializes the fusion module once all template widths are known.
+  Status EnsureFusion();
+
+  int64_t input_channels_;
+  Rng rng_;
+  std::vector<std::unique_ptr<PretrainTemplate>> templates_;
+  std::unique_ptr<FeatureFusion> fusion_;
+  std::unique_ptr<AnalysisTask> task_;
+  ParamSet finetune_params_;
+  Config config_;  // retained for serialization
+  bool fusion_ready_ = false;
+  bool pretrained_ = false;
+};
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_PIPELINE_H_

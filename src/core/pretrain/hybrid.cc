@@ -1,0 +1,66 @@
+#include "base/check.h"
+#include "core/pretrain/templates.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+HybridPretrain::HybridPretrain(const ParamSet& params,
+                               int64_t input_channels, uint64_t seed)
+    : PretrainBase(params, input_channels, seed),
+      views_(augment::AugmentationPipeline::ContrastiveViews(
+          static_cast<float>(params_.GetDouble("aug_jitter", 0.3)),
+          static_cast<float>(params_.GetDouble("aug_scale", 0.3)),
+          static_cast<float>(params_.GetDouble("aug_mask_ratio", 0.15)),
+          static_cast<float>(params_.GetDouble("aug_time_warp", 0.2)))),
+      alpha_(static_cast<float>(params_.GetDouble("hybrid_alpha", 0.5))) {}
+
+Status HybridPretrain::EnsureDecoder() {
+  UNITS_RETURN_IF_ERROR(EnsureEncoder());
+  if (decoder_ == nullptr) {
+    decoder_ = std::make_shared<nn::ReconstructionDecoder>(
+        repr_dim(), input_channels(), &rng_,
+        params_.GetInt("hidden_channels", 32));
+  }
+  return Status::Ok();
+}
+
+std::vector<Variable> HybridPretrain::ExtraTrainableParams() {
+  EnsureDecoder().CheckOk();
+  return decoder_->Parameters();
+}
+
+Variable HybridPretrain::BuildLoss(const Tensor& batch_values, Rng* rng) {
+  EnsureDecoder().CheckOk();
+  const float temperature =
+      static_cast<float>(params_.GetDouble("temperature", 0.2));
+  const float mask_ratio =
+      static_cast<float>(params_.GetDouble("mask_ratio", 0.25));
+  const float mean_block =
+      static_cast<float>(params_.GetDouble("mask_mean_block", 5.0));
+
+  // Contrastive branch (temporal contrasting of two augmented views).
+  Tensor view1 = views_.Apply(batch_values, rng);
+  Tensor view2 = views_.Apply(batch_values, rng);
+  Variable z1 = Encode(Variable(std::move(view1)));
+  Variable z2 = Encode(Variable(std::move(view2)));
+  Variable contrastive = NtXentLoss(z1, z2, temperature);
+
+  // Predictive branch (masked-value reconstruction).
+  Tensor observe_mask = data::MakeMissingMask(batch_values.shape(),
+                                              mask_ratio, mean_block, rng);
+  Tensor masked_input = ops::Mul(batch_values, observe_mask);
+  Variable repr = EncodePerTimestep(Variable(std::move(masked_input)));
+  Variable pred = decoder_->Forward(repr);
+  Tensor loss_mask = ops::UnaryOp(observe_mask,
+                                  [](float m) { return 1.0f - m; });
+  Variable predictive =
+      ag::MaskedMseLoss(pred, Variable(batch_values), loss_mask);
+
+  return ag::Add(ag::MulScalar(contrastive, alpha_),
+                 ag::MulScalar(predictive, 1.0f - alpha_));
+}
+
+}  // namespace units::core

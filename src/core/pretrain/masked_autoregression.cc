@@ -1,0 +1,52 @@
+#include "base/check.h"
+#include "core/pretrain/templates.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+MaskedAutoregression::MaskedAutoregression(const ParamSet& params,
+                                           int64_t input_channels,
+                                           uint64_t seed)
+    : PretrainBase(params, input_channels, seed) {}
+
+Status MaskedAutoregression::EnsureDecoder() {
+  UNITS_RETURN_IF_ERROR(EnsureEncoder());
+  if (decoder_ == nullptr) {
+    decoder_ = std::make_shared<nn::ReconstructionDecoder>(
+        repr_dim(), input_channels(), &rng_,
+        params_.GetInt("hidden_channels", 32));
+  }
+  return Status::Ok();
+}
+
+std::vector<Variable> MaskedAutoregression::ExtraTrainableParams() {
+  EnsureDecoder().CheckOk();
+  return decoder_->Parameters();
+}
+
+Variable MaskedAutoregression::BuildLoss(const Tensor& batch_values,
+                                         Rng* rng) {
+  EnsureDecoder().CheckOk();
+  const float mask_ratio =
+      static_cast<float>(params_.GetDouble("mask_ratio", 0.25));
+  const float mean_block =
+      static_cast<float>(params_.GetDouble("mask_mean_block", 5.0));
+
+  // Observation mask (1 = visible, 0 = masked-out / to be predicted).
+  Tensor observe_mask = data::MakeMissingMask(batch_values.shape(),
+                                              mask_ratio, mean_block, rng);
+  Tensor masked_input = ops::Mul(batch_values, observe_mask);
+
+  Variable repr = EncodePerTimestep(Variable(std::move(masked_input)));
+  Variable pred = decoder_->Forward(repr);  // [B, D, T]
+
+  // Predict the *masked* values only, as in TST: loss mask = 1 - observe.
+  Tensor loss_mask = ops::UnaryOp(observe_mask,
+                                  [](float m) { return 1.0f - m; });
+  return ag::MaskedMseLoss(pred, Variable(batch_values), loss_mask);
+}
+
+}  // namespace units::core

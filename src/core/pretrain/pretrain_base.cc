@@ -1,0 +1,200 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "core/pretrain/templates.h"
+#include "data/dataloader.h"
+#include "optim/optimizer.h"
+#include "optim/schedule.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+PretrainBase::PretrainBase(const ParamSet& params, int64_t input_channels,
+                           uint64_t seed)
+    : params_(DefaultPretrainParams().MergedWith(params)),
+      input_channels_(input_channels),
+      rng_(seed) {}
+
+Status PretrainBase::EnsureEncoder() {
+  if (encoder_.module != nullptr) {
+    return Status::Ok();
+  }
+  UNITS_ASSIGN_OR_RETURN(encoder_,
+                         BuildEncoder(params_, input_channels_, &rng_));
+  return Status::Ok();
+}
+
+Status PretrainBase::Fit(const Tensor& x) {
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("Fit expects X of shape [N, D, T]");
+  }
+  if (x.dim(1) != input_channels_) {
+    return Status::InvalidArgument("channel count mismatch");
+  }
+  if (x.dim(0) < 2) {
+    return Status::InvalidArgument("need at least 2 samples to pre-train");
+  }
+  UNITS_RETURN_IF_ERROR(EnsureEncoder());
+
+  const int64_t epochs = params_.GetInt("epochs", 20);
+  const int64_t batch_size = params_.GetInt("batch_size", 16);
+  const float lr = static_cast<float>(params_.GetDouble("lr", 1e-3));
+  const float weight_decay =
+      static_cast<float>(params_.GetDouble("weight_decay", 1e-5));
+  const float clip_norm =
+      static_cast<float>(params_.GetDouble("clip_norm", 5.0));
+
+  // Run one BuildLoss first so templates that lazily construct auxiliary
+  // modules (decoders) have created their parameters before the optimizer
+  // snapshots the parameter list.
+  encoder_.module->SetTraining(true);
+  {
+    Tensor probe = ops::Slice(x, 0, 0, std::min<int64_t>(2, x.dim(0)));
+    (void)BuildLoss(probe, &rng_);
+  }
+
+  std::vector<Variable> trainable = encoder_.module->Parameters();
+  for (Variable& v : ExtraTrainableParams()) {
+    trainable.push_back(v);
+  }
+  optim::Adam opt(trainable, lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+
+  // Per-epoch learning-rate schedule ("constant" or "cosine" with a short
+  // warmup, the common pre-training recipe).
+  std::unique_ptr<optim::LrSchedule> schedule;
+  if (params_.GetString("lr_schedule", "constant") == "cosine") {
+    schedule = std::make_unique<optim::CosineLr>(
+        epochs, std::min<int64_t>(epochs / 10, 5), /*final_fraction=*/0.1f);
+  } else {
+    schedule = std::make_unique<optim::ConstantLr>();
+  }
+
+  data::TimeSeriesDataset dataset(x);
+  data::DataLoader loader(&dataset, batch_size, /*shuffle=*/true, &rng_);
+
+  loss_history_.clear();
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    opt.set_lr(lr * schedule->Multiplier(epoch));
+    loader.Reset();
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    while (loader.Next(&batch)) {
+      Variable loss = BuildLoss(batch.values, &rng_);
+      opt.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(trainable, clip_norm);
+      opt.Step();
+      epoch_loss += loss.item();
+      ++num_batches;
+    }
+    const float mean_loss =
+        static_cast<float>(epoch_loss / std::max<int64_t>(1, num_batches));
+    loss_history_.push_back(mean_loss);
+    UNITS_LOG(Debug) << name() << " epoch " << epoch << " loss " << mean_loss;
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Tensor PretrainBase::Transform(const Tensor& x) {
+  UNITS_CHECK_EQ(x.ndim(), 3);
+  EnsureEncoder().CheckOk();
+  ag::NoGradGuard no_grad;
+  const bool was_training = encoder_.module->training();
+  encoder_.module->SetTraining(false);
+  const int64_t n = x.dim(0);
+  const int64_t chunk = 64;
+  Tensor out = Tensor::Zeros({n, repr_dim()});
+  for (int64_t start = 0; start < n; start += chunk) {
+    const int64_t len = std::min(chunk, n - start);
+    Variable batch(ops::Slice(x, 0, start, len));
+    Variable z = ag::MaxPoolOverTime(encoder_.module->Forward(batch));
+    std::copy(z.data().data(), z.data().data() + z.numel(),
+              out.data() + start * repr_dim());
+  }
+  encoder_.module->SetTraining(was_training);
+  return out;
+}
+
+Tensor PretrainBase::TransformPerTimestep(const Tensor& x) {
+  UNITS_CHECK_EQ(x.ndim(), 3);
+  EnsureEncoder().CheckOk();
+  ag::NoGradGuard no_grad;
+  const bool was_training = encoder_.module->training();
+  encoder_.module->SetTraining(false);
+  const int64_t n = x.dim(0);
+  const int64_t t = x.dim(2);
+  const int64_t chunk = 64;
+  Tensor out = Tensor::Zeros({n, repr_dim(), t});
+  const int64_t per_sample = repr_dim() * t;
+  for (int64_t start = 0; start < n; start += chunk) {
+    const int64_t len = std::min(chunk, n - start);
+    Variable batch(ops::Slice(x, 0, start, len));
+    Variable z = encoder_.module->Forward(batch);
+    std::copy(z.data().data(), z.data().data() + z.numel(),
+              out.data() + start * per_sample);
+  }
+  encoder_.module->SetTraining(was_training);
+  return out;
+}
+
+Variable PretrainBase::Encode(const Variable& x) {
+  EnsureEncoder().CheckOk();
+  return ag::MaxPoolOverTime(encoder_.module->Forward(x));
+}
+
+Variable PretrainBase::EncodePerTimestep(const Variable& x) {
+  EnsureEncoder().CheckOk();
+  return encoder_.module->Forward(x);
+}
+
+// --- shared loss building blocks --------------------------------------------
+
+Variable NtXentLoss(const Variable& z1, const Variable& z2,
+                    float temperature) {
+  UNITS_CHECK_EQ(z1.ndim(), 2);
+  UNITS_CHECK(SameShape(z1.shape(), z2.shape()));
+  const int64_t b = z1.dim(0);
+  Variable z1n = ag::L2Normalize(z1, /*axis=*/1);
+  Variable z2n = ag::L2Normalize(z2, /*axis=*/1);
+  Variable z = ag::Concat({z1n, z2n}, /*axis=*/0);  // [2B, K]
+  Variable sim = ag::MulScalar(ag::MatMul(z, ag::Transpose(z, 0, 1)),
+                               1.0f / temperature);  // [2B, 2B]
+  // Mask self-similarity on the diagonal.
+  Tensor diag_mask = Tensor::Zeros({2 * b, 2 * b});
+  for (int64_t i = 0; i < 2 * b; ++i) {
+    diag_mask.data()[i * 2 * b + i] = -1e9f;
+  }
+  sim = ag::Add(sim, ag::Constant(std::move(diag_mask)));
+  // Row i's positive is its partner view.
+  std::vector<int64_t> targets(static_cast<size_t>(2 * b));
+  for (int64_t i = 0; i < b; ++i) {
+    targets[static_cast<size_t>(i)] = b + i;
+    targets[static_cast<size_t>(b + i)] = i;
+  }
+  return ag::CrossEntropyLoss(sim, targets);
+}
+
+Variable LogSigmoid(const Variable& x) {
+  // Stable: logsigmoid(x) = min(x,0) - log(1 + exp(-|x|)).
+  Tensor out = ops::UnaryOp(x.data(), [](float v) {
+    return std::min(v, 0.0f) - std::log1p(std::exp(-std::fabs(v)));
+  });
+  return Variable::MakeNode(std::move(out), {x}, [x](const Tensor& g) {
+    // d/dx logsigmoid(x) = sigmoid(-x).
+    Tensor dx = ops::BinaryOp(g, x.data(), [](float gi, float v) {
+      return gi / (1.0f + std::exp(v));
+    });
+    if (x.requires_grad()) {
+      x.AccumulateGrad(dx);
+    }
+  });
+}
+
+}  // namespace units::core

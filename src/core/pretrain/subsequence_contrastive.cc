@@ -1,0 +1,65 @@
+#include <algorithm>
+
+#include "base/check.h"
+#include "core/pretrain/templates.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+SubsequenceContrastive::SubsequenceContrastive(const ParamSet& params,
+                                               int64_t input_channels,
+                                               uint64_t seed)
+    : PretrainBase(params, input_channels, seed) {}
+
+Variable SubsequenceContrastive::BuildLoss(const Tensor& batch_values,
+                                           Rng* rng) {
+  EnsureEncoder().CheckOk();
+  const int64_t b = batch_values.dim(0);
+  const int64_t t = batch_values.dim(2);
+  const float crop_frac =
+      static_cast<float>(params_.GetDouble("crop_frac", 0.6));
+  const int64_t neg_samples = std::max<int64_t>(
+      1, params_.GetInt("neg_samples", 8));
+  const int64_t anchor_len = std::max<int64_t>(
+      8, static_cast<int64_t>(crop_frac * static_cast<float>(t)));
+  const int64_t pos_len = std::max<int64_t>(4, anchor_len / 2);
+
+  // Anchor crop and a same-series positive crop (Franceschi et al.: the
+  // positive is a subseries of the same time series).
+  Tensor anchors = augment::RandomCrop(batch_values, anchor_len, rng);
+  Tensor positives = augment::RandomCrop(batch_values, pos_len, rng);
+
+  Variable za = Encode(Variable(std::move(anchors)));    // [B, K]
+  Variable zp = Encode(Variable(std::move(positives)));  // [B, K]
+
+  // -log sigmoid(za . zp)
+  Variable pos_logit = ag::Sum(ag::Mul(za, zp), /*axis=*/1);
+  Variable loss = ag::Neg(ag::MeanAll(LogSigmoid(pos_logit)));
+
+  // Negatives: crops of other series in the batch, drawn by shifting the
+  // sample order (i -> i + shift mod B guarantees a different series when
+  // B > 1).
+  for (int64_t k = 0; k < neg_samples; ++k) {
+    std::vector<int64_t> shifted(static_cast<size_t>(b));
+    const int64_t shift =
+        b > 1 ? 1 + static_cast<int64_t>(rng->UniformInt(
+                        static_cast<uint64_t>(b - 1)))
+              : 0;
+    for (int64_t i = 0; i < b; ++i) {
+      shifted[static_cast<size_t>(i)] = (i + shift) % b;
+    }
+    Tensor other = ops::GatherRows(batch_values, shifted);
+    Tensor neg_crop = augment::RandomCrop(other, pos_len, rng);
+    Variable zn = Encode(Variable(std::move(neg_crop)));
+    Variable neg_logit = ag::Sum(ag::Mul(za, zn), /*axis=*/1);
+    Variable neg_term = ag::Neg(ag::MeanAll(LogSigmoid(ag::Neg(neg_logit))));
+    loss = ag::Add(loss,
+                   ag::MulScalar(neg_term,
+                                 1.0f / static_cast<float>(neg_samples)));
+  }
+  return loss;
+}
+
+}  // namespace units::core

@@ -1,0 +1,150 @@
+#ifndef UNITS_CORE_PRETRAIN_TEMPLATES_H_
+#define UNITS_CORE_PRETRAIN_TEMPLATES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "augment/augment.h"
+#include "core/encoder_factory.h"
+#include "core/estimator.h"
+#include "nn/heads.h"
+
+namespace units::core {
+
+/// Shared machinery for the concrete templates: encoder construction from
+/// hyper-parameters, the Adam pre-training loop around BuildLoss, batched
+/// no-grad Transform, and differentiable Encode for fine-tuning.
+class PretrainBase : public PretrainTemplate {
+ public:
+  PretrainBase(const ParamSet& params, int64_t input_channels, uint64_t seed);
+
+  Status Fit(const Tensor& x) override;
+  Tensor Transform(const Tensor& x) override;
+  Tensor TransformPerTimestep(const Tensor& x) override;
+  Variable Encode(const Variable& x) override;
+  Variable EncodePerTimestep(const Variable& x) override;
+  int64_t repr_dim() const override { return encoder_.repr_dim; }
+  nn::Module* encoder() override { return encoder_.module.get(); }
+  Status Initialize() override { return EnsureEncoder(); }
+  const std::vector<float>& loss_history() const override {
+    return loss_history_;
+  }
+
+  const ParamSet& params() const { return params_; }
+  int64_t input_channels() const { return input_channels_; }
+
+ protected:
+  /// Lazily builds the encoder on first use (input width is known at
+  /// construction, so this just defers the RNG draw order).
+  Status EnsureEncoder();
+
+  /// Parameters of auxiliary modules that train alongside the encoder
+  /// (e.g. a masked-prediction decoder). Default: none.
+  virtual std::vector<Variable> ExtraTrainableParams() { return {}; }
+
+  ParamSet params_;
+  int64_t input_channels_;
+  Rng rng_;
+  EncoderHandle encoder_;
+  std::vector<float> loss_history_;
+  bool fitted_ = false;
+};
+
+/// Whole-series contrastive learning (time/frequency augmented views of the
+/// full series, NT-Xent across the batch) — the series-level granularity of
+/// the paper's contrastive family [TF-C, ref 10].
+class WholeSeriesContrastive : public PretrainBase {
+ public:
+  WholeSeriesContrastive(const ParamSet& params, int64_t input_channels,
+                         uint64_t seed);
+
+  std::string name() const override { return "whole_series_contrastive"; }
+  Variable BuildLoss(const Tensor& batch_values, Rng* rng) override;
+
+ private:
+  augment::AugmentationPipeline views_;
+  bool use_frequency_view_;
+};
+
+/// Sub-sequence contrastive learning with the triplet objective of
+/// Franceschi et al. [ref 2]: an anchor crop should be closer to a crop of
+/// the same series than to crops of other series.
+class SubsequenceContrastive : public PretrainBase {
+ public:
+  SubsequenceContrastive(const ParamSet& params, int64_t input_channels,
+                         uint64_t seed);
+
+  std::string name() const override { return "subsequence_contrastive"; }
+  Variable BuildLoss(const Tensor& batch_values, Rng* rng) override;
+};
+
+/// Timestamp-level contrastive learning (TS2Vec-style [ref 8]): two
+/// overlapping crops; matching timestamps in the overlap must agree both
+/// against other timestamps (temporal contrast) and against other samples
+/// (instance contrast).
+class TimestampContrastive : public PretrainBase {
+ public:
+  TimestampContrastive(const ParamSet& params, int64_t input_channels,
+                       uint64_t seed);
+
+  std::string name() const override { return "timestamp_contrastive"; }
+  Variable BuildLoss(const Tensor& batch_values, Rng* rng) override;
+};
+
+/// Masked-value autoregression (TST-style [ref 9]): random time segments
+/// are zeroed and the encoder + linear decoder must reconstruct them.
+class MaskedAutoregression : public PretrainBase {
+ public:
+  MaskedAutoregression(const ParamSet& params, int64_t input_channels,
+                       uint64_t seed);
+
+  std::string name() const override { return "masked_autoregression"; }
+  Variable BuildLoss(const Tensor& batch_values, Rng* rng) override;
+
+  /// The reconstruction decoder participates in pre-training only.
+  nn::Module* decoder() { return decoder_.get(); }
+
+ protected:
+  std::vector<Variable> ExtraTrainableParams() override;
+
+ private:
+  Status EnsureDecoder();
+  std::shared_ptr<nn::ReconstructionDecoder> decoder_;
+};
+
+/// Hybrid objective [TS-TCC-like, ref 1]: convex combination of the
+/// whole-series contrastive loss and the masked-prediction loss.
+class HybridPretrain : public PretrainBase {
+ public:
+  HybridPretrain(const ParamSet& params, int64_t input_channels,
+                 uint64_t seed);
+
+  std::string name() const override { return "hybrid"; }
+  Variable BuildLoss(const Tensor& batch_values, Rng* rng) override;
+
+  nn::Module* decoder() { return decoder_.get(); }
+
+ protected:
+  std::vector<Variable> ExtraTrainableParams() override;
+
+ private:
+  Status EnsureDecoder();
+  augment::AugmentationPipeline views_;
+  std::shared_ptr<nn::ReconstructionDecoder> decoder_;
+  float alpha_;
+};
+
+// --- shared loss building blocks (exposed for tests) ------------------------
+
+/// NT-Xent (normalized temperature-scaled cross entropy) between two view
+/// batches z1, z2 of shape [B, K]. Both directions averaged.
+Variable NtXentLoss(const Variable& z1, const Variable& z2,
+                    float temperature);
+
+/// Numerically stable log(sigmoid(x)) as a Variable op composition.
+Variable LogSigmoid(const Variable& x);
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_PRETRAIN_TEMPLATES_H_

@@ -1,0 +1,107 @@
+#include <algorithm>
+
+#include "base/check.h"
+#include "core/pretrain/templates.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+TimestampContrastive::TimestampContrastive(const ParamSet& params,
+                                           int64_t input_channels,
+                                           uint64_t seed)
+    : PretrainBase(params, input_channels, seed) {}
+
+Variable TimestampContrastive::BuildLoss(const Tensor& batch_values,
+                                         Rng* rng) {
+  EnsureEncoder().CheckOk();
+  const int64_t b = batch_values.dim(0);
+  const int64_t t = batch_values.dim(2);
+  const float temperature =
+      static_cast<float>(params_.GetDouble("temperature", 0.2));
+  const float crop_frac =
+      static_cast<float>(params_.GetDouble("crop_frac", 0.6));
+  const int64_t crop_len = std::clamp<int64_t>(
+      static_cast<int64_t>(crop_frac * static_cast<float>(t)), 8, t);
+
+  // Two overlapping crops; the same offsets are used for the whole batch so
+  // the overlap region lines up as a dense tensor. Offsets differ by at
+  // most crop_len/4 so the overlap is at least 3/4 of the crop.
+  const int64_t max_start = t - crop_len;
+  const int64_t o1 = max_start > 0
+                         ? static_cast<int64_t>(rng->UniformInt(
+                               static_cast<uint64_t>(max_start + 1)))
+                         : 0;
+  const int64_t max_delta = std::max<int64_t>(1, crop_len / 4);
+  int64_t o2 = o1 + rng->UniformInt(-max_delta, max_delta);
+  o2 = std::clamp<int64_t>(o2, 0, max_start);
+
+  const int64_t ov_start = std::max(o1, o2);
+  const int64_t ov_end = std::min(o1, o2) + crop_len;
+  const int64_t ov_len = ov_end - ov_start;
+  UNITS_CHECK_GT(ov_len, 0);
+
+  // Independent corruption of each crop (jitter + timestamp masking, as in
+  // TS2Vec): without it overlapping timestamps see near-identical context
+  // and the contrastive task is trivially solved without learning.
+  const float jitter =
+      static_cast<float>(params_.GetDouble("aug_jitter", 0.3));
+  const float mask_ratio =
+      static_cast<float>(params_.GetDouble("aug_mask_ratio", 0.15));
+  Tensor c1 = ops::Slice(batch_values, 2, o1, crop_len);
+  Tensor c2 = ops::Slice(batch_values, 2, o2, crop_len);
+  c1 = augment::TimeMask(augment::Jitter(c1, jitter, rng), mask_ratio, 3.0f,
+                         rng);
+  c2 = augment::TimeMask(augment::Jitter(c2, jitter, rng), mask_ratio, 3.0f,
+                         rng);
+  Variable r1 = EncodePerTimestep(Variable(std::move(c1)));  // [B, K, L]
+  Variable r2 = EncodePerTimestep(Variable(std::move(c2)));
+
+  // Overlap regions in each crop's local coordinates, L2-normalized over K.
+  Variable r1ov = ag::L2Normalize(
+      ag::Slice(r1, 2, ov_start - o1, ov_len), /*axis=*/1);  // [B, K, Lov]
+  Variable r2ov = ag::L2Normalize(
+      ag::Slice(r2, 2, ov_start - o2, ov_len), /*axis=*/1);
+
+  Variable r1t = ag::Transpose(r1ov, 1, 2);  // [B, Lov, K]
+  Variable r2t = ag::Transpose(r2ov, 1, 2);
+
+  // Temporal contrast: timestamp t of view 1 must pick out timestamp t of
+  // view 2 among all overlap timestamps (and symmetrically).
+  std::vector<int64_t> time_targets(static_cast<size_t>(b * ov_len));
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < ov_len; ++j) {
+      time_targets[static_cast<size_t>(i * ov_len + j)] = j;
+    }
+  }
+  Variable s12 = ag::MulScalar(ag::BatchedMatMul(r1t, r2ov),
+                               1.0f / temperature);  // [B, Lov, Lov]
+  Variable s21 = ag::MulScalar(ag::BatchedMatMul(r2t, r1ov),
+                               1.0f / temperature);
+  Variable temporal = ag::MulScalar(
+      ag::Add(ag::CrossEntropyLoss(
+                  ag::Reshape(s12, {b * ov_len, ov_len}), time_targets),
+              ag::CrossEntropyLoss(
+                  ag::Reshape(s21, {b * ov_len, ov_len}), time_targets)),
+      0.5f);
+
+  // Instance contrast: at sampled timestamps, sample i of view 1 must pick
+  // out sample i of view 2 across the batch (NT-Xent over the batch).
+  const int64_t num_stamps = std::min<int64_t>(
+      ov_len, std::max<int64_t>(1, params_.GetInt("instance_timestamps", 8)));
+  Variable instance;
+  for (int64_t s = 0; s < num_stamps; ++s) {
+    const int64_t stamp = static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(ov_len)));
+    Variable z1 = ag::Reshape(ag::Slice(r1ov, 2, stamp, 1), {b, repr_dim()});
+    Variable z2 = ag::Reshape(ag::Slice(r2ov, 2, stamp, 1), {b, repr_dim()});
+    Variable term = ag::MulScalar(NtXentLoss(z1, z2, temperature),
+                                  1.0f / static_cast<float>(num_stamps));
+    instance = instance.defined() ? ag::Add(instance, term) : term;
+  }
+
+  return ag::MulScalar(ag::Add(temporal, instance), 0.5f);
+}
+
+}  // namespace units::core

@@ -1,0 +1,38 @@
+#include "base/check.h"
+#include "core/pretrain/templates.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+WholeSeriesContrastive::WholeSeriesContrastive(const ParamSet& params,
+                                               int64_t input_channels,
+                                               uint64_t seed)
+    : PretrainBase(params, input_channels, seed),
+      views_(augment::AugmentationPipeline::ContrastiveViews(
+          static_cast<float>(params_.GetDouble("aug_jitter", 0.3)),
+          static_cast<float>(params_.GetDouble("aug_scale", 0.3)),
+          static_cast<float>(params_.GetDouble("aug_mask_ratio", 0.15)),
+          static_cast<float>(params_.GetDouble("aug_time_warp", 0.2)))),
+      use_frequency_view_(params_.GetInt("use_frequency_view", 1) != 0) {}
+
+Variable WholeSeriesContrastive::BuildLoss(const Tensor& batch_values,
+                                           Rng* rng) {
+  EnsureEncoder().CheckOk();
+  const float temperature =
+      static_cast<float>(params_.GetDouble("temperature", 0.2));
+
+  // View 1: time-domain augmentations (jitter + scale + masking).
+  Tensor view1 = views_.Apply(batch_values, rng);
+  // View 2: a frequency-domain perturbation (TF-C style) or an independent
+  // draw of the time-domain pipeline.
+  Tensor view2 = use_frequency_view_
+                     ? augment::FrequencyPerturb(batch_values, 0.1f, 0.1f, rng)
+                     : views_.Apply(batch_values, rng);
+
+  Variable z1 = Encode(Variable(std::move(view1)));
+  Variable z2 = Encode(Variable(std::move(view2)));
+  return NtXentLoss(z1, z2, temperature);
+}
+
+}  // namespace units::core

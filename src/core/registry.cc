@@ -1,0 +1,159 @@
+#include "core/registry.h"
+
+#include <map>
+
+#include "core/fusion.h"
+#include "core/pretrain/templates.h"
+#include "core/tasks/tasks.h"
+
+namespace units::core {
+
+namespace {
+
+// Function-local statics avoid global-initialization-order issues; the
+// registries are plain pointers that intentionally live until process exit.
+std::map<std::string, PretrainFactory>& PretrainRegistry() {
+  static auto& registry = *new std::map<std::string, PretrainFactory>();
+  return registry;
+}
+
+std::map<std::string, FusionFactory>& FusionRegistry() {
+  static auto& registry = *new std::map<std::string, FusionFactory>();
+  return registry;
+}
+
+std::map<std::string, TaskFactory>& TaskRegistry() {
+  static auto& registry = *new std::map<std::string, TaskFactory>();
+  return registry;
+}
+
+void EnsureBuiltins() {
+  static const bool initialized = [] {
+    RegisterPretrainTemplate(
+        "whole_series_contrastive",
+        [](const ParamSet& p, int64_t c, uint64_t s) {
+          return std::make_unique<WholeSeriesContrastive>(p, c, s);
+        });
+    RegisterPretrainTemplate(
+        "subsequence_contrastive",
+        [](const ParamSet& p, int64_t c, uint64_t s) {
+          return std::make_unique<SubsequenceContrastive>(p, c, s);
+        });
+    RegisterPretrainTemplate(
+        "timestamp_contrastive",
+        [](const ParamSet& p, int64_t c, uint64_t s) {
+          return std::make_unique<TimestampContrastive>(p, c, s);
+        });
+    RegisterPretrainTemplate(
+        "masked_autoregression",
+        [](const ParamSet& p, int64_t c, uint64_t s) {
+          return std::make_unique<MaskedAutoregression>(p, c, s);
+        });
+    RegisterPretrainTemplate(
+        "hybrid", [](const ParamSet& p, int64_t c, uint64_t s) {
+          return std::make_unique<HybridPretrain>(p, c, s);
+        });
+
+    RegisterFusion("concat", [](const ParamSet&) {
+      return std::make_unique<ConcatFusion>();
+    });
+    RegisterFusion("projection", [](const ParamSet& p) {
+      return std::make_unique<ProjectionFusion>(
+          p.GetInt("projection_dim", 0));
+    });
+    RegisterFusion("gated", [](const ParamSet&) {
+      return std::make_unique<GatedFusion>();
+    });
+
+    RegisterTask("classification", [](const ParamSet& p) {
+      return std::make_unique<ClassificationTask>(p.GetInt("num_classes", 0));
+    });
+    RegisterTask("clustering", [](const ParamSet& p) {
+      return std::make_unique<ClusteringTask>(p.GetInt("num_clusters", 2));
+    });
+    RegisterTask("forecasting", [](const ParamSet&) {
+      return std::make_unique<ForecastingTask>();
+    });
+    RegisterTask("anomaly_detection", [](const ParamSet&) {
+      return std::make_unique<AnomalyDetectionTask>();
+    });
+    RegisterTask("imputation", [](const ParamSet&) {
+      return std::make_unique<ImputationTask>();
+    });
+    return true;
+  }();
+  (void)initialized;
+}
+
+template <typename Registry>
+std::vector<std::string> Names(const Registry& registry) {
+  std::vector<std::string> names;
+  names.reserve(registry.size());
+  for (const auto& [name, factory] : registry) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace
+
+void RegisterPretrainTemplate(const std::string& name,
+                              PretrainFactory factory) {
+  PretrainRegistry()[name] = std::move(factory);
+}
+
+void RegisterFusion(const std::string& name, FusionFactory factory) {
+  FusionRegistry()[name] = std::move(factory);
+}
+
+void RegisterTask(const std::string& name, TaskFactory factory) {
+  TaskRegistry()[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<PretrainTemplate>> MakePretrainTemplate(
+    const std::string& name, const ParamSet& params, int64_t input_channels,
+    uint64_t seed) {
+  EnsureBuiltins();
+  auto it = PretrainRegistry().find(name);
+  if (it == PretrainRegistry().end()) {
+    return Status::NotFound("unknown pre-training template: " + name);
+  }
+  return it->second(params, input_channels, seed);
+}
+
+Result<std::unique_ptr<FeatureFusion>> MakeFusion(const std::string& name,
+                                                  const ParamSet& params) {
+  EnsureBuiltins();
+  auto it = FusionRegistry().find(name);
+  if (it == FusionRegistry().end()) {
+    return Status::NotFound("unknown fusion: " + name);
+  }
+  return it->second(params);
+}
+
+Result<std::unique_ptr<AnalysisTask>> MakeTask(const std::string& name,
+                                               const ParamSet& params) {
+  EnsureBuiltins();
+  auto it = TaskRegistry().find(name);
+  if (it == TaskRegistry().end()) {
+    return Status::NotFound("unknown task: " + name);
+  }
+  return it->second(params);
+}
+
+std::vector<std::string> RegisteredPretrainTemplates() {
+  EnsureBuiltins();
+  return Names(PretrainRegistry());
+}
+
+std::vector<std::string> RegisteredFusions() {
+  EnsureBuiltins();
+  return Names(FusionRegistry());
+}
+
+std::vector<std::string> RegisteredTasks() {
+  EnsureBuiltins();
+  return Names(TaskRegistry());
+}
+
+}  // namespace units::core

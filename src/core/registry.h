@@ -1,0 +1,44 @@
+#ifndef UNITS_CORE_REGISTRY_H_
+#define UNITS_CORE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace units::core {
+
+// Extension registries (the paper's "seamless integration" contract):
+// a new pre-training method, fusion strategy, or analysis task plugs in by
+// registering a factory under a name; the pipeline resolves names through
+// these tables, so no framework code changes are needed.
+
+using PretrainFactory = std::function<std::unique_ptr<PretrainTemplate>(
+    const ParamSet& params, int64_t input_channels, uint64_t seed)>;
+using FusionFactory =
+    std::function<std::unique_ptr<FeatureFusion>(const ParamSet& params)>;
+using TaskFactory =
+    std::function<std::unique_ptr<AnalysisTask>(const ParamSet& params)>;
+
+void RegisterPretrainTemplate(const std::string& name,
+                              PretrainFactory factory);
+void RegisterFusion(const std::string& name, FusionFactory factory);
+void RegisterTask(const std::string& name, TaskFactory factory);
+
+Result<std::unique_ptr<PretrainTemplate>> MakePretrainTemplate(
+    const std::string& name, const ParamSet& params, int64_t input_channels,
+    uint64_t seed);
+Result<std::unique_ptr<FeatureFusion>> MakeFusion(const std::string& name,
+                                                  const ParamSet& params);
+Result<std::unique_ptr<AnalysisTask>> MakeTask(const std::string& name,
+                                               const ParamSet& params);
+
+std::vector<std::string> RegisteredPretrainTemplates();
+std::vector<std::string> RegisteredFusions();
+std::vector<std::string> RegisteredTasks();
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_REGISTRY_H_

@@ -1,0 +1,231 @@
+#include "core/serialize.h"
+
+#include "base/check.h"
+#include "core/pipeline.h"
+#include "core/registry.h"
+
+namespace units::core {
+
+json::JsonValue TensorToJson(const Tensor& t) {
+  json::JsonValue obj = json::JsonValue::Object();
+  json::JsonValue shape = json::JsonValue::Array();
+  for (int64_t d : t.shape()) {
+    shape.Append(json::JsonValue::Int(d));
+  }
+  obj.Set("shape", std::move(shape));
+  std::vector<float> values(t.data(), t.data() + t.numel());
+  obj.Set("data", json::JsonValue::FromFloats(values));
+  return obj;
+}
+
+Result<Tensor> TensorFromJson(const json::JsonValue& v) {
+  if (!v.is_object() || !v.Contains("shape") || !v.Contains("data")) {
+    return Status::InvalidArgument("tensor JSON needs shape and data");
+  }
+  Shape shape;
+  for (int64_t d : v.at("shape").ToInts()) {
+    shape.push_back(d);
+  }
+  std::vector<float> values = v.at("data").ToFloats();
+  if (NumElements(shape) != static_cast<int64_t>(values.size())) {
+    return Status::InvalidArgument("tensor JSON shape/data size mismatch");
+  }
+  return Tensor::FromVector(std::move(shape), std::move(values));
+}
+
+json::JsonValue ModuleStateToJson(nn::Module* module) {
+  UNITS_CHECK(module != nullptr);
+  json::JsonValue obj = json::JsonValue::Object();
+  for (auto& [name, param] : module->NamedParameters()) {
+    obj.Set(name, TensorToJson(param.data()));
+  }
+  return obj;
+}
+
+Status LoadModuleState(nn::Module* module, const json::JsonValue& state) {
+  if (module == nullptr) {
+    return Status::InvalidArgument("null module");
+  }
+  if (!state.is_object()) {
+    return Status::InvalidArgument("module state must be a JSON object");
+  }
+  for (auto& [name, param] : module->NamedParameters()) {
+    UNITS_ASSIGN_OR_RETURN(const json::JsonValue* entry, state.Find(name));
+    UNITS_ASSIGN_OR_RETURN(Tensor loaded, TensorFromJson(*entry));
+    if (!SameShape(loaded.shape(), param.data().shape())) {
+      return Status::InvalidArgument("shape mismatch for parameter " + name);
+    }
+    param.data().CopyDataFrom(loaded);
+  }
+  return Status::Ok();
+}
+
+json::JsonValue ParamSetToJson(const hpo::ParamSet& params) {
+  json::JsonValue obj = json::JsonValue::Object();
+  for (const auto& [name, value] : params.values()) {
+    json::JsonValue entry = json::JsonValue::Object();
+    if (const double* d = std::get_if<double>(&value)) {
+      entry.Set("kind", json::JsonValue::String("double"));
+      entry.Set("value", json::JsonValue::Number(*d));
+    } else if (const int64_t* i = std::get_if<int64_t>(&value)) {
+      entry.Set("kind", json::JsonValue::String("int"));
+      entry.Set("value", json::JsonValue::Int(*i));
+    } else {
+      entry.Set("kind", json::JsonValue::String("string"));
+      entry.Set("value",
+                json::JsonValue::String(std::get<std::string>(value)));
+    }
+    obj.Set(name, std::move(entry));
+  }
+  return obj;
+}
+
+Result<hpo::ParamSet> ParamSetFromJson(const json::JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("ParamSet JSON must be an object");
+  }
+  hpo::ParamSet params;
+  for (const auto& [name, entry] : v.items()) {
+    if (!entry.is_object() || !entry.Contains("kind") ||
+        !entry.Contains("value")) {
+      return Status::InvalidArgument("bad ParamSet entry: " + name);
+    }
+    const std::string kind = entry.at("kind").AsString();
+    if (kind == "double") {
+      params.SetDouble(name, entry.at("value").AsNumber());
+    } else if (kind == "int") {
+      params.SetInt(name, entry.at("value").AsInt());
+    } else if (kind == "string") {
+      params.SetString(name, entry.at("value").AsString());
+    } else {
+      return Status::InvalidArgument("unknown ParamSet kind: " + kind);
+    }
+  }
+  return params;
+}
+
+// --- default AnalysisTask hooks ---------------------------------------------
+
+Result<json::JsonValue> AnalysisTask::SaveState(UnitsPipeline* pipeline) {
+  (void)pipeline;
+  return Status::Unimplemented("SaveState not implemented for task " +
+                               name());
+}
+
+Status AnalysisTask::LoadState(UnitsPipeline* pipeline,
+                               const json::JsonValue& state) {
+  (void)pipeline;
+  (void)state;
+  return Status::Unimplemented("LoadState not implemented for task " +
+                               name());
+}
+
+// --- pipeline persistence ----------------------------------------------------
+
+Status UnitsPipeline::SaveJson(const std::string& path) const {
+  json::JsonValue root = json::JsonValue::Object();
+  root.Set("format", json::JsonValue::String("units-pipeline"));
+  root.Set("version", json::JsonValue::Int(1));
+
+  json::JsonValue config = json::JsonValue::Object();
+  json::JsonValue template_names = json::JsonValue::Array();
+  for (const auto& tmpl : templates_) {
+    template_names.Append(json::JsonValue::String(tmpl->name()));
+  }
+  config.Set("templates", std::move(template_names));
+  config.Set("fusion",
+             json::JsonValue::String(fusion_ != nullptr ? fusion_->name()
+                                                        : "concat"));
+  config.Set("task", json::JsonValue::String(
+                         task_ != nullptr ? task_->name() : ""));
+  config.Set("seed", json::JsonValue::Int(
+                         static_cast<int64_t>(config_.seed)));
+  config.Set("input_channels", json::JsonValue::Int(input_channels_));
+  root.Set("config", std::move(config));
+
+  root.Set("pretrain_params", ParamSetToJson(ResolveParams(
+                                  config_.mode, DefaultPretrainParams(),
+                                  config_.pretrain_params)));
+  root.Set("finetune_params", ParamSetToJson(finetune_params_));
+  root.Set("pretrained", json::JsonValue::Bool(pretrained_));
+
+  json::JsonValue encoders = json::JsonValue::Array();
+  for (const auto& tmpl : templates_) {
+    // const_cast: encoder() is non-const but serialization is logically
+    // read-only; templates are always materialized before saving.
+    auto* mutable_tmpl = const_cast<PretrainTemplate*>(tmpl.get());
+    UNITS_RETURN_IF_ERROR(mutable_tmpl->Initialize());
+    encoders.Append(ModuleStateToJson(mutable_tmpl->encoder()));
+  }
+  root.Set("encoders", std::move(encoders));
+
+  if (fusion_ != nullptr && fusion_->module() != nullptr) {
+    root.Set("fusion_module", ModuleStateToJson(fusion_->module()));
+  }
+
+  if (task_ != nullptr) {
+    auto* self = const_cast<UnitsPipeline*>(this);
+    Result<json::JsonValue> state = task_->SaveState(self);
+    if (state.ok()) {
+      root.Set("task_state", std::move(state).value());
+    } else if (state.status().code() != StatusCode::kUnimplemented &&
+               state.status().code() != StatusCode::kFailedPrecondition) {
+      return state.status();
+    }
+  }
+  return json::WriteFile(path, root);
+}
+
+Result<std::unique_ptr<UnitsPipeline>> UnitsPipeline::LoadJson(
+    const std::string& path) {
+  UNITS_ASSIGN_OR_RETURN(json::JsonValue root, json::ParseFile(path));
+  if (!root.is_object() || !root.Contains("format") ||
+      root.at("format").AsString() != "units-pipeline") {
+    return Status::InvalidArgument(path + " is not a units-pipeline file");
+  }
+  const json::JsonValue& config_json = root.at("config");
+
+  Config config;
+  config.templates.clear();
+  for (size_t i = 0; i < config_json.at("templates").size(); ++i) {
+    config.templates.push_back(config_json.at("templates")[i].AsString());
+  }
+  config.fusion = config_json.at("fusion").AsString();
+  config.task = config_json.at("task").AsString();
+  config.seed = static_cast<uint64_t>(config_json.at("seed").AsInt());
+  config.mode = ConfigMode::kManual;
+  UNITS_ASSIGN_OR_RETURN(config.pretrain_params,
+                         ParamSetFromJson(root.at("pretrain_params")));
+  UNITS_ASSIGN_OR_RETURN(config.finetune_params,
+                         ParamSetFromJson(root.at("finetune_params")));
+  const int64_t input_channels = config_json.at("input_channels").AsInt();
+
+  UNITS_ASSIGN_OR_RETURN(std::unique_ptr<UnitsPipeline> pipeline,
+                         Create(config, input_channels));
+  UNITS_RETURN_IF_ERROR(pipeline->EnsureFusion());
+
+  const json::JsonValue& encoders = root.at("encoders");
+  if (encoders.size() != pipeline->templates_.size()) {
+    return Status::InvalidArgument("encoder count mismatch");
+  }
+  for (size_t i = 0; i < pipeline->templates_.size(); ++i) {
+    UNITS_RETURN_IF_ERROR(pipeline->templates_[i]->Initialize());
+    UNITS_RETURN_IF_ERROR(LoadModuleState(
+        pipeline->templates_[i]->encoder(), encoders[i]));
+  }
+  if (root.Contains("fusion_module") &&
+      pipeline->fusion_->module() != nullptr) {
+    UNITS_RETURN_IF_ERROR(LoadModuleState(pipeline->fusion_->module(),
+                                          root.at("fusion_module")));
+  }
+  if (root.Contains("task_state") && pipeline->task_ != nullptr) {
+    UNITS_RETURN_IF_ERROR(
+        pipeline->task_->LoadState(pipeline.get(), root.at("task_state")));
+  }
+  if (root.at("pretrained").AsBool()) {
+    pipeline->MarkPretrained();
+  }
+  return pipeline;
+}
+
+}  // namespace units::core

@@ -1,0 +1,33 @@
+#ifndef UNITS_CORE_SERIALIZE_H_
+#define UNITS_CORE_SERIALIZE_H_
+
+#include "base/status.h"
+#include "hpo/param_space.h"
+#include "json/json.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace units::core {
+
+// JSON (de)serialization helpers shared by the pipeline and the tasks.
+// Models are saved as self-describing JSON (the demo's "standard JSON file
+// which can be employed by any machine learning tool").
+
+/// {"shape": [...], "data": [...]}.
+json::JsonValue TensorToJson(const Tensor& t);
+Result<Tensor> TensorFromJson(const json::JsonValue& v);
+
+/// Dumps all named parameters of a module: {"<name>": tensor-json, ...}.
+json::JsonValue ModuleStateToJson(nn::Module* module);
+
+/// Loads parameters by name into an already-constructed module; missing or
+/// shape-mismatched entries are errors.
+Status LoadModuleState(nn::Module* module, const json::JsonValue& state);
+
+/// ParamSet <-> JSON ({"name": {"kind": "int|double|string", "value": ...}}).
+json::JsonValue ParamSetToJson(const hpo::ParamSet& params);
+Result<hpo::ParamSet> ParamSetFromJson(const json::JsonValue& v);
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_SERIALIZE_H_

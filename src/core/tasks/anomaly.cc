@@ -1,0 +1,140 @@
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "core/pipeline.h"
+#include "core/serialize.h"
+#include "core/tasks/tasks.h"
+#include "data/dataloader.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+Status AnomalyDetectionTask::Fit(UnitsPipeline* pipeline,
+                                 const data::TimeSeriesDataset& train) {
+  const ParamSet& p = pipeline->finetune_params();
+  const int64_t epochs = p.GetInt("epochs", 10);
+  const int64_t batch_size = p.GetInt("batch_size", 16);
+  const float lr = static_cast<float>(p.GetDouble("lr", 1e-3));
+  const float enc_lr =
+      lr * static_cast<float>(p.GetDouble("encoder_lr_scale", 0.1));
+  const float weight_decay =
+      static_cast<float>(p.GetDouble("weight_decay", 1e-5));
+  const float clip_norm = static_cast<float>(p.GetDouble("clip_norm", 5.0));
+  const double quantile = p.GetDouble("anomaly_quantile", 0.995);
+
+  if (decoder_ == nullptr) {
+    decoder_ = std::make_shared<nn::ReconstructionDecoder>(
+        pipeline->fused_dim_per_timestep(), train.num_channels(),
+        pipeline->rng(), p.GetInt("head_hidden", 0));
+  }
+
+  pipeline->SetTraining(true);
+  decoder_->SetTraining(true);
+
+  std::vector<Variable> head_params = decoder_->Parameters();
+  std::vector<Variable> enc_params = pipeline->EncoderAndFusionParams();
+  optim::Adam head_opt(head_params, lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+  optim::Adam enc_opt(enc_params, enc_lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+  std::vector<Variable> all_params = head_params;
+  all_params.insert(all_params.end(), enc_params.begin(), enc_params.end());
+
+  data::DataLoader loader(&train, batch_size, /*shuffle=*/true,
+                          pipeline->rng());
+  loss_history_.clear();
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    loader.Reset();
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    while (loader.Next(&batch)) {
+      Variable repr = pipeline->EncodeFusedPerTimestep(Variable(batch.values));
+      Variable recon = decoder_->Forward(repr);  // [B, D, T]
+      Variable loss = ag::MseLoss(recon, Variable(batch.values));
+      head_opt.ZeroGrad();
+      enc_opt.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(all_params, clip_norm);
+      head_opt.Step();
+      enc_opt.Step();
+      epoch_loss += loss.item();
+      ++num_batches;
+    }
+    loss_history_.push_back(
+        static_cast<float>(epoch_loss / std::max<int64_t>(1, num_batches)));
+    UNITS_LOG(Debug) << "anomaly epoch " << epoch << " loss "
+                     << loss_history_.back();
+  }
+  pipeline->SetTraining(false);
+
+  // Calibrate tau as a high quantile of the training (presumed-normal)
+  // scores, per the paper's "score larger than a threshold tau" rule.
+  const Tensor train_scores = ScoreWindows(pipeline, train.values());
+  std::vector<float> flat(train_scores.data(),
+                          train_scores.data() + train_scores.numel());
+  std::sort(flat.begin(), flat.end());
+  const size_t idx = std::min(
+      flat.size() - 1,
+      static_cast<size_t>(quantile * static_cast<double>(flat.size())));
+  threshold_ = flat[idx];
+  return Status::Ok();
+}
+
+Tensor AnomalyDetectionTask::ScoreWindows(UnitsPipeline* pipeline,
+                                          const Tensor& x) {
+  UNITS_CHECK(decoder_ != nullptr);
+  ag::NoGradGuard no_grad;
+  decoder_->SetTraining(false);
+  const Tensor repr = pipeline->TransformFusedPerTimestep(x);
+  Variable recon = decoder_->Forward(Variable(repr));  // [N, D, T]
+  // Score s_t = mean over channels of |x_hat - x| at t.
+  const Tensor err = ops::Abs(ops::Sub(recon.data(), x));
+  return ops::Mean(err, /*axis=*/1);  // [N, T]
+}
+
+Result<TaskResult> AnomalyDetectionTask::Predict(UnitsPipeline* pipeline,
+                                                 const Tensor& x) {
+  if (decoder_ == nullptr) {
+    return Status::FailedPrecondition("Predict before Fit");
+  }
+  TaskResult result;
+  result.scores = ScoreWindows(pipeline, x);
+  {
+    ag::NoGradGuard no_grad;
+    const Tensor repr = pipeline->TransformFusedPerTimestep(x);
+    result.predictions = decoder_->Forward(Variable(repr)).data();
+  }
+  result.labels.reserve(static_cast<size_t>(result.scores.numel()));
+  for (int64_t i = 0; i < result.scores.numel(); ++i) {
+    result.labels.push_back(result.scores[i] > threshold_ ? 1 : 0);
+  }
+  return result;
+}
+
+Result<json::JsonValue> AnomalyDetectionTask::SaveState(
+    UnitsPipeline* pipeline) {
+  (void)pipeline;
+  if (decoder_ == nullptr) {
+    return Status::FailedPrecondition("anomaly decoder not fitted");
+  }
+  json::JsonValue state = json::JsonValue::Object();
+  state.Set("threshold", json::JsonValue::Number(threshold_));
+  state.Set("out_channels", json::JsonValue::Int(pipeline->input_channels()));
+  state.Set("head", ModuleStateToJson(decoder_.get()));
+  return state;
+}
+
+Status AnomalyDetectionTask::LoadState(UnitsPipeline* pipeline,
+                                       const json::JsonValue& state) {
+  threshold_ = static_cast<float>(state.at("threshold").AsNumber());
+  decoder_ = std::make_shared<nn::ReconstructionDecoder>(
+      pipeline->fused_dim_per_timestep(), state.at("out_channels").AsInt(),
+      pipeline->rng(), pipeline->finetune_params().GetInt("head_hidden", 0));
+  return LoadModuleState(decoder_.get(), state.at("head"));
+}
+
+}  // namespace units::core

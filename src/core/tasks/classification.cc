@@ -1,0 +1,149 @@
+#include <cmath>
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "core/pipeline.h"
+#include "core/serialize.h"
+#include "core/tasks/tasks.h"
+#include "data/dataloader.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+Status ClassificationTask::Fit(UnitsPipeline* pipeline,
+                               const data::TimeSeriesDataset& train) {
+  if (!train.has_labels()) {
+    return Status::InvalidArgument("classification requires labels");
+  }
+  if (num_classes_ <= 0) {
+    num_classes_ = train.NumClasses();
+  }
+  if (num_classes_ < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+
+  const ParamSet& p = pipeline->finetune_params();
+  const int64_t epochs = p.GetInt("epochs", 10);
+  const int64_t batch_size = p.GetInt("batch_size", 16);
+  const float lr = static_cast<float>(p.GetDouble("lr", 1e-3));
+  const float enc_lr =
+      lr * static_cast<float>(p.GetDouble("encoder_lr_scale", 0.1));
+  const float weight_decay =
+      static_cast<float>(p.GetDouble("weight_decay", 1e-5));
+  const float clip_norm = static_cast<float>(p.GetDouble("clip_norm", 5.0));
+  const int64_t head_hidden = p.GetInt("head_hidden", 0);
+  const float dropout = static_cast<float>(p.GetDouble("dropout", 0.0));
+  normalize_repr_ = p.GetInt("normalize_repr", 1) != 0;
+
+  if (head_ == nullptr) {
+    std::vector<int64_t> hidden;
+    if (head_hidden > 0) {
+      hidden.push_back(head_hidden);
+    }
+    head_ = std::make_shared<nn::MlpHead>(pipeline->fused_dim(), hidden,
+                                          num_classes_, pipeline->rng(),
+                                          nn::ActivationKind::kRelu, dropout);
+  }
+
+  pipeline->SetTraining(true);
+  head_->SetTraining(true);
+
+  std::vector<Variable> head_params = head_->Parameters();
+  std::vector<Variable> enc_params = pipeline->EncoderAndFusionParams();
+  optim::Adam head_opt(head_params, lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+  optim::Adam enc_opt(enc_params, enc_lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+  std::vector<Variable> all_params = head_params;
+  all_params.insert(all_params.end(), enc_params.begin(), enc_params.end());
+
+  data::DataLoader loader(&train, batch_size, /*shuffle=*/true,
+                          pipeline->rng());
+  loss_history_.clear();
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    loader.Reset();
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    while (loader.Next(&batch)) {
+      Variable z = pipeline->EncodeFused(Variable(batch.values));
+      if (normalize_repr_) {
+        // Unit-sphere features: keeps the linear probe well conditioned
+        // regardless of encoder output scale.
+        z = ag::MulScalar(ag::L2Normalize(z, /*axis=*/1),
+                          std::sqrt(static_cast<float>(z.dim(1))));
+      }
+      Variable logits = head_->Forward(z);
+      Variable loss = ag::CrossEntropyLoss(logits, batch.labels);
+      head_opt.ZeroGrad();
+      enc_opt.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(all_params, clip_norm);
+      head_opt.Step();
+      enc_opt.Step();
+      epoch_loss += loss.item();
+      ++num_batches;
+    }
+    loss_history_.push_back(
+        static_cast<float>(epoch_loss / std::max<int64_t>(1, num_batches)));
+    UNITS_LOG(Debug) << "classification epoch " << epoch << " loss "
+                     << loss_history_.back();
+  }
+  pipeline->SetTraining(false);
+  return Status::Ok();
+}
+
+Result<TaskResult> ClassificationTask::Predict(UnitsPipeline* pipeline,
+                                               const Tensor& x) {
+  if (head_ == nullptr) {
+    return Status::FailedPrecondition("Predict before Fit");
+  }
+  ag::NoGradGuard no_grad;
+  head_->SetTraining(false);
+  Variable z(pipeline->TransformFused(x));
+  if (normalize_repr_) {
+    z = ag::MulScalar(ag::L2Normalize(z, /*axis=*/1),
+                      std::sqrt(static_cast<float>(z.dim(1))));
+  }
+  Variable logits = head_->Forward(z);
+  const Tensor probs = ops::Softmax(logits.data(), /*axis=*/1);
+  const Tensor arg = ops::ArgMax(logits.data(), /*axis=*/1);
+
+  TaskResult result;
+  result.labels.reserve(static_cast<size_t>(arg.numel()));
+  for (int64_t i = 0; i < arg.numel(); ++i) {
+    result.labels.push_back(static_cast<int64_t>(arg[i]));
+  }
+  result.predictions = probs;  // class distribution per sample
+  return result;
+}
+
+Result<json::JsonValue> ClassificationTask::SaveState(
+    UnitsPipeline* pipeline) {
+  (void)pipeline;
+  if (head_ == nullptr) {
+    return Status::FailedPrecondition("classification head not fitted");
+  }
+  json::JsonValue state = json::JsonValue::Object();
+  state.Set("num_classes", json::JsonValue::Int(num_classes_));
+  state.Set("head", ModuleStateToJson(head_.get()));
+  return state;
+}
+
+Status ClassificationTask::LoadState(UnitsPipeline* pipeline,
+                                     const json::JsonValue& state) {
+  num_classes_ = state.at("num_classes").AsInt();
+  const ParamSet& p = pipeline->finetune_params();
+  std::vector<int64_t> hidden;
+  if (p.GetInt("head_hidden", 0) > 0) {
+    hidden.push_back(p.GetInt("head_hidden", 0));
+  }
+  head_ = std::make_shared<nn::MlpHead>(
+      pipeline->fused_dim(), hidden, num_classes_, pipeline->rng(),
+      nn::ActivationKind::kRelu,
+      static_cast<float>(p.GetDouble("dropout", 0.0)));
+  return LoadModuleState(head_.get(), state.at("head"));
+}
+
+}  // namespace units::core

@@ -1,0 +1,160 @@
+#include <cmath>
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "core/pipeline.h"
+#include "core/serialize.h"
+#include "core/tasks/tasks.h"
+#include "data/dataloader.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+namespace {
+
+/// Row-wise L2 normalization scaled by sqrt(K); mirrors the Variable-level
+/// normalization used during fine-tuning so centroids and gradients live in
+/// the same space.
+Tensor NormalizeRows(const Tensor& z) {
+  Variable v = ag::MulScalar(
+      ag::L2Normalize(Variable(z), /*axis=*/1),
+      std::sqrt(static_cast<float>(z.dim(1))));
+  return v.data();
+}
+
+}  // namespace
+
+Status ClusteringTask::Fit(UnitsPipeline* pipeline,
+                           const data::TimeSeriesDataset& train) {
+  if (num_clusters_ < 2) {
+    return Status::InvalidArgument("need at least 2 clusters");
+  }
+  if (train.num_samples() < num_clusters_) {
+    return Status::InvalidArgument("fewer samples than clusters");
+  }
+
+  const ParamSet& p = pipeline->finetune_params();
+  const int64_t epochs = p.GetInt("cluster_finetune_epochs", 5);
+  const int64_t batch_size = p.GetInt("batch_size", 16);
+  const float lr = static_cast<float>(p.GetDouble("lr", 1e-3));
+  const float enc_lr =
+      lr * static_cast<float>(p.GetDouble("encoder_lr_scale", 0.1));
+  const float weight_decay =
+      static_cast<float>(p.GetDouble("weight_decay", 1e-5));
+  const float clip_norm = static_cast<float>(p.GetDouble("clip_norm", 5.0));
+  const float reg_weight =
+      static_cast<float>(p.GetDouble("cluster_reg_weight", 0.5));
+  normalize_repr_ = p.GetInt("normalize_repr", 1) != 0;
+
+  cluster::KMeansOptions km_opts;
+  km_opts.num_clusters = num_clusters_;
+
+  // Fine-tuning with the k-means regularizer: each epoch re-clusters the
+  // current representations, then descends on (self-supervised loss +
+  // lambda * ||z_i - c_{a(i)}||^2). The SSL term keeps the representations
+  // from collapsing onto the centroids (the trivial solution the paper
+  // warns about).
+  if (epochs > 0 && pipeline->num_templates() > 0) {
+    pipeline->SetTraining(true);
+    std::vector<Variable> enc_params = pipeline->EncoderAndFusionParams();
+    optim::Adam enc_opt(enc_params, enc_lr, 0.9f, 0.999f, 1e-8f,
+                        weight_decay);
+    PretrainTemplate* ssl = pipeline->template_at(0);
+    loss_history_.clear();
+
+    for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+      // E-step: cluster the current (no-grad) representations.
+      Tensor z_all = pipeline->TransformFused(train.values());
+      if (normalize_repr_) {
+        z_all = NormalizeRows(z_all);
+      }
+      UNITS_ASSIGN_OR_RETURN(cluster::KMeansResult km,
+                             cluster::KMeans(z_all, km_opts, pipeline->rng()));
+      pipeline->SetTraining(true);  // TransformFused switched to eval
+
+      // M-step: minibatch updates against the fixed centroids.
+      data::DataLoader loader(&train, batch_size, /*shuffle=*/true,
+                              pipeline->rng());
+      data::Batch batch;
+      double epoch_loss = 0.0;
+      int64_t num_batches = 0;
+      while (loader.Next(&batch)) {
+        Variable ssl_loss = ssl->BuildLoss(batch.values, pipeline->rng());
+        Variable z = pipeline->EncodeFused(Variable(batch.values));
+        if (normalize_repr_) {
+          z = ag::MulScalar(ag::L2Normalize(z, /*axis=*/1),
+                            std::sqrt(static_cast<float>(z.dim(1))));
+        }
+        // Centroids of this batch's assignments, as a constant.
+        std::vector<int64_t> assign;
+        assign.reserve(batch.indices.size());
+        for (int64_t idx : batch.indices) {
+          assign.push_back(km.assignments[static_cast<size_t>(idx)]);
+        }
+        Tensor batch_centroids = ops::GatherRows(km.centroids, assign);
+        Variable reg = ag::MseLoss(z, ag::Constant(batch_centroids));
+        Variable loss = ag::Add(ssl_loss, ag::MulScalar(reg, reg_weight));
+        enc_opt.ZeroGrad();
+        loss.Backward();
+        optim::ClipGradNorm(enc_params, clip_norm);
+        enc_opt.Step();
+        epoch_loss += loss.item();
+        ++num_batches;
+      }
+      loss_history_.push_back(
+          static_cast<float>(epoch_loss / std::max<int64_t>(1, num_batches)));
+      UNITS_LOG(Debug) << "clustering epoch " << epoch << " loss "
+                       << loss_history_.back();
+    }
+    pipeline->SetTraining(false);
+  }
+
+  // Final clustering of the fine-tuned representations.
+  Tensor z_final = pipeline->TransformFused(train.values());
+  if (normalize_repr_) {
+    z_final = NormalizeRows(z_final);
+  }
+  UNITS_ASSIGN_OR_RETURN(cluster::KMeansResult km,
+                         cluster::KMeans(z_final, km_opts, pipeline->rng()));
+  centroids_ = km.centroids;
+  return Status::Ok();
+}
+
+Result<TaskResult> ClusteringTask::Predict(UnitsPipeline* pipeline,
+                                           const Tensor& x) {
+  if (centroids_.numel() == 0) {
+    return Status::FailedPrecondition("Predict before Fit");
+  }
+  Tensor z = pipeline->TransformFused(x);
+  if (normalize_repr_) {
+    z = NormalizeRows(z);
+  }
+  TaskResult result;
+  result.labels = cluster::AssignToCentroids(z, centroids_);
+  result.predictions = z;  // expose representations for inspection
+  return result;
+}
+
+Result<json::JsonValue> ClusteringTask::SaveState(UnitsPipeline* pipeline) {
+  (void)pipeline;
+  if (centroids_.numel() == 0) {
+    return Status::FailedPrecondition("clustering not fitted");
+  }
+  json::JsonValue state = json::JsonValue::Object();
+  state.Set("num_clusters", json::JsonValue::Int(num_clusters_));
+  state.Set("centroids", TensorToJson(centroids_));
+  return state;
+}
+
+Status ClusteringTask::LoadState(UnitsPipeline* pipeline,
+                                 const json::JsonValue& state) {
+  (void)pipeline;
+  num_clusters_ = state.at("num_clusters").AsInt();
+  UNITS_ASSIGN_OR_RETURN(centroids_, TensorFromJson(state.at("centroids")));
+  return Status::Ok();
+}
+
+}  // namespace units::core

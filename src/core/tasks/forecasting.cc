@@ -1,0 +1,171 @@
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "core/pipeline.h"
+#include "core/serialize.h"
+#include "core/tasks/tasks.h"
+#include "data/dataloader.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+Status ForecastingTask::Fit(UnitsPipeline* pipeline,
+                            const data::TimeSeriesDataset& train) {
+  if (!train.has_targets()) {
+    return Status::InvalidArgument("forecasting requires target windows");
+  }
+  out_channels_ = train.targets().dim(1);
+  horizon_ = train.targets().dim(2);
+
+  const ParamSet& p = pipeline->finetune_params();
+  const int64_t epochs = p.GetInt("epochs", 10);
+  const int64_t batch_size = p.GetInt("batch_size", 16);
+  const float lr = static_cast<float>(p.GetDouble("lr", 1e-3));
+  const float enc_lr =
+      lr * static_cast<float>(p.GetDouble("encoder_lr_scale", 0.1));
+  const float weight_decay =
+      static_cast<float>(p.GetDouble("weight_decay", 1e-5));
+  const float clip_norm = static_cast<float>(p.GetDouble("clip_norm", 5.0));
+  const bool use_mae = p.GetString("forecast_loss", "mse") == "mae";
+  use_last_step_ = p.GetString("forecast_repr", "last") == "last";
+
+  if (decoder_ == nullptr) {
+    const int64_t in_dim = use_last_step_
+                               ? pipeline->fused_dim_per_timestep()
+                               : pipeline->fused_dim();
+    decoder_ = std::make_shared<nn::ForecastDecoder>(
+        in_dim, out_channels_, horizon_, pipeline->rng(),
+        p.GetInt("head_hidden", 0));
+  }
+
+  pipeline->SetTraining(true);
+  decoder_->SetTraining(true);
+
+  std::vector<Variable> head_params = decoder_->Parameters();
+  std::vector<Variable> enc_params = pipeline->EncoderAndFusionParams();
+  optim::Adam head_opt(head_params, lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+  optim::Adam enc_opt(enc_params, enc_lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+  std::vector<Variable> all_params = head_params;
+  all_params.insert(all_params.end(), enc_params.begin(), enc_params.end());
+
+  data::DataLoader loader(&train, batch_size, /*shuffle=*/true,
+                          pipeline->rng());
+  loss_history_.clear();
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    loader.Reset();
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    while (loader.Next(&batch)) {
+      Variable z = EncodeForForecast(pipeline, Variable(batch.values));
+      Variable pred = decoder_->Forward(z);  // [B, D, H]
+      Variable target(batch.targets);
+      Variable loss = use_mae ? ag::L1Loss(pred, target)
+                              : ag::MseLoss(pred, target);
+      head_opt.ZeroGrad();
+      enc_opt.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(all_params, clip_norm);
+      head_opt.Step();
+      enc_opt.Step();
+      epoch_loss += loss.item();
+      ++num_batches;
+    }
+    loss_history_.push_back(
+        static_cast<float>(epoch_loss / std::max<int64_t>(1, num_batches)));
+    UNITS_LOG(Debug) << "forecasting epoch " << epoch << " loss "
+                     << loss_history_.back();
+  }
+  pipeline->SetTraining(false);
+  return Status::Ok();
+}
+
+Result<TaskResult> ForecastingTask::Predict(UnitsPipeline* pipeline,
+                                            const Tensor& x) {
+  if (decoder_ == nullptr) {
+    return Status::FailedPrecondition("Predict before Fit");
+  }
+  ag::NoGradGuard no_grad;
+  decoder_->SetTraining(false);
+  pipeline->SetTraining(false);
+  Variable z = EncodeForForecast(pipeline, Variable(x));
+  Variable pred = decoder_->Forward(z);
+  TaskResult result;
+  result.predictions = pred.data();
+  return result;
+}
+
+Variable ForecastingTask::EncodeForForecast(UnitsPipeline* pipeline,
+                                            const Variable& x) {
+  if (!use_last_step_) {
+    return pipeline->EncodeFused(x);
+  }
+  // The representation at the final timestep summarizes the most recent
+  // context (exact for causal encoders) — the natural forecasting state.
+  Variable repr = pipeline->EncodeFusedPerTimestep(x);  // [B, K', T]
+  Variable last = ag::Slice(repr, 2, repr.dim(2) - 1, 1);
+  return ag::Reshape(last, {repr.dim(0), repr.dim(1)});
+}
+
+Result<Tensor> ForecastingTask::Rollout(UnitsPipeline* pipeline,
+                                        const Tensor& x,
+                                        int64_t total_horizon) {
+  if (decoder_ == nullptr) {
+    return Status::FailedPrecondition("Rollout before Fit");
+  }
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("Rollout expects [N, D, T]");
+  }
+  if (total_horizon < 1) {
+    return Status::InvalidArgument("total_horizon must be positive");
+  }
+  ag::NoGradGuard no_grad;
+  Tensor window = x;  // current conditioning window, always length T
+  std::vector<Tensor> chunks;
+  int64_t produced = 0;
+  while (produced < total_horizon) {
+    UNITS_ASSIGN_OR_RETURN(TaskResult step, Predict(pipeline, window));
+    const int64_t take =
+        std::min<int64_t>(horizon_, total_horizon - produced);
+    chunks.push_back(ops::Slice(step.predictions, 2, 0, take));
+    // Slide the window: drop the oldest `take` steps, append predictions.
+    Tensor kept = ops::Slice(window, 2, take, window.dim(2) - take);
+    window = ops::Concat({kept, chunks.back()}, 2);
+    produced += take;
+  }
+  return chunks.size() == 1 ? chunks[0] : ops::Concat(chunks, 2);
+}
+
+Result<json::JsonValue> ForecastingTask::SaveState(UnitsPipeline* pipeline) {
+  (void)pipeline;
+  if (decoder_ == nullptr) {
+    return Status::FailedPrecondition("forecasting head not fitted");
+  }
+  json::JsonValue state = json::JsonValue::Object();
+  state.Set("out_channels", json::JsonValue::Int(out_channels_));
+  state.Set("horizon", json::JsonValue::Int(horizon_));
+  state.Set("use_last_step", json::JsonValue::Bool(use_last_step_));
+  state.Set("head", ModuleStateToJson(decoder_.get()));
+  return state;
+}
+
+Status ForecastingTask::LoadState(UnitsPipeline* pipeline,
+                                  const json::JsonValue& state) {
+  out_channels_ = state.at("out_channels").AsInt();
+  horizon_ = state.at("horizon").AsInt();
+  use_last_step_ =
+      state.Contains("use_last_step") && state.at("use_last_step").AsBool();
+  const int64_t in_dim = use_last_step_
+                             ? pipeline->fused_dim_per_timestep()
+                             : pipeline->fused_dim();
+  decoder_ = std::make_shared<nn::ForecastDecoder>(
+      in_dim, out_channels_, horizon_, pipeline->rng(),
+      pipeline->finetune_params().GetInt("head_hidden", 0));
+  return LoadModuleState(decoder_.get(), state.at("head"));
+}
+
+}  // namespace units::core

@@ -1,0 +1,135 @@
+#include "base/check.h"
+#include "base/logging.h"
+#include "core/pipeline.h"
+#include "core/serialize.h"
+#include "core/tasks/tasks.h"
+#include "data/dataloader.h"
+#include "data/synthetic.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+
+namespace ag = ::units::autograd;
+
+Status ImputationTask::Fit(UnitsPipeline* pipeline,
+                           const data::TimeSeriesDataset& train) {
+  const ParamSet& p = pipeline->finetune_params();
+  const int64_t epochs = p.GetInt("epochs", 10);
+  const int64_t batch_size = p.GetInt("batch_size", 16);
+  const float lr = static_cast<float>(p.GetDouble("lr", 1e-3));
+  const float enc_lr =
+      lr * static_cast<float>(p.GetDouble("encoder_lr_scale", 0.1));
+  const float weight_decay =
+      static_cast<float>(p.GetDouble("weight_decay", 1e-5));
+  const float clip_norm = static_cast<float>(p.GetDouble("clip_norm", 5.0));
+  const float mask_ratio =
+      static_cast<float>(p.GetDouble("imputation_mask_ratio", 0.25));
+  const float mask_block =
+      static_cast<float>(p.GetDouble("imputation_mask_block", 4.0));
+
+  if (decoder_ == nullptr) {
+    decoder_ = std::make_shared<nn::ReconstructionDecoder>(
+        pipeline->fused_dim_per_timestep(), train.num_channels(),
+        pipeline->rng(), p.GetInt("head_hidden", 0));
+  }
+
+  pipeline->SetTraining(true);
+  decoder_->SetTraining(true);
+
+  std::vector<Variable> head_params = decoder_->Parameters();
+  std::vector<Variable> enc_params = pipeline->EncoderAndFusionParams();
+  optim::Adam head_opt(head_params, lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+  optim::Adam enc_opt(enc_params, enc_lr, 0.9f, 0.999f, 1e-8f, weight_decay);
+  std::vector<Variable> all_params = head_params;
+  all_params.insert(all_params.end(), enc_params.begin(), enc_params.end());
+
+  data::DataLoader loader(&train, batch_size, /*shuffle=*/true,
+                          pipeline->rng());
+  loss_history_.clear();
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    loader.Reset();
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    while (loader.Next(&batch)) {
+      // DAE: corrupt with a random observation mask, reconstruct the whole
+      // input (Section 3.3: minimize ||x - x_hat|| over the entire series).
+      Tensor mask = data::MakeMissingMask(batch.values.shape(), mask_ratio,
+                                          mask_block, pipeline->rng());
+      Tensor corrupted = ops::Mul(batch.values, mask);
+      Variable repr =
+          pipeline->EncodeFusedPerTimestep(Variable(std::move(corrupted)));
+      Variable recon = decoder_->Forward(repr);
+      Variable loss = ag::MseLoss(recon, Variable(batch.values));
+      head_opt.ZeroGrad();
+      enc_opt.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(all_params, clip_norm);
+      head_opt.Step();
+      enc_opt.Step();
+      epoch_loss += loss.item();
+      ++num_batches;
+    }
+    loss_history_.push_back(
+        static_cast<float>(epoch_loss / std::max<int64_t>(1, num_batches)));
+    UNITS_LOG(Debug) << "imputation epoch " << epoch << " loss "
+                     << loss_history_.back();
+  }
+  pipeline->SetTraining(false);
+  return Status::Ok();
+}
+
+Result<TaskResult> ImputationTask::Predict(UnitsPipeline* pipeline,
+                                           const Tensor& x) {
+  if (decoder_ == nullptr) {
+    return Status::FailedPrecondition("Predict before Fit");
+  }
+  ag::NoGradGuard no_grad;
+  decoder_->SetTraining(false);
+  const Tensor repr = pipeline->TransformFusedPerTimestep(x);
+  TaskResult result;
+  result.predictions = decoder_->Forward(Variable(repr)).data();
+  return result;
+}
+
+Result<Tensor> ImputationTask::Impute(UnitsPipeline* pipeline,
+                                      const Tensor& x, const Tensor& mask) {
+  if (!SameShape(x.shape(), mask.shape())) {
+    return Status::InvalidArgument("mask shape must match input");
+  }
+  // Missing values are replaced by 0 before encoding (paper Section 3.3).
+  const Tensor zero_filled = ops::Mul(x, mask);
+  UNITS_ASSIGN_OR_RETURN(TaskResult result, Predict(pipeline, zero_filled));
+  Tensor imputed = x.Clone();
+  float* out = imputed.data();
+  const float* recon = result.predictions.data();
+  const float* m = mask.data();
+  for (int64_t i = 0; i < imputed.numel(); ++i) {
+    if (m[i] == 0.0f) {
+      out[i] = recon[i];
+    }
+  }
+  return imputed;
+}
+
+Result<json::JsonValue> ImputationTask::SaveState(UnitsPipeline* pipeline) {
+  (void)pipeline;
+  if (decoder_ == nullptr) {
+    return Status::FailedPrecondition("imputation decoder not fitted");
+  }
+  json::JsonValue state = json::JsonValue::Object();
+  state.Set("out_channels", json::JsonValue::Int(pipeline->input_channels()));
+  state.Set("head", ModuleStateToJson(decoder_.get()));
+  return state;
+}
+
+Status ImputationTask::LoadState(UnitsPipeline* pipeline,
+                                 const json::JsonValue& state) {
+  decoder_ = std::make_shared<nn::ReconstructionDecoder>(
+      pipeline->fused_dim_per_timestep(), state.at("out_channels").AsInt(),
+      pipeline->rng(), pipeline->finetune_params().GetInt("head_hidden", 0));
+  return LoadModuleState(decoder_.get(), state.at("head"));
+}
+
+}  // namespace units::core

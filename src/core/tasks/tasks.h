@@ -1,0 +1,164 @@
+#ifndef UNITS_CORE_TASKS_TASKS_H_
+#define UNITS_CORE_TASKS_TASKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "core/estimator.h"
+#include "nn/heads.h"
+
+namespace units::core {
+
+/// Classification (Table 1 row 1): a softmax head over the fused
+/// representation, fine-tuned with cross entropy.
+class ClassificationTask : public AnalysisTask {
+ public:
+  /// `num_classes` <= 0 infers C from the training labels at Fit time.
+  explicit ClassificationTask(int64_t num_classes = 0)
+      : num_classes_(num_classes) {}
+
+  std::string name() const override { return "classification"; }
+  Status Fit(UnitsPipeline* pipeline,
+             const data::TimeSeriesDataset& train) override;
+  Result<TaskResult> Predict(UnitsPipeline* pipeline,
+                             const Tensor& x) override;
+  nn::Module* head() override { return head_.get(); }
+  Result<json::JsonValue> SaveState(UnitsPipeline* pipeline) override;
+  Status LoadState(UnitsPipeline* pipeline,
+                   const json::JsonValue& state) override;
+
+  int64_t num_classes() const { return num_classes_; }
+
+ private:
+  int64_t num_classes_;
+  bool normalize_repr_ = true;
+  std::shared_ptr<nn::MlpHead> head_;
+};
+
+/// Clustering (Table 1 row 2): k-means over the fused representations,
+/// optionally preceded by fine-tuning with the paper's k-means regularizer
+/// (self-supervised loss + lambda * distance-to-centroid, recomputing the
+/// centroids each epoch; the SSL term prevents the trivial collapse).
+class ClusteringTask : public AnalysisTask {
+ public:
+  explicit ClusteringTask(int64_t num_clusters)
+      : num_clusters_(num_clusters) {}
+
+  std::string name() const override { return "clustering"; }
+  Status Fit(UnitsPipeline* pipeline,
+             const data::TimeSeriesDataset& train) override;
+  Result<TaskResult> Predict(UnitsPipeline* pipeline,
+                             const Tensor& x) override;
+
+  Result<json::JsonValue> SaveState(UnitsPipeline* pipeline) override;
+  Status LoadState(UnitsPipeline* pipeline,
+                   const json::JsonValue& state) override;
+
+  const Tensor& centroids() const { return centroids_; }
+
+ private:
+  int64_t num_clusters_;
+  bool normalize_repr_ = true;
+  Tensor centroids_;  // [C, K'] after Fit
+};
+
+/// Forecasting (Table 1 row 3): a decoder maps the fused representation of
+/// the input window to the next H steps; fine-tuned with MSE or MAE.
+class ForecastingTask : public AnalysisTask {
+ public:
+  ForecastingTask() = default;
+
+  std::string name() const override { return "forecasting"; }
+  Status Fit(UnitsPipeline* pipeline,
+             const data::TimeSeriesDataset& train) override;
+  Result<TaskResult> Predict(UnitsPipeline* pipeline,
+                             const Tensor& x) override;
+  nn::Module* head() override { return decoder_.get(); }
+  Result<json::JsonValue> SaveState(UnitsPipeline* pipeline) override;
+  Status LoadState(UnitsPipeline* pipeline,
+                   const json::JsonValue& state) override;
+
+  int64_t horizon() const { return horizon_; }
+
+  /// Autoregressive rollout beyond the trained horizon H: repeatedly
+  /// forecasts H steps, appends them to the input window (dropping the
+  /// oldest H steps), and continues until `total_horizon` steps are
+  /// produced. Returns [N, D, total_horizon].
+  Result<Tensor> Rollout(UnitsPipeline* pipeline, const Tensor& x,
+                         int64_t total_horizon);
+
+ private:
+  Variable EncodeForForecast(UnitsPipeline* pipeline, const Variable& x);
+
+  int64_t horizon_ = 0;
+  int64_t out_channels_ = 0;
+  bool use_last_step_ = true;
+  std::shared_ptr<nn::ForecastDecoder> decoder_;
+};
+
+/// Anomaly detection (Table 1 row 4): reconstruction-based — a decoder
+/// rebuilds the input from per-timestep fused representations; the anomaly
+/// score at time t is the mean absolute reconstruction error, thresholded
+/// at a train-score quantile tau.
+class AnomalyDetectionTask : public AnalysisTask {
+ public:
+  AnomalyDetectionTask() = default;
+
+  std::string name() const override { return "anomaly_detection"; }
+  Status Fit(UnitsPipeline* pipeline,
+             const data::TimeSeriesDataset& train) override;
+
+  /// Result: scores [N, T]; predictions = reconstructions [N, D, T];
+  /// labels = flattened thresholded 0/1 decisions (row-major [N*T]).
+  Result<TaskResult> Predict(UnitsPipeline* pipeline,
+                             const Tensor& x) override;
+  nn::Module* head() override { return decoder_.get(); }
+  Result<json::JsonValue> SaveState(UnitsPipeline* pipeline) override;
+  Status LoadState(UnitsPipeline* pipeline,
+                   const json::JsonValue& state) override;
+
+  float threshold() const { return threshold_; }
+
+  /// Scores without thresholding (helper shared with Predict).
+  Tensor ScoreWindows(UnitsPipeline* pipeline, const Tensor& x);
+
+ private:
+  std::shared_ptr<nn::ReconstructionDecoder> decoder_;
+  float threshold_ = 0.0f;
+};
+
+/// Missing-value imputation (Table 1 row 5): denoising autoencoder — train
+/// with random observation masks, reconstruct the full input; at inference
+/// missing values are zeroed, passed through, and replaced by the decoder
+/// output.
+class ImputationTask : public AnalysisTask {
+ public:
+  ImputationTask() = default;
+
+  std::string name() const override { return "imputation"; }
+  Status Fit(UnitsPipeline* pipeline,
+             const data::TimeSeriesDataset& train) override;
+
+  /// predictions = full reconstruction [N, D, T] of x (assumed zero-filled
+  /// at missing positions).
+  Result<TaskResult> Predict(UnitsPipeline* pipeline,
+                             const Tensor& x) override;
+  nn::Module* head() override { return decoder_.get(); }
+  Result<json::JsonValue> SaveState(UnitsPipeline* pipeline) override;
+  Status LoadState(UnitsPipeline* pipeline,
+                   const json::JsonValue& state) override;
+
+  /// Convenience: fills only the missing entries (mask==0) of `x` from the
+  /// model's reconstruction.
+  Result<Tensor> Impute(UnitsPipeline* pipeline, const Tensor& x,
+                        const Tensor& mask);
+
+ private:
+  std::shared_ptr<nn::ReconstructionDecoder> decoder_;
+};
+
+}  // namespace units::core
+
+#endif  // UNITS_CORE_TASKS_TASKS_H_

@@ -1,0 +1,186 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace units::data {
+
+namespace {
+
+Result<std::vector<float>> ParseFloatRow(const std::string& line,
+                                         char delimiter, int64_t line_no) {
+  std::vector<float> row;
+  for (const std::string& cell : StrSplit(line, delimiter)) {
+    const std::string trimmed = StrStrip(cell);
+    if (trimmed.empty()) {
+      continue;
+    }
+    char* end = nullptr;
+    const float v = std::strtof(trimmed.c_str(), &end);
+    if (end == trimmed.c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: cannot parse '%s' as float",
+                    static_cast<long long>(line_no), trimmed.c_str()));
+    }
+    row.push_back(v);
+  }
+  return row;
+}
+
+}  // namespace
+
+Result<Tensor> LoadCsvSeries(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string line;
+  int64_t line_no = 0;
+  if (has_header && std::getline(in, line)) {
+    ++line_no;
+  }
+  std::vector<std::vector<float>> rows;  // [T][D]
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StrStrip(line).empty()) {
+      continue;
+    }
+    UNITS_ASSIGN_OR_RETURN(std::vector<float> row,
+                           ParseFloatRow(line, ',', line_no));
+    if (!rows.empty() && row.size() != rows[0].size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: expected %zu columns, got %zu",
+                    static_cast<long long>(line_no), rows[0].size(),
+                    row.size()));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no data rows in " + path);
+  }
+  const int64_t t = static_cast<int64_t>(rows.size());
+  const int64_t d = static_cast<int64_t>(rows[0].size());
+  Tensor out = Tensor::Zeros({d, t});
+  float* p = out.data();
+  for (int64_t ti = 0; ti < t; ++ti) {
+    for (int64_t di = 0; di < d; ++di) {
+      p[di * t + ti] = rows[static_cast<size_t>(ti)][static_cast<size_t>(di)];
+    }
+  }
+  return out;
+}
+
+Status SaveCsvSeries(const std::string& path, const Tensor& series,
+                     const std::vector<std::string>& channel_names) {
+  if (series.ndim() != 2) {
+    return Status::InvalidArgument("SaveCsvSeries expects [D, T]");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const int64_t d = series.dim(0);
+  const int64_t t = series.dim(1);
+  if (!channel_names.empty()) {
+    if (static_cast<int64_t>(channel_names.size()) != d) {
+      return Status::InvalidArgument("channel_names size mismatch");
+    }
+    out << StrJoin(channel_names, ",") << "\n";
+  }
+  const float* p = series.data();
+  for (int64_t ti = 0; ti < t; ++ti) {
+    for (int64_t di = 0; di < d; ++di) {
+      if (di > 0) {
+        out << ",";
+      }
+      out << p[di * t + ti];
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Result<TimeSeriesDataset> LoadUcrStyleCsv(const std::string& path,
+                                          char delimiter) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::vector<std::vector<float>> rows;
+  std::vector<int64_t> raw_labels;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StrStrip(line).empty()) {
+      continue;
+    }
+    UNITS_ASSIGN_OR_RETURN(std::vector<float> row,
+                           ParseFloatRow(line, delimiter, line_no));
+    if (row.size() < 2) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: need label plus at least one value",
+                    static_cast<long long>(line_no)));
+    }
+    raw_labels.push_back(static_cast<int64_t>(row[0]));
+    row.erase(row.begin());
+    if (!rows.empty() && row.size() != rows[0].size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: inconsistent series length",
+                    static_cast<long long>(line_no)));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no data rows in " + path);
+  }
+  // Remap labels to contiguous ids in order of first appearance.
+  std::map<int64_t, int64_t> remap;
+  std::vector<int64_t> labels;
+  labels.reserve(raw_labels.size());
+  for (int64_t raw : raw_labels) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<int64_t>(remap.size()));
+    labels.push_back(it->second);
+  }
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int64_t t = static_cast<int64_t>(rows[0].size());
+  Tensor values = Tensor::Zeros({n, 1, t});
+  float* p = values.data();
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(rows[static_cast<size_t>(i)].begin(),
+              rows[static_cast<size_t>(i)].end(), p + i * t);
+  }
+  return TimeSeriesDataset(std::move(values), std::move(labels));
+}
+
+Status SaveUcrStyleCsv(const std::string& path,
+                       const TimeSeriesDataset& dataset) {
+  if (dataset.num_channels() != 1) {
+    return Status::InvalidArgument("UCR format is univariate");
+  }
+  if (!dataset.has_labels()) {
+    return Status::InvalidArgument("dataset has no labels");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const int64_t n = dataset.num_samples();
+  const int64_t t = dataset.length();
+  const float* p = dataset.values().data();
+  for (int64_t i = 0; i < n; ++i) {
+    out << dataset.labels()[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < t; ++j) {
+      out << "," << p[i * t + j];
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace units::data

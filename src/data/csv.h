@@ -1,0 +1,33 @@
+#ifndef UNITS_DATA_CSV_H_
+#define UNITS_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace units::data {
+
+/// Loads a long-format CSV (rows = timesteps, columns = channels) into a
+/// [D, T] tensor. Set has_header to skip the first line.
+Result<Tensor> LoadCsvSeries(const std::string& path, bool has_header);
+
+/// Writes a [D, T] series as long-format CSV with optional column names.
+Status SaveCsvSeries(const std::string& path, const Tensor& series,
+                     const std::vector<std::string>& channel_names = {});
+
+/// Loads a UCR-style delimited file: each row is `label, v_1, ..., v_T`
+/// (univariate). Returns a labeled dataset of shape [N, 1, T]. Labels are
+/// remapped to contiguous 0..C-1 in order of first appearance.
+Result<TimeSeriesDataset> LoadUcrStyleCsv(const std::string& path,
+                                          char delimiter = ',');
+
+/// Writes a labeled univariate dataset back in UCR style.
+Status SaveUcrStyleCsv(const std::string& path,
+                       const TimeSeriesDataset& dataset);
+
+}  // namespace units::data
+
+#endif  // UNITS_DATA_CSV_H_

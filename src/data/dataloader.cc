@@ -1,0 +1,69 @@
+#include "data/dataloader.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::data {
+
+DataLoader::DataLoader(const TimeSeriesDataset* dataset, int64_t batch_size,
+                       bool shuffle, Rng* rng)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(rng->Fork()) {
+  UNITS_CHECK(dataset != nullptr);
+  UNITS_CHECK_GE(batch_size, 1);
+  Reset();
+}
+
+void DataLoader::Reset() {
+  const int64_t n = dataset_->num_samples();
+  order_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    order_[static_cast<size_t>(i)] = i;
+  }
+  if (shuffle_) {
+    rng_.Shuffle(&order_);
+  }
+  cursor_ = 0;
+}
+
+bool DataLoader::Next(Batch* batch) {
+  const int64_t n = dataset_->num_samples();
+  if (cursor_ >= n) {
+    return false;
+  }
+  const int64_t end = std::min(cursor_ + batch_size_, n);
+  std::vector<int64_t> idx(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+
+  batch->indices = idx;
+  batch->values = ops::GatherRows(dataset_->values(), idx);
+  batch->labels.clear();
+  if (dataset_->has_labels()) {
+    batch->labels.reserve(idx.size());
+    for (int64_t i : idx) {
+      batch->labels.push_back(dataset_->labels()[static_cast<size_t>(i)]);
+    }
+  }
+  if (dataset_->has_targets()) {
+    batch->targets = ops::GatherRows(dataset_->targets(), idx);
+  } else {
+    batch->targets = Tensor();
+  }
+  if (dataset_->has_point_labels()) {
+    batch->point_labels = ops::GatherRows(dataset_->point_labels(), idx);
+  } else {
+    batch->point_labels = Tensor();
+  }
+  return true;
+}
+
+int64_t DataLoader::NumBatches() const {
+  const int64_t n = dataset_->num_samples();
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace units::data

@@ -1,0 +1,48 @@
+#ifndef UNITS_DATA_DATALOADER_H_
+#define UNITS_DATA_DATALOADER_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "data/dataset.h"
+
+namespace units::data {
+
+/// One minibatch drawn from a TimeSeriesDataset.
+struct Batch {
+  Tensor values;                  // [B, D, T]
+  std::vector<int64_t> labels;    // per-sample labels (may be empty)
+  Tensor targets;                 // [B, D, H] when the dataset has targets
+  Tensor point_labels;            // [B, T] when present
+  std::vector<int64_t> indices;   // source row of each batch element
+};
+
+/// Iterates a dataset in minibatches; reshuffles each epoch when shuffle is
+/// on. The final short batch is emitted (no drop-last).
+class DataLoader {
+ public:
+  /// `dataset` must outlive the loader.
+  DataLoader(const TimeSeriesDataset* dataset, int64_t batch_size,
+             bool shuffle, Rng* rng);
+
+  /// Starts a new epoch.
+  void Reset();
+
+  /// Fills `batch` with the next minibatch; false at epoch end.
+  bool Next(Batch* batch);
+
+  /// Batches per epoch.
+  int64_t NumBatches() const;
+
+ private:
+  const TimeSeriesDataset* dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace units::data
+
+#endif  // UNITS_DATA_DATALOADER_H_

@@ -1,0 +1,155 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::data {
+
+TimeSeriesDataset::TimeSeriesDataset(Tensor values)
+    : values_(std::move(values)) {
+  UNITS_CHECK_EQ(values_.ndim(), 3);
+}
+
+TimeSeriesDataset::TimeSeriesDataset(Tensor values,
+                                     std::vector<int64_t> labels)
+    : values_(std::move(values)), labels_(std::move(labels)) {
+  UNITS_CHECK_EQ(values_.ndim(), 3);
+  UNITS_CHECK_EQ(static_cast<int64_t>(labels_.size()), num_samples());
+}
+
+void TimeSeriesDataset::set_labels(std::vector<int64_t> labels) {
+  UNITS_CHECK_EQ(static_cast<int64_t>(labels.size()), num_samples());
+  labels_ = std::move(labels);
+}
+
+void TimeSeriesDataset::set_targets(Tensor targets) {
+  UNITS_CHECK_EQ(targets.ndim(), 3);
+  UNITS_CHECK_EQ(targets.dim(0), num_samples());
+  targets_ = std::move(targets);
+}
+
+void TimeSeriesDataset::set_point_labels(Tensor point_labels) {
+  UNITS_CHECK_EQ(point_labels.ndim(), 2);
+  UNITS_CHECK_EQ(point_labels.dim(0), num_samples());
+  UNITS_CHECK_EQ(point_labels.dim(1), length());
+  point_labels_ = std::move(point_labels);
+}
+
+int64_t TimeSeriesDataset::NumClasses() const {
+  if (labels_.empty()) {
+    return 0;
+  }
+  const int64_t max_label = *std::max_element(labels_.begin(), labels_.end());
+  return max_label + 1;
+}
+
+TimeSeriesDataset TimeSeriesDataset::Subset(
+    const std::vector<int64_t>& indices) const {
+  TimeSeriesDataset out;
+  out.values_ = ops::GatherRows(values_, indices);
+  if (has_labels()) {
+    out.labels_.reserve(indices.size());
+    for (int64_t i : indices) {
+      UNITS_CHECK(i >= 0 && i < num_samples());
+      out.labels_.push_back(labels_[static_cast<size_t>(i)]);
+    }
+  }
+  if (has_targets()) {
+    out.targets_ = ops::GatherRows(targets_, indices);
+  }
+  if (has_point_labels()) {
+    out.point_labels_ = ops::GatherRows(point_labels_, indices);
+  }
+  return out;
+}
+
+namespace {
+
+/// Groups sample indices by class (single group when unlabeled).
+std::map<int64_t, std::vector<int64_t>> GroupByClass(
+    const std::vector<int64_t>& labels, int64_t n) {
+  std::map<int64_t, std::vector<int64_t>> groups;
+  if (labels.empty()) {
+    for (int64_t i = 0; i < n; ++i) {
+      groups[0].push_back(i);
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      groups[labels[static_cast<size_t>(i)]].push_back(i);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::pair<TimeSeriesDataset, TimeSeriesDataset>
+TimeSeriesDataset::TrainTestSplit(double train_fraction, Rng* rng) const {
+  UNITS_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  std::vector<int64_t> train_idx;
+  std::vector<int64_t> test_idx;
+  for (auto& [cls, members] : GroupByClass(labels_, num_samples())) {
+    std::vector<int64_t> shuffled = members;
+    rng->Shuffle(&shuffled);
+    // At least one sample on each side of the split per class.
+    int64_t n_train = static_cast<int64_t>(
+        train_fraction * static_cast<double>(shuffled.size()) + 0.5);
+    n_train = std::clamp<int64_t>(n_train, 1,
+                                  static_cast<int64_t>(shuffled.size()) - 1);
+    for (size_t i = 0; i < shuffled.size(); ++i) {
+      (static_cast<int64_t>(i) < n_train ? train_idx : test_idx)
+          .push_back(shuffled[i]);
+    }
+  }
+  std::sort(train_idx.begin(), train_idx.end());
+  std::sort(test_idx.begin(), test_idx.end());
+  return {Subset(train_idx), Subset(test_idx)};
+}
+
+std::pair<TimeSeriesDataset, TimeSeriesDataset>
+TimeSeriesDataset::PartialLabelSplit(double labeled_fraction,
+                                     Rng* rng) const {
+  UNITS_CHECK(labeled_fraction > 0.0 && labeled_fraction <= 1.0);
+  UNITS_CHECK(has_labels());
+  std::vector<int64_t> labeled_idx;
+  for (auto& [cls, members] : GroupByClass(labels_, num_samples())) {
+    std::vector<int64_t> shuffled = members;
+    rng->Shuffle(&shuffled);
+    int64_t n_keep = static_cast<int64_t>(
+        labeled_fraction * static_cast<double>(shuffled.size()) + 0.5);
+    n_keep = std::max<int64_t>(n_keep, 1);
+    for (int64_t i = 0; i < n_keep; ++i) {
+      labeled_idx.push_back(shuffled[static_cast<size_t>(i)]);
+    }
+  }
+  std::sort(labeled_idx.begin(), labeled_idx.end());
+
+  TimeSeriesDataset unlabeled;
+  unlabeled.values_ = values_;  // shares storage; labels dropped
+  return {Subset(labeled_idx), unlabeled};
+}
+
+std::string TimeSeriesDataset::Description() const {
+  std::string out =
+      StrFormat("TimeSeriesDataset(N=%lld, D=%lld, T=%lld",
+                static_cast<long long>(num_samples()),
+                static_cast<long long>(num_channels()),
+                static_cast<long long>(length()));
+  if (has_labels()) {
+    out += StrFormat(", classes=%lld", static_cast<long long>(NumClasses()));
+  }
+  if (has_targets()) {
+    out += StrFormat(", horizon=%lld", static_cast<long long>(targets_.dim(2)));
+  }
+  if (has_point_labels()) {
+    out += ", point-labeled";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace units::data

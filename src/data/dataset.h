@@ -1,0 +1,78 @@
+#ifndef UNITS_DATA_DATASET_H_
+#define UNITS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "tensor/tensor.h"
+
+namespace units::data {
+
+/// A collection of fixed-length multivariate time series, following the
+/// paper's formulation X in R^{N x D x T}, with optional integer labels
+/// (classification / clustering), optional forecast targets Y in
+/// R^{N x D x H}, and optional per-timestep anomaly labels in {0,1}^{N x T}.
+class TimeSeriesDataset {
+ public:
+  TimeSeriesDataset() = default;
+
+  /// Dataset of series only (unlabeled).
+  explicit TimeSeriesDataset(Tensor values);
+
+  /// Labeled dataset (labels.size() must equal N).
+  TimeSeriesDataset(Tensor values, std::vector<int64_t> labels);
+
+  int64_t num_samples() const { return values_.ndim() == 3 ? values_.dim(0) : 0; }
+  int64_t num_channels() const { return values_.ndim() == 3 ? values_.dim(1) : 0; }
+  int64_t length() const { return values_.ndim() == 3 ? values_.dim(2) : 0; }
+
+  const Tensor& values() const { return values_; }
+  Tensor& mutable_values() { return values_; }
+
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<int64_t>& labels() const { return labels_; }
+  void set_labels(std::vector<int64_t> labels);
+
+  bool has_targets() const { return targets_.numel() > 0; }
+  const Tensor& targets() const { return targets_; }
+  void set_targets(Tensor targets);
+
+  bool has_point_labels() const { return point_labels_.numel() > 0; }
+  const Tensor& point_labels() const { return point_labels_; }
+  void set_point_labels(Tensor point_labels);
+
+  /// Number of distinct labels (0 when unlabeled).
+  int64_t NumClasses() const;
+
+  /// Sub-dataset of the given sample indices (copies data; carries labels,
+  /// targets, and point labels when present).
+  TimeSeriesDataset Subset(const std::vector<int64_t>& indices) const;
+
+  /// Random train/test split. When the dataset is labeled the split is
+  /// stratified per class so small label budgets keep all classes.
+  std::pair<TimeSeriesDataset, TimeSeriesDataset> TrainTestSplit(
+      double train_fraction, Rng* rng) const;
+
+  /// Keeps labels on a random `labeled_fraction` of samples and returns
+  /// {labeled subset, full unlabeled copy}; used for the partial-labeling
+  /// experiments. Stratified; keeps at least one sample per class.
+  std::pair<TimeSeriesDataset, TimeSeriesDataset> PartialLabelSplit(
+      double labeled_fraction, Rng* rng) const;
+
+  /// One-line summary for logs.
+  std::string Description() const;
+
+ private:
+  Tensor values_;        // [N, D, T]
+  std::vector<int64_t> labels_;
+  Tensor targets_;       // [N, D, H] when present
+  Tensor point_labels_;  // [N, T] when present
+};
+
+}  // namespace units::data
+
+#endif  // UNITS_DATA_DATASET_H_

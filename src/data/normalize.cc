@@ -1,0 +1,169 @@
+#include "data/normalize.h"
+
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+
+namespace units::data {
+
+namespace {
+constexpr float kMinStddev = 1e-6f;
+}  // namespace
+
+Status ZScoreNormalizer::Fit(const Tensor& values) {
+  if (values.ndim() != 3) {
+    return Status::InvalidArgument("ZScoreNormalizer expects [N, D, T]");
+  }
+  const int64_t n = values.dim(0);
+  const int64_t d = values.dim(1);
+  const int64_t t = values.dim(2);
+  if (n * t == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  mean_.assign(static_cast<size_t>(d), 0.0f);
+  stddev_.assign(static_cast<size_t>(d), 0.0f);
+  const float* p = values.data();
+  for (int64_t c = 0; c < d; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = p + (i * d + c) * t;
+      for (int64_t j = 0; j < t; ++j) {
+        sum += row[j];
+        sq += static_cast<double>(row[j]) * row[j];
+      }
+    }
+    const double count = static_cast<double>(n * t);
+    const double mu = sum / count;
+    const double var = std::max(0.0, sq / count - mu * mu);
+    mean_[static_cast<size_t>(c)] = static_cast<float>(mu);
+    stddev_[static_cast<size_t>(c)] =
+        std::max(kMinStddev, static_cast<float>(std::sqrt(var)));
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Tensor ZScoreNormalizer::Transform(const Tensor& values) const {
+  UNITS_CHECK_MSG(fitted_, "Transform before Fit");
+  UNITS_CHECK_EQ(values.ndim(), 3);
+  UNITS_CHECK_EQ(values.dim(1), static_cast<int64_t>(mean_.size()));
+  Tensor out = values.Clone();
+  const int64_t n = out.dim(0);
+  const int64_t d = out.dim(1);
+  const int64_t t = out.dim(2);
+  float* p = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < d; ++c) {
+      float* row = p + (i * d + c) * t;
+      const float mu = mean_[static_cast<size_t>(c)];
+      const float inv = 1.0f / stddev_[static_cast<size_t>(c)];
+      for (int64_t j = 0; j < t; ++j) {
+        row[j] = (row[j] - mu) * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ZScoreNormalizer::InverseTransform(const Tensor& values) const {
+  UNITS_CHECK_MSG(fitted_, "InverseTransform before Fit");
+  UNITS_CHECK_EQ(values.ndim(), 3);
+  Tensor out = values.Clone();
+  const int64_t n = out.dim(0);
+  const int64_t d = out.dim(1);
+  const int64_t t = out.dim(2);
+  float* p = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < d; ++c) {
+      float* row = p + (i * d + c) * t;
+      const float mu = mean_[static_cast<size_t>(c)];
+      const float sd = stddev_[static_cast<size_t>(c)];
+      for (int64_t j = 0; j < t; ++j) {
+        row[j] = row[j] * sd + mu;
+      }
+    }
+  }
+  return out;
+}
+
+ZScoreNormalizer ZScoreNormalizer::FromStats(std::vector<float> mean,
+                                             std::vector<float> stddev) {
+  UNITS_CHECK_EQ(mean.size(), stddev.size());
+  ZScoreNormalizer n;
+  n.mean_ = std::move(mean);
+  n.stddev_ = std::move(stddev);
+  n.fitted_ = true;
+  return n;
+}
+
+Status MinMaxNormalizer::Fit(const Tensor& values) {
+  if (values.ndim() != 3) {
+    return Status::InvalidArgument("MinMaxNormalizer expects [N, D, T]");
+  }
+  const int64_t n = values.dim(0);
+  const int64_t d = values.dim(1);
+  const int64_t t = values.dim(2);
+  if (n * t == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  min_.assign(static_cast<size_t>(d), std::numeric_limits<float>::max());
+  max_.assign(static_cast<size_t>(d), std::numeric_limits<float>::lowest());
+  const float* p = values.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < d; ++c) {
+      const float* row = p + (i * d + c) * t;
+      for (int64_t j = 0; j < t; ++j) {
+        min_[static_cast<size_t>(c)] = std::min(min_[static_cast<size_t>(c)], row[j]);
+        max_[static_cast<size_t>(c)] = std::max(max_[static_cast<size_t>(c)], row[j]);
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Tensor MinMaxNormalizer::Transform(const Tensor& values) const {
+  UNITS_CHECK_MSG(fitted_, "Transform before Fit");
+  UNITS_CHECK_EQ(values.ndim(), 3);
+  Tensor out = values.Clone();
+  const int64_t n = out.dim(0);
+  const int64_t d = out.dim(1);
+  const int64_t t = out.dim(2);
+  float* p = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < d; ++c) {
+      float* row = p + (i * d + c) * t;
+      const float lo = min_[static_cast<size_t>(c)];
+      const float span = std::max(kMinStddev, max_[static_cast<size_t>(c)] - lo);
+      for (int64_t j = 0; j < t; ++j) {
+        row[j] = (row[j] - lo) / span;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MinMaxNormalizer::InverseTransform(const Tensor& values) const {
+  UNITS_CHECK_MSG(fitted_, "InverseTransform before Fit");
+  UNITS_CHECK_EQ(values.ndim(), 3);
+  Tensor out = values.Clone();
+  const int64_t n = out.dim(0);
+  const int64_t d = out.dim(1);
+  const int64_t t = out.dim(2);
+  float* p = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < d; ++c) {
+      float* row = p + (i * d + c) * t;
+      const float lo = min_[static_cast<size_t>(c)];
+      const float span = std::max(kMinStddev, max_[static_cast<size_t>(c)] - lo);
+      for (int64_t j = 0; j < t; ++j) {
+        row[j] = row[j] * span + lo;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace units::data

@@ -1,0 +1,58 @@
+#ifndef UNITS_DATA_NORMALIZE_H_
+#define UNITS_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "tensor/tensor.h"
+
+namespace units::data {
+
+/// Per-channel z-score normalizer with the sklearn-style Fit/Transform
+/// contract. Statistics are computed over all samples and timesteps of each
+/// channel of an [N, D, T] tensor.
+class ZScoreNormalizer {
+ public:
+  /// Computes per-channel mean and standard deviation.
+  Status Fit(const Tensor& values);
+
+  /// (x - mean) / std, channel-wise. Requires Fit first.
+  Tensor Transform(const Tensor& values) const;
+
+  /// x * std + mean.
+  Tensor InverseTransform(const Tensor& values) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return stddev_; }
+
+  /// Restores a fitted normalizer from saved statistics.
+  static ZScoreNormalizer FromStats(std::vector<float> mean,
+                                    std::vector<float> stddev);
+
+ private:
+  bool fitted_ = false;
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+/// Per-channel min-max scaler to [0, 1].
+class MinMaxNormalizer {
+ public:
+  Status Fit(const Tensor& values);
+  Tensor Transform(const Tensor& values) const;
+  Tensor InverseTransform(const Tensor& values) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<float>& min() const { return min_; }
+  const std::vector<float>& max() const { return max_; }
+
+ private:
+  bool fitted_ = false;
+  std::vector<float> min_;
+  std::vector<float> max_;
+};
+
+}  // namespace units::data
+
+#endif  // UNITS_DATA_NORMALIZE_H_

@@ -1,0 +1,379 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "augment/augment.h"
+#include "base/check.h"
+#include "data/window.h"
+
+namespace units::data {
+
+namespace {
+
+/// Base waveform families used to give classes distinct shapes.
+enum class Waveform { kSine, kSquare, kSawtooth, kChirp, kTriangle };
+
+float EvalWaveform(Waveform w, float phase_cycles) {
+  // phase_cycles counts full periods; fractional part is position in period.
+  const float frac = phase_cycles - std::floor(phase_cycles);
+  switch (w) {
+    case Waveform::kSine:
+      return std::sin(2.0f * static_cast<float>(M_PI) * phase_cycles);
+    case Waveform::kSquare:
+      return frac < 0.5f ? 1.0f : -1.0f;
+    case Waveform::kSawtooth:
+      return 2.0f * frac - 1.0f;
+    case Waveform::kChirp:
+      // Frequency rises through the window: sin(2π (p + 0.5 p^2 / P)).
+      return std::sin(2.0f * static_cast<float>(M_PI) *
+                      (phase_cycles + 0.15f * phase_cycles * phase_cycles));
+    case Waveform::kTriangle:
+      return frac < 0.5f ? 4.0f * frac - 1.0f : 3.0f - 4.0f * frac;
+  }
+  return 0.0f;
+}
+
+/// Per-(class, channel) waveform parameters.
+struct ChannelSpec {
+  Waveform wave = Waveform::kSine;
+  float freq = 2.0f;   // cycles per window
+  float amp = 1.0f;
+  float phase = 0.0f;  // base phase in cycles
+};
+
+/// Per-class structure: one waveform per channel plus a localized motif.
+struct ClassSpec {
+  std::vector<ChannelSpec> channels;
+  std::vector<float> motif;  // short shape inserted at a random position
+  int64_t motif_channel = 0;
+};
+
+std::vector<ClassSpec> DrawClassSpecs(const ClassificationOpts& opts,
+                                      Rng* rng) {
+  std::vector<ClassSpec> specs(static_cast<size_t>(opts.num_classes));
+  constexpr Waveform kWaves[] = {Waveform::kSine, Waveform::kSquare,
+                                 Waveform::kSawtooth, Waveform::kChirp,
+                                 Waveform::kTriangle};
+  for (int64_t c = 0; c < opts.num_classes; ++c) {
+    ClassSpec& spec = specs[static_cast<size_t>(c)];
+    spec.channels.resize(static_cast<size_t>(opts.num_channels));
+    for (int64_t d = 0; d < opts.num_channels; ++d) {
+      ChannelSpec& ch = spec.channels[static_cast<size_t>(d)];
+      // All classes share the same frequency band and draw their waveform
+      // families at random: class identity lives in the *combination* of
+      // shapes across channels plus the motif below, not in any single
+      // scalar cue a tiny labeled set could pin down.
+      ch.wave = kWaves[rng->UniformInt(5)];
+      const double band_lo =
+          1.8 + static_cast<double>(opts.freq_separation) *
+                    static_cast<double>(c);
+      ch.freq = static_cast<float>(rng->Uniform(band_lo, band_lo + 1.2));
+      ch.amp = static_cast<float>(rng->Uniform(0.7, 1.3));
+      ch.phase = static_cast<float>(rng->Uniform(0.0, 1.0));
+    }
+    if (opts.add_motifs) {
+      // Clamp so short series (tests, toy configs) still fit the motif.
+      const int64_t motif_len = std::clamp<int64_t>(
+          rng->UniformInt(12, 18), 4, std::max<int64_t>(4, opts.length / 2));
+      spec.motif.resize(static_cast<size_t>(motif_len));
+      // Class-specific random smooth shape: random harmonics under a
+      // half-sine envelope, normalized to a fixed peak amplitude.
+      const float f1 = static_cast<float>(rng->Uniform(0.5, 2.5));
+      const float f2 = static_cast<float>(rng->Uniform(2.5, 5.0));
+      const float w2 = static_cast<float>(rng->Uniform(-0.8, 0.8));
+      const float phase = static_cast<float>(rng->Uniform(0.0, 2.0 * M_PI));
+      float peak = 1e-6f;
+      for (int64_t j = 0; j < motif_len; ++j) {
+        const float u = static_cast<float>(j) /
+                        static_cast<float>(motif_len - 1);
+        const float envelope = std::sin(static_cast<float>(M_PI) * u);
+        const float body =
+            std::sin(2.0f * static_cast<float>(M_PI) * f1 * u + phase) +
+            w2 * std::sin(2.0f * static_cast<float>(M_PI) * f2 * u);
+        spec.motif[static_cast<size_t>(j)] = envelope * body;
+        peak = std::max(peak, std::fabs(spec.motif[static_cast<size_t>(j)]));
+      }
+      for (float& v : spec.motif) {
+        v *= 2.2f / peak;
+      }
+      spec.motif_channel =
+          static_cast<int64_t>(rng->UniformInt(
+              static_cast<uint64_t>(opts.num_channels)));
+    }
+  }
+  return specs;
+}
+
+/// Renders one instance of class `spec` into `out` (D x T block).
+void RenderInstance(const ClassSpec& spec, const ClassificationOpts& opts,
+                    const DomainShift* shift, Rng* rng, float* out) {
+  const int64_t d = opts.num_channels;
+  const int64_t t = opts.length;
+  const float amp_scale = shift != nullptr ? shift->amp_scale : 1.0f;
+  const float freq_scale = shift != nullptr ? shift->freq_scale : 1.0f;
+  const float noise =
+      opts.noise * (shift != nullptr ? shift->noise_mult : 1.0f);
+
+  // Instance-level nuisance parameters (shared across channels so channel
+  // correlations stay intact).
+  const float inst_amp = 1.0f + opts.amp_jitter *
+                                    static_cast<float>(rng->Uniform(-1.0, 1.0));
+  const float inst_phase = opts.phase_jitter *
+                           static_cast<float>(rng->Uniform(0.0, 1.0));
+  const float drift_phase = static_cast<float>(rng->Uniform(0.0, 2.0 * M_PI));
+
+  for (int64_t di = 0; di < d; ++di) {
+    const ChannelSpec& ch = spec.channels[static_cast<size_t>(di)];
+    float* row = out + di * t;
+    for (int64_t ti = 0; ti < t; ++ti) {
+      const float pos = static_cast<float>(ti) / static_cast<float>(t);
+      const float cycles =
+          ch.freq * freq_scale * pos + ch.phase + inst_phase;
+      float v = inst_amp * amp_scale * ch.amp * EvalWaveform(ch.wave, cycles);
+      if (shift != nullptr) {
+        // Slow baseline drift: one sinusoid cycle across the window.
+        v += shift->drift_amp *
+             std::sin(2.0f * static_cast<float>(M_PI) * pos + drift_phase);
+      }
+      v += noise * static_cast<float>(rng->Normal());
+      row[ti] = v;
+    }
+  }
+
+  // Insert the class motif at a random position (translation invariance is
+  // part of what pre-training must learn).
+  if (!spec.motif.empty()) {
+    const int64_t mlen = static_cast<int64_t>(spec.motif.size());
+    const int64_t start =
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(t - mlen)));
+    float* row = out + spec.motif_channel * t;
+    for (int64_t j = 0; j < mlen; ++j) {
+      row[start + j] += inst_amp * amp_scale *
+                        spec.motif[static_cast<size_t>(j)];
+    }
+  }
+}
+
+TimeSeriesDataset GenerateClassification(const ClassificationOpts& opts,
+                                         const DomainShift* shift,
+                                         Rng* spec_rng, Rng* inst_rng) {
+  UNITS_CHECK_GE(opts.num_classes, 2);
+  UNITS_CHECK_GE(opts.num_samples, opts.num_classes);
+  const std::vector<ClassSpec> specs = DrawClassSpecs(opts, spec_rng);
+
+  Tensor values = Tensor::Zeros(
+      {opts.num_samples, opts.num_channels, opts.length});
+  std::vector<int64_t> labels(static_cast<size_t>(opts.num_samples));
+  float* p = values.data();
+  for (int64_t i = 0; i < opts.num_samples; ++i) {
+    const int64_t cls = i % opts.num_classes;  // balanced classes
+    labels[static_cast<size_t>(i)] = cls;
+    RenderInstance(specs[static_cast<size_t>(cls)], opts, shift, inst_rng,
+                   p + i * opts.num_channels * opts.length);
+  }
+  if (opts.time_warp > 0.0f) {
+    // A per-instance smooth warp is a nuisance no small label budget can
+    // cover; representation learning must absorb it from unlabeled data.
+    values = augment::TimeWarp(values, opts.time_warp, 6, inst_rng);
+  }
+  return TimeSeriesDataset(std::move(values), std::move(labels));
+}
+
+}  // namespace
+
+TimeSeriesDataset MakeClassificationDataset(const ClassificationOpts& opts) {
+  Rng spec_rng(opts.seed);
+  Rng inst_rng(opts.seed ^ 0xABCDEF12345ULL);
+  return GenerateClassification(opts, /*shift=*/nullptr, &spec_rng,
+                                &inst_rng);
+}
+
+std::pair<TimeSeriesDataset, TimeSeriesDataset> MakeDomainShiftPair(
+    const ClassificationOpts& opts, const DomainShift& shift) {
+  // Both domains share class specs (same spec seed) but draw independent
+  // instances; the target additionally applies the domain transform.
+  Rng spec_rng_a(opts.seed);
+  Rng inst_rng_a(opts.seed ^ 0x1111ULL);
+  TimeSeriesDataset source =
+      GenerateClassification(opts, nullptr, &spec_rng_a, &inst_rng_a);
+
+  Rng spec_rng_b(opts.seed);  // identical class structure
+  Rng inst_rng_b(opts.seed ^ 0x2222ULL);
+  TimeSeriesDataset target =
+      GenerateClassification(opts, &shift, &spec_rng_b, &inst_rng_b);
+
+  if (shift.channel_rotation % opts.num_channels != 0) {
+    const int64_t rot =
+        ((shift.channel_rotation % opts.num_channels) + opts.num_channels) %
+        opts.num_channels;
+    Tensor rotated = Tensor::Zeros(target.values().shape());
+    const int64_t d = opts.num_channels;
+    const int64_t t = opts.length;
+    const float* src = target.values().data();
+    float* dst = rotated.data();
+    for (int64_t i = 0; i < target.num_samples(); ++i) {
+      for (int64_t c = 0; c < d; ++c) {
+        const int64_t from = (c + rot) % d;
+        std::copy(src + (i * d + from) * t, src + (i * d + from + 1) * t,
+                  dst + (i * d + c) * t);
+      }
+    }
+    target = TimeSeriesDataset(std::move(rotated),
+                               std::vector<int64_t>(target.labels()));
+  }
+  return {std::move(source), std::move(target)};
+}
+
+Tensor MakeForecastSeries(const ForecastSeriesOpts& opts) {
+  Rng rng(opts.seed);
+  Tensor out = Tensor::Zeros({opts.num_channels, opts.total_length});
+  float* p = out.data();
+  for (int64_t d = 0; d < opts.num_channels; ++d) {
+    const float daily_amp = static_cast<float>(rng.Uniform(0.8, 1.2));
+    const float weekly_amp = static_cast<float>(rng.Uniform(0.3, 0.6));
+    const float daily_phase = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+    const float weekly_phase = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+    float ar_state = 0.0f;
+    float* row = p + d * opts.total_length;
+    for (int64_t t = 0; t < opts.total_length; ++t) {
+      const float tf = static_cast<float>(t);
+      ar_state = opts.ar_coeff * ar_state +
+                 opts.noise * static_cast<float>(rng.Normal());
+      row[t] = opts.trend_slope * tf +
+               daily_amp * std::sin(2.0f * static_cast<float>(M_PI) * tf /
+                                        opts.daily_period +
+                                    daily_phase) +
+               weekly_amp * std::sin(2.0f * static_cast<float>(M_PI) * tf /
+                                         opts.weekly_period +
+                                     weekly_phase) +
+               ar_state;
+    }
+  }
+  return out;
+}
+
+TimeSeriesDataset MakeForecastDataset(const ForecastSeriesOpts& opts,
+                                      int64_t input_len, int64_t horizon,
+                                      int64_t stride) {
+  const Tensor series = MakeForecastSeries(opts);
+  auto [x, y] = ForecastWindows(series, input_len, horizon, stride);
+  TimeSeriesDataset dataset(std::move(x));
+  dataset.set_targets(std::move(y));
+  return dataset;
+}
+
+Tensor MakeCleanSeries(const AnomalyOpts& opts) {
+  Rng rng(opts.seed);
+  Tensor out = Tensor::Zeros({opts.num_channels, opts.total_length});
+  float* p = out.data();
+  for (int64_t d = 0; d < opts.num_channels; ++d) {
+    const float amp = static_cast<float>(rng.Uniform(0.9, 1.1));
+    const float phase = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+    const float harmonic_amp = static_cast<float>(rng.Uniform(0.2, 0.4));
+    float* row = p + d * opts.total_length;
+    for (int64_t t = 0; t < opts.total_length; ++t) {
+      const float angle =
+          2.0f * static_cast<float>(M_PI) * static_cast<float>(t) /
+          opts.base_period;
+      row[t] = amp * std::sin(angle + phase) +
+               harmonic_amp * std::sin(2.0f * angle + phase) +
+               opts.noise * static_cast<float>(rng.Normal());
+    }
+  }
+  return out;
+}
+
+AnomalySeries MakeAnomalySeries(const AnomalyOpts& opts) {
+  AnomalySeries out;
+  out.series = MakeCleanSeries(opts);
+  out.labels = Tensor::Zeros({opts.total_length});
+  Rng rng(opts.seed ^ 0xA45ULL);
+  float* p = out.series.data();
+  float* lab = out.labels.data();
+  const int64_t t_long = opts.total_length;
+  const int64_t d = opts.num_channels;
+  for (int64_t k = 0; k < opts.num_anomalies; ++k) {
+    const auto type = static_cast<AnomalyType>(k % 4);
+    const int64_t channel =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(d)));
+    float* row = p + channel * t_long;
+    switch (type) {
+      case AnomalyType::kSpike: {
+        const int64_t len = rng.UniformInt(1, 3);
+        const int64_t start = rng.UniformInt(0, t_long - len - 1);
+        const float sign = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+        for (int64_t j = 0; j < len; ++j) {
+          row[start + j] += sign * static_cast<float>(rng.Uniform(4.0, 6.0));
+          lab[start + j] = 1.0f;
+        }
+        break;
+      }
+      case AnomalyType::kLevelShift: {
+        const int64_t len = rng.UniformInt(20, 40);
+        const int64_t start = rng.UniformInt(0, t_long - len - 1);
+        const float shift =
+            (rng.Bernoulli(0.5) ? 1.0f : -1.0f) *
+            static_cast<float>(rng.Uniform(1.5, 2.5));
+        for (int64_t j = 0; j < len; ++j) {
+          row[start + j] += shift;
+          lab[start + j] = 1.0f;
+        }
+        break;
+      }
+      case AnomalyType::kNoiseBurst: {
+        const int64_t len = rng.UniformInt(15, 30);
+        const int64_t start = rng.UniformInt(0, t_long - len - 1);
+        for (int64_t j = 0; j < len; ++j) {
+          row[start + j] += 4.0f * opts.noise * 6.0f *
+                            static_cast<float>(rng.Normal());
+          lab[start + j] = 1.0f;
+        }
+        break;
+      }
+      case AnomalyType::kFlatline: {
+        const int64_t len = rng.UniformInt(20, 35);
+        const int64_t start = rng.UniformInt(0, t_long - len - 1);
+        const float level = row[start];
+        for (int64_t j = 0; j < len; ++j) {
+          row[start + j] = level;
+          lab[start + j] = 1.0f;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MakeMissingMask(const Shape& shape, float missing_rate,
+                       float mean_block_len, Rng* rng) {
+  UNITS_CHECK(missing_rate >= 0.0f && missing_rate < 1.0f);
+  UNITS_CHECK_GE(mean_block_len, 1.0f);
+  Tensor mask = Tensor::Ones(shape);
+  if (missing_rate == 0.0f) {
+    return mask;
+  }
+  float* m = mask.data();
+  const int64_t n = mask.numel();
+  // Two-state Markov chain over the last axis: P(observed -> missing) tuned
+  // so the stationary missing rate matches `missing_rate`.
+  const float p_leave_missing = 1.0f / mean_block_len;
+  const float p_enter_missing =
+      missing_rate * p_leave_missing / std::max(1e-6f, 1.0f - missing_rate);
+  const int64_t inner = shape.empty() ? n : shape.back();
+  for (int64_t start = 0; start < n; start += inner) {
+    bool missing = rng->Bernoulli(missing_rate);
+    for (int64_t j = 0; j < inner; ++j) {
+      m[start + j] = missing ? 0.0f : 1.0f;
+      const float p_flip = missing ? p_leave_missing : p_enter_missing;
+      if (rng->Bernoulli(p_flip)) {
+        missing = !missing;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace units::data

@@ -1,0 +1,116 @@
+#ifndef UNITS_DATA_SYNTHETIC_H_
+#define UNITS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace units::data {
+
+// Synthetic workload generators substituting for the paper's real datasets
+// (human action recognition, fault detection, server monitoring). Each
+// generator is deterministic given its seed and exposes the statistical
+// structure the corresponding self-supervised objective exploits:
+// class-discriminative waveforms and motifs, temporal redundancy, seasonal
+// structure, and cross-domain invariants. See DESIGN.md §2.
+
+/// Options for the HAR-like classification generator.
+struct ClassificationOpts {
+  int64_t num_samples = 240;
+  int64_t num_classes = 4;
+  int64_t num_channels = 3;
+  int64_t length = 128;
+  float noise = 0.3f;           // additive Gaussian sigma
+  float amp_jitter = 0.2f;      // per-instance amplitude jitter (fraction)
+  float phase_jitter = 1.0f;    // per-instance phase offset scale (radians)
+  float time_warp = 0.0f;       // per-instance smooth time-warp strength
+  float freq_separation = 0.35f;  // shift of each class's frequency band;
+                                  // 0 = fully shared band (hardest)
+  bool add_motifs = true;       // class-specific localized motifs
+  uint64_t seed = 1;
+};
+
+/// Class-structured multivariate series (HAR-like). Each class owns a set
+/// of per-channel base waveforms plus a localized motif; instances vary by
+/// phase, amplitude and noise, so class identity lives in shape, not scale.
+TimeSeriesDataset MakeClassificationDataset(const ClassificationOpts& opts);
+
+/// Domain transform applied on top of the class structure (amplitude and
+/// frequency scaling, baseline drift, extra noise) to model deployment
+/// shift between e.g. two sensor installations.
+struct DomainShift {
+  float amp_scale = 1.6f;
+  float freq_scale = 1.15f;
+  float drift_amp = 0.8f;    // slow sinusoidal baseline drift amplitude
+  float noise_mult = 1.8f;
+  // Rotates channels by this many positions (sensor d reports what sensor
+  // d+rotation reported in the source installation). This makes the
+  // *class-conditional* distribution shift: models that memorized which
+  // channel carries which pattern are actively misled in the target
+  // domain, the regime where pooled source+target training breaks down.
+  int64_t channel_rotation = 0;
+};
+
+/// Generates a (source, target) pair that share class semantics but differ
+/// by `shift`. Both datasets are labeled.
+std::pair<TimeSeriesDataset, TimeSeriesDataset> MakeDomainShiftPair(
+    const ClassificationOpts& opts, const DomainShift& shift);
+
+/// Options for the long forecasting series (energy / server-load-like).
+struct ForecastSeriesOpts {
+  int64_t num_channels = 2;
+  int64_t total_length = 2000;
+  float trend_slope = 0.0005f;
+  float daily_period = 48.0f;    // primary seasonality
+  float weekly_period = 336.0f;  // secondary seasonality
+  float noise = 0.2f;
+  float ar_coeff = 0.7f;         // AR(1) coefficient of the noise process
+  uint64_t seed = 2;
+};
+
+/// Long series [D, T_long] with trend + two seasonalities + AR(1) noise.
+Tensor MakeForecastSeries(const ForecastSeriesOpts& opts);
+
+/// Windowed forecasting dataset built from MakeForecastSeries: X [N, D,
+/// input_len], targets [N, D, horizon]; chronological order preserved.
+TimeSeriesDataset MakeForecastDataset(const ForecastSeriesOpts& opts,
+                                      int64_t input_len, int64_t horizon,
+                                      int64_t stride);
+
+/// Anomaly types injected by the server-monitoring-like generator.
+enum class AnomalyType { kSpike, kLevelShift, kNoiseBurst, kFlatline };
+
+/// Options for the anomaly detection generator.
+struct AnomalyOpts {
+  int64_t num_channels = 2;
+  int64_t total_length = 4000;
+  float base_period = 50.0f;
+  float noise = 0.15f;
+  int64_t num_anomalies = 24;
+  uint64_t seed = 3;
+};
+
+/// A long series with injected anomalies and per-timestep 0/1 labels.
+struct AnomalySeries {
+  Tensor series;  // [D, T_long]
+  Tensor labels;  // [T_long], values in {0, 1}
+};
+
+/// Clean periodic series (no anomalies) for training reconstruction models.
+Tensor MakeCleanSeries(const AnomalyOpts& opts);
+
+/// Series with `num_anomalies` injected events cycling through all four
+/// anomaly types.
+AnomalySeries MakeAnomalySeries(const AnomalyOpts& opts);
+
+/// Random missing mask over `shape`: entries are 1 (observed) or 0
+/// (missing). Missing runs have geometric length with the given mean, and
+/// the overall missing rate approaches `missing_rate`.
+Tensor MakeMissingMask(const Shape& shape, float missing_rate,
+                       float mean_block_len, Rng* rng);
+
+}  // namespace units::data
+
+#endif  // UNITS_DATA_SYNTHETIC_H_

@@ -1,0 +1,73 @@
+#include "data/window.h"
+
+#include "base/check.h"
+
+namespace units::data {
+
+Tensor SlidingWindows(const Tensor& series, int64_t window, int64_t stride) {
+  UNITS_CHECK_EQ(series.ndim(), 2);
+  UNITS_CHECK_GE(window, 1);
+  UNITS_CHECK_GE(stride, 1);
+  const int64_t d = series.dim(0);
+  const int64_t t_long = series.dim(1);
+  UNITS_CHECK_GE(t_long, window);
+  const int64_t n = (t_long - window) / stride + 1;
+  Tensor out = Tensor::Zeros({n, d, window});
+  const float* ps = series.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t start = i * stride;
+    for (int64_t c = 0; c < d; ++c) {
+      const float* src = ps + c * t_long + start;
+      float* dst = po + (i * d + c) * window;
+      std::copy(src, src + window, dst);
+    }
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> ForecastWindows(const Tensor& series,
+                                          int64_t input_len, int64_t horizon,
+                                          int64_t stride) {
+  UNITS_CHECK_EQ(series.ndim(), 2);
+  UNITS_CHECK_GE(input_len, 1);
+  UNITS_CHECK_GE(horizon, 1);
+  UNITS_CHECK_GE(stride, 1);
+  const int64_t d = series.dim(0);
+  const int64_t t_long = series.dim(1);
+  const int64_t total = input_len + horizon;
+  UNITS_CHECK_GE(t_long, total);
+  const int64_t n = (t_long - total) / stride + 1;
+  Tensor x = Tensor::Zeros({n, d, input_len});
+  Tensor y = Tensor::Zeros({n, d, horizon});
+  const float* ps = series.data();
+  float* px = x.data();
+  float* py = y.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t start = i * stride;
+    for (int64_t c = 0; c < d; ++c) {
+      const float* src = ps + c * t_long + start;
+      std::copy(src, src + input_len, px + (i * d + c) * input_len);
+      std::copy(src + input_len, src + total, py + (i * d + c) * horizon);
+    }
+  }
+  return {x, y};
+}
+
+Tensor SlidingLabelWindows(const Tensor& labels, int64_t window,
+                           int64_t stride) {
+  UNITS_CHECK_EQ(labels.ndim(), 1);
+  const int64_t t_long = labels.dim(0);
+  UNITS_CHECK_GE(t_long, window);
+  const int64_t n = (t_long - window) / stride + 1;
+  Tensor out = Tensor::Zeros({n, window});
+  const float* ps = labels.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = ps + i * stride;
+    std::copy(src, src + window, po + i * window);
+  }
+  return out;
+}
+
+}  // namespace units::data

@@ -1,0 +1,28 @@
+#ifndef UNITS_DATA_WINDOW_H_
+#define UNITS_DATA_WINDOW_H_
+
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace units::data {
+
+/// Slices a long multivariate series [D, T_long] into overlapping windows
+/// [N, D, window]; stride controls the hop between window starts.
+Tensor SlidingWindows(const Tensor& series, int64_t window, int64_t stride);
+
+/// Splits a long series [D, T_long] into (input, target) pairs for
+/// forecasting: X [N, D, input_len] immediately followed by Y [N, D,
+/// horizon], hopping by `stride`.
+std::pair<Tensor, Tensor> ForecastWindows(const Tensor& series,
+                                          int64_t input_len, int64_t horizon,
+                                          int64_t stride);
+
+/// Windows a per-timestep label vector [T_long] in lockstep with
+/// SlidingWindows: returns [N, window].
+Tensor SlidingLabelWindows(const Tensor& labels, int64_t window,
+                           int64_t stride);
+
+}  // namespace units::data
+
+#endif  // UNITS_DATA_WINDOW_H_

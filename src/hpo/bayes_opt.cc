@@ -1,0 +1,89 @@
+#include "hpo/bayes_opt.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/logging.h"
+
+namespace units::hpo {
+
+namespace {
+
+/// Standard normal pdf / cdf.
+double NormPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double NormCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+BayesianOptimizer::BayesianOptimizer(const ParamSpace* space, uint64_t seed,
+                                     Options options)
+    : space_(space), rng_(seed), options_(options) {
+  UNITS_CHECK(space != nullptr);
+  UNITS_CHECK(!space->empty());
+}
+
+double BayesianOptimizer::ExpectedImprovement(const GaussianProcess& gp,
+                                              const std::vector<double>& x,
+                                              double best_y) const {
+  const auto pred = gp.Predict(x);
+  const double sigma = std::sqrt(pred.variance);
+  if (sigma < 1e-12) {
+    return 0.0;
+  }
+  const double improvement = pred.mean - best_y - options_.xi;
+  const double z = improvement / sigma;
+  return improvement * NormCdf(z) + sigma * NormPdf(z);
+}
+
+ParamSet BayesianOptimizer::Propose() {
+  if (static_cast<int64_t>(history_.size()) <
+      options_.initial_random_trials) {
+    return space_->Sample(&rng_);
+  }
+
+  // Fit the surrogate on all observations.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  x.reserve(history_.size());
+  y.reserve(history_.size());
+  double best_y = history_[0].objective;
+  for (const Trial& t : history_) {
+    x.push_back(space_->ToUnitVector(t.params));
+    y.push_back(t.objective);
+    best_y = std::max(best_y, t.objective);
+  }
+  GaussianProcess gp(options_.gp_length_scale, options_.gp_noise);
+  const Status fit_status = gp.Fit(x, y);
+  if (!fit_status.ok()) {
+    UNITS_LOG(Warning) << "BayesianOptimizer: GP fit failed ("
+                       << fit_status.ToString()
+                       << "); falling back to random sampling";
+    return space_->Sample(&rng_);
+  }
+
+  // Maximize EI over random candidates.
+  std::vector<double> best_x;
+  double best_ei = -1.0;
+  const size_t d = space_->num_dims();
+  std::vector<double> candidate(d, 0.0);
+  for (int64_t s = 0; s < options_.acquisition_samples; ++s) {
+    for (double& u : candidate) {
+      u = rng_.Uniform();
+    }
+    const double ei = ExpectedImprovement(gp, candidate, best_y);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_x = candidate;
+    }
+  }
+  return space_->FromUnitVector(best_x);
+}
+
+void BayesianOptimizer::Observe(const Trial& trial) {
+  history_.push_back(trial);
+}
+
+}  // namespace units::hpo

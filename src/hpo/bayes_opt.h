@@ -1,0 +1,43 @@
+#ifndef UNITS_HPO_BAYES_OPT_H_
+#define UNITS_HPO_BAYES_OPT_H_
+
+#include "hpo/gp.h"
+#include "hpo/random_search.h"
+
+namespace units::hpo {
+
+/// Tuning knobs for BayesianOptimizer.
+struct BayesOptOptions {
+  int64_t initial_random_trials = 5;  // pure exploration before the GP
+  int64_t acquisition_samples = 512;  // EI candidates per proposal
+  double gp_length_scale = 0.25;
+  double gp_noise = 1e-4;
+  double xi = 0.01;  // EI exploration bonus
+};
+
+/// The paper's "Smart" configuration mode: sequential Bayesian optimization
+/// with a GP surrogate and the expected-improvement acquisition, maximized
+/// by dense random candidate sampling in the unit cube.
+class BayesianOptimizer : public HpOptimizer {
+ public:
+  using Options = BayesOptOptions;
+
+  BayesianOptimizer(const ParamSpace* space, uint64_t seed,
+                    Options options = Options());
+
+  ParamSet Propose() override;
+  void Observe(const Trial& trial) override;
+
+ private:
+  double ExpectedImprovement(const GaussianProcess& gp,
+                             const std::vector<double>& x,
+                             double best_y) const;
+
+  const ParamSpace* space_;
+  Rng rng_;
+  Options options_;
+};
+
+}  // namespace units::hpo
+
+#endif  // UNITS_HPO_BAYES_OPT_H_

@@ -1,0 +1,132 @@
+#include "hpo/gp.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units::hpo {
+
+GaussianProcess::GaussianProcess(double length_scale, double noise)
+    : length_scale_(length_scale), noise_(noise) {
+  UNITS_CHECK_GT(length_scale, 0.0);
+  UNITS_CHECK_GE(noise, 0.0);
+}
+
+double GaussianProcess::Kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  UNITS_CHECK_EQ(a.size(), b.size());
+  double dist2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    dist2 += d * d;
+  }
+  return std::exp(-0.5 * dist2 / (length_scale_ * length_scale_));
+}
+
+Status GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("GP: empty or mismatched training data");
+  }
+  const size_t n = x.size();
+  x_train_ = x;
+
+  // Standardize targets.
+  double mean = 0.0;
+  for (const double v : y) {
+    mean += v;
+  }
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double v : y) {
+    var += (v - mean) * (v - mean);
+  }
+  var /= static_cast<double>(n);
+  y_mean_ = mean;
+  y_std_ = std::sqrt(std::max(var, 1e-12));
+
+  // Kernel matrix with jitter.
+  std::vector<std::vector<double>> k(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      const double v = Kernel(x[i], x[j]);
+      k[i][j] = v;
+      k[j][i] = v;
+    }
+    k[i][i] += noise_;
+  }
+
+  // Cholesky factorization K = L L^T.
+  l_.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = k[i][j];
+      for (size_t m = 0; m < j; ++m) {
+        sum -= l_[i][m] * l_[j][m];
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::Internal("GP: kernel matrix not positive definite");
+        }
+        l_[i][i] = std::sqrt(sum);
+      } else {
+        l_[i][j] = sum / l_[j][j];
+      }
+    }
+  }
+
+  // Solve K alpha = (y - mean)/std via forward/back substitution.
+  std::vector<double> z(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = (y[i] - y_mean_) / y_std_;
+    for (size_t m = 0; m < i; ++m) {
+      sum -= l_[i][m] * z[m];
+    }
+    z[i] = sum / l_[i][i];
+  }
+  alpha_.assign(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = z[i];
+    for (size_t m = i + 1; m < n; ++m) {
+      sum -= l_[m][i] * alpha_[m];
+    }
+    alpha_[i] = sum / l_[i][i];
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+GaussianProcess::Prediction GaussianProcess::Predict(
+    const std::vector<double>& x) const {
+  UNITS_CHECK_MSG(fitted_, "GP::Predict before Fit");
+  const size_t n = x_train_.size();
+  std::vector<double> kstar(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    kstar[i] = Kernel(x, x_train_[i]);
+  }
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean += kstar[i] * alpha_[i];
+  }
+  // v = L^{-1} k*; var = k(x,x) - v^T v.
+  std::vector<double> v(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = kstar[i];
+    for (size_t m = 0; m < i; ++m) {
+      sum -= l_[i][m] * v[m];
+    }
+    v[i] = sum / l_[i][i];
+  }
+  double var = Kernel(x, x) + noise_;
+  for (size_t i = 0; i < n; ++i) {
+    var -= v[i] * v[i];
+  }
+  var = std::max(var, 1e-12);
+
+  Prediction out;
+  out.mean = mean * y_std_ + y_mean_;
+  out.variance = var * y_std_ * y_std_;
+  return out;
+}
+
+}  // namespace units::hpo

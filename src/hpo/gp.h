@@ -1,0 +1,49 @@
+#ifndef UNITS_HPO_GP_H_
+#define UNITS_HPO_GP_H_
+
+#include <vector>
+
+#include "base/status.h"
+
+namespace units::hpo {
+
+/// Gaussian-process regression with an RBF (squared-exponential) kernel,
+/// used as the surrogate model of the Smart (Bayesian optimization) mode.
+/// Observations are points in the unit hypercube with scalar targets.
+class GaussianProcess {
+ public:
+  /// `length_scale` controls kernel width; `noise` is added to the diagonal
+  /// for numerical stability and observation noise.
+  GaussianProcess(double length_scale = 0.25, double noise = 1e-4);
+
+  /// Fits on X (n points, each of dimension d) and targets y (size n).
+  /// Targets are standardized internally.
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y);
+
+  /// Posterior mean and variance at a query point (in original y units).
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  Prediction Predict(const std::vector<double>& x) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  double Kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  double length_scale_;
+  double noise_;
+  bool fitted_ = false;
+  std::vector<std::vector<double>> x_train_;
+  std::vector<double> alpha_;           // K^{-1} (y - mean)
+  std::vector<std::vector<double>> l_;  // Cholesky factor of K
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+}  // namespace units::hpo
+
+#endif  // UNITS_HPO_GP_H_

@@ -1,0 +1,194 @@
+#include "hpo/param_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace units::hpo {
+
+double ParamSet::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  if (const double* d = std::get_if<double>(&it->second)) {
+    return *d;
+  }
+  if (const int64_t* i = std::get_if<int64_t>(&it->second)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+int64_t ParamSet::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  if (const int64_t* i = std::get_if<int64_t>(&it->second)) {
+    return *i;
+  }
+  if (const double* d = std::get_if<double>(&it->second)) {
+    return static_cast<int64_t>(std::llround(*d));
+  }
+  return fallback;
+}
+
+std::string ParamSet::GetString(const std::string& name,
+                                const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  if (const std::string* s = std::get_if<std::string>(&it->second)) {
+    return *s;
+  }
+  return fallback;
+}
+
+ParamSet ParamSet::MergedWith(const ParamSet& other) const {
+  ParamSet merged = *this;
+  for (const auto& [name, value] : other.values_) {
+    merged.values_[name] = value;
+  }
+  return merged;
+}
+
+std::string ParamSet::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    out << name << "=";
+    if (const double* d = std::get_if<double>(&value)) {
+      out << *d;
+    } else if (const int64_t* i = std::get_if<int64_t>(&value)) {
+      out << *i;
+    } else {
+      out << std::get<std::string>(value);
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+ParamSpace& ParamSpace::AddDouble(const std::string& name, double lo,
+                                  double hi, bool log_scale) {
+  UNITS_CHECK_LT(lo, hi);
+  if (log_scale) {
+    UNITS_CHECK_GT(lo, 0.0);
+  }
+  specs_.push_back({name, Kind::kDouble, lo, hi, log_scale, {}});
+  return *this;
+}
+
+ParamSpace& ParamSpace::AddInt(const std::string& name, int64_t lo,
+                               int64_t hi) {
+  UNITS_CHECK_LE(lo, hi);
+  specs_.push_back({name, Kind::kInt, static_cast<double>(lo),
+                    static_cast<double>(hi), false, {}});
+  return *this;
+}
+
+ParamSpace& ParamSpace::AddCategorical(const std::string& name,
+                                       std::vector<std::string> choices) {
+  UNITS_CHECK(!choices.empty());
+  specs_.push_back({name, Kind::kCategorical, 0.0, 0.0, false,
+                    std::move(choices)});
+  return *this;
+}
+
+ParamSet ParamSpace::Sample(Rng* rng) const {
+  std::vector<double> unit(specs_.size());
+  for (double& u : unit) {
+    u = rng->Uniform();
+  }
+  return FromUnitVector(unit);
+}
+
+std::vector<double> ParamSpace::ToUnitVector(const ParamSet& params) const {
+  std::vector<double> unit(specs_.size(), 0.0);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const Spec& spec = specs_[i];
+    switch (spec.kind) {
+      case Kind::kDouble: {
+        double v = params.GetDouble(spec.name, spec.lo);
+        if (spec.log_scale) {
+          unit[i] = (std::log(v) - std::log(spec.lo)) /
+                    (std::log(spec.hi) - std::log(spec.lo));
+        } else {
+          unit[i] = (v - spec.lo) / (spec.hi - spec.lo);
+        }
+        break;
+      }
+      case Kind::kInt: {
+        const double v =
+            static_cast<double>(params.GetInt(spec.name,
+                                              static_cast<int64_t>(spec.lo)));
+        unit[i] = spec.hi > spec.lo ? (v - spec.lo) / (spec.hi - spec.lo)
+                                    : 0.0;
+        break;
+      }
+      case Kind::kCategorical: {
+        const std::string v = params.GetString(spec.name, spec.choices[0]);
+        const auto it =
+            std::find(spec.choices.begin(), spec.choices.end(), v);
+        const size_t idx =
+            it != spec.choices.end()
+                ? static_cast<size_t>(it - spec.choices.begin())
+                : 0;
+        unit[i] = spec.choices.size() > 1
+                      ? static_cast<double>(idx) /
+                            static_cast<double>(spec.choices.size() - 1)
+                      : 0.0;
+        break;
+      }
+    }
+    unit[i] = std::clamp(unit[i], 0.0, 1.0);
+  }
+  return unit;
+}
+
+ParamSet ParamSpace::FromUnitVector(const std::vector<double>& unit) const {
+  UNITS_CHECK_EQ(unit.size(), specs_.size());
+  ParamSet out;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const Spec& spec = specs_[i];
+    const double u = std::clamp(unit[i], 0.0, 1.0);
+    switch (spec.kind) {
+      case Kind::kDouble: {
+        double v;
+        if (spec.log_scale) {
+          v = std::exp(std::log(spec.lo) +
+                       u * (std::log(spec.hi) - std::log(spec.lo)));
+        } else {
+          v = spec.lo + u * (spec.hi - spec.lo);
+        }
+        out.SetDouble(spec.name, v);
+        break;
+      }
+      case Kind::kInt: {
+        const int64_t v = static_cast<int64_t>(
+            std::llround(spec.lo + u * (spec.hi - spec.lo)));
+        out.SetInt(spec.name, v);
+        break;
+      }
+      case Kind::kCategorical: {
+        const size_t n = spec.choices.size();
+        size_t idx = static_cast<size_t>(u * static_cast<double>(n));
+        idx = std::min(idx, n - 1);
+        out.SetString(spec.name, spec.choices[idx]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace units::hpo

@@ -1,0 +1,91 @@
+#ifndef UNITS_HPO_PARAM_SPACE_H_
+#define UNITS_HPO_PARAM_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace units::hpo {
+
+/// A concrete hyper-parameter assignment (name -> value).
+class ParamSet {
+ public:
+  using Value = std::variant<double, int64_t, std::string>;
+
+  void SetDouble(const std::string& name, double v) { values_[name] = v; }
+  void SetInt(const std::string& name, int64_t v) { values_[name] = v; }
+  void SetString(const std::string& name, std::string v) {
+    values_[name] = std::move(v);
+  }
+
+  bool Contains(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  /// Typed getters with fallback defaults (Manual mode overrides Defaults).
+  double GetDouble(const std::string& name, double fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  const std::map<std::string, Value>& values() const { return values_; }
+
+  /// Merges `other` on top of this set (other wins on conflicts).
+  ParamSet MergedWith(const ParamSet& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+/// Declarative search space: each dimension is a continuous range (linear
+/// or log scale), an integer range, or a categorical choice.
+class ParamSpace {
+ public:
+  ParamSpace& AddDouble(const std::string& name, double lo, double hi,
+                        bool log_scale = false);
+  ParamSpace& AddInt(const std::string& name, int64_t lo, int64_t hi);
+  ParamSpace& AddCategorical(const std::string& name,
+                             std::vector<std::string> choices);
+
+  size_t num_dims() const { return specs_.size(); }
+  bool empty() const { return specs_.empty(); }
+
+  /// Uniform random sample from the space.
+  ParamSet Sample(Rng* rng) const;
+
+  /// Encodes a ParamSet into [0,1]^d (categoricals as index / (n-1)).
+  /// Used by the Gaussian-process surrogate.
+  std::vector<double> ToUnitVector(const ParamSet& params) const;
+
+  /// Decodes a point of the unit cube back to parameter values.
+  ParamSet FromUnitVector(const std::vector<double>& unit) const;
+
+ private:
+  enum class Kind { kDouble, kInt, kCategorical };
+  struct Spec {
+    std::string name;
+    Kind kind;
+    double lo = 0.0;
+    double hi = 1.0;
+    bool log_scale = false;
+    std::vector<std::string> choices;
+  };
+  std::vector<Spec> specs_;
+};
+
+/// One evaluated configuration.
+struct Trial {
+  ParamSet params;
+  double objective = 0.0;  // larger is better
+};
+
+}  // namespace units::hpo
+
+#endif  // UNITS_HPO_PARAM_SPACE_H_

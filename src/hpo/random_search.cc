@@ -1,0 +1,27 @@
+#include "hpo/random_search.h"
+
+#include "base/check.h"
+
+namespace units::hpo {
+
+const Trial& HpOptimizer::Best() const {
+  UNITS_CHECK(!history_.empty());
+  const Trial* best = &history_[0];
+  for (const Trial& t : history_) {
+    if (t.objective > best->objective) {
+      best = &t;
+    }
+  }
+  return *best;
+}
+
+RandomSearch::RandomSearch(const ParamSpace* space, uint64_t seed)
+    : space_(space), rng_(seed) {
+  UNITS_CHECK(space != nullptr);
+}
+
+ParamSet RandomSearch::Propose() { return space_->Sample(&rng_); }
+
+void RandomSearch::Observe(const Trial& trial) { history_.push_back(trial); }
+
+}  // namespace units::hpo

@@ -1,0 +1,43 @@
+#ifndef UNITS_HPO_RANDOM_SEARCH_H_
+#define UNITS_HPO_RANDOM_SEARCH_H_
+
+#include <vector>
+
+#include "hpo/param_space.h"
+
+namespace units::hpo {
+
+/// Common interface for sequential hyper-parameter optimizers: call
+/// Propose() to get the next configuration, evaluate it, report back via
+/// Observe(). Objectives are maximized.
+class HpOptimizer {
+ public:
+  virtual ~HpOptimizer() = default;
+  virtual ParamSet Propose() = 0;
+  virtual void Observe(const Trial& trial) = 0;
+
+  /// Best trial seen so far. Requires at least one observation.
+  const Trial& Best() const;
+
+  const std::vector<Trial>& history() const { return history_; }
+
+ protected:
+  std::vector<Trial> history_;
+};
+
+/// Uniform random search baseline.
+class RandomSearch : public HpOptimizer {
+ public:
+  RandomSearch(const ParamSpace* space, uint64_t seed);
+
+  ParamSet Propose() override;
+  void Observe(const Trial& trial) override;
+
+ private:
+  const ParamSpace* space_;
+  Rng rng_;
+};
+
+}  // namespace units::hpo
+
+#endif  // UNITS_HPO_RANDOM_SEARCH_H_

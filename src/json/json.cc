@@ -1,0 +1,558 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace units::json {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  return Number(static_cast<double>(value));
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  UNITS_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  UNITS_CHECK(is_number());
+  return number_;
+}
+
+int64_t JsonValue::AsInt() const {
+  UNITS_CHECK(is_number());
+  return static_cast<int64_t>(std::llround(number_));
+}
+
+const std::string& JsonValue::AsString() const {
+  UNITS_CHECK(is_string());
+  return string_;
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) {
+    return array_.size();
+  }
+  if (is_object()) {
+    return object_.size();
+  }
+  return 0;
+}
+
+const JsonValue& JsonValue::operator[](size_t i) const {
+  UNITS_CHECK(is_array());
+  UNITS_CHECK_LT(i, array_.size());
+  return array_[i];
+}
+
+void JsonValue::Append(JsonValue v) {
+  UNITS_CHECK(is_array());
+  array_.push_back(std::move(v));
+}
+
+bool JsonValue::Contains(const std::string& key) const {
+  if (!is_object()) {
+    return false;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  UNITS_CHECK(is_object());
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return v;
+    }
+  }
+  UNITS_CHECK_MSG(false, ("missing JSON key: " + key).c_str());
+  static const JsonValue kNull;
+  return kNull;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  UNITS_CHECK(is_object());
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::items()
+    const {
+  UNITS_CHECK(is_object());
+  return object_;
+}
+
+Result<const JsonValue*> JsonValue::Find(const std::string& key) const {
+  if (!is_object()) {
+    return Status::InvalidArgument("Find on non-object JSON value");
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return Status::NotFound("JSON key not found: " + key);
+}
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double v, std::string* out) {
+  if (std::isnan(v) || std::isinf(v)) {
+    // JSON has no NaN/Inf; store null (round-trips as null).
+    *out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    *out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent >= 0) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * depth), ' ');
+  }
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(number_, out);
+      break;
+    case Type::kString:
+      EscapeString(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+          if (indent >= 0) {
+            out->push_back(' ');
+          }
+        }
+        array_[i].DumpTo(out, -1, depth + 1);  // arrays stay on one line
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        Indent(out, indent, depth + 1);
+        EscapeString(object_[i].first, out);
+        out->push_back(':');
+        if (indent >= 0) {
+          out->push_back(' ');
+        }
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) {
+        Indent(out, indent, depth);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::FromFloats(const std::vector<float>& values) {
+  JsonValue arr = Array();
+  for (const float v : values) {
+    arr.Append(Number(static_cast<double>(v)));
+  }
+  return arr;
+}
+
+std::vector<float> JsonValue::ToFloats() const {
+  UNITS_CHECK(is_array());
+  std::vector<float> out;
+  out.reserve(array_.size());
+  for (const JsonValue& v : array_) {
+    out.push_back(v.is_null() ? std::nanf("")
+                              : static_cast<float>(v.AsNumber()));
+  }
+  return out;
+}
+
+JsonValue JsonValue::FromInts(const std::vector<int64_t>& values) {
+  JsonValue arr = Array();
+  for (const int64_t v : values) {
+    arr.Append(Int(v));
+  }
+  return arr;
+}
+
+std::vector<int64_t> JsonValue::ToInts() const {
+  UNITS_CHECK(is_array());
+  std::vector<int64_t> out;
+  out.reserve(array_.size());
+  for (const JsonValue& v : array_) {
+    out.push_back(v.AsInt());
+  }
+  return out;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    SkipWhitespace();
+    UNITS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_,
+                  message.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        UNITS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(const char* literal, JsonValue value) {
+    const size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return value;
+    }
+    return Error(StrCat("expected '", literal, "'"));
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("invalid number");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("invalid number '" + token + "'");
+    }
+    return JsonValue::Number(v);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    UNITS_CHECK(Consume('['));
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return arr;
+    }
+    for (;;) {
+      SkipWhitespace();
+      UNITS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      arr.Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return arr;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    UNITS_CHECK(Consume('{'));
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return obj;
+    }
+    for (;;) {
+      SkipWhitespace();
+      UNITS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' in object");
+      }
+      SkipWhitespace();
+      UNITS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      obj.Set(key, std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return obj;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+Result<JsonValue> ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+Status WriteFile(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << value.Dump(/*indent=*/2) << "\n";
+  return out.good() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace units::json

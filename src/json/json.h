@@ -1,0 +1,93 @@
+#ifndef UNITS_JSON_JSON_H_
+#define UNITS_JSON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace units::json {
+
+/// JSON value: null, bool, number (double), string, array, or object.
+/// Objects preserve insertion order so serialized models diff cleanly.
+/// The fitted-model files the paper's demo exports ("save the model as a
+/// standard JSON file") are produced and consumed through this type.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue Int(int64_t v);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; abort on type mismatch (use the is_* predicates or the
+  // Result-returning Get* helpers when the shape of the input is untrusted).
+  bool AsBool() const;
+  double AsNumber() const;
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  // Array operations.
+  size_t size() const;
+  const JsonValue& operator[](size_t i) const;
+  void Append(JsonValue v);
+
+  // Object operations.
+  bool Contains(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+  void Set(const std::string& key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& items() const;
+
+  /// Object lookup that reports missing keys as Status.
+  Result<const JsonValue*> Find(const std::string& key) const;
+
+  /// Serialization. `indent` < 0 emits compact single-line JSON.
+  std::string Dump(int indent = -1) const;
+
+  // Convenience builders for numeric vectors.
+  static JsonValue FromFloats(const std::vector<float>& values);
+  std::vector<float> ToFloats() const;
+  static JsonValue FromInts(const std::vector<int64_t>& values);
+  std::vector<int64_t> ToInts() const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses a JSON document. Supports the full JSON grammar (UTF-8 passthrough,
+/// \uXXXX escapes for the BMP).
+Result<JsonValue> Parse(const std::string& text);
+
+/// Reads and parses a file.
+Result<JsonValue> ParseFile(const std::string& path);
+
+/// Writes `value` to `path` (pretty-printed).
+Status WriteFile(const std::string& path, const JsonValue& value);
+
+}  // namespace units::json
+
+#endif  // UNITS_JSON_JSON_H_

@@ -1,0 +1,355 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/check.h"
+
+namespace units::metrics {
+
+double Accuracy(const std::vector<int64_t>& truth,
+                const std::vector<int64_t>& pred) {
+  UNITS_CHECK_EQ(truth.size(), pred.size());
+  UNITS_CHECK(!truth.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    correct += truth[i] == pred[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+std::vector<std::vector<int64_t>> ConfusionMatrix(
+    const std::vector<int64_t>& truth, const std::vector<int64_t>& pred,
+    int64_t num_classes) {
+  UNITS_CHECK_EQ(truth.size(), pred.size());
+  std::vector<std::vector<int64_t>> cm(
+      static_cast<size_t>(num_classes),
+      std::vector<int64_t>(static_cast<size_t>(num_classes), 0));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    UNITS_CHECK(truth[i] >= 0 && truth[i] < num_classes);
+    UNITS_CHECK(pred[i] >= 0 && pred[i] < num_classes);
+    ++cm[static_cast<size_t>(truth[i])][static_cast<size_t>(pred[i])];
+  }
+  return cm;
+}
+
+ClassificationReport ClassifierReport(const std::vector<int64_t>& truth,
+                                      const std::vector<int64_t>& pred,
+                                      int64_t num_classes) {
+  const auto cm = ConfusionMatrix(truth, pred, num_classes);
+  ClassificationReport report;
+  report.precision.resize(static_cast<size_t>(num_classes), 0.0);
+  report.recall.resize(static_cast<size_t>(num_classes), 0.0);
+  report.f1.resize(static_cast<size_t>(num_classes), 0.0);
+  for (int64_t c = 0; c < num_classes; ++c) {
+    int64_t tp = cm[static_cast<size_t>(c)][static_cast<size_t>(c)];
+    int64_t fp = 0;
+    int64_t fn = 0;
+    for (int64_t o = 0; o < num_classes; ++o) {
+      if (o != c) {
+        fp += cm[static_cast<size_t>(o)][static_cast<size_t>(c)];
+        fn += cm[static_cast<size_t>(c)][static_cast<size_t>(o)];
+      }
+    }
+    const double p = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    const double r = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+    report.precision[static_cast<size_t>(c)] = p;
+    report.recall[static_cast<size_t>(c)] = r;
+    report.f1[static_cast<size_t>(c)] = p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+    report.macro_precision += p;
+    report.macro_recall += r;
+    report.macro_f1 += report.f1[static_cast<size_t>(c)];
+  }
+  report.macro_precision /= static_cast<double>(num_classes);
+  report.macro_recall /= static_cast<double>(num_classes);
+  report.macro_f1 /= static_cast<double>(num_classes);
+  report.accuracy = Accuracy(truth, pred);
+  return report;
+}
+
+namespace {
+
+double Comb2(int64_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+/// Contingency table between two labelings.
+std::map<std::pair<int64_t, int64_t>, int64_t> Contingency(
+    const std::vector<int64_t>& a, const std::vector<int64_t>& b) {
+  std::map<std::pair<int64_t, int64_t>, int64_t> table;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ++table[{a[i], b[i]}];
+  }
+  return table;
+}
+
+std::map<int64_t, int64_t> Counts(const std::vector<int64_t>& a) {
+  std::map<int64_t, int64_t> counts;
+  for (int64_t v : a) {
+    ++counts[v];
+  }
+  return counts;
+}
+
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<int64_t>& truth,
+                         const std::vector<int64_t>& pred) {
+  UNITS_CHECK_EQ(truth.size(), pred.size());
+  UNITS_CHECK(!truth.empty());
+  const auto table = Contingency(truth, pred);
+  const auto row_counts = Counts(truth);
+  const auto col_counts = Counts(pred);
+  double sum_comb = 0.0;
+  for (const auto& [key, count] : table) {
+    sum_comb += Comb2(count);
+  }
+  double sum_rows = 0.0;
+  for (const auto& [key, count] : row_counts) {
+    sum_rows += Comb2(count);
+  }
+  double sum_cols = 0.0;
+  for (const auto& [key, count] : col_counts) {
+    sum_cols += Comb2(count);
+  }
+  const double total = Comb2(static_cast<int64_t>(truth.size()));
+  const double expected = sum_rows * sum_cols / total;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) {
+    return 0.0;
+  }
+  return (sum_comb - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInfo(const std::vector<int64_t>& truth,
+                            const std::vector<int64_t>& pred) {
+  UNITS_CHECK_EQ(truth.size(), pred.size());
+  UNITS_CHECK(!truth.empty());
+  const double n = static_cast<double>(truth.size());
+  const auto table = Contingency(truth, pred);
+  const auto row_counts = Counts(truth);
+  const auto col_counts = Counts(pred);
+
+  double mi = 0.0;
+  for (const auto& [key, count] : table) {
+    const double pij = static_cast<double>(count) / n;
+    const double pi =
+        static_cast<double>(row_counts.at(key.first)) / n;
+    const double pj =
+        static_cast<double>(col_counts.at(key.second)) / n;
+    if (pij > 0.0) {
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  auto entropy = [n](const std::map<int64_t, int64_t>& counts) {
+    double h = 0.0;
+    for (const auto& [key, count] : counts) {
+      const double p = static_cast<double>(count) / n;
+      if (p > 0.0) {
+        h -= p * std::log(p);
+      }
+    }
+    return h;
+  };
+  const double h_truth = entropy(row_counts);
+  const double h_pred = entropy(col_counts);
+  const double denom = 0.5 * (h_truth + h_pred);
+  if (denom <= 0.0) {
+    return h_truth == h_pred ? 1.0 : 0.0;
+  }
+  return mi / denom;
+}
+
+double Silhouette(const Tensor& points, const std::vector<int64_t>& labels) {
+  UNITS_CHECK_EQ(points.ndim(), 2);
+  const int64_t n = points.dim(0);
+  const int64_t f = points.dim(1);
+  UNITS_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  const float* p = points.data();
+  const auto cluster_sizes = Counts(labels);
+  if (cluster_sizes.size() < 2) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    std::map<int64_t, double> dist_sums;
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      double d = 0.0;
+      for (int64_t k = 0; k < f; ++k) {
+        const double diff = static_cast<double>(p[i * f + k]) - p[j * f + k];
+        d += diff * diff;
+      }
+      dist_sums[labels[static_cast<size_t>(j)]] += std::sqrt(d);
+    }
+    const int64_t own = labels[static_cast<size_t>(i)];
+    const int64_t own_size = cluster_sizes.at(own);
+    double a = own_size > 1
+                   ? dist_sums[own] / static_cast<double>(own_size - 1)
+                   : 0.0;
+    double b = std::numeric_limits<double>::max();
+    for (const auto& [cls, size] : cluster_sizes) {
+      if (cls != own && size > 0) {
+        b = std::min(b, dist_sums[cls] / static_cast<double>(size));
+      }
+    }
+    if (own_size > 1 && std::max(a, b) > 0.0) {
+      total += (b - a) / std::max(a, b);
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+double MeanSquaredError(const Tensor& truth, const Tensor& pred) {
+  UNITS_CHECK_EQ(truth.numel(), pred.numel());
+  UNITS_CHECK_GT(truth.numel(), 0);
+  const float* a = truth.data();
+  const float* b = pred.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < truth.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.numel());
+}
+
+double MeanAbsoluteError(const Tensor& truth, const Tensor& pred) {
+  UNITS_CHECK_EQ(truth.numel(), pred.numel());
+  UNITS_CHECK_GT(truth.numel(), 0);
+  const float* a = truth.data();
+  const float* b = pred.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < truth.numel(); ++i) {
+    acc += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return acc / static_cast<double>(truth.numel());
+}
+
+double RootMeanSquaredError(const Tensor& truth, const Tensor& pred) {
+  return std::sqrt(MeanSquaredError(truth, pred));
+}
+
+double MaskedRmse(const Tensor& truth, const Tensor& pred,
+                  const Tensor& mask) {
+  UNITS_CHECK_EQ(truth.numel(), pred.numel());
+  UNITS_CHECK_EQ(truth.numel(), mask.numel());
+  const float* a = truth.data();
+  const float* b = pred.data();
+  const float* m = mask.data();
+  double acc = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < truth.numel(); ++i) {
+    if (m[i] == 0.0f) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      acc += d * d;
+      ++count;
+    }
+  }
+  return count > 0 ? std::sqrt(acc / static_cast<double>(count)) : 0.0;
+}
+
+double MaskedMae(const Tensor& truth, const Tensor& pred,
+                 const Tensor& mask) {
+  UNITS_CHECK_EQ(truth.numel(), pred.numel());
+  UNITS_CHECK_EQ(truth.numel(), mask.numel());
+  const float* a = truth.data();
+  const float* b = pred.data();
+  const float* m = mask.data();
+  double acc = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < truth.numel(); ++i) {
+    if (m[i] == 0.0f) {
+      acc += std::fabs(static_cast<double>(a[i]) - b[i]);
+      ++count;
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+AnomalyScore PointwiseF1(const std::vector<int>& truth,
+                         const std::vector<int>& pred) {
+  UNITS_CHECK_EQ(truth.size(), pred.size());
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (pred[i] == 1 && truth[i] == 1) {
+      ++tp;
+    } else if (pred[i] == 1) {
+      ++fp;
+    } else if (truth[i] == 1) {
+      ++fn;
+    }
+  }
+  AnomalyScore s;
+  s.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  s.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  s.f1 = s.precision + s.recall > 0
+             ? 2 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+std::vector<int> PointAdjust(const std::vector<int>& truth,
+                             const std::vector<int>& pred) {
+  UNITS_CHECK_EQ(truth.size(), pred.size());
+  std::vector<int> adjusted = pred;
+  size_t i = 0;
+  while (i < truth.size()) {
+    if (truth[i] == 1) {
+      size_t seg_end = i;
+      while (seg_end < truth.size() && truth[seg_end] == 1) {
+        ++seg_end;
+      }
+      bool hit = false;
+      for (size_t j = i; j < seg_end; ++j) {
+        if (pred[j] == 1) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        for (size_t j = i; j < seg_end; ++j) {
+          adjusted[j] = 1;
+        }
+      }
+      i = seg_end;
+    } else {
+      ++i;
+    }
+  }
+  return adjusted;
+}
+
+AnomalyScore BestF1Search(const std::vector<float>& scores,
+                          const std::vector<int>& truth, bool point_adjust,
+                          int num_thresholds) {
+  UNITS_CHECK_EQ(scores.size(), truth.size());
+  UNITS_CHECK(!scores.empty());
+  const float lo = *std::min_element(scores.begin(), scores.end());
+  const float hi = *std::max_element(scores.begin(), scores.end());
+  AnomalyScore best;
+  best.f1 = -1.0;
+  std::vector<int> pred(scores.size());
+  for (int t = 0; t < num_thresholds; ++t) {
+    const float tau =
+        lo + (hi - lo) * static_cast<float>(t) /
+                 static_cast<float>(std::max(1, num_thresholds - 1));
+    for (size_t i = 0; i < scores.size(); ++i) {
+      pred[i] = scores[i] > tau ? 1 : 0;
+    }
+    const std::vector<int> eval_pred =
+        point_adjust ? PointAdjust(truth, pred) : pred;
+    AnomalyScore s = PointwiseF1(truth, eval_pred);
+    s.threshold = tau;
+    if (s.f1 > best.f1) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace units::metrics

@@ -1,0 +1,89 @@
+#ifndef UNITS_METRICS_METRICS_H_
+#define UNITS_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace units::metrics {
+
+// --- classification ---------------------------------------------------------
+
+/// Fraction of positions where prediction == truth.
+double Accuracy(const std::vector<int64_t>& truth,
+                const std::vector<int64_t>& pred);
+
+/// Per-class precision/recall/F1 plus macro averages.
+struct ClassificationReport {
+  std::vector<double> precision;  // per class
+  std::vector<double> recall;
+  std::vector<double> f1;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+  double accuracy = 0.0;
+};
+
+ClassificationReport ClassifierReport(const std::vector<int64_t>& truth,
+                                      const std::vector<int64_t>& pred,
+                                      int64_t num_classes);
+
+/// Confusion matrix [num_classes x num_classes], rows = truth.
+std::vector<std::vector<int64_t>> ConfusionMatrix(
+    const std::vector<int64_t>& truth, const std::vector<int64_t>& pred,
+    int64_t num_classes);
+
+// --- clustering -------------------------------------------------------------
+
+/// Adjusted Rand Index between two labelings (label ids need not match).
+double AdjustedRandIndex(const std::vector<int64_t>& truth,
+                         const std::vector<int64_t>& pred);
+
+/// Normalized mutual information (arithmetic-mean normalization).
+double NormalizedMutualInfo(const std::vector<int64_t>& truth,
+                            const std::vector<int64_t>& pred);
+
+/// Mean silhouette coefficient over [N, F] points with cluster assignments.
+/// O(N^2); intended for evaluation-sized N.
+double Silhouette(const Tensor& points, const std::vector<int64_t>& labels);
+
+// --- regression / forecasting ------------------------------------------------
+
+double MeanSquaredError(const Tensor& truth, const Tensor& pred);
+double MeanAbsoluteError(const Tensor& truth, const Tensor& pred);
+double RootMeanSquaredError(const Tensor& truth, const Tensor& pred);
+
+/// MSE / MAE restricted to positions where mask == 0 (i.e. the imputed
+/// positions, matching the imputation task's evaluation protocol).
+double MaskedRmse(const Tensor& truth, const Tensor& pred, const Tensor& mask);
+double MaskedMae(const Tensor& truth, const Tensor& pred, const Tensor& mask);
+
+// --- anomaly detection --------------------------------------------------------
+
+/// Point-wise precision/recall/F1 for binary anomaly labels.
+struct AnomalyScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double threshold = 0.0;
+};
+
+AnomalyScore PointwiseF1(const std::vector<int>& truth,
+                         const std::vector<int>& pred);
+
+/// Applies the point-adjust convention (Xu et al. / common in the anomaly
+/// detection literature, cf. Schmidl et al. VLDB'22): if any point of a true
+/// anomalous segment is detected, the whole segment counts as detected.
+std::vector<int> PointAdjust(const std::vector<int>& truth,
+                             const std::vector<int>& pred);
+
+/// Sweeps thresholds over `scores` and returns the best point-adjusted F1
+/// (the standard protocol when τ is chosen on a validation set).
+AnomalyScore BestF1Search(const std::vector<float>& scores,
+                          const std::vector<int>& truth, bool point_adjust,
+                          int num_thresholds = 200);
+
+}  // namespace units::metrics
+
+#endif  // UNITS_METRICS_METRICS_H_

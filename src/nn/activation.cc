@@ -1,0 +1,61 @@
+#include "nn/activation.h"
+
+#include "base/string_util.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+Result<ActivationKind> ParseActivation(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "relu") {
+    return ActivationKind::kRelu;
+  }
+  if (lower == "leaky_relu") {
+    return ActivationKind::kLeakyRelu;
+  }
+  if (lower == "gelu") {
+    return ActivationKind::kGelu;
+  }
+  if (lower == "tanh") {
+    return ActivationKind::kTanh;
+  }
+  if (lower == "sigmoid") {
+    return ActivationKind::kSigmoid;
+  }
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+const char* ActivationKindName(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kRelu:
+      return "relu";
+    case ActivationKind::kLeakyRelu:
+      return "leaky_relu";
+    case ActivationKind::kGelu:
+      return "gelu";
+    case ActivationKind::kTanh:
+      return "tanh";
+    case ActivationKind::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+Variable ApplyActivation(ActivationKind kind, const Variable& x) {
+  switch (kind) {
+    case ActivationKind::kRelu:
+      return ag::Relu(x);
+    case ActivationKind::kLeakyRelu:
+      return ag::LeakyRelu(x);
+    case ActivationKind::kGelu:
+      return ag::Gelu(x);
+    case ActivationKind::kTanh:
+      return ag::Tanh(x);
+    case ActivationKind::kSigmoid:
+      return ag::Sigmoid(x);
+  }
+  return x;
+}
+
+}  // namespace units::nn

@@ -1,0 +1,38 @@
+#ifndef UNITS_NN_ACTIVATION_H_
+#define UNITS_NN_ACTIVATION_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "nn/module.h"
+
+namespace units::nn {
+
+/// Supported pointwise nonlinearities.
+enum class ActivationKind { kRelu, kLeakyRelu, kGelu, kTanh, kSigmoid };
+
+/// Parses "relu" / "leaky_relu" / "gelu" / "tanh" / "sigmoid".
+Result<ActivationKind> ParseActivation(const std::string& name);
+const char* ActivationKindName(ActivationKind kind);
+
+/// Applies the nonlinearity directly (functional form).
+Variable ApplyActivation(ActivationKind kind, const Variable& x);
+
+/// Module wrapper around a pointwise nonlinearity.
+class Activation : public Module {
+ public:
+  explicit Activation(ActivationKind kind) : kind_(kind) {}
+
+  Variable Forward(const Variable& input) override {
+    return ApplyActivation(kind_, input);
+  }
+
+  ActivationKind kind() const { return kind_; }
+
+ private:
+  ActivationKind kind_;
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_ACTIVATION_H_

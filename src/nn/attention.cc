@@ -1,0 +1,139 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+Tensor SinusoidalPositionalEncoding(int64_t length, int64_t channels) {
+  Tensor pe = Tensor::Zeros({length, channels});
+  float* p = pe.data();
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const double rate =
+          std::pow(10000.0, -static_cast<double>(2 * (c / 2)) /
+                                static_cast<double>(channels));
+      const double angle = static_cast<double>(t) * rate;
+      p[t * channels + c] = static_cast<float>(
+          (c % 2 == 0) ? std::sin(angle) : std::cos(angle));
+    }
+  }
+  return pe;
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t model_dim, int64_t num_heads,
+                                       Rng* rng, float dropout)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads) {
+  UNITS_CHECK_EQ(head_dim_ * num_heads, model_dim);
+  qkv_proj_ = RegisterModule(
+      "qkv_proj", std::make_shared<Linear>(model_dim, 3 * model_dim, rng));
+  out_proj_ = RegisterModule(
+      "out_proj", std::make_shared<Linear>(model_dim, model_dim, rng));
+  dropout_ = RegisterModule("dropout", std::make_shared<Dropout>(dropout, rng));
+}
+
+Variable MultiHeadAttention::Forward(const Variable& input) {
+  UNITS_CHECK_EQ(input.ndim(), 3);
+  const int64_t n = input.dim(0);
+  const int64_t t = input.dim(1);
+  UNITS_CHECK_EQ(input.dim(2), model_dim_);
+
+  Variable qkv = qkv_proj_->Forward(input);  // [N, T, 3C]
+  // Split into q, k, v of [N, T, C] each.
+  Variable q = ag::Slice(qkv, 2, 0, model_dim_);
+  Variable k = ag::Slice(qkv, 2, model_dim_, model_dim_);
+  Variable v = ag::Slice(qkv, 2, 2 * model_dim_, model_dim_);
+
+  // [N, T, C] -> [N*H, T, hd]: reshape to [N, T, H, hd], swap T/H, merge.
+  auto split_heads = [&](const Variable& x) {
+    Variable y = ag::Reshape(x, {n, t, num_heads_, head_dim_});
+    y = ag::Transpose(y, 1, 2);  // [N, H, T, hd]
+    return ag::Reshape(y, {n * num_heads_, t, head_dim_});
+  };
+  q = split_heads(q);
+  k = split_heads(k);
+  v = split_heads(v);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Variable scores = ag::MulScalar(
+      ag::BatchedMatMul(q, ag::Transpose(k, 1, 2)), scale);  // [NH, T, T]
+  Variable attn = ag::Softmax(scores, /*axis=*/2);
+  attn = dropout_->Forward(attn);
+  Variable ctx = ag::BatchedMatMul(attn, v);  // [NH, T, hd]
+
+  // Merge heads back: [NH, T, hd] -> [N, T, C].
+  ctx = ag::Reshape(ctx, {n, num_heads_, t, head_dim_});
+  ctx = ag::Transpose(ctx, 1, 2);  // [N, T, H, hd]
+  ctx = ag::Reshape(ctx, {n, t, model_dim_});
+  return out_proj_->Forward(ctx);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t model_dim,
+                                                 int64_t num_heads,
+                                                 int64_t ff_dim, Rng* rng,
+                                                 float dropout) {
+  norm1_ = RegisterModule("norm1", std::make_shared<LayerNorm>(model_dim));
+  attn_ = RegisterModule("attn", std::make_shared<MultiHeadAttention>(
+                                     model_dim, num_heads, rng, dropout));
+  norm2_ = RegisterModule("norm2", std::make_shared<LayerNorm>(model_dim));
+  ff1_ = RegisterModule("ff1", std::make_shared<Linear>(model_dim, ff_dim, rng));
+  ff2_ = RegisterModule("ff2", std::make_shared<Linear>(ff_dim, model_dim, rng));
+  dropout_ = RegisterModule("dropout", std::make_shared<Dropout>(dropout, rng));
+}
+
+Variable TransformerEncoderLayer::Forward(const Variable& input) {
+  // Pre-norm residual attention.
+  Variable x = input;
+  Variable h = attn_->Forward(norm1_->Forward(x));
+  x = ag::Add(x, dropout_->Forward(h));
+  // Pre-norm residual feed-forward.
+  Variable f = ff2_->Forward(ag::Gelu(ff1_->Forward(norm2_->Forward(x))));
+  return ag::Add(x, dropout_->Forward(f));
+}
+
+TransformerBackbone::TransformerBackbone(int64_t input_channels,
+                                         int64_t model_dim, int64_t repr_dim,
+                                         int64_t num_layers,
+                                         int64_t num_heads, Rng* rng,
+                                         float dropout)
+    : input_channels_(input_channels),
+      model_dim_(model_dim),
+      repr_dim_(repr_dim) {
+  input_proj_ = RegisterModule(
+      "input_proj", std::make_shared<Linear>(input_channels, model_dim, rng));
+  for (int64_t l = 0; l < num_layers; ++l) {
+    layers_.push_back(RegisterModule(
+        "layer" + std::to_string(l),
+        std::make_shared<TransformerEncoderLayer>(
+            model_dim, num_heads, 2 * model_dim, rng, dropout)));
+  }
+  final_norm_ =
+      RegisterModule("final_norm", std::make_shared<LayerNorm>(model_dim));
+  output_proj_ = RegisterModule(
+      "output_proj", std::make_shared<Linear>(model_dim, repr_dim, rng));
+}
+
+Variable TransformerBackbone::Forward(const Variable& input) {
+  UNITS_CHECK_EQ(input.ndim(), 3);
+  UNITS_CHECK_EQ(input.dim(1), input_channels_);
+  const int64_t t = input.dim(2);
+  // [N, D, T] -> [N, T, D].
+  Variable x = ag::Transpose(input, 1, 2);
+  x = input_proj_->Forward(x);  // [N, T, C]
+  // Add sinusoidal positions (constant, broadcast over the batch).
+  Tensor pe = SinusoidalPositionalEncoding(t, model_dim_);
+  x = ag::Add(x, ag::Constant(std::move(pe)));
+  for (auto& layer : layers_) {
+    x = layer->Forward(x);
+  }
+  x = final_norm_->Forward(x);
+  x = output_proj_->Forward(x);       // [N, T, K]
+  return ag::Transpose(x, 1, 2);      // [N, K, T]
+}
+
+}  // namespace units::nn

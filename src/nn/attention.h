@@ -1,0 +1,80 @@
+#ifndef UNITS_NN_ATTENTION_H_
+#define UNITS_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/norm.h"
+
+namespace units::nn {
+
+/// Sinusoidal positional encoding table of shape [T, C] (Vaswani et al.).
+Tensor SinusoidalPositionalEncoding(int64_t length, int64_t channels);
+
+/// Multi-head scaled-dot-product self-attention over [N, T, C].
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t model_dim, int64_t num_heads, Rng* rng,
+                     float dropout = 0.0f);
+
+  /// Self-attention: queries = keys = values = input.
+  Variable Forward(const Variable& input) override;
+
+  int64_t model_dim() const { return model_dim_; }
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t model_dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::shared_ptr<Linear> qkv_proj_;  // C -> 3C
+  std::shared_ptr<Linear> out_proj_;  // C -> C
+  std::shared_ptr<Dropout> dropout_;
+};
+
+/// Pre-norm transformer encoder block: LN → MHA → residual, LN → FFN →
+/// residual. Input/output [N, T, C].
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t model_dim, int64_t num_heads,
+                          int64_t ff_dim, Rng* rng, float dropout = 0.1f);
+
+  Variable Forward(const Variable& input) override;
+
+ private:
+  std::shared_ptr<LayerNorm> norm1_;
+  std::shared_ptr<MultiHeadAttention> attn_;
+  std::shared_ptr<LayerNorm> norm2_;
+  std::shared_ptr<Linear> ff1_;
+  std::shared_ptr<Linear> ff2_;
+  std::shared_ptr<Dropout> dropout_;
+};
+
+/// Transformer encoder backbone for time series (TST-style): maps
+/// [N, D, T] to per-timestep representations [N, K, T]. Internally works in
+/// [N, T, C] layout with sinusoidal positional encodings.
+class TransformerBackbone : public Module {
+ public:
+  TransformerBackbone(int64_t input_channels, int64_t model_dim,
+                      int64_t repr_dim, int64_t num_layers, int64_t num_heads,
+                      Rng* rng, float dropout = 0.1f);
+
+  Variable Forward(const Variable& input) override;
+
+  int64_t repr_dim() const { return repr_dim_; }
+
+ private:
+  int64_t input_channels_;
+  int64_t model_dim_;
+  int64_t repr_dim_;
+  std::shared_ptr<Linear> input_proj_;
+  std::vector<std::shared_ptr<TransformerEncoderLayer>> layers_;
+  std::shared_ptr<LayerNorm> final_norm_;
+  std::shared_ptr<Linear> output_proj_;
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_ATTENTION_H_

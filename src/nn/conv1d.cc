@@ -1,0 +1,45 @@
+#include "nn/conv1d.h"
+
+#include "base/check.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+Conv1d::Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               Rng* rng, int64_t dilation, ConvPadding padding, bool use_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      dilation_(dilation),
+      padding_(padding) {
+  UNITS_CHECK_GE(kernel, 1);
+  UNITS_CHECK_GE(dilation, 1);
+  const int64_t fan_in = in_channels * kernel;
+  weight_ = RegisterParameter(
+      "weight", Variable(init::KaimingUniform(
+                    {out_channels, in_channels, kernel}, fan_in, rng)));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", Variable(Tensor::Zeros({out_channels})));
+  }
+}
+
+Variable Conv1d::Forward(const Variable& input) {
+  const int64_t receptive = (kernel_ - 1) * dilation_;
+  int64_t pad_left = 0;
+  int64_t pad_right = 0;
+  switch (padding_) {
+    case ConvPadding::kSame:
+      pad_left = receptive / 2;
+      pad_right = receptive - pad_left;
+      break;
+    case ConvPadding::kCausal:
+      pad_left = receptive;
+      break;
+    case ConvPadding::kValid:
+      break;
+  }
+  return ag::Conv1d(input, weight_, bias_, dilation_, pad_left, pad_right);
+}
+
+}  // namespace units::nn

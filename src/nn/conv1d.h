@@ -1,0 +1,42 @@
+#ifndef UNITS_NN_CONV1D_H_
+#define UNITS_NN_CONV1D_H_
+
+#include "nn/module.h"
+
+namespace units::nn {
+
+/// Padding policy for temporal convolutions.
+enum class ConvPadding {
+  kSame,    // symmetric zero padding; output length == input length
+  kCausal,  // all padding on the left; output at t sees inputs <= t
+  kValid,   // no padding
+};
+
+/// 1-D convolution over [N, C_in, T] producing [N, C_out, T_out], with
+/// optional dilation. Weight layout [C_out, C_in, kernel].
+class Conv1d : public Module {
+ public:
+  Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel, Rng* rng,
+         int64_t dilation = 1, ConvPadding padding = ConvPadding::kSame,
+         bool use_bias = true);
+
+  Variable Forward(const Variable& input) override;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t dilation() const { return dilation_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  int64_t dilation_;
+  ConvPadding padding_;
+  Variable weight_;  // [C_out, C_in, k]
+  Variable bias_;    // [C_out]
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_CONV1D_H_

@@ -1,0 +1,26 @@
+#include "nn/dropout.h"
+
+#include "base/check.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng->Fork()) {
+  UNITS_CHECK(p >= 0.0f && p < 1.0f);
+}
+
+Variable Dropout::Forward(const Variable& input) {
+  if (!training() || p_ == 0.0f) {
+    return input;
+  }
+  Tensor mask(input.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = rng_.Bernoulli(p_) ? 0.0f : scale;
+  }
+  return ag::Mul(input, ag::Constant(std::move(mask)));
+}
+
+}  // namespace units::nn

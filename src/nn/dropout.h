@@ -1,0 +1,26 @@
+#ifndef UNITS_NN_DROPOUT_H_
+#define UNITS_NN_DROPOUT_H_
+
+#include "nn/module.h"
+
+namespace units::nn {
+
+/// Inverted dropout: in training mode zeroes each element with probability
+/// p and scales survivors by 1/(1-p); identity in eval mode. The mask is
+/// drawn from the module's own forked RNG stream.
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng* rng);
+
+  Variable Forward(const Variable& input) override;
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_DROPOUT_H_

@@ -1,0 +1,67 @@
+#include "nn/gru.h"
+
+#include "base/check.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+GruBackbone::GruBackbone(int64_t input_channels, int64_t hidden_dim,
+                         int64_t repr_dim, Rng* rng)
+    : input_channels_(input_channels),
+      hidden_dim_(hidden_dim),
+      repr_dim_(repr_dim) {
+  input_proj_ = RegisterModule(
+      "input_proj",
+      std::make_shared<Linear>(input_channels, 3 * hidden_dim, rng));
+  recurrent_proj_ = RegisterModule(
+      "recurrent_proj",
+      std::make_shared<Linear>(hidden_dim, 2 * hidden_dim, rng,
+                               /*use_bias=*/false));
+  candidate_proj_ = RegisterModule(
+      "candidate_proj",
+      std::make_shared<Linear>(hidden_dim, hidden_dim, rng,
+                               /*use_bias=*/false));
+  output_proj_ = RegisterModule(
+      "output_proj", std::make_shared<Linear>(hidden_dim, repr_dim, rng));
+}
+
+Variable GruBackbone::Forward(const Variable& input) {
+  UNITS_CHECK_EQ(input.ndim(), 3);
+  UNITS_CHECK_EQ(input.dim(1), input_channels_);
+  const int64_t n = input.dim(0);
+  const int64_t t = input.dim(2);
+
+  // Precompute all input projections at once: [N, T, 3H].
+  Variable x_nt = ag::Transpose(input, 1, 2);        // [N, T, D]
+  Variable pre = input_proj_->Forward(x_nt);         // [N, T, 3H]
+
+  Variable h(Tensor::Zeros({n, hidden_dim_}));
+  std::vector<Variable> outputs;
+  outputs.reserve(static_cast<size_t>(t));
+  for (int64_t step = 0; step < t; ++step) {
+    Variable pre_t = ag::Reshape(ag::Slice(pre, 1, step, 1),
+                                 {n, 3 * hidden_dim_});
+    Variable xz = ag::Slice(pre_t, 1, 0, hidden_dim_);
+    Variable xr = ag::Slice(pre_t, 1, hidden_dim_, hidden_dim_);
+    Variable xh = ag::Slice(pre_t, 1, 2 * hidden_dim_, hidden_dim_);
+
+    Variable rec = recurrent_proj_->Forward(h);  // [N, 2H]
+    Variable hz = ag::Slice(rec, 1, 0, hidden_dim_);
+    Variable hr = ag::Slice(rec, 1, hidden_dim_, hidden_dim_);
+
+    Variable z = ag::Sigmoid(ag::Add(xz, hz));
+    Variable r = ag::Sigmoid(ag::Add(xr, hr));
+    Variable candidate = ag::Tanh(
+        ag::Add(xh, candidate_proj_->Forward(ag::Mul(r, h))));
+    // h = (1-z) * h + z * candidate.
+    h = ag::Add(ag::Mul(ag::AddScalar(ag::Neg(z), 1.0f), h),
+                ag::Mul(z, candidate));
+    // Per-timestep representation as [N, K, 1] for the final concat.
+    outputs.push_back(
+        ag::Reshape(output_proj_->Forward(h), {n, repr_dim_, 1}));
+  }
+  return ag::Concat(outputs, /*axis=*/2);  // [N, K, T]
+}
+
+}  // namespace units::nn

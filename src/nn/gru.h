@@ -1,0 +1,44 @@
+#ifndef UNITS_NN_GRU_H_
+#define UNITS_NN_GRU_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace units::nn {
+
+/// Recurrent (GRU) encoder backbone: a third architecture choice beyond
+/// the TCN and transformer, supporting the paper's "model architecture is
+/// taken as hyper-parameters" claim. Maps [N, D, T] to per-timestep
+/// representations [N, K, T]; the hidden state is causal by construction.
+///
+/// Gate equations (Cho et al. 2014):
+///   z_t = sigmoid(W_z x_t + U_z h_{t-1} + b_z)
+///   r_t = sigmoid(W_r x_t + U_r h_{t-1} + b_r)
+///   h~  = tanh   (W_h x_t + U_h (r_t * h_{t-1}) + b_h)
+///   h_t = (1 - z_t) * h_{t-1} + z_t * h~
+class GruBackbone : public Module {
+ public:
+  GruBackbone(int64_t input_channels, int64_t hidden_dim, int64_t repr_dim,
+              Rng* rng);
+
+  Variable Forward(const Variable& input) override;
+
+  int64_t repr_dim() const { return repr_dim_; }
+
+ private:
+  int64_t input_channels_;
+  int64_t hidden_dim_;
+  int64_t repr_dim_;
+  // Input and recurrent projections for the three gates, fused as single
+  // [D -> 3H] / [H -> 3H] maps for fewer graph nodes.
+  std::shared_ptr<Linear> input_proj_;      // x_t -> [z | r | h~] pre-acts
+  std::shared_ptr<Linear> recurrent_proj_;  // h_{t-1} -> [z | r] pre-acts
+  std::shared_ptr<Linear> candidate_proj_;  // (r*h_{t-1}) -> h~ pre-acts
+  std::shared_ptr<Linear> output_proj_;     // h_t -> repr
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_GRU_H_

@@ -1,0 +1,80 @@
+#include "nn/heads.h"
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+MlpHead::MlpHead(int64_t in_dim, std::vector<int64_t> hidden_dims,
+                 int64_t out_dim, Rng* rng, ActivationKind activation,
+                 float dropout)
+    : out_dim_(out_dim), activation_(activation) {
+  int64_t prev = in_dim;
+  for (size_t i = 0; i < hidden_dims.size(); ++i) {
+    layers_.push_back(RegisterModule(
+        StrCat("fc", i), std::make_shared<Linear>(prev, hidden_dims[i], rng)));
+    prev = hidden_dims[i];
+  }
+  layers_.push_back(RegisterModule(
+      StrCat("fc", hidden_dims.size()),
+      std::make_shared<Linear>(prev, out_dim, rng)));
+  dropout_ = RegisterModule("dropout", std::make_shared<Dropout>(dropout, rng));
+}
+
+Variable MlpHead::Forward(const Variable& input) {
+  Variable x = input;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    x = ApplyActivation(activation_, layers_[i]->Forward(x));
+    x = dropout_->Forward(x);
+  }
+  return layers_.back()->Forward(x);
+}
+
+ForecastDecoder::ForecastDecoder(int64_t repr_dim, int64_t out_channels,
+                                 int64_t horizon, Rng* rng,
+                                 int64_t hidden_dim)
+    : out_channels_(out_channels), horizon_(horizon) {
+  std::vector<int64_t> hidden;
+  if (hidden_dim > 0) {
+    hidden.push_back(hidden_dim);
+  }
+  mlp_ = RegisterModule(
+      "mlp", std::make_shared<MlpHead>(repr_dim, hidden,
+                                       out_channels * horizon, rng));
+}
+
+Variable ForecastDecoder::Forward(const Variable& repr) {
+  UNITS_CHECK_EQ(repr.ndim(), 2);
+  Variable flat = mlp_->Forward(repr);  // [N, D*H]
+  return ag::Reshape(flat, {repr.dim(0), out_channels_, horizon_});
+}
+
+ReconstructionDecoder::ReconstructionDecoder(int64_t repr_dim,
+                                             int64_t out_channels, Rng* rng,
+                                             int64_t hidden_channels) {
+  if (hidden_channels > 0) {
+    conv1_ = RegisterModule(
+        "conv1", std::make_shared<Conv1d>(repr_dim, hidden_channels,
+                                          /*kernel=*/1, rng));
+    conv2_ = RegisterModule(
+        "conv2", std::make_shared<Conv1d>(hidden_channels, out_channels,
+                                          /*kernel=*/1, rng));
+  } else {
+    conv1_ = RegisterModule(
+        "conv1", std::make_shared<Conv1d>(repr_dim, out_channels,
+                                          /*kernel=*/1, rng));
+  }
+}
+
+Variable ReconstructionDecoder::Forward(const Variable& repr) {
+  UNITS_CHECK_EQ(repr.ndim(), 3);
+  Variable x = conv1_->Forward(repr);
+  if (conv2_ != nullptr) {
+    x = conv2_->Forward(ag::Gelu(x));
+  }
+  return x;
+}
+
+}  // namespace units::nn

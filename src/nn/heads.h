@@ -1,0 +1,67 @@
+#ifndef UNITS_NN_HEADS_H_
+#define UNITS_NN_HEADS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/conv1d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace units::nn {
+
+/// Multi-layer perceptron head: Linear(+act+dropout) x hidden, then a final
+/// Linear to `out_dim`. With no hidden layers this is a plain linear probe.
+class MlpHead : public Module {
+ public:
+  MlpHead(int64_t in_dim, std::vector<int64_t> hidden_dims, int64_t out_dim,
+          Rng* rng, ActivationKind activation = ActivationKind::kRelu,
+          float dropout = 0.0f);
+
+  Variable Forward(const Variable& input) override;
+
+  int64_t out_dim() const { return out_dim_; }
+
+ private:
+  int64_t out_dim_;
+  std::vector<std::shared_ptr<Linear>> layers_;
+  std::shared_ptr<Dropout> dropout_;
+  ActivationKind activation_;
+};
+
+/// Forecasting decoder: maps a pooled representation [N, K] to predictions
+/// [N, D, H] for horizon H via an MLP.
+class ForecastDecoder : public Module {
+ public:
+  ForecastDecoder(int64_t repr_dim, int64_t out_channels, int64_t horizon,
+                  Rng* rng, int64_t hidden_dim = 0);
+
+  /// Input [N, K] -> output [N, D, H].
+  Variable Forward(const Variable& repr) override;
+
+ private:
+  int64_t out_channels_;
+  int64_t horizon_;
+  std::shared_ptr<MlpHead> mlp_;
+};
+
+/// Per-timestep reconstruction decoder: maps [N, K, T] representations back
+/// to the input space [N, D, T] with 1x1 convolutions. Used by the anomaly
+/// detection and imputation tasks.
+class ReconstructionDecoder : public Module {
+ public:
+  ReconstructionDecoder(int64_t repr_dim, int64_t out_channels, Rng* rng,
+                        int64_t hidden_channels = 0);
+
+  Variable Forward(const Variable& repr) override;
+
+ private:
+  std::shared_ptr<Conv1d> conv1_;
+  std::shared_ptr<Conv1d> conv2_;  // null when hidden_channels == 0
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_HEADS_H_

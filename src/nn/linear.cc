@@ -1,0 +1,41 @@
+#include "nn/linear.h"
+
+#include "base/check.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", Variable(init::XavierUniform({in_features, out_features},
+                                             in_features, out_features, rng)));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", Variable(Tensor::Zeros({out_features})));
+  }
+}
+
+Variable Linear::Forward(const Variable& input) {
+  UNITS_CHECK_GE(input.ndim(), 1);
+  UNITS_CHECK_EQ(input.dim(-1), in_features_);
+  const Shape in_shape = input.shape();
+  Variable x = input;
+  if (input.ndim() != 2) {
+    const int64_t rows = input.numel() / in_features_;
+    x = ag::Reshape(input, {rows, in_features_});
+  }
+  Variable y = ag::MatMul(x, weight_);
+  if (bias_.defined()) {
+    y = ag::Add(y, bias_);
+  }
+  if (in_shape.size() != 2) {
+    Shape out_shape(in_shape.begin(), in_shape.end() - 1);
+    out_shape.push_back(out_features_);
+    y = ag::Reshape(y, out_shape);
+  }
+  return y;
+}
+
+}  // namespace units::nn

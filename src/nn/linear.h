@@ -1,0 +1,34 @@
+#ifndef UNITS_NN_LINEAR_H_
+#define UNITS_NN_LINEAR_H_
+
+#include <memory>
+
+#include "nn/module.h"
+
+namespace units::nn {
+
+/// Affine map y = x W + b with W of shape [in_features, out_features].
+/// Accepts inputs of any rank >= 1 whose last dim equals in_features; the
+/// leading dims are flattened for the matmul and restored afterwards.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  Variable Forward(const Variable& input) override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Variable weight_;  // [in, out]
+  Variable bias_;    // [out] (undefined when use_bias=false)
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_LINEAR_H_

@@ -1,0 +1,80 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units::nn {
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<std::pair<std::string, Variable>> named = NamedParameters();
+  std::vector<Variable> out;
+  out.reserve(named.size());
+  for (auto& [name, v] : named) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Variable>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, Variable>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Variable>>* out) const {
+  for (const auto& [name, v] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, v);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+void Module::ZeroGrad() {
+  for (Variable& v : Parameters()) {
+    v.ZeroGrad();
+  }
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  OnTrainingChanged();
+  for (auto& [name, child] : children_) {
+    child->SetTraining(training);
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Variable& v : Parameters()) {
+    total += v.numel();
+  }
+  return total;
+}
+
+Variable Module::RegisterParameter(const std::string& name, Variable param) {
+  UNITS_CHECK(param.defined());
+  param.set_requires_grad(true);
+  params_.emplace_back(name, param);
+  return param;
+}
+
+namespace init {
+
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform(std::move(shape), rng, -bound, bound);
+}
+
+Tensor KaimingUniform(Shape shape, int64_t fan_in, Rng* rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  return Tensor::RandUniform(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace init
+
+}  // namespace units::nn

@@ -1,0 +1,86 @@
+#ifndef UNITS_NN_MODULE_H_
+#define UNITS_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace units::nn {
+
+using autograd::Variable;
+
+/// Base class for neural-network building blocks. A Module owns parameters
+/// (leaf Variables with requires_grad=true) and child modules; Parameters()
+/// walks the tree. Training mode toggles dropout/batch-norm behaviour.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Applies the module. The default unary signature covers all layers in
+  /// this library; attention layers also expose richer overloads.
+  virtual Variable Forward(const Variable& input) = 0;
+
+  /// All parameters of this module and its descendants.
+  std::vector<Variable> Parameters() const;
+
+  /// Parameters with hierarchical dotted names ("layer0.weight", ...), for
+  /// serialization.
+  std::vector<std::pair<std::string, Variable>> NamedParameters() const;
+
+  /// Zeroes gradients of all parameters in the tree.
+  void ZeroGrad();
+
+  /// Sets training/eval mode recursively.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+ protected:
+  Module() = default;
+
+  /// Registers a leaf parameter under `name`.
+  Variable RegisterParameter(const std::string& name, Variable param);
+
+  /// Registers (and returns) a child module under `name`.
+  template <typename M>
+  std::shared_ptr<M> RegisterModule(const std::string& name,
+                                    std::shared_ptr<M> child) {
+    children_.emplace_back(name, child);
+    return child;
+  }
+
+  /// Hook for subclasses reacting to train/eval switches.
+  virtual void OnTrainingChanged() {}
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Variable>>* out) const;
+
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+/// Parameter initializers.
+namespace init {
+
+/// Xavier/Glorot uniform: U(-sqrt(6/(fan_in+fan_out)), +...).
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Kaiming/He uniform for ReLU family: U(-sqrt(6/fan_in), +...).
+Tensor KaimingUniform(Shape shape, int64_t fan_in, Rng* rng);
+
+}  // namespace init
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_MODULE_H_

@@ -1,0 +1,95 @@
+#include "nn/norm.h"
+
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Variable(Tensor::Ones({features})));
+  beta_ = RegisterParameter("beta", Variable(Tensor::Zeros({features})));
+}
+
+Variable LayerNorm::Forward(const Variable& input) {
+  UNITS_CHECK_EQ(input.dim(-1), features_);
+  Variable mu = ag::Mean(input, -1, /*keepdim=*/true);
+  Variable centered = ag::Sub(input, mu);
+  Variable var = ag::Mean(ag::Square(centered), -1, /*keepdim=*/true);
+  Variable norm = ag::Div(centered, ag::Sqrt(ag::AddScalar(var, eps_)));
+  return ag::Add(ag::Mul(norm, gamma_), beta_);
+}
+
+InstanceNorm1d::InstanceNorm1d(int64_t channels, float eps)
+    : channels_(channels), eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Variable(Tensor::Ones({channels, 1})));
+  beta_ = RegisterParameter("beta", Variable(Tensor::Zeros({channels, 1})));
+}
+
+Variable InstanceNorm1d::Forward(const Variable& input) {
+  UNITS_CHECK_EQ(input.ndim(), 3);
+  UNITS_CHECK_EQ(input.dim(1), channels_);
+  Variable mu = ag::Mean(input, 2, /*keepdim=*/true);          // [N,C,1]
+  Variable centered = ag::Sub(input, mu);
+  Variable var = ag::Mean(ag::Square(centered), 2, /*keepdim=*/true);
+  Variable norm = ag::Div(centered, ag::Sqrt(ag::AddScalar(var, eps_)));
+  return ag::Add(ag::Mul(norm, gamma_), beta_);  // [C,1] broadcasts over N,T
+}
+
+BatchNorm1d::BatchNorm1d(int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      running_mean_(Tensor::Zeros({channels})),
+      running_var_(Tensor::Ones({channels})) {
+  gamma_ = RegisterParameter("gamma", Variable(Tensor::Ones({channels})));
+  beta_ = RegisterParameter("beta", Variable(Tensor::Zeros({channels})));
+}
+
+Variable BatchNorm1d::Forward(const Variable& input) {
+  UNITS_CHECK(input.ndim() == 2 || input.ndim() == 3);
+  UNITS_CHECK_EQ(input.dim(1), channels_);
+  const bool is_3d = input.ndim() == 3;
+
+  Variable mu;
+  Variable var;
+  if (training()) {
+    if (is_3d) {
+      // Stats over batch and time: reduce axis 0, then the (shifted) time
+      // axis, keeping dims so broadcasting lines up as [1, C, 1].
+      mu = ag::Mean(ag::Mean(input, 0, true), 2, true);
+      Variable centered = ag::Sub(input, mu);
+      var = ag::Mean(ag::Mean(ag::Square(centered), 0, true), 2, true);
+    } else {
+      mu = ag::Mean(input, 0, true);  // [1, C]
+      Variable centered = ag::Sub(input, mu);
+      var = ag::Mean(ag::Square(centered), 0, true);
+    }
+    // Update running statistics from detached values.
+    const Tensor mu_flat = mu.data().Reshape({channels_});
+    const Tensor var_flat = var.data().Reshape({channels_});
+    for (int64_t c = 0; c < channels_; ++c) {
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mu_flat[c];
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * var_flat[c];
+    }
+  } else {
+    const Shape stat_shape = is_3d ? Shape{1, channels_, 1} : Shape{1, channels_};
+    mu = ag::Constant(running_mean_.Reshape(stat_shape));
+    var = ag::Constant(running_var_.Reshape(stat_shape));
+  }
+
+  Variable norm =
+      ag::Div(ag::Sub(input, mu), ag::Sqrt(ag::AddScalar(var, eps_)));
+  if (is_3d) {
+    Variable g = ag::Reshape(gamma_, {1, channels_, 1});
+    Variable b = ag::Reshape(beta_, {1, channels_, 1});
+    return ag::Add(ag::Mul(norm, g), b);
+  }
+  return ag::Add(ag::Mul(norm, gamma_), beta_);
+}
+
+}  // namespace units::nn

@@ -1,0 +1,63 @@
+#ifndef UNITS_NN_NORM_H_
+#define UNITS_NN_NORM_H_
+
+#include "nn/module.h"
+
+namespace units::nn {
+
+/// Layer normalization over the last dimension, with learnable per-feature
+/// scale (gamma) and shift (beta). Input [..., C].
+class LayerNorm : public Module {
+ public:
+  LayerNorm(int64_t features, float eps = 1e-5f);
+
+  Variable Forward(const Variable& input) override;
+
+ private:
+  int64_t features_;
+  float eps_;
+  Variable gamma_;  // [C]
+  Variable beta_;   // [C]
+};
+
+/// Instance normalization for [N, C, T]: normalizes each (sample, channel)
+/// series over time, then applies a per-channel affine transform. Stateless
+/// across batches (no running statistics), which makes it robust to the
+/// small batch sizes used during fine-tuning.
+class InstanceNorm1d : public Module {
+ public:
+  InstanceNorm1d(int64_t channels, float eps = 1e-5f);
+
+  Variable Forward(const Variable& input) override;
+
+ private:
+  int64_t channels_;
+  float eps_;
+  Variable gamma_;  // [C, 1] (broadcasts over time)
+  Variable beta_;   // [C, 1]
+};
+
+/// Batch normalization for [N, C] or [N, C, T]. Uses batch statistics in
+/// training mode and exponentially-averaged running statistics in eval.
+class BatchNorm1d : public Module {
+ public:
+  BatchNorm1d(int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  Variable Forward(const Variable& input) override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int64_t channels_;
+  float eps_;
+  float momentum_;
+  Variable gamma_;  // [C]
+  Variable beta_;   // [C]
+  Tensor running_mean_;  // [C]
+  Tensor running_var_;   // [C]
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_NORM_H_

@@ -1,0 +1,18 @@
+#include "nn/sequential.h"
+
+namespace units::nn {
+
+void Sequential::Append(std::shared_ptr<Module> module) {
+  RegisterModule(std::to_string(modules_.size()), module);
+  modules_.push_back(std::move(module));
+}
+
+Variable Sequential::Forward(const Variable& input) {
+  Variable x = input;
+  for (auto& m : modules_) {
+    x = m->Forward(x);
+  }
+  return x;
+}
+
+}  // namespace units::nn

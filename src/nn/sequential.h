@@ -1,0 +1,31 @@
+#ifndef UNITS_NN_SEQUENTIAL_H_
+#define UNITS_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace units::nn {
+
+/// Chains child modules; Forward applies them in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a module (registered as "<index>").
+  void Append(std::shared_ptr<Module> module);
+
+  Variable Forward(const Variable& input) override;
+
+  size_t size() const { return modules_.size(); }
+  Module* at(size_t i) { return modules_.at(i).get(); }
+
+ private:
+  std::vector<std::shared_ptr<Module>> modules_;
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_SEQUENTIAL_H_

@@ -1,0 +1,61 @@
+#include "nn/tcn.h"
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace units::nn {
+
+namespace ag = ::units::autograd;
+
+TcnEncoder::TcnEncoder(const TcnConfig& config, Rng* rng) : config_(config) {
+  const ConvPadding pad =
+      config.causal ? ConvPadding::kCausal : ConvPadding::kSame;
+  input_proj_ = RegisterModule(
+      "input_proj",
+      std::make_shared<Conv1d>(config.input_channels, config.hidden_channels,
+                               /*kernel=*/1, rng));
+  int64_t dilation = 1;
+  for (int64_t b = 0; b < config.num_blocks; ++b) {
+    Block block;
+    block.conv1 = RegisterModule(
+        StrCat("block", b, ".conv1"),
+        std::make_shared<Conv1d>(config.hidden_channels,
+                                 config.hidden_channels, config.kernel, rng,
+                                 dilation, pad));
+    block.conv2 = RegisterModule(
+        StrCat("block", b, ".conv2"),
+        std::make_shared<Conv1d>(config.hidden_channels,
+                                 config.hidden_channels, config.kernel, rng,
+                                 dilation, pad));
+    block.norm = RegisterModule(
+        StrCat("block", b, ".norm"),
+        std::make_shared<InstanceNorm1d>(config.hidden_channels));
+    blocks_.push_back(std::move(block));
+    dilation *= 2;
+  }
+  output_proj_ = RegisterModule(
+      "output_proj",
+      std::make_shared<Conv1d>(config.hidden_channels, config.repr_channels,
+                               /*kernel=*/1, rng));
+}
+
+Variable TcnEncoder::Forward(const Variable& input) {
+  UNITS_CHECK_EQ(input.ndim(), 3);
+  UNITS_CHECK_EQ(input.dim(1), config_.input_channels);
+  Variable x = input_proj_->Forward(input);
+  for (Block& block : blocks_) {
+    Variable h = block.norm->Forward(x);
+    h = ApplyActivation(config_.activation, h);
+    h = block.conv1->Forward(h);
+    h = ApplyActivation(config_.activation, h);
+    h = block.conv2->Forward(h);
+    x = ag::Add(x, h);  // residual
+  }
+  return output_proj_->Forward(x);
+}
+
+Variable TcnEncoder::EncodeSeries(const Variable& input) {
+  return ag::MaxPoolOverTime(Forward(input));
+}
+
+}  // namespace units::nn

@@ -1,0 +1,57 @@
+#ifndef UNITS_NN_TCN_H_
+#define UNITS_NN_TCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/conv1d.h"
+#include "nn/module.h"
+#include "nn/norm.h"
+
+namespace units::nn {
+
+/// Configuration for TcnEncoder.
+struct TcnConfig {
+  int64_t input_channels = 1;   // D
+  int64_t hidden_channels = 32;
+  int64_t repr_channels = 64;   // K
+  int64_t num_blocks = 4;       // dilations 1, 2, 4, ...
+  int64_t kernel = 3;
+  bool causal = true;
+  ActivationKind activation = ActivationKind::kGelu;
+};
+
+/// Dilated temporal convolutional encoder (the backbone used by the
+/// TS2Vec / T-Loss style pre-training templates). Maps [N, D, T] to
+/// per-timestep representations [N, K, T]; receptive field grows
+/// exponentially with depth.
+class TcnEncoder : public Module {
+ public:
+  TcnEncoder(const TcnConfig& config, Rng* rng);
+
+  /// Per-timestep representations [N, K, T].
+  Variable Forward(const Variable& input) override;
+
+  /// Whole-series representation [N, K] (max pooling over time, as in
+  /// T-Loss/TS2Vec).
+  Variable EncodeSeries(const Variable& input);
+
+  const TcnConfig& config() const { return config_; }
+
+ private:
+  struct Block {
+    std::shared_ptr<Conv1d> conv1;
+    std::shared_ptr<Conv1d> conv2;
+    std::shared_ptr<InstanceNorm1d> norm;
+  };
+
+  TcnConfig config_;
+  std::shared_ptr<Conv1d> input_proj_;
+  std::vector<Block> blocks_;
+  std::shared_ptr<Conv1d> output_proj_;
+};
+
+}  // namespace units::nn
+
+#endif  // UNITS_NN_TCN_H_

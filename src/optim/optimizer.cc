@@ -1,0 +1,159 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units::optim {
+
+Optimizer::Optimizer(std::vector<Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const Variable& p : params_) {
+    UNITS_CHECK(p.defined());
+    UNITS_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) {
+    p.ZeroGrad();
+  }
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Variable& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) {
+      continue;
+    }
+    float* w = p.data().data();
+    const float* g = p.grad().data();
+    const int64_t n = p.numel();
+    if (momentum_ > 0.0f) {
+      float* vel = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + weight_decay_ * w[j];
+        vel[j] = momentum_ * vel[j] + grad;
+        w[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        w[j] -= lr_ * (g[j] + weight_decay_ * w[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.push_back(Tensor::Zeros(p.shape()));
+    v_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) {
+      continue;
+    }
+    float* w = p.data().data();
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      // Decoupled weight decay (AdamW): applied directly to the weights.
+      w[j] -= lr_ * (m_hat / (std::sqrt(v_hat) + eps_) +
+                     weight_decay_ * w[j]);
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Variable> params, float lr, float decay,
+                 float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      decay_(decay),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  mean_square_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    mean_square_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void RmsProp::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) {
+      continue;
+    }
+    float* w = p.data().data();
+    const float* g = p.grad().data();
+    float* ms = mean_square_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      ms[j] = decay_ * ms[j] + (1.0f - decay_) * grad * grad;
+      w[j] -= lr_ * grad / (std::sqrt(ms[j]) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
+  double total = 0.0;
+  for (const Variable& p : params) {
+    if (!p.has_grad()) {
+      continue;
+    }
+    const float* g = p.grad().data();
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      total += static_cast<double>(g[j]) * static_cast<double>(g[j]);
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Variable& p : params) {
+      if (!p.has_grad()) {
+        continue;
+      }
+      float* g = p.mutable_grad().data();
+      for (int64_t j = 0; j < p.numel(); ++j) {
+        g[j] *= scale;
+      }
+    }
+  }
+  return norm;
+}
+
+}  // namespace units::optim

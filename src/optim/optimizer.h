@@ -1,0 +1,93 @@
+#ifndef UNITS_OPTIM_OPTIMIZER_H_
+#define UNITS_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace units::optim {
+
+using autograd::Variable;
+
+/// Base class for first-order optimizers over a fixed parameter list.
+/// Typical loop: ZeroGrad(); loss.Backward(); Step();
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the parameters' accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+  float lr_;
+};
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW when
+/// weight_decay > 0).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// RMSProp (Tieleman & Hinton): per-coordinate learning rates from an
+/// exponential moving average of squared gradients.
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<Variable> params, float lr, float decay = 0.99f,
+          float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float decay_;
+  float eps_;
+  float weight_decay_;
+  std::vector<Tensor> mean_square_;
+};
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm);
+
+}  // namespace units::optim
+
+#endif  // UNITS_OPTIM_OPTIMIZER_H_

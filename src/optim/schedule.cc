@@ -1,0 +1,43 @@
+#include "optim/schedule.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units::optim {
+
+CosineLr::CosineLr(int64_t total_steps, int64_t warmup_steps,
+                   float final_fraction)
+    : total_steps_(total_steps),
+      warmup_steps_(warmup_steps),
+      final_fraction_(final_fraction) {
+  UNITS_CHECK_GT(total_steps, 0);
+  UNITS_CHECK_GE(warmup_steps, 0);
+  UNITS_CHECK_LT(warmup_steps, total_steps);
+}
+
+float CosineLr::Multiplier(int64_t step) const {
+  if (step < warmup_steps_) {
+    return static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) {
+    return final_fraction_;
+  }
+  const float progress =
+      static_cast<float>(step - warmup_steps_) /
+      static_cast<float>(total_steps_ - warmup_steps_);
+  const float cosine = 0.5f * (1.0f + std::cos(M_PI * progress));
+  return final_fraction_ + (1.0f - final_fraction_) * cosine;
+}
+
+StepLr::StepLr(int64_t step_size, float gamma)
+    : step_size_(step_size), gamma_(gamma) {
+  UNITS_CHECK_GT(step_size, 0);
+}
+
+float StepLr::Multiplier(int64_t step) const {
+  return std::pow(gamma_, static_cast<float>(step / step_size_));
+}
+
+}  // namespace units::optim

@@ -1,0 +1,51 @@
+#ifndef UNITS_OPTIM_SCHEDULE_H_
+#define UNITS_OPTIM_SCHEDULE_H_
+
+#include <cstdint>
+
+namespace units::optim {
+
+/// Learning-rate schedule: maps a 0-based step index to a multiplier of the
+/// base learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float Multiplier(int64_t step) const = 0;
+};
+
+/// Constant multiplier 1.
+class ConstantLr : public LrSchedule {
+ public:
+  float Multiplier(int64_t) const override { return 1.0f; }
+};
+
+/// Linear warmup to 1 over `warmup_steps`, then cosine decay to
+/// `final_fraction` at `total_steps`.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(int64_t total_steps, int64_t warmup_steps = 0,
+           float final_fraction = 0.0f);
+
+  float Multiplier(int64_t step) const override;
+
+ private:
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+  float final_fraction_;
+};
+
+/// Multiplies by `gamma` every `step_size` steps.
+class StepLr : public LrSchedule {
+ public:
+  StepLr(int64_t step_size, float gamma);
+
+  float Multiplier(int64_t step) const override;
+
+ private:
+  int64_t step_size_;
+  float gamma_;
+};
+
+}  // namespace units::optim
+
+#endif  // UNITS_OPTIM_SCHEDULE_H_

@@ -1,0 +1,92 @@
+#include "tensor/fft.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units::fft {
+
+int64_t NextPowerOfTwo(int64_t n) {
+  int64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void Fft(std::vector<std::complex<float>>* data, bool inverse) {
+  auto& a = *data;
+  const size_t n = a.size();
+  UNITS_CHECK_GT(n, 0u);
+  UNITS_CHECK_MSG((n & (n - 1)) == 0, "FFT length must be a power of two");
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(a[i], a[j]);
+    }
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * M_PI / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u(a[i + k]);
+        const std::complex<double> v =
+            std::complex<double>(a[i + k + len / 2]) * w;
+        a[i + k] = std::complex<float>(u + v);
+        a[i + k + len / 2] = std::complex<float>(u - v);
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float scale = 1.0f / static_cast<float>(n);
+    for (auto& x : a) {
+      x *= scale;
+    }
+  }
+}
+
+std::vector<std::complex<float>> RealFft(const std::vector<float>& signal) {
+  const int64_t padded = NextPowerOfTwo(static_cast<int64_t>(signal.size()));
+  std::vector<std::complex<float>> data(static_cast<size_t>(padded),
+                                        {0.0f, 0.0f});
+  for (size_t i = 0; i < signal.size(); ++i) {
+    data[i] = {signal[i], 0.0f};
+  }
+  Fft(&data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<float> InverseRealFft(std::vector<std::complex<float>> spectrum,
+                                  int64_t original_length) {
+  Fft(&spectrum, /*inverse=*/true);
+  UNITS_CHECK_LE(original_length, static_cast<int64_t>(spectrum.size()));
+  std::vector<float> out(static_cast<size_t>(original_length));
+  for (int64_t i = 0; i < original_length; ++i) {
+    out[static_cast<size_t>(i)] = spectrum[static_cast<size_t>(i)].real();
+  }
+  return out;
+}
+
+std::vector<float> MagnitudeSpectrum(const std::vector<float>& signal) {
+  const auto spectrum = RealFft(signal);
+  const size_t bins = spectrum.size() / 2 + 1;
+  std::vector<float> mags(bins);
+  for (size_t i = 0; i < bins; ++i) {
+    mags[i] = std::abs(spectrum[i]);
+  }
+  return mags;
+}
+
+}  // namespace units::fft

@@ -1,0 +1,31 @@
+#ifndef UNITS_TENSOR_FFT_H_
+#define UNITS_TENSOR_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace units::fft {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. Length must be a power of
+/// two (checked). `inverse` applies the conjugate transform and 1/n scaling.
+void Fft(std::vector<std::complex<float>>* data, bool inverse = false);
+
+/// Next power of two >= n (and >= 1).
+int64_t NextPowerOfTwo(int64_t n);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum of the padded length.
+std::vector<std::complex<float>> RealFft(const std::vector<float>& signal);
+
+/// Inverse of RealFft: inverse FFT then truncation to `original_length`
+/// real samples (imaginary parts discarded).
+std::vector<float> InverseRealFft(std::vector<std::complex<float>> spectrum,
+                                  int64_t original_length);
+
+/// Magnitude spectrum |X_k| of a real signal (padded length / 2 + 1 bins).
+std::vector<float> MagnitudeSpectrum(const std::vector<float>& signal);
+
+}  // namespace units::fft
+
+#endif  // UNITS_TENSOR_FFT_H_

@@ -1,0 +1,189 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace units {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    UNITS_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::string out = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+Tensor::Tensor() : Tensor(Shape{0}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(NumElements(shape_)),
+      storage_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(numel_))) {}
+
+Tensor Tensor::Zeros(Shape shape) {
+  return Tensor(std::move(shape));  // vector value-initializes to 0
+}
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  UNITS_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = static_cast<int64_t>(values.size());
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t(Shape{});
+  (*t.storage_)[0] = value;
+  return t;
+}
+
+Tensor Tensor::RandNormal(Shape shape, Rng* rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t count, float start, float step) {
+  Tensor t(Shape{count});
+  float* p = t.data();
+  for (int64_t i = 0; i < count; ++i) {
+    p[i] = start + step * static_cast<float>(i);
+  }
+  return t;
+}
+
+int64_t Tensor::dim(int axis) const {
+  if (axis < 0) {
+    axis += ndim();
+  }
+  UNITS_CHECK(axis >= 0 && axis < ndim());
+  return shape_[static_cast<size_t>(axis)];
+}
+
+int64_t Tensor::Offset(const std::vector<int64_t>& idx) const {
+  UNITS_CHECK_EQ(static_cast<int>(idx.size()), ndim());
+  int64_t offset = 0;
+  int64_t stride = 1;
+  for (int axis = ndim() - 1; axis >= 0; --axis) {
+    const int64_t i = idx[static_cast<size_t>(axis)];
+    UNITS_CHECK(i >= 0 && i < shape_[static_cast<size_t>(axis)]);
+    offset += i * stride;
+    stride *= shape_[static_cast<size_t>(axis)];
+  }
+  return offset;
+}
+
+float& Tensor::At(std::initializer_list<int64_t> idx) {
+  return (*storage_)[static_cast<size_t>(
+      Offset(std::vector<int64_t>(idx)))];
+}
+
+float Tensor::At(std::initializer_list<int64_t> idx) const {
+  return (*storage_)[static_cast<size_t>(
+      Offset(std::vector<int64_t>(idx)))];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  UNITS_CHECK_EQ(NumElements(new_shape), numel_);
+  Tensor view = *this;
+  view.shape_ = std::move(new_shape);
+  return view;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor copy;
+  copy.shape_ = shape_;
+  copy.numel_ = numel_;
+  copy.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return copy;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(storage_->begin(), storage_->end(), value);
+}
+
+void Tensor::CopyDataFrom(const Tensor& src) {
+  UNITS_CHECK_EQ(numel_, src.numel_);
+  std::copy(src.storage_->begin(), src.storage_->end(), storage_->begin());
+}
+
+namespace {
+
+void PrintRec(const Tensor& t, int axis, std::vector<int64_t>* idx,
+              int max_per_dim, std::ostringstream* out) {
+  if (axis == t.ndim()) {
+    *out << t.data()[t.Offset(*idx)];
+    return;
+  }
+  *out << "[";
+  const int64_t n = t.shape()[static_cast<size_t>(axis)];
+  const int64_t shown = std::min<int64_t>(n, max_per_dim);
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) {
+      *out << ", ";
+    }
+    idx->push_back(i);
+    PrintRec(t, axis + 1, idx, max_per_dim, out);
+    idx->pop_back();
+  }
+  if (shown < n) {
+    *out << ", ...(" << n - shown << " more)";
+  }
+  *out << "]";
+}
+
+}  // namespace
+
+std::string Tensor::ToString(int max_per_dim) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " ";
+  if (ndim() == 0) {
+    out << data()[0];
+  } else {
+    std::vector<int64_t> idx;
+    PrintRec(*this, 0, &idx, max_per_dim, &out);
+  }
+  return out.str();
+}
+
+}  // namespace units

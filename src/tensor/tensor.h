@@ -1,0 +1,115 @@
+#ifndef UNITS_TENSOR_TENSOR_H_
+#define UNITS_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace units {
+
+/// Shape of a tensor; dimensions ordered outermost-first (row-major).
+using Shape = std::vector<int64_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+int64_t NumElements(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+bool SameShape(const Shape& a, const Shape& b);
+
+/// Dense float32 tensor, row-major, always contiguous. Storage is shared:
+/// copying a Tensor is O(1) and aliases the same buffer (use Clone() for a
+/// deep copy). Reshape returns an aliasing view with a new shape. This is
+/// the substrate for the autograd engine; it deliberately has no strides —
+/// ops that would need them (transpose, slice) materialize their output.
+class Tensor {
+ public:
+  /// An empty (rank-1, zero-length) tensor.
+  Tensor();
+
+  /// Uninitialized tensor of the given shape. Prefer the named factories
+  /// below in non-performance-critical code.
+  explicit Tensor(Shape shape);
+
+  /// All zeros / ones / constant `value`.
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+
+  /// Wraps the given values (copied) with the given shape.
+  static Tensor FromVector(Shape shape, std::vector<float> values);
+
+  /// Rank-0 scalar.
+  static Tensor Scalar(float value);
+
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor RandNormal(Shape shape, Rng* rng, float mean = 0.0f,
+                           float stddev = 1.0f);
+
+  /// I.i.d. Uniform[lo, hi) entries.
+  static Tensor RandUniform(Shape shape, Rng* rng, float lo = 0.0f,
+                            float hi = 1.0f);
+
+  /// Evenly spaced values [start, start+step, ...), `count` of them.
+  static Tensor Arange(int64_t count, float start = 0.0f, float step = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  int64_t dim(int axis) const;
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return numel_; }
+
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+
+  /// Element access by flat index (row-major).
+  float& operator[](int64_t i) {
+    UNITS_CHECK(i >= 0 && i < numel_);
+    return (*storage_)[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    UNITS_CHECK(i >= 0 && i < numel_);
+    return (*storage_)[static_cast<size_t>(i)];
+  }
+
+  /// Element access by multi-index, e.g. t.At({n, c, t}).
+  float& At(std::initializer_list<int64_t> idx);
+  float At(std::initializer_list<int64_t> idx) const;
+
+  /// View with a new shape; must preserve numel. Shares storage.
+  Tensor Reshape(Shape new_shape) const;
+
+  /// Deep copy with fresh storage.
+  Tensor Clone() const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Copies values from `src` (shapes must have equal numel).
+  void CopyDataFrom(const Tensor& src);
+
+  /// True if this tensor aliases the same buffer as `other`.
+  bool SharesStorageWith(const Tensor& other) const {
+    return storage_ == other.storage_;
+  }
+
+  /// Pretty-print (truncated for large tensors).
+  std::string ToString(int max_per_dim = 8) const;
+
+  /// Flat offset of a multi-index.
+  int64_t Offset(const std::vector<int64_t>& idx) const;
+
+ private:
+  Shape shape_;
+  int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace units
+
+#endif  // UNITS_TENSOR_TENSOR_H_

@@ -1,0 +1,705 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace units::ops {
+
+namespace {
+
+/// Row-major strides for a shape.
+std::vector<int64_t> StridesOf(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t s = 1;
+  for (int i = static_cast<int>(shape.size()) - 1; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] = s;
+    s *= shape[static_cast<size_t>(i)];
+  }
+  return strides;
+}
+
+/// Strides for reading `shape` as if broadcast to `out_shape`: broadcast
+/// dims get stride 0.
+std::vector<int64_t> BroadcastStrides(const Shape& shape,
+                                      const Shape& out_shape) {
+  const auto base = StridesOf(shape);
+  std::vector<int64_t> strides(out_shape.size(), 0);
+  const size_t offset = out_shape.size() - shape.size();
+  for (size_t i = 0; i < shape.size(); ++i) {
+    strides[offset + i] = (shape[i] == 1) ? 0 : base[i];
+  }
+  return strides;
+}
+
+int NormalizeAxis(int axis, int ndim) {
+  if (axis < 0) {
+    axis += ndim;
+  }
+  UNITS_CHECK(axis >= 0 && axis < ndim);
+  return axis;
+}
+
+}  // namespace
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const size_t n = std::max(a.size(), b.size());
+  Shape out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < n - a.size() ? 1 : a[i - (n - a.size())];
+    const int64_t db = i < n - b.size() ? 1 : b[i - (n - b.size())];
+    UNITS_CHECK_MSG(da == db || da == 1 || db == 1,
+                    "incompatible broadcast shapes");
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) {
+    return t;
+  }
+  Tensor out = Tensor::Zeros(target);
+  const Shape& from = t.shape();
+  UNITS_CHECK_LE(target.size(), from.size());
+  const auto out_strides = BroadcastStrides(target, from);
+  const auto from_strides = StridesOf(from);
+  const float* src = t.data();
+  float* dst = out.data();
+  std::vector<int64_t> idx(from.size(), 0);
+  for (int64_t flat = 0; flat < t.numel(); ++flat) {
+    int64_t off = 0;
+    for (size_t d = 0; d < from.size(); ++d) {
+      off += idx[d] * out_strides[d];
+    }
+    dst[off] += src[flat];
+    // Increment multi-index.
+    for (int d = static_cast<int>(from.size()) - 1; d >= 0; --d) {
+      if (++idx[static_cast<size_t>(d)] < from[static_cast<size_t>(d)]) {
+        break;
+      }
+      idx[static_cast<size_t>(d)] = 0;
+    }
+  }
+  (void)from_strides;
+  return out;
+}
+
+Tensor BinaryOp(const Tensor& a, const Tensor& b,
+                const std::function<float(float, float)>& fn) {
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      po[i] = fn(pa[i], pb[i]);
+    }
+    return out;
+  }
+  // Fast path: b is a suffix of a's shape (e.g. bias add [N,K] + [K]).
+  if (b.ndim() <= a.ndim()) {
+    bool suffix = b.numel() > 0;
+    for (int i = 0; i < b.ndim(); ++i) {
+      if (b.shape()[static_cast<size_t>(b.ndim() - 1 - i)] !=
+          a.shape()[static_cast<size_t>(a.ndim() - 1 - i)]) {
+        suffix = false;
+        break;
+      }
+    }
+    if (suffix) {
+      Tensor out(a.shape());
+      const int64_t inner = b.numel();
+      const int64_t outer = a.numel() / inner;
+      const float* pa = a.data();
+      const float* pb = b.data();
+      float* po = out.data();
+      for (int64_t o = 0; o < outer; ++o) {
+        const int64_t base = o * inner;
+        for (int64_t i = 0; i < inner; ++i) {
+          po[base + i] = fn(pa[base + i], pb[i]);
+        }
+      }
+      return out;
+    }
+  }
+  // General broadcasting path.
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const auto sa = BroadcastStrides(a.shape(), out_shape);
+  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  std::vector<int64_t> idx(out_shape.size(), 0);
+  for (int64_t flat = 0; flat < out.numel(); ++flat) {
+    int64_t oa = 0;
+    int64_t ob = 0;
+    for (size_t d = 0; d < out_shape.size(); ++d) {
+      oa += idx[d] * sa[d];
+      ob += idx[d] * sb[d];
+    }
+    po[flat] = fn(pa[oa], pb[ob]);
+    for (int d = static_cast<int>(out_shape.size()) - 1; d >= 0; --d) {
+      if (++idx[static_cast<size_t>(d)] <
+          out_shape[static_cast<size_t>(d)]) {
+        break;
+      }
+      idx[static_cast<size_t>(d)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = fn(pa[i]);
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Gelu(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    const float kC = 0.7978845608f;  // sqrt(2/pi)
+    return 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+  });
+}
+Tensor Square(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x * x; });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return UnaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  UNITS_CHECK_EQ(a.ndim(), 2);
+  UNITS_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  UNITS_CHECK_EQ(b.dim(0), k);
+  const int64_t n = b.dim(1);
+  Tensor out = Tensor::Zeros({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order: streams through b and out rows (cache friendly).
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) {
+        continue;
+      }
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  UNITS_CHECK_EQ(a.ndim(), 3);
+  UNITS_CHECK_EQ(b.ndim(), 3);
+  const int64_t batch = a.dim(0);
+  UNITS_CHECK_EQ(b.dim(0), batch);
+  const int64_t m = a.dim(1);
+  const int64_t k = a.dim(2);
+  UNITS_CHECK_EQ(b.dim(1), k);
+  const int64_t n = b.dim(2);
+  Tensor out = Tensor::Zeros({batch, m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* ba = pa + bi * m * k;
+    const float* bb = pb + bi * k * n;
+    float* bo = po + bi * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = ba[i * k + kk];
+        if (aik == 0.0f) {
+          continue;
+        }
+        const float* brow = bb + kk * n;
+        float* orow = bo + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+          orow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a, int axis0, int axis1) {
+  axis0 = NormalizeAxis(axis0, a.ndim());
+  axis1 = NormalizeAxis(axis1, a.ndim());
+  Shape out_shape = a.shape();
+  std::swap(out_shape[static_cast<size_t>(axis0)],
+            out_shape[static_cast<size_t>(axis1)]);
+  Tensor out(out_shape);
+  const auto in_strides = StridesOf(a.shape());
+  auto perm_strides = in_strides;
+  std::swap(perm_strides[static_cast<size_t>(axis0)],
+            perm_strides[static_cast<size_t>(axis1)]);
+  const float* pa = a.data();
+  float* po = out.data();
+  std::vector<int64_t> idx(out_shape.size(), 0);
+  for (int64_t flat = 0; flat < out.numel(); ++flat) {
+    int64_t src = 0;
+    for (size_t d = 0; d < out_shape.size(); ++d) {
+      src += idx[d] * perm_strides[d];
+    }
+    po[flat] = pa[src];
+    for (int d = static_cast<int>(out_shape.size()) - 1; d >= 0; --d) {
+      if (++idx[static_cast<size_t>(d)] <
+          out_shape[static_cast<size_t>(d)]) {
+        break;
+      }
+      idx[static_cast<size_t>(d)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) { return Transpose(a, 0, 1); }
+
+float SumAll(const Tensor& a) {
+  // Kahan summation: benchmark losses are averaged over many small terms.
+  double sum = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    sum += static_cast<double>(p[i]);
+  }
+  return static_cast<float>(sum);
+}
+
+float MeanAll(const Tensor& a) {
+  UNITS_CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<float>(a.numel());
+}
+
+float MaxAll(const Tensor& a) {
+  UNITS_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float m = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) {
+    m = std::max(m, p[i]);
+  }
+  return m;
+}
+
+float MinAll(const Tensor& a) {
+  UNITS_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float m = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) {
+    m = std::min(m, p[i]);
+  }
+  return m;
+}
+
+namespace {
+
+/// Decomposes a shape around `axis` into (outer, axis_len, inner) so that
+/// flat = (o * axis_len + x) * inner + i.
+struct AxisSplit {
+  int64_t outer;
+  int64_t len;
+  int64_t inner;
+};
+
+AxisSplit SplitAxis(const Shape& shape, int axis) {
+  AxisSplit s{1, shape[static_cast<size_t>(axis)], 1};
+  for (int d = 0; d < axis; ++d) {
+    s.outer *= shape[static_cast<size_t>(d)];
+  }
+  for (size_t d = static_cast<size_t>(axis) + 1; d < shape.size(); ++d) {
+    s.inner *= shape[d];
+  }
+  return s;
+}
+
+Shape DropOrKeepAxis(const Shape& shape, int axis, bool keepdim) {
+  Shape out = shape;
+  if (keepdim) {
+    out[static_cast<size_t>(axis)] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a, int axis, bool keepdim) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const AxisSplit s = SplitAxis(a.shape(), axis);
+  Tensor out = Tensor::Zeros(DropOrKeepAxis(a.shape(), axis, keepdim));
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < s.len; ++x) {
+      const float* src = pa + (o * s.len + x) * s.inner;
+      float* dst = po + o * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) {
+        dst[i] += src[i];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int axis, bool keepdim) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const int64_t len = a.dim(axis);
+  return MulScalar(Sum(a, axis, keepdim), 1.0f / static_cast<float>(len));
+}
+
+Tensor Max(const Tensor& a, int axis, bool keepdim) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const AxisSplit s = SplitAxis(a.shape(), axis);
+  Tensor out = Tensor::Full(DropOrKeepAxis(a.shape(), axis, keepdim),
+                            -std::numeric_limits<float>::infinity());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < s.len; ++x) {
+      const float* src = pa + (o * s.len + x) * s.inner;
+      float* dst = po + o * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) {
+        dst[i] = std::max(dst[i], src[i]);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ArgMax(const Tensor& a, int axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const AxisSplit s = SplitAxis(a.shape(), axis);
+  Tensor out = Tensor::Zeros(DropOrKeepAxis(a.shape(), axis, false));
+  std::vector<float> best(static_cast<size_t>(out.numel()),
+                          -std::numeric_limits<float>::infinity());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < s.len; ++x) {
+      const float* src = pa + (o * s.len + x) * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) {
+        const int64_t flat = o * s.inner + i;
+        if (src[i] > best[static_cast<size_t>(flat)]) {
+          best[static_cast<size_t>(flat)] = src[i];
+          po[flat] = static_cast<float>(x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::pair<Tensor, std::vector<int64_t>> MaxWithArg(const Tensor& a, int axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const AxisSplit s = SplitAxis(a.shape(), axis);
+  Tensor values = Tensor::Full(DropOrKeepAxis(a.shape(), axis, false),
+                               -std::numeric_limits<float>::infinity());
+  std::vector<int64_t> args(static_cast<size_t>(values.numel()), 0);
+  const float* pa = a.data();
+  float* pv = values.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < s.len; ++x) {
+      const int64_t base = (o * s.len + x) * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) {
+        const int64_t flat = o * s.inner + i;
+        if (pa[base + i] > pv[flat]) {
+          pv[flat] = pa[base + i];
+          args[static_cast<size_t>(flat)] = base + i;
+        }
+      }
+    }
+  }
+  return {values, args};
+}
+
+Tensor Softmax(const Tensor& a, int axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const Tensor m = Max(a, axis, /*keepdim=*/true);
+  const Tensor shifted = Sub(a, m);
+  const Tensor e = Exp(shifted);
+  const Tensor z = Sum(e, axis, /*keepdim=*/true);
+  return Div(e, z);
+}
+
+Tensor LogSoftmax(const Tensor& a, int axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const Tensor m = Max(a, axis, /*keepdim=*/true);
+  const Tensor shifted = Sub(a, m);
+  const Tensor logz = Log(Sum(Exp(shifted), axis, /*keepdim=*/true));
+  return Sub(shifted, logz);
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  UNITS_CHECK(!parts.empty());
+  const int ndim = parts[0].ndim();
+  axis = NormalizeAxis(axis, ndim);
+  Shape out_shape = parts[0].shape();
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    UNITS_CHECK_EQ(p.ndim(), ndim);
+    for (int d = 0; d < ndim; ++d) {
+      if (d != axis) {
+        UNITS_CHECK_EQ(p.shape()[static_cast<size_t>(d)],
+                       out_shape[static_cast<size_t>(d)]);
+      }
+    }
+    total += p.dim(axis);
+  }
+  out_shape[static_cast<size_t>(axis)] = total;
+  Tensor out(out_shape);
+  const AxisSplit s = SplitAxis(out_shape, axis);
+  float* po = out.data();
+  int64_t axis_offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t plen = p.dim(axis);
+    const float* pp = p.data();
+    for (int64_t o = 0; o < s.outer; ++o) {
+      for (int64_t x = 0; x < plen; ++x) {
+        const float* src = pp + (o * plen + x) * s.inner;
+        float* dst = po + (o * s.len + axis_offset + x) * s.inner;
+        std::copy(src, src + s.inner, dst);
+      }
+    }
+    axis_offset += plen;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
+  axis = NormalizeAxis(axis, a.ndim());
+  UNITS_CHECK_GE(start, 0);
+  UNITS_CHECK_GE(length, 0);
+  UNITS_CHECK_LE(start + length, a.dim(axis));
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(axis)] = length;
+  Tensor out(out_shape);
+  const AxisSplit s = SplitAxis(a.shape(), axis);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < length; ++x) {
+      const float* src = pa + (o * s.len + start + x) * s.inner;
+      float* dst = po + (o * length + x) * s.inner;
+      std::copy(src, src + s.inner, dst);
+    }
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  UNITS_CHECK_GE(a.ndim(), 1);
+  Shape out_shape = a.shape();
+  out_shape[0] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+  const int64_t row = a.numel() / std::max<int64_t>(a.dim(0), 1);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t src_row = indices[i];
+    UNITS_CHECK(src_row >= 0 && src_row < a.dim(0));
+    std::copy(pa + src_row * row, pa + (src_row + 1) * row,
+              po + static_cast<int64_t>(i) * row);
+  }
+  return out;
+}
+
+Tensor ScatterAddRows(const Tensor& grad, const std::vector<int64_t>& indices,
+                      int64_t num_rows) {
+  UNITS_CHECK_EQ(grad.dim(0), static_cast<int64_t>(indices.size()));
+  Shape out_shape = grad.shape();
+  out_shape[0] = num_rows;
+  Tensor out = Tensor::Zeros(out_shape);
+  const int64_t row = grad.numel() / std::max<int64_t>(grad.dim(0), 1);
+  const float* pg = grad.data();
+  float* po = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t dst_row = indices[i];
+    UNITS_CHECK(dst_row >= 0 && dst_row < num_rows);
+    const float* src = pg + static_cast<int64_t>(i) * row;
+    float* dst = po + dst_row * row;
+    for (int64_t j = 0; j < row; ++j) {
+      dst[j] += src[j];
+    }
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  UNITS_CHECK(!parts.empty());
+  Shape out_shape = parts[0].shape();
+  out_shape.insert(out_shape.begin(), static_cast<int64_t>(parts.size()));
+  Tensor out(out_shape);
+  const int64_t chunk = parts[0].numel();
+  float* po = out.data();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    UNITS_CHECK(parts[i].shape() == parts[0].shape());
+    std::copy(parts[i].data(), parts[i].data() + chunk,
+              po + static_cast<int64_t>(i) * chunk);
+  }
+  return out;
+}
+
+Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
+                int64_t pad_left, int64_t pad_right) {
+  UNITS_CHECK_EQ(input.ndim(), 3);
+  const int64_t n = input.dim(0);
+  const int64_t c = input.dim(1);
+  const int64_t t = input.dim(2);
+  const int64_t t_out = t + pad_left + pad_right - (kernel - 1) * dilation;
+  UNITS_CHECK_GT(t_out, 0);
+  Tensor cols = Tensor::Zeros({c * kernel, n * t_out});
+  const float* pin = input.data();
+  float* pc = cols.data();
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t ki = 0; ki < kernel; ++ki) {
+      float* crow = pc + (ci * kernel + ki) * (n * t_out);
+      for (int64_t ni = 0; ni < n; ++ni) {
+        const float* irow = pin + (ni * c + ci) * t;
+        float* cdst = crow + ni * t_out;
+        for (int64_t to = 0; to < t_out; ++to) {
+          const int64_t ti = to - pad_left + ki * dilation;
+          cdst[to] = (ti >= 0 && ti < t) ? irow[ti] : 0.0f;
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor Col2Im1D(const Tensor& cols, const Shape& input_shape, int64_t kernel,
+                int64_t dilation, int64_t pad_left, int64_t pad_right) {
+  UNITS_CHECK_EQ(input_shape.size(), 3u);
+  const int64_t n = input_shape[0];
+  const int64_t c = input_shape[1];
+  const int64_t t = input_shape[2];
+  const int64_t t_out = t + pad_left + pad_right - (kernel - 1) * dilation;
+  UNITS_CHECK_EQ(cols.dim(0), c * kernel);
+  UNITS_CHECK_EQ(cols.dim(1), n * t_out);
+  Tensor out = Tensor::Zeros(input_shape);
+  const float* pc = cols.data();
+  float* pout = out.data();
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t ki = 0; ki < kernel; ++ki) {
+      const float* crow = pc + (ci * kernel + ki) * (n * t_out);
+      for (int64_t ni = 0; ni < n; ++ni) {
+        float* irow = pout + (ni * c + ci) * t;
+        const float* csrc = crow + ni * t_out;
+        for (int64_t to = 0; to < t_out; ++to) {
+          const int64_t ti = to - pad_left + ki * dilation;
+          if (ti >= 0 && ti < t) {
+            irow[ti] += csrc[to];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HasNonFinite(const Tensor& a) {
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (!std::isfinite(p[i])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+float Norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float L2Distance(const Tensor& a, const Tensor& b) {
+  UNITS_CHECK_EQ(a.numel(), b.numel());
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace units::ops

@@ -1,0 +1,158 @@
+#ifndef UNITS_TENSOR_TENSOR_OPS_H_
+#define UNITS_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace units::ops {
+
+// ---------------------------------------------------------------------------
+// Broadcasting
+// ---------------------------------------------------------------------------
+
+/// NumPy-style broadcast of two shapes (aligned from the right; each pair of
+/// dims must be equal or one of them 1). Aborts on incompatible shapes.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+/// Sums `t` down to `target` shape (inverse of broadcasting); used to reduce
+/// gradients of broadcast operands. `target` must be broadcastable to
+/// t.shape().
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+// ---------------------------------------------------------------------------
+// Elementwise binary (broadcasting) and scalar ops
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+/// Generic elementwise binary op with broadcasting.
+Tensor BinaryOp(const Tensor& a, const Tensor& b,
+                const std::function<float(float, float)>& fn);
+
+/// Generic elementwise unary op.
+Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn);
+
+// ---------------------------------------------------------------------------
+// Elementwise unary ops
+// ---------------------------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// Gaussian error linear unit (tanh approximation).
+Tensor Gelu(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+/// [M,K] x [K,N] -> [M,N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// [B,M,K] x [B,K,N] -> [B,M,N].
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+
+/// Swaps two axes (materializes the result).
+Tensor Transpose(const Tensor& a, int axis0, int axis1);
+
+/// [M,N] -> [N,M] convenience.
+Tensor Transpose2D(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements.
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+float MinAll(const Tensor& a);
+
+/// Reduction along one axis. keepdim keeps a size-1 dim in place.
+Tensor Sum(const Tensor& a, int axis, bool keepdim = false);
+Tensor Mean(const Tensor& a, int axis, bool keepdim = false);
+Tensor Max(const Tensor& a, int axis, bool keepdim = false);
+
+/// Index of the max along `axis` (values are integral floats).
+Tensor ArgMax(const Tensor& a, int axis);
+
+/// Max along `axis` together with flat argmax offsets (for pooling
+/// backward). Returns {values, argmax_flat_offsets_as_int64}.
+std::pair<Tensor, std::vector<int64_t>> MaxWithArg(const Tensor& a, int axis);
+
+/// Numerically stable softmax / log-softmax along `axis`.
+Tensor Softmax(const Tensor& a, int axis);
+Tensor LogSoftmax(const Tensor& a, int axis);
+
+// ---------------------------------------------------------------------------
+// Shape manipulation
+// ---------------------------------------------------------------------------
+
+/// Concatenates along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+/// Contiguous slice [start, start+length) along `axis`.
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length);
+
+/// Selects rows (axis 0) by index; indices may repeat.
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices);
+
+/// Scatter-add of rows into a tensor of `num_rows` rows (inverse of
+/// GatherRows for gradients).
+Tensor ScatterAddRows(const Tensor& grad, const std::vector<int64_t>& indices,
+                      int64_t num_rows);
+
+/// Stacks equally-shaped tensors along a new leading axis.
+Tensor Stack(const std::vector<Tensor>& parts);
+
+// ---------------------------------------------------------------------------
+// Convolution support (1-D, row-major [N, C, T])
+// ---------------------------------------------------------------------------
+
+/// Unfolds [N, C, T] into columns [C*k, N*T_out] for a kernel of width k,
+/// given left padding `pad_left`, right padding `pad_right`, and dilation.
+/// T_out = T + pad_left + pad_right - (k-1)*dilation.
+Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
+                int64_t pad_left, int64_t pad_right);
+
+/// Folds columns [C*k, N*T_out] back into [N, C, T] (adjoint of Im2Col1D).
+Tensor Col2Im1D(const Tensor& cols, const Shape& input_shape, int64_t kernel,
+                int64_t dilation, int64_t pad_left, int64_t pad_right);
+
+// ---------------------------------------------------------------------------
+// Comparisons / misc
+// ---------------------------------------------------------------------------
+
+/// True if all elements differ by at most atol + rtol*|b|.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+/// True if any element is NaN or Inf.
+bool HasNonFinite(const Tensor& a);
+
+/// Frobenius norm.
+float Norm(const Tensor& a);
+
+/// Euclidean distance between flattened tensors.
+float L2Distance(const Tensor& a, const Tensor& b);
+
+}  // namespace units::ops
+
+#endif  // UNITS_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end test of the units_cli tool: generate a small UCR-style file,
+# run pretrain -> finetune -> predict -> info, and sanity-check outputs.
+# Usage: cli_workflow.sh <path-to-units_cli>
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Two trivially separable classes: constant-ish low vs high series.
+DATA="$WORK/train.csv"
+awk 'BEGIN {
+  for (i = 0; i < 16; ++i) {
+    base = (i % 2 == 0) ? 0 : 5;
+    printf "%d", i % 2;
+    for (t = 0; t < 32; ++t) {
+      printf ",%.2f", base + 0.1 * (t % 3);
+    }
+    printf "\n";
+  }
+}' > "$DATA"
+
+"$CLI" list | grep -q whole_series_contrastive
+"$CLI" list | grep -q classification
+"$CLI" list | grep -q gated
+
+"$CLI" pretrain --data "$DATA" --format ucr \
+  --templates whole_series_contrastive --out "$WORK/model.json" \
+  --set epochs=2 --set hidden_channels=8 --set repr_dim=8 \
+  --set num_blocks=1 | grep -q "saved"
+
+"$CLI" info --model "$WORK/model.json" | grep -q "pretrained: yes"
+
+"$CLI" finetune --model "$WORK/model.json" --data "$DATA" --format ucr \
+  --task classification --out "$WORK/fitted.json" \
+  --set epochs=8 | grep -q "saved"
+
+"$CLI" info --model "$WORK/fitted.json" | grep -q "task state: fitted"
+
+"$CLI" predict --model "$WORK/fitted.json" --data "$DATA" --format ucr \
+  --out "$WORK/pred.csv"
+# 16 predictions + header.
+[ "$(wc -l < "$WORK/pred.csv")" -eq 17 ]
+
+# Unknown command fails with usage.
+if "$CLI" bogus > /dev/null 2>&1; then
+  echo "expected nonzero exit for unknown command" >&2
+  exit 1
+fi
+
+echo "CLI workflow OK"

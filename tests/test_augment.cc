@@ -1,0 +1,210 @@
+#include "augment/augment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace units::augment {
+namespace {
+
+Tensor MakeBatch(int64_t n = 4, int64_t d = 2, int64_t t = 64,
+                 uint64_t seed = 3) {
+  Rng rng(seed);
+  return Tensor::RandNormal({n, d, t}, &rng);
+}
+
+TEST(JitterTest, PreservesShapeAndMean) {
+  Rng rng(1);
+  Tensor x = MakeBatch();
+  Tensor y = Jitter(x, 0.1f, &rng);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_NEAR(ops::MeanAll(y), ops::MeanAll(x), 0.05f);
+  EXPECT_FALSE(ops::AllClose(y, x));
+}
+
+TEST(JitterTest, ZeroSigmaIsIdentity) {
+  Rng rng(2);
+  Tensor x = MakeBatch();
+  EXPECT_TRUE(ops::AllClose(Jitter(x, 0.0f, &rng), x));
+}
+
+TEST(ScaleTest, ScalesWholeChannels) {
+  Rng rng(3);
+  Tensor x = Tensor::Ones({2, 2, 8});
+  Tensor y = Scale(x, 0.5f, &rng);
+  // Within a (sample, channel) row every element shares the same factor.
+  for (int64_t i = 0; i < 4; ++i) {
+    const float f = y[i * 8];
+    for (int64_t j = 1; j < 8; ++j) {
+      EXPECT_EQ(y[i * 8 + j], f);
+    }
+  }
+}
+
+TEST(MagnitudeWarpTest, SmoothMultiplicative) {
+  Rng rng(4);
+  Tensor x = Tensor::Ones({1, 1, 100});
+  Tensor y = MagnitudeWarp(x, 0.2f, 4, &rng);
+  // Warped constant signal stays positive and near 1 on average.
+  EXPECT_GT(ops::MinAll(y), 0.0f);
+  EXPECT_NEAR(ops::MeanAll(y), 1.0f, 0.3f);
+  // Adjacent values change slowly (smoothness).
+  for (int64_t t = 1; t < 100; ++t) {
+    EXPECT_LT(std::fabs(y[t] - y[t - 1]), 0.05f);
+  }
+}
+
+TEST(PermuteTest, PreservesValueMultiset) {
+  Rng rng(5);
+  Tensor x = MakeBatch(2, 1, 32, 7);
+  Tensor y = Permute(x, 4, &rng);
+  // Sorting each row must give identical values.
+  for (int64_t i = 0; i < 2; ++i) {
+    std::vector<float> xa(x.data() + i * 32, x.data() + (i + 1) * 32);
+    std::vector<float> ya(y.data() + i * 32, y.data() + (i + 1) * 32);
+    std::sort(xa.begin(), xa.end());
+    std::sort(ya.begin(), ya.end());
+    EXPECT_EQ(xa, ya);
+  }
+}
+
+TEST(PermuteTest, ChannelsMoveTogether) {
+  Rng rng(6);
+  // Two identical channels must remain identical after permutation.
+  Tensor x = Tensor::Zeros({1, 2, 16});
+  for (int64_t t = 0; t < 16; ++t) {
+    x.At({0, 0, t}) = static_cast<float>(t);
+    x.At({0, 1, t}) = static_cast<float>(t);
+  }
+  Tensor y = Permute(x, 4, &rng);
+  for (int64_t t = 0; t < 16; ++t) {
+    EXPECT_EQ(y.At({0, 0, t}), y.At({0, 1, t}));
+  }
+}
+
+TEST(TimeMaskTest, MasksExpectedFraction) {
+  Rng rng(7);
+  Tensor x = Tensor::Ones({8, 1, 256});
+  Tensor y = TimeMask(x, 0.25f, 5.0f, &rng);
+  const float kept = ops::MeanAll(y);
+  EXPECT_NEAR(kept, 0.75f, 0.07f);
+}
+
+TEST(TimeMaskTest, MaskingIsAllChannelsAtOnce) {
+  Rng rng(8);
+  Tensor x = Tensor::Ones({1, 3, 64});
+  Tensor y = TimeMask(x, 0.3f, 4.0f, &rng);
+  for (int64_t t = 0; t < 64; ++t) {
+    const float a = y.At({0, 0, t});
+    EXPECT_EQ(a, y.At({0, 1, t}));
+    EXPECT_EQ(a, y.At({0, 2, t}));
+  }
+}
+
+TEST(TimeWarpTest, PreservesShapeAndEnergyScale) {
+  Rng rng(9);
+  Tensor x = MakeBatch(3, 2, 128, 10);
+  Tensor y = TimeWarp(x, 0.2f, 6, &rng);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_FALSE(ops::HasNonFinite(y));
+  EXPECT_NEAR(ops::Norm(y), ops::Norm(x), 0.25f * ops::Norm(x));
+}
+
+TEST(TimeWarpTest, ZeroSigmaIsNearIdentity) {
+  Rng rng(10);
+  Tensor x = MakeBatch(1, 1, 64, 11);
+  Tensor y = TimeWarp(x, 0.0f, 6, &rng);
+  EXPECT_TRUE(ops::AllClose(y, x, 1e-3f, 1e-3f));
+}
+
+TEST(TimeWarpTest, MonotoneResamplingKeepsRange) {
+  Rng rng(11);
+  // Warping a monotone ramp yields a monotone result within range.
+  Tensor x = Tensor::Zeros({1, 1, 50});
+  for (int64_t t = 0; t < 50; ++t) {
+    x.At({0, 0, t}) = static_cast<float>(t);
+  }
+  Tensor y = TimeWarp(x, 0.4f, 5, &rng);
+  EXPECT_GE(ops::MinAll(y), 0.0f);
+  EXPECT_LE(ops::MaxAll(y), 49.0f);
+  for (int64_t t = 1; t < 50; ++t) {
+    EXPECT_GE(y[t], y[t - 1] - 1e-4f);
+  }
+}
+
+TEST(RandomCropTest, LengthAndOffsets) {
+  Rng rng(12);
+  Tensor x = MakeBatch(4, 1, 32, 13);
+  std::vector<int64_t> offsets;
+  Tensor y = RandomCrop(x, 8, &rng, &offsets);
+  EXPECT_EQ(y.shape(), (Shape{4, 1, 8}));
+  ASSERT_EQ(offsets.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) {
+    const int64_t off = offsets[static_cast<size_t>(i)];
+    EXPECT_GE(off, 0);
+    EXPECT_LE(off, 24);
+    for (int64_t t = 0; t < 8; ++t) {
+      EXPECT_EQ(y.At({i, 0, t}), x.At({i, 0, off + t}));
+    }
+  }
+}
+
+TEST(RandomCropTest, FullLengthCropIsIdentity) {
+  Rng rng(13);
+  Tensor x = MakeBatch(2, 2, 16, 14);
+  Tensor y = RandomCrop(x, 16, &rng);
+  EXPECT_TRUE(ops::AllClose(y, x));
+}
+
+TEST(FrequencyPerturbTest, OutputRealAndFinite) {
+  Rng rng(14);
+  Tensor x = MakeBatch(2, 2, 100, 15);
+  Tensor y = FrequencyPerturb(x, 0.1f, 0.1f, &rng);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_FALSE(ops::HasNonFinite(y));
+}
+
+TEST(FrequencyPerturbTest, ZeroRatesNearIdentity) {
+  Rng rng(15);
+  Tensor x = MakeBatch(1, 1, 64, 16);
+  Tensor y = FrequencyPerturb(x, 0.0f, 0.0f, &rng);
+  EXPECT_TRUE(ops::AllClose(y, x, 1e-3f, 1e-3f));
+}
+
+TEST(FrequencyPerturbTest, RemovalReducesEnergy) {
+  Rng rng(16);
+  Tensor x = MakeBatch(2, 1, 128, 17);
+  Tensor y = FrequencyPerturb(x, 0.5f, 0.0f, &rng);
+  EXPECT_LT(ops::Norm(y), ops::Norm(x));
+}
+
+TEST(PipelineTest, AppliesOpsInOrder) {
+  AugmentationPipeline pipeline;
+  pipeline.Add("plus_one", [](const Tensor& x, Rng*) {
+    return ops::AddScalar(x, 1.0f);
+  });
+  pipeline.Add("double", [](const Tensor& x, Rng*) {
+    return ops::MulScalar(x, 2.0f);
+  });
+  Rng rng(17);
+  Tensor x = Tensor::Zeros({1, 1, 4});
+  Tensor y = pipeline.Apply(x, &rng);
+  EXPECT_EQ(y[0], 2.0f);  // (0 + 1) * 2
+  EXPECT_EQ(pipeline.size(), 2u);
+}
+
+TEST(PipelineTest, DefaultViewsChangeInput) {
+  Rng rng(18);
+  Tensor x = MakeBatch();
+  auto views = AugmentationPipeline::DefaultContrastiveViews();
+  Tensor v1 = views.Apply(x, &rng);
+  Tensor v2 = views.Apply(x, &rng);
+  EXPECT_FALSE(ops::AllClose(v1, x));
+  EXPECT_FALSE(ops::AllClose(v1, v2));  // stochastic
+  EXPECT_EQ(v1.shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace units::augment

@@ -1,0 +1,292 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace units::autograd {
+namespace {
+
+namespace ag = ::units::autograd;
+
+TEST(VariableTest, LeafBasics) {
+  Variable v(Tensor::FromVector({2}, {1, 2}), /*requires_grad=*/true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.numel(), 2);
+  EXPECT_FALSE(v.has_grad());
+}
+
+TEST(VariableTest, UndefinedByDefault) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+}
+
+TEST(VariableTest, BackwardThroughAdd) {
+  Variable a(Tensor::FromVector({2}, {1, 2}), true);
+  Variable b(Tensor::FromVector({2}, {3, 4}), true);
+  Variable loss = ag::SumAll(ag::Add(a, b));
+  loss.Backward();
+  EXPECT_EQ(a.grad()[0], 1.0f);
+  EXPECT_EQ(a.grad()[1], 1.0f);
+  EXPECT_EQ(b.grad()[0], 1.0f);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossBackwards) {
+  Variable a(Tensor::FromVector({1}, {2}), true);
+  ag::SumAll(ag::Square(a)).Backward();
+  EXPECT_EQ(a.grad()[0], 4.0f);
+  ag::SumAll(ag::Square(a)).Backward();
+  EXPECT_EQ(a.grad()[0], 8.0f);  // accumulated
+  a.ZeroGrad();
+  EXPECT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(VariableTest, DiamondGraphSumsGradients) {
+  // loss = a*a + a*a: each path contributes 2a.
+  Variable a(Tensor::FromVector({1}, {3}), true);
+  Variable sq = ag::Square(a);
+  Variable loss = ag::SumAll(ag::Add(sq, sq));
+  loss.Backward();
+  EXPECT_EQ(a.grad()[0], 12.0f);  // d/da (2a^2) = 4a
+}
+
+TEST(VariableTest, SharedSubexpressionUsedTwice) {
+  // loss = sum(x * x_detached-like separate paths) checks correct topo order.
+  Variable x(Tensor::FromVector({2}, {1, 2}), true);
+  Variable y = ag::Mul(x, x);        // x^2
+  Variable z = ag::Mul(y, x);        // x^3
+  ag::SumAll(z).Backward();
+  EXPECT_NEAR(x.grad()[0], 3.0f, 1e-5);   // 3x^2 at 1
+  EXPECT_NEAR(x.grad()[1], 12.0f, 1e-5);  // 3x^2 at 2
+}
+
+TEST(VariableTest, DetachCutsGraph) {
+  Variable a(Tensor::FromVector({1}, {2}), true);
+  Variable d = ag::Square(a).Detach();
+  EXPECT_FALSE(d.requires_grad());
+  Variable b(Tensor::FromVector({1}, {5}), true);
+  ag::SumAll(ag::Mul(d, b)).Backward();
+  EXPECT_FALSE(a.has_grad());
+  EXPECT_EQ(b.grad()[0], 4.0f);
+}
+
+TEST(NoGradTest, GuardSuppressesGraph) {
+  Variable a(Tensor::FromVector({1}, {2}), true);
+  {
+    NoGradGuard guard;
+    Variable y = ag::Square(a);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Variable y = ag::Square(a);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(NoGradTest, GuardNests) {
+  EXPECT_TRUE(GradEnabled());
+  {
+    NoGradGuard g1;
+    EXPECT_FALSE(GradEnabled());
+    {
+      NoGradGuard g2;
+      EXPECT_FALSE(GradEnabled());
+    }
+    EXPECT_FALSE(GradEnabled());
+  }
+  EXPECT_TRUE(GradEnabled());
+}
+
+TEST(OpsTest, BroadcastAddGradReduces) {
+  Variable a(Tensor::Zeros({2, 3}), true);
+  Variable bias(Tensor::Zeros({3}), true);
+  ag::SumAll(ag::Add(a, bias)).Backward();
+  EXPECT_EQ(bias.grad().shape(), (Shape{3}));
+  EXPECT_EQ(bias.grad()[0], 2.0f);  // summed over the batch of 2
+}
+
+TEST(OpsTest, MatMulGradients) {
+  Variable a(Tensor::FromVector({1, 2}, {1, 2}), true);
+  Variable b(Tensor::FromVector({2, 1}, {3, 4}), true);
+  ag::SumAll(ag::MatMul(a, b)).Backward();
+  EXPECT_EQ(a.grad().At({0, 0}), 3.0f);
+  EXPECT_EQ(a.grad().At({0, 1}), 4.0f);
+  EXPECT_EQ(b.grad().At({0, 0}), 1.0f);
+  EXPECT_EQ(b.grad().At({1, 0}), 2.0f);
+}
+
+TEST(OpsTest, ReluGradMasksNegative) {
+  Variable x(Tensor::FromVector({3}, {-1, 0, 2}), true);
+  ag::SumAll(ag::Relu(x)).Backward();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+  EXPECT_EQ(x.grad()[2], 1.0f);
+}
+
+TEST(OpsTest, SoftmaxOutputAndGradSum) {
+  Variable x(Tensor::FromVector({1, 3}, {1, 2, 3}), true);
+  Variable s = ag::Softmax(x, 1);
+  // Rows sum to one.
+  EXPECT_NEAR(ops::SumAll(s.data()), 1.0f, 1e-5);
+  // d(sum softmax)/dx = 0 since the output always sums to 1.
+  ag::SumAll(s).Backward();
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.grad()[i], 0.0f, 1e-5);
+  }
+}
+
+TEST(OpsTest, CrossEntropyMatchesManual) {
+  Variable logits(Tensor::FromVector({2, 3}, {1, 2, 3, 3, 2, 1}), true);
+  const std::vector<int64_t> targets = {2, 0};
+  Variable loss = ag::CrossEntropyLoss(logits, targets);
+  // Both rows have the target at the max logit; loss = -log softmax(max).
+  const float expected =
+      -std::log(std::exp(3.0f) /
+                (std::exp(1.0f) + std::exp(2.0f) + std::exp(3.0f)));
+  EXPECT_NEAR(loss.item(), expected, 1e-5);
+  loss.Backward();
+  // Gradient of CE wrt logits: softmax - onehot, scaled by 1/N.
+  const Tensor sm = ops::Softmax(logits.data(), 1);
+  EXPECT_NEAR(logits.grad().At({0, 2}), (sm.At({0, 2}) - 1.0f) / 2.0f, 1e-5);
+  EXPECT_NEAR(logits.grad().At({0, 0}), sm.At({0, 0}) / 2.0f, 1e-5);
+}
+
+TEST(OpsTest, MseLossValueAndGrad) {
+  Variable pred(Tensor::FromVector({2}, {1, 3}), true);
+  Variable target(Tensor::FromVector({2}, {0, 1}));
+  Variable loss = ag::MseLoss(pred, target);
+  EXPECT_NEAR(loss.item(), (1.0f + 4.0f) / 2.0f, 1e-6);
+  loss.Backward();
+  EXPECT_NEAR(pred.grad()[0], 2.0f * 1.0f / 2.0f, 1e-6);
+  EXPECT_NEAR(pred.grad()[1], 2.0f * 2.0f / 2.0f, 1e-6);
+}
+
+TEST(OpsTest, L1LossValue) {
+  Variable pred(Tensor::FromVector({2}, {1, -3}), true);
+  Variable target(Tensor::FromVector({2}, {0, 1}));
+  EXPECT_NEAR(ag::L1Loss(pred, target).item(), (1.0f + 4.0f) / 2.0f, 1e-6);
+}
+
+TEST(OpsTest, MaskedMseIgnoresUnmasked) {
+  Variable pred(Tensor::FromVector({4}, {1, 1, 1, 1}), true);
+  Variable target(Tensor::FromVector({4}, {0, 0, 5, 9}));
+  Tensor mask = Tensor::FromVector({4}, {1, 0, 1, 0});
+  Variable loss = ag::MaskedMseLoss(pred, target, mask);
+  // Only positions 0 and 2 count: ((1)^2 + (−4)^2) / 2.
+  EXPECT_NEAR(loss.item(), (1.0f + 16.0f) / 2.0f, 1e-5);
+  loss.Backward();
+  EXPECT_EQ(pred.grad()[1], 0.0f);
+  EXPECT_EQ(pred.grad()[3], 0.0f);
+  EXPECT_NE(pred.grad()[0], 0.0f);
+}
+
+TEST(OpsTest, MaskedMseEmptyMaskIsZero) {
+  Variable pred(Tensor::Ones({3}), true);
+  Variable target(Tensor::Zeros({3}));
+  Tensor mask = Tensor::Zeros({3});
+  EXPECT_EQ(ag::MaskedMseLoss(pred, target, mask).item(), 0.0f);
+}
+
+TEST(OpsTest, MaxPoolOverTimeRoutesGradToArgmax) {
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 9, 3, 2});
+  Variable v(x, true);
+  Variable pooled = ag::MaxPoolOverTime(v);
+  EXPECT_EQ(pooled.shape(), (Shape{1, 1}));
+  EXPECT_EQ(pooled.data()[0], 9.0f);
+  ag::SumAll(pooled).Backward();
+  EXPECT_EQ(v.grad().At({0, 0, 0}), 0.0f);
+  EXPECT_EQ(v.grad().At({0, 0, 1}), 1.0f);
+}
+
+TEST(OpsTest, SliceGradEmbedsIntoZeros) {
+  Variable x(Tensor::FromVector({4}, {1, 2, 3, 4}), true);
+  ag::SumAll(ag::Slice(x, 0, 1, 2)).Backward();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+  EXPECT_EQ(x.grad()[1], 1.0f);
+  EXPECT_EQ(x.grad()[2], 1.0f);
+  EXPECT_EQ(x.grad()[3], 0.0f);
+}
+
+TEST(OpsTest, ConcatSplitsGradBack) {
+  Variable a(Tensor::FromVector({1, 2}, {1, 2}), true);
+  Variable b(Tensor::FromVector({1, 3}, {3, 4, 5}), true);
+  Variable c = ag::Concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), (Shape{1, 5}));
+  // Weight each output element by its index to verify routing.
+  Tensor w = Tensor::FromVector({1, 5}, {1, 2, 3, 4, 5});
+  ag::SumAll(ag::Mul(c, ag::Constant(w))).Backward();
+  EXPECT_EQ(a.grad().At({0, 1}), 2.0f);
+  EXPECT_EQ(b.grad().At({0, 0}), 3.0f);
+  EXPECT_EQ(b.grad().At({0, 2}), 5.0f);
+}
+
+TEST(OpsTest, GatherRowsGradScatters) {
+  Variable x(Tensor::FromVector({3, 1}, {1, 2, 3}), true);
+  ag::SumAll(ag::GatherRows(x, {0, 0, 2})).Backward();
+  EXPECT_EQ(x.grad().At({0, 0}), 2.0f);  // row 0 used twice
+  EXPECT_EQ(x.grad().At({1, 0}), 0.0f);
+  EXPECT_EQ(x.grad().At({2, 0}), 1.0f);
+}
+
+TEST(OpsTest, Conv1dKnownResult) {
+  // Single-channel moving-sum kernel [1, 1, 1], causal padding.
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 2, 3, 4});
+  Tensor w = Tensor::Ones({1, 1, 3});
+  Variable xv(x, true);
+  Variable wv(w, true);
+  Variable out = ag::Conv1d(xv, wv, Variable(), 1, 2, 0);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 4}));
+  EXPECT_EQ(out.data()[0], 1.0f);   // 0+0+1
+  EXPECT_EQ(out.data()[1], 3.0f);   // 0+1+2
+  EXPECT_EQ(out.data()[2], 6.0f);   // 1+2+3
+  EXPECT_EQ(out.data()[3], 9.0f);   // 2+3+4
+}
+
+TEST(OpsTest, Conv1dBiasBroadcasts) {
+  Tensor x = Tensor::Zeros({2, 1, 5});
+  Tensor w = Tensor::Zeros({3, 1, 1});
+  Tensor b = Tensor::FromVector({3}, {1, 2, 3});
+  Variable out = ag::Conv1d(Variable(x), Variable(w), Variable(b), 1, 0, 0);
+  EXPECT_EQ(out.shape(), (Shape{2, 3, 5}));
+  EXPECT_EQ(out.data().At({0, 0, 0}), 1.0f);
+  EXPECT_EQ(out.data().At({1, 2, 4}), 3.0f);
+}
+
+TEST(OpsTest, TransposeGradTransposesBack) {
+  Variable x(Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6}), true);
+  Variable t = ag::Transpose(x, 0, 1);
+  Tensor w = Tensor::FromVector({3, 2}, {1, 0, 0, 0, 0, 2});
+  ag::SumAll(ag::Mul(t, ag::Constant(w))).Backward();
+  EXPECT_EQ(x.grad().At({0, 0}), 1.0f);
+  EXPECT_EQ(x.grad().At({1, 2}), 2.0f);
+}
+
+TEST(OpsTest, L2NormalizeUnitNorm) {
+  Variable x(Tensor::FromVector({2, 2}, {3, 4, 6, 8}), true);
+  Variable n = ag::L2Normalize(x, 1);
+  EXPECT_NEAR(n.data().At({0, 0}), 0.6f, 1e-5);
+  EXPECT_NEAR(n.data().At({0, 1}), 0.8f, 1e-5);
+  EXPECT_NEAR(n.data().At({1, 0}), 0.6f, 1e-5);
+}
+
+TEST(OpsTest, MeanPoolOverTime) {
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 2, 3, 4});
+  Variable pooled = ag::MeanPoolOverTime(Variable(x));
+  EXPECT_EQ(pooled.shape(), (Shape{1, 1}));
+  EXPECT_NEAR(pooled.data()[0], 2.5f, 1e-6);
+}
+
+TEST(OpsTest, NoNonFiniteInLongChain) {
+  Rng rng(11);
+  Variable x(Tensor::RandNormal({4, 8}, &rng), true);
+  Variable h = x;
+  for (int i = 0; i < 20; ++i) {
+    h = ag::Tanh(ag::MulScalar(h, 1.1f));
+  }
+  Variable loss = ag::MeanAll(ag::Square(h));
+  loss.Backward();
+  EXPECT_FALSE(ops::HasNonFinite(x.grad()));
+}
+
+}  // namespace
+}  // namespace units::autograd

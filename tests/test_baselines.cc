@@ -1,0 +1,115 @@
+#include "core/baselines.h"
+#include <cmath>
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+namespace {
+
+UnitsPipeline::Config TinyConfig() {
+  UnitsPipeline::Config cfg;
+  cfg.templates = {"whole_series_contrastive", "masked_autoregression"};
+  cfg.task = "classification";
+  cfg.mode = ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 8);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  cfg.finetune_params.SetInt("epochs", 2);
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ScratchBaselineTest, SingleTemplateAndFullLr) {
+  auto scratch = MakeScratchBaseline(TinyConfig(), 2, 3);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ((*scratch)->num_templates(), 1u);
+  EXPECT_EQ((*scratch)->finetune_params().GetDouble("encoder_lr_scale", 0),
+            1.0);
+  EXPECT_EQ((*scratch)->finetune_params().GetInt("epochs", 0), 6);  // 2 * 3
+}
+
+TEST(ScratchBaselineTest, TrainsWithoutPretraining) {
+  data::ClassificationOpts opts;
+  opts.num_samples = 20;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.seed = 6;
+  auto data = data::MakeClassificationDataset(opts);
+  auto scratch = MakeScratchBaseline(TinyConfig(), 2, 1);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_FALSE((*scratch)->pretrained());
+  ASSERT_TRUE((*scratch)->FineTune(data).ok());
+  auto result = (*scratch)->Predict(data.values());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.size(), 20u);
+}
+
+TEST(RawKMeansTest, ClustersFlattenedSeries) {
+  data::ClassificationOpts opts;
+  opts.num_samples = 24;
+  opts.num_classes = 2;
+  opts.num_channels = 1;
+  opts.length = 16;
+  opts.noise = 0.05f;
+  opts.seed = 7;
+  auto data = data::MakeClassificationDataset(opts);
+  Rng rng(1);
+  auto labels = RawKMeansClustering(data.values(), 2, &rng);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 24u);
+  std::set<int64_t> distinct(labels->begin(), labels->end());
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST(RawKMeansTest, RejectsWrongRank) {
+  Rng rng(2);
+  EXPECT_FALSE(RawKMeansClustering(Tensor::Zeros({4, 8}), 2, &rng).ok());
+}
+
+TEST(NaiveForecastTest, RepeatsLastValue) {
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 2, 3, 7});
+  Tensor pred = NaiveForecast(x, 3);
+  EXPECT_EQ(pred.shape(), (Shape{1, 1, 3}));
+  for (int64_t h = 0; h < 3; ++h) {
+    EXPECT_EQ(pred.At({0, 0, h}), 7.0f);
+  }
+}
+
+TEST(SeasonalNaiveTest, RepeatsLastPeriod) {
+  // Period 3, series [..., 4, 5, 6]: forecast cycles 4, 5, 6, 4, ...
+  Tensor x = Tensor::FromVector({1, 1, 6}, {1, 2, 3, 4, 5, 6});
+  Tensor pred = SeasonalNaiveForecast(x, 4, 3);
+  EXPECT_EQ(pred.At({0, 0, 0}), 4.0f);
+  EXPECT_EQ(pred.At({0, 0, 1}), 5.0f);
+  EXPECT_EQ(pred.At({0, 0, 2}), 6.0f);
+  EXPECT_EQ(pred.At({0, 0, 3}), 4.0f);
+}
+
+TEST(SeasonalNaiveTest, PeriodicSeriesIsPredictedExactly) {
+  // For a perfectly periodic series, seasonal naive has zero error while
+  // plain naive does not.
+  const int64_t t = 32;
+  const int64_t period = 8;
+  Tensor x = Tensor::Zeros({1, 1, t});
+  Tensor future = Tensor::Zeros({1, 1, period});
+  for (int64_t i = 0; i < t; ++i) {
+    x.At({0, 0, i}) = std::sin(2.0 * M_PI * (i % period) / period);
+  }
+  for (int64_t i = 0; i < period; ++i) {
+    future.At({0, 0, i}) = std::sin(2.0 * M_PI * ((t + i) % period) / period);
+  }
+  Tensor seasonal = SeasonalNaiveForecast(x, period, period);
+  Tensor naive = NaiveForecast(x, period);
+  EXPECT_LT(metrics::MeanSquaredError(future, seasonal), 1e-8);
+  EXPECT_GT(metrics::MeanSquaredError(future, naive), 0.1);
+}
+
+}  // namespace
+}  // namespace units::core

@@ -1,0 +1,61 @@
+// Contract (death) tests: programming errors must fail fast and loudly via
+// UNITS_CHECK rather than corrupting state. One test per representative
+// precondition class.
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace units {
+namespace {
+
+namespace ag = ::units::autograd;
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, FromVectorSizeMismatchAborts) {
+  EXPECT_DEATH(Tensor::FromVector({2, 3}, {1.0f, 2.0f}), "CHECK failed");
+}
+
+TEST(ContractDeathTest, MatMulInnerDimMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4, 2});
+  EXPECT_DEATH(ops::MatMul(a, b), "CHECK failed");
+}
+
+TEST(ContractDeathTest, SliceOutOfRangeAborts) {
+  Tensor a = Tensor::Zeros({4});
+  EXPECT_DEATH(ops::Slice(a, 0, 2, 5), "CHECK failed");
+}
+
+TEST(ContractDeathTest, IncompatibleBroadcastAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({2, 4});
+  EXPECT_DEATH(ops::Add(a, b), "incompatible broadcast");
+}
+
+TEST(ContractDeathTest, BackwardOnNonScalarAborts) {
+  ag::Variable v(Tensor::Zeros({3}), true);
+  ag::Variable doubled = ag::MulScalar(v, 2.0f);
+  EXPECT_DEATH(doubled.Backward(), "scalar");
+}
+
+TEST(ContractDeathTest, BackwardWithoutGradAborts) {
+  ag::Variable v(Tensor::Zeros({}), /*requires_grad=*/false);
+  EXPECT_DEATH(v.Backward(), "require grad");
+}
+
+TEST(ContractDeathTest, ReshapeNumelMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(a.Reshape({4, 2}), "CHECK failed");
+}
+
+TEST(ContractDeathTest, UndefinedVariableAccessAborts) {
+  ag::Variable v;
+  EXPECT_DEATH(v.data(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace units

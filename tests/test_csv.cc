@@ -1,0 +1,116 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace units::data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, LoadLongFormat) {
+  const std::string path = TempPath("series.csv");
+  WriteFile(path, "1.0,10.0\n2.0,20.0\n3.0,30.0\n");
+  auto result = LoadCsvSeries(path, /*has_header=*/false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Tensor& s = *result;
+  EXPECT_EQ(s.shape(), (Shape{2, 3}));  // 2 channels, 3 timesteps
+  EXPECT_EQ(s.At({0, 1}), 2.0f);
+  EXPECT_EQ(s.At({1, 2}), 30.0f);
+}
+
+TEST_F(CsvTest, HeaderSkipped) {
+  const std::string path = TempPath("header.csv");
+  WriteFile(path, "cpu,mem\n1,2\n3,4\n");
+  auto result = LoadCsvSeries(path, /*has_header=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->shape(), (Shape{2, 2}));
+}
+
+TEST_F(CsvTest, RejectsMissingFile) {
+  auto result = LoadCsvSeries(TempPath("nope.csv"), false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RejectsBadFloat) {
+  const std::string path = TempPath("bad.csv");
+  WriteFile(path, "1.0,oops\n");
+  EXPECT_FALSE(LoadCsvSeries(path, false).ok());
+}
+
+TEST_F(CsvTest, RejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "1,2\n3\n");
+  EXPECT_FALSE(LoadCsvSeries(path, false).ok());
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  WriteFile(path, "1,2\n\n3,4\n");
+  auto result = LoadCsvSeries(path, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dim(1), 2);
+}
+
+TEST_F(CsvTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("roundtrip.csv");
+  Tensor s = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_TRUE(SaveCsvSeries(path, s, {"a", "b"}).ok());
+  auto loaded = LoadCsvSeries(path, /*has_header=*/true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(ops::AllClose(*loaded, s));
+}
+
+TEST_F(CsvTest, UcrStyleLoad) {
+  const std::string path = TempPath("ucr.csv");
+  WriteFile(path, "3,0.1,0.2,0.3\n7,1.1,1.2,1.3\n3,2.1,2.2,2.3\n");
+  auto result = LoadUcrStyleCsv(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TimeSeriesDataset& ds = *result;
+  EXPECT_EQ(ds.num_samples(), 3);
+  EXPECT_EQ(ds.num_channels(), 1);
+  EXPECT_EQ(ds.length(), 3);
+  // Labels remapped by first appearance: 3 -> 0, 7 -> 1.
+  EXPECT_EQ(ds.labels(), (std::vector<int64_t>{0, 1, 0}));
+  EXPECT_NEAR(ds.values().At({1, 0, 2}), 1.3f, 1e-6);
+}
+
+TEST_F(CsvTest, UcrRoundTrip) {
+  const std::string path = TempPath("ucr_rt.csv");
+  Tensor values = Tensor::FromVector({2, 1, 3}, {1, 2, 3, 4, 5, 6});
+  TimeSeriesDataset ds(std::move(values), {0, 1});
+  ASSERT_TRUE(SaveUcrStyleCsv(path, ds).ok());
+  auto loaded = LoadUcrStyleCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->labels(), ds.labels());
+  EXPECT_TRUE(ops::AllClose(loaded->values(), ds.values()));
+}
+
+TEST_F(CsvTest, UcrRejectsLabelOnlyRow) {
+  const std::string path = TempPath("ucr_bad.csv");
+  WriteFile(path, "3\n");
+  EXPECT_FALSE(LoadUcrStyleCsv(path).ok());
+}
+
+TEST_F(CsvTest, SaveUcrRejectsMultivariate) {
+  TimeSeriesDataset ds(Tensor::Zeros({2, 3, 4}), {0, 1});
+  EXPECT_FALSE(SaveUcrStyleCsv(TempPath("x.csv"), ds).ok());
+}
+
+}  // namespace
+}  // namespace units::data

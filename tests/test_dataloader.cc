@@ -1,0 +1,114 @@
+#include "data/dataloader.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace units::data {
+namespace {
+
+TimeSeriesDataset MakeDataset(int64_t n) {
+  Tensor values = Tensor::Zeros({n, 1, 4});
+  for (int64_t i = 0; i < n; ++i) {
+    values.At({i, 0, 0}) = static_cast<float>(i);
+  }
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = i % 2;
+  }
+  return TimeSeriesDataset(std::move(values), std::move(labels));
+}
+
+TEST(DataLoaderTest, CoversAllSamplesOncePerEpoch) {
+  auto ds = MakeDataset(10);
+  Rng rng(1);
+  DataLoader loader(&ds, 3, /*shuffle=*/true, &rng);
+  std::set<int64_t> seen;
+  Batch batch;
+  int64_t batches = 0;
+  while (loader.Next(&batch)) {
+    ++batches;
+    for (int64_t idx : batch.indices) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(batches, 4);  // 3+3+3+1
+  EXPECT_EQ(loader.NumBatches(), 4);
+}
+
+TEST(DataLoaderTest, LastBatchIsShort) {
+  auto ds = MakeDataset(7);
+  Rng rng(2);
+  DataLoader loader(&ds, 4, false, &rng);
+  Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+  EXPECT_EQ(batch.values.dim(0), 4);
+  ASSERT_TRUE(loader.Next(&batch));
+  EXPECT_EQ(batch.values.dim(0), 3);
+  EXPECT_FALSE(loader.Next(&batch));
+}
+
+TEST(DataLoaderTest, UnshuffledPreservesOrder) {
+  auto ds = MakeDataset(6);
+  Rng rng(3);
+  DataLoader loader(&ds, 2, false, &rng);
+  Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+  EXPECT_EQ(batch.indices, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(batch.values.At({0, 0, 0}), 0.0f);
+  EXPECT_EQ(batch.values.At({1, 0, 0}), 1.0f);
+}
+
+TEST(DataLoaderTest, LabelsAlignWithValues) {
+  auto ds = MakeDataset(8);
+  Rng rng(4);
+  DataLoader loader(&ds, 4, true, &rng);
+  Batch batch;
+  while (loader.Next(&batch)) {
+    ASSERT_EQ(batch.labels.size(), batch.indices.size());
+    for (size_t i = 0; i < batch.indices.size(); ++i) {
+      EXPECT_EQ(batch.labels[i], batch.indices[i] % 2);
+      EXPECT_EQ(batch.values.At({static_cast<int64_t>(i), 0, 0}),
+                static_cast<float>(batch.indices[i]));
+    }
+  }
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderBetweenEpochs) {
+  auto ds = MakeDataset(32);
+  Rng rng(5);
+  DataLoader loader(&ds, 32, true, &rng);
+  Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+  const auto epoch1 = batch.indices;
+  loader.Reset();
+  ASSERT_TRUE(loader.Next(&batch));
+  EXPECT_NE(epoch1, batch.indices);
+}
+
+TEST(DataLoaderTest, TargetsAndPointLabelsBatched) {
+  auto ds = MakeDataset(6);
+  ds.set_targets(Tensor::Full({6, 1, 2}, 3.0f));
+  ds.set_point_labels(Tensor::Full({6, 4}, 1.0f));
+  Rng rng(6);
+  DataLoader loader(&ds, 4, false, &rng);
+  Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+  EXPECT_EQ(batch.targets.shape(), (Shape{4, 1, 2}));
+  EXPECT_EQ(batch.point_labels.shape(), (Shape{4, 4}));
+}
+
+TEST(DataLoaderTest, EmptyTargetsWhenAbsent) {
+  auto ds = MakeDataset(4);
+  Rng rng(7);
+  DataLoader loader(&ds, 2, false, &rng);
+  Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+  EXPECT_EQ(batch.targets.numel(), 0);
+  EXPECT_EQ(batch.point_labels.numel(), 0);
+}
+
+}  // namespace
+}  // namespace units::data

@@ -1,0 +1,117 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace units::data {
+namespace {
+
+TimeSeriesDataset MakeLabeled(int64_t n, int64_t classes) {
+  Tensor values = Tensor::Zeros({n, 2, 8});
+  for (int64_t i = 0; i < values.numel(); ++i) {
+    values[i] = static_cast<float>(i);
+  }
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = i % classes;
+  }
+  return TimeSeriesDataset(std::move(values), std::move(labels));
+}
+
+TEST(DatasetTest, DimensionsAndLabels) {
+  auto ds = MakeLabeled(12, 3);
+  EXPECT_EQ(ds.num_samples(), 12);
+  EXPECT_EQ(ds.num_channels(), 2);
+  EXPECT_EQ(ds.length(), 8);
+  EXPECT_TRUE(ds.has_labels());
+  EXPECT_EQ(ds.NumClasses(), 3);
+}
+
+TEST(DatasetTest, UnlabeledHasNoClasses) {
+  TimeSeriesDataset ds(Tensor::Zeros({4, 1, 8}));
+  EXPECT_FALSE(ds.has_labels());
+  EXPECT_EQ(ds.NumClasses(), 0);
+}
+
+TEST(DatasetTest, SubsetCopiesRowsAndLabels) {
+  auto ds = MakeLabeled(10, 2);
+  auto sub = ds.Subset({1, 3, 5});
+  EXPECT_EQ(sub.num_samples(), 3);
+  EXPECT_EQ(sub.labels()[0], 1);
+  EXPECT_EQ(sub.labels()[1], 1);
+  // First element of row 3 in the original is 3*2*8 = 48.
+  EXPECT_EQ(sub.values().At({1, 0, 0}), 48.0f);
+}
+
+TEST(DatasetTest, SubsetCarriesTargetsAndPointLabels) {
+  auto ds = MakeLabeled(4, 2);
+  ds.set_targets(Tensor::Full({4, 2, 3}, 7.0f));
+  ds.set_point_labels(Tensor::Full({4, 8}, 1.0f));
+  auto sub = ds.Subset({0, 2});
+  EXPECT_TRUE(sub.has_targets());
+  EXPECT_EQ(sub.targets().dim(0), 2);
+  EXPECT_TRUE(sub.has_point_labels());
+  EXPECT_EQ(sub.point_labels().dim(0), 2);
+}
+
+TEST(DatasetTest, TrainTestSplitPartitionsAll) {
+  auto ds = MakeLabeled(20, 4);
+  Rng rng(1);
+  auto [train, test] = ds.TrainTestSplit(0.5, &rng);
+  EXPECT_EQ(train.num_samples() + test.num_samples(), 20);
+  // 5 per class, fraction 0.5 -> round(2.5) = 3 per class in train.
+  EXPECT_EQ(train.num_samples(), 12);
+}
+
+TEST(DatasetTest, TrainTestSplitIsStratified) {
+  auto ds = MakeLabeled(40, 4);
+  Rng rng(2);
+  auto [train, test] = ds.TrainTestSplit(0.75, &rng);
+  std::map<int64_t, int64_t> counts;
+  for (int64_t label : train.labels()) {
+    ++counts[label];
+  }
+  for (const auto& [cls, count] : counts) {
+    // 10 per class, fraction 0.75 -> round(7.5) = 8 in train.
+    EXPECT_EQ(count, 8) << "class " << cls;
+  }
+}
+
+TEST(DatasetTest, SplitKeepsEveryClassOnBothSides) {
+  auto ds = MakeLabeled(8, 4);  // only 2 per class
+  Rng rng(3);
+  auto [train, test] = ds.TrainTestSplit(0.5, &rng);
+  EXPECT_EQ(train.NumClasses(), 4);
+  EXPECT_EQ(test.NumClasses(), 4);
+}
+
+TEST(DatasetTest, PartialLabelSplitSizes) {
+  auto ds = MakeLabeled(40, 4);
+  Rng rng(4);
+  auto [labeled, unlabeled] = ds.PartialLabelSplit(0.25, &rng);
+  // 10 per class, fraction 0.25 -> round(2.5) = 3 per class.
+  EXPECT_EQ(labeled.num_samples(), 12);
+  EXPECT_TRUE(labeled.has_labels());
+  EXPECT_EQ(unlabeled.num_samples(), 40);
+  EXPECT_FALSE(unlabeled.has_labels());
+}
+
+TEST(DatasetTest, PartialLabelSplitKeepsAtLeastOnePerClass) {
+  auto ds = MakeLabeled(40, 4);
+  Rng rng(5);
+  auto [labeled, unlabeled] = ds.PartialLabelSplit(0.01, &rng);
+  EXPECT_EQ(labeled.NumClasses(), 4);
+  EXPECT_GE(labeled.num_samples(), 4);
+}
+
+TEST(DatasetTest, DescriptionMentionsShape) {
+  auto ds = MakeLabeled(12, 3);
+  const std::string desc = ds.Description();
+  EXPECT_NE(desc.find("N=12"), std::string::npos);
+  EXPECT_NE(desc.find("classes=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace units::data

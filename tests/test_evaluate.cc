@@ -1,0 +1,129 @@
+#include "core/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tasks/tasks.h"
+#include "data/synthetic.h"
+#include "data/window.h"
+
+namespace units::core {
+namespace {
+
+UnitsPipeline::Config TinyConfig(const std::string& task) {
+  UnitsPipeline::Config cfg;
+  cfg.templates = {"whole_series_contrastive"};
+  cfg.task = task;
+  cfg.mode = ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("epochs", 1);
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 8);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  cfg.finetune_params.SetInt("epochs", 4);
+  cfg.seed = 17;
+  return cfg;
+}
+
+data::TimeSeriesDataset TinyClassData() {
+  data::ClassificationOpts opts;
+  opts.num_samples = 20;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.seed = 2;
+  return data::MakeClassificationDataset(opts);
+}
+
+TEST(EvaluateTest, ClassificationMetrics) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  auto data = TinyClassData();
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  auto metrics = Evaluate(pipeline->get(), data);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_TRUE(metrics->count("accuracy"));
+  EXPECT_TRUE(metrics->count("macro_f1"));
+  EXPECT_GE(metrics->at("accuracy"), 0.0);
+  EXPECT_LE(metrics->at("accuracy"), 1.0);
+}
+
+TEST(EvaluateTest, ClassificationNeedsLabels) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  auto data = TinyClassData();
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  data::TimeSeriesDataset unlabeled(data.values());
+  EXPECT_FALSE(Evaluate(pipeline->get(), unlabeled).ok());
+}
+
+TEST(EvaluateTest, ClusteringMetrics) {
+  auto cfg = TinyConfig("clustering");
+  cfg.finetune_params.SetInt("num_clusters", 2);
+  cfg.finetune_params.SetInt("cluster_finetune_epochs", 0);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto data = TinyClassData();
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  auto metrics = Evaluate(pipeline->get(), data);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_TRUE(metrics->count("nmi"));
+  EXPECT_TRUE(metrics->count("ari"));
+}
+
+TEST(EvaluateTest, ForecastingMetrics) {
+  data::ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 400;
+  opts.seed = 4;
+  auto data = data::MakeForecastDataset(opts, 32, 8, 8);
+  auto pipeline = UnitsPipeline::Create(TinyConfig("forecasting"), 2);
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  auto metrics = Evaluate(pipeline->get(), data);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->at("mse"), 0.0);
+  EXPECT_GT(metrics->at("mae"), 0.0);
+}
+
+TEST(EvaluateTest, AnomalyMetricsUsePointLabels) {
+  data::AnomalyOpts opts;
+  opts.total_length = 800;
+  opts.seed = 5;
+  data::TimeSeriesDataset train(
+      data::SlidingWindows(data::MakeCleanSeries(opts), 32, 32));
+  auto pipeline = UnitsPipeline::Create(TinyConfig("anomaly_detection"), 2);
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+
+  auto anomalous = data::MakeAnomalySeries(opts);
+  data::TimeSeriesDataset test(
+      data::SlidingWindows(anomalous.series, 32, 32));
+  test.set_point_labels(
+      data::SlidingLabelWindows(anomalous.labels, 32, 32));
+  auto metrics = Evaluate(pipeline->get(), test);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GT(metrics->at("best_point_adjusted_f1"), 0.0);
+  EXPECT_LE(metrics->at("best_point_adjusted_f1"), 1.0);
+
+  // Without point labels the evaluation refuses.
+  data::TimeSeriesDataset no_labels(test.values());
+  EXPECT_FALSE(Evaluate(pipeline->get(), no_labels).ok());
+}
+
+TEST(EvaluateTest, ImputationDrawsItsOwnMask) {
+  data::ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 400;
+  opts.seed = 6;
+  auto data = data::MakeForecastDataset(opts, 32, 1, 8);
+  auto pipeline = UnitsPipeline::Create(TinyConfig("imputation"), 2);
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  auto metrics = Evaluate(pipeline->get(), data);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->at("masked_rmse"), 0.0);
+  EXPECT_GT(metrics->at("masked_mae"), 0.0);
+  EXPECT_LE(metrics->at("masked_mae"), metrics->at("masked_rmse") + 1e-9);
+}
+
+TEST(EvaluateTest, NoTaskFails) {
+  auto cfg = TinyConfig("");
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  EXPECT_FALSE(Evaluate(pipeline->get(), TinyClassData()).ok());
+}
+
+}  // namespace
+}  // namespace units::core

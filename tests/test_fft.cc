@@ -1,0 +1,127 @@
+#include "tensor/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace units::fft {
+namespace {
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(128), 128);
+  EXPECT_EQ(NextPowerOfTwo(129), 256);
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<float>> x(8, {0.0f, 0.0f});
+  x[0] = {1.0f, 0.0f};
+  Fft(&x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5);
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<float>> x(64);
+  for (auto& v : x) {
+    v = {static_cast<float>(rng.Normal()), static_cast<float>(rng.Normal())};
+  }
+  auto original = x;
+  Fft(&x, /*inverse=*/false);
+  Fft(&x, /*inverse=*/true);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-4);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-4);
+  }
+}
+
+TEST(FftTest, PureToneConcentratesEnergy) {
+  const int n = 64;
+  std::vector<float> signal(n);
+  const int k = 5;  // 5 cycles over the window
+  for (int t = 0; t < n; ++t) {
+    signal[static_cast<size_t>(t)] =
+        std::sin(2.0 * M_PI * k * t / static_cast<double>(n));
+  }
+  auto spectrum = RealFft(signal);
+  // Bin k should dominate every other non-mirror bin.
+  const float peak = std::abs(spectrum[k]);
+  for (int b = 0; b <= n / 2; ++b) {
+    if (b != k) {
+      EXPECT_LT(std::abs(spectrum[static_cast<size_t>(b)]), peak * 0.01f);
+    }
+  }
+  EXPECT_NEAR(peak, n / 2.0f, 1e-2);
+}
+
+TEST(FftTest, RealRoundTripWithPadding) {
+  Rng rng(2);
+  std::vector<float> signal(100);  // not a power of two
+  for (auto& v : signal) {
+    v = static_cast<float>(rng.Normal());
+  }
+  auto spectrum = RealFft(signal);
+  EXPECT_EQ(spectrum.size(), 128u);
+  auto restored = InverseRealFft(std::move(spectrum), 100);
+  ASSERT_EQ(restored.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(restored[i], signal[i], 1e-4);
+  }
+}
+
+TEST(FftTest, ParsevalEnergyConservation) {
+  Rng rng(3);
+  std::vector<std::complex<float>> x(32);
+  for (auto& v : x) {
+    v = {static_cast<float>(rng.Normal()), 0.0f};
+  }
+  double time_energy = 0.0;
+  for (const auto& v : x) {
+    time_energy += std::norm(v);
+  }
+  Fft(&x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) {
+    freq_energy += std::norm(v);
+  }
+  EXPECT_NEAR(freq_energy / 32.0, time_energy, 1e-3 * time_energy);
+}
+
+TEST(FftTest, MagnitudeSpectrumSizeAndDc) {
+  std::vector<float> constant(16, 2.0f);
+  auto mags = MagnitudeSpectrum(constant);
+  EXPECT_EQ(mags.size(), 9u);  // 16/2 + 1
+  EXPECT_NEAR(mags[0], 32.0f, 1e-4);  // DC = sum of samples
+  for (size_t i = 1; i < mags.size(); ++i) {
+    EXPECT_NEAR(mags[i], 0.0f, 1e-4);
+  }
+}
+
+TEST(FftTest, LinearityProperty) {
+  Rng rng(4);
+  std::vector<float> a(32);
+  std::vector<float> b(32);
+  std::vector<float> sum(32);
+  for (size_t i = 0; i < 32; ++i) {
+    a[i] = static_cast<float>(rng.Normal());
+    b[i] = static_cast<float>(rng.Normal());
+    sum[i] = a[i] + b[i];
+  }
+  auto fa = RealFft(a);
+  auto fb = RealFft(b);
+  auto fsum = RealFft(sum);
+  for (size_t i = 0; i < fsum.size(); ++i) {
+    EXPECT_NEAR(fsum[i].real(), fa[i].real() + fb[i].real(), 1e-3);
+    EXPECT_NEAR(fsum[i].imag(), fa[i].imag() + fb[i].imag(), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace units::fft

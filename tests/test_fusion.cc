@@ -1,0 +1,154 @@
+#include "core/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+namespace {
+
+namespace ag = ::units::autograd;
+
+TEST(ConcatFusionTest, WidthIsSumOfInputs) {
+  ConcatFusion fusion;
+  Rng rng(1);
+  EXPECT_EQ(fusion.Initialize({8, 16, 4}, &rng), 28);
+  EXPECT_EQ(fusion.fused_dim(), 28);
+  EXPECT_EQ(fusion.fused_dim_per_timestep(), 28);
+}
+
+TEST(ConcatFusionTest, TransformConcatenates) {
+  ConcatFusion fusion;
+  Rng rng(2);
+  fusion.Initialize({2, 3}, &rng);
+  Variable z1(Tensor::FromVector({2, 2}, {1, 2, 3, 4}));
+  Variable z2(Tensor::FromVector({2, 3}, {5, 6, 7, 8, 9, 10}));
+  Variable fused = fusion.Transform({z1, z2});
+  EXPECT_EQ(fused.shape(), (Shape{2, 5}));
+  EXPECT_EQ(fused.data().At({0, 0}), 1.0f);
+  EXPECT_EQ(fused.data().At({0, 2}), 5.0f);
+  EXPECT_EQ(fused.data().At({1, 4}), 10.0f);
+}
+
+TEST(ConcatFusionTest, SingleInputPassesThrough) {
+  ConcatFusion fusion;
+  Rng rng(3);
+  fusion.Initialize({4}, &rng);
+  Variable z(Tensor::Ones({3, 4}));
+  Variable fused = fusion.Transform({z});
+  EXPECT_TRUE(fused.data().SharesStorageWith(z.data()));
+}
+
+TEST(ConcatFusionTest, NoLearnableParameters) {
+  ConcatFusion fusion;
+  Rng rng(4);
+  fusion.Initialize({4, 4}, &rng);
+  EXPECT_TRUE(fusion.Parameters().empty());
+  EXPECT_EQ(fusion.module(), nullptr);
+}
+
+TEST(ConcatFusionTest, PerTimestepConcatAlongChannels) {
+  ConcatFusion fusion;
+  Rng rng(5);
+  fusion.Initialize({2, 3}, &rng);
+  Variable z1(Tensor::Ones({2, 2, 6}));
+  Variable z2(Tensor::Full({2, 3, 6}, 2.0f));
+  Variable fused = fusion.TransformPerTimestep({z1, z2});
+  EXPECT_EQ(fused.shape(), (Shape{2, 5, 6}));
+  EXPECT_EQ(fused.data().At({0, 0, 0}), 1.0f);
+  EXPECT_EQ(fused.data().At({0, 4, 5}), 2.0f);
+}
+
+TEST(ProjectionFusionTest, ProjectsToRequestedDim) {
+  ProjectionFusion fusion(10);
+  Rng rng(6);
+  EXPECT_EQ(fusion.Initialize({8, 8}, &rng), 10);
+  Variable z1(Tensor::Ones({4, 8}));
+  Variable z2(Tensor::Ones({4, 8}));
+  EXPECT_EQ(fusion.Transform({z1, z2}).shape(), (Shape{4, 10}));
+}
+
+TEST(ProjectionFusionTest, DefaultDimIsHalfOfTotal) {
+  ProjectionFusion fusion;
+  Rng rng(7);
+  EXPECT_EQ(fusion.Initialize({32, 32}, &rng), 32);
+}
+
+TEST(ProjectionFusionTest, HasLearnableParameters) {
+  ProjectionFusion fusion(6);
+  Rng rng(8);
+  fusion.Initialize({4, 4}, &rng);
+  const auto params = fusion.Parameters();
+  EXPECT_EQ(params.size(), 2u);  // weight + bias
+  EXPECT_NE(fusion.module(), nullptr);
+}
+
+TEST(ProjectionFusionTest, GradientsFlowThroughProjection) {
+  ProjectionFusion fusion(4);
+  Rng rng(9);
+  fusion.Initialize({3, 3}, &rng);
+  Variable z1(Tensor::Ones({2, 3}), true);
+  Variable z2(Tensor::Ones({2, 3}), true);
+  Variable fused = fusion.Transform({z1, z2});
+  ag::SumAll(fused).Backward();
+  EXPECT_TRUE(z1.has_grad());
+  EXPECT_TRUE(z2.has_grad());
+  for (const auto& p : fusion.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(GatedFusionTest, InitialTransformIsIdentityConcat) {
+  GatedFusion fusion;
+  Rng rng(11);
+  EXPECT_EQ(fusion.Initialize({2, 3}, &rng), 5);
+  Variable z1(Tensor::FromVector({2, 2}, {1, 2, 3, 4}));
+  Variable z2(Tensor::FromVector({2, 3}, {5, 6, 7, 8, 9, 10}));
+  Variable fused = fusion.Transform({z1, z2});
+  // Gates start at 2*sigmoid(0) = 1: plain concatenation.
+  EXPECT_EQ(fused.shape(), (Shape{2, 5}));
+  EXPECT_FLOAT_EQ(fused.data().At({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(fused.data().At({1, 4}), 10.0f);
+  const auto gates = fusion.GateValues();
+  ASSERT_EQ(gates.size(), 2u);
+  EXPECT_FLOAT_EQ(gates[0], 1.0f);
+}
+
+TEST(GatedFusionTest, GatesAreLearnable) {
+  GatedFusion fusion;
+  Rng rng(12);
+  fusion.Initialize({4, 4}, &rng);
+  ASSERT_EQ(fusion.Parameters().size(), 1u);
+  Variable z1(Tensor::Ones({3, 4}), true);
+  Variable z2(Tensor::Ones({3, 4}), true);
+  ag::SumAll(fusion.Transform({z1, z2})).Backward();
+  EXPECT_TRUE(fusion.Parameters()[0].has_grad());
+  EXPECT_GT(ops::Norm(fusion.Parameters()[0].grad()), 0.0f);
+}
+
+TEST(GatedFusionTest, LoweredGateSuppressesTemplate) {
+  GatedFusion fusion;
+  Rng rng(13);
+  fusion.Initialize({2, 2}, &rng);
+  // Push template 0's logit very negative.
+  fusion.Parameters()[0].data()[0] = -20.0f;
+  Variable z1(Tensor::Full({1, 2}, 7.0f));
+  Variable z2(Tensor::Full({1, 2}, 7.0f));
+  Variable fused = fusion.Transform({z1, z2});
+  EXPECT_NEAR(fused.data().At({0, 0}), 0.0f, 1e-4);  // gated out
+  EXPECT_NEAR(fused.data().At({0, 2}), 7.0f, 1e-4);  // untouched
+}
+
+TEST(ProjectionFusionTest, DimensionReduction) {
+  // The projection can compress 2x64 inputs into 16 dims — the clustering
+  // use case called out in the paper.
+  ProjectionFusion fusion(16);
+  Rng rng(10);
+  EXPECT_EQ(fusion.Initialize({64, 64}, &rng), 16);
+  Variable z1(Tensor::Ones({5, 64}));
+  Variable z2(Tensor::Ones({5, 64}));
+  EXPECT_EQ(fusion.Transform({z1, z2}).shape(), (Shape{5, 16}));
+}
+
+}  // namespace
+}  // namespace units::core

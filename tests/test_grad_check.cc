@@ -1,0 +1,203 @@
+// Property-based finite-difference verification of every differentiable op:
+// for each named op a random input is drawn and the analytic gradient of a
+// scalar-valued wrapper is compared against central differences.
+
+#include "autograd/grad_check.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "base/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::autograd {
+namespace {
+
+namespace ag = ::units::autograd;
+
+struct OpCase {
+  std::string name;
+  // Builds a scalar from the inputs.
+  std::function<Variable(const std::vector<Variable>&)> fn;
+  // Input shapes; values drawn N(0,1) unless positive-only.
+  std::vector<Shape> shapes;
+  bool positive_inputs = false;
+};
+
+/// Wraps any tensor-valued expression into a scalar via a fixed random
+/// weighting, so gradient checking exercises off-diagonal structure.
+std::function<Variable(const std::vector<Variable>&)> Weighted(
+    std::function<Variable(const std::vector<Variable>&)> fn, uint64_t seed) {
+  return [fn = std::move(fn), seed](const std::vector<Variable>& inputs) {
+    Variable out = fn(inputs);
+    Rng rng(seed);
+    Tensor w = Tensor::RandNormal(out.shape(), &rng);
+    return ag::SumAll(ag::Mul(out, ag::Constant(w)));
+  };
+}
+
+class GradCheckTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
+  const OpCase& c = GetParam();
+  Rng rng(1234);
+  std::vector<Variable> inputs;
+  for (const Shape& shape : c.shapes) {
+    Tensor t = c.positive_inputs
+                   ? Tensor::RandUniform(shape, &rng, 0.5f, 2.0f)
+                   : Tensor::RandNormal(shape, &rng);
+    inputs.emplace_back(std::move(t), /*requires_grad=*/true);
+  }
+  const GradCheckResult result = CheckGradients(c.fn, std::move(inputs));
+  EXPECT_TRUE(result.passed) << c.name << ": " << result.detail
+                             << " (max rel err " << result.max_rel_error
+                             << ")";
+}
+
+std::vector<OpCase> MakeCases() {
+  std::vector<OpCase> cases;
+  auto add = [&](std::string name,
+                 std::function<Variable(const std::vector<Variable>&)> fn,
+                 std::vector<Shape> shapes, bool positive = false) {
+    cases.push_back({std::move(name),
+                     Weighted(std::move(fn), 99 + cases.size()),
+                     std::move(shapes), positive});
+  };
+
+  add("add", [](const auto& v) { return ag::Add(v[0], v[1]); },
+      {{2, 3}, {2, 3}});
+  add("add_broadcast", [](const auto& v) { return ag::Add(v[0], v[1]); },
+      {{2, 3}, {3}});
+  add("sub", [](const auto& v) { return ag::Sub(v[0], v[1]); },
+      {{2, 2}, {2, 2}});
+  add("mul", [](const auto& v) { return ag::Mul(v[0], v[1]); },
+      {{2, 3}, {2, 3}});
+  add("mul_broadcast", [](const auto& v) { return ag::Mul(v[0], v[1]); },
+      {{2, 1, 3}, {2, 3}});
+  add("div", [](const auto& v) { return ag::Div(v[0], v[1]); },
+      {{2, 2}, {2, 2}}, /*positive=*/true);
+  add("neg", [](const auto& v) { return ag::Neg(v[0]); }, {{3}});
+  add("add_scalar", [](const auto& v) { return ag::AddScalar(v[0], 2.5f); },
+      {{3}});
+  add("mul_scalar", [](const auto& v) { return ag::MulScalar(v[0], -1.5f); },
+      {{3}});
+  add("pow_scalar", [](const auto& v) { return ag::PowScalar(v[0], 3.0f); },
+      {{3}}, /*positive=*/true);
+  add("matmul", [](const auto& v) { return ag::MatMul(v[0], v[1]); },
+      {{2, 3}, {3, 4}});
+  add("batched_matmul",
+      [](const auto& v) { return ag::BatchedMatMul(v[0], v[1]); },
+      {{2, 2, 3}, {2, 3, 2}});
+  add("transpose",
+      [](const auto& v) { return ag::Transpose(v[0], 0, 1); }, {{2, 3}});
+  add("transpose_inner",
+      [](const auto& v) { return ag::Transpose(v[0], 1, 2); }, {{2, 3, 4}});
+  add("reshape",
+      [](const auto& v) { return ag::Reshape(v[0], {6}); }, {{2, 3}});
+  add("gelu", [](const auto& v) { return ag::Gelu(v[0]); }, {{2, 3}});
+  add("leaky_relu", [](const auto& v) { return ag::LeakyRelu(v[0], 0.1f); },
+      {{4}}, /*positive=*/true);
+  add("tanh", [](const auto& v) { return ag::Tanh(v[0]); }, {{2, 3}});
+  add("sigmoid", [](const auto& v) { return ag::Sigmoid(v[0]); }, {{2, 3}});
+  add("exp", [](const auto& v) { return ag::Exp(v[0]); }, {{2, 2}});
+  add("log", [](const auto& v) { return ag::Log(v[0]); }, {{2, 2}},
+      /*positive=*/true);
+  add("sqrt", [](const auto& v) { return ag::Sqrt(v[0]); }, {{2, 2}},
+      /*positive=*/true);
+  add("square", [](const auto& v) { return ag::Square(v[0]); }, {{2, 2}});
+  add("softmax", [](const auto& v) { return ag::Softmax(v[0], 1); },
+      {{2, 4}});
+  add("log_softmax", [](const auto& v) { return ag::LogSoftmax(v[0], 1); },
+      {{2, 4}});
+  add("sum_axis", [](const auto& v) { return ag::Sum(v[0], 1); }, {{2, 3}});
+  add("sum_keepdim",
+      [](const auto& v) { return ag::Sum(v[0], 0, /*keepdim=*/true); },
+      {{2, 3}});
+  add("mean_axis", [](const auto& v) { return ag::Mean(v[0], -1); },
+      {{2, 3}});
+  add("slice",
+      [](const auto& v) { return ag::Slice(v[0], 1, 1, 2); }, {{2, 4}});
+  add("concat",
+      [](const auto& v) { return ag::Concat({v[0], v[1]}, 1); },
+      {{2, 2}, {2, 3}});
+  add("gather_rows",
+      [](const auto& v) { return ag::GatherRows(v[0], {1, 1, 0}); },
+      {{3, 2}});
+  add("conv1d_same",
+      [](const auto& v) {
+        return ag::Conv1d(v[0], v[1], v[2], 1, 1, 1);
+      },
+      {{2, 2, 6}, {3, 2, 3}, {3}});
+  add("conv1d_dilated_causal",
+      [](const auto& v) {
+        return ag::Conv1d(v[0], v[1], Variable(), 2, 4, 0);
+      },
+      {{1, 2, 8}, {2, 2, 3}});
+  add("l2_normalize",
+      [](const auto& v) { return ag::L2Normalize(v[0], 1); }, {{3, 4}});
+  add("max_pool_time",
+      [](const auto& v) { return ag::MaxPoolOverTime(v[0]); }, {{2, 2, 5}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GradCheckTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<OpCase>& info) {
+                           return info.param.name;
+                         });
+
+// Scalar losses get their own (non-weighted) checks.
+
+TEST(LossGradCheckTest, CrossEntropy) {
+  Rng rng(7);
+  Variable logits(Tensor::RandNormal({4, 3}, &rng), true);
+  const std::vector<int64_t> targets = {0, 2, 1, 2};
+  auto fn = [&targets](const std::vector<Variable>& v) {
+    return ag::CrossEntropyLoss(v[0], targets);
+  };
+  const auto result = CheckGradients(fn, {logits});
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(LossGradCheckTest, Mse) {
+  Rng rng(8);
+  Variable pred(Tensor::RandNormal({3, 2}, &rng), true);
+  Tensor target = Tensor::RandNormal({3, 2}, &rng);
+  auto fn = [&target](const std::vector<Variable>& v) {
+    return ag::MseLoss(v[0], ag::Constant(target));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {pred}).passed);
+}
+
+TEST(LossGradCheckTest, MaskedMse) {
+  Rng rng(9);
+  Variable pred(Tensor::RandNormal({2, 4}, &rng), true);
+  Tensor target = Tensor::RandNormal({2, 4}, &rng);
+  Tensor mask = Tensor::FromVector({2, 4}, {1, 0, 1, 1, 0, 0, 1, 0});
+  auto fn = [&](const std::vector<Variable>& v) {
+    return ag::MaskedMseLoss(v[0], ag::Constant(target), mask);
+  };
+  EXPECT_TRUE(CheckGradients(fn, {pred}).passed);
+}
+
+TEST(GradCheckHarnessTest, DetectsWrongGradient) {
+  // A deliberately wrong "gradient" (custom node whose backward doubles the
+  // true gradient) must fail the check — guards the harness itself.
+  Rng rng(10);
+  Variable x(Tensor::RandNormal({3}, &rng), true);
+  auto fn = [](const std::vector<Variable>& v) {
+    const Variable& x = v[0];
+    Tensor out = ops::Mul(x.data(), x.data());
+    Variable wrong = Variable::MakeNode(
+        std::move(out), {x}, [x](const Tensor& g) {
+          // True backward would be g * 2x; use g * 4x instead.
+          Tensor dx = ops::Mul(g, ops::MulScalar(x.data(), 4.0f));
+          x.AccumulateGrad(dx);
+        });
+    return ag::SumAll(wrong);
+  };
+  EXPECT_FALSE(CheckGradients(fn, {x}).passed);
+}
+
+}  // namespace
+}  // namespace units::autograd

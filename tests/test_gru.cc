@@ -1,0 +1,99 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/encoder_factory.h"
+#include "core/pretrain/templates.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::nn {
+namespace {
+
+namespace ag = ::units::autograd;
+
+TEST(GruBackboneTest, OutputShape) {
+  Rng rng(1);
+  GruBackbone gru(3, 8, 12, &rng);
+  Variable x(Tensor::RandNormal({2, 3, 10}, &rng));
+  Variable y = gru.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 12, 10}));
+  EXPECT_FALSE(ops::HasNonFinite(y.data()));
+}
+
+TEST(GruBackboneTest, CausalByConstruction) {
+  // Perturbing a future timestep must not change earlier outputs.
+  Rng rng(2);
+  GruBackbone gru(1, 6, 6, &rng);
+  ag::NoGradGuard no_grad;
+  Tensor x = Tensor::RandNormal({1, 1, 12}, &rng);
+  Tensor y1 = gru.Forward(Variable(x)).data();
+  Tensor x2 = x.Clone();
+  x2.At({0, 0, 8}) += 3.0f;
+  Tensor y2 = gru.Forward(Variable(x2)).data();
+  for (int64_t k = 0; k < 6; ++k) {
+    for (int64_t t = 0; t < 8; ++t) {
+      EXPECT_EQ(y1.At({0, k, t}), y2.At({0, k, t})) << "leak at t=" << t;
+    }
+    EXPECT_NE(y1.At({0, k, 8}), y2.At({0, k, 8}));
+  }
+}
+
+TEST(GruBackboneTest, GradientsReachAllParameters) {
+  Rng rng(3);
+  GruBackbone gru(2, 4, 4, &rng);
+  Variable x(Tensor::RandNormal({2, 2, 6}, &rng), true);
+  ag::MeanAll(ag::Square(gru.Forward(x))).Backward();
+  EXPECT_TRUE(x.has_grad());
+  for (const auto& [name, p] : gru.NamedParameters()) {
+    EXPECT_TRUE(p.has_grad()) << name;
+  }
+}
+
+TEST(GruBackboneTest, StatePropagatesInformation) {
+  // An impulse at t=0 influences outputs at later timesteps (memory).
+  Rng rng(4);
+  GruBackbone gru(1, 8, 8, &rng);
+  ag::NoGradGuard no_grad;
+  Tensor zero = Tensor::Zeros({1, 1, 10});
+  Tensor impulse = Tensor::Zeros({1, 1, 10});
+  impulse.At({0, 0, 0}) = 5.0f;
+  Tensor y0 = gru.Forward(Variable(zero)).data();
+  Tensor y1 = gru.Forward(Variable(impulse)).data();
+  Tensor late0 = ops::Slice(y0, 2, 7, 3);
+  Tensor late1 = ops::Slice(y1, 2, 7, 3);
+  EXPECT_GT(ops::L2Distance(late0, late1), 1e-4f);
+}
+
+TEST(GruBackboneTest, FactoryBuildsGru) {
+  hpo::ParamSet params;
+  params.SetString("backbone", "gru");
+  params.SetInt("hidden_channels", 8);
+  params.SetInt("repr_dim", 10);
+  Rng rng(5);
+  auto handle = core::BuildEncoder(params, 2, &rng);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->backbone, "gru");
+  EXPECT_EQ(handle->repr_dim, 10);
+  Variable x(Tensor::RandNormal({2, 2, 8}, &rng));
+  EXPECT_EQ(handle->module->Forward(x).shape(), (Shape{2, 10, 8}));
+}
+
+TEST(GruBackboneTest, WorksAsTemplateBackbone) {
+  hpo::ParamSet params;
+  params.SetString("backbone", "gru");
+  params.SetInt("hidden_channels", 6);
+  params.SetInt("repr_dim", 8);
+  params.SetInt("epochs", 2);
+  params.SetInt("batch_size", 8);
+  core::WholeSeriesContrastive tmpl(params, 2, 7);
+  Rng rng(8);
+  Tensor x = Tensor::RandNormal({12, 2, 16}, &rng);
+  ASSERT_TRUE(tmpl.Fit(x).ok());
+  Tensor z = tmpl.Transform(x);
+  EXPECT_EQ(z.shape(), (Shape{12, 8}));
+  EXPECT_FALSE(ops::HasNonFinite(z));
+}
+
+}  // namespace
+}  // namespace units::nn

@@ -1,0 +1,202 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hpo/bayes_opt.h"
+#include "hpo/gp.h"
+#include "hpo/param_space.h"
+#include "hpo/random_search.h"
+
+namespace units::hpo {
+namespace {
+
+TEST(ParamSetTest, TypedGettersWithFallbacks) {
+  ParamSet p;
+  p.SetDouble("lr", 0.01);
+  p.SetInt("epochs", 5);
+  p.SetString("mode", "fast");
+  EXPECT_EQ(p.GetDouble("lr", 1.0), 0.01);
+  EXPECT_EQ(p.GetInt("epochs", 0), 5);
+  EXPECT_EQ(p.GetString("mode", "x"), "fast");
+  EXPECT_EQ(p.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(p.GetInt("missing", 7), 7);
+  EXPECT_EQ(p.GetString("missing", "d"), "d");
+}
+
+TEST(ParamSetTest, CrossTypeCoercion) {
+  ParamSet p;
+  p.SetInt("k", 3);
+  p.SetDouble("x", 2.7);
+  EXPECT_EQ(p.GetDouble("k", 0.0), 3.0);
+  EXPECT_EQ(p.GetInt("x", 0), 3);  // rounds
+}
+
+TEST(ParamSetTest, MergedWithOverrides) {
+  ParamSet base;
+  base.SetInt("a", 1);
+  base.SetInt("b", 2);
+  ParamSet overlay;
+  overlay.SetInt("b", 20);
+  overlay.SetInt("c", 30);
+  ParamSet merged = base.MergedWith(overlay);
+  EXPECT_EQ(merged.GetInt("a", 0), 1);
+  EXPECT_EQ(merged.GetInt("b", 0), 20);
+  EXPECT_EQ(merged.GetInt("c", 0), 30);
+}
+
+TEST(ParamSpaceTest, SampleRespectsBounds) {
+  ParamSpace space;
+  space.AddDouble("lr", 1e-4, 1e-1, /*log_scale=*/true)
+      .AddInt("layers", 1, 5)
+      .AddCategorical("act", {"relu", "gelu", "tanh"});
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    ParamSet s = space.Sample(&rng);
+    const double lr = s.GetDouble("lr", -1);
+    EXPECT_GE(lr, 1e-4);
+    EXPECT_LE(lr, 1e-1);
+    const int64_t layers = s.GetInt("layers", -1);
+    EXPECT_GE(layers, 1);
+    EXPECT_LE(layers, 5);
+    const std::string act = s.GetString("act", "");
+    EXPECT_TRUE(act == "relu" || act == "gelu" || act == "tanh");
+  }
+}
+
+TEST(ParamSpaceTest, LogScaleCoversDecades) {
+  ParamSpace space;
+  space.AddDouble("lr", 1e-5, 1e-1, true);
+  Rng rng(2);
+  int small = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (space.Sample(&rng).GetDouble("lr", 1) < 1e-3) {
+      ++small;
+    }
+  }
+  // Log-uniform: half the draws below the geometric midpoint 1e-3.
+  EXPECT_NEAR(small / 1000.0, 0.5, 0.06);
+}
+
+TEST(ParamSpaceTest, UnitVectorRoundTrip) {
+  ParamSpace space;
+  space.AddDouble("x", 0.0, 10.0)
+      .AddInt("k", 0, 4)
+      .AddCategorical("c", {"a", "b", "c"});
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    ParamSet s = space.Sample(&rng);
+    ParamSet back = space.FromUnitVector(space.ToUnitVector(s));
+    EXPECT_NEAR(back.GetDouble("x", -1), s.GetDouble("x", -2), 1e-9);
+    EXPECT_EQ(back.GetInt("k", -1), s.GetInt("k", -2));
+    EXPECT_EQ(back.GetString("c", "?"), s.GetString("c", "!"));
+  }
+}
+
+TEST(GpTest, InterpolatesTrainingPoints) {
+  GaussianProcess gp(0.3, 1e-6);
+  const std::vector<std::vector<double>> x = {{0.0}, {0.5}, {1.0}};
+  const std::vector<double> y = {1.0, 2.0, 0.5};
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const auto pred = gp.Predict(x[i]);
+    EXPECT_NEAR(pred.mean, y[i], 0.05);
+    EXPECT_LT(pred.variance, 0.05);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp(0.1, 1e-6);
+  ASSERT_TRUE(gp.Fit({{0.2}, {0.3}}, {1.0, 1.2}).ok());
+  const auto near = gp.Predict({0.25});
+  const auto far = gp.Predict({0.9});
+  EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(GpTest, RejectsEmptyOrMismatched) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.Fit({}, {}).ok());
+  EXPECT_FALSE(gp.Fit({{0.1}}, {1.0, 2.0}).ok());
+}
+
+TEST(GpTest, SmoothPredictionBetweenPoints) {
+  GaussianProcess gp(0.5, 1e-6);
+  ASSERT_TRUE(gp.Fit({{0.0}, {1.0}}, {0.0, 1.0}).ok());
+  const auto mid = gp.Predict({0.5});
+  EXPECT_GT(mid.mean, 0.2);
+  EXPECT_LT(mid.mean, 0.8);
+}
+
+TEST(RandomSearchTest, TracksBest) {
+  ParamSpace space;
+  space.AddDouble("x", 0.0, 1.0);
+  RandomSearch search(&space, 4);
+  for (int i = 0; i < 20; ++i) {
+    ParamSet p = search.Propose();
+    Trial t;
+    t.params = p;
+    const double x = p.GetDouble("x", 0);
+    t.objective = -(x - 0.3) * (x - 0.3);
+    search.Observe(t);
+  }
+  EXPECT_NEAR(search.Best().params.GetDouble("x", 0), 0.3, 0.25);
+  EXPECT_EQ(search.history().size(), 20u);
+}
+
+/// 2-D objective with optimum at (0.7, 0.2); higher is better.
+double ToyObjective(const ParamSet& p) {
+  const double x = p.GetDouble("x", 0);
+  const double y = p.GetDouble("y", 0);
+  return -((x - 0.7) * (x - 0.7) + (y - 0.2) * (y - 0.2));
+}
+
+TEST(BayesOptTest, ImprovesOverInitialRandomPhase) {
+  ParamSpace space;
+  space.AddDouble("x", 0.0, 1.0).AddDouble("y", 0.0, 1.0);
+  BayesOptOptions options;
+  options.initial_random_trials = 5;
+  options.acquisition_samples = 256;
+  BayesianOptimizer bo(&space, 7, options);
+  double best_random_phase = -1e9;
+  double best_final = -1e9;
+  for (int i = 0; i < 25; ++i) {
+    ParamSet p = bo.Propose();
+    Trial t;
+    t.params = p;
+    t.objective = ToyObjective(p);
+    bo.Observe(t);
+    if (i < 5) {
+      best_random_phase = std::max(best_random_phase, t.objective);
+    }
+    best_final = std::max(best_final, t.objective);
+  }
+  EXPECT_GT(best_final, best_random_phase);
+  EXPECT_GT(best_final, -0.02);  // within ~0.14 of the optimum
+}
+
+TEST(BayesOptTest, BeatsRandomSearchOnAverage) {
+  ParamSpace space;
+  space.AddDouble("x", 0.0, 1.0).AddDouble("y", 0.0, 1.0);
+  double bo_total = 0.0;
+  double rs_total = 0.0;
+  const int kBudget = 20;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    BayesianOptimizer bo(&space, seed + 100);
+    RandomSearch rs(&space, seed + 100);
+    for (int i = 0; i < kBudget; ++i) {
+      for (HpOptimizer* opt : {static_cast<HpOptimizer*>(&bo),
+                               static_cast<HpOptimizer*>(&rs)}) {
+        ParamSet p = opt->Propose();
+        Trial t;
+        t.params = p;
+        t.objective = ToyObjective(p);
+        opt->Observe(t);
+      }
+    }
+    bo_total += bo.Best().objective;
+    rs_total += rs.Best().objective;
+  }
+  EXPECT_GE(bo_total, rs_total - 0.01);
+}
+
+}  // namespace
+}  // namespace units::hpo

@@ -1,0 +1,183 @@
+#include "json/json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace units::json {
+namespace {
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(JsonValue::Null().is_null());
+  EXPECT_TRUE(JsonValue::Bool(true).is_bool());
+  EXPECT_TRUE(JsonValue::Number(1.5).is_number());
+  EXPECT_TRUE(JsonValue::String("x").is_string());
+  EXPECT_TRUE(JsonValue::Array().is_array());
+  EXPECT_TRUE(JsonValue::Object().is_object());
+}
+
+TEST(JsonValueTest, Accessors) {
+  EXPECT_EQ(JsonValue::Bool(true).AsBool(), true);
+  EXPECT_EQ(JsonValue::Number(2.5).AsNumber(), 2.5);
+  EXPECT_EQ(JsonValue::Int(42).AsInt(), 42);
+  EXPECT_EQ(JsonValue::String("abc").AsString(), "abc");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Int(1));
+  obj.Set("apple", JsonValue::Int(2));
+  ASSERT_EQ(obj.items().size(), 2u);
+  EXPECT_EQ(obj.items()[0].first, "zebra");
+  EXPECT_EQ(obj.items()[1].first, "apple");
+}
+
+TEST(JsonValueTest, SetOverwritesExisting) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Int(1));
+  obj.Set("k", JsonValue::Int(2));
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.at("k").AsInt(), 2);
+}
+
+TEST(JsonValueTest, FindReportsMissing) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", JsonValue::Int(1));
+  EXPECT_TRUE(obj.Find("a").ok());
+  auto missing = obj.Find("b");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(JsonDumpTest, CompactPrimitives) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Int(7).Dump(), "7");
+  EXPECT_EQ(JsonValue::Number(1.5).Dump(), "1.5");
+  EXPECT_EQ(JsonValue::String("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonDumpTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonValue::String("a\"b\\c\nd").Dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonDumpTest, NanBecomesNull) {
+  EXPECT_EQ(JsonValue::Number(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonDumpTest, NestedStructures) {
+  JsonValue obj = JsonValue::Object();
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Int(2));
+  obj.Set("xs", std::move(arr));
+  EXPECT_EQ(obj.Dump(), "{\"xs\":[1,2]}");
+}
+
+TEST(JsonParseTest, Primitives) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("true")->AsBool(), true);
+  EXPECT_EQ(Parse("-3.25")->AsNumber(), -3.25);
+  EXPECT_EQ(Parse("\"hey\"")->AsString(), "hey");
+  EXPECT_EQ(Parse("1e3")->AsNumber(), 1000.0);
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  auto v = Parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->at("a").size(), 3u);
+  EXPECT_EQ(v->at("a")[2].at("b").AsBool(), true);
+  EXPECT_EQ(v->at("c").AsString(), "x");
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_EQ(Parse("[]")->size(), 0u);
+  EXPECT_EQ(Parse("{}")->size(), 0u);
+  EXPECT_EQ(Parse("[ ]")->size(), 0u);
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto v = Parse("  {\n\t\"a\" :  1 ,\n \"b\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->at("a").AsInt(), 1);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = Parse(R"("line\nbreak \t tab A")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "line\nbreak \t tab A");
+}
+
+TEST(JsonParseTest, UnicodeEscapeMultibyte) {
+  auto v = Parse("\"\\u00e9\"");  // é -> two-byte UTF-8
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("{\"a\": 1,}").ok());
+}
+
+TEST(JsonRoundTripTest, DumpParseIdentity) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::String("units"));
+  obj.Set("version", JsonValue::Int(1));
+  obj.Set("values", JsonValue::FromFloats({1.5f, -2.25f, 0.0f}));
+  JsonValue nested = JsonValue::Object();
+  nested.Set("flag", JsonValue::Bool(true));
+  obj.Set("nested", std::move(nested));
+
+  for (int indent : {-1, 2}) {
+    auto parsed = Parse(obj.Dump(indent));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->at("name").AsString(), "units");
+    EXPECT_EQ(parsed->at("version").AsInt(), 1);
+    EXPECT_EQ(parsed->at("values").ToFloats(),
+              (std::vector<float>{1.5f, -2.25f, 0.0f}));
+    EXPECT_EQ(parsed->at("nested").at("flag").AsBool(), true);
+  }
+}
+
+TEST(JsonRoundTripTest, FloatPrecisionSurvives) {
+  const std::vector<float> values = {3.14159274f, -1e-6f, 1e20f, 0.1f};
+  auto parsed = Parse(JsonValue::FromFloats(values).Dump());
+  ASSERT_TRUE(parsed.ok());
+  const auto back = parsed->ToFloats();
+  ASSERT_EQ(back.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_FLOAT_EQ(back[i], values[i]);
+  }
+}
+
+TEST(JsonRoundTripTest, IntVectors) {
+  const std::vector<int64_t> values = {0, -5, 123456789};
+  auto parsed = Parse(JsonValue::FromInts(values).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToInts(), values);
+}
+
+TEST(JsonFileTest, WriteAndParseFile) {
+  const std::string path = ::testing::TempDir() + "/units_test.json";
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Int(7));
+  ASSERT_TRUE(WriteFile(path, obj).ok());
+  auto loaded = ParseFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->at("k").AsInt(), 7);
+}
+
+TEST(JsonFileTest, MissingFileIsIoError) {
+  auto result = ParseFile("/nonexistent/path.json");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace units::json

@@ -1,0 +1,146 @@
+#include "cluster/kmeans.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace units::cluster {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D.
+Tensor MakeBlobs(int64_t per_cluster, Rng* rng,
+                 std::vector<int64_t>* truth = nullptr) {
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Tensor points = Tensor::Zeros({3 * per_cluster, 2});
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t i = 0; i < per_cluster; ++i) {
+      const int64_t row = c * per_cluster + i;
+      points.At({row, 0}) =
+          centers[c][0] + static_cast<float>(rng->Normal(0.0, 0.5));
+      points.At({row, 1}) =
+          centers[c][1] + static_cast<float>(rng->Normal(0.0, 0.5));
+      if (truth != nullptr) {
+        truth->push_back(c);
+      }
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  std::vector<int64_t> truth;
+  Tensor points = MakeBlobs(30, &rng, &truth);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  auto result = KMeans(points, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  // Each predicted cluster must map to exactly one true blob.
+  std::map<int64_t, std::map<int64_t, int64_t>> confusion;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ++confusion[result->assignments[i]][truth[i]];
+  }
+  for (const auto& [pred, per_true] : confusion) {
+    EXPECT_EQ(per_true.size(), 1u) << "cluster " << pred << " is mixed";
+  }
+}
+
+TEST(KMeansTest, CentroidsNearTrueCenters) {
+  Rng rng(2);
+  Tensor points = MakeBlobs(50, &rng);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  auto result = KMeans(points, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  // Every centroid is within 1.0 of some true center.
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int64_t c = 0; c < 3; ++c) {
+    float best = 1e9f;
+    for (const auto& center : centers) {
+      const float dx = result->centroids.At({c, 0}) - center[0];
+      const float dy = result->centroids.At({c, 1}) - center[1];
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 1.0f);
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(3);
+  Tensor points = MakeBlobs(40, &rng);
+  auto run = [&](int64_t k) {
+    KMeansOptions opts;
+    opts.num_clusters = k;
+    return KMeans(points, opts, &rng)->inertia;
+  };
+  const float inertia1 = run(1);
+  const float inertia3 = run(3);
+  EXPECT_LT(inertia3, inertia1 * 0.2f);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Rng rng(4);
+  Tensor points = Tensor::FromVector({4, 1}, {1, 2, 3, 4});
+  KMeansOptions opts;
+  opts.num_clusters = 1;
+  auto result = KMeans(points, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0], 2.5f, 1e-5);
+}
+
+TEST(KMeansTest, RejectsInvalidInputs) {
+  Rng rng(5);
+  KMeansOptions opts;
+  opts.num_clusters = 5;
+  Tensor too_few = Tensor::Zeros({3, 2});
+  EXPECT_FALSE(KMeans(too_few, opts, &rng).ok());
+  Tensor wrong_rank = Tensor::Zeros({3, 2, 2});
+  opts.num_clusters = 2;
+  EXPECT_FALSE(KMeans(wrong_rank, opts, &rng).ok());
+}
+
+TEST(KMeansTest, KEqualsNPerfectFit) {
+  Rng rng(6);
+  Tensor points = Tensor::FromVector({3, 1}, {0, 5, 10});
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  auto result = KMeans(points, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0f, 1e-6);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  Rng rng(7);
+  Tensor points = Tensor::Ones({10, 3});
+  KMeansOptions opts;
+  opts.num_clusters = 2;
+  auto result = KMeans(points, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0f, 1e-6);
+}
+
+TEST(AssignToCentroidsTest, NearestWins) {
+  Tensor centroids = Tensor::FromVector({2, 1}, {0.0f, 10.0f});
+  Tensor points = Tensor::FromVector({3, 1}, {1.0f, 9.0f, 4.9f});
+  const auto assign = AssignToCentroids(points, centroids);
+  EXPECT_EQ(assign, (std::vector<int64_t>{0, 1, 0}));
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  Rng rng_a(8);
+  Rng rng_b(8);
+  Tensor points = MakeBlobs(20, &rng_a);
+  KMeansOptions one;
+  one.num_clusters = 3;
+  one.num_restarts = 1;
+  KMeansOptions many = one;
+  many.num_restarts = 5;
+  Rng r1(9);
+  Rng r2(9);
+  const float inertia_one = KMeans(points, one, &r1)->inertia;
+  const float inertia_many = KMeans(points, many, &r2)->inertia;
+  EXPECT_LE(inertia_many, inertia_one + 1e-3f);
+}
+
+}  // namespace
+}  // namespace units::cluster

@@ -1,0 +1,188 @@
+#include "metrics/metrics.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace units::metrics {
+namespace {
+
+TEST(AccuracyTest, Basics) {
+  EXPECT_EQ(Accuracy({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_EQ(Accuracy({0, 1, 2, 3}, {0, 0, 0, 3}), 0.5);
+  EXPECT_EQ(Accuracy({1}, {0}), 0.0);
+}
+
+TEST(ConfusionMatrixTest, RowsAreTruth) {
+  const auto cm = ConfusionMatrix({0, 0, 1, 1}, {0, 1, 1, 1}, 2);
+  EXPECT_EQ(cm[0][0], 1);
+  EXPECT_EQ(cm[0][1], 1);
+  EXPECT_EQ(cm[1][0], 0);
+  EXPECT_EQ(cm[1][1], 2);
+}
+
+TEST(ClassifierReportTest, PerfectPrediction) {
+  const auto report = ClassifierReport({0, 1, 2, 0}, {0, 1, 2, 0}, 3);
+  EXPECT_EQ(report.accuracy, 1.0);
+  EXPECT_EQ(report.macro_f1, 1.0);
+  EXPECT_EQ(report.macro_precision, 1.0);
+}
+
+TEST(ClassifierReportTest, KnownPrecisionRecall) {
+  // Class 0: tp=1, fp=1 (one 1 predicted as 0), fn=1.
+  const auto report = ClassifierReport({0, 0, 1, 1}, {0, 1, 0, 1}, 2);
+  EXPECT_NEAR(report.precision[0], 0.5, 1e-9);
+  EXPECT_NEAR(report.recall[0], 0.5, 1e-9);
+  EXPECT_NEAR(report.f1[0], 0.5, 1e-9);
+  EXPECT_NEAR(report.accuracy, 0.5, 1e-9);
+}
+
+TEST(ClassifierReportTest, AbsentPredictedClassGivesZeroPrecision) {
+  const auto report = ClassifierReport({0, 1}, {0, 0}, 2);
+  EXPECT_EQ(report.precision[1], 0.0);
+  EXPECT_EQ(report.recall[1], 0.0);
+}
+
+TEST(AriTest, PerfectAndLabelPermuted) {
+  const std::vector<int64_t> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(truth, truth), 1.0, 1e-9);
+  // Same partition, renamed labels: still perfect.
+  const std::vector<int64_t> renamed = {2, 2, 0, 0, 1, 1};
+  EXPECT_NEAR(AdjustedRandIndex(truth, renamed), 1.0, 1e-9);
+}
+
+TEST(AriTest, RandomLabelingNearZero) {
+  Rng rng(1);
+  std::vector<int64_t> truth(2000);
+  std::vector<int64_t> pred(2000);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<int64_t>(rng.UniformInt(4));
+    pred[i] = static_cast<int64_t>(rng.UniformInt(4));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(truth, pred), 0.0, 0.03);
+}
+
+TEST(AriTest, PartialAgreementBetweenZeroAndOne) {
+  const std::vector<int64_t> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<int64_t> pred = {0, 0, 1, 1, 1, 1};
+  const double ari = AdjustedRandIndex(truth, pred);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(NmiTest, PerfectAndPermuted) {
+  const std::vector<int64_t> truth = {0, 0, 1, 1};
+  EXPECT_NEAR(NormalizedMutualInfo(truth, truth), 1.0, 1e-9);
+  EXPECT_NEAR(NormalizedMutualInfo(truth, {1, 1, 0, 0}), 1.0, 1e-9);
+}
+
+TEST(NmiTest, IndependentLabelingsNearZero) {
+  Rng rng(2);
+  std::vector<int64_t> truth(5000);
+  std::vector<int64_t> pred(5000);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<int64_t>(rng.UniformInt(3));
+    pred[i] = static_cast<int64_t>(rng.UniformInt(3));
+  }
+  EXPECT_LT(NormalizedMutualInfo(truth, pred), 0.01);
+}
+
+TEST(SilhouetteTest, SeparatedClustersScoreHigh) {
+  Tensor points = Tensor::FromVector(
+      {6, 1}, {0.0f, 0.1f, 0.2f, 10.0f, 10.1f, 10.2f});
+  const std::vector<int64_t> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_GT(Silhouette(points, labels), 0.9);
+}
+
+TEST(SilhouetteTest, BadAssignmentScoresLow) {
+  Tensor points = Tensor::FromVector(
+      {6, 1}, {0.0f, 0.1f, 0.2f, 10.0f, 10.1f, 10.2f});
+  const std::vector<int64_t> mixed = {0, 1, 0, 1, 0, 1};
+  EXPECT_LT(Silhouette(points, mixed), 0.1);
+}
+
+TEST(RegressionMetricsTest, KnownValues) {
+  Tensor truth = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor pred = Tensor::FromVector({4}, {1, 2, 5, 0});
+  EXPECT_NEAR(MeanSquaredError(truth, pred), (0 + 0 + 4 + 16) / 4.0, 1e-9);
+  EXPECT_NEAR(MeanAbsoluteError(truth, pred), (0 + 0 + 2 + 4) / 4.0, 1e-9);
+  EXPECT_NEAR(RootMeanSquaredError(truth, pred), std::sqrt(5.0), 1e-9);
+}
+
+TEST(MaskedMetricsTest, OnlyMissingPositionsCount) {
+  Tensor truth = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor pred = Tensor::FromVector({4}, {9, 2, 5, 9});
+  Tensor mask = Tensor::FromVector({4}, {1, 1, 0, 0});  // 2 missing
+  EXPECT_NEAR(MaskedRmse(truth, pred, mask),
+              std::sqrt((4.0 + 25.0) / 2.0), 1e-6);
+  EXPECT_NEAR(MaskedMae(truth, pred, mask), (2.0 + 5.0) / 2.0, 1e-6);
+}
+
+TEST(MaskedMetricsTest, NoMissingGivesZero) {
+  Tensor t = Tensor::Ones({3});
+  EXPECT_EQ(MaskedRmse(t, t, Tensor::Ones({3})), 0.0);
+}
+
+TEST(PointwiseF1Test, KnownCounts) {
+  const std::vector<int> truth = {0, 1, 1, 0, 1};
+  const std::vector<int> pred = {0, 1, 0, 1, 1};
+  const auto score = PointwiseF1(truth, pred);
+  EXPECT_NEAR(score.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(score.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(score.f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(PointwiseF1Test, NoPositivesAnywhere) {
+  const auto score = PointwiseF1({0, 0}, {0, 0});
+  EXPECT_EQ(score.f1, 0.0);
+}
+
+TEST(PointAdjustTest, OneHitMarksWholeSegment) {
+  const std::vector<int> truth = {0, 1, 1, 1, 0, 1, 1};
+  const std::vector<int> pred = {0, 0, 1, 0, 0, 0, 0};
+  const auto adjusted = PointAdjust(truth, pred);
+  EXPECT_EQ(adjusted, (std::vector<int>{0, 1, 1, 1, 0, 0, 0}));
+}
+
+TEST(PointAdjustTest, MissedSegmentStaysMissed) {
+  const std::vector<int> truth = {1, 1, 0, 0};
+  const std::vector<int> pred = {0, 0, 1, 0};
+  const auto adjusted = PointAdjust(truth, pred);
+  EXPECT_EQ(adjusted, (std::vector<int>{0, 0, 1, 0}));
+}
+
+TEST(PointAdjustTest, FalsePositivesPreserved) {
+  const std::vector<int> truth = {0, 0, 0};
+  const std::vector<int> pred = {1, 0, 1};
+  EXPECT_EQ(PointAdjust(truth, pred), pred);
+}
+
+TEST(BestF1SearchTest, FindsSeparatingThreshold) {
+  // Scores clearly separate: anomalies score ~1, normal ~0.
+  std::vector<float> scores = {0.1f, 0.05f, 0.9f, 0.95f, 0.2f, 0.85f};
+  std::vector<int> truth = {0, 0, 1, 1, 0, 1};
+  const auto best = BestF1Search(scores, truth, /*point_adjust=*/false);
+  EXPECT_NEAR(best.f1, 1.0, 1e-9);
+  EXPECT_GT(best.threshold, 0.2f);
+  EXPECT_LT(best.threshold, 0.85f);
+}
+
+TEST(BestF1SearchTest, PointAdjustNeverLowersScore) {
+  Rng rng(3);
+  std::vector<float> scores(200);
+  std::vector<int> truth(200, 0);
+  for (int i = 50; i < 70; ++i) {
+    truth[static_cast<size_t>(i)] = 1;
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<float>(rng.Uniform()) +
+                (truth[i] == 1 ? 0.3f : 0.0f);
+  }
+  const auto raw = BestF1Search(scores, truth, false);
+  const auto adjusted = BestF1Search(scores, truth, true);
+  EXPECT_GE(adjusted.f1 + 1e-9, raw.f1);
+}
+
+}  // namespace
+}  // namespace units::metrics

@@ -1,0 +1,360 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "nn/conv1d.h"
+#include "nn/dropout.h"
+#include "nn/heads.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/sequential.h"
+#include "nn/tcn.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::nn {
+namespace {
+
+namespace ag = ::units::autograd;
+
+TEST(LinearTest, OutputShapeAnd2DForward) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  Variable x(Tensor::Ones({5, 4}));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{5, 3}));
+}
+
+TEST(LinearTest, HigherRankInputsFlattenAndRestore) {
+  Rng rng(2);
+  Linear layer(4, 2, &rng);
+  Variable x(Tensor::Ones({3, 7, 4}));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 7, 2}));
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(3);
+  Linear layer(2, 2, &rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  Variable zero(Tensor::Zeros({1, 2}));
+  Variable y = layer.Forward(zero);
+  EXPECT_EQ(y.data()[0], 0.0f);  // no bias => zero input maps to zero
+}
+
+TEST(LinearTest, ParametersReceiveGradients) {
+  Rng rng(4);
+  Linear layer(3, 2, &rng);
+  Variable x(Tensor::RandNormal({4, 3}, &rng));
+  ag::SumAll(layer.Forward(x)).Backward();
+  for (const Variable& p : layer.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(Conv1dTest, SamePaddingKeepsLength) {
+  Rng rng(5);
+  Conv1d conv(2, 4, 3, &rng, 1, ConvPadding::kSame);
+  Variable x(Tensor::Zeros({3, 2, 11}));
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{3, 4, 11}));
+}
+
+TEST(Conv1dTest, CausalPaddingKeepsLength) {
+  Rng rng(6);
+  Conv1d conv(1, 1, 3, &rng, 4, ConvPadding::kCausal);
+  Variable x(Tensor::Zeros({1, 1, 20}));
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{1, 1, 20}));
+}
+
+TEST(Conv1dTest, ValidPaddingShrinks) {
+  Rng rng(7);
+  Conv1d conv(1, 1, 3, &rng, 1, ConvPadding::kValid);
+  Variable x(Tensor::Zeros({1, 1, 10}));
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{1, 1, 8}));
+}
+
+TEST(Conv1dTest, CausalityProperty) {
+  // Changing a future input must not change past outputs.
+  Rng rng(8);
+  Conv1d conv(1, 2, 3, &rng, 2, ConvPadding::kCausal);
+  Tensor x = Tensor::RandNormal({1, 1, 16}, &rng);
+  Variable y1 = conv.Forward(Variable(x));
+  Tensor x2 = x.Clone();
+  x2.At({0, 0, 10}) += 5.0f;
+  Variable y2 = conv.Forward(Variable(x2));
+  for (int64_t c = 0; c < 2; ++c) {
+    for (int64_t t = 0; t < 10; ++t) {
+      EXPECT_EQ(y1.data().At({0, c, t}), y2.data().At({0, c, t}))
+          << "future leak at t=" << t;
+    }
+  }
+}
+
+TEST(LayerNormTest, NormalizesLastDim) {
+  LayerNorm norm(8);
+  Rng rng(9);
+  Variable x(Tensor::RandNormal({4, 8}, &rng, 5.0f, 3.0f));
+  Variable y = norm.Forward(x);
+  for (int64_t i = 0; i < 4; ++i) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    for (int64_t j = 0; j < 8; ++j) {
+      mean += y.data().At({i, j});
+    }
+    mean /= 8.0f;
+    for (int64_t j = 0; j < 8; ++j) {
+      const float d = y.data().At({i, j}) - mean;
+      var += d * d;
+    }
+    var /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(InstanceNormTest, NormalizesOverTime) {
+  InstanceNorm1d norm(2);
+  Rng rng(10);
+  Variable x(Tensor::RandNormal({3, 2, 32}, &rng, -2.0f, 4.0f));
+  Variable y = norm.Forward(x);
+  for (int64_t n = 0; n < 3; ++n) {
+    for (int64_t c = 0; c < 2; ++c) {
+      float mean = 0.0f;
+      for (int64_t t = 0; t < 32; ++t) {
+        mean += y.data().At({n, c, t});
+      }
+      EXPECT_NEAR(mean / 32.0f, 0.0f, 1e-4);
+    }
+  }
+}
+
+TEST(BatchNormTest, TrainNormalizesBatch) {
+  BatchNorm1d norm(3);
+  norm.SetTraining(true);
+  Rng rng(11);
+  Variable x(Tensor::RandNormal({16, 3}, &rng, 7.0f, 2.0f));
+  Variable y = norm.Forward(x);
+  for (int64_t c = 0; c < 3; ++c) {
+    float mean = 0.0f;
+    for (int64_t i = 0; i < 16; ++i) {
+      mean += y.data().At({i, c});
+    }
+    EXPECT_NEAR(mean / 16.0f, 0.0f, 1e-4);
+  }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  BatchNorm1d norm(1);
+  norm.SetTraining(true);
+  Rng rng(12);
+  // Feed several batches with mean 10 so running stats adapt.
+  for (int step = 0; step < 50; ++step) {
+    Variable x(Tensor::RandNormal({32, 1}, &rng, 10.0f, 1.0f));
+    norm.Forward(x);
+  }
+  EXPECT_NEAR(norm.running_mean()[0], 10.0f, 0.5f);
+  norm.SetTraining(false);
+  Variable probe(Tensor::Full({4, 1}, 10.0f));
+  Variable y = norm.Forward(probe);
+  EXPECT_NEAR(y.data()[0], 0.0f, 0.2f);
+}
+
+TEST(BatchNormTest, Supports3DInput) {
+  BatchNorm1d norm(2);
+  Rng rng(13);
+  Variable x(Tensor::RandNormal({4, 2, 10}, &rng));
+  EXPECT_EQ(norm.Forward(x).shape(), (Shape{4, 2, 10}));
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(14);
+  Dropout dropout(0.5f, &rng);
+  dropout.SetTraining(false);
+  Tensor x = Tensor::RandNormal({4, 4}, &rng);
+  Variable y = dropout.Forward(Variable(x));
+  EXPECT_TRUE(ops::AllClose(y.data(), x));
+}
+
+TEST(DropoutTest, TrainModeZeroesRoughlyPFraction) {
+  Rng rng(15);
+  Dropout dropout(0.3f, &rng);
+  dropout.SetTraining(true);
+  Variable x(Tensor::Ones({100, 100}));
+  Variable y = dropout.Forward(x);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      ++zeros;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.3, 0.02);
+  // Survivors are scaled by 1/(1-p): expectation preserved.
+  EXPECT_NEAR(ops::MeanAll(y.data()), 1.0f, 0.03f);
+}
+
+TEST(SequentialTest, ChainsModules) {
+  Rng rng(16);
+  Sequential seq;
+  seq.Append(std::make_shared<Linear>(4, 8, &rng));
+  seq.Append(std::make_shared<Activation>(ActivationKind::kRelu));
+  seq.Append(std::make_shared<Linear>(8, 2, &rng));
+  EXPECT_EQ(seq.size(), 3u);
+  Variable x(Tensor::Ones({5, 4}));
+  EXPECT_EQ(seq.Forward(x).shape(), (Shape{5, 2}));
+  EXPECT_EQ(seq.Parameters().size(), 4u);  // two weights, two biases
+}
+
+TEST(ModuleTest, NamedParametersHaveDottedPaths) {
+  Rng rng(17);
+  Sequential seq;
+  seq.Append(std::make_shared<Linear>(2, 2, &rng));
+  const auto named = seq.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "0.weight");
+  EXPECT_EQ(named[1].first, "0.bias");
+}
+
+TEST(ModuleTest, NumParametersCounts) {
+  Rng rng(18);
+  Linear layer(3, 4, &rng);
+  EXPECT_EQ(layer.NumParameters(), 3 * 4 + 4);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(19);
+  Linear layer(2, 2, &rng);
+  Variable x(Tensor::Ones({1, 2}));
+  ag::SumAll(layer.Forward(x)).Backward();
+  layer.ZeroGrad();
+  for (const Variable& p : layer.Parameters()) {
+    EXPECT_EQ(ops::SumAll(p.grad()), 0.0f);
+  }
+}
+
+TEST(ActivationTest, ParseAndName) {
+  auto relu = ParseActivation("ReLU");
+  ASSERT_TRUE(relu.ok());
+  EXPECT_EQ(*relu, ActivationKind::kRelu);
+  EXPECT_FALSE(ParseActivation("bogus").ok());
+  EXPECT_STREQ(ActivationKindName(ActivationKind::kGelu), "gelu");
+}
+
+TEST(TcnTest, PerTimestepOutputShape) {
+  Rng rng(20);
+  TcnConfig config;
+  config.input_channels = 3;
+  config.hidden_channels = 8;
+  config.repr_channels = 16;
+  config.num_blocks = 2;
+  TcnEncoder encoder(config, &rng);
+  Variable x(Tensor::RandNormal({4, 3, 32}, &rng));
+  EXPECT_EQ(encoder.Forward(x).shape(), (Shape{4, 16, 32}));
+  EXPECT_EQ(encoder.EncodeSeries(x).shape(), (Shape{4, 16}));
+}
+
+TEST(TcnTest, GradientsReachAllParameters) {
+  Rng rng(21);
+  TcnConfig config;
+  config.input_channels = 2;
+  config.hidden_channels = 4;
+  config.repr_channels = 4;
+  config.num_blocks = 2;
+  TcnEncoder encoder(config, &rng);
+  Variable x(Tensor::RandNormal({2, 2, 16}, &rng));
+  ag::SumAll(encoder.EncodeSeries(x)).Backward();
+  for (const auto& [name, p] : encoder.NamedParameters()) {
+    EXPECT_TRUE(p.has_grad()) << name;
+  }
+}
+
+TEST(TcnTest, TranslationTolerantMaxPool) {
+  // A pattern moved in time produces a pooled representation closer to the
+  // original than a different pattern does (the invariance max pooling is
+  // chosen for).
+  Rng rng(22);
+  TcnConfig config;
+  config.input_channels = 1;
+  config.hidden_channels = 8;
+  config.repr_channels = 8;
+  config.num_blocks = 2;
+  TcnEncoder encoder(config, &rng);
+
+  Tensor base = Tensor::Zeros({1, 1, 64});
+  Tensor shifted = Tensor::Zeros({1, 1, 64});
+  Tensor different = Tensor::RandNormal({1, 1, 64}, &rng, 0.0f, 1.0f);
+  for (int64_t t = 0; t < 8; ++t) {
+    base.At({0, 0, 10 + t}) = 3.0f;
+    shifted.At({0, 0, 40 + t}) = 3.0f;
+  }
+  ag::NoGradGuard no_grad;
+  Tensor zb = encoder.EncodeSeries(Variable(base)).data();
+  Tensor zs = encoder.EncodeSeries(Variable(shifted)).data();
+  Tensor zd = encoder.EncodeSeries(Variable(different)).data();
+  EXPECT_LT(ops::L2Distance(zb, zs), ops::L2Distance(zb, zd));
+}
+
+TEST(MlpHeadTest, LinearHeadWhenNoHidden) {
+  Rng rng(23);
+  MlpHead head(6, {}, 3, &rng);
+  EXPECT_EQ(head.Parameters().size(), 2u);
+  Variable x(Tensor::Ones({2, 6}));
+  EXPECT_EQ(head.Forward(x).shape(), (Shape{2, 3}));
+}
+
+TEST(MlpHeadTest, HiddenLayers) {
+  Rng rng(24);
+  MlpHead head(6, {16, 8}, 3, &rng);
+  EXPECT_EQ(head.Parameters().size(), 6u);
+  Variable x(Tensor::Ones({2, 6}));
+  EXPECT_EQ(head.Forward(x).shape(), (Shape{2, 3}));
+}
+
+TEST(ForecastDecoderTest, OutputShape) {
+  Rng rng(25);
+  ForecastDecoder decoder(10, 2, 12, &rng);
+  Variable z(Tensor::RandNormal({5, 10}, &rng));
+  EXPECT_EQ(decoder.Forward(z).shape(), (Shape{5, 2, 12}));
+}
+
+TEST(ReconstructionDecoderTest, ShapesWithAndWithoutHidden) {
+  Rng rng(26);
+  ReconstructionDecoder direct(8, 3, &rng);
+  ReconstructionDecoder deep(8, 3, &rng, 16);
+  Variable z(Tensor::RandNormal({2, 8, 20}, &rng));
+  EXPECT_EQ(direct.Forward(z).shape(), (Shape{2, 3, 20}));
+  EXPECT_EQ(deep.Forward(z).shape(), (Shape{2, 3, 20}));
+  EXPECT_GT(deep.NumParameters(), direct.NumParameters());
+}
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(27);
+  Tensor w = init::XavierUniform({100, 100}, 100, 100, &rng);
+  const float bound = std::sqrt(6.0f / 200.0f);
+  EXPECT_LE(ops::MaxAll(w), bound);
+  EXPECT_GE(ops::MinAll(w), -bound);
+  EXPECT_NEAR(ops::MeanAll(w), 0.0f, 0.01f);
+}
+
+TEST(NnGradCheckTest, LinearLayer) {
+  Rng rng(28);
+  auto layer = std::make_shared<Linear>(3, 2, &rng);
+  Variable x(Tensor::RandNormal({2, 3}, &rng), true);
+  auto fn = [layer](const std::vector<autograd::Variable>& v) {
+    return ag::MeanAll(ag::Square(layer->Forward(v[0])));
+  };
+  EXPECT_TRUE(autograd::CheckGradients(fn, {x}).passed);
+}
+
+TEST(NnGradCheckTest, LayerNormInput) {
+  Rng rng(29);
+  auto norm = std::make_shared<LayerNorm>(4);
+  Variable x(Tensor::RandNormal({3, 4}, &rng), true);
+  auto fn = [norm](const std::vector<autograd::Variable>& v) {
+    return ag::MeanAll(ag::Square(norm->Forward(v[0])));
+  };
+  EXPECT_TRUE(autograd::CheckGradients(fn, {x}).passed);
+}
+
+}  // namespace
+}  // namespace units::nn

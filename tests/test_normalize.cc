@@ -1,0 +1,124 @@
+#include "data/normalize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::data {
+namespace {
+
+Tensor MakeData() {
+  Rng rng(3);
+  Tensor x = Tensor::Zeros({32, 2, 64});
+  float* p = x.data();
+  for (int64_t i = 0; i < 32; ++i) {
+    for (int64_t t = 0; t < 64; ++t) {
+      p[(i * 2 + 0) * 64 + t] = static_cast<float>(rng.Normal(5.0, 2.0));
+      p[(i * 2 + 1) * 64 + t] = static_cast<float>(rng.Normal(-3.0, 0.5));
+    }
+  }
+  return x;
+}
+
+TEST(ZScoreTest, FitComputesPerChannelStats) {
+  ZScoreNormalizer norm;
+  ASSERT_TRUE(norm.Fit(MakeData()).ok());
+  ASSERT_EQ(norm.mean().size(), 2u);
+  EXPECT_NEAR(norm.mean()[0], 5.0f, 0.3f);
+  EXPECT_NEAR(norm.mean()[1], -3.0f, 0.1f);
+  EXPECT_NEAR(norm.stddev()[0], 2.0f, 0.3f);
+  EXPECT_NEAR(norm.stddev()[1], 0.5f, 0.1f);
+}
+
+TEST(ZScoreTest, TransformStandardizes) {
+  ZScoreNormalizer norm;
+  Tensor x = MakeData();
+  ASSERT_TRUE(norm.Fit(x).ok());
+  Tensor z = norm.Transform(x);
+  // Each channel now has ~0 mean, ~1 std.
+  for (int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    const float* p = z.data();
+    for (int64_t i = 0; i < 32; ++i) {
+      for (int64_t t = 0; t < 64; ++t) {
+        const float v = p[(i * 2 + c) * 64 + t];
+        sum += v;
+        sq += v * v;
+      }
+    }
+    const double n = 32 * 64;
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sq / n, 1.0, 1e-2);
+  }
+}
+
+TEST(ZScoreTest, InverseTransformRoundTrips) {
+  ZScoreNormalizer norm;
+  Tensor x = MakeData();
+  ASSERT_TRUE(norm.Fit(x).ok());
+  Tensor back = norm.InverseTransform(norm.Transform(x));
+  EXPECT_TRUE(ops::AllClose(back, x, 1e-4f, 1e-4f));
+}
+
+TEST(ZScoreTest, TransformDoesNotMutateInput) {
+  ZScoreNormalizer norm;
+  Tensor x = MakeData();
+  Tensor copy = x.Clone();
+  ASSERT_TRUE(norm.Fit(x).ok());
+  norm.Transform(x);
+  EXPECT_TRUE(ops::AllClose(x, copy));
+}
+
+TEST(ZScoreTest, ConstantChannelDoesNotDivideByZero) {
+  Tensor x = Tensor::Full({4, 1, 8}, 3.0f);
+  ZScoreNormalizer norm;
+  ASSERT_TRUE(norm.Fit(x).ok());
+  Tensor z = norm.Transform(x);
+  EXPECT_FALSE(ops::HasNonFinite(z));
+}
+
+TEST(ZScoreTest, RejectsWrongRank) {
+  ZScoreNormalizer norm;
+  EXPECT_FALSE(norm.Fit(Tensor::Zeros({4, 8})).ok());
+}
+
+TEST(ZScoreTest, FromStatsRestoresFittedState) {
+  auto norm = ZScoreNormalizer::FromStats({1.0f}, {2.0f});
+  EXPECT_TRUE(norm.fitted());
+  Tensor x = Tensor::Full({1, 1, 2}, 5.0f);
+  Tensor z = norm.Transform(x);
+  EXPECT_NEAR(z[0], 2.0f, 1e-6);
+}
+
+TEST(MinMaxTest, TransformMapsToUnitInterval) {
+  MinMaxNormalizer norm;
+  Tensor x = MakeData();
+  ASSERT_TRUE(norm.Fit(x).ok());
+  Tensor z = norm.Transform(x);
+  EXPECT_GE(ops::MinAll(z), 0.0f);
+  EXPECT_LE(ops::MaxAll(z), 1.0f);
+}
+
+TEST(MinMaxTest, InverseRoundTrips) {
+  MinMaxNormalizer norm;
+  Tensor x = MakeData();
+  ASSERT_TRUE(norm.Fit(x).ok());
+  Tensor back = norm.InverseTransform(norm.Transform(x));
+  EXPECT_TRUE(ops::AllClose(back, x, 1e-3f, 1e-3f));
+}
+
+TEST(MinMaxTest, ExtremesHitBounds) {
+  MinMaxNormalizer norm;
+  Tensor x = Tensor::FromVector({1, 1, 4}, {2.0f, 4.0f, 6.0f, 10.0f});
+  ASSERT_TRUE(norm.Fit(x).ok());
+  Tensor z = norm.Transform(x);
+  EXPECT_NEAR(z[0], 0.0f, 1e-6);
+  EXPECT_NEAR(z[3], 1.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace units::data

@@ -1,0 +1,203 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/schedule.h"
+
+namespace units::optim {
+namespace {
+
+namespace ag = ::units::autograd;
+
+/// Convex quadratic loss (x - target)^2 summed.
+Variable Quadratic(const Variable& x, const Tensor& target) {
+  return ag::SumAll(ag::Square(ag::Sub(x, ag::Constant(target))));
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable x(Tensor::Zeros({3}), true);
+  Tensor target = Tensor::FromVector({3}, {1, -2, 3});
+  Sgd opt({x}, 0.1f);
+  for (int step = 0; step < 100; ++step) {
+    opt.ZeroGrad();
+    Quadratic(x, target).Backward();
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.data()[i], target[i], 1e-4);
+  }
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  Tensor target = Tensor::Full({1}, 10.0f);
+  auto run = [&](float momentum) {
+    Variable x(Tensor::Zeros({1}), true);
+    Sgd opt({x}, 0.01f, momentum);
+    for (int step = 0; step < 50; ++step) {
+      opt.ZeroGrad();
+      Quadratic(x, target).Backward();
+      opt.Step();
+    }
+    return std::fabs(x.data()[0] - 10.0f);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Variable x(Tensor::Full({1}, 4.0f), true);
+  Sgd opt({x}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // Zero gradient: only decay acts.
+  opt.ZeroGrad();
+  ag::SumAll(ag::MulScalar(x, 0.0f)).Backward();
+  opt.Step();
+  EXPECT_LT(x.data()[0], 4.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable x(Tensor::Zeros({4}), true);
+  Tensor target = Tensor::FromVector({4}, {0.5f, -0.5f, 2.0f, -3.0f});
+  Adam opt({x}, 0.1f);
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Quadratic(x, target).Backward();
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x.data()[i], target[i], 1e-2);
+  }
+}
+
+TEST(AdamTest, HandlesIllConditionedScales) {
+  // One coordinate's gradient is 1000x the other's; Adam's per-coordinate
+  // scaling should still move both towards the target.
+  Variable x(Tensor::Zeros({2}), true);
+  Adam opt({x}, 0.05f);
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    Variable a = ag::Slice(x, 0, 0, 1);
+    Variable b = ag::Slice(x, 0, 1, 1);
+    Variable loss = ag::Add(
+        ag::MulScalar(ag::SumAll(ag::Square(ag::AddScalar(a, -1.0f))), 1000.0f),
+        ag::SumAll(ag::Square(ag::AddScalar(b, -1.0f))));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 1.0f, 0.05f);
+  EXPECT_NEAR(x.data()[1], 1.0f, 0.05f);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Variable used(Tensor::Zeros({1}), true);
+  Variable unused(Tensor::Full({1}, 5.0f), true);
+  Adam opt({used, unused}, 0.1f);
+  opt.ZeroGrad();
+  Quadratic(used, Tensor::Ones({1})).Backward();
+  opt.Step();
+  EXPECT_EQ(unused.data()[0], 5.0f);
+  EXPECT_NE(used.data()[0], 0.0f);
+}
+
+TEST(RmsPropTest, ConvergesOnQuadratic) {
+  Variable x(Tensor::Zeros({3}), true);
+  Tensor target = Tensor::FromVector({3}, {2, -1, 0.5f});
+  RmsProp opt({x}, 0.05f);
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    Quadratic(x, target).Backward();
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.data()[i], target[i], 0.05f);
+  }
+}
+
+TEST(RmsPropTest, AdaptsToGradientScale) {
+  // Coordinates with wildly different gradient scales progress at
+  // comparable speed thanks to the per-coordinate normalization.
+  Variable x(Tensor::Zeros({2}), true);
+  RmsProp opt({x}, 0.02f);
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Variable a = ag::Slice(x, 0, 0, 1);
+    Variable b = ag::Slice(x, 0, 1, 1);
+    Variable loss = ag::Add(
+        ag::MulScalar(ag::SumAll(ag::Square(ag::AddScalar(a, -1.0f))),
+                      100.0f),
+        ag::SumAll(ag::Square(ag::AddScalar(b, -1.0f))));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 1.0f, 0.1f);
+  EXPECT_NEAR(x.data()[1], 1.0f, 0.1f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Variable x(Tensor::Zeros({2}), true);
+  x.AccumulateGrad(Tensor::FromVector({2}, {0.3f, 0.4f}));  // norm 0.5
+  const float norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(norm, 0.5f, 1e-6);
+  EXPECT_NEAR(x.grad()[0], 0.3f, 1e-6);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  Variable x(Tensor::Zeros({2}), true);
+  x.AccumulateGrad(Tensor::FromVector({2}, {3.0f, 4.0f}));  // norm 5
+  const float norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5);
+  EXPECT_NEAR(x.grad()[0], 0.6f, 1e-5);
+  EXPECT_NEAR(x.grad()[1], 0.8f, 1e-5);
+}
+
+TEST(ClipGradNormTest, GlobalNormAcrossParams) {
+  Variable a(Tensor::Zeros({1}), true);
+  Variable b(Tensor::Zeros({1}), true);
+  a.AccumulateGrad(Tensor::Full({1}, 3.0f));
+  b.AccumulateGrad(Tensor::Full({1}, 4.0f));
+  ClipGradNorm({a, b}, 2.5f);  // global norm 5 -> scale 0.5
+  EXPECT_NEAR(a.grad()[0], 1.5f, 1e-5);
+  EXPECT_NEAR(b.grad()[0], 2.0f, 1e-5);
+}
+
+TEST(ScheduleTest, ConstantIsOne) {
+  ConstantLr sched;
+  EXPECT_EQ(sched.Multiplier(0), 1.0f);
+  EXPECT_EQ(sched.Multiplier(1000), 1.0f);
+}
+
+TEST(ScheduleTest, CosineWarmupAndDecay) {
+  CosineLr sched(100, 10, 0.0f);
+  EXPECT_LT(sched.Multiplier(0), 0.2f);           // warming up
+  EXPECT_NEAR(sched.Multiplier(9), 1.0f, 1e-5);   // warmup done
+  EXPECT_NEAR(sched.Multiplier(55), 0.5f, 0.02f); // mid-decay
+  EXPECT_NEAR(sched.Multiplier(100), 0.0f, 1e-5); // fully decayed
+}
+
+TEST(ScheduleTest, CosineFinalFraction) {
+  CosineLr sched(10, 0, 0.1f);
+  EXPECT_NEAR(sched.Multiplier(10), 0.1f, 1e-5);
+  EXPECT_NEAR(sched.Multiplier(1000), 0.1f, 1e-5);
+}
+
+TEST(ScheduleTest, StepDecaysGeometrically) {
+  StepLr sched(10, 0.5f);
+  EXPECT_EQ(sched.Multiplier(0), 1.0f);
+  EXPECT_EQ(sched.Multiplier(9), 1.0f);
+  EXPECT_EQ(sched.Multiplier(10), 0.5f);
+  EXPECT_EQ(sched.Multiplier(25), 0.25f);
+}
+
+TEST(OptimizerTest, SetLrTakesEffect) {
+  Variable x(Tensor::Zeros({1}), true);
+  Sgd opt({x}, 1.0f);
+  opt.set_lr(0.0f);
+  opt.ZeroGrad();
+  Quadratic(x, Tensor::Ones({1})).Backward();
+  opt.Step();
+  EXPECT_EQ(x.data()[0], 0.0f);  // lr 0 => no movement
+}
+
+}  // namespace
+}  // namespace units::optim

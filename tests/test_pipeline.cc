@@ -1,0 +1,238 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fusion.h"
+#include "core/pretrain/templates.h"
+#include "core/tasks/tasks.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+namespace {
+
+UnitsPipeline::Config TinyConfig() {
+  UnitsPipeline::Config cfg;
+  cfg.templates = {"whole_series_contrastive", "masked_autoregression"};
+  cfg.task = "classification";
+  cfg.mode = ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("epochs", 2);
+  cfg.pretrain_params.SetInt("batch_size", 8);
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 10);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  cfg.finetune_params.SetInt("epochs", 3);
+  cfg.seed = 21;
+  return cfg;
+}
+
+data::TimeSeriesDataset TinyData(int64_t n = 20) {
+  data::ClassificationOpts opts;
+  opts.num_samples = n;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.seed = 4;
+  return data::MakeClassificationDataset(opts);
+}
+
+TEST(PipelineTest, CreateResolvesNamesViaRegistry) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig(), 2);
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ((*pipeline)->num_templates(), 2u);
+  EXPECT_EQ((*pipeline)->template_at(0)->name(), "whole_series_contrastive");
+  EXPECT_EQ((*pipeline)->task()->name(), "classification");
+}
+
+TEST(PipelineTest, CreateRejectsUnknownNames) {
+  auto cfg = TinyConfig();
+  cfg.templates = {"nonexistent"};
+  EXPECT_FALSE(UnitsPipeline::Create(cfg, 2).ok());
+  cfg = TinyConfig();
+  cfg.fusion = "nope";
+  EXPECT_FALSE(UnitsPipeline::Create(cfg, 2).ok());
+  cfg = TinyConfig();
+  cfg.task = "nope";
+  EXPECT_FALSE(UnitsPipeline::Create(cfg, 2).ok());
+}
+
+TEST(PipelineTest, CreateRejectsEmptyTemplates) {
+  auto cfg = TinyConfig();
+  cfg.templates.clear();
+  EXPECT_FALSE(UnitsPipeline::Create(cfg, 2).ok());
+}
+
+TEST(PipelineTest, FusedDimSumsTemplateDims) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig(), 2);
+  EXPECT_EQ((*pipeline)->fused_dim(), 20);               // 10 + 10
+  EXPECT_EQ((*pipeline)->fused_dim_per_timestep(), 20);
+}
+
+TEST(PipelineTest, TransformFusedShapeAndFiniteness) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig(), 2);
+  auto data = TinyData();
+  Tensor z = (*pipeline)->TransformFused(data.values());
+  EXPECT_EQ(z.shape(), (Shape{20, 20}));
+  EXPECT_FALSE(ops::HasNonFinite(z));
+  Tensor zt = (*pipeline)->TransformFusedPerTimestep(data.values());
+  EXPECT_EQ(zt.shape(), (Shape{20, 20, 32}));
+}
+
+TEST(PipelineTest, PretrainPopulatesLossCurves) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig(), 2);
+  ASSERT_TRUE((*pipeline)->Pretrain(TinyData().values()).ok());
+  EXPECT_TRUE((*pipeline)->pretrained());
+  const auto curves = (*pipeline)->PretrainLossCurves();
+  ASSERT_EQ(curves.size(), 2u);
+  EXPECT_EQ(curves[0].size(), 2u);  // 2 epochs
+  EXPECT_EQ(curves[1].size(), 2u);
+}
+
+TEST(PipelineTest, PretrainOnceFineTuneManyTasks) {
+  // The paper's efficiency pitch: one pre-training, several downstream
+  // fine-tunings re-using the same encoders.
+  auto cfg = TinyConfig();
+  cfg.task = "";  // no initial task
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  ASSERT_TRUE(pipeline.ok());
+  auto data = TinyData();
+  ASSERT_TRUE((*pipeline)->Pretrain(data.values()).ok());
+
+  (*pipeline)->SetTask(std::make_unique<ClassificationTask>());
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  ASSERT_TRUE((*pipeline)->Predict(data.values()).ok());
+
+  (*pipeline)->SetTask(std::make_unique<ClusteringTask>(2));
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  ASSERT_TRUE((*pipeline)->Predict(data.values()).ok());
+}
+
+TEST(PipelineTest, PredictWithoutTaskFails) {
+  auto cfg = TinyConfig();
+  cfg.task = "";
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto result = (*pipeline)->Predict(TinyData().values());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PipelineTest, ManualAssemblyWithCustomComponents) {
+  UnitsPipeline pipeline(2, 33);
+  ParamSet p;
+  p.SetInt("hidden_channels", 8);
+  p.SetInt("repr_dim", 8);
+  p.SetInt("num_blocks", 1);
+  p.SetInt("epochs", 1);
+  pipeline.AddTemplate(std::make_unique<WholeSeriesContrastive>(p, 2, 1));
+  pipeline.SetFusion(std::make_unique<ProjectionFusion>(6));
+  pipeline.SetTask(std::make_unique<ClassificationTask>());
+  auto data = TinyData();
+  ASSERT_TRUE(pipeline.Pretrain(data.values()).ok());
+  EXPECT_EQ(pipeline.fused_dim(), 6);
+  ASSERT_TRUE(pipeline.FineTune(data).ok());
+  EXPECT_TRUE(pipeline.Predict(data.values()).ok());
+}
+
+TEST(PipelineTest, EncoderAndFusionParamsRespectFreeze) {
+  auto cfg = TinyConfig();
+  cfg.finetune_params.SetInt("finetune_encoder", 0);
+  auto frozen = UnitsPipeline::Create(cfg, 2);
+  EXPECT_TRUE((*frozen)->EncoderAndFusionParams().empty());
+
+  cfg.finetune_params.SetInt("finetune_encoder", 1);
+  auto tuned = UnitsPipeline::Create(cfg, 2);
+  EXPECT_FALSE((*tuned)->EncoderAndFusionParams().empty());
+}
+
+TEST(PipelineTest, ProjectionFusionParamsAlwaysTrainable) {
+  auto cfg = TinyConfig();
+  cfg.fusion = "projection";
+  cfg.finetune_params.SetInt("finetune_encoder", 0);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  EXPECT_EQ((*pipeline)->EncoderAndFusionParams().size(), 2u);  // W + b
+}
+
+TEST(PipelineTest, GatedFusionEndToEnd) {
+  auto cfg = TinyConfig();
+  cfg.fusion = "gated";
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  ASSERT_TRUE(pipeline.ok());
+  auto data = TinyData();
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  auto result = (*pipeline)->Predict(data.values());
+  ASSERT_TRUE(result.ok());
+  // The gate logits are part of the trainable fusion parameters.
+  auto* gated = dynamic_cast<GatedFusion*>((*pipeline)->fusion());
+  ASSERT_NE(gated, nullptr);
+  EXPECT_EQ(gated->GateValues().size(), 2u);
+}
+
+TEST(PipelineTest, GatedFusionSerializationRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gated.json";
+  auto cfg = TinyConfig();
+  cfg.fusion = "gated";
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto data = TinyData();
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  const Tensor z_before = (*pipeline)->TransformFused(data.values());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+  auto loaded = UnitsPipeline::LoadJson(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Tensor z_after = (*loaded)->TransformFused(data.values());
+  EXPECT_TRUE(ops::AllClose(z_before, z_after, 1e-5f, 1e-5f));
+}
+
+TEST(PipelineTest, DeterministicAcrossIdenticalRuns) {
+  auto data = TinyData();
+  auto run = [&]() {
+    auto pipeline = UnitsPipeline::Create(TinyConfig(), 2);
+    (*pipeline)->Pretrain(data.values()).CheckOk();
+    return (*pipeline)->TransformFused(data.values());
+  };
+  EXPECT_TRUE(ops::AllClose(run(), run(), 0.0f, 0.0f));
+}
+
+TEST(PipelineTest, PartialLabelingFlow) {
+  // Figure 2a, left: pre-train on everything, fine-tune on the small
+  // labeled subset, predict on held-out data.
+  auto cfg = TinyConfig();
+  cfg.templates = {"whole_series_contrastive"};
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto data = TinyData(40);
+  Rng rng(3);
+  auto [train, test] = data.TrainTestSplit(0.5, &rng);
+  auto [labeled, unlabeled] = train.PartialLabelSplit(0.3, &rng);
+  ASSERT_TRUE((*pipeline)->Pretrain(unlabeled.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(labeled).ok());
+  auto result = (*pipeline)->Predict(test.values());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.size(),
+            static_cast<size_t>(test.num_samples()));
+}
+
+TEST(PipelineTest, DomainShiftFlow) {
+  // Figure 2a, right: pre-train on the source domain, fine-tune on a small
+  // target set, predict on target data.
+  data::ClassificationOpts opts;
+  opts.num_samples = 32;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.seed = 10;
+  data::DomainShift shift;
+  auto [source, target] = data::MakeDomainShiftPair(opts, shift);
+
+  auto cfg = TinyConfig();
+  cfg.templates = {"whole_series_contrastive"};
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  ASSERT_TRUE((*pipeline)->Pretrain(source.values()).ok());
+  Rng rng(5);
+  auto [target_train, target_test] = target.TrainTestSplit(0.5, &rng);
+  ASSERT_TRUE((*pipeline)->FineTune(target_train).ok());
+  auto result = (*pipeline)->Predict(target_test.values());
+  ASSERT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace units::core

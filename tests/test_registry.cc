@@ -1,0 +1,102 @@
+#include "core/registry.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/pretrain/templates.h"
+#include "core/tasks/tasks.h"
+
+namespace units::core {
+namespace {
+
+TEST(RegistryTest, BuiltinsPresent) {
+  const auto templates = RegisteredPretrainTemplates();
+  for (const char* name :
+       {"whole_series_contrastive", "subsequence_contrastive",
+        "timestamp_contrastive", "masked_autoregression", "hybrid"}) {
+    EXPECT_NE(std::find(templates.begin(), templates.end(), name),
+              templates.end())
+        << name;
+  }
+  const auto fusions = RegisteredFusions();
+  EXPECT_NE(std::find(fusions.begin(), fusions.end(), "concat"),
+            fusions.end());
+  EXPECT_NE(std::find(fusions.begin(), fusions.end(), "projection"),
+            fusions.end());
+  const auto tasks = RegisteredTasks();
+  for (const char* name : {"classification", "clustering", "forecasting",
+                           "anomaly_detection", "imputation"}) {
+    EXPECT_NE(std::find(tasks.begin(), tasks.end(), name), tasks.end())
+        << name;
+  }
+}
+
+TEST(RegistryTest, UnknownNamesAreNotFound) {
+  ParamSet p;
+  EXPECT_EQ(MakePretrainTemplate("bogus", p, 2, 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(MakeFusion("bogus", p).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(MakeTask("bogus", p).status().code(), StatusCode::kNotFound);
+}
+
+/// A user-supplied template: trivially wraps WholeSeriesContrastive under a
+/// new name, standing in for a genuinely new SSL method (the paper's
+/// extension story).
+class CustomTemplate : public WholeSeriesContrastive {
+ public:
+  using WholeSeriesContrastive::WholeSeriesContrastive;
+  std::string name() const override { return "custom_ssl"; }
+};
+
+TEST(RegistryTest, UserTemplatePlugsIntoPipeline) {
+  RegisterPretrainTemplate(
+      "custom_ssl", [](const ParamSet& p, int64_t c, uint64_t s) {
+        return std::make_unique<CustomTemplate>(p, c, s);
+      });
+
+  UnitsPipeline::Config cfg;
+  cfg.templates = {"custom_ssl"};
+  cfg.task = "classification";
+  cfg.mode = ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("epochs", 1);
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 8);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ((*pipeline)->template_at(0)->name(), "custom_ssl");
+}
+
+TEST(RegistryTest, FactoryReceivesParams) {
+  ParamSet p;
+  p.SetInt("repr_dim", 24);
+  p.SetInt("hidden_channels", 8);
+  p.SetInt("num_blocks", 1);
+  auto tmpl = MakePretrainTemplate("whole_series_contrastive", p, 3, 5);
+  ASSERT_TRUE(tmpl.ok());
+  ASSERT_TRUE((*tmpl)->Initialize().ok());
+  EXPECT_EQ((*tmpl)->repr_dim(), 24);
+}
+
+TEST(RegistryTest, ReRegistrationOverridesFactory) {
+  static int calls = 0;
+  RegisterTask("probe_task", [](const ParamSet&) {
+    ++calls;
+    return std::make_unique<ClassificationTask>();
+  });
+  ParamSet p;
+  ASSERT_TRUE(MakeTask("probe_task", p).ok());
+  EXPECT_EQ(calls, 1);
+  // Re-register under the same name: the new factory wins.
+  RegisterTask("probe_task", [](const ParamSet&) {
+    calls += 10;
+    return std::make_unique<ClassificationTask>();
+  });
+  ASSERT_TRUE(MakeTask("probe_task", p).ok());
+  EXPECT_EQ(calls, 11);
+}
+
+}  // namespace
+}  // namespace units::core

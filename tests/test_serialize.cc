@@ -1,0 +1,244 @@
+#include "core/serialize.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/tasks/tasks.h"
+#include "data/synthetic.h"
+#include "data/window.h"
+#include "nn/linear.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+namespace {
+
+TEST(TensorJsonTest, RoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::RandNormal({2, 3}, &rng);
+  auto back = TensorFromJson(TensorToJson(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shape(), t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_FLOAT_EQ((*back)[i], t[i]);
+  }
+}
+
+TEST(TensorJsonTest, RejectsMalformed) {
+  EXPECT_FALSE(TensorFromJson(json::JsonValue::Int(1)).ok());
+  json::JsonValue bad = json::JsonValue::Object();
+  bad.Set("shape", json::JsonValue::FromInts({2, 2}));
+  bad.Set("data", json::JsonValue::FromFloats({1.0f}));  // wrong count
+  EXPECT_FALSE(TensorFromJson(bad).ok());
+}
+
+TEST(ModuleJsonTest, StateRoundTrip) {
+  Rng rng(2);
+  nn::Linear src(3, 2, &rng);
+  nn::Linear dst(3, 2, &rng);  // different random init
+  ASSERT_TRUE(LoadModuleState(&dst, ModuleStateToJson(&src)).ok());
+  const auto a = src.NamedParameters();
+  const auto b = dst.NamedParameters();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(ops::AllClose(a[i].second.data(), b[i].second.data()));
+  }
+}
+
+TEST(ModuleJsonTest, MissingParameterIsError) {
+  Rng rng(3);
+  nn::Linear module(2, 2, &rng);
+  json::JsonValue empty = json::JsonValue::Object();
+  EXPECT_FALSE(LoadModuleState(&module, empty).ok());
+}
+
+TEST(ModuleJsonTest, ShapeMismatchIsError) {
+  Rng rng(4);
+  nn::Linear small(2, 2, &rng);
+  nn::Linear big(4, 4, &rng);
+  EXPECT_FALSE(LoadModuleState(&big, ModuleStateToJson(&small)).ok());
+}
+
+TEST(ParamSetJsonTest, RoundTripAllKinds) {
+  hpo::ParamSet p;
+  p.SetDouble("lr", 0.003);
+  p.SetInt("epochs", 17);
+  p.SetString("backbone", "tcn");
+  auto back = ParamSetFromJson(ParamSetToJson(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetDouble("lr", 0), 0.003);
+  EXPECT_EQ(back->GetInt("epochs", 0), 17);
+  EXPECT_EQ(back->GetString("backbone", ""), "tcn");
+}
+
+UnitsPipeline::Config TinyConfig(const std::string& task) {
+  UnitsPipeline::Config cfg;
+  cfg.templates = {"whole_series_contrastive"};
+  cfg.task = task;
+  cfg.mode = ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("epochs", 1);
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 8);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  cfg.finetune_params.SetInt("epochs", 2);
+  cfg.seed = 42;
+  return cfg;
+}
+
+data::TimeSeriesDataset TinyData() {
+  data::ClassificationOpts opts;
+  opts.num_samples = 16;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.seed = 8;
+  return data::MakeClassificationDataset(opts);
+}
+
+TEST(PipelineJsonTest, RoundTripPreservesRepresentations) {
+  const std::string path = ::testing::TempDir() + "/pipe.json";
+  auto data = TinyData();
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE((*pipeline)->Pretrain(data.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  const Tensor z_before = (*pipeline)->TransformFused(data.values());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+
+  auto loaded = UnitsPipeline::LoadJson(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->pretrained());
+  const Tensor z_after = (*loaded)->TransformFused(data.values());
+  EXPECT_TRUE(ops::AllClose(z_before, z_after, 1e-5f, 1e-5f));
+}
+
+TEST(PipelineJsonTest, RoundTripPreservesPredictions) {
+  const std::string path = ::testing::TempDir() + "/pipe_cls.json";
+  auto data = TinyData();
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  auto before = (*pipeline)->Predict(data.values());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+
+  auto loaded = UnitsPipeline::LoadJson(path);
+  ASSERT_TRUE(loaded.ok());
+  auto after = (*loaded)->Predict(data.values());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(before->labels, after->labels);
+}
+
+TEST(PipelineJsonTest, ClusteringStateRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/pipe_clu.json";
+  auto cfg = TinyConfig("clustering");
+  cfg.finetune_params.SetInt("num_clusters", 2);
+  cfg.finetune_params.SetInt("cluster_finetune_epochs", 0);
+  auto data = TinyData();
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  auto before = (*pipeline)->Predict(data.values());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+
+  auto loaded = UnitsPipeline::LoadJson(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto after = (*loaded)->Predict(data.values());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->labels, after->labels);
+}
+
+TEST(PipelineJsonTest, AnomalyThresholdSurvives) {
+  const std::string path = ::testing::TempDir() + "/pipe_anom.json";
+  data::AnomalyOpts opts;
+  opts.total_length = 400;
+  opts.seed = 12;
+  data::TimeSeriesDataset train(
+      data::SlidingWindows(data::MakeCleanSeries(opts), 32, 16));
+  auto pipeline = UnitsPipeline::Create(TinyConfig("anomaly_detection"), 2);
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto* task_before =
+      dynamic_cast<AnomalyDetectionTask*>((*pipeline)->task());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+
+  auto loaded = UnitsPipeline::LoadJson(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto* task_after = dynamic_cast<AnomalyDetectionTask*>((*loaded)->task());
+  ASSERT_NE(task_after, nullptr);
+  EXPECT_FLOAT_EQ(task_after->threshold(), task_before->threshold());
+}
+
+TEST(PipelineJsonTest, UnfittedTaskStillSavable) {
+  const std::string path = ::testing::TempDir() + "/pipe_unfit.json";
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE((*pipeline)->Pretrain(TinyData().values()).ok());
+  // Task never fitted: encoders are saved, task state is skipped.
+  EXPECT_TRUE((*pipeline)->SaveJson(path).ok());
+  auto loaded = UnitsPipeline::LoadJson(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE((*loaded)->Predict(TinyData().values()).ok());
+}
+
+TEST(PipelineJsonTest, LoadRejectsWrongFormat) {
+  const std::string path = ::testing::TempDir() + "/not_pipeline.json";
+  json::JsonValue other = json::JsonValue::Object();
+  other.Set("format", json::JsonValue::String("something-else"));
+  ASSERT_TRUE(json::WriteFile(path, other).ok());
+  EXPECT_FALSE(UnitsPipeline::LoadJson(path).ok());
+}
+
+TEST(PipelineJsonTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(UnitsPipeline::LoadJson("/no/such/file.json").ok());
+}
+
+TEST(PipelineJsonTest, LoadRejectsCorruptedModel) {
+  // Start from a valid save, then corrupt it in several ways; every
+  // corruption must be rejected cleanly (no crash, non-OK status).
+  const std::string path = ::testing::TempDir() + "/pipe_corrupt.json";
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE((*pipeline)->Pretrain(TinyData().values()).ok());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+  auto valid = json::ParseFile(path);
+  ASSERT_TRUE(valid.ok());
+
+  // 1. Unknown template name.
+  {
+    json::JsonValue doc = *valid;
+    json::JsonValue config = doc.at("config");
+    json::JsonValue templates = json::JsonValue::Array();
+    templates.Append(json::JsonValue::String("never_registered"));
+    config.Set("templates", std::move(templates));
+    doc.Set("config", std::move(config));
+    ASSERT_TRUE(json::WriteFile(path, doc).ok());
+    EXPECT_FALSE(UnitsPipeline::LoadJson(path).ok());
+  }
+  // 2. Encoder list with the wrong arity.
+  {
+    json::JsonValue doc = *valid;
+    doc.Set("encoders", json::JsonValue::Array());
+    ASSERT_TRUE(json::WriteFile(path, doc).ok());
+    EXPECT_FALSE(UnitsPipeline::LoadJson(path).ok());
+  }
+  // 3. Truncated file (invalid JSON).
+  {
+    std::ofstream out(path);
+    out << "{\"format\": \"units-pipeline\", \"version\":";
+    out.close();
+    EXPECT_FALSE(UnitsPipeline::LoadJson(path).ok());
+  }
+}
+
+TEST(PipelineJsonTest, SavedFileIsValidPrettyJson) {
+  const std::string path = ::testing::TempDir() + "/pipe_pretty.json";
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE((*pipeline)->Pretrain(TinyData().values()).ok());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+  auto parsed = json::ParseFile(path);
+  ASSERT_TRUE(parsed.ok());
+  // Self-describing: format, version, config, params, encoder weights.
+  EXPECT_TRUE(parsed->Contains("format"));
+  EXPECT_TRUE(parsed->Contains("version"));
+  EXPECT_TRUE(parsed->Contains("config"));
+  EXPECT_TRUE(parsed->Contains("pretrain_params"));
+  EXPECT_TRUE(parsed->Contains("finetune_params"));
+  EXPECT_EQ(parsed->at("encoders").size(), 1u);
+}
+
+}  // namespace
+}  // namespace units::core

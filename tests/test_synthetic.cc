@@ -1,0 +1,268 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace units::data {
+namespace {
+
+TEST(ClassificationGenTest, ShapeBalanceDeterminism) {
+  ClassificationOpts opts;
+  opts.num_samples = 60;
+  opts.num_classes = 4;
+  opts.num_channels = 3;
+  opts.length = 64;
+  opts.seed = 5;
+  auto ds = MakeClassificationDataset(opts);
+  EXPECT_EQ(ds.num_samples(), 60);
+  EXPECT_EQ(ds.num_channels(), 3);
+  EXPECT_EQ(ds.length(), 64);
+  EXPECT_EQ(ds.NumClasses(), 4);
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t label : ds.labels()) {
+    ++counts[static_cast<size_t>(label)];
+  }
+  for (int64_t c : counts) {
+    EXPECT_EQ(c, 15);
+  }
+  // Same seed reproduces bit-identical data.
+  auto ds2 = MakeClassificationDataset(opts);
+  EXPECT_TRUE(ops::AllClose(ds.values(), ds2.values(), 0.0f, 0.0f));
+}
+
+TEST(ClassificationGenTest, DifferentSeedsDiffer) {
+  ClassificationOpts opts;
+  opts.num_samples = 16;
+  opts.seed = 1;
+  auto a = MakeClassificationDataset(opts);
+  opts.seed = 2;
+  auto b = MakeClassificationDataset(opts);
+  EXPECT_FALSE(ops::AllClose(a.values(), b.values()));
+}
+
+TEST(ClassificationGenTest, SignalIsFiniteAndBounded) {
+  ClassificationOpts opts;
+  opts.num_samples = 40;
+  opts.noise = 0.5f;
+  opts.time_warp = 0.3f;
+  auto ds = MakeClassificationDataset(opts);
+  EXPECT_FALSE(ops::HasNonFinite(ds.values()));
+  EXPECT_LT(ops::MaxAll(ds.values()), 30.0f);
+  EXPECT_GT(ops::MinAll(ds.values()), -30.0f);
+}
+
+TEST(ClassificationGenTest, SameClassMoreSimilarThanCrossClass) {
+  // Class structure sanity: mean within-class distance of noiseless
+  // instances is below mean cross-class distance.
+  ClassificationOpts opts;
+  opts.num_samples = 40;
+  opts.num_classes = 2;
+  opts.noise = 0.05f;
+  opts.amp_jitter = 0.05f;
+  opts.phase_jitter = 0.1f;
+  opts.seed = 9;
+  auto ds = MakeClassificationDataset(opts);
+  double within = 0.0;
+  double cross = 0.0;
+  int64_t nw = 0;
+  int64_t nc = 0;
+  for (int64_t i = 0; i < 20; ++i) {
+    for (int64_t j = i + 1; j < 20; ++j) {
+      Tensor a = ops::Slice(ds.values(), 0, i, 1);
+      Tensor b = ops::Slice(ds.values(), 0, j, 1);
+      const double dist = ops::L2Distance(a, b);
+      if (ds.labels()[static_cast<size_t>(i)] ==
+          ds.labels()[static_cast<size_t>(j)]) {
+        within += dist;
+        ++nw;
+      } else {
+        cross += dist;
+        ++nc;
+      }
+    }
+  }
+  EXPECT_LT(within / nw, cross / nc);
+}
+
+TEST(DomainShiftTest, SharedClassStructureDifferentScale) {
+  ClassificationOpts opts;
+  opts.num_samples = 40;
+  opts.num_classes = 3;
+  opts.seed = 11;
+  DomainShift shift;
+  shift.amp_scale = 2.0f;
+  auto [source, target] = MakeDomainShiftPair(opts, shift);
+  EXPECT_EQ(source.num_samples(), target.num_samples());
+  EXPECT_EQ(source.NumClasses(), target.NumClasses());
+  // Target amplitude roughly amp_scale times larger.
+  const float src_norm = ops::Norm(source.values());
+  const float tgt_norm = ops::Norm(target.values());
+  EXPECT_GT(tgt_norm, src_norm * 1.3f);
+}
+
+TEST(DomainShiftTest, ChannelRotationPermutesChannels) {
+  ClassificationOpts opts;
+  opts.num_samples = 8;
+  opts.num_classes = 2;
+  opts.num_channels = 3;
+  opts.length = 16;
+  opts.noise = 0.0f;
+  opts.seed = 13;
+  DomainShift none;
+  none.amp_scale = 1.0f;
+  none.freq_scale = 1.0f;
+  none.drift_amp = 0.0f;
+  none.noise_mult = 1.0f;
+  DomainShift rotated = none;
+  rotated.channel_rotation = 1;
+  auto [src_a, tgt_plain] = MakeDomainShiftPair(opts, none);
+  auto [src_b, tgt_rot] = MakeDomainShiftPair(opts, rotated);
+  // Same instance stream: rotated target channel c equals plain channel c+1.
+  for (int64_t c = 0; c < 3; ++c) {
+    Tensor rot_c = ops::Slice(tgt_rot.values(), 1, c, 1);
+    Tensor plain_next = ops::Slice(tgt_plain.values(), 1, (c + 1) % 3, 1);
+    EXPECT_TRUE(ops::AllClose(rot_c, plain_next, 1e-5f, 1e-5f))
+        << "channel " << c;
+  }
+  EXPECT_EQ(tgt_rot.labels(), tgt_plain.labels());
+}
+
+TEST(ForecastGenTest, SeriesShapeAndTrend) {
+  ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 1000;
+  opts.trend_slope = 0.01f;
+  opts.seed = 3;
+  Tensor s = MakeForecastSeries(opts);
+  EXPECT_EQ(s.shape(), (Shape{2, 1000}));
+  // Positive trend: late mean above early mean.
+  const Tensor early = ops::Slice(s, 1, 0, 200);
+  const Tensor late = ops::Slice(s, 1, 800, 200);
+  EXPECT_GT(ops::MeanAll(late), ops::MeanAll(early) + 2.0f);
+}
+
+TEST(ForecastGenTest, SeasonalityAtConfiguredPeriod) {
+  ForecastSeriesOpts opts;
+  opts.num_channels = 1;
+  opts.total_length = 960;
+  opts.daily_period = 48.0f;
+  opts.noise = 0.01f;
+  opts.trend_slope = 0.0f;
+  opts.seed = 4;
+  Tensor s = MakeForecastSeries(opts);
+  // Autocorrelation at lag = period is strongly positive.
+  const float* p = s.data();
+  double acf = 0.0;
+  double var = 0.0;
+  for (int64_t t = 0; t < 960 - 48; ++t) {
+    acf += static_cast<double>(p[t]) * p[t + 48];
+    var += static_cast<double>(p[t]) * p[t];
+  }
+  EXPECT_GT(acf / var, 0.6);
+}
+
+TEST(ForecastGenTest, DatasetWindowsHaveTargets) {
+  ForecastSeriesOpts opts;
+  opts.total_length = 500;
+  auto ds = MakeForecastDataset(opts, 48, 12, 10);
+  EXPECT_TRUE(ds.has_targets());
+  EXPECT_EQ(ds.length(), 48);
+  EXPECT_EQ(ds.targets().dim(2), 12);
+  EXPECT_EQ(ds.values().dim(0), ds.targets().dim(0));
+}
+
+TEST(AnomalyGenTest, CleanSeriesHasNoLabels) {
+  AnomalyOpts opts;
+  opts.total_length = 500;
+  Tensor clean = MakeCleanSeries(opts);
+  EXPECT_EQ(clean.shape(), (Shape{2, 500}));
+  EXPECT_FALSE(ops::HasNonFinite(clean));
+}
+
+TEST(AnomalyGenTest, InjectedAnomaliesAreLabeled) {
+  AnomalyOpts opts;
+  opts.total_length = 2000;
+  opts.num_anomalies = 12;
+  opts.seed = 6;
+  auto series = MakeAnomalySeries(opts);
+  EXPECT_EQ(series.labels.dim(0), 2000);
+  const float labeled = ops::SumAll(series.labels);
+  EXPECT_GT(labeled, 12.0f);           // every anomaly marks >= 1 step
+  EXPECT_LT(labeled, 2000.0f * 0.5f);  // anomalies stay rare
+}
+
+TEST(AnomalyGenTest, SpikesProduceLargeDeviations) {
+  AnomalyOpts opts;
+  opts.total_length = 1500;
+  opts.num_anomalies = 16;
+  opts.seed = 7;
+  auto anomalous = MakeAnomalySeries(opts);
+  Tensor clean = MakeCleanSeries(opts);
+  // Deviation energy concentrated on labeled steps.
+  const float* a = anomalous.series.data();
+  const float* c = clean.data();
+  const float* lab = anomalous.labels.data();
+  double on_dev = 0.0;
+  double off_dev = 0.0;
+  int64_t on = 0;
+  int64_t off = 0;
+  for (int64_t t = 0; t < 1500; ++t) {
+    double dev = 0.0;
+    for (int64_t ch = 0; ch < 2; ++ch) {
+      dev += std::fabs(static_cast<double>(a[ch * 1500 + t]) -
+                       c[ch * 1500 + t]);
+    }
+    if (lab[t] > 0.5f) {
+      on_dev += dev;
+      ++on;
+    } else {
+      off_dev += dev;
+      ++off;
+    }
+  }
+  EXPECT_GT(on_dev / on, 10.0 * (off_dev / std::max<int64_t>(off, 1) + 1e-9));
+}
+
+TEST(MissingMaskTest, RateApproximatelyMatches) {
+  Rng rng(8);
+  Tensor mask = MakeMissingMask({64, 2, 100}, 0.3f, 4.0f, &rng);
+  const float observed = ops::MeanAll(mask);
+  EXPECT_NEAR(observed, 0.7f, 0.05f);
+}
+
+TEST(MissingMaskTest, ValuesAreBinary) {
+  Rng rng(9);
+  Tensor mask = MakeMissingMask({4, 50}, 0.2f, 3.0f, &rng);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    EXPECT_TRUE(mask[i] == 0.0f || mask[i] == 1.0f);
+  }
+}
+
+TEST(MissingMaskTest, ZeroRateAllObserved) {
+  Rng rng(10);
+  Tensor mask = MakeMissingMask({4, 20}, 0.0f, 3.0f, &rng);
+  EXPECT_EQ(ops::SumAll(mask), 80.0f);
+}
+
+TEST(MissingMaskTest, MissingComesInBlocks) {
+  Rng rng(11);
+  Tensor mask = MakeMissingMask({1, 4000}, 0.3f, 8.0f, &rng);
+  // Count transitions 1->0; with mean block 8 and rate .3 over 4000 steps,
+  // expect ~4000*0.3/8 = 150 block starts, far fewer than the ~1200 missing
+  // points (i.i.d. masking would give ~840 starts).
+  const float* m = mask.data();
+  int64_t starts = 0;
+  for (int64_t t = 1; t < 4000; ++t) {
+    if (m[t] == 0.0f && m[t - 1] == 1.0f) {
+      ++starts;
+    }
+  }
+  EXPECT_LT(starts, 400);
+  EXPECT_GT(starts, 40);
+}
+
+}  // namespace
+}  // namespace units::data

@@ -1,0 +1,334 @@
+// End-to-end tests of the five analysis tasks through the pipeline, at toy
+// scale. Functional quality (UniTS vs baselines) is covered by the bench
+// harness; here we verify contracts, shapes, and that training moves loss.
+
+#include "core/tasks/tasks.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "data/window.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+namespace {
+
+UnitsPipeline::Config TinyConfig(const std::string& task) {
+  UnitsPipeline::Config cfg;
+  cfg.templates = {"whole_series_contrastive"};
+  cfg.task = task;
+  cfg.mode = ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("epochs", 2);
+  cfg.pretrain_params.SetInt("batch_size", 8);
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 12);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  cfg.finetune_params.SetInt("epochs", 4);
+  cfg.finetune_params.SetInt("batch_size", 8);
+  cfg.seed = 7;
+  return cfg;
+}
+
+data::TimeSeriesDataset TinyClassData(int64_t n = 24) {
+  data::ClassificationOpts opts;
+  opts.num_samples = n;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.noise = 0.2f;
+  opts.seed = 5;
+  return data::MakeClassificationDataset(opts);
+}
+
+TEST(ClassificationTaskTest, FitPredictEndToEnd) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE(pipeline.ok());
+  auto train = TinyClassData();
+  ASSERT_TRUE((*pipeline)->Pretrain(train.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto result = (*pipeline)->Predict(train.values());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.size(), 24u);
+  for (int64_t label : result->labels) {
+    EXPECT_TRUE(label == 0 || label == 1);
+  }
+  // predictions carry the per-class distribution.
+  EXPECT_EQ(result->predictions.shape(), (Shape{24, 2}));
+  for (int64_t i = 0; i < 24; ++i) {
+    float row = 0.0f;
+    for (int64_t c = 0; c < 2; ++c) {
+      row += result->predictions.At({i, c});
+    }
+    EXPECT_NEAR(row, 1.0f, 1e-4);
+  }
+}
+
+TEST(ClassificationTaskTest, LearnsTrainingSet) {
+  auto cfg = TinyConfig("classification");
+  cfg.finetune_params.SetInt("epochs", 25);
+  cfg.finetune_params.SetDouble("encoder_lr_scale", 1.0);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto train = TinyClassData(32);
+  ASSERT_TRUE((*pipeline)->Pretrain(train.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto result = (*pipeline)->Predict(train.values());
+  EXPECT_GT(metrics::Accuracy(train.labels(), result->labels), 0.8);
+}
+
+TEST(ClassificationTaskTest, RequiresLabels) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  data::TimeSeriesDataset unlabeled(TinyClassData().values());
+  EXPECT_FALSE((*pipeline)->FineTune(unlabeled).ok());
+}
+
+TEST(ClassificationTaskTest, PredictBeforeFitFails) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  auto result = (*pipeline)->Predict(TinyClassData().values());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ClassificationTaskTest, LossHistoryDecreases) {
+  auto cfg = TinyConfig("classification");
+  cfg.finetune_params.SetInt("epochs", 12);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto train = TinyClassData(32);
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  const auto& history = (*pipeline)->task()->loss_history();
+  ASSERT_EQ(history.size(), 12u);
+  EXPECT_LT(history.back(), history.front());
+}
+
+TEST(ClusteringTaskTest, AssignsRequestedClusterCount) {
+  auto cfg = TinyConfig("clustering");
+  cfg.finetune_params.SetInt("num_clusters", 2);
+  cfg.finetune_params.SetInt("cluster_finetune_epochs", 1);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto train = TinyClassData();
+  ASSERT_TRUE((*pipeline)->Pretrain(train.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto result = (*pipeline)->Predict(train.values());
+  ASSERT_TRUE(result.ok());
+  std::set<int64_t> distinct(result->labels.begin(), result->labels.end());
+  EXPECT_LE(distinct.size(), 2u);
+  EXPECT_GE(distinct.size(), 1u);
+}
+
+TEST(ClusteringTaskTest, CentroidsStoredAfterFit) {
+  auto cfg = TinyConfig("clustering");
+  cfg.finetune_params.SetInt("num_clusters", 3);
+  cfg.finetune_params.SetInt("cluster_finetune_epochs", 0);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto train = TinyClassData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto* task = dynamic_cast<ClusteringTask*>((*pipeline)->task());
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->centroids().dim(0), 3);
+}
+
+TEST(ClusteringTaskTest, RejectsDegenerateConfigs) {
+  auto cfg = TinyConfig("clustering");
+  cfg.finetune_params.SetInt("num_clusters", 1);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  EXPECT_FALSE((*pipeline)->FineTune(TinyClassData()).ok());
+}
+
+data::TimeSeriesDataset TinyForecastData() {
+  data::ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 400;
+  opts.seed = 9;
+  return data::MakeForecastDataset(opts, 32, 8, 8);
+}
+
+TEST(ForecastingTaskTest, PredictsHorizonWindows) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("forecasting"), 2);
+  auto train = TinyForecastData();
+  ASSERT_TRUE((*pipeline)->Pretrain(train.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto result = (*pipeline)->Predict(train.values());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->predictions.shape(),
+            (Shape{train.num_samples(), 2, 8}));
+  EXPECT_FALSE(ops::HasNonFinite(result->predictions));
+}
+
+TEST(ForecastingTaskTest, BeatsZeroPredictorOnTrain) {
+  auto cfg = TinyConfig("forecasting");
+  cfg.finetune_params.SetInt("epochs", 40);
+  cfg.finetune_params.SetInt("head_hidden", 32);
+  cfg.finetune_params.SetDouble("encoder_lr_scale", 1.0);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto train = TinyForecastData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto result = (*pipeline)->Predict(train.values());
+  const double model_mse =
+      metrics::MeanSquaredError(train.targets(), result->predictions);
+  const double zero_mse = metrics::MeanSquaredError(
+      train.targets(), Tensor::Zeros(train.targets().shape()));
+  EXPECT_LT(model_mse, zero_mse);
+}
+
+TEST(ForecastingTaskTest, RolloutExtendsHorizon) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("forecasting"), 2);
+  auto train = TinyForecastData();  // horizon 8
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto* task = dynamic_cast<ForecastingTask*>((*pipeline)->task());
+  ASSERT_NE(task, nullptr);
+  Tensor x = ops::Slice(train.values(), 0, 0, 3);
+  // 20 = 2 full horizons + a partial chunk of 4.
+  auto rollout = task->Rollout(pipeline->get(), x, 20);
+  ASSERT_TRUE(rollout.ok()) << rollout.status().ToString();
+  EXPECT_EQ(rollout->shape(), (Shape{3, 2, 20}));
+  EXPECT_FALSE(ops::HasNonFinite(*rollout));
+  // The first horizon of the rollout equals a direct prediction.
+  auto direct = task->Predict(pipeline->get(), x);
+  Tensor head = ops::Slice(*rollout, 2, 0, 8);
+  EXPECT_TRUE(ops::AllClose(head, direct->predictions, 1e-4f, 1e-4f));
+}
+
+TEST(ForecastingTaskTest, RolloutRejectsBadArgs) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("forecasting"), 2);
+  auto train = TinyForecastData();
+  auto* task = new ForecastingTask();
+  std::unique_ptr<ForecastingTask> owned(task);
+  EXPECT_FALSE(task->Rollout(pipeline->get(), train.values(), 8).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto* fitted = dynamic_cast<ForecastingTask*>((*pipeline)->task());
+  EXPECT_FALSE(fitted->Rollout(pipeline->get(), train.values(), 0).ok());
+}
+
+TEST(ForecastingTaskTest, PooledReprModeStillWorks) {
+  auto cfg = TinyConfig("forecasting");
+  cfg.finetune_params.SetString("forecast_repr", "pooled");
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto train = TinyForecastData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto result = (*pipeline)->Predict(train.values());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->predictions.dim(2), 8);
+}
+
+TEST(ForecastingTaskTest, RequiresTargets) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("forecasting"), 2);
+  data::TimeSeriesDataset no_targets(TinyForecastData().values());
+  EXPECT_FALSE((*pipeline)->FineTune(no_targets).ok());
+}
+
+TEST(ForecastingTaskTest, SupportsMaeLoss) {
+  auto cfg = TinyConfig("forecasting");
+  cfg.finetune_params.SetString("forecast_loss", "mae");
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  EXPECT_TRUE((*pipeline)->FineTune(TinyForecastData()).ok());
+}
+
+data::TimeSeriesDataset TinyAnomalyTrainData() {
+  data::AnomalyOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 600;
+  opts.seed = 11;
+  Tensor clean = data::MakeCleanSeries(opts);
+  return data::TimeSeriesDataset(data::SlidingWindows(clean, 32, 16));
+}
+
+TEST(AnomalyTaskTest, ScoresAndThreshold) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("anomaly_detection"), 2);
+  auto train = TinyAnomalyTrainData();
+  ASSERT_TRUE((*pipeline)->Pretrain(train.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto result = (*pipeline)->Predict(train.values());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scores.shape(), (Shape{train.num_samples(), 32}));
+  EXPECT_GE(ops::MinAll(result->scores), 0.0f);
+  auto* task = dynamic_cast<AnomalyDetectionTask*>((*pipeline)->task());
+  ASSERT_NE(task, nullptr);
+  EXPECT_GT(task->threshold(), 0.0f);
+  // labels are flattened thresholded decisions.
+  EXPECT_EQ(result->labels.size(),
+            static_cast<size_t>(train.num_samples() * 32));
+}
+
+TEST(AnomalyTaskTest, SpikesScoreHigherThanNormal) {
+  auto cfg = TinyConfig("anomaly_detection");
+  cfg.finetune_params.SetInt("epochs", 10);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto train = TinyAnomalyTrainData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+
+  // Inject an obvious spike into one window.
+  Tensor test = ops::Slice(train.values(), 0, 0, 4).Clone();
+  test.At({1, 0, 16}) += 8.0f;
+  auto* task = dynamic_cast<AnomalyDetectionTask*>((*pipeline)->task());
+  Tensor scores = task->ScoreWindows(pipeline->get(), test);
+  // The spiked step outscores the same step of the clean window.
+  EXPECT_GT(scores.At({1, 16}), 2.0f * scores.At({0, 16}));
+}
+
+TEST(ImputationTaskTest, ReconstructionShape) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("imputation"), 2);
+  auto train = TinyForecastData();
+  ASSERT_TRUE((*pipeline)->Pretrain(train.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto result = (*pipeline)->Predict(train.values());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->predictions.shape(), train.values().shape());
+}
+
+TEST(ImputationTaskTest, ImputeFillsOnlyMissing) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("imputation"), 2);
+  auto train = TinyForecastData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto* task = dynamic_cast<ImputationTask*>((*pipeline)->task());
+  ASSERT_NE(task, nullptr);
+
+  Tensor x = ops::Slice(train.values(), 0, 0, 4);
+  Rng rng(13);
+  Tensor mask = data::MakeMissingMask(x.shape(), 0.3f, 3.0f, &rng);
+  auto imputed = task->Impute(pipeline->get(), x, mask);
+  ASSERT_TRUE(imputed.ok());
+  // Observed entries are untouched.
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (mask[i] == 1.0f) {
+      EXPECT_EQ((*imputed)[i], x[i]);
+    }
+  }
+}
+
+TEST(ImputationTaskTest, ImputationBeatsZeroFill) {
+  auto cfg = TinyConfig("imputation");
+  cfg.finetune_params.SetInt("epochs", 40);
+  cfg.finetune_params.SetDouble("encoder_lr_scale", 1.0);
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  auto train = TinyForecastData();
+  ASSERT_TRUE((*pipeline)->Pretrain(train.values()).ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto* task = dynamic_cast<ImputationTask*>((*pipeline)->task());
+
+  Tensor x = ops::Slice(train.values(), 0, 0, 8);
+  Rng rng(17);
+  Tensor mask = data::MakeMissingMask(x.shape(), 0.25f, 3.0f, &rng);
+  auto imputed = task->Impute(pipeline->get(), x, mask);
+  ASSERT_TRUE(imputed.ok());
+  const double model_rmse = metrics::MaskedRmse(x, *imputed, mask);
+  const double zero_rmse =
+      metrics::MaskedRmse(x, ops::Mul(x, mask), mask);
+  EXPECT_LT(model_rmse, zero_rmse);
+}
+
+TEST(ImputationTaskTest, ImputeRejectsMismatchedMask) {
+  auto pipeline = UnitsPipeline::Create(TinyConfig("imputation"), 2);
+  auto train = TinyForecastData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  auto* task = dynamic_cast<ImputationTask*>((*pipeline)->task());
+  Tensor x = ops::Slice(train.values(), 0, 0, 2);
+  EXPECT_FALSE(task->Impute(pipeline->get(), x,
+                            Tensor::Ones({1, 1, 1})).ok());
+}
+
+}  // namespace
+}  // namespace units::core

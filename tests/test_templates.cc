@@ -1,0 +1,220 @@
+// Tests for the five self-supervised pre-training templates. Kept small
+#include <cmath>
+// (tiny encoders, short series) so the whole suite runs in seconds on CPU.
+
+#include "core/pretrain/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::core {
+namespace {
+
+namespace ag = ::units::autograd;
+
+ParamSet TinyParams() {
+  ParamSet p;
+  p.SetInt("epochs", 3);
+  p.SetInt("batch_size", 8);
+  p.SetInt("hidden_channels", 8);
+  p.SetInt("repr_dim", 12);
+  p.SetInt("num_blocks", 1);
+  p.SetInt("neg_samples", 2);
+  p.SetInt("instance_timestamps", 2);
+  return p;
+}
+
+Tensor TinyData(int64_t n = 16, int64_t d = 2, int64_t t = 32) {
+  data::ClassificationOpts opts;
+  opts.num_samples = n;
+  opts.num_classes = 2;
+  opts.num_channels = d;
+  opts.length = t;
+  opts.seed = 3;
+  return data::MakeClassificationDataset(opts).values();
+}
+
+class TemplateTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TemplateTest, FitTransformContract) {
+  auto tmpl = MakePretrainTemplate(GetParam(), TinyParams(), 2, 11);
+  ASSERT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+  Tensor x = TinyData();
+  ASSERT_TRUE((*tmpl)->Fit(x).ok());
+
+  // Transform produces pooled [N, K].
+  Tensor z = (*tmpl)->Transform(x);
+  EXPECT_EQ(z.shape(), (Shape{16, 12}));
+  EXPECT_FALSE(ops::HasNonFinite(z));
+
+  // TransformPerTimestep produces [N, K, T].
+  Tensor zt = (*tmpl)->TransformPerTimestep(x);
+  EXPECT_EQ(zt.shape(), (Shape{16, 12, 32}));
+  EXPECT_FALSE(ops::HasNonFinite(zt));
+}
+
+TEST_P(TemplateTest, LossHistoryRecordedAndFinite) {
+  auto tmpl = MakePretrainTemplate(GetParam(), TinyParams(), 2, 13);
+  ASSERT_TRUE(tmpl.ok());
+  ASSERT_TRUE((*tmpl)->Fit(TinyData()).ok());
+  const auto& history = (*tmpl)->loss_history();
+  ASSERT_EQ(history.size(), 3u);
+  for (float loss : history) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+TEST_P(TemplateTest, LossDecreasesOverTraining) {
+  ParamSet p = TinyParams();
+  p.SetInt("epochs", 15);
+  p.SetInt("batch_size", 16);
+  auto tmpl = MakePretrainTemplate(GetParam(), p, 2, 17);
+  ASSERT_TRUE(tmpl.ok());
+  ASSERT_TRUE((*tmpl)->Fit(TinyData(32)).ok());
+  const auto& history = (*tmpl)->loss_history();
+  // Mean of the last three epochs below the first epoch's loss (the
+  // objectives are stochastic — crops, masks, views — so single-epoch
+  // comparisons are noisy).
+  const float late = (history[history.size() - 1] +
+                      history[history.size() - 2] +
+                      history[history.size() - 3]) / 3.0f;
+  EXPECT_LT(late, history[0]) << GetParam();
+}
+
+TEST_P(TemplateTest, BuildLossIsDifferentiableScalar) {
+  auto tmpl = MakePretrainTemplate(GetParam(), TinyParams(), 2, 19);
+  ASSERT_TRUE(tmpl.ok());
+  ASSERT_TRUE((*tmpl)->Initialize().ok());
+  Rng rng(23);
+  Variable loss = (*tmpl)->BuildLoss(TinyData(8), &rng);
+  EXPECT_EQ(loss.numel(), 1);
+  EXPECT_TRUE(loss.requires_grad());
+  loss.Backward();
+  bool any_grad = false;
+  for (const Variable& param : (*tmpl)->encoder()->Parameters()) {
+    if (param.has_grad() && ops::Norm(param.grad()) > 0.0f) {
+      any_grad = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_grad);
+}
+
+TEST_P(TemplateTest, EncodeMatchesTransform) {
+  auto tmpl = MakePretrainTemplate(GetParam(), TinyParams(), 2, 29);
+  ASSERT_TRUE(tmpl.ok());
+  Tensor x = TinyData(6);
+  ASSERT_TRUE((*tmpl)->Fit(x).ok());
+  Tensor z_transform = (*tmpl)->Transform(x);
+  ag::NoGradGuard no_grad;
+  (*tmpl)->encoder()->SetTraining(false);
+  Variable z_encode = (*tmpl)->Encode(Variable(x));
+  EXPECT_TRUE(ops::AllClose(z_transform, z_encode.data(), 1e-4f, 1e-4f));
+}
+
+TEST_P(TemplateTest, RejectsBadInputs) {
+  auto tmpl = MakePretrainTemplate(GetParam(), TinyParams(), 2, 31);
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_FALSE((*tmpl)->Fit(Tensor::Zeros({4, 8})).ok());       // rank 2
+  EXPECT_FALSE((*tmpl)->Fit(Tensor::Zeros({4, 3, 16})).ok());   // channels
+  EXPECT_FALSE((*tmpl)->Fit(Tensor::Zeros({1, 2, 16})).ok());   // one sample
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, TemplateTest,
+    ::testing::Values("whole_series_contrastive", "subsequence_contrastive",
+                      "timestamp_contrastive", "masked_autoregression",
+                      "hybrid"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(TemplateScheduleTest, CosineScheduleTrains) {
+  ParamSet p = TinyParams();
+  p.SetString("lr_schedule", "cosine");
+  p.SetInt("epochs", 6);
+  WholeSeriesContrastive tmpl(p, 2, 55);
+  ASSERT_TRUE(tmpl.Fit(TinyData()).ok());
+  EXPECT_EQ(tmpl.loss_history().size(), 6u);
+  for (float loss : tmpl.loss_history()) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+TEST(TemplateDeterminismTest, SameSeedSameWeights) {
+  Tensor x = TinyData();
+  auto a = MakePretrainTemplate("whole_series_contrastive", TinyParams(), 2,
+                                777);
+  auto b = MakePretrainTemplate("whole_series_contrastive", TinyParams(), 2,
+                                777);
+  ASSERT_TRUE((*a)->Fit(x).ok());
+  ASSERT_TRUE((*b)->Fit(x).ok());
+  EXPECT_TRUE(ops::AllClose((*a)->Transform(x), (*b)->Transform(x),
+                            0.0f, 0.0f));
+}
+
+TEST(NtXentTest, PerfectAlignmentGivesLowLoss) {
+  Rng rng(5);
+  Tensor z = Tensor::RandNormal({8, 16}, &rng);
+  Variable z1(z, true);
+  Variable z2(z.Clone(), true);
+  Variable aligned = NtXentLoss(z1, z2, 0.1f);
+  // Misaligned pairs: shuffle the second view.
+  Tensor shuffled = ops::GatherRows(z, {4, 5, 6, 7, 0, 1, 2, 3});
+  Variable misaligned = NtXentLoss(Variable(z, true),
+                                   Variable(shuffled, true), 0.1f);
+  EXPECT_LT(aligned.item(), misaligned.item());
+}
+
+TEST(NtXentTest, GradientFlowsToBothViews) {
+  Rng rng(6);
+  Variable z1(Tensor::RandNormal({4, 8}, &rng), true);
+  Variable z2(Tensor::RandNormal({4, 8}, &rng), true);
+  NtXentLoss(z1, z2, 0.2f).Backward();
+  EXPECT_TRUE(z1.has_grad());
+  EXPECT_TRUE(z2.has_grad());
+  EXPECT_GT(ops::Norm(z1.grad()), 0.0f);
+}
+
+TEST(LogSigmoidTest, MatchesReferenceAndIsStable) {
+  Variable x(Tensor::FromVector({5}, {-100.0f, -1.0f, 0.0f, 1.0f, 100.0f}),
+             true);
+  Variable y = LogSigmoid(x);
+  EXPECT_FALSE(ops::HasNonFinite(y.data()));
+  EXPECT_NEAR(y.data()[2], std::log(0.5f), 1e-5);
+  EXPECT_NEAR(y.data()[4], 0.0f, 1e-5);
+  EXPECT_NEAR(y.data()[0], -100.0f, 1e-3);
+  ag::SumAll(y).Backward();
+  // d logsigmoid / dx = sigmoid(-x): 1 at -inf, 0 at +inf, 0.5 at 0.
+  EXPECT_NEAR(x.grad()[0], 1.0f, 1e-4);
+  EXPECT_NEAR(x.grad()[2], 0.5f, 1e-5);
+  EXPECT_NEAR(x.grad()[4], 0.0f, 1e-4);
+}
+
+TEST(MaskedAutoregressionTest, DecoderTrainsAlongside) {
+  ParamSet p = TinyParams();
+  MaskedAutoregression tmpl(p, 2, 41);
+  ASSERT_TRUE(tmpl.Fit(TinyData()).ok());
+  ASSERT_NE(tmpl.decoder(), nullptr);
+  EXPECT_GT(tmpl.decoder()->NumParameters(), 0);
+}
+
+TEST(TransformerBackboneTemplateTest, WorksWithMaskedObjective) {
+  ParamSet p = TinyParams();
+  p.SetString("backbone", "transformer");
+  p.SetInt("num_layers", 1);
+  p.SetInt("num_heads", 2);
+  p.SetInt("epochs", 2);
+  MaskedAutoregression tmpl(p, 2, 43);
+  Tensor x = TinyData(8, 2, 16);
+  ASSERT_TRUE(tmpl.Fit(x).ok());
+  Tensor z = tmpl.Transform(x);
+  EXPECT_EQ(z.shape(), (Shape{8, 12}));
+  EXPECT_FALSE(ops::HasNonFinite(z));
+}
+
+}  // namespace
+}  // namespace units::core

@@ -1,0 +1,135 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace units {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);  // rank-0 scalar
+  EXPECT_EQ(NumElements({5}), 5);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({2, 0, 4}), 0);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, ZerosInitialized) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, OnesAndFull) {
+  Tensor ones = Tensor::Ones({4});
+  Tensor full = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ones[i], 1.0f);
+    EXPECT_EQ(full[i], 2.5f);
+  }
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.At({0, 0}), 1.0f);
+  EXPECT_EQ(t.At({0, 2}), 3.0f);
+  EXPECT_EQ(t.At({1, 0}), 4.0f);
+  EXPECT_EQ(t.At({1, 2}), 6.0f);
+}
+
+TEST(TensorTest, ScalarRankZero) {
+  Tensor s = Tensor::Scalar(3.5f);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s[0], 3.5f);
+}
+
+TEST(TensorTest, ArangeValues) {
+  Tensor t = Tensor::Arange(4, 1.0f, 0.5f);
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[1], 1.5f);
+  EXPECT_EQ(t[3], 2.5f);
+}
+
+TEST(TensorTest, CopySharesStorage) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = a;  // shallow
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 9.0f);
+  EXPECT_TRUE(a.SharesStorageWith(b));
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Ones({3});
+  Tensor b = a.Clone();
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_FALSE(a.SharesStorageWith(b));
+}
+
+TEST(TensorTest, ReshapeSharesStorageAndChecksNumel) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, 2});
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_EQ(b.At({2, 1}), 6.0f);
+  EXPECT_EQ(b.dim(0), 3);
+}
+
+TEST(TensorTest, DimWithNegativeAxis) {
+  Tensor t = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(TensorTest, FillAndCopyDataFrom) {
+  Tensor a = Tensor::Zeros({4});
+  a.Fill(7.0f);
+  EXPECT_EQ(a[2], 7.0f);
+  Tensor b = Tensor::Zeros({4});
+  b.CopyDataFrom(a);
+  EXPECT_EQ(b[3], 7.0f);
+}
+
+TEST(TensorTest, RandNormalStats) {
+  Rng rng(5);
+  Tensor t = Tensor::RandNormal({10000}, &rng, 2.0f, 0.5f);
+  double sum = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+  }
+  EXPECT_NEAR(sum / static_cast<double>(t.numel()), 2.0, 0.05);
+}
+
+TEST(TensorTest, RandUniformBounds) {
+  Rng rng(6);
+  Tensor t = Tensor::RandUniform({1000}, &rng, -1.0f, 1.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, OffsetRowMajor) {
+  Tensor t = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(t.Offset({0, 0, 0}), 0);
+  EXPECT_EQ(t.Offset({0, 0, 3}), 3);
+  EXPECT_EQ(t.Offset({0, 1, 0}), 4);
+  EXPECT_EQ(t.Offset({1, 0, 0}), 12);
+  EXPECT_EQ(t.Offset({1, 2, 3}), 23);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Zeros({100});
+  const std::string s = t.ToString(/*max_per_dim=*/4);
+  EXPECT_NE(s.find("more"), std::string::npos);
+  EXPECT_NE(s.find("Tensor[100]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace units

@@ -1,0 +1,332 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace units::ops {
+namespace {
+
+TEST(BroadcastTest, ShapeRules) {
+  EXPECT_EQ(BroadcastShapes({2, 3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({2, 1, 4}, {3, 1}), (Shape{2, 3, 4}));
+  EXPECT_EQ(BroadcastShapes({}, {5}), (Shape{5}));
+}
+
+TEST(BroadcastTest, ReduceToShapeSumsBroadcastDims) {
+  Tensor g = Tensor::Ones({2, 3});
+  Tensor r = ReduceToShape(g, {3});
+  EXPECT_EQ(r.shape(), (Shape{3}));
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r[i], 2.0f);  // summed over the leading dim of size 2
+  }
+  Tensor r2 = ReduceToShape(g, {2, 1});
+  EXPECT_EQ(r2.shape(), (Shape{2, 1}));
+  EXPECT_EQ(r2[0], 3.0f);
+}
+
+TEST(ElementwiseTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c[0], 11.0f);
+  EXPECT_EQ(c[2], 33.0f);
+}
+
+TEST(ElementwiseTest, BiasBroadcastSuffix) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor c = Add(a, bias);
+  EXPECT_EQ(c.At({0, 0}), 11.0f);
+  EXPECT_EQ(c.At({1, 2}), 36.0f);
+}
+
+TEST(ElementwiseTest, GeneralBroadcast) {
+  Tensor a = Tensor::FromVector({2, 1}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 3}, {10, 20, 30});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_EQ(c.At({0, 0}), 11.0f);
+  EXPECT_EQ(c.At({1, 2}), 32.0f);
+}
+
+TEST(ElementwiseTest, SubMulDiv) {
+  Tensor a = Tensor::FromVector({2}, {6, 8});
+  Tensor b = Tensor::FromVector({2}, {2, 4});
+  EXPECT_EQ(Sub(a, b)[0], 4.0f);
+  EXPECT_EQ(Mul(a, b)[1], 32.0f);
+  EXPECT_EQ(Div(a, b)[1], 2.0f);
+}
+
+TEST(ElementwiseTest, ScalarOps) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  EXPECT_EQ(AddScalar(a, 5)[0], 6.0f);
+  EXPECT_EQ(MulScalar(a, 3)[1], 6.0f);
+  EXPECT_EQ(Neg(a)[0], -1.0f);
+}
+
+TEST(UnaryTest, MathFunctions) {
+  Tensor a = Tensor::FromVector({3}, {0.0f, 1.0f, 4.0f});
+  EXPECT_NEAR(Exp(a)[1], std::exp(1.0f), 1e-5);
+  EXPECT_NEAR(Log(AddScalar(a, 1.0f))[0], 0.0f, 1e-6);
+  EXPECT_EQ(Sqrt(a)[2], 2.0f);
+  EXPECT_EQ(Square(a)[2], 16.0f);
+  Tensor b = Tensor::FromVector({2}, {-2.0f, 3.0f});
+  EXPECT_EQ(Abs(b)[0], 2.0f);
+  EXPECT_EQ(Relu(b)[0], 0.0f);
+  EXPECT_EQ(Relu(b)[1], 3.0f);
+  EXPECT_NEAR(Sigmoid(Tensor::Zeros({1}))[0], 0.5f, 1e-6);
+  EXPECT_NEAR(Tanh(Tensor::Zeros({1}))[0], 0.0f, 1e-6);
+  EXPECT_EQ(Clamp(b, -1.0f, 1.0f)[0], -1.0f);
+  EXPECT_EQ(Clamp(b, -1.0f, 1.0f)[1], 1.0f);
+}
+
+TEST(UnaryTest, GeluLimits) {
+  Tensor x = Tensor::FromVector({3}, {-10.0f, 0.0f, 10.0f});
+  Tensor y = Gelu(x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6);
+  EXPECT_NEAR(y[2], 10.0f, 1e-3);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.At({0, 0}), 58.0f);
+  EXPECT_EQ(c.At({0, 1}), 64.0f);
+  EXPECT_EQ(c.At({1, 0}), 139.0f);
+  EXPECT_EQ(c.At({1, 1}), 154.0f);
+}
+
+TEST(MatMulTest, IdentityPreserves) {
+  Rng rng(3);
+  Tensor a = Tensor::RandNormal({4, 4}, &rng);
+  Tensor eye = Tensor::Zeros({4, 4});
+  for (int i = 0; i < 4; ++i) {
+    eye.At({i, i}) = 1.0f;
+  }
+  EXPECT_TRUE(AllClose(MatMul(a, eye), a));
+}
+
+TEST(BatchedMatMulTest, MatchesPerBatchMatMul) {
+  Rng rng(4);
+  Tensor a = Tensor::RandNormal({3, 2, 5}, &rng);
+  Tensor b = Tensor::RandNormal({3, 5, 4}, &rng);
+  Tensor c = BatchedMatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 2, 4}));
+  for (int64_t bi = 0; bi < 3; ++bi) {
+    Tensor ai = Slice(a, 0, bi, 1).Reshape({2, 5});
+    Tensor bi_t = Slice(b, 0, bi, 1).Reshape({5, 4});
+    Tensor ci = Slice(c, 0, bi, 1).Reshape({2, 4});
+    EXPECT_TRUE(AllClose(ci, MatMul(ai, bi_t)));
+  }
+}
+
+TEST(TransposeTest, TwoD) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.At({0, 1}), 4.0f);
+  EXPECT_EQ(t.At({2, 0}), 3.0f);
+}
+
+TEST(TransposeTest, InnerAxesOf4D) {
+  Rng rng(5);
+  Tensor a = Tensor::RandNormal({2, 3, 4, 5}, &rng);
+  Tensor t = Transpose(a, 1, 2);
+  EXPECT_EQ(t.shape(), (Shape{2, 4, 3, 5}));
+  EXPECT_EQ(t.At({1, 2, 1, 3}), a.At({1, 1, 2, 3}));
+  // Double transpose restores.
+  EXPECT_TRUE(AllClose(Transpose(t, 1, 2), a));
+}
+
+TEST(ReductionTest, SumAllAndMeanAll) {
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  EXPECT_EQ(SumAll(a), 10.0f);
+  EXPECT_EQ(MeanAll(a), 2.5f);
+  EXPECT_EQ(MaxAll(a), 4.0f);
+  EXPECT_EQ(MinAll(a), 1.0f);
+}
+
+TEST(ReductionTest, SumAlongAxis) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = Sum(a, 0);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_EQ(s0[0], 5.0f);
+  EXPECT_EQ(s0[2], 9.0f);
+  Tensor s1 = Sum(a, 1, /*keepdim=*/true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s1[0], 6.0f);
+  EXPECT_EQ(s1[1], 15.0f);
+}
+
+TEST(ReductionTest, MeanAndMaxAlongAxis) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 5, 3, 4, 2, 6});
+  Tensor m = Mean(a, 1);
+  EXPECT_NEAR(m[0], 3.0f, 1e-6);
+  Tensor mx = Max(a, 1);
+  EXPECT_EQ(mx[0], 5.0f);
+  EXPECT_EQ(mx[1], 6.0f);
+}
+
+TEST(ReductionTest, ArgMax) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 5, 3, 6, 2, 4});
+  Tensor arg = ArgMax(a, 1);
+  EXPECT_EQ(arg[0], 1.0f);
+  EXPECT_EQ(arg[1], 0.0f);
+}
+
+TEST(ReductionTest, MaxWithArgReturnsFlatOffsets) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 5, 3, 6, 2, 4});
+  auto [values, args] = MaxWithArg(a, 1);
+  EXPECT_EQ(values[0], 5.0f);
+  EXPECT_EQ(args[0], 1);
+  EXPECT_EQ(args[1], 3);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(6);
+  Tensor a = Tensor::RandNormal({4, 7}, &rng, 0.0f, 3.0f);
+  Tensor s = Softmax(a, 1);
+  for (int64_t i = 0; i < 4; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) {
+      row += s.At({i, j});
+      EXPECT_GT(s.At({i, j}), 0.0f);
+    }
+    EXPECT_NEAR(row, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeInputs) {
+  Tensor a = Tensor::FromVector({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor s = Softmax(a, 1);
+  EXPECT_FALSE(HasNonFinite(s));
+  EXPECT_NEAR(s[0], 1.0f / 3.0f, 1e-5);
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(7);
+  Tensor a = Tensor::RandNormal({3, 5}, &rng);
+  Tensor ls = LogSoftmax(a, 1);
+  Tensor log_s = Log(Softmax(a, 1));
+  EXPECT_TRUE(AllClose(ls, log_s, 1e-4f, 1e-5f));
+}
+
+TEST(ShapeOpsTest, ConcatAxis0And1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c0.At({1, 0}), 3.0f);
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{1, 4}));
+  EXPECT_EQ(c1.At({0, 3}), 4.0f);
+}
+
+TEST(ShapeOpsTest, SliceMiddle) {
+  Tensor a = Tensor::FromVector({5}, {0, 1, 2, 3, 4});
+  Tensor s = Slice(a, 0, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{3}));
+  EXPECT_EQ(s[0], 1.0f);
+  EXPECT_EQ(s[2], 3.0f);
+}
+
+TEST(ShapeOpsTest, SliceInnerAxis) {
+  Tensor a = Tensor::FromVector({2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor s = Slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.At({0, 0}), 1.0f);
+  EXPECT_EQ(s.At({1, 1}), 6.0f);
+}
+
+TEST(ShapeOpsTest, ConcatInvertsSlice) {
+  Rng rng(8);
+  Tensor a = Tensor::RandNormal({3, 6}, &rng);
+  Tensor left = Slice(a, 1, 0, 2);
+  Tensor right = Slice(a, 1, 2, 4);
+  EXPECT_TRUE(AllClose(Concat({left, right}, 1), a));
+}
+
+TEST(ShapeOpsTest, GatherAndScatterRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.shape(), (Shape{3, 2}));
+  EXPECT_EQ(g.At({0, 0}), 5.0f);
+  EXPECT_EQ(g.At({1, 1}), 2.0f);
+  // Scatter-add is the adjoint: repeated rows accumulate.
+  Tensor back = ScatterAddRows(g, {2, 0, 2}, 3);
+  EXPECT_EQ(back.At({0, 0}), 1.0f);
+  EXPECT_EQ(back.At({2, 0}), 10.0f);  // 5 + 5
+  EXPECT_EQ(back.At({1, 0}), 0.0f);
+}
+
+TEST(ShapeOpsTest, StackAddsLeadingAxis) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor s = Stack({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.At({1, 0}), 3.0f);
+}
+
+TEST(Im2ColTest, IdentityKernelRoundTrip) {
+  Rng rng(9);
+  Tensor x = Tensor::RandNormal({2, 3, 8}, &rng);
+  // Kernel 1, no padding: columns are just a reordering of x.
+  Tensor cols = Im2Col1D(x, 1, 1, 0, 0);
+  EXPECT_EQ(cols.shape(), (Shape{3, 16}));
+  Tensor back = Col2Im1D(cols, x.shape(), 1, 1, 0, 0);
+  EXPECT_TRUE(AllClose(back, x));
+}
+
+TEST(Im2ColTest, OutputLengthWithPaddingAndDilation) {
+  Tensor x = Tensor::Zeros({1, 1, 10});
+  // kernel 3 dilation 2: receptive 4; same-pad 2+2 keeps T = 10.
+  Tensor cols = Im2Col1D(x, 3, 2, 2, 2);
+  EXPECT_EQ(cols.shape(), (Shape{3, 10}));
+}
+
+TEST(Im2ColTest, Col2ImIsAdjointOfIm2Col) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> for random x, y: the defining property
+  // of an adjoint pair, which is exactly what conv backward relies on.
+  Rng rng(10);
+  Tensor x = Tensor::RandNormal({2, 2, 7}, &rng);
+  Tensor cols = Im2Col1D(x, 3, 1, 1, 1);
+  Tensor y = Tensor::RandNormal(cols.shape(), &rng);
+  double lhs = 0.0;
+  for (int64_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  Tensor back = Col2Im1D(y, x.shape(), 3, 1, 1, 1);
+  double rhs = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(MiscTest, AllCloseAndNonFinite) {
+  Tensor a = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Tensor b = Tensor::FromVector({2}, {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(AllClose(a, b));
+  Tensor c = Tensor::FromVector({2}, {1.1f, 2.0f});
+  EXPECT_FALSE(AllClose(a, c));
+  Tensor nan = Tensor::FromVector({1}, {std::nanf("")});
+  EXPECT_TRUE(HasNonFinite(nan));
+  EXPECT_FALSE(HasNonFinite(a));
+}
+
+TEST(MiscTest, NormAndDistance) {
+  Tensor a = Tensor::FromVector({2}, {3.0f, 4.0f});
+  EXPECT_NEAR(Norm(a), 5.0f, 1e-6);
+  Tensor b = Tensor::Zeros({2});
+  EXPECT_NEAR(L2Distance(a, b), 5.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace units::ops

@@ -1,0 +1,74 @@
+#include "data/window.h"
+
+#include <gtest/gtest.h>
+
+namespace units::data {
+namespace {
+
+Tensor MakeSeries(int64_t d, int64_t t) {
+  Tensor s = Tensor::Zeros({d, t});
+  for (int64_t c = 0; c < d; ++c) {
+    for (int64_t i = 0; i < t; ++i) {
+      s.At({c, i}) = static_cast<float>(c * 1000 + i);
+    }
+  }
+  return s;
+}
+
+TEST(SlidingWindowTest, CountAndContent) {
+  Tensor s = MakeSeries(2, 10);
+  Tensor w = SlidingWindows(s, 4, 2);
+  EXPECT_EQ(w.shape(), (Shape{4, 2, 4}));  // (10-4)/2+1
+  // Window 1 starts at t=2.
+  EXPECT_EQ(w.At({1, 0, 0}), 2.0f);
+  EXPECT_EQ(w.At({1, 1, 3}), 1005.0f);
+}
+
+TEST(SlidingWindowTest, StrideOneDenseWindows) {
+  Tensor s = MakeSeries(1, 6);
+  Tensor w = SlidingWindows(s, 3, 1);
+  EXPECT_EQ(w.dim(0), 4);
+  EXPECT_EQ(w.At({3, 0, 2}), 5.0f);
+}
+
+TEST(SlidingWindowTest, ExactFitSingleWindow) {
+  Tensor s = MakeSeries(1, 5);
+  Tensor w = SlidingWindows(s, 5, 3);
+  EXPECT_EQ(w.dim(0), 1);
+}
+
+TEST(ForecastWindowTest, InputTargetAdjacency) {
+  Tensor s = MakeSeries(1, 20);
+  auto [x, y] = ForecastWindows(s, 6, 3, 4);
+  EXPECT_EQ(x.shape(), (Shape{3, 1, 6}));
+  EXPECT_EQ(y.shape(), (Shape{3, 1, 3}));
+  // Target of window i starts right after its input.
+  for (int64_t i = 0; i < 3; ++i) {
+    const float last_input = x.At({i, 0, 5});
+    const float first_target = y.At({i, 0, 0});
+    EXPECT_EQ(first_target, last_input + 1.0f);
+  }
+}
+
+TEST(ForecastWindowTest, MultichannelAligned) {
+  Tensor s = MakeSeries(3, 30);
+  auto [x, y] = ForecastWindows(s, 8, 4, 8);
+  EXPECT_EQ(x.dim(1), 3);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_EQ(y.At({0, 2, 0}), 2008.0f);
+}
+
+TEST(LabelWindowTest, TracksSlidingWindows) {
+  Tensor labels = Tensor::Zeros({10});
+  labels[5] = 1.0f;
+  Tensor lw = SlidingLabelWindows(labels, 4, 2);
+  EXPECT_EQ(lw.shape(), (Shape{4, 4}));
+  // Window starting at 2 covers [2,6): includes index 5.
+  EXPECT_EQ(lw.At({1, 3}), 1.0f);
+  EXPECT_EQ(lw.At({0, 0}), 0.0f);
+  // Window starting at 4 covers [4,8).
+  EXPECT_EQ(lw.At({2, 1}), 1.0f);
+}
+
+}  // namespace
+}  // namespace units::data

@@ -1,0 +1,337 @@
+// units_cli — command-line front end for the UniTS pipeline, the
+// reproduction's stand-in for the paper's web GUI (Figure 2b): the same
+// pre-train / fine-tune / predict workflow, driven without writing code.
+//
+//   units_cli list
+//   units_cli pretrain --data series.csv --format long --window 96
+//             --templates whole_series_contrastive,masked_autoregression
+//             --out model.json [--set epochs=20] ...
+//   units_cli finetune --model model.json --data labeled.csv --format ucr
+//             --task classification --out fitted.json [--set epochs=10]
+//   units_cli predict  --model fitted.json --data test.csv --format ucr
+//             [--out predictions.csv]
+//   units_cli info     --model fitted.json
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+#include "core/pipeline.h"
+#include "core/registry.h"
+#include "data/csv.h"
+#include "data/window.h"
+#include "json/json.h"
+
+namespace units::cli {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;     // --name value
+  std::vector<std::string> set_params;          // --set k=v (repeatable)
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (!StartsWith(flag, "--")) {
+      continue;
+    }
+    flag = flag.substr(2);
+    std::string value;
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      value = argv[++i];
+    }
+    if (flag == "set") {
+      args.set_params.push_back(value);
+    } else {
+      args.flags[flag] = value;
+    }
+  }
+  return args;
+}
+
+std::string FlagOr(const Args& args, const std::string& name,
+                   const std::string& fallback) {
+  auto it = args.flags.find(name);
+  return it == args.flags.end() ? fallback : it->second;
+}
+
+Status RequireFlag(const Args& args, const std::string& name) {
+  if (args.flags.count(name) == 0 || args.flags.at(name).empty()) {
+    return Status::InvalidArgument("missing required flag --" + name);
+  }
+  return Status::Ok();
+}
+
+/// Parses repeated --set k=v pairs, inferring int / double / string.
+Result<hpo::ParamSet> ParseSetParams(const Args& args) {
+  hpo::ParamSet params;
+  for (const std::string& kv : args.set_params) {
+    const auto parts = StrSplit(kv, '=');
+    if (parts.size() != 2 || parts[0].empty()) {
+      return Status::InvalidArgument("--set expects key=value, got " + kv);
+    }
+    const std::string& key = parts[0];
+    const std::string& value = parts[1];
+    char* end = nullptr;
+    const long long as_int = std::strtoll(value.c_str(), &end, 10);
+    if (end != value.c_str() && *end == '\0') {
+      params.SetInt(key, as_int);
+      continue;
+    }
+    const double as_double = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() && *end == '\0') {
+      params.SetDouble(key, as_double);
+      continue;
+    }
+    params.SetString(key, value);
+  }
+  return params;
+}
+
+/// Loads a dataset according to --format: "ucr" (label, v1..vT rows) or
+/// "long" (rows = timesteps, columns = channels; sliced into windows).
+Result<data::TimeSeriesDataset> LoadData(const Args& args) {
+  UNITS_RETURN_IF_ERROR(RequireFlag(args, "data"));
+  const std::string path = args.flags.at("data");
+  const std::string format = FlagOr(args, "format", "ucr");
+  if (format == "ucr") {
+    return data::LoadUcrStyleCsv(path);
+  }
+  if (format == "long") {
+    UNITS_ASSIGN_OR_RETURN(Tensor series,
+                           data::LoadCsvSeries(path, /*has_header=*/
+                                               FlagOr(args, "header", "0") ==
+                                                   "1"));
+    const int64_t window = std::stoll(FlagOr(args, "window", "96"));
+    const int64_t stride = std::stoll(FlagOr(args, "stride",
+                                             std::to_string(window / 2)));
+    return data::TimeSeriesDataset(
+        data::SlidingWindows(series, window, stride));
+  }
+  return Status::InvalidArgument("unknown --format " + format +
+                                 " (use ucr|long)");
+}
+
+int CmdList() {
+  std::printf("pre-training templates:\n");
+  for (const auto& name : core::RegisteredPretrainTemplates()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("fusion methods:\n");
+  for (const auto& name : core::RegisteredFusions()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("analysis tasks:\n");
+  for (const auto& name : core::RegisteredTasks()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+Status CmdPretrain(const Args& args) {
+  UNITS_RETURN_IF_ERROR(RequireFlag(args, "out"));
+  UNITS_ASSIGN_OR_RETURN(data::TimeSeriesDataset dataset, LoadData(args));
+  UNITS_ASSIGN_OR_RETURN(hpo::ParamSet params, ParseSetParams(args));
+
+  core::UnitsPipeline::Config config;
+  config.templates.clear();
+  for (const std::string& name :
+       StrSplit(FlagOr(args, "templates", "whole_series_contrastive"),
+                ',')) {
+    if (!name.empty()) {
+      config.templates.push_back(name);
+    }
+  }
+  config.fusion = FlagOr(args, "fusion", "concat");
+  config.task = FlagOr(args, "task", "");
+  config.mode = core::ConfigMode::kManual;
+  config.pretrain_params = params;
+  config.seed = std::stoull(FlagOr(args, "seed", "42"));
+
+  UNITS_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::UnitsPipeline> pipeline,
+      core::UnitsPipeline::Create(config, dataset.num_channels()));
+  std::printf("pre-training on %s\n", dataset.Description().c_str());
+  UNITS_RETURN_IF_ERROR(pipeline->Pretrain(dataset.values()));
+  const auto curves = pipeline->PretrainLossCurves();
+  for (size_t m = 0; m < curves.size(); ++m) {
+    std::printf("template %zu (%s): loss %.4f -> %.4f over %zu epochs\n", m,
+                config.templates[m].c_str(), curves[m].front(),
+                curves[m].back(), curves[m].size());
+  }
+  UNITS_RETURN_IF_ERROR(pipeline->SaveJson(args.flags.at("out")));
+  std::printf("saved %s\n", args.flags.at("out").c_str());
+  return Status::Ok();
+}
+
+Status CmdFinetune(const Args& args) {
+  UNITS_RETURN_IF_ERROR(RequireFlag(args, "model"));
+  UNITS_RETURN_IF_ERROR(RequireFlag(args, "out"));
+  UNITS_ASSIGN_OR_RETURN(data::TimeSeriesDataset dataset, LoadData(args));
+  UNITS_ASSIGN_OR_RETURN(hpo::ParamSet params, ParseSetParams(args));
+
+  UNITS_ASSIGN_OR_RETURN(std::unique_ptr<core::UnitsPipeline> pipeline,
+                         core::UnitsPipeline::LoadJson(
+                             args.flags.at("model")));
+  const std::string task = FlagOr(args, "task", "");
+  if (!task.empty()) {
+    hpo::ParamSet task_params =
+        pipeline->finetune_params().MergedWith(params);
+    if (dataset.has_labels()) {
+      task_params.SetInt("num_classes", dataset.NumClasses());
+      task_params.SetInt("num_clusters", dataset.NumClasses());
+    }
+    UNITS_ASSIGN_OR_RETURN(std::unique_ptr<core::AnalysisTask> task_obj,
+                           core::MakeTask(task, task_params));
+    pipeline->SetTask(std::move(task_obj));
+  }
+  pipeline->SetFineTuneParams(
+      pipeline->finetune_params().MergedWith(params));
+  std::printf("fine-tuning on %s\n", dataset.Description().c_str());
+  UNITS_RETURN_IF_ERROR(pipeline->FineTune(dataset));
+  if (pipeline->task() != nullptr &&
+      !pipeline->task()->loss_history().empty()) {
+    const auto& history = pipeline->task()->loss_history();
+    std::printf("fine-tune loss %.4f -> %.4f over %zu epochs\n",
+                history.front(), history.back(), history.size());
+  }
+  UNITS_RETURN_IF_ERROR(pipeline->SaveJson(args.flags.at("out")));
+  std::printf("saved %s\n", args.flags.at("out").c_str());
+  return Status::Ok();
+}
+
+Status CmdPredict(const Args& args) {
+  UNITS_RETURN_IF_ERROR(RequireFlag(args, "model"));
+  UNITS_ASSIGN_OR_RETURN(data::TimeSeriesDataset dataset, LoadData(args));
+  UNITS_ASSIGN_OR_RETURN(std::unique_ptr<core::UnitsPipeline> pipeline,
+                         core::UnitsPipeline::LoadJson(
+                             args.flags.at("model")));
+  UNITS_ASSIGN_OR_RETURN(core::TaskResult result,
+                         pipeline->Predict(dataset.values()));
+
+  const std::string out = FlagOr(args, "out", "");
+  std::ofstream file;
+  if (!out.empty()) {
+    file.open(out);
+    if (!file) {
+      return Status::IoError("cannot open " + out);
+    }
+  }
+  auto emit = [&](const std::string& line) {
+    if (!out.empty()) {
+      file << line << "\n";
+    } else {
+      std::printf("%s\n", line.c_str());
+    }
+  };
+  if (!result.labels.empty()) {
+    emit("index,label");
+    for (size_t i = 0; i < result.labels.size(); ++i) {
+      emit(StrCat(i, ",", result.labels[i]));
+    }
+  } else if (result.predictions.numel() > 0) {
+    emit("index,values...");
+    const int64_t n = result.predictions.dim(0);
+    const int64_t per_row = result.predictions.numel() / n;
+    for (int64_t i = 0; i < n; ++i) {
+      std::string line = std::to_string(i);
+      for (int64_t j = 0; j < per_row; ++j) {
+        line += StrCat(",", result.predictions[i * per_row + j]);
+      }
+      emit(line);
+    }
+  }
+  if (!out.empty()) {
+    std::printf("wrote predictions to %s\n", out.c_str());
+  }
+  return Status::Ok();
+}
+
+Status CmdInfo(const Args& args) {
+  UNITS_RETURN_IF_ERROR(RequireFlag(args, "model"));
+  UNITS_ASSIGN_OR_RETURN(json::JsonValue model,
+                         json::ParseFile(args.flags.at("model")));
+  if (!model.is_object() || !model.Contains("config")) {
+    return Status::InvalidArgument("not a units-pipeline file");
+  }
+  const json::JsonValue& config = model.at("config");
+  std::printf("format:   %s (version %lld)\n",
+              model.at("format").AsString().c_str(),
+              static_cast<long long>(model.at("version").AsInt()));
+  std::printf("templates:");
+  for (size_t i = 0; i < config.at("templates").size(); ++i) {
+    std::printf(" %s", config.at("templates")[i].AsString().c_str());
+  }
+  std::printf("\nfusion:   %s\n", config.at("fusion").AsString().c_str());
+  std::printf("task:     %s\n", config.at("task").AsString().c_str());
+  std::printf("channels: %lld\n",
+              static_cast<long long>(config.at("input_channels").AsInt()));
+  std::printf("pretrained: %s\n",
+              model.at("pretrained").AsBool() ? "yes" : "no");
+  std::printf("task state: %s\n",
+              model.Contains("task_state") ? "fitted" : "absent");
+  // Parameter count across encoders.
+  int64_t total_params = 0;
+  const json::JsonValue& encoders = model.at("encoders");
+  for (size_t e = 0; e < encoders.size(); ++e) {
+    for (const auto& [name, tensor] : encoders[e].items()) {
+      total_params += static_cast<int64_t>(tensor.at("data").size());
+    }
+  }
+  std::printf("encoder parameters: %lld\n",
+              static_cast<long long>(total_params));
+  return Status::Ok();
+}
+
+int Usage() {
+  std::printf(
+      "usage: units_cli <command> [flags]\n"
+      "commands:\n"
+      "  list                                  show registered components\n"
+      "  pretrain --data F --out M [--format ucr|long] [--window W]\n"
+      "           [--templates a,b] [--fusion f] [--task t] [--set k=v]\n"
+      "  finetune --model M --data F --task t --out M2 [--set k=v]\n"
+      "  predict  --model M --data F [--out pred.csv]\n"
+      "  info     --model M\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  const Args args = ParseArgs(argc, argv);
+  Status status;
+  if (args.command == "list") {
+    return CmdList();
+  } else if (args.command == "pretrain") {
+    status = CmdPretrain(args);
+  } else if (args.command == "finetune") {
+    status = CmdFinetune(args);
+  } else if (args.command == "predict") {
+    status = CmdPredict(args);
+  } else if (args.command == "info") {
+    status = CmdInfo(args);
+  } else {
+    return Usage();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace units::cli
+
+int main(int argc, char** argv) { return units::cli::Main(argc, argv); }
