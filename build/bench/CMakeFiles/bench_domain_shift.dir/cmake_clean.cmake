@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domain_shift.dir/bench_domain_shift.cc.o"
+  "CMakeFiles/bench_domain_shift.dir/bench_domain_shift.cc.o.d"
+  "bench_domain_shift"
+  "bench_domain_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forecasting.dir/bench_forecasting.cc.o"
+  "CMakeFiles/bench_forecasting.dir/bench_forecasting.cc.o.d"
+  "bench_forecasting"
+  "bench_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

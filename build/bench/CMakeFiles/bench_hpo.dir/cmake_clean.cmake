@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpo.dir/bench_hpo.cc.o"
+  "CMakeFiles/bench_hpo.dir/bench_hpo.cc.o.d"
+  "bench_hpo"
+  "bench_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imputation.dir/bench_imputation.cc.o"
+  "CMakeFiles/bench_imputation.dir/bench_imputation.cc.o.d"
+  "bench_imputation"
+  "bench_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

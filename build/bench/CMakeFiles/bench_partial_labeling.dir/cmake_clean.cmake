@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_labeling.dir/bench_partial_labeling.cc.o"
+  "CMakeFiles/bench_partial_labeling.dir/bench_partial_labeling.cc.o.d"
+  "bench_partial_labeling"
+  "bench_partial_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/har_classification.dir/har_classification.cpp.o"
+  "CMakeFiles/har_classification.dir/har_classification.cpp.o.d"
+  "har_classification"
+  "har_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/har_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_monitoring_anomaly.dir/server_monitoring_anomaly.cpp.o"
+  "CMakeFiles/server_monitoring_anomaly.dir/server_monitoring_anomaly.cpp.o.d"
+  "server_monitoring_anomaly"
+  "server_monitoring_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_monitoring_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

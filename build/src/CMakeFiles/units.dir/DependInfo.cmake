@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/augment.cc" "src/CMakeFiles/units.dir/augment/augment.cc.o" "gcc" "src/CMakeFiles/units.dir/augment/augment.cc.o.d"
+  "/root/repo/src/autograd/grad_check.cc" "src/CMakeFiles/units.dir/autograd/grad_check.cc.o" "gcc" "src/CMakeFiles/units.dir/autograd/grad_check.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/units.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/units.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/units.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/units.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/units.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/units.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/units.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/units.dir/base/rng.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/units.dir/base/status.cc.o" "gcc" "src/CMakeFiles/units.dir/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/units.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/units.dir/base/string_util.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/units.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/units.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/units.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/units.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/encoder_factory.cc" "src/CMakeFiles/units.dir/core/encoder_factory.cc.o" "gcc" "src/CMakeFiles/units.dir/core/encoder_factory.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/units.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/units.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/evaluate.cc" "src/CMakeFiles/units.dir/core/evaluate.cc.o" "gcc" "src/CMakeFiles/units.dir/core/evaluate.cc.o.d"
+  "/root/repo/src/core/fusion.cc" "src/CMakeFiles/units.dir/core/fusion.cc.o" "gcc" "src/CMakeFiles/units.dir/core/fusion.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/units.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/units.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/pretrain/hybrid.cc" "src/CMakeFiles/units.dir/core/pretrain/hybrid.cc.o" "gcc" "src/CMakeFiles/units.dir/core/pretrain/hybrid.cc.o.d"
+  "/root/repo/src/core/pretrain/masked_autoregression.cc" "src/CMakeFiles/units.dir/core/pretrain/masked_autoregression.cc.o" "gcc" "src/CMakeFiles/units.dir/core/pretrain/masked_autoregression.cc.o.d"
+  "/root/repo/src/core/pretrain/pretrain_base.cc" "src/CMakeFiles/units.dir/core/pretrain/pretrain_base.cc.o" "gcc" "src/CMakeFiles/units.dir/core/pretrain/pretrain_base.cc.o.d"
+  "/root/repo/src/core/pretrain/subsequence_contrastive.cc" "src/CMakeFiles/units.dir/core/pretrain/subsequence_contrastive.cc.o" "gcc" "src/CMakeFiles/units.dir/core/pretrain/subsequence_contrastive.cc.o.d"
+  "/root/repo/src/core/pretrain/timestamp_contrastive.cc" "src/CMakeFiles/units.dir/core/pretrain/timestamp_contrastive.cc.o" "gcc" "src/CMakeFiles/units.dir/core/pretrain/timestamp_contrastive.cc.o.d"
+  "/root/repo/src/core/pretrain/whole_series_contrastive.cc" "src/CMakeFiles/units.dir/core/pretrain/whole_series_contrastive.cc.o" "gcc" "src/CMakeFiles/units.dir/core/pretrain/whole_series_contrastive.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/units.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/units.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/units.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/units.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/tasks/anomaly.cc" "src/CMakeFiles/units.dir/core/tasks/anomaly.cc.o" "gcc" "src/CMakeFiles/units.dir/core/tasks/anomaly.cc.o.d"
+  "/root/repo/src/core/tasks/classification.cc" "src/CMakeFiles/units.dir/core/tasks/classification.cc.o" "gcc" "src/CMakeFiles/units.dir/core/tasks/classification.cc.o.d"
+  "/root/repo/src/core/tasks/clustering.cc" "src/CMakeFiles/units.dir/core/tasks/clustering.cc.o" "gcc" "src/CMakeFiles/units.dir/core/tasks/clustering.cc.o.d"
+  "/root/repo/src/core/tasks/forecasting.cc" "src/CMakeFiles/units.dir/core/tasks/forecasting.cc.o" "gcc" "src/CMakeFiles/units.dir/core/tasks/forecasting.cc.o.d"
+  "/root/repo/src/core/tasks/imputation.cc" "src/CMakeFiles/units.dir/core/tasks/imputation.cc.o" "gcc" "src/CMakeFiles/units.dir/core/tasks/imputation.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/units.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/units.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataloader.cc" "src/CMakeFiles/units.dir/data/dataloader.cc.o" "gcc" "src/CMakeFiles/units.dir/data/dataloader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/units.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/units.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/normalize.cc" "src/CMakeFiles/units.dir/data/normalize.cc.o" "gcc" "src/CMakeFiles/units.dir/data/normalize.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/units.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/units.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/window.cc" "src/CMakeFiles/units.dir/data/window.cc.o" "gcc" "src/CMakeFiles/units.dir/data/window.cc.o.d"
+  "/root/repo/src/hpo/bayes_opt.cc" "src/CMakeFiles/units.dir/hpo/bayes_opt.cc.o" "gcc" "src/CMakeFiles/units.dir/hpo/bayes_opt.cc.o.d"
+  "/root/repo/src/hpo/gp.cc" "src/CMakeFiles/units.dir/hpo/gp.cc.o" "gcc" "src/CMakeFiles/units.dir/hpo/gp.cc.o.d"
+  "/root/repo/src/hpo/param_space.cc" "src/CMakeFiles/units.dir/hpo/param_space.cc.o" "gcc" "src/CMakeFiles/units.dir/hpo/param_space.cc.o.d"
+  "/root/repo/src/hpo/random_search.cc" "src/CMakeFiles/units.dir/hpo/random_search.cc.o" "gcc" "src/CMakeFiles/units.dir/hpo/random_search.cc.o.d"
+  "/root/repo/src/json/json.cc" "src/CMakeFiles/units.dir/json/json.cc.o" "gcc" "src/CMakeFiles/units.dir/json/json.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/units.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/units.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/units.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/units.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/CMakeFiles/units.dir/nn/conv1d.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/conv1d.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/units.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/CMakeFiles/units.dir/nn/gru.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/gru.cc.o.d"
+  "/root/repo/src/nn/heads.cc" "src/CMakeFiles/units.dir/nn/heads.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/heads.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/units.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/units.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/CMakeFiles/units.dir/nn/norm.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/norm.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/units.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/nn/tcn.cc" "src/CMakeFiles/units.dir/nn/tcn.cc.o" "gcc" "src/CMakeFiles/units.dir/nn/tcn.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/units.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/units.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/optim/schedule.cc" "src/CMakeFiles/units.dir/optim/schedule.cc.o" "gcc" "src/CMakeFiles/units.dir/optim/schedule.cc.o.d"
+  "/root/repo/src/tensor/fft.cc" "src/CMakeFiles/units.dir/tensor/fft.cc.o" "gcc" "src/CMakeFiles/units.dir/tensor/fft.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/units.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/units.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/units.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/units.dir/tensor/tensor_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

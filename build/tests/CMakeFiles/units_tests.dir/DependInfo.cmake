@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attention.cc" "tests/CMakeFiles/units_tests.dir/test_attention.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_attention.cc.o.d"
+  "/root/repo/tests/test_augment.cc" "tests/CMakeFiles/units_tests.dir/test_augment.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_augment.cc.o.d"
+  "/root/repo/tests/test_autograd.cc" "tests/CMakeFiles/units_tests.dir/test_autograd.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_autograd.cc.o.d"
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/units_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_contracts.cc" "tests/CMakeFiles/units_tests.dir/test_contracts.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_contracts.cc.o.d"
+  "/root/repo/tests/test_conv_reference.cc" "tests/CMakeFiles/units_tests.dir/test_conv_reference.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_conv_reference.cc.o.d"
+  "/root/repo/tests/test_csv.cc" "tests/CMakeFiles/units_tests.dir/test_csv.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_csv.cc.o.d"
+  "/root/repo/tests/test_dataloader.cc" "tests/CMakeFiles/units_tests.dir/test_dataloader.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_dataloader.cc.o.d"
+  "/root/repo/tests/test_dataset.cc" "tests/CMakeFiles/units_tests.dir/test_dataset.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_dataset.cc.o.d"
+  "/root/repo/tests/test_evaluate.cc" "tests/CMakeFiles/units_tests.dir/test_evaluate.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_evaluate.cc.o.d"
+  "/root/repo/tests/test_fft.cc" "tests/CMakeFiles/units_tests.dir/test_fft.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_fft.cc.o.d"
+  "/root/repo/tests/test_fusion.cc" "tests/CMakeFiles/units_tests.dir/test_fusion.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_fusion.cc.o.d"
+  "/root/repo/tests/test_grad_check.cc" "tests/CMakeFiles/units_tests.dir/test_grad_check.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_grad_check.cc.o.d"
+  "/root/repo/tests/test_gru.cc" "tests/CMakeFiles/units_tests.dir/test_gru.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_gru.cc.o.d"
+  "/root/repo/tests/test_hpo.cc" "tests/CMakeFiles/units_tests.dir/test_hpo.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_hpo.cc.o.d"
+  "/root/repo/tests/test_json.cc" "tests/CMakeFiles/units_tests.dir/test_json.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_json.cc.o.d"
+  "/root/repo/tests/test_kmeans.cc" "tests/CMakeFiles/units_tests.dir/test_kmeans.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_kmeans.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/units_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/units_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_nn.cc" "tests/CMakeFiles/units_tests.dir/test_nn.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_nn.cc.o.d"
+  "/root/repo/tests/test_normalize.cc" "tests/CMakeFiles/units_tests.dir/test_normalize.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_normalize.cc.o.d"
+  "/root/repo/tests/test_optim.cc" "tests/CMakeFiles/units_tests.dir/test_optim.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_optim.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/units_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_registry.cc" "tests/CMakeFiles/units_tests.dir/test_registry.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_registry.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/units_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/units_tests.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_status.cc" "tests/CMakeFiles/units_tests.dir/test_status.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_status.cc.o.d"
+  "/root/repo/tests/test_string_util.cc" "tests/CMakeFiles/units_tests.dir/test_string_util.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_string_util.cc.o.d"
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/units_tests.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_synthetic.cc.o.d"
+  "/root/repo/tests/test_tasks.cc" "tests/CMakeFiles/units_tests.dir/test_tasks.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_tasks.cc.o.d"
+  "/root/repo/tests/test_templates.cc" "tests/CMakeFiles/units_tests.dir/test_templates.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_templates.cc.o.d"
+  "/root/repo/tests/test_tensor.cc" "tests/CMakeFiles/units_tests.dir/test_tensor.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_tensor.cc.o.d"
+  "/root/repo/tests/test_tensor_ops.cc" "tests/CMakeFiles/units_tests.dir/test_tensor_ops.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_tensor_ops.cc.o.d"
+  "/root/repo/tests/test_window.cc" "tests/CMakeFiles/units_tests.dir/test_window.cc.o" "gcc" "tests/CMakeFiles/units_tests.dir/test_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

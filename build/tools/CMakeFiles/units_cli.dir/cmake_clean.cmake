@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/units_cli.dir/units_cli.cc.o"
+  "CMakeFiles/units_cli.dir/units_cli.cc.o.d"
+  "units_cli"
+  "units_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/units_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
