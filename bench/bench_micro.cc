@@ -1,12 +1,31 @@
 // Substrate micro-benchmarks (google-benchmark): throughput of the tensor
 // kernels, autograd, encoders, FFT, and k-means that every experiment sits
 // on. Not a paper figure; supports performance regressions.
+//
+// After the google-benchmark suite runs, a serial-vs-parallel scaling
+// harness times the thread-pool hot paths at 1 thread and at the
+// configured thread count, checks the outputs are bitwise identical, and
+// writes a machine-readable BENCH_tensor.json so subsequent PRs can track
+// the perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "autograd/ops.h"
+#include "base/parallel.h"
 #include "base/rng.h"
 #include "cluster/kmeans.h"
+#include "json/json.h"
 #include "nn/attention.h"
 #include "nn/tcn.h"
 #include "tensor/fft.h"
@@ -155,5 +174,153 @@ void BM_NtXentStyleLoss(benchmark::State& state) {
 }
 BENCHMARK(BM_NtXentStyleLoss);
 
+// --- serial-vs-parallel scaling report ------------------------------------
+
+/// One timed kernel: returns its output flattened to floats so runs at
+/// different thread counts can be compared bitwise.
+struct ScalingCase {
+  std::string name;
+  std::function<std::vector<float>()> run;
+};
+
+std::vector<float> Flatten(const Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.numel());
+}
+
+std::vector<ScalingCase> MakeScalingCases() {
+  std::vector<ScalingCase> cases;
+
+  {
+    Rng rng(101);
+    auto a = std::make_shared<Tensor>(Tensor::RandNormal({512, 512}, &rng));
+    auto b = std::make_shared<Tensor>(Tensor::RandNormal({512, 512}, &rng));
+    cases.push_back({"matmul_512x512x512",
+                     [a, b] { return Flatten(ops::MatMul(*a, *b)); }});
+  }
+  {
+    Rng rng(102);
+    auto a = std::make_shared<Tensor>(Tensor::RandNormal({16, 128, 128}, &rng));
+    auto b = std::make_shared<Tensor>(Tensor::RandNormal({16, 128, 128}, &rng));
+    cases.push_back({"batched_matmul_16x128x128",
+                     [a, b] { return Flatten(ops::BatchedMatMul(*a, *b)); }});
+  }
+  {
+    Rng rng(103);
+    auto a = std::make_shared<Tensor>(Tensor::RandNormal({1 << 20}, &rng));
+    auto b = std::make_shared<Tensor>(Tensor::RandNormal({1 << 20}, &rng));
+    cases.push_back(
+        {"elementwise_add_1m", [a, b] { return Flatten(ops::Add(*a, *b)); }});
+    cases.push_back(
+        {"elementwise_gelu_1m", [a] { return Flatten(ops::Gelu(*a)); }});
+    cases.push_back({"reduce_sum_all_1m", [a] {
+                       return std::vector<float>{ops::SumAll(*a)};
+                     }});
+  }
+  {
+    Rng rng(104);
+    auto x = std::make_shared<ag::Variable>(
+        Tensor::RandNormal({32, 32, 256}, &rng));
+    auto w =
+        std::make_shared<ag::Variable>(Tensor::RandNormal({32, 32, 3}, &rng));
+    auto bias = std::make_shared<ag::Variable>(Tensor::RandNormal({32}, &rng));
+    cases.push_back({"conv1d_fwd_32x32x256_k3", [x, w, bias] {
+                       ag::NoGradGuard no_grad;
+                       return Flatten(
+                           ag::Conv1d(*x, *w, *bias, 1, 1, 1).data());
+                     }});
+  }
+  {
+    Rng rng(105);
+    auto points =
+        std::make_shared<Tensor>(Tensor::RandNormal({8192, 64}, &rng));
+    auto centroids =
+        std::make_shared<Tensor>(Tensor::RandNormal({16, 64}, &rng));
+    cases.push_back({"kmeans_assign_8192x64_k16", [points, centroids] {
+                       const auto assign =
+                           cluster::AssignToCentroids(*points, *centroids);
+                       std::vector<float> out(assign.size());
+                       for (size_t i = 0; i < assign.size(); ++i) {
+                         out[i] = static_cast<float>(assign[i]);
+                       }
+                       return out;
+                     }});
+  }
+  return cases;
+}
+
+/// Best-of-3 wall time in milliseconds (first call additionally warms up).
+double TimeMs(const std::function<std::vector<float>()>& fn) {
+  fn();
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fn());
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+void WriteParallelScalingReport(const std::string& path) {
+  const int parallel_threads =
+      std::max(2, base::ThreadPool::DefaultNumThreads());
+
+  json::JsonValue results = json::JsonValue::Array();
+  for (const ScalingCase& c : MakeScalingCases()) {
+    base::SetNumThreads(1);
+    const std::vector<float> serial_out = c.run();
+    const double serial_ms = TimeMs(c.run);
+
+    base::SetNumThreads(parallel_threads);
+    const std::vector<float> parallel_out = c.run();
+    const double parallel_ms = TimeMs(c.run);
+
+    const bool bitwise =
+        serial_out.size() == parallel_out.size() &&
+        std::memcmp(serial_out.data(), parallel_out.data(),
+                    serial_out.size() * sizeof(float)) == 0;
+
+    json::JsonValue row = json::JsonValue::Object();
+    row.Set("name", json::JsonValue::String(c.name));
+    row.Set("serial_ms", json::JsonValue::Number(serial_ms));
+    row.Set("parallel_ms", json::JsonValue::Number(parallel_ms));
+    row.Set("speedup", json::JsonValue::Number(serial_ms / parallel_ms));
+    row.Set("bitwise_equal", json::JsonValue::Bool(bitwise));
+    results.Append(std::move(row));
+
+    std::printf("scaling,%s,serial_ms=%.3f,parallel_ms=%.3f,speedup=%.2f,"
+                "bitwise_equal=%d\n",
+                c.name.c_str(), serial_ms, parallel_ms,
+                serial_ms / parallel_ms, bitwise ? 1 : 0);
+  }
+  base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+
+  json::JsonValue doc = json::JsonValue::Object();
+  doc.Set("bench", json::JsonValue::String("tensor_parallel"));
+  doc.Set("schema_version", json::JsonValue::Int(1));
+  doc.Set("hardware_concurrency",
+          json::JsonValue::Int(static_cast<int64_t>(
+              std::thread::hardware_concurrency())));
+  doc.Set("parallel_threads",
+          json::JsonValue::Int(static_cast<int64_t>(parallel_threads)));
+  doc.Set("results", std::move(results));
+
+  std::ofstream out(path);
+  out << doc.Dump(2) << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace units
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  units::WriteParallelScalingReport("BENCH_tensor.json");
+  return 0;
+}

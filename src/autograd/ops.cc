@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::autograd {
@@ -420,13 +421,18 @@ Tensor UnpackConvOutput(const Tensor& out2, int64_t n, int64_t c_out,
   Tensor out = Tensor::Zeros({n, c_out, t_out});
   const float* p2 = out2.data();
   float* po = out.data();
-  for (int64_t co = 0; co < c_out; ++co) {
-    for (int64_t ni = 0; ni < n; ++ni) {
-      const float* src = p2 + co * (n * t_out) + ni * t_out;
-      float* dst = po + (ni * c_out + co) * t_out;
-      std::copy(src, src + t_out, dst);
-    }
-  }
+  // Parallel over output channels; channels write disjoint [ni, co] rows.
+  base::ParallelFor(
+      0, c_out, std::max<int64_t>(1, 16384 / std::max<int64_t>(1, n * t_out)),
+      [&](int64_t co0, int64_t co1) {
+        for (int64_t co = co0; co < co1; ++co) {
+          for (int64_t ni = 0; ni < n; ++ni) {
+            const float* src = p2 + co * (n * t_out) + ni * t_out;
+            float* dst = po + (ni * c_out + co) * t_out;
+            std::copy(src, src + t_out, dst);
+          }
+        }
+      });
   return out;
 }
 
@@ -435,13 +441,17 @@ Tensor PackConvGrad(const Tensor& g, int64_t n, int64_t c_out, int64_t t_out) {
   Tensor g2 = Tensor::Zeros({c_out, n * t_out});
   const float* pg = g.data();
   float* p2 = g2.data();
-  for (int64_t ni = 0; ni < n; ++ni) {
-    for (int64_t co = 0; co < c_out; ++co) {
-      const float* src = pg + (ni * c_out + co) * t_out;
-      float* dst = p2 + co * (n * t_out) + ni * t_out;
-      std::copy(src, src + t_out, dst);
-    }
-  }
+  base::ParallelFor(
+      0, c_out, std::max<int64_t>(1, 16384 / std::max<int64_t>(1, n * t_out)),
+      [&](int64_t co0, int64_t co1) {
+        for (int64_t ni = 0; ni < n; ++ni) {
+          for (int64_t co = co0; co < co1; ++co) {
+            const float* src = pg + (ni * c_out + co) * t_out;
+            float* dst = p2 + co * (n * t_out) + ni * t_out;
+            std::copy(src, src + t_out, dst);
+          }
+        }
+      });
   return g2;
 }
 

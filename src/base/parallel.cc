@@ -1,0 +1,235 @@
+#include "base/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace units::base {
+
+namespace {
+
+/// Set while a thread is executing pool tasks; nested Run calls from such
+/// a thread execute inline instead of re-entering the queue.
+thread_local bool tls_in_task = false;
+
+/// Chunk size as a pure function of (range, grain): at least `grain`, and
+/// large enough that no range produces more than kMaxChunks chunks. Thread
+/// count never enters the formula, which is what makes per-chunk results
+/// reproducible across pool sizes.
+constexpr int64_t kMaxChunks = 256;
+
+int64_t ChunkSize(int64_t range, int64_t grain) {
+  const int64_t even = (range + kMaxChunks - 1) / kMaxChunks;
+  return std::max<int64_t>({int64_t{1}, grain, even});
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return shutdown || !queue.empty(); });
+        if (queue.empty()) {
+          return;  // shutdown requested and queue drained
+        }
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      tls_in_task = true;
+      task();
+      tls_in_task = false;
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : impl_(new Impl), size_(std::max(1, num_threads)) {
+  impl_->workers.reserve(static_cast<size_t>(size_ - 1));
+  for (int i = 0; i < size_ - 1; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& t : impl_->workers) {
+    t.join();
+  }
+  delete impl_;
+}
+
+void ThreadPool::Run(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (n == 1 || impl_->workers.empty() || tls_in_task) {
+    for (int64_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t remaining;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = n;
+
+  // `fn` is captured by reference: Run does not return until every task has
+  // finished, so the reference outlives all uses.
+  auto task_for = [batch, &fn](int64_t i) {
+    return [batch, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(batch->mu);
+        if (!batch->error) {
+          batch->error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lk(batch->mu);
+      if (--batch->remaining == 0) {
+        batch->done.notify_all();
+      }
+    };
+  };
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (int64_t i = 0; i < n; ++i) {
+      impl_->queue.emplace_back(task_for(i));
+    }
+  }
+  impl_->cv.notify_all();
+
+  // The caller participates: drain tasks (possibly from a concurrent batch,
+  // which is equally useful work) until the queue is empty.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (!impl_->queue.empty()) {
+        task = std::move(impl_->queue.front());
+        impl_->queue.pop_front();
+      }
+    }
+    if (!task) {
+      break;
+    }
+    const bool prev = tls_in_task;
+    tls_in_task = true;
+    task();
+    tls_in_task = prev;
+  }
+
+  std::unique_lock<std::mutex> lk(batch->mu);
+  batch->done.wait(lk, [&] { return batch->remaining == 0; });
+  if (batch->error) {
+    std::exception_ptr err = batch->error;
+    batch->error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+int ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("UNITS_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool* ThreadPool::Global() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(DefaultNumThreads());
+  }
+  return g_pool.get();
+}
+
+int NumThreads() { return ThreadPool::Global()->size(); }
+
+void SetNumThreads(int num_threads) {
+  // Build the replacement before taking the lock so Global() callers never
+  // observe a null pool; the old pool joins its workers on destruction.
+  auto next = std::make_unique<ThreadPool>(num_threads);
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool = std::move(next);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) {
+    return;
+  }
+  const int64_t range = end - begin;
+  const int64_t chunk = ChunkSize(range, grain);
+  const int64_t num_chunks = (range + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::Global()->Run(num_chunks, [&](int64_t c) {
+    const int64_t lo = begin + c * chunk;
+    fn(lo, std::min(end, lo + chunk));
+  });
+}
+
+double ParallelReduceSum(int64_t begin, int64_t end, int64_t grain,
+                         const std::function<double(int64_t, int64_t)>& fn) {
+  if (end <= begin) {
+    return 0.0;
+  }
+  const int64_t range = end - begin;
+  const int64_t chunk = ChunkSize(range, grain);
+  const int64_t num_chunks = (range + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    return fn(begin, end);
+  }
+  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+  ThreadPool::Global()->Run(num_chunks, [&](int64_t c) {
+    const int64_t lo = begin + c * chunk;
+    partial[static_cast<size_t>(c)] = fn(lo, std::min(end, lo + chunk));
+  });
+  double total = 0.0;
+  for (double p : partial) {
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace units::base

@@ -1,0 +1,75 @@
+#ifndef UNITS_BASE_PARALLEL_H_
+#define UNITS_BASE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+/// Intra-op parallel execution layer: a lazily-initialized persistent
+/// thread pool plus deterministic range partitioning. Kernels parallelize
+/// with ParallelFor / ParallelReduceSum; chunk boundaries depend only on
+/// the range and grain — never on the thread count — so any per-chunk
+/// computation (and any reduction that combines partial results in chunk
+/// order) is bitwise identical whether the pool has 1 thread or 64.
+
+namespace units::base {
+
+/// Persistent worker pool. One global instance serves all kernels; local
+/// instances exist for tests. A pool of size 1 spawns no worker threads
+/// and runs everything inline on the caller.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates by
+  /// draining the queue while it waits). `num_threads < 1` is clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured concurrency (workers + the participating caller).
+  int size() const { return size_; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete. The
+  /// first exception thrown by any task is rethrown on the calling thread
+  /// (remaining tasks still run). Calls from inside a worker run inline to
+  /// avoid self-deadlock. n <= 0 is a no-op.
+  void Run(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// Thread count from UNITS_NUM_THREADS if set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency() (minimum 1).
+  static int DefaultNumThreads();
+
+  /// The process-wide pool, created on first use with DefaultNumThreads().
+  static ThreadPool* Global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int size_;
+};
+
+/// Concurrency of the global pool.
+int NumThreads();
+
+/// Replaces the global pool with one of `num_threads` threads. Intended
+/// for tests and benchmarks; must not race with in-flight parallel work.
+void SetNumThreads(int num_threads);
+
+/// Runs fn(chunk_begin, chunk_end) over disjoint subranges covering
+/// [begin, end). Each index lands in exactly one chunk of at least `grain`
+/// elements (the final chunk may be shorter); boundaries are a pure
+/// function of (begin, end, grain). Exceptions propagate to the caller.
+/// begin >= end is a no-op.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Deterministic chunked reduction: sums fn(chunk_begin, chunk_end) over
+/// the same chunk decomposition as ParallelFor, combining partial sums in
+/// ascending chunk order, so the result is bitwise identical at any
+/// thread count (including fully serial execution).
+double ParallelReduceSum(int64_t begin, int64_t end, int64_t grain,
+                         const std::function<double(int64_t, int64_t)>& fn);
+
+}  // namespace units::base
+
+#endif  // UNITS_BASE_PARALLEL_H_

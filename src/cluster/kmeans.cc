@@ -4,10 +4,17 @@
 #include <limits>
 
 #include "base/check.h"
+#include "base/parallel.h"
 
 namespace units::cluster {
 
 namespace {
+
+/// Points per chunk for the assignment loops: enough distance evaluations
+/// per task that dispatch overhead is negligible.
+int64_t PointGrain(int64_t k, int64_t f) {
+  return std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * f));
+}
 
 float SquaredDistance(const float* a, const float* b, int64_t f) {
   float acc = 0.0f;
@@ -33,14 +40,20 @@ Tensor KMeansPlusPlusInit(const Tensor& points, int64_t k, Rng* rng) {
   std::copy(p + first * f, p + (first + 1) * f, c);
 
   for (int64_t ci = 1; ci < k; ++ci) {
-    double total = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      const float d =
-          SquaredDistance(p + i * f, c + (ci - 1) * f, f);
-      min_dist[static_cast<size_t>(i)] =
-          std::min(min_dist[static_cast<size_t>(i)], d);
-      total += min_dist[static_cast<size_t>(i)];
-    }
+    // Parallel distance update; chunked partial sums combined in chunk
+    // order keep the total (and thus the sampled centroid) deterministic.
+    const double total = base::ParallelReduceSum(
+        0, n, PointGrain(1, f), [&](int64_t i0, int64_t i1) {
+          double chunk = 0.0;
+          for (int64_t i = i0; i < i1; ++i) {
+            const float d =
+                SquaredDistance(p + i * f, c + (ci - 1) * f, f);
+            min_dist[static_cast<size_t>(i)] =
+                std::min(min_dist[static_cast<size_t>(i)], d);
+            chunk += min_dist[static_cast<size_t>(i)];
+          }
+          return chunk;
+        });
     int64_t chosen = n - 1;
     if (total > 0.0) {
       double r = rng->Uniform() * total;
@@ -73,22 +86,27 @@ KMeansResult RunOnce(const Tensor& points, const KMeansOptions& options,
 
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: each chunk owns a disjoint slice of assignments and
+    // contributes a partial inertia, combined in chunk order.
     float* c = result.centroids.data();
-    double inertia = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      float best = std::numeric_limits<float>::max();
-      int64_t best_k = 0;
-      for (int64_t ci = 0; ci < k; ++ci) {
-        const float d = SquaredDistance(p + i * f, c + ci * f, f);
-        if (d < best) {
-          best = d;
-          best_k = ci;
-        }
-      }
-      result.assignments[static_cast<size_t>(i)] = best_k;
-      inertia += best;
-    }
+    const double inertia = base::ParallelReduceSum(
+        0, n, PointGrain(k, f), [&](int64_t i0, int64_t i1) {
+          double chunk = 0.0;
+          for (int64_t i = i0; i < i1; ++i) {
+            float best = std::numeric_limits<float>::max();
+            int64_t best_k = 0;
+            for (int64_t ci = 0; ci < k; ++ci) {
+              const float d = SquaredDistance(p + i * f, c + ci * f, f);
+              if (d < best) {
+                best = d;
+                best_k = ci;
+              }
+            }
+            result.assignments[static_cast<size_t>(i)] = best_k;
+            chunk += best;
+          }
+          return chunk;
+        });
     result.inertia = static_cast<float>(inertia);
 
     // Update step.
@@ -162,16 +180,18 @@ std::vector<int64_t> AssignToCentroids(const Tensor& points,
   const float* p = points.data();
   const float* c = centroids.data();
   std::vector<int64_t> out(static_cast<size_t>(n), 0);
-  for (int64_t i = 0; i < n; ++i) {
-    float best = std::numeric_limits<float>::max();
-    for (int64_t ci = 0; ci < k; ++ci) {
-      const float d = SquaredDistance(p + i * f, c + ci * f, f);
-      if (d < best) {
-        best = d;
-        out[static_cast<size_t>(i)] = ci;
+  base::ParallelFor(0, n, PointGrain(k, f), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float best = std::numeric_limits<float>::max();
+      for (int64_t ci = 0; ci < k; ++ci) {
+        const float d = SquaredDistance(p + i * f, c + ci * f, f);
+        if (d < best) {
+          best = d;
+          out[static_cast<size_t>(i)] = ci;
+        }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/parallel.h"
 
 namespace units::nn {
 
@@ -11,16 +12,22 @@ namespace ag = ::units::autograd;
 Tensor SinusoidalPositionalEncoding(int64_t length, int64_t channels) {
   Tensor pe = Tensor::Zeros({length, channels});
   float* p = pe.data();
-  for (int64_t t = 0; t < length; ++t) {
-    for (int64_t c = 0; c < channels; ++c) {
-      const double rate =
-          std::pow(10000.0, -static_cast<double>(2 * (c / 2)) /
-                                static_cast<double>(channels));
-      const double angle = static_cast<double>(t) * rate;
-      p[t * channels + c] = static_cast<float>(
-          (c % 2 == 0) ? std::sin(angle) : std::cos(angle));
-    }
-  }
+  // Rows are independent; std::pow per element makes this surprisingly hot
+  // for long windows.
+  base::ParallelFor(
+      0, length, std::max<int64_t>(1, 2048 / std::max<int64_t>(1, channels)),
+      [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          for (int64_t c = 0; c < channels; ++c) {
+            const double rate =
+                std::pow(10000.0, -static_cast<double>(2 * (c / 2)) /
+                                      static_cast<double>(channels));
+            const double angle = static_cast<double>(t) * rate;
+            p[t * channels + c] = static_cast<float>(
+                (c % 2 == 0) ? std::sin(angle) : std::cos(angle));
+          }
+        }
+      });
   return pe;
 }
 
@@ -60,6 +67,8 @@ Variable MultiHeadAttention::Forward(const Variable& input) {
   v = split_heads(v);
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  // Score computation fans out across the pool: BatchedMatMul splits over
+  // the N*H score matrices and Softmax over rows (see tensor_ops.cc).
   Variable scores = ag::MulScalar(
       ag::BatchedMatMul(q, ag::Transpose(k, 1, 2)), scale);  // [NH, T, T]
   Variable attn = ag::Softmax(scores, /*axis=*/2);

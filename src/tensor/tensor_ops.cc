@@ -4,9 +4,23 @@
 #include <cmath>
 #include <limits>
 
+#include "base/parallel.h"
+
 namespace units::ops {
 
 namespace {
+
+using ::units::base::ParallelFor;
+using ::units::base::ParallelReduceSum;
+
+/// Grain sizes: minimum per-chunk work (in elements or rows) before a loop
+/// is split across the pool. Small tensors stay on the calling thread.
+constexpr int64_t kElementGrain = 1 << 15;
+
+/// Rows per chunk so that each chunk carries ~kElementGrain scalar ops.
+int64_t RowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, work_per_row));
+}
 
 /// Row-major strides for a shape.
 std::vector<int64_t> StridesOf(const Shape& shape) {
@@ -93,9 +107,11 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b,
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    for (int64_t i = 0; i < a.numel(); ++i) {
-      po[i] = fn(pa[i], pb[i]);
-    }
+    ParallelFor(0, a.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        po[i] = fn(pa[i], pb[i]);
+      }
+    });
     return out;
   }
   // Fast path: b is a suffix of a's shape (e.g. bias add [N,K] + [K]).
@@ -115,12 +131,14 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b,
       const float* pa = a.data();
       const float* pb = b.data();
       float* po = out.data();
-      for (int64_t o = 0; o < outer; ++o) {
-        const int64_t base = o * inner;
-        for (int64_t i = 0; i < inner; ++i) {
-          po[base + i] = fn(pa[base + i], pb[i]);
+      ParallelFor(0, outer, RowGrain(inner), [&](int64_t o0, int64_t o1) {
+        for (int64_t o = o0; o < o1; ++o) {
+          const int64_t base = o * inner;
+          for (int64_t i = 0; i < inner; ++i) {
+            po[base + i] = fn(pa[base + i], pb[i]);
+          }
         }
-      }
+      });
       return out;
     }
   }
@@ -132,23 +150,31 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b,
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  std::vector<int64_t> idx(out_shape.size(), 0);
-  for (int64_t flat = 0; flat < out.numel(); ++flat) {
-    int64_t oa = 0;
-    int64_t ob = 0;
-    for (size_t d = 0; d < out_shape.size(); ++d) {
-      oa += idx[d] * sa[d];
-      ob += idx[d] * sb[d];
-    }
-    po[flat] = fn(pa[oa], pb[ob]);
+  ParallelFor(0, out.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
+    // Reconstruct the multi-index at the chunk start, then increment.
+    std::vector<int64_t> idx(out_shape.size(), 0);
+    int64_t rem = lo;
     for (int d = static_cast<int>(out_shape.size()) - 1; d >= 0; --d) {
-      if (++idx[static_cast<size_t>(d)] <
-          out_shape[static_cast<size_t>(d)]) {
-        break;
-      }
-      idx[static_cast<size_t>(d)] = 0;
+      idx[static_cast<size_t>(d)] = rem % out_shape[static_cast<size_t>(d)];
+      rem /= out_shape[static_cast<size_t>(d)];
     }
-  }
+    for (int64_t flat = lo; flat < hi; ++flat) {
+      int64_t oa = 0;
+      int64_t ob = 0;
+      for (size_t d = 0; d < out_shape.size(); ++d) {
+        oa += idx[d] * sa[d];
+        ob += idx[d] * sb[d];
+      }
+      po[flat] = fn(pa[oa], pb[ob]);
+      for (int d = static_cast<int>(out_shape.size()) - 1; d >= 0; --d) {
+        if (++idx[static_cast<size_t>(d)] <
+            out_shape[static_cast<size_t>(d)]) {
+          break;
+        }
+        idx[static_cast<size_t>(d)] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -156,9 +182,11 @@ Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    po[i] = fn(pa[i]);
-  }
+  ParallelFor(0, a.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = fn(pa[i]);
+    }
+  });
   return out;
 }
 
@@ -231,20 +259,24 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   // i-k-j loop order: streams through b and out rows (cache friendly).
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* orow = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) {
-        continue;
-      }
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) {
-        orow[j] += aik * brow[j];
+  // Parallel over output rows: every row is written by exactly one chunk,
+  // so the result is bitwise identical at any thread count.
+  ParallelFor(0, m, RowGrain(k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) {
+          continue;
+        }
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) {
+          orow[j] += aik * brow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -261,11 +293,14 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    const float* ba = pa + bi * m * k;
-    const float* bb = pb + bi * k * n;
-    float* bo = po + bi * m * n;
-    for (int64_t i = 0; i < m; ++i) {
+  // Parallel over (batch, row) pairs: each output row belongs to one chunk.
+  ParallelFor(0, batch * m, RowGrain(k * n), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t bi = r / m;
+      const int64_t i = r % m;
+      const float* ba = pa + bi * m * k;
+      const float* bb = pb + bi * k * n;
+      float* bo = po + bi * m * n;
       for (int64_t kk = 0; kk < k; ++kk) {
         const float aik = ba[i * k + kk];
         if (aik == 0.0f) {
@@ -278,7 +313,7 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -295,33 +330,45 @@ Tensor Transpose(const Tensor& a, int axis0, int axis1) {
             perm_strides[static_cast<size_t>(axis1)]);
   const float* pa = a.data();
   float* po = out.data();
-  std::vector<int64_t> idx(out_shape.size(), 0);
-  for (int64_t flat = 0; flat < out.numel(); ++flat) {
-    int64_t src = 0;
-    for (size_t d = 0; d < out_shape.size(); ++d) {
-      src += idx[d] * perm_strides[d];
-    }
-    po[flat] = pa[src];
+  ParallelFor(0, out.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t> idx(out_shape.size(), 0);
+    int64_t rem = lo;
     for (int d = static_cast<int>(out_shape.size()) - 1; d >= 0; --d) {
-      if (++idx[static_cast<size_t>(d)] <
-          out_shape[static_cast<size_t>(d)]) {
-        break;
-      }
-      idx[static_cast<size_t>(d)] = 0;
+      idx[static_cast<size_t>(d)] = rem % out_shape[static_cast<size_t>(d)];
+      rem /= out_shape[static_cast<size_t>(d)];
     }
-  }
+    for (int64_t flat = lo; flat < hi; ++flat) {
+      int64_t src = 0;
+      for (size_t d = 0; d < out_shape.size(); ++d) {
+        src += idx[d] * perm_strides[d];
+      }
+      po[flat] = pa[src];
+      for (int d = static_cast<int>(out_shape.size()) - 1; d >= 0; --d) {
+        if (++idx[static_cast<size_t>(d)] <
+            out_shape[static_cast<size_t>(d)]) {
+          break;
+        }
+        idx[static_cast<size_t>(d)] = 0;
+      }
+    }
+  });
   return out;
 }
 
 Tensor Transpose2D(const Tensor& a) { return Transpose(a, 0, 1); }
 
 float SumAll(const Tensor& a) {
-  // Kahan summation: benchmark losses are averaged over many small terms.
-  double sum = 0.0;
+  // Double accumulation per fixed-size chunk, partial sums combined in
+  // chunk order: deterministic at any thread count.
   const float* p = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    sum += static_cast<double>(p[i]);
-  }
+  const double sum =
+      ParallelReduceSum(0, a.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
+        double acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          acc += static_cast<double>(p[i]);
+        }
+        return acc;
+      });
   return static_cast<float>(sum);
 }
 
@@ -389,14 +436,35 @@ Tensor Sum(const Tensor& a, int axis, bool keepdim) {
   Tensor out = Tensor::Zeros(DropOrKeepAxis(a.shape(), axis, keepdim));
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t x = 0; x < s.len; ++x) {
-      const float* src = pa + (o * s.len + x) * s.inner;
-      float* dst = po + o * s.inner;
-      for (int64_t i = 0; i < s.inner; ++i) {
-        dst[i] += src[i];
-      }
-    }
+  // Chunk over whichever of outer/inner has more slack; every output
+  // element still accumulates over the axis in ascending order, so the
+  // result matches the serial loop bit for bit.
+  if (s.outer >= s.inner) {
+    ParallelFor(0, s.outer, RowGrain(s.len * s.inner),
+                [&](int64_t o0, int64_t o1) {
+                  for (int64_t o = o0; o < o1; ++o) {
+                    for (int64_t x = 0; x < s.len; ++x) {
+                      const float* src = pa + (o * s.len + x) * s.inner;
+                      float* dst = po + o * s.inner;
+                      for (int64_t i = 0; i < s.inner; ++i) {
+                        dst[i] += src[i];
+                      }
+                    }
+                  }
+                });
+  } else {
+    ParallelFor(0, s.inner, RowGrain(s.outer * s.len),
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t o = 0; o < s.outer; ++o) {
+                    for (int64_t x = 0; x < s.len; ++x) {
+                      const float* src = pa + (o * s.len + x) * s.inner;
+                      float* dst = po + o * s.inner;
+                      for (int64_t i = i0; i < i1; ++i) {
+                        dst[i] += src[i];
+                      }
+                    }
+                  }
+                });
   }
   return out;
 }
@@ -414,15 +482,18 @@ Tensor Max(const Tensor& a, int axis, bool keepdim) {
                             -std::numeric_limits<float>::infinity());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t x = 0; x < s.len; ++x) {
-      const float* src = pa + (o * s.len + x) * s.inner;
-      float* dst = po + o * s.inner;
-      for (int64_t i = 0; i < s.inner; ++i) {
-        dst[i] = std::max(dst[i], src[i]);
-      }
-    }
-  }
+  ParallelFor(0, s.outer, RowGrain(s.len * s.inner),
+              [&](int64_t o0, int64_t o1) {
+                for (int64_t o = o0; o < o1; ++o) {
+                  for (int64_t x = 0; x < s.len; ++x) {
+                    const float* src = pa + (o * s.len + x) * s.inner;
+                    float* dst = po + o * s.inner;
+                    for (int64_t i = 0; i < s.inner; ++i) {
+                      dst[i] = std::max(dst[i], src[i]);
+                    }
+                  }
+                }
+              });
   return out;
 }
 
@@ -434,18 +505,22 @@ Tensor ArgMax(const Tensor& a, int axis) {
                           -std::numeric_limits<float>::infinity());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t x = 0; x < s.len; ++x) {
-      const float* src = pa + (o * s.len + x) * s.inner;
-      for (int64_t i = 0; i < s.inner; ++i) {
-        const int64_t flat = o * s.inner + i;
-        if (src[i] > best[static_cast<size_t>(flat)]) {
-          best[static_cast<size_t>(flat)] = src[i];
-          po[flat] = static_cast<float>(x);
-        }
-      }
-    }
-  }
+  // Chunks over `outer` touch disjoint slices of `best` and `po`.
+  ParallelFor(0, s.outer, RowGrain(s.len * s.inner),
+              [&](int64_t o0, int64_t o1) {
+                for (int64_t o = o0; o < o1; ++o) {
+                  for (int64_t x = 0; x < s.len; ++x) {
+                    const float* src = pa + (o * s.len + x) * s.inner;
+                    for (int64_t i = 0; i < s.inner; ++i) {
+                      const int64_t flat = o * s.inner + i;
+                      if (src[i] > best[static_cast<size_t>(flat)]) {
+                        best[static_cast<size_t>(flat)] = src[i];
+                        po[flat] = static_cast<float>(x);
+                      }
+                    }
+                  }
+                }
+              });
   return out;
 }
 
@@ -457,18 +532,21 @@ std::pair<Tensor, std::vector<int64_t>> MaxWithArg(const Tensor& a, int axis) {
   std::vector<int64_t> args(static_cast<size_t>(values.numel()), 0);
   const float* pa = a.data();
   float* pv = values.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t x = 0; x < s.len; ++x) {
-      const int64_t base = (o * s.len + x) * s.inner;
-      for (int64_t i = 0; i < s.inner; ++i) {
-        const int64_t flat = o * s.inner + i;
-        if (pa[base + i] > pv[flat]) {
-          pv[flat] = pa[base + i];
-          args[static_cast<size_t>(flat)] = base + i;
-        }
-      }
-    }
-  }
+  ParallelFor(0, s.outer, RowGrain(s.len * s.inner),
+              [&](int64_t o0, int64_t o1) {
+                for (int64_t o = o0; o < o1; ++o) {
+                  for (int64_t x = 0; x < s.len; ++x) {
+                    const int64_t base = (o * s.len + x) * s.inner;
+                    for (int64_t i = 0; i < s.inner; ++i) {
+                      const int64_t flat = o * s.inner + i;
+                      if (pa[base + i] > pv[flat]) {
+                        pv[flat] = pa[base + i];
+                        args[static_cast<size_t>(flat)] = base + i;
+                      }
+                    }
+                  }
+                }
+              });
   return {values, args};
 }
 
@@ -610,9 +688,13 @@ Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
   Tensor cols = Tensor::Zeros({c * kernel, n * t_out});
   const float* pin = input.data();
   float* pc = cols.data();
-  for (int64_t ci = 0; ci < c; ++ci) {
-    for (int64_t ki = 0; ki < kernel; ++ki) {
-      float* crow = pc + (ci * kernel + ki) * (n * t_out);
+  // Parallel over (channel, tap) rows of the column matrix; each row is
+  // written by exactly one chunk.
+  ParallelFor(0, c * kernel, RowGrain(n * t_out), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t ci = r / kernel;
+      const int64_t ki = r % kernel;
+      float* crow = pc + r * (n * t_out);
       for (int64_t ni = 0; ni < n; ++ni) {
         const float* irow = pin + (ni * c + ci) * t;
         float* cdst = crow + ni * t_out;
@@ -622,7 +704,7 @@ Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -638,21 +720,27 @@ Tensor Col2Im1D(const Tensor& cols, const Shape& input_shape, int64_t kernel,
   Tensor out = Tensor::Zeros(input_shape);
   const float* pc = cols.data();
   float* pout = out.data();
-  for (int64_t ci = 0; ci < c; ++ci) {
-    for (int64_t ki = 0; ki < kernel; ++ki) {
-      const float* crow = pc + (ci * kernel + ki) * (n * t_out);
-      for (int64_t ni = 0; ni < n; ++ni) {
-        float* irow = pout + (ni * c + ci) * t;
-        const float* csrc = crow + ni * t_out;
-        for (int64_t to = 0; to < t_out; ++to) {
-          const int64_t ti = to - pad_left + ki * dilation;
-          if (ti >= 0 && ti < t) {
-            irow[ti] += csrc[to];
+  // Parallel over input channels only: all kernel taps for a channel stay
+  // in one chunk because they accumulate into the same input rows. The
+  // ki/ni/to order inside a channel matches the serial loop, so the
+  // accumulation order per element is unchanged.
+  ParallelFor(0, c, RowGrain(kernel * n * t_out), [&](int64_t c0, int64_t c1) {
+    for (int64_t ci = c0; ci < c1; ++ci) {
+      for (int64_t ki = 0; ki < kernel; ++ki) {
+        const float* crow = pc + (ci * kernel + ki) * (n * t_out);
+        for (int64_t ni = 0; ni < n; ++ni) {
+          float* irow = pout + (ni * c + ci) * t;
+          const float* csrc = crow + ni * t_out;
+          for (int64_t to = 0; to < t_out; ++to) {
+            const int64_t ti = to - pad_left + ki * dilation;
+            if (ti >= 0 && ti < t) {
+              irow[ti] += csrc[to];
+            }
           }
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -682,23 +770,32 @@ bool HasNonFinite(const Tensor& a) {
 }
 
 float Norm(const Tensor& a) {
-  double acc = 0.0;
   const float* p = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    acc += static_cast<double>(p[i]) * static_cast<double>(p[i]);
-  }
+  const double acc =
+      ParallelReduceSum(0, a.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
+        double chunk = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          chunk += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+        }
+        return chunk;
+      });
   return static_cast<float>(std::sqrt(acc));
 }
 
 float L2Distance(const Tensor& a, const Tensor& b) {
   UNITS_CHECK_EQ(a.numel(), b.numel());
-  double acc = 0.0;
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
-    acc += d * d;
-  }
+  const double acc =
+      ParallelReduceSum(0, a.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
+        double chunk = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          const double d =
+              static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+          chunk += d * d;
+        }
+        return chunk;
+      });
   return static_cast<float>(std::sqrt(acc));
 }
 

@@ -1,0 +1,268 @@
+#include "base/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "base/rng.h"
+#include "cluster/kmeans.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::base {
+namespace {
+
+namespace ag = ::units::autograd;
+
+/// Restores the global pool to the default size when a test returns.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() = default;
+  ~ThreadCountGuard() { SetNumThreads(ThreadPool::DefaultNumThreads()); }
+};
+
+TEST(ThreadPoolTest, DefaultNumThreadsReadsEnv) {
+  ASSERT_EQ(setenv("UNITS_NUM_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
+  ASSERT_EQ(setenv("UNITS_NUM_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+  ASSERT_EQ(setenv("UNITS_NUM_THREADS", "0", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+  ASSERT_EQ(unsetenv("UNITS_NUM_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, RunCoversAllIndices) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.Run(64, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int64_t sum = 0;
+  pool.Run(10, [&](int64_t i) { sum += i; });  // no races: inline execution
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, PoolIsReusedAcrossCalls) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  ThreadPool* first = ThreadPool::Global();
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int64_t> out(1000, 0);
+    ParallelFor(0, 1000, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        out[static_cast<size_t>(i)] = i * 2;
+      }
+    });
+    for (int64_t i = 0; i < 1000; ++i) {
+      ASSERT_EQ(out[static_cast<size_t>(i)], i * 2);
+    }
+    // The same pool instance must serve every round.
+    ASSERT_EQ(ThreadPool::Global(), first);
+  }
+  EXPECT_EQ(NumThreads(), 4);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 1,
+                  [](int64_t lo, int64_t) {
+                    if (lo >= 500) {
+                      throw std::runtime_error("worker boom");
+                    }
+                  }),
+      std::runtime_error);
+  // The pool must stay healthy after a throwing batch.
+  std::atomic<int64_t> count{0};
+  ParallelFor(0, 100, 1, [&](int64_t lo, int64_t hi) { count += hi - lo; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForTest, EmptyAndNegativeRangesAreNoOps) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 1, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(5, 3, 1, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(-2, -2, 1, [&](int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(ParallelReduceSum(7, 7, 1, [](int64_t, int64_t) { return 1.0; }),
+            0.0);
+  EXPECT_EQ(ParallelReduceSum(4, -4, 1, [](int64_t, int64_t) { return 1.0; }),
+            0.0);
+}
+
+TEST(ParallelForTest, ChunksAreDisjointAndOrdered) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  std::vector<std::atomic<int>> hits(10000);
+  ParallelFor(0, 10000, 64, [&](int64_t lo, int64_t hi) {
+    EXPECT_LT(lo, hi);
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)]++;
+    }
+  });
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunSerially) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 64, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // Nested region: must complete inline without deadlock.
+      ParallelFor(0, 8, 1,
+                  [&](int64_t nlo, int64_t nhi) { total += nhi - nlo; });
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 8);
+}
+
+TEST(ParallelReduceTest, MatchesSerialSumAtAnyThreadCount) {
+  ThreadCountGuard guard;
+  std::vector<double> values(100000);
+  Rng rng(7);
+  for (auto& v : values) {
+    v = rng.Normal();
+  }
+  auto chunk_sum = [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      acc += values[static_cast<size_t>(i)];
+    }
+    return acc;
+  };
+  SetNumThreads(1);
+  const double serial =
+      ParallelReduceSum(0, static_cast<int64_t>(values.size()), 128, chunk_sum);
+  SetNumThreads(8);
+  const double parallel =
+      ParallelReduceSum(0, static_cast<int64_t>(values.size()), 128, chunk_sum);
+  // Bitwise identical: chunk boundaries and combine order are fixed.
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- bitwise determinism of the parallelized kernels ----------------------
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(DeterminismTest, MatMulIsBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(11);
+  Tensor a = Tensor::RandNormal({93, 71}, &rng);
+  Tensor b = Tensor::RandNormal({71, 57}, &rng);
+  SetNumThreads(1);
+  Tensor serial = ops::MatMul(a, b);
+  SetNumThreads(8);
+  Tensor parallel = ops::MatMul(a, b);
+  EXPECT_TRUE(BitwiseEqual(serial, parallel));
+
+  Tensor ba = Tensor::RandNormal({6, 33, 17}, &rng);
+  Tensor bb = Tensor::RandNormal({6, 17, 29}, &rng);
+  SetNumThreads(1);
+  Tensor bserial = ops::BatchedMatMul(ba, bb);
+  SetNumThreads(8);
+  Tensor bparallel = ops::BatchedMatMul(ba, bb);
+  EXPECT_TRUE(BitwiseEqual(bserial, bparallel));
+}
+
+TEST(DeterminismTest, ElementwiseAndReductionsAreBitwiseIdentical) {
+  ThreadCountGuard guard;
+  Rng rng(13);
+  Tensor a = Tensor::RandNormal({37, 41, 5}, &rng);
+  Tensor b = Tensor::RandNormal({37, 41, 5}, &rng);
+  SetNumThreads(1);
+  Tensor add1 = ops::Add(a, b);
+  Tensor gelu1 = ops::Gelu(a);
+  Tensor sum1 = ops::Sum(a, 1, false);
+  const float all1 = ops::SumAll(a);
+  const float norm1 = ops::Norm(a);
+  SetNumThreads(8);
+  Tensor add8 = ops::Add(a, b);
+  Tensor gelu8 = ops::Gelu(a);
+  Tensor sum8 = ops::Sum(a, 1, false);
+  const float all8 = ops::SumAll(a);
+  const float norm8 = ops::Norm(a);
+  EXPECT_TRUE(BitwiseEqual(add1, add8));
+  EXPECT_TRUE(BitwiseEqual(gelu1, gelu8));
+  EXPECT_TRUE(BitwiseEqual(sum1, sum8));
+  EXPECT_EQ(all1, all8);
+  EXPECT_EQ(norm1, norm8);
+}
+
+TEST(DeterminismTest, Conv1dForwardBackwardIsBitwiseIdentical) {
+  ThreadCountGuard guard;
+  Rng rng(17);
+  Tensor xt = Tensor::RandNormal({4, 6, 40}, &rng);
+  Tensor wt = Tensor::RandNormal({8, 6, 3}, &rng);
+  Tensor bt = Tensor::RandNormal({8}, &rng);
+
+  auto run = [&](int threads) {
+    SetNumThreads(threads);
+    ag::Variable x(xt, /*requires_grad=*/true);
+    ag::Variable w(wt, /*requires_grad=*/true);
+    ag::Variable bias(bt, /*requires_grad=*/true);
+    ag::Variable out = ag::Conv1d(x, w, bias, /*dilation=*/2, /*pad_left=*/2,
+                                  /*pad_right=*/2);
+    ag::Variable loss = ag::SumAll(ag::Square(out));
+    loss.Backward();
+    return std::tuple<Tensor, Tensor, Tensor, Tensor>(
+        out.data(), x.grad(), w.grad(), bias.grad());
+  };
+  auto [out1, gx1, gw1, gb1] = run(1);
+  auto [out8, gx8, gw8, gb8] = run(8);
+  EXPECT_TRUE(BitwiseEqual(out1, out8));
+  EXPECT_TRUE(BitwiseEqual(gx1, gx8));
+  EXPECT_TRUE(BitwiseEqual(gw1, gw8));
+  EXPECT_TRUE(BitwiseEqual(gb1, gb8));
+}
+
+TEST(DeterminismTest, KMeansIsBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng data_rng(19);
+  Tensor points = Tensor::RandNormal({300, 9}, &data_rng);
+  cluster::KMeansOptions opts;
+  opts.num_clusters = 5;
+  opts.num_restarts = 2;
+
+  SetNumThreads(1);
+  Rng rng1(23);
+  auto r1 = cluster::KMeans(points, opts, &rng1);
+  ASSERT_TRUE(r1.ok());
+  SetNumThreads(8);
+  Rng rng8(23);
+  auto r8 = cluster::KMeans(points, opts, &rng8);
+  ASSERT_TRUE(r8.ok());
+
+  EXPECT_EQ(r1->assignments, r8->assignments);
+  EXPECT_EQ(r1->inertia, r8->inertia);
+  EXPECT_EQ(r1->iterations, r8->iterations);
+  EXPECT_TRUE(BitwiseEqual(r1->centroids, r8->centroids));
+
+  const auto a1 = cluster::AssignToCentroids(points, r1->centroids);
+  SetNumThreads(1);
+  const auto a8 = cluster::AssignToCentroids(points, r8->centroids);
+  EXPECT_EQ(a1, a8);
+}
+
+}  // namespace
+}  // namespace units::base
