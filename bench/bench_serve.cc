@@ -1,0 +1,137 @@
+// Serving-runtime benchmark: closed-loop clients drive the micro-batcher
+// in process, sweeping max_batch_size to show the batching throughput /
+// latency trade-off. Writes a machine-readable BENCH_serve.json (qps,
+// p50/p99 latency, mean executed batch size per setting) so subsequent
+// PRs can track the serving perf trajectory.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "json/json.h"
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/serve_stats.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::bench {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 60;
+
+struct SweepPoint {
+  int64_t max_batch_size = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch_size = 0.0;
+};
+
+SweepPoint RunClosedLoop(serve::ModelRegistry* registry, const Tensor& row,
+                         int64_t max_batch_size) {
+  serve::ServeStats stats;
+  serve::MicroBatcher::Options options;
+  options.max_batch_size = max_batch_size;
+  options.max_delay_ms = 1.0;
+  serve::MicroBatcher batcher(registry, options, &stats);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        auto result = batcher.Submit("model", row).get();
+        if (!result.ok()) {
+          std::fprintf(stderr, "request failed: %s\n",
+                       result.status().ToString().c_str());
+          std::abort();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  const auto snapshot = stats.Snapshot("model");
+  SweepPoint point;
+  point.max_batch_size = max_batch_size;
+  point.qps = static_cast<double>(kClients * kRequestsPerClient) / seconds;
+  point.p50_ms = snapshot.p50_ms;
+  point.p99_ms = snapshot.p99_ms;
+  point.mean_batch_size = snapshot.mean_batch_size;
+  return point;
+}
+
+int Main() {
+  BenchInit();
+  PrintHeader("serve: micro-batch sweep, closed-loop clients");
+
+  // One resident classification model at bench scale; forward cost is a
+  // few ms so batching has real work to amortize.
+  data::ClassificationOpts data_opts = BenchClassOpts(3);
+  data_opts.num_samples = 64;
+  const auto dataset = data::MakeClassificationDataset(data_opts);
+  auto cfg = BenchConfig("classification", 3);
+  cfg.pretrain_params.SetInt("epochs", 2);
+  cfg.finetune_params.SetInt("epochs", 4);
+  auto pipeline = core::UnitsPipeline::Create(cfg, dataset.num_channels());
+  if (!pipeline.ok() || !(*pipeline)->FineTune(dataset).ok()) {
+    std::fprintf(stderr, "failed to fit the bench model\n");
+    return 1;
+  }
+  serve::ModelRegistry registry;
+  if (!registry.Add("model", std::move(*pipeline)).ok()) {
+    std::fprintf(stderr, "failed to register the bench model\n");
+    return 1;
+  }
+  const Tensor row = ops::Slice(dataset.values(), 0, 0, 1);
+
+  json::JsonValue sweep = json::JsonValue::Array();
+  for (const int64_t max_batch : {1, 4, 16, 64}) {
+    const SweepPoint point = RunClosedLoop(&registry, row, max_batch);
+    PrintRow("serve", "classification",
+             "batch_" + std::to_string(max_batch), "qps", point.qps);
+    PrintRow("serve", "classification",
+             "batch_" + std::to_string(max_batch), "p50_ms", point.p50_ms);
+    PrintRow("serve", "classification",
+             "batch_" + std::to_string(max_batch), "p99_ms", point.p99_ms);
+    PrintRow("serve", "classification",
+             "batch_" + std::to_string(max_batch), "mean_batch",
+             point.mean_batch_size);
+    json::JsonValue entry = json::JsonValue::Object();
+    entry.Set("max_batch_size", json::JsonValue::Int(point.max_batch_size));
+    entry.Set("qps", json::JsonValue::Number(point.qps));
+    entry.Set("p50_ms", json::JsonValue::Number(point.p50_ms));
+    entry.Set("p99_ms", json::JsonValue::Number(point.p99_ms));
+    entry.Set("mean_batch_size",
+              json::JsonValue::Number(point.mean_batch_size));
+    sweep.Append(std::move(entry));
+  }
+
+  json::JsonValue doc = json::JsonValue::Object();
+  doc.Set("bench", json::JsonValue::String("serve"));
+  doc.Set("clients", json::JsonValue::Int(kClients));
+  doc.Set("requests_per_client", json::JsonValue::Int(kRequestsPerClient));
+  doc.Set("max_delay_ms", json::JsonValue::Number(1.0));
+  doc.Set("sweep", std::move(sweep));
+  std::ofstream out("BENCH_serve.json");
+  out << doc.Dump(2) << "\n";
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace units::bench
+
+int main() { return units::bench::Main(); }

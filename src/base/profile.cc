@@ -1,0 +1,98 @@
+#include "base/profile.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace units::base {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_initialized{false};
+
+void DumpAtExit() {
+  if (OpStatsRegistry::Enabled()) {
+    std::fprintf(stderr, "UNITS_PROFILE op stats:\n%s\n",
+                 OpStatsRegistry::Global()->DumpJson().c_str());
+  }
+}
+
+void InitFromEnvOnce() {
+  bool expected = false;
+  if (!g_initialized.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  const char* env = std::getenv("UNITS_PROFILE");
+  if (env != nullptr && env[0] == '1' && env[1] == '\0') {
+    g_enabled.store(true, std::memory_order_relaxed);
+    std::atexit(DumpAtExit);
+  }
+}
+
+}  // namespace
+
+OpStatsRegistry* OpStatsRegistry::Global() {
+  static OpStatsRegistry* registry = new OpStatsRegistry();
+  return registry;
+}
+
+bool OpStatsRegistry::Enabled() {
+  InitFromEnvOnce();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void OpStatsRegistry::SetEnabled(bool enabled) {
+  InitFromEnvOnce();  // keep the env from overwriting an explicit setting
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void OpStatsRegistry::Record(const std::string& name, int64_t nanos) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [existing, stat] : stats_) {
+    if (existing == name) {
+      stat.calls += 1;
+      stat.total_ns += nanos;
+      return;
+    }
+  }
+  stats_.push_back({name, OpStat{1, nanos}});
+}
+
+std::vector<std::pair<std::string, OpStat>> OpStatsRegistry::Snapshot()
+    const {
+  std::vector<std::pair<std::string, OpStat>> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out = stats_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::string OpStatsRegistry::DumpJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, stat] : Snapshot()) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"calls\": %lld, \"total_ms\": %.3f}",
+                  static_cast<long long>(stat.calls),
+                  static_cast<double>(stat.total_ns) / 1e6);
+    out += "\"" + name + "\": " + buf;
+  }
+  out += "}";
+  return out;
+}
+
+void OpStatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.clear();
+}
+
+}  // namespace units::base

@@ -1,0 +1,94 @@
+#ifndef UNITS_BASE_PROFILE_H_
+#define UNITS_BASE_PROFILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Per-op profiling hooks: a process-wide registry of (op name -> call
+/// count, cumulative nanoseconds) fed by ScopedTimer instances placed
+/// around the parallel kernels and the serve batch loop. Disabled timers
+/// cost one relaxed atomic load; enable with UNITS_PROFILE=1 (stats are
+/// then dumped to stderr at process exit) or programmatically via
+/// OpStatsRegistry::SetEnabled for tests and the serve stats endpoint.
+
+namespace units::base {
+
+/// Accumulated statistics for one instrumented op.
+struct OpStat {
+  int64_t calls = 0;
+  int64_t total_ns = 0;
+};
+
+class OpStatsRegistry {
+ public:
+  /// The process-wide registry.
+  static OpStatsRegistry* Global();
+
+  /// True when profiling is active. Initialized from UNITS_PROFILE=1 on
+  /// first use; SetEnabled overrides the environment.
+  static bool Enabled();
+  static void SetEnabled(bool enabled);
+
+  /// Adds one call of `nanos` to the op's accumulators. Thread-safe.
+  void Record(const std::string& name, int64_t nanos);
+
+  /// Name-sorted copy of all accumulated stats.
+  std::vector<std::pair<std::string, OpStat>> Snapshot() const;
+
+  /// {"<op>": {"calls": N, "total_ms": X}, ...} sorted by name.
+  std::string DumpJson() const;
+
+  /// Clears all accumulated stats.
+  void Reset();
+
+ private:
+  OpStatsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, OpStat>> stats_;  // insertion order
+};
+
+/// RAII timer feeding OpStatsRegistry::Global(). `name` must outlive the
+/// timer (string literals at the instrumented call sites).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name)
+      : name_(name), active_(OpStatsRegistry::Enabled()) {
+    if (active_) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (active_) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      OpStatsRegistry::Global()->Record(
+          name_,
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace units::base
+
+#define UNITS_PROFILE_CONCAT_IMPL_(a, b) a##b
+#define UNITS_PROFILE_CONCAT_(a, b) UNITS_PROFILE_CONCAT_IMPL_(a, b)
+
+/// Times the enclosing scope under `name` when profiling is enabled.
+#define UNITS_PROFILE_SCOPE(name)                                  \
+  ::units::base::ScopedTimer UNITS_PROFILE_CONCAT_(_units_profile_, \
+                                                   __LINE__)(name)
+
+#endif  // UNITS_BASE_PROFILE_H_

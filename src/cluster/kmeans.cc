@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "base/parallel.h"
+#include "base/profile.h"
 
 namespace units::cluster {
 
@@ -171,6 +172,7 @@ Result<KMeansResult> KMeans(const Tensor& points,
 
 std::vector<int64_t> AssignToCentroids(const Tensor& points,
                                        const Tensor& centroids) {
+  UNITS_PROFILE_SCOPE("cluster.AssignToCentroids");
   UNITS_CHECK_EQ(points.ndim(), 2);
   UNITS_CHECK_EQ(centroids.ndim(), 2);
   UNITS_CHECK_EQ(points.dim(1), centroids.dim(1));

@@ -119,6 +119,15 @@ Result<TaskResult> UnitsPipeline::Predict(const Tensor& x) {
   return task_->Predict(this, x);
 }
 
+Status UnitsPipeline::EnsureReadyForServing() {
+  if (task_ == nullptr) {
+    return Status::FailedPrecondition("no analysis task configured");
+  }
+  UNITS_RETURN_IF_ERROR(EnsureFusion());
+  SetTraining(false);
+  return Status::Ok();
+}
+
 Variable UnitsPipeline::EncodeFused(const Variable& x) {
   EnsureFusion().CheckOk();
   std::vector<Variable> zs;
@@ -165,14 +174,21 @@ Tensor BatchedEval(
 
 Tensor UnitsPipeline::TransformFused(const Tensor& x) {
   EnsureFusion().CheckOk();
+  // Flip to eval mode only when needed: a pipeline already in eval mode
+  // (the steady state while serving) sees a mutation-free forward, so
+  // concurrent Transform/Predict calls on distinct threads are safe.
   const bool was_training = templates_.empty()
                                 ? false
                                 : templates_[0]->encoder()->training();
-  SetTraining(false);
+  if (was_training) {
+    SetTraining(false);
+  }
   Tensor out = BatchedEval(x, {fused_dim()}, [this](const Variable& batch) {
     return EncodeFused(batch);
   });
-  SetTraining(was_training);
+  if (was_training) {
+    SetTraining(true);
+  }
   return out;
 }
 
@@ -181,11 +197,15 @@ Tensor UnitsPipeline::TransformFusedPerTimestep(const Tensor& x) {
   const bool was_training = templates_.empty()
                                 ? false
                                 : templates_[0]->encoder()->training();
-  SetTraining(false);
+  if (was_training) {
+    SetTraining(false);
+  }
   Tensor out = BatchedEval(
       x, {fused_dim_per_timestep(), x.dim(2)},
       [this](const Variable& batch) { return EncodeFusedPerTimestep(batch); });
-  SetTraining(was_training);
+  if (was_training) {
+    SetTraining(true);
+  }
   return out;
 }
 

@@ -60,7 +60,22 @@ class UnitsPipeline {
   Status FineTune(const data::TimeSeriesDataset& train);
 
   /// Inference through the fitted pipeline.
+  ///
+  /// Thread-safety: once the pipeline is fitted and in eval mode (see
+  /// EnsureReadyForServing), Predict performs no writes to pipeline or
+  /// module state, so concurrent calls from multiple threads are safe —
+  /// on the same pipeline or across distinct pipelines (autograd's
+  /// no-grad flag is thread-local). Predict on a batch [N, D, T] is
+  /// bitwise row-identical to N single-row calls: every kernel in the
+  /// forward path computes each output row independently of its batch
+  /// neighbours, the invariant the serving micro-batcher relies on.
   Result<TaskResult> Predict(const Tensor& x);
+
+  /// Puts the pipeline in its serving steady state: verifies a task is
+  /// configured, materializes the fusion, and switches every module to
+  /// eval mode so subsequent Predict calls are mutation-free (and hence
+  /// safe to issue concurrently).
+  Status EnsureReadyForServing();
 
   // --- services used by AnalysisTask implementations ------------------------
 

@@ -88,7 +88,9 @@ Tensor AnomalyDetectionTask::ScoreWindows(UnitsPipeline* pipeline,
                                           const Tensor& x) {
   UNITS_CHECK(decoder_ != nullptr);
   ag::NoGradGuard no_grad;
-  decoder_->SetTraining(false);
+  if (decoder_->training()) {
+    decoder_->SetTraining(false);
+  }
   const Tensor repr = pipeline->TransformFusedPerTimestep(x);
   Variable recon = decoder_->Forward(Variable(repr));  // [N, D, T]
   // Score s_t = mean over channels of |x_hat - x| at t.

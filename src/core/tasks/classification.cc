@@ -100,7 +100,9 @@ Result<TaskResult> ClassificationTask::Predict(UnitsPipeline* pipeline,
     return Status::FailedPrecondition("Predict before Fit");
   }
   ag::NoGradGuard no_grad;
-  head_->SetTraining(false);
+  if (head_->training()) {
+    head_->SetTraining(false);
+  }
   Variable z(pipeline->TransformFused(x));
   if (normalize_repr_) {
     z = ag::MulScalar(ag::L2Normalize(z, /*axis=*/1),

@@ -90,8 +90,10 @@ Result<TaskResult> ForecastingTask::Predict(UnitsPipeline* pipeline,
     return Status::FailedPrecondition("Predict before Fit");
   }
   ag::NoGradGuard no_grad;
-  decoder_->SetTraining(false);
-  pipeline->SetTraining(false);
+  if (decoder_->training()) {
+    decoder_->SetTraining(false);
+    pipeline->SetTraining(false);
+  }
   Variable z = EncodeForForecast(pipeline, Variable(x));
   Variable pred = decoder_->Forward(z);
   TaskResult result;

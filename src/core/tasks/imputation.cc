@@ -86,7 +86,9 @@ Result<TaskResult> ImputationTask::Predict(UnitsPipeline* pipeline,
     return Status::FailedPrecondition("Predict before Fit");
   }
   ag::NoGradGuard no_grad;
-  decoder_->SetTraining(false);
+  if (decoder_->training()) {
+    decoder_->SetTraining(false);
+  }
   const Tensor repr = pipeline->TransformFusedPerTimestep(x);
   TaskResult result;
   result.predictions = decoder_->Forward(Variable(repr)).data();

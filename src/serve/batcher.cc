@@ -1,0 +1,225 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/profile.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Extracts row `i` of an [N, ...] batched TaskResult as the TaskResult a
+/// single-row Predict would have produced. Row-major layouts make every
+/// per-row field a contiguous stride.
+Result<core::TaskResult> SliceRow(const core::TaskResult& full, int64_t n,
+                                  int64_t i) {
+  core::TaskResult out;
+  if (!full.labels.empty()) {
+    if (full.labels.size() % static_cast<size_t>(n) != 0) {
+      return Status::Internal("batched labels not divisible by batch size");
+    }
+    const size_t stride = full.labels.size() / static_cast<size_t>(n);
+    out.labels.assign(
+        full.labels.begin() + static_cast<int64_t>(stride) * i,
+        full.labels.begin() + static_cast<int64_t>(stride) * (i + 1));
+  }
+  if (full.predictions.numel() > 0) {
+    if (full.predictions.ndim() < 1 || full.predictions.dim(0) != n) {
+      return Status::Internal("batched predictions lost the batch axis");
+    }
+    out.predictions = ops::Slice(full.predictions, 0, i, 1);
+  }
+  if (full.scores.numel() > 0) {
+    if (full.scores.ndim() < 1 || full.scores.dim(0) != n) {
+      return Status::Internal("batched scores lost the batch axis");
+    }
+    out.scores = ops::Slice(full.scores, 0, i, 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(ModelRegistry* registry, Options options,
+                           ServeStats* stats)
+    : registry_(registry), options_(options), stats_(stats) {
+  options_.max_batch_size = std::max<int64_t>(1, options_.max_batch_size);
+  options_.max_delay_ms = std::max(0.0, options_.max_delay_ms);
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+std::future<Result<core::TaskResult>> MicroBatcher::Submit(
+    const std::string& model, const Tensor& x) {
+  std::promise<Result<core::TaskResult>> promise;
+  std::future<Result<core::TaskResult>> future = promise.get_future();
+
+  Tensor row;
+  if (x.ndim() == 2) {
+    row = x.Reshape({1, x.dim(0), x.dim(1)});
+  } else if (x.ndim() == 3 && x.dim(0) == 1) {
+    row = x;
+  } else {
+    promise.set_value(Status::InvalidArgument(
+        "Submit expects one series [D, T] or [1, D, T], got " +
+        ShapeToString(x.shape())));
+    return future;
+  }
+
+  ModelQueue* q = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(map_mu_);
+    if (shutdown_) {
+      promise.set_value(
+          Status::FailedPrecondition("batcher is shut down"));
+      return future;
+    }
+    auto it = queues_.find(model);
+    if (it == queues_.end()) {
+      // Fail fast on unknown models instead of queueing forever.
+      if (!registry_->Get(model).ok()) {
+        promise.set_value(
+            Status::NotFound("model '" + model + "' is not loaded"));
+        return future;
+      }
+      auto created = std::make_unique<ModelQueue>();
+      created->worker = std::thread(
+          [this, model, queue = created.get()] { WorkerLoop(model, queue); });
+      it = queues_.emplace(model, std::move(created)).first;
+    }
+    q = it->second.get();
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(q->mu);
+    Request req;
+    req.x = row;
+    req.promise = std::move(promise);
+    req.enqueued = Clock::now();
+    q->queue.push_back(std::move(req));
+  }
+  q->cv.notify_one();
+  return future;
+}
+
+void MicroBatcher::WorkerLoop(const std::string& model, ModelQueue* q) {
+  const auto max_delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+  std::unique_lock<std::mutex> lk(q->mu);
+  for (;;) {
+    if (q->queue.empty()) {
+      if (q->stop) {
+        return;
+      }
+      q->cv.wait(lk, [&] { return q->stop || !q->queue.empty(); });
+      continue;
+    }
+    const auto deadline = q->queue.front().enqueued + max_delay;
+    if (!q->stop &&
+        static_cast<int64_t>(q->queue.size()) < options_.max_batch_size &&
+        Clock::now() < deadline) {
+      q->cv.wait_until(lk, deadline);
+      continue;  // re-evaluate: batch full, deadline hit, or spurious wake
+    }
+    // Flush: the longest prefix of same-shaped requests, capped at
+    // max_batch_size. A shape change ends the batch (requests stay FIFO).
+    const Shape row_shape = q->queue.front().x.shape();
+    std::vector<Request> batch;
+    while (!q->queue.empty() &&
+           static_cast<int64_t>(batch.size()) < options_.max_batch_size &&
+           SameShape(q->queue.front().x.shape(), row_shape)) {
+      batch.push_back(std::move(q->queue.front()));
+      q->queue.pop_front();
+    }
+    lk.unlock();
+    ExecuteBatch(model, &batch);
+    lk.lock();
+  }
+}
+
+void MicroBatcher::ExecuteBatch(const std::string& model,
+                                std::vector<Request>* batch) {
+  UNITS_PROFILE_SCOPE("serve.batch");
+  const int64_t n = static_cast<int64_t>(batch->size());
+
+  auto fail_all = [&](const Status& status) {
+    for (Request& req : *batch) {
+      req.promise.set_value(status);
+    }
+  };
+
+  auto handle_or = registry_->Get(model);
+  if (!handle_or.ok()) {
+    fail_all(handle_or.status());
+    return;
+  }
+  std::shared_ptr<ServableModel> handle = std::move(handle_or).value();
+
+  Tensor stacked;
+  if (n == 1) {
+    stacked = (*batch)[0].x;
+  } else {
+    std::vector<Tensor> rows;
+    rows.reserve(batch->size());
+    for (const Request& req : *batch) {
+      rows.push_back(req.x);
+    }
+    stacked = ops::Concat(rows, /*axis=*/0);
+  }
+
+  Result<core::TaskResult> result = handle->Predict(stacked);
+  if (stats_ != nullptr) {
+    stats_->RecordBatch(model, n);
+  }
+  if (!result.ok()) {
+    fail_all(result.status());
+    return;
+  }
+  const core::TaskResult& full = result.value();
+  const auto now = Clock::now();
+  for (int64_t i = 0; i < n; ++i) {
+    Request& req = (*batch)[static_cast<size_t>(i)];
+    if (stats_ != nullptr) {
+      stats_->RecordRequest(
+          model, std::chrono::duration<double, std::milli>(now - req.enqueued)
+                     .count());
+    }
+    if (n == 1) {
+      req.promise.set_value(std::move(result));
+      return;
+    }
+    req.promise.set_value(SliceRow(full, n, i));
+  }
+}
+
+void MicroBatcher::Shutdown() {
+  std::vector<ModelQueue*> queues;
+  {
+    std::lock_guard<std::mutex> lk(map_mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    for (auto& [name, q] : queues_) {
+      queues.push_back(q.get());
+    }
+  }
+  for (ModelQueue* q : queues) {
+    {
+      std::lock_guard<std::mutex> lk(q->mu);
+      q->stop = true;
+    }
+    q->cv.notify_all();
+  }
+  for (ModelQueue* q : queues) {
+    if (q->worker.joinable()) {
+      q->worker.join();
+    }
+  }
+}
+
+}  // namespace units::serve

@@ -1,0 +1,94 @@
+#ifndef UNITS_SERVE_BATCHER_H_
+#define UNITS_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "serve/model_registry.h"
+#include "serve/serve_stats.h"
+
+namespace units::serve {
+
+/// Dynamic micro-batcher: coalesces concurrent single-series Predict
+/// requests for the same model into one [N, D, T] forward.
+///
+/// Each model gets a FIFO queue and one dispatcher thread. The dispatcher
+/// flushes a batch as soon as `max_batch_size` requests are waiting or the
+/// oldest request has waited `max_delay_ms`, whichever comes first, then
+/// scatters the per-row results back to the callers' futures. Intra-batch
+/// compute parallelism comes from the kernels' shared ThreadPool (see
+/// base/parallel.h), which is safe for concurrent dispatchers.
+///
+/// Determinism: batching never changes answers. Every kernel in the
+/// forward path computes each output row independently of its batch
+/// neighbours (DESIGN.md §9), so a request's result is bitwise identical
+/// whether it rode in a batch of 1 or of `max_batch_size`, at any thread
+/// count.
+class MicroBatcher {
+ public:
+  struct Options {
+    int64_t max_batch_size = 16;
+    double max_delay_ms = 2.0;
+  };
+
+  /// `registry` must outlive the batcher; `stats` may be null.
+  MicroBatcher(ModelRegistry* registry, Options options,
+               ServeStats* stats = nullptr);
+
+  /// Drains all pending requests, then joins the dispatchers.
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one series for `model` and returns a future for its result.
+  /// `x` is a single series [D, T] (or [1, D, T]). The future carries the
+  /// same Result a direct ServableModel::Predict on [1, D, T] would.
+  std::future<Result<core::TaskResult>> Submit(const std::string& model,
+                                               const Tensor& x);
+
+  /// Flushes outstanding requests and stops the dispatchers. Subsequent
+  /// Submit calls fail with FailedPrecondition. Idempotent.
+  void Shutdown();
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Request {
+    Tensor x;  // always [1, D, T]
+    std::promise<Result<core::TaskResult>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct ModelQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Request> queue;
+    std::thread worker;
+    bool stop = false;
+  };
+
+  void WorkerLoop(const std::string& model, ModelQueue* q);
+  void ExecuteBatch(const std::string& model, std::vector<Request>* batch);
+
+  ModelRegistry* registry_;
+  Options options_;
+  ServeStats* stats_;
+
+  std::mutex map_mu_;
+  std::map<std::string, std::unique_ptr<ModelQueue>> queues_;
+  bool shutdown_ = false;
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_BATCHER_H_

@@ -1,0 +1,128 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "base/logging.h"
+
+namespace units::serve {
+
+ServableModel::ServableModel(std::string name, std::string path,
+                             std::unique_ptr<core::UnitsPipeline> pipeline)
+    : name_(std::move(name)),
+      path_(std::move(path)),
+      pipeline_(std::move(pipeline)) {
+  if (pipeline_->task() != nullptr) {
+    task_ = pipeline_->task()->name();
+  }
+}
+
+Result<core::TaskResult> ServableModel::Predict(const Tensor& x) {
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("Predict expects [N, D, T], got " +
+                                   ShapeToString(x.shape()));
+  }
+  if (x.dim(1) != pipeline_->input_channels()) {
+    return Status::InvalidArgument(
+        "model '" + name_ + "' expects " +
+        std::to_string(pipeline_->input_channels()) + " channels, got " +
+        std::to_string(x.dim(1)));
+  }
+  std::lock_guard<std::mutex> lk(predict_mu_);
+  return pipeline_->Predict(x);
+}
+
+Result<std::shared_ptr<ServableModel>> ModelRegistry::LoadFromFile(
+    const std::string& name, const std::string& path) {
+  UNITS_ASSIGN_OR_RETURN(std::unique_ptr<core::UnitsPipeline> pipeline,
+                         core::UnitsPipeline::LoadJson(path));
+  UNITS_RETURN_IF_ERROR(pipeline->EnsureReadyForServing());
+  return std::make_shared<ServableModel>(name, path, std::move(pipeline));
+}
+
+Status ModelRegistry::Load(const std::string& name, const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  UNITS_ASSIGN_OR_RETURN(std::shared_ptr<ServableModel> model,
+                         LoadFromFile(name, path));
+  std::lock_guard<std::mutex> lk(mu_);
+  models_[name] = std::move(model);
+  UNITS_LOG(Info) << "registry: loaded '" << name << "' from " << path;
+  return Status::Ok();
+}
+
+Status ModelRegistry::Add(const std::string& name,
+                          std::unique_ptr<core::UnitsPipeline> pipeline,
+                          const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (pipeline == nullptr) {
+    return Status::InvalidArgument("null pipeline");
+  }
+  UNITS_RETURN_IF_ERROR(pipeline->EnsureReadyForServing());
+  auto model =
+      std::make_shared<ServableModel>(name, path, std::move(pipeline));
+  std::lock_guard<std::mutex> lk(mu_);
+  models_[name] = std::move(model);
+  return Status::Ok();
+}
+
+Status ModelRegistry::Unload(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' is not loaded");
+  }
+  models_.erase(it);
+  return Status::Ok();
+}
+
+Status ModelRegistry::Reload(const std::string& name) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = models_.find(name);
+    if (it == models_.end()) {
+      return Status::NotFound("model '" + name + "' is not loaded");
+    }
+    path = it->second->path();
+  }
+  if (path.empty()) {
+    return Status::FailedPrecondition("model '" + name +
+                                      "' has no source path to reload from");
+  }
+  // Parse outside the lock: a large model file should not stall lookups.
+  UNITS_ASSIGN_OR_RETURN(std::shared_ptr<ServableModel> model,
+                         LoadFromFile(name, path));
+  std::lock_guard<std::mutex> lk(mu_);
+  models_[name] = std::move(model);
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<ServableModel>> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' is not loaded");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iterates in sorted order
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return models_.size();
+}
+
+}  // namespace units::serve

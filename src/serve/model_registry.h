@@ -1,0 +1,90 @@
+#ifndef UNITS_SERVE_MODEL_REGISTRY_H_
+#define UNITS_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/pipeline.h"
+
+namespace units::serve {
+
+/// A resident fitted pipeline. Handles are shared_ptrs, so an in-flight
+/// request keeps its model alive even if the registry unloads or reloads
+/// the name concurrently — the old instance is destroyed when the last
+/// request holding it completes.
+class ServableModel {
+ public:
+  ServableModel(std::string name, std::string path,
+                std::unique_ptr<core::UnitsPipeline> pipeline);
+
+  const std::string& name() const { return name_; }
+  /// Source file; empty for models adopted from memory (tests, benches).
+  const std::string& path() const { return path_; }
+  /// Task name, e.g. "classification"; empty when no task is configured.
+  const std::string& task() const { return task_; }
+  int64_t input_channels() const { return pipeline_->input_channels(); }
+
+  /// Runs inference on x [N, D, T]. Forwards for one model are serialized
+  /// by a per-model mutex: the batcher already funnels each model through
+  /// one worker, and direct callers get the same guarantee. Distinct
+  /// models run concurrently (they share only the intra-op thread pool).
+  Result<core::TaskResult> Predict(const Tensor& x);
+
+  core::UnitsPipeline* pipeline() { return pipeline_.get(); }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::string task_;
+  std::unique_ptr<core::UnitsPipeline> pipeline_;
+  std::mutex predict_mu_;
+};
+
+/// Thread-safe named collection of resident models: the serving layer's
+/// source of truth. Loading goes through core/serialize's pipeline JSON
+/// format, after which the pipeline is switched to its mutation-free
+/// eval steady state (UnitsPipeline::EnsureReadyForServing).
+class ModelRegistry {
+ public:
+  /// Loads a serialized pipeline from `path` and makes it available under
+  /// `name`. Replaces any model already registered under that name.
+  Status Load(const std::string& name, const std::string& path);
+
+  /// Adopts an already-constructed fitted pipeline (no file round-trip);
+  /// used by tests and benches. Reload is unavailable for such models
+  /// unless `path` is given.
+  Status Add(const std::string& name,
+             std::unique_ptr<core::UnitsPipeline> pipeline,
+             const std::string& path = "");
+
+  /// Removes `name`. In-flight requests holding the handle finish
+  /// normally; the pipeline is freed when the last handle drops.
+  Status Unload(const std::string& name);
+
+  /// Re-loads `name` from its recorded path (picking up a re-fitted model
+  /// file in place). Fails for adopted models without a path.
+  Status Reload(const std::string& name);
+
+  /// Handle lookup; NotFound if the name is not registered.
+  Result<std::shared_ptr<ServableModel>> Get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> List() const;
+
+  size_t size() const;
+
+ private:
+  static Result<std::shared_ptr<ServableModel>> LoadFromFile(
+      const std::string& name, const std::string& path);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ServableModel>> models_;
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_MODEL_REGISTRY_H_

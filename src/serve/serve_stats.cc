@@ -1,0 +1,101 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+
+namespace units::serve {
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace
+
+void ServeStats::RecordRequest(const std::string& model, double latency_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PerModel& m = models_[model];
+  m.requests += 1;
+  if (m.latencies_ms.size() < kLatencyWindow) {
+    m.latencies_ms.push_back(latency_ms);
+  } else {
+    m.latencies_ms[m.next_latency % kLatencyWindow] = latency_ms;
+  }
+  m.next_latency += 1;
+}
+
+void ServeStats::RecordBatch(const std::string& model, int64_t batch_size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PerModel& m = models_[model];
+  m.batches += 1;
+  m.batch_histogram[batch_size] += 1;
+}
+
+ServeStats::ModelSnapshot ServeStats::MakeSnapshot(const PerModel& m) {
+  ModelSnapshot snap;
+  snap.requests = m.requests;
+  snap.batches = m.batches;
+  snap.batch_histogram = m.batch_histogram;
+  int64_t batched_requests = 0;
+  for (const auto& [size, count] : m.batch_histogram) {
+    batched_requests += size * count;
+  }
+  snap.mean_batch_size =
+      m.batches == 0 ? 0.0
+                     : static_cast<double>(batched_requests) /
+                           static_cast<double>(m.batches);
+  std::vector<double> sorted = m.latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  snap.p50_ms = Percentile(sorted, 0.50);
+  snap.p95_ms = Percentile(sorted, 0.95);
+  snap.p99_ms = Percentile(sorted, 0.99);
+  return snap;
+}
+
+ServeStats::ModelSnapshot ServeStats::Snapshot(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = models_.find(model);
+  if (it == models_.end()) {
+    return ModelSnapshot{};
+  }
+  return MakeSnapshot(it->second);
+}
+
+json::JsonValue ServeStats::ToJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  json::JsonValue root = json::JsonValue::Object();
+  for (const auto& [name, m] : models_) {
+    const ModelSnapshot snap = MakeSnapshot(m);
+    json::JsonValue entry = json::JsonValue::Object();
+    entry.Set("requests", json::JsonValue::Int(snap.requests));
+    entry.Set("batches", json::JsonValue::Int(snap.batches));
+    entry.Set("mean_batch_size", json::JsonValue::Number(snap.mean_batch_size));
+    json::JsonValue hist = json::JsonValue::Object();
+    for (const auto& [size, count] : snap.batch_histogram) {
+      hist.Set(std::to_string(size), json::JsonValue::Int(count));
+    }
+    entry.Set("batch_histogram", std::move(hist));
+    json::JsonValue latency = json::JsonValue::Object();
+    latency.Set("p50", json::JsonValue::Number(snap.p50_ms));
+    latency.Set("p95", json::JsonValue::Number(snap.p95_ms));
+    latency.Set("p99", json::JsonValue::Number(snap.p99_ms));
+    entry.Set("latency_ms", std::move(latency));
+    root.Set(name, std::move(entry));
+  }
+  return root;
+}
+
+void ServeStats::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  models_.clear();
+}
+
+}  // namespace units::serve

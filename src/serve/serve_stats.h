@@ -1,0 +1,67 @@
+#ifndef UNITS_SERVE_SERVE_STATS_H_
+#define UNITS_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace units::serve {
+
+/// Thread-safe per-model serving statistics: request count, executed batch
+/// count, a batch-size histogram, and request latency quantiles
+/// (p50/p95/p99 over a bounded ring of recent observations). Dumped as
+/// JSON by the server's "stats" op and by bench_serve.
+class ServeStats {
+ public:
+  /// Latency observations kept per model (a ring buffer; older entries are
+  /// overwritten once the window is full).
+  static constexpr size_t kLatencyWindow = 1 << 16;
+
+  /// Records one completed request with its end-to-end latency
+  /// (enqueue to response ready).
+  void RecordRequest(const std::string& model, double latency_ms);
+
+  /// Records one executed batch of the given size.
+  void RecordBatch(const std::string& model, int64_t batch_size);
+
+  /// Per-model snapshot used by tests and the JSON dump.
+  struct ModelSnapshot {
+    int64_t requests = 0;
+    int64_t batches = 0;
+    std::map<int64_t, int64_t> batch_histogram;  // size -> count
+    double mean_batch_size = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+  ModelSnapshot Snapshot(const std::string& model) const;
+
+  /// {"<model>": {"requests": N, "batches": M, "mean_batch_size": X,
+  ///              "batch_histogram": {"1": n1, ...},
+  ///              "latency_ms": {"p50": ..., "p95": ..., "p99": ...}}}
+  json::JsonValue ToJson() const;
+
+  void Reset();
+
+ private:
+  struct PerModel {
+    int64_t requests = 0;
+    int64_t batches = 0;
+    std::map<int64_t, int64_t> batch_histogram;
+    std::vector<double> latencies_ms;  // ring buffer
+    size_t next_latency = 0;           // ring write cursor
+  };
+
+  static ModelSnapshot MakeSnapshot(const PerModel& m);
+
+  mutable std::mutex mu_;
+  std::map<std::string, PerModel> models_;
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_SERVE_STATS_H_

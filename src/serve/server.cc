@@ -1,0 +1,259 @@
+#include "serve/server.h"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "base/profile.h"
+#include "core/serialize.h"
+
+namespace units::serve {
+
+namespace {
+
+/// {"ok": false, "error": msg} (+ id when present).
+json::JsonValue ErrorResponse(const json::JsonValue& id,
+                              const std::string& message) {
+  json::JsonValue resp = json::JsonValue::Object();
+  if (!id.is_null()) {
+    resp.Set("id", id);
+  }
+  resp.Set("ok", json::JsonValue::Bool(false));
+  resp.Set("error", json::JsonValue::String(message));
+  return resp;
+}
+
+json::JsonValue OkResponse(const std::string& op) {
+  json::JsonValue resp = json::JsonValue::Object();
+  resp.Set("ok", json::JsonValue::Bool(true));
+  resp.Set("op", json::JsonValue::String(op));
+  return resp;
+}
+
+/// Fallible string-field lookup on an untrusted request object.
+Result<std::string> GetStringField(const json::JsonValue& req,
+                                   const std::string& key) {
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* v, req.Find(key));
+  if (!v->is_string()) {
+    return Status::InvalidArgument("field '" + key + "' must be a string");
+  }
+  return v->AsString();
+}
+
+/// Parses the "values" payload into one series [D, T]. Accepts [D][T]
+/// nested arrays or a flat [T] array (D = 1).
+Result<Tensor> ValuesToSeries(const json::JsonValue& values) {
+  if (!values.is_array() || values.size() == 0) {
+    return Status::InvalidArgument("'values' must be a non-empty array");
+  }
+  std::vector<float> flat;
+  int64_t channels = 0;
+  int64_t length = 0;
+  if (values[0].is_array()) {
+    channels = static_cast<int64_t>(values.size());
+    length = static_cast<int64_t>(values[0].size());
+    if (length == 0) {
+      return Status::InvalidArgument("'values' channels must be non-empty");
+    }
+    flat.reserve(static_cast<size_t>(channels * length));
+    for (size_t d = 0; d < values.size(); ++d) {
+      const json::JsonValue& row = values[d];
+      if (!row.is_array() ||
+          static_cast<int64_t>(row.size()) != length) {
+        return Status::InvalidArgument(
+            "'values' channels must be equal-length arrays");
+      }
+      for (size_t t = 0; t < row.size(); ++t) {
+        if (!row[t].is_number()) {
+          return Status::InvalidArgument("'values' entries must be numbers");
+        }
+        flat.push_back(static_cast<float>(row[t].AsNumber()));
+      }
+    }
+  } else {
+    channels = 1;
+    length = static_cast<int64_t>(values.size());
+    flat.reserve(static_cast<size_t>(length));
+    for (size_t t = 0; t < values.size(); ++t) {
+      if (!values[t].is_number()) {
+        return Status::InvalidArgument("'values' entries must be numbers");
+      }
+      flat.push_back(static_cast<float>(values[t].AsNumber()));
+    }
+  }
+  return Tensor::FromVector({channels, length}, std::move(flat));
+}
+
+/// Renders a completed prediction as a response line.
+json::JsonValue PredictResponse(const json::JsonValue& id,
+                                const std::string& model,
+                                const Result<core::TaskResult>& result) {
+  if (!result.ok()) {
+    return ErrorResponse(id, result.status().ToString());
+  }
+  json::JsonValue resp = json::JsonValue::Object();
+  resp.Set("id", id);
+  resp.Set("ok", json::JsonValue::Bool(true));
+  resp.Set("model", json::JsonValue::String(model));
+  const core::TaskResult& r = result.value();
+  if (!r.labels.empty()) {
+    resp.Set("labels", json::JsonValue::FromInts(r.labels));
+  }
+  if (r.predictions.numel() > 0) {
+    resp.Set("predictions", core::TensorToJson(r.predictions));
+  }
+  if (r.scores.numel() > 0) {
+    resp.Set("scores", core::TensorToJson(r.scores));
+  }
+  return resp;
+}
+
+}  // namespace
+
+JsonLineServer::JsonLineServer(ModelRegistry* registry, Options options)
+    : registry_(registry), batcher_(registry, options.batcher, &stats_) {}
+
+void JsonLineServer::Drain(std::vector<Pending>* pending,
+                           std::ostream& out) {
+  for (Pending& p : *pending) {
+    const Result<core::TaskResult> result = p.future.get();
+    out << PredictResponse(p.id, p.model, result).Dump() << "\n";
+  }
+  out.flush();
+  pending->clear();
+}
+
+json::JsonValue JsonLineServer::HandleControl(
+    const json::JsonValue& request) {
+  const std::string op = request.at("op").AsString();
+  if (op == "load") {
+    auto model = GetStringField(request, "model");
+    auto path = GetStringField(request, "path");
+    if (!model.ok()) return ErrorResponse(json::JsonValue(), model.status().ToString());
+    if (!path.ok()) return ErrorResponse(json::JsonValue(), path.status().ToString());
+    const Status status = registry_->Load(*model, *path);
+    if (!status.ok()) {
+      return ErrorResponse(json::JsonValue(), status.ToString());
+    }
+    json::JsonValue resp = OkResponse(op);
+    resp.Set("model", json::JsonValue::String(*model));
+    auto handle = registry_->Get(*model);
+    if (handle.ok()) {
+      resp.Set("task", json::JsonValue::String((*handle)->task()));
+    }
+    return resp;
+  }
+  if (op == "unload" || op == "reload") {
+    auto model = GetStringField(request, "model");
+    if (!model.ok()) return ErrorResponse(json::JsonValue(), model.status().ToString());
+    const Status status = op == "unload" ? registry_->Unload(*model)
+                                         : registry_->Reload(*model);
+    if (!status.ok()) {
+      return ErrorResponse(json::JsonValue(), status.ToString());
+    }
+    json::JsonValue resp = OkResponse(op);
+    resp.Set("model", json::JsonValue::String(*model));
+    return resp;
+  }
+  if (op == "list") {
+    json::JsonValue models = json::JsonValue::Array();
+    for (const std::string& name : registry_->List()) {
+      auto handle = registry_->Get(name);
+      if (!handle.ok()) {
+        continue;  // unloaded between List and Get
+      }
+      json::JsonValue entry = json::JsonValue::Object();
+      entry.Set("name", json::JsonValue::String(name));
+      entry.Set("task", json::JsonValue::String((*handle)->task()));
+      entry.Set("path", json::JsonValue::String((*handle)->path()));
+      entry.Set("input_channels",
+                json::JsonValue::Int((*handle)->input_channels()));
+      models.Append(std::move(entry));
+    }
+    json::JsonValue resp = OkResponse(op);
+    resp.Set("models", std::move(models));
+    return resp;
+  }
+  if (op == "stats") {
+    json::JsonValue resp = OkResponse(op);
+    resp.Set("stats", stats_.ToJson());
+    if (base::OpStatsRegistry::Enabled()) {
+      auto parsed = json::Parse(base::OpStatsRegistry::Global()->DumpJson());
+      if (parsed.ok()) {
+        resp.Set("op_stats", std::move(parsed).value());
+      }
+    }
+    return resp;
+  }
+  return ErrorResponse(json::JsonValue(), "unknown op '" + op + "'");
+}
+
+int JsonLineServer::Run(std::istream& in, std::ostream& out) {
+  std::vector<Pending> pending;
+  int64_t next_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank line
+    }
+    auto parsed = json::Parse(line);
+    if (!parsed.ok() || !parsed->is_object() || !parsed->Contains("op") ||
+        !parsed->at("op").is_string()) {
+      Drain(&pending, out);
+      out << ErrorResponse(json::JsonValue(),
+                           parsed.ok() ? "request needs a string 'op' field"
+                                       : parsed.status().ToString())
+                 .Dump()
+          << "\n";
+      out.flush();
+      continue;
+    }
+    const json::JsonValue& request = *parsed;
+    const std::string op = request.at("op").AsString();
+
+    if (op == "predict") {
+      json::JsonValue id = request.Contains("id")
+                               ? request.at("id")
+                               : json::JsonValue::Int(next_id);
+      ++next_id;
+      auto model = GetStringField(request, "model");
+      if (!model.ok()) {
+        Drain(&pending, out);
+        out << ErrorResponse(id, model.status().ToString()).Dump() << "\n";
+        out.flush();
+        continue;
+      }
+      auto values = request.Find("values");
+      Result<Tensor> series =
+          values.ok() ? ValuesToSeries(**values)
+                      : Result<Tensor>(values.status());
+      if (!series.ok()) {
+        Drain(&pending, out);
+        out << ErrorResponse(id, series.status().ToString()).Dump() << "\n";
+        out.flush();
+        continue;
+      }
+      Pending p;
+      p.id = std::move(id);
+      p.model = *model;
+      p.future = batcher_.Submit(*model, *series);
+      pending.push_back(std::move(p));
+      continue;
+    }
+
+    // Every control op is a barrier: answer outstanding predictions first
+    // so responses keep request order.
+    Drain(&pending, out);
+    if (op == "quit") {
+      out << OkResponse(op).Dump() << "\n";
+      out.flush();
+      return 0;
+    }
+    out << HandleControl(request).Dump() << "\n";
+    out.flush();
+  }
+  Drain(&pending, out);
+  return 0;
+}
+
+}  // namespace units::serve

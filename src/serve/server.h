@@ -1,0 +1,68 @@
+#ifndef UNITS_SERVE_SERVER_H_
+#define UNITS_SERVE_SERVER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/serve_stats.h"
+
+namespace units::serve {
+
+/// Newline-delimited JSON request/response loop — the transport behind the
+/// `units_serve` tool. One request per line on the input stream, one
+/// response per line on the output stream, in request order.
+///
+/// Requests ({"op": ..., ...}):
+///   {"op": "load", "model": "m", "path": "fitted.json"}
+///   {"op": "unload", "model": "m"}
+///   {"op": "reload", "model": "m"}
+///   {"op": "list"}
+///   {"op": "predict", "model": "m", "values": [[...], ...], "id": any}
+///       values: one series as [D][T] nested arrays (or a flat [T] array
+///       for single-channel models); id is echoed back (default: request
+///       sequence number).
+///   {"op": "stats"}
+///   {"op": "quit"}
+///
+/// Predict requests are submitted to the micro-batcher without waiting, so
+/// a burst of predict lines coalesces into batched forwards; any other op
+/// acts as a barrier that first drains pending predictions (responses stay
+/// in request order). Responses are {"id": ..., "ok": true, ...} or
+/// {"id": ..., "ok": false, "error": "..."}; malformed lines produce an
+/// error response and the loop continues.
+class JsonLineServer {
+ public:
+  struct Options {
+    MicroBatcher::Options batcher;
+  };
+
+  /// `registry` must outlive the server.
+  JsonLineServer(ModelRegistry* registry, Options options);
+
+  /// Serves until "quit" or end of input. Returns a process exit code
+  /// (0 on orderly shutdown).
+  int Run(std::istream& in, std::ostream& out);
+
+  ServeStats* stats() { return &stats_; }
+
+ private:
+  struct Pending {
+    json::JsonValue id;
+    std::string model;
+    std::future<Result<core::TaskResult>> future;
+  };
+
+  void Drain(std::vector<Pending>* pending, std::ostream& out);
+  json::JsonValue HandleControl(const json::JsonValue& request);
+
+  ModelRegistry* registry_;
+  ServeStats stats_;
+  MicroBatcher batcher_;  // must follow stats_ (holds a pointer to it)
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_SERVER_H_

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "base/parallel.h"
+#include "base/profile.h"
 
 namespace units::ops {
 
@@ -248,6 +249,7 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  UNITS_PROFILE_SCOPE("tensor.MatMul");
   UNITS_CHECK_EQ(a.ndim(), 2);
   UNITS_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0);
@@ -281,6 +283,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  UNITS_PROFILE_SCOPE("tensor.BatchedMatMul");
   UNITS_CHECK_EQ(a.ndim(), 3);
   UNITS_CHECK_EQ(b.ndim(), 3);
   const int64_t batch = a.dim(0);
@@ -318,6 +321,7 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Transpose(const Tensor& a, int axis0, int axis1) {
+  UNITS_PROFILE_SCOPE("tensor.Transpose");
   axis0 = NormalizeAxis(axis0, a.ndim());
   axis1 = NormalizeAxis(axis1, a.ndim());
   Shape out_shape = a.shape();
@@ -358,6 +362,7 @@ Tensor Transpose(const Tensor& a, int axis0, int axis1) {
 Tensor Transpose2D(const Tensor& a) { return Transpose(a, 0, 1); }
 
 float SumAll(const Tensor& a) {
+  UNITS_PROFILE_SCOPE("tensor.SumAll");
   // Double accumulation per fixed-size chunk, partial sums combined in
   // chunk order: deterministic at any thread count.
   const float* p = a.data();
@@ -431,6 +436,7 @@ Shape DropOrKeepAxis(const Shape& shape, int axis, bool keepdim) {
 }  // namespace
 
 Tensor Sum(const Tensor& a, int axis, bool keepdim) {
+  UNITS_PROFILE_SCOPE("tensor.Sum");
   axis = NormalizeAxis(axis, a.ndim());
   const AxisSplit s = SplitAxis(a.shape(), axis);
   Tensor out = Tensor::Zeros(DropOrKeepAxis(a.shape(), axis, keepdim));
@@ -551,6 +557,7 @@ std::pair<Tensor, std::vector<int64_t>> MaxWithArg(const Tensor& a, int axis) {
 }
 
 Tensor Softmax(const Tensor& a, int axis) {
+  UNITS_PROFILE_SCOPE("tensor.Softmax");
   axis = NormalizeAxis(axis, a.ndim());
   const Tensor m = Max(a, axis, /*keepdim=*/true);
   const Tensor shifted = Sub(a, m);
@@ -679,6 +686,7 @@ Tensor Stack(const std::vector<Tensor>& parts) {
 
 Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
                 int64_t pad_left, int64_t pad_right) {
+  UNITS_PROFILE_SCOPE("tensor.Im2Col1D");
   UNITS_CHECK_EQ(input.ndim(), 3);
   const int64_t n = input.dim(0);
   const int64_t c = input.dim(1);
@@ -710,6 +718,7 @@ Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
 
 Tensor Col2Im1D(const Tensor& cols, const Shape& input_shape, int64_t kernel,
                 int64_t dilation, int64_t pad_left, int64_t pad_right) {
+  UNITS_PROFILE_SCOPE("tensor.Col2Im1D");
   UNITS_CHECK_EQ(input_shape.size(), 3u);
   const int64_t n = input_shape[0];
   const int64_t c = input_shape[1];
@@ -770,6 +779,7 @@ bool HasNonFinite(const Tensor& a) {
 }
 
 float Norm(const Tensor& a) {
+  UNITS_PROFILE_SCOPE("tensor.Norm");
   const float* p = a.data();
   const double acc =
       ParallelReduceSum(0, a.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {

@@ -49,4 +49,42 @@ if "$CLI" bogus > /dev/null 2>&1; then
   exit 1
 fi
 
+# --- Negative cases: every bad input must fail with stderr + non-zero exit,
+# --- never a crash and never a silent success.
+expect_failure() {
+  local desc="$1"; shift
+  local err="$WORK/stderr.txt"
+  if "$@" > /dev/null 2> "$err"; then
+    echo "expected nonzero exit: $desc" >&2
+    exit 1
+  fi
+  if ! grep -qi "error" "$err"; then
+    echo "expected an error message on stderr: $desc" >&2
+    exit 1
+  fi
+}
+
+# A bad config/model file (valid JSON, wrong shape) must not exit 0.
+echo '{"not": "a pipeline"}' > "$WORK/bad.json"
+expect_failure "info on a non-pipeline file" \
+  "$CLI" info --model "$WORK/bad.json"
+expect_failure "predict with a non-pipeline model" \
+  "$CLI" predict --model "$WORK/bad.json" --data "$DATA" --format ucr
+
+# Truncated JSON must be a parse error, not a crash.
+head -c 40 "$WORK/fitted.json" > "$WORK/truncated.json"
+expect_failure "info on truncated JSON" \
+  "$CLI" info --model "$WORK/truncated.json"
+
+# Garbage numeric flags must be rejected, not parsed as 0 or thrown through.
+expect_failure "non-numeric --window" \
+  "$CLI" pretrain --data "$DATA" --format long --window abc \
+    --out "$WORK/never.json"
+
+# Missing files and missing required flags.
+expect_failure "missing data file" \
+  "$CLI" predict --model "$WORK/fitted.json" --data "$WORK/absent.csv"
+expect_failure "missing required --out" \
+  "$CLI" pretrain --data "$DATA" --format ucr
+
 echo "CLI workflow OK"

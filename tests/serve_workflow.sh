@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end test of the serving runtime: train two tiny models with
+# units_cli, then drive units_serve over its newline-delimited JSON
+# protocol — preload, runtime load, predicts against both models
+# (coalesced by the micro-batcher), stats, and error handling.
+# Usage: serve_workflow.sh <path-to-units_cli> <path-to-units_serve>
+set -euo pipefail
+
+CLI="$1"
+SERVE="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Two trivially separable classes (same generator as cli_workflow.sh).
+DATA="$WORK/train.csv"
+awk 'BEGIN {
+  for (i = 0; i < 16; ++i) {
+    base = (i % 2 == 0) ? 0 : 5;
+    printf "%d", i % 2;
+    for (t = 0; t < 32; ++t) {
+      printf ",%.2f", base + 0.1 * (t % 3);
+    }
+    printf "\n";
+  }
+}' > "$DATA"
+
+# Two fitted models (different seeds -> different weights).
+for seed in 1 2; do
+  "$CLI" pretrain --data "$DATA" --format ucr --seed "$seed" \
+    --templates whole_series_contrastive --out "$WORK/pre$seed.json" \
+    --set epochs=1 --set hidden_channels=8 --set repr_dim=8 \
+    --set num_blocks=1 > /dev/null
+  "$CLI" finetune --model "$WORK/pre$seed.json" --data "$DATA" \
+    --format ucr --task classification --out "$WORK/m$seed.json" \
+    --set epochs=4 > /dev/null
+done
+
+# Request script: model "a" is preloaded, "b" is loaded over the protocol.
+REQ="$WORK/requests.ndjson"
+awk -v m2="$WORK/m2.json" 'BEGIN {
+  printf "{\"op\":\"load\",\"model\":\"b\",\"path\":\"%s\"}\n", m2;
+  printf "{\"op\":\"list\"}\n";
+  for (r = 0; r < 6; ++r) {
+    printf "{\"op\":\"predict\",\"model\":\"%s\",\"id\":%d,\"values\":[",
+           (r % 2 == 0 ? "a" : "b"), r;
+    for (t = 0; t < 32; ++t) {
+      printf "%s%.2f", (t ? "," : ""), (r % 2) * 5 + 0.1 * (t % 3);
+    }
+    printf "]}\n";
+  }
+  printf "{\"op\":\"stats\"}\n";
+  printf "{\"op\":\"predict\",\"model\":\"ghost\",\"values\":[1,2,3]}\n";
+  printf "{\"op\":\"bogus\"}\n";
+  printf "this is not json\n";
+  printf "{\"op\":\"quit\"}\n";
+}' > "$REQ"
+
+RESP="$WORK/responses.ndjson"
+"$SERVE" --model "a=$WORK/m1.json" --max-delay-ms 5 \
+  < "$REQ" > "$RESP" 2> "$WORK/serve.log"
+
+# One response line per request line.
+[ "$(wc -l < "$RESP")" -eq "$(wc -l < "$REQ")" ]
+
+# Both models are listed after the runtime load.
+grep -q '"op":"load"' "$RESP"
+LIST_LINE="$(grep '"op":"list"' "$RESP")"
+echo "$LIST_LINE" | grep -q '"name":"a"'
+echo "$LIST_LINE" | grep -q '"name":"b"'
+
+# All six predicts answered, in order, with labels and per-class scores.
+[ "$(grep -c '"labels":' "$RESP")" -eq 6 ]
+for id in 0 1 2 3 4 5; do
+  grep -q "\"id\":$id,\"ok\":true" "$RESP"
+done
+# Identical inputs to the same model must answer identically, regardless
+# of which batches the micro-batcher formed (determinism contract).
+label_of() { grep "\"id\":$1," "$RESP" | sed 's/.*"labels":\[\([0-9-]*\)\].*/\1/'; }
+[ "$(label_of 0)" = "$(label_of 2)" ]
+[ "$(label_of 2)" = "$(label_of 4)" ]
+[ "$(label_of 1)" = "$(label_of 3)" ]
+[ "$(label_of 3)" = "$(label_of 5)" ]
+
+# Stats cover the preloaded model that served before the stats barrier.
+grep '"op":"stats"' "$RESP" | grep -q '"requests":'
+
+# Errors are reported per line without killing the server.
+[ "$(grep -c '"ok":false' "$RESP")" -eq 3 ]
+grep -q '"op":"quit"' "$RESP"
+
+# Bad invocations of the frontend itself fail fast.
+if "$SERVE" --model "oops-no-equals" < /dev/null > /dev/null 2>&1; then
+  echo "expected nonzero exit for a malformed --model flag" >&2
+  exit 1
+fi
+if "$SERVE" --model "a=$WORK/absent.json" < /dev/null > /dev/null 2>&1; then
+  echo "expected nonzero exit for a missing model file" >&2
+  exit 1
+fi
+
+echo "serve workflow OK"

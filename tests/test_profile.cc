@@ -1,0 +1,100 @@
+#include "base/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::base {
+namespace {
+
+/// Leaves profiling disabled and the registry empty after each test so the
+/// rest of the suite is unaffected.
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    OpStatsRegistry::SetEnabled(true);
+    OpStatsRegistry::Global()->Reset();
+  }
+  void TearDown() override {
+    OpStatsRegistry::SetEnabled(false);
+    OpStatsRegistry::Global()->Reset();
+  }
+
+  static const OpStat* FindStat(
+      const std::vector<std::pair<std::string, OpStat>>& stats,
+      const std::string& name) {
+    for (const auto& [n, stat] : stats) {
+      if (n == name) {
+        return &stat;
+      }
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(ProfileTest, ScopedTimerAccumulates) {
+  for (int i = 0; i < 3; ++i) {
+    UNITS_PROFILE_SCOPE("test.op");
+  }
+  const auto stats = OpStatsRegistry::Global()->Snapshot();
+  const OpStat* stat = FindStat(stats, "test.op");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->calls, 3);
+  EXPECT_GE(stat->total_ns, 0);
+}
+
+TEST_F(ProfileTest, DisabledTimersRecordNothing) {
+  OpStatsRegistry::SetEnabled(false);
+  {
+    UNITS_PROFILE_SCOPE("test.disabled");
+  }
+  OpStatsRegistry::SetEnabled(true);
+  const auto stats = OpStatsRegistry::Global()->Snapshot();
+  EXPECT_EQ(FindStat(stats, "test.disabled"), nullptr);
+}
+
+TEST_F(ProfileTest, KernelCallSitesReport) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 1, 1});
+  (void)ops::MatMul(a, b);
+  (void)ops::MatMul(a, b);
+  (void)ops::Softmax(a, /*axis=*/1);
+  const auto stats = OpStatsRegistry::Global()->Snapshot();
+  const OpStat* matmul = FindStat(stats, "tensor.MatMul");
+  ASSERT_NE(matmul, nullptr);
+  EXPECT_EQ(matmul->calls, 2);
+  const OpStat* softmax = FindStat(stats, "tensor.Softmax");
+  ASSERT_NE(softmax, nullptr);
+  EXPECT_EQ(softmax->calls, 1);
+}
+
+TEST_F(ProfileTest, SnapshotIsNameSorted) {
+  OpStatsRegistry::Global()->Record("zzz", 1);
+  OpStatsRegistry::Global()->Record("aaa", 1);
+  const auto stats = OpStatsRegistry::Global()->Snapshot();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "aaa");
+  EXPECT_EQ(stats[1].first, "zzz");
+}
+
+TEST_F(ProfileTest, DumpJsonIsValid) {
+  OpStatsRegistry::Global()->Record("test.dump", 1500000);  // 1.5 ms
+  OpStatsRegistry::Global()->Record("test.dump", 500000);
+  auto parsed = json::Parse(OpStatsRegistry::Global()->DumpJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  ASSERT_TRUE(parsed->Contains("test.dump"));
+  const json::JsonValue& entry = parsed->at("test.dump");
+  EXPECT_EQ(entry.at("calls").AsInt(), 2);
+  EXPECT_NEAR(entry.at("total_ms").AsNumber(), 2.0, 1e-6);
+}
+
+TEST_F(ProfileTest, ResetClears) {
+  OpStatsRegistry::Global()->Record("test.reset", 1);
+  OpStatsRegistry::Global()->Reset();
+  EXPECT_TRUE(OpStatsRegistry::Global()->Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace units::base

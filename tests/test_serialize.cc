@@ -224,6 +224,66 @@ TEST(PipelineJsonTest, LoadRejectsCorruptedModel) {
   }
 }
 
+void ExpectBitwiseEqualTensor(const Tensor& a, const Tensor& b,
+                              const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    // Exact equality, not AllClose: the JSON format stores floats with
+    // enough digits (%.9g) that save -> load is lossless.
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+/// Save -> load -> Predict must reproduce the original model's output
+/// bit-for-bit for every task head; serving correctness (model files move
+/// between processes) depends on this, not just on being "close".
+TEST(PipelineJsonTest, BitwiseRoundTripAllTasks) {
+  const char* kTasks[] = {"classification", "clustering", "forecasting",
+                          "anomaly_detection", "imputation"};
+  for (const char* task : kTasks) {
+    SCOPED_TRACE(task);
+    auto cfg = TinyConfig(task);
+    data::TimeSeriesDataset dataset = TinyData();
+    if (std::string(task) == "clustering") {
+      cfg.finetune_params.SetInt("num_clusters", 2);
+      cfg.finetune_params.SetInt("cluster_finetune_epochs", 0);
+    } else if (std::string(task) == "forecasting" ||
+               std::string(task) == "imputation") {
+      data::ForecastSeriesOpts opts;
+      opts.num_channels = 2;
+      opts.total_length = 300;
+      opts.seed = 9;
+      dataset = data::MakeForecastDataset(opts, 32, 16, 8);
+    } else if (std::string(task) == "anomaly_detection") {
+      data::AnomalyOpts opts;
+      opts.num_channels = 2;
+      opts.total_length = 300;
+      opts.seed = 11;
+      dataset = data::TimeSeriesDataset(
+          data::SlidingWindows(data::MakeCleanSeries(opts), 32, 16));
+    }
+    const std::string path =
+        ::testing::TempDir() + "/bitwise_" + task + ".json";
+    auto pipeline = UnitsPipeline::Create(cfg, 2);
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE((*pipeline)->FineTune(dataset).ok());
+    auto before = (*pipeline)->Predict(dataset.values());
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+    ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+
+    auto loaded = UnitsPipeline::LoadJson(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    auto after = (*loaded)->Predict(dataset.values());
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+    EXPECT_EQ(before->labels, after->labels);
+    ExpectBitwiseEqualTensor(before->predictions, after->predictions,
+                             std::string(task) + " predictions");
+    ExpectBitwiseEqualTensor(before->scores, after->scores,
+                             std::string(task) + " scores");
+  }
+}
+
 TEST(PipelineJsonTest, SavedFileIsValidPrettyJson) {
   const std::string path = ::testing::TempDir() + "/pipe_pretty.json";
   auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);

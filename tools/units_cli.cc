@@ -13,7 +13,9 @@
 //   units_cli info     --model fitted.json
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <string>
@@ -73,6 +75,23 @@ Status RequireFlag(const Args& args, const std::string& name) {
   return Status::Ok();
 }
 
+/// Strict numeric flag parsing: the whole value must be an integer.
+/// (std::stoll would throw on garbage and take "12abc" as 12.)
+Result<int64_t> IntFlagOr(const Args& args, const std::string& name,
+                          int64_t fallback) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end() || it->second.empty()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects an integer, got " +
+                                   it->second);
+  }
+  return static_cast<int64_t>(v);
+}
+
 /// Parses repeated --set k=v pairs, inferring int / double / string.
 Result<hpo::ParamSet> ParseSetParams(const Args& args) {
   hpo::ParamSet params;
@@ -113,9 +132,13 @@ Result<data::TimeSeriesDataset> LoadData(const Args& args) {
                            data::LoadCsvSeries(path, /*has_header=*/
                                                FlagOr(args, "header", "0") ==
                                                    "1"));
-    const int64_t window = std::stoll(FlagOr(args, "window", "96"));
-    const int64_t stride = std::stoll(FlagOr(args, "stride",
-                                             std::to_string(window / 2)));
+    UNITS_ASSIGN_OR_RETURN(const int64_t window,
+                           IntFlagOr(args, "window", 96));
+    UNITS_ASSIGN_OR_RETURN(const int64_t stride,
+                           IntFlagOr(args, "stride", window / 2));
+    if (window < 1 || stride < 1) {
+      return Status::InvalidArgument("--window and --stride must be >= 1");
+    }
     return data::TimeSeriesDataset(
         data::SlidingWindows(series, window, stride));
   }
@@ -157,7 +180,8 @@ Status CmdPretrain(const Args& args) {
   config.task = FlagOr(args, "task", "");
   config.mode = core::ConfigMode::kManual;
   config.pretrain_params = params;
-  config.seed = std::stoull(FlagOr(args, "seed", "42"));
+  UNITS_ASSIGN_OR_RETURN(const int64_t seed, IntFlagOr(args, "seed", 42));
+  config.seed = static_cast<uint64_t>(seed);
 
   UNITS_ASSIGN_OR_RETURN(
       std::unique_ptr<core::UnitsPipeline> pipeline,
@@ -262,30 +286,78 @@ Status CmdInfo(const Args& args) {
   UNITS_RETURN_IF_ERROR(RequireFlag(args, "model"));
   UNITS_ASSIGN_OR_RETURN(json::JsonValue model,
                          json::ParseFile(args.flags.at("model")));
-  if (!model.is_object() || !model.Contains("config")) {
+  // The file is untrusted input: every field access goes through Find so a
+  // truncated or hand-edited file reports an error instead of aborting.
+  if (!model.is_object()) {
     return Status::InvalidArgument("not a units-pipeline file");
   }
-  const json::JsonValue& config = model.at("config");
-  std::printf("format:   %s (version %lld)\n",
-              model.at("format").AsString().c_str(),
-              static_cast<long long>(model.at("version").AsInt()));
-  std::printf("templates:");
-  for (size_t i = 0; i < config.at("templates").size(); ++i) {
-    std::printf(" %s", config.at("templates")[i].AsString().c_str());
+  auto missing = [](const std::string& key) {
+    return Status::InvalidArgument("not a units-pipeline file (missing '" +
+                                   key + "')");
+  };
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* config,
+                         model.Find("config"));
+  if (!config->is_object()) {
+    return missing("config");
   }
-  std::printf("\nfusion:   %s\n", config.at("fusion").AsString().c_str());
-  std::printf("task:     %s\n", config.at("task").AsString().c_str());
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* format,
+                         model.Find("format"));
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* version,
+                         model.Find("version"));
+  if (!format->is_string() || !version->is_number()) {
+    return missing("format/version");
+  }
+  std::printf("format:   %s (version %lld)\n", format->AsString().c_str(),
+              static_cast<long long>(version->AsInt()));
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* templates,
+                         config->Find("templates"));
+  if (!templates->is_array()) {
+    return missing("config.templates");
+  }
+  std::printf("templates:");
+  for (size_t i = 0; i < templates->size(); ++i) {
+    if (!(*templates)[i].is_string()) {
+      return missing("config.templates");
+    }
+    std::printf(" %s", (*templates)[i].AsString().c_str());
+  }
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* fusion,
+                         config->Find("fusion"));
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* task, config->Find("task"));
+  if (!fusion->is_string() || !task->is_string()) {
+    return missing("config.fusion/task");
+  }
+  std::printf("\nfusion:   %s\n", fusion->AsString().c_str());
+  std::printf("task:     %s\n", task->AsString().c_str());
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* channels,
+                         config->Find("input_channels"));
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* pretrained,
+                         model.Find("pretrained"));
+  if (!channels->is_number() || !pretrained->is_bool()) {
+    return missing("input_channels/pretrained");
+  }
   std::printf("channels: %lld\n",
-              static_cast<long long>(config.at("input_channels").AsInt()));
-  std::printf("pretrained: %s\n",
-              model.at("pretrained").AsBool() ? "yes" : "no");
+              static_cast<long long>(channels->AsInt()));
+  std::printf("pretrained: %s\n", pretrained->AsBool() ? "yes" : "no");
   std::printf("task state: %s\n",
               model.Contains("task_state") ? "fitted" : "absent");
   // Parameter count across encoders.
   int64_t total_params = 0;
-  const json::JsonValue& encoders = model.at("encoders");
-  for (size_t e = 0; e < encoders.size(); ++e) {
-    for (const auto& [name, tensor] : encoders[e].items()) {
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* encoders,
+                         model.Find("encoders"));
+  if (!encoders->is_array()) {
+    return missing("encoders");
+  }
+  for (size_t e = 0; e < encoders->size(); ++e) {
+    if (!(*encoders)[e].is_object()) {
+      return missing("encoders");
+    }
+    for (const auto& [name, tensor] : (*encoders)[e].items()) {
+      if (!tensor.is_object() || !tensor.Contains("data") ||
+          !tensor.at("data").is_array()) {
+        return Status::InvalidArgument("malformed tensor '" + name +
+                                       "' in encoder state");
+      }
       total_params += static_cast<int64_t>(tensor.at("data").size());
     }
   }
@@ -334,4 +406,13 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace units::cli
 
-int main(int argc, char** argv) { return units::cli::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // Every failure must reach the user as stderr + non-zero exit, including
+  // anything the standard library throws (bad_alloc, filesystem errors).
+  try {
+    return units::cli::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

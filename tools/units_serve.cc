@@ -1,0 +1,130 @@
+// units_serve — inference serving front end: loads fitted pipeline files
+// into a model registry and answers newline-delimited JSON requests on
+// stdin/stdout, micro-batching concurrent predicts per model (see
+// DESIGN.md §9 and serve/server.h for the protocol).
+//
+//   units_serve [--model name=fitted.json ...]
+//               [--max-batch N] [--max-delay-ms X] [--threads N]
+//
+// Example session:
+//   {"op": "load", "model": "ecg", "path": "fitted.json"}
+//   {"op": "predict", "model": "ecg", "values": [0.1, 0.2, ...]}
+//   {"op": "stats"}
+//   {"op": "quit"}
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/parallel.h"
+#include "serve/server.h"
+
+namespace units::serve {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: units_serve [--model name=fitted.json ...]\n"
+      "                   [--max-batch N] [--max-delay-ms X] [--threads N]\n"
+      "speaks newline-delimited JSON on stdin/stdout; see serve/server.h\n");
+  return 2;
+}
+
+/// Strict integer/double flag parsing: the whole value must consume.
+bool ParseInt(const std::string& value, int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+
+  std::vector<std::pair<std::string, std::string>> preload;  // name, path
+  JsonLineServer::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--model") {
+      const char* value = next();
+      const std::string spec = value == nullptr ? "" : value;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "error: --model expects name=path, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      preload.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (flag == "--max-batch") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 1) {
+        std::fprintf(stderr, "error: --max-batch expects a positive int\n");
+        return 2;
+      }
+      options.batcher.max_batch_size = n;
+    } else if (flag == "--max-delay-ms") {
+      const char* value = next();
+      double ms = 0.0;
+      if (value == nullptr || !ParseDouble(value, &ms) || ms < 0.0) {
+        std::fprintf(stderr,
+                     "error: --max-delay-ms expects a non-negative number\n");
+        return 2;
+      }
+      options.batcher.max_delay_ms = ms;
+    } else if (flag == "--threads") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 1) {
+        std::fprintf(stderr, "error: --threads expects a positive int\n");
+        return 2;
+      }
+      base::SetNumThreads(static_cast<int>(n));
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      return Usage();
+    }
+  }
+
+  ModelRegistry registry;
+  for (const auto& [name, path] : preload) {
+    const Status status = registry.Load(name, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: loading '%s' from %s: %s\n", name.c_str(),
+                   path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded '%s' from %s\n", name.c_str(), path.c_str());
+  }
+
+  JsonLineServer server(&registry, options);
+  return server.Run(std::cin, std::cout);
+}
+
+}  // namespace
+}  // namespace units::serve
+
+int main(int argc, char** argv) { return units::serve::Main(argc, argv); }
