@@ -2,19 +2,27 @@
 // kernels, autograd, encoders, FFT, and k-means that every experiment sits
 // on. Not a paper figure; supports performance regressions.
 //
-// After the google-benchmark suite runs, a serial-vs-parallel scaling
-// harness times the thread-pool hot paths at 1 thread and at the
-// configured thread count, checks the outputs are bitwise identical, and
-// writes a machine-readable BENCH_tensor.json so subsequent PRs can track
-// the perf trajectory.
+// After the google-benchmark suite runs, two harnesses execute:
+//  1. a GEMM GFLOP/s sweep over the shapes the encoders actually emit,
+//     naive vs. blocked micro-kernel (tensor/gemm.h), single-threaded and
+//     at the configured thread count;
+//  2. a serial-vs-parallel scaling pass over the thread-pool hot paths,
+//     checking outputs stay bitwise identical across thread counts.
+// Both write into a machine-readable BENCH_tensor.json (schema v2). The
+// fresh numbers are then diffed against the committed baseline (env
+// UNITS_BENCH_BASELINE, default ../BENCH_tensor.json) and a per-kernel
+// regression table is printed so perf drift shows up in tier-1 output.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <functional>
 #include <memory>
 #include <string>
@@ -29,6 +37,7 @@
 #include "nn/attention.h"
 #include "nn/tcn.h"
 #include "tensor/fft.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace units {
@@ -262,6 +271,177 @@ double TimeMs(const std::function<std::vector<float>()>& fn) {
   return best;
 }
 
+// --- GEMM GFLOP/s sweep ----------------------------------------------------
+
+/// One GEMM shape; batch == 1 uses the 2-D kernels. Shapes below are the
+/// products the encoder templates actually emit (transformer projections,
+/// im2col convolution, attention heads) plus square sizes for trend lines.
+struct GemmShape {
+  std::string name;
+  int64_t batch;
+  int64_t m;
+  int64_t k;
+  int64_t n;
+};
+
+std::vector<GemmShape> MakeGemmShapes() {
+  return {
+      {"square_128", 1, 128, 128, 128},
+      {"square_256", 1, 256, 256, 256},
+      {"square_512", 1, 512, 512, 512},
+      // TransformerBackbone qkv projection: [N*T, C] x [C, 3C], N=8 T=96.
+      {"qkv_proj_768x32x96", 1, 768, 32, 96},
+      // Feed-forward: [N*T, C] x [C, 2C].
+      {"ffn_768x32x64", 1, 768, 32, 64},
+      // TCN im2col product: [Cout, C*kern] x [C*kern, N*Tout].
+      {"conv_im2col_24x72x1536", 1, 24, 72, 1536},
+      // Attention scores per head: [NH, T, hd] x [NH, hd, T].
+      {"attn_scores_8x96x8x96", 8, 96, 8, 96},
+  };
+}
+
+/// Best-of-3 wall time in milliseconds for a raw GEMM call.
+double TimeGemmMs(const std::function<void()>& fn) {
+  fn();
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+json::JsonValue RunGemmSweep() {
+  json::JsonValue results = json::JsonValue::Array();
+  const int parallel_threads =
+      std::max(2, base::ThreadPool::DefaultNumThreads());
+  for (const GemmShape& s : MakeGemmShapes()) {
+    Rng rng(301);
+    Tensor a = Tensor::RandNormal({s.batch, s.m, s.k}, &rng);
+    Tensor b = Tensor::RandNormal({s.batch, s.k, s.n}, &rng);
+    Tensor c({s.batch, s.m, s.n});
+    const double gflop =
+        2.0 * static_cast<double>(s.batch * s.m * s.k * s.n) * 1e-9;
+    auto naive = [&] {
+      for (int64_t bi = 0; bi < s.batch; ++bi) {
+        gemm::NaiveGemm(s.m, s.k, s.n, a.data() + bi * s.m * s.k,
+                        b.data() + bi * s.k * s.n, c.data() + bi * s.m * s.n);
+      }
+    };
+    auto blocked = [&] {
+      gemm::BatchedGemm(s.batch, s.m, s.k, s.n, a.data(), b.data(), c.data());
+    };
+    base::SetNumThreads(1);
+    const double naive_ms = TimeGemmMs(naive);
+    const double blocked_ms = TimeGemmMs(blocked);
+    base::SetNumThreads(parallel_threads);
+    const double blocked_mt_ms = TimeGemmMs(blocked);
+
+    json::JsonValue row = json::JsonValue::Object();
+    row.Set("name", json::JsonValue::String(s.name));
+    row.Set("m", json::JsonValue::Int(s.m));
+    row.Set("k", json::JsonValue::Int(s.k));
+    row.Set("n", json::JsonValue::Int(s.n));
+    row.Set("batch", json::JsonValue::Int(s.batch));
+    row.Set("naive_gflops", json::JsonValue::Number(gflop / (naive_ms * 1e-3)));
+    row.Set("blocked_gflops",
+            json::JsonValue::Number(gflop / (blocked_ms * 1e-3)));
+    row.Set("blocked_mt_gflops",
+            json::JsonValue::Number(gflop / (blocked_mt_ms * 1e-3)));
+    row.Set("speedup_1t", json::JsonValue::Number(naive_ms / blocked_ms));
+    results.Append(std::move(row));
+
+    std::printf(
+        "gemm,%s,naive_gflops=%.2f,blocked_gflops=%.2f,"
+        "blocked_mt_gflops=%.2f,speedup_1t=%.2f\n",
+        s.name.c_str(), gflop / (naive_ms * 1e-3), gflop / (blocked_ms * 1e-3),
+        gflop / (blocked_mt_ms * 1e-3), naive_ms / blocked_ms);
+  }
+  base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  return results;
+}
+
+// --- baseline regression diff ----------------------------------------------
+
+/// Extracts name -> metric from a row array, returning NaN when absent.
+double RowMetric(const json::JsonValue& rows, const std::string& name,
+                 const std::string& key) {
+  if (!rows.is_array()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const json::JsonValue& row = rows[i];
+    if (row.is_object() && row.Contains("name") && row.at("name").is_string() &&
+        row.at("name").AsString() == name && row.Contains(key) &&
+        row.at(key).is_number()) {
+      return row.at(key).AsNumber();
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+/// Compares the freshly measured report against the committed baseline
+/// (UNITS_BENCH_BASELINE, default ../BENCH_tensor.json, i.e. the repo-root
+/// copy when run from build/) and prints a per-kernel regression table.
+/// Purely informational: machines differ, so this reports drift rather than
+/// failing the run.
+void DiffAgainstBaseline(const json::JsonValue& fresh) {
+  const char* env = std::getenv("UNITS_BENCH_BASELINE");
+  const std::string path = env != nullptr ? env : "../BENCH_tensor.json";
+  auto parsed = json::ParseFile(path);
+  if (!parsed.ok()) {
+    std::printf("perf-diff: no baseline at %s (%s); skipping\n", path.c_str(),
+                parsed.status().message().c_str());
+    return;
+  }
+  const json::JsonValue& base = *parsed;
+  std::printf("perf-diff vs %s\n", path.c_str());
+  std::printf("%-40s %12s %12s %8s  %s\n", "kernel", "baseline", "fresh",
+              "ratio", "status");
+  int regressions = 0;
+  auto report = [&](const std::string& label, double baseline, double current,
+                    bool higher_is_better, double tolerance) {
+    if (!std::isfinite(baseline) || !std::isfinite(current) ||
+        baseline <= 0.0 || current <= 0.0) {
+      return;
+    }
+    const double ratio = current / baseline;
+    const bool regressed =
+        higher_is_better ? ratio < 1.0 / tolerance : ratio > tolerance;
+    regressions += regressed ? 1 : 0;
+    std::printf("%-40s %12.3f %12.3f %7.2fx  %s\n", label.c_str(), baseline,
+                current, ratio, regressed ? "REGRESSION" : "ok");
+  };
+  // GEMM throughput: higher is better; flag drops past 25%.
+  if (base.Contains("gemm") && fresh.Contains("gemm")) {
+    for (size_t i = 0; i < fresh.at("gemm").size(); ++i) {
+      const json::JsonValue& row = fresh.at("gemm")[i];
+      const std::string name = row.at("name").AsString();
+      for (const char* key : {"naive_gflops", "blocked_gflops"}) {
+        report("gemm/" + name + "/" + key,
+               RowMetric(base.at("gemm"), name, key),
+               RowMetric(fresh.at("gemm"), name, key),
+               /*higher_is_better=*/true, /*tolerance=*/1.25);
+      }
+    }
+  }
+  // Scaling-case wall times: lower is better.
+  if (base.Contains("results") && fresh.Contains("results")) {
+    for (size_t i = 0; i < fresh.at("results").size(); ++i) {
+      const json::JsonValue& row = fresh.at("results")[i];
+      const std::string name = row.at("name").AsString();
+      report("scaling/" + name + "/serial_ms",
+             RowMetric(base.at("results"), name, "serial_ms"),
+             RowMetric(fresh.at("results"), name, "serial_ms"),
+             /*higher_is_better=*/false, /*tolerance=*/1.25);
+    }
+  }
+  std::printf("perf-diff: %d regression(s) flagged\n", regressions);
+}
+
 void WriteParallelScalingReport(const std::string& path) {
   const int parallel_threads =
       std::max(2, base::ThreadPool::DefaultNumThreads());
@@ -298,17 +478,21 @@ void WriteParallelScalingReport(const std::string& path) {
 
   json::JsonValue doc = json::JsonValue::Object();
   doc.Set("bench", json::JsonValue::String("tensor_parallel"));
-  doc.Set("schema_version", json::JsonValue::Int(1));
+  doc.Set("schema_version", json::JsonValue::Int(2));
   doc.Set("hardware_concurrency",
           json::JsonValue::Int(static_cast<int64_t>(
               std::thread::hardware_concurrency())));
   doc.Set("parallel_threads",
           json::JsonValue::Int(static_cast<int64_t>(parallel_threads)));
+  doc.Set("gemm_micro_kernel", json::JsonValue::String(gemm::MicroKernelName()));
+  doc.Set("gemm", RunGemmSweep());
   doc.Set("results", std::move(results));
 
   std::ofstream out(path);
   out << doc.Dump(2) << "\n";
   std::printf("wrote %s\n", path.c_str());
+
+  DiffAgainstBaseline(doc);
 }
 
 }  // namespace

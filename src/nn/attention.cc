@@ -67,8 +67,9 @@ Variable MultiHeadAttention::Forward(const Variable& input) {
   v = split_heads(v);
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  // Score computation fans out across the pool: BatchedMatMul splits over
-  // the N*H score matrices and Softmax over rows (see tensor_ops.cc).
+  // Score computation fans out across the pool: BatchedMatMul runs the
+  // blocked GEMM split over (batch, macro-tile) work items (tensor/gemm.h)
+  // and Softmax over rows (see tensor_ops.cc).
   Variable scores = ag::MulScalar(
       ag::BatchedMatMul(q, ag::Transpose(k, 1, 2)), scale);  // [NH, T, T]
   Variable attn = ag::Softmax(scores, /*axis=*/2);

@@ -26,6 +26,8 @@ Variable Linear::Forward(const Variable& input) {
     const int64_t rows = input.numel() / in_features_;
     x = ag::Reshape(input, {rows, in_features_});
   }
+  // Runs the blocked GEMM (tensor/gemm.h); UNITS_GEMM=naive forces the
+  // reference loop.
   Variable y = ag::MatMul(x, weight_);
   if (bias_.defined()) {
     y = ag::Add(y, bias_);

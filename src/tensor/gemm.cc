@@ -1,0 +1,306 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/parallel.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define UNITS_GEMM_RESTRICT __restrict__
+#else
+#define UNITS_GEMM_RESTRICT
+#endif
+
+namespace units::gemm {
+
+namespace {
+
+using ::units::base::ParallelFor;
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// True when UNITS_GEMM=generic: keep blocking but skip the AVX2 kernel.
+bool ForceGenericMicroKernel() {
+  static const bool force = [] {
+    const char* e = std::getenv("UNITS_GEMM");
+    return e != nullptr && std::string(e) == "generic";
+  }();
+  return force;
+}
+
+detail::MicroKernelFn ActiveMicroKernel() {
+  static const detail::MicroKernelFn fn = [] {
+    if (!ForceGenericMicroKernel() && detail::Avx2KernelCompiled() &&
+        detail::Avx2Supported()) {
+      return &detail::MicroKernelAvx2;
+    }
+    return &detail::MicroKernelGeneric;
+  }();
+  return fn;
+}
+
+/// Packs A[mc x kc] (lda-strided) into per-micro-tile slabs: for each kMR-row
+/// tile, kc consecutive groups of kMR values (rows beyond mc zero-padded) so
+/// the micro-kernel streams the panel linearly.
+void PackA(const float* UNITS_GEMM_RESTRICT a, int64_t lda, int64_t mc,
+           int64_t kc, float* UNITS_GEMM_RESTRICT out) {
+  for (int64_t ir = 0; ir < mc; ir += kMR) {
+    const int64_t mr = std::min<int64_t>(kMR, mc - ir);
+    for (int64_t p = 0; p < kc; ++p) {
+      for (int64_t i = 0; i < mr; ++i) {
+        out[p * kMR + i] = a[(ir + i) * lda + p];
+      }
+      for (int64_t i = mr; i < kMR; ++i) {
+        out[p * kMR + i] = 0.0f;
+      }
+    }
+    out += kc * kMR;
+  }
+}
+
+/// Packs B[kc x nc] (ldb-strided) into per-micro-tile slabs: for each kNR-col
+/// tile, kc consecutive groups of kNR values (cols beyond nc zero-padded).
+void PackB(const float* UNITS_GEMM_RESTRICT b, int64_t ldb, int64_t kc,
+           int64_t nc, float* UNITS_GEMM_RESTRICT out) {
+  for (int64_t jr = 0; jr < nc; jr += kNR) {
+    const int64_t nr = std::min<int64_t>(kNR, nc - jr);
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* brow = b + p * ldb + jr;
+      for (int64_t j = 0; j < nr; ++j) {
+        out[p * kNR + j] = brow[j];
+      }
+      for (int64_t j = nr; j < kNR; ++j) {
+        out[p * kNR + j] = 0.0f;
+      }
+    }
+    out += kc * kNR;
+  }
+}
+
+/// One packed [mc x kc] x [kc x nc] product into the ldc-strided C block.
+/// Full tiles go straight to C; edge tiles compute into a local buffer and
+/// copy only the valid region (panel zero-padding contributes zeros, so the
+/// per-element accumulation order still matches full tiles).
+void MacroKernel(detail::MicroKernelFn micro,
+                 const float* UNITS_GEMM_RESTRICT apanel,
+                 const float* UNITS_GEMM_RESTRICT bpanel, int64_t mc,
+                 int64_t nc, int64_t kc, float* UNITS_GEMM_RESTRICT c,
+                 int64_t ldc, bool accumulate) {
+  alignas(32) float tile[kMR * kNR];
+  const int64_t mtiles = CeilDiv(mc, kMR);
+  const int64_t ntiles = CeilDiv(nc, kNR);
+  for (int64_t jt = 0; jt < ntiles; ++jt) {
+    const int64_t jr = jt * kNR;
+    const int64_t nr = std::min<int64_t>(kNR, nc - jr);
+    const float* bp = bpanel + jt * kc * kNR;
+    for (int64_t it = 0; it < mtiles; ++it) {
+      const int64_t ir = it * kMR;
+      const int64_t mr = std::min<int64_t>(kMR, mc - ir);
+      const float* ap = apanel + it * kc * kMR;
+      float* ctile = c + ir * ldc + jr;
+      if (mr == kMR && nr == kNR) {
+        micro(kc, ap, bp, ctile, ldc, accumulate);
+        continue;
+      }
+      micro(kc, ap, bp, tile, kNR, /*accumulate=*/false);
+      for (int64_t i = 0; i < mr; ++i) {
+        for (int64_t j = 0; j < nr; ++j) {
+          if (accumulate) {
+            ctile[i * ldc + j] += tile[i * kNR + j];
+          } else {
+            ctile[i * ldc + j] = tile[i * kNR + j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Serial blocked GEMM for one matrix, packing into caller-owned scratch.
+/// Used per (batch, row-tile) work item by BatchedGemm.
+void GemmRowTileSerial(detail::MicroKernelFn micro, const float* a,
+                       const float* b, float* c, int64_t ic, int64_t m,
+                       int64_t k, int64_t n, std::vector<float>* apanel,
+                       std::vector<float>* bpanel) {
+  const int64_t mc = std::min<int64_t>(kMC, m - ic);
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min<int64_t>(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min<int64_t>(kKC, k - pc);
+      PackB(b + pc * n + jc, n, kc, nc, bpanel->data());
+      PackA(a + ic * k + pc, k, mc, kc, apanel->data());
+      MacroKernel(micro, apanel->data(), bpanel->data(), mc, nc, kc,
+                  c + ic * n + jc, n, /*accumulate=*/pc > 0);
+    }
+  }
+}
+
+size_t PanelAFloats(int64_t m, int64_t k) {
+  const int64_t mc = std::min<int64_t>(kMC, CeilDiv(m, kMR) * kMR);
+  return static_cast<size_t>(mc * std::min<int64_t>(kKC, k));
+}
+
+size_t PanelBFloats(int64_t k, int64_t n) {
+  const int64_t nc =
+      std::min<int64_t>(kNC, CeilDiv(n, kNR) * kNR);
+  return static_cast<size_t>(nc * std::min<int64_t>(kKC, k));
+}
+
+}  // namespace
+
+int64_t TileGrain(int64_t flops_per_tile) {
+  return std::max<int64_t>(
+      1, kGrainFlops / std::max<int64_t>(1, flops_per_tile));
+}
+
+Kernel ActiveKernel() {
+  static const Kernel kernel = [] {
+    const char* e = std::getenv("UNITS_GEMM");
+    if (e != nullptr && std::string(e) == "naive") {
+      return Kernel::kNaive;
+    }
+    return Kernel::kBlocked;
+  }();
+  return kernel;
+}
+
+const char* MicroKernelName() {
+  return ActiveMicroKernel() == &detail::MicroKernelAvx2 ? "avx2" : "generic";
+}
+
+void Gemm(int64_t m, int64_t k, int64_t n, const float* a, const float* b,
+          float* c) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (k <= 0) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    return;
+  }
+  const detail::MicroKernelFn micro = ActiveMicroKernel();
+  const int64_t row_tiles = CeilDiv(m, kMC);
+  std::vector<float> bpanel(PanelBFloats(k, n));
+  // jc/pc run serially on the caller; the packed B panel is read-only while
+  // the pool fans out over row macro-tiles. Every output element belongs to
+  // exactly one row tile and accumulates in ascending pc order, so the
+  // result is bitwise thread-count-independent.
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min<int64_t>(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min<int64_t>(kKC, k - pc);
+      PackB(b + pc * n + jc, n, kc, nc, bpanel.data());
+      const bool accumulate = pc > 0;
+      ParallelFor(0, row_tiles, /*grain=*/1, [&](int64_t t0, int64_t t1) {
+        std::vector<float> apanel(static_cast<size_t>(kMC * kc));
+        for (int64_t t = t0; t < t1; ++t) {
+          const int64_t ic = t * kMC;
+          const int64_t mc = std::min<int64_t>(kMC, m - ic);
+          PackA(a + ic * k + pc, k, mc, kc, apanel.data());
+          MacroKernel(micro, apanel.data(), bpanel.data(), mc, nc, kc,
+                      c + ic * n + jc, n, accumulate);
+        }
+      });
+    }
+  }
+}
+
+void BatchedGemm(int64_t batch, int64_t m, int64_t k, int64_t n,
+                 const float* a, const float* b, float* c) {
+  if (batch <= 0 || m <= 0 || n <= 0) {
+    return;
+  }
+  if (k <= 0) {
+    std::memset(c, 0, static_cast<size_t>(batch * m * n) * sizeof(float));
+    return;
+  }
+  const detail::MicroKernelFn micro = ActiveMicroKernel();
+  const int64_t row_tiles = CeilDiv(m, kMC);
+  // Work item = one row macro-tile of one batch; each packs its own panels,
+  // so items are independent and any grouping into chunks gives identical
+  // results. Grain keeps tiny batched products (attention heads on short
+  // windows) from paying dispatch per item.
+  const int64_t grain = TileGrain(std::min<int64_t>(kMC, m) * k * n);
+  ParallelFor(0, batch * row_tiles, grain, [&](int64_t w0, int64_t w1) {
+    std::vector<float> apanel(PanelAFloats(m, k));
+    std::vector<float> bpanel(PanelBFloats(k, n));
+    for (int64_t w = w0; w < w1; ++w) {
+      const int64_t bi = w / row_tiles;
+      const int64_t ic = (w % row_tiles) * kMC;
+      GemmRowTileSerial(micro, a + bi * m * k, b + bi * k * n, c + bi * m * n,
+                        ic, m, k, n, &apanel, &bpanel);
+    }
+  });
+}
+
+void NaiveGemm(int64_t m, int64_t k, int64_t n, const float* a, const float* b,
+               float* c) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  if (k <= 0) {
+    return;
+  }
+  // The PR-1 kernel, verbatim: i-k-j streaming over b and c rows, parallel
+  // over output rows (grain mirrors the retired RowGrain: ~kGrainFlops
+  // multiply-adds per chunk).
+  const int64_t grain =
+      std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, k * n));
+  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) {
+          continue;
+        }
+        const float* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += aik * brow[j];
+        }
+      }
+    }
+  });
+}
+
+namespace detail {
+
+void MicroKernelGeneric(int64_t kc, const float* UNITS_GEMM_RESTRICT a,
+                        const float* UNITS_GEMM_RESTRICT b,
+                        float* UNITS_GEMM_RESTRICT c, int64_t ldc,
+                        bool accumulate) {
+  alignas(32) float acc[kMR][kNR] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* UNITS_GEMM_RESTRICT ap = a + p * kMR;
+    const float* UNITS_GEMM_RESTRICT bp = b + p * kNR;
+    for (int64_t i = 0; i < kMR; ++i) {
+      const float av = ap[i];
+#pragma omp simd
+      for (int64_t j = 0; j < kNR; ++j) {
+        acc[i][j] += av * bp[j];
+      }
+    }
+  }
+  for (int64_t i = 0; i < kMR; ++i) {
+    float* crow = c + i * ldc;
+    if (accumulate) {
+#pragma omp simd
+      for (int64_t j = 0; j < kNR; ++j) {
+        crow[j] += acc[i][j];
+      }
+    } else {
+#pragma omp simd
+      for (int64_t j = 0; j < kNR; ++j) {
+        crow[j] = acc[i][j];
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace units::gemm

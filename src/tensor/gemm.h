@@ -1,0 +1,123 @@
+#ifndef UNITS_TENSOR_GEMM_H_
+#define UNITS_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+/// Cache-blocked SIMD GEMM (BLIS-style loop nest around a register-blocked
+/// micro-kernel). This is the single dense-matmul engine behind
+/// ops::MatMul / ops::BatchedMatMul and therefore behind every encoder
+/// template and task head (linear layers, attention scores/context, the
+/// im2col convolution product).
+///
+/// Structure (see DESIGN.md §10):
+///
+///   for jc in [0, N) step kNC:              // B column panel
+///     for pc in [0, K) step kKC:            // depth panel -> pack B
+///       for ic in [0, M) step kMC:          // row macro-tile -> pack A
+///         for jr in [0, nc) step kNR:       // micro columns
+///           for ir in [0, mc) step kMR:     // micro rows
+///             micro-kernel: C[kMR x kNR] (+)= Apanel * Bpanel
+///
+/// Parallelism lives at the `ic` macro-tile level: ParallelFor splits the
+/// row-tile index range, so a macro-tile (and hence every output element)
+/// is owned by exactly one chunk and the per-element accumulation order
+/// (ascending pc, ascending k inside a panel) never depends on the thread
+/// count — the blocked path is bitwise identical at 1 or 64 threads.
+///
+/// The micro-kernel is compiler-vectorized (restrict + `#pragma omp simd`)
+/// with a runtime-dispatched AVX2+FMA variant (tensor/gemm_avx2.cc, its own
+/// translation unit built with -mavx2 -mfma) picked when the CPU supports
+/// it. `UNITS_GEMM=naive` routes MatMul/BatchedMatMul back to the PR-1
+/// naive loop; `UNITS_GEMM=generic` keeps blocking but forces the portable
+/// micro-kernel.
+
+namespace units::gemm {
+
+// ---------------------------------------------------------------------------
+// Tile constants (exposed so tests and grain computations derive from them)
+// ---------------------------------------------------------------------------
+
+/// Micro-kernel register block: kMR rows of A against kNR columns of B.
+/// 6x16 keeps 12 AVX2 accumulators live (plus 2 B loads and 1 A broadcast)
+/// within the 16 ymm registers.
+inline constexpr int64_t kMR = 6;
+inline constexpr int64_t kNR = 16;
+
+/// Macro tiles: kMC rows of A per packed panel (L2-resident, multiple of
+/// kMR), kKC depth per panel (packed A slab ~96 KiB), kNC columns of B per
+/// packed panel (L3-resident, multiple of kNR).
+inline constexpr int64_t kMC = 96;
+inline constexpr int64_t kKC = 256;
+inline constexpr int64_t kNC = 512;
+
+static_assert(kMC % kMR == 0, "macro row tile must hold whole micro tiles");
+static_assert(kNC % kNR == 0, "macro col panel must hold whole micro tiles");
+
+/// Minimum scalar multiply-adds a ParallelFor chunk should carry before the
+/// loop is split across the pool (matches tensor_ops' kElementGrain scale).
+inline constexpr int64_t kGrainFlops = 1 << 15;
+
+/// Grain for ParallelFor over macro-tile (or batch x macro-tile) indices:
+/// at least one tile, and enough tiles to amortize dispatch for tiny GEMMs.
+/// The partition unit is a whole tile, so — unlike the retired per-row
+/// RowGrain scheme — a chunk boundary can never split a macro-tile.
+int64_t TileGrain(int64_t flops_per_tile);
+
+// ---------------------------------------------------------------------------
+// Kernel selection
+// ---------------------------------------------------------------------------
+
+enum class Kernel {
+  kBlocked,  ///< cache-blocked micro-kernel path (default)
+  kNaive,    ///< PR-1 i-k-j loop, kept as oracle / escape hatch
+};
+
+/// Reads UNITS_GEMM once: "naive" selects the oracle loop, anything else
+/// (including "generic", which only affects the micro-kernel) is blocked.
+Kernel ActiveKernel();
+
+/// Name of the micro-kernel the blocked path dispatches to on this machine:
+/// "avx2" or "generic".
+const char* MicroKernelName();
+
+// ---------------------------------------------------------------------------
+// GEMM entry points (row-major, contiguous, float32)
+// ---------------------------------------------------------------------------
+
+/// C[M,N] = A[M,K] * B[K,N]. Overwrites C (K == 0 zero-fills). Deterministic
+/// across thread counts; parallel over row macro-tiles.
+void Gemm(int64_t m, int64_t k, int64_t n, const float* a, const float* b,
+          float* c);
+
+/// `batch` independent GEMMs over contiguous [B,M,K] x [B,K,N] -> [B,M,N].
+/// Parallel over (batch, row macro-tile) pairs.
+void BatchedGemm(int64_t batch, int64_t m, int64_t k, int64_t n,
+                 const float* a, const float* b, float* c);
+
+/// The PR-1 naive i-k-j reference loop (row-parallel, deterministic). Kept
+/// compiled in as the oracle for tests and the UNITS_GEMM=naive hatch.
+void NaiveGemm(int64_t m, int64_t k, int64_t n, const float* a, const float* b,
+               float* c);
+
+namespace detail {
+
+/// Micro-kernel contract: accumulate (or overwrite, if !accumulate) the
+/// full kMR x kNR tile C[ldc-strided] with Apanel[kc x kMR] * Bpanel[kc x
+/// kNR]. Panels are packed and zero-padded to full tiles by the caller.
+using MicroKernelFn = void (*)(int64_t kc, const float* a, const float* b,
+                               float* c, int64_t ldc, bool accumulate);
+
+void MicroKernelGeneric(int64_t kc, const float* a, const float* b, float* c,
+                        int64_t ldc, bool accumulate);
+
+// Defined in gemm_avx2.cc; stubs when the TU is built without AVX2+FMA.
+bool Avx2KernelCompiled();
+bool Avx2Supported();
+void MicroKernelAvx2(int64_t kc, const float* a, const float* b, float* c,
+                     int64_t ldc, bool accumulate);
+
+}  // namespace detail
+
+}  // namespace units::gemm
+
+#endif  // UNITS_TENSOR_GEMM_H_

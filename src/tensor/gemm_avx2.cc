@@ -1,0 +1,92 @@
+// AVX2+FMA micro-kernel for the blocked GEMM. This translation unit is the
+// only one built with -mavx2 -mfma (see src/CMakeLists.txt); gemm.cc picks
+// it at runtime via Avx2Supported(), so the rest of the library stays at
+// the baseline ISA and the binary still runs on pre-AVX2 machines.
+
+#include "tensor/gemm.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace units::gemm::detail {
+
+static_assert(kMR == 6 && kNR == 16,
+              "the AVX2 kernel is specialized for a 6x16 register block");
+
+bool Avx2KernelCompiled() { return true; }
+
+bool Avx2Supported() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+void MicroKernelAvx2(int64_t kc, const float* a, const float* b, float* c,
+                     int64_t ldc, bool accumulate) {
+  // 6 rows x 16 cols = 12 ymm accumulators; b occupies 2 more, the a
+  // broadcast 1. Panels are packed (a: kMR-groups, b: kNR-groups) so both
+  // stream linearly.
+  __m256 c0a = _mm256_setzero_ps(), c0b = _mm256_setzero_ps();
+  __m256 c1a = _mm256_setzero_ps(), c1b = _mm256_setzero_ps();
+  __m256 c2a = _mm256_setzero_ps(), c2b = _mm256_setzero_ps();
+  __m256 c3a = _mm256_setzero_ps(), c3b = _mm256_setzero_ps();
+  __m256 c4a = _mm256_setzero_ps(), c4b = _mm256_setzero_ps();
+  __m256 c5a = _mm256_setzero_ps(), c5b = _mm256_setzero_ps();
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b + p * kNR);
+    const __m256 b1 = _mm256_loadu_ps(b + p * kNR + 8);
+    const float* ap = a + p * kMR;
+    __m256 av;
+    av = _mm256_broadcast_ss(ap + 0);
+    c0a = _mm256_fmadd_ps(av, b0, c0a);
+    c0b = _mm256_fmadd_ps(av, b1, c0b);
+    av = _mm256_broadcast_ss(ap + 1);
+    c1a = _mm256_fmadd_ps(av, b0, c1a);
+    c1b = _mm256_fmadd_ps(av, b1, c1b);
+    av = _mm256_broadcast_ss(ap + 2);
+    c2a = _mm256_fmadd_ps(av, b0, c2a);
+    c2b = _mm256_fmadd_ps(av, b1, c2b);
+    av = _mm256_broadcast_ss(ap + 3);
+    c3a = _mm256_fmadd_ps(av, b0, c3a);
+    c3b = _mm256_fmadd_ps(av, b1, c3b);
+    av = _mm256_broadcast_ss(ap + 4);
+    c4a = _mm256_fmadd_ps(av, b0, c4a);
+    c4b = _mm256_fmadd_ps(av, b1, c4b);
+    av = _mm256_broadcast_ss(ap + 5);
+    c5a = _mm256_fmadd_ps(av, b0, c5a);
+    c5b = _mm256_fmadd_ps(av, b1, c5b);
+  }
+  const auto store_row = [ldc, accumulate](float* crow, __m256 lo, __m256 hi) {
+    if (accumulate) {
+      lo = _mm256_add_ps(_mm256_loadu_ps(crow), lo);
+      hi = _mm256_add_ps(_mm256_loadu_ps(crow + 8), hi);
+    }
+    _mm256_storeu_ps(crow, lo);
+    _mm256_storeu_ps(crow + 8, hi);
+    (void)ldc;
+  };
+  store_row(c + 0 * ldc, c0a, c0b);
+  store_row(c + 1 * ldc, c1a, c1b);
+  store_row(c + 2 * ldc, c2a, c2b);
+  store_row(c + 3 * ldc, c3a, c3b);
+  store_row(c + 4 * ldc, c4a, c4b);
+  store_row(c + 5 * ldc, c5a, c5b);
+}
+
+}  // namespace units::gemm::detail
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace units::gemm::detail {
+
+bool Avx2KernelCompiled() { return false; }
+bool Avx2Supported() { return false; }
+void MicroKernelAvx2(int64_t, const float*, const float*, float*, int64_t,
+                     bool) {}
+
+}  // namespace units::gemm::detail
+
+#endif

@@ -1,11 +1,13 @@
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "base/parallel.h"
 #include "base/profile.h"
+#include "tensor/gemm.h"
 
 namespace units::ops {
 
@@ -19,6 +21,10 @@ using ::units::base::ParallelReduceSum;
 constexpr int64_t kElementGrain = 1 << 15;
 
 /// Rows per chunk so that each chunk carries ~kElementGrain scalar ops.
+/// Only for row-independent loops (bias adds, reductions, im2col): the GEMM
+/// kernels must NOT use this — their partition unit is a whole macro-tile
+/// (gemm::TileGrain over tile indices), because a per-row grain could place
+/// a chunk boundary inside a macro-tile and break the determinism contract.
 int64_t RowGrain(int64_t work_per_row) {
   return std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, work_per_row));
 }
@@ -248,75 +254,72 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
   return UnaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  UNITS_PROFILE_SCOPE("tensor.MatMul");
+namespace {
+
+/// Shared shape checks for the 2-D product; returns {m, k, n}.
+std::array<int64_t, 3> MatMulDims(const Tensor& a, const Tensor& b) {
   UNITS_CHECK_EQ(a.ndim(), 2);
   UNITS_CHECK_EQ(b.ndim(), 2);
-  const int64_t m = a.dim(0);
-  const int64_t k = a.dim(1);
-  UNITS_CHECK_EQ(b.dim(0), k);
-  const int64_t n = b.dim(1);
-  Tensor out = Tensor::Zeros({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // i-k-j loop order: streams through b and out rows (cache friendly).
-  // Parallel over output rows: every row is written by exactly one chunk,
-  // so the result is bitwise identical at any thread count.
-  ParallelFor(0, m, RowGrain(k * n), [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = arow[kk];
-        if (aik == 0.0f) {
-          continue;
-        }
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) {
-          orow[j] += aik * brow[j];
-        }
-      }
-    }
-  });
+  UNITS_CHECK_EQ(b.dim(0), a.dim(1));
+  return {a.dim(0), a.dim(1), b.dim(1)};
+}
+
+/// Shared shape checks for the batched product; returns {batch, m, k, n}.
+std::array<int64_t, 4> BatchedMatMulDims(const Tensor& a, const Tensor& b) {
+  UNITS_CHECK_EQ(a.ndim(), 3);
+  UNITS_CHECK_EQ(b.ndim(), 3);
+  UNITS_CHECK_EQ(b.dim(0), a.dim(0));
+  UNITS_CHECK_EQ(b.dim(1), a.dim(2));
+  return {a.dim(0), a.dim(1), a.dim(2), b.dim(2)};
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  UNITS_PROFILE_SCOPE("tensor.MatMul");
+  const auto [m, k, n] = MatMulDims(a, b);
+  Tensor out({m, n});
+  // Cache-blocked micro-kernel GEMM (tensor/gemm.{h,cc}), parallel over
+  // row macro-tiles; UNITS_GEMM=naive falls back to the PR-1 loop.
+  if (gemm::ActiveKernel() == gemm::Kernel::kNaive) {
+    gemm::NaiveGemm(m, k, n, a.data(), b.data(), out.data());
+  } else {
+    gemm::Gemm(m, k, n, a.data(), b.data(), out.data());
+  }
+  return out;
+}
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  UNITS_PROFILE_SCOPE("tensor.NaiveMatMul");
+  const auto [m, k, n] = MatMulDims(a, b);
+  Tensor out({m, n});
+  gemm::NaiveGemm(m, k, n, a.data(), b.data(), out.data());
   return out;
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   UNITS_PROFILE_SCOPE("tensor.BatchedMatMul");
-  UNITS_CHECK_EQ(a.ndim(), 3);
-  UNITS_CHECK_EQ(b.ndim(), 3);
-  const int64_t batch = a.dim(0);
-  UNITS_CHECK_EQ(b.dim(0), batch);
-  const int64_t m = a.dim(1);
-  const int64_t k = a.dim(2);
-  UNITS_CHECK_EQ(b.dim(1), k);
-  const int64_t n = b.dim(2);
-  Tensor out = Tensor::Zeros({batch, m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // Parallel over (batch, row) pairs: each output row belongs to one chunk.
-  ParallelFor(0, batch * m, RowGrain(k * n), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t bi = r / m;
-      const int64_t i = r % m;
-      const float* ba = pa + bi * m * k;
-      const float* bb = pb + bi * k * n;
-      float* bo = po + bi * m * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = ba[i * k + kk];
-        if (aik == 0.0f) {
-          continue;
-        }
-        const float* brow = bb + kk * n;
-        float* orow = bo + i * n;
-        for (int64_t j = 0; j < n; ++j) {
-          orow[j] += aik * brow[j];
-        }
-      }
+  const auto [batch, m, k, n] = BatchedMatMulDims(a, b);
+  Tensor out({batch, m, n});
+  if (gemm::ActiveKernel() == gemm::Kernel::kNaive) {
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      gemm::NaiveGemm(m, k, n, a.data() + bi * m * k, b.data() + bi * k * n,
+                      out.data() + bi * m * n);
     }
-  });
+  } else {
+    gemm::BatchedGemm(batch, m, k, n, a.data(), b.data(), out.data());
+  }
+  return out;
+}
+
+Tensor NaiveBatchedMatMul(const Tensor& a, const Tensor& b) {
+  UNITS_PROFILE_SCOPE("tensor.NaiveBatchedMatMul");
+  const auto [batch, m, k, n] = BatchedMatMulDims(a, b);
+  Tensor out({batch, m, n});
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    gemm::NaiveGemm(m, k, n, a.data() + bi * m * k, b.data() + bi * k * n,
+                    out.data() + bi * m * n);
+  }
   return out;
 }
 

@@ -63,11 +63,17 @@ Tensor Clamp(const Tensor& a, float lo, float hi);
 // Linear algebra
 // ---------------------------------------------------------------------------
 
-/// [M,K] x [K,N] -> [M,N].
+/// [M,K] x [K,N] -> [M,N]. Runs the cache-blocked SIMD GEMM
+/// (tensor/gemm.h); set UNITS_GEMM=naive to fall back to the reference loop.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
-/// [B,M,K] x [B,K,N] -> [B,M,N].
+/// [B,M,K] x [B,K,N] -> [B,M,N]. Same kernel selection as MatMul.
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+
+/// Reference i-k-j products, always naive regardless of UNITS_GEMM. The
+/// oracle that tests/test_gemm.cc verifies the blocked kernel against.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b);
+Tensor NaiveBatchedMatMul(const Tensor& a, const Tensor& b);
 
 /// Swaps two axes (materializes the result).
 Tensor Transpose(const Tensor& a, int axis0, int axis1);

@@ -1,0 +1,267 @@
+// Reference-oracle verification of the cache-blocked SIMD GEMM
+// (tensor/gemm.{h,cc}): a seeded fuzz sweep over ~200 shapes straddling
+// every micro/macro tile boundary compares the blocked kernel against the
+// PR-1 naive loop kept as NaiveMatMul, plus bitwise 1-vs-8-thread
+// determinism of the blocked path (mirroring test_parallel.cc) and the
+// regression test for the retired per-row RowGrain partitioning.
+
+#include "tensor/gemm.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::gemm {
+namespace {
+
+/// Restores the global pool to the default size when a test returns.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() = default;
+  ~ThreadCountGuard() { base::SetNumThreads(base::ThreadPool::DefaultNumThreads()); }
+};
+
+/// Runs the blocked kernel directly (bypassing the UNITS_GEMM dispatch, so
+/// the oracle comparison is meaningful even under UNITS_GEMM=naive).
+Tensor BlockedMatMul(const Tensor& a, const Tensor& b) {
+  Tensor out({a.dim(0), b.dim(1)});
+  Gemm(a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(), out.data());
+  return out;
+}
+
+Tensor BlockedBatchedMatMul(const Tensor& a, const Tensor& b) {
+  Tensor out({a.dim(0), a.dim(1), b.dim(2)});
+  BatchedGemm(a.dim(0), a.dim(1), a.dim(2), b.dim(2), a.data(), b.data(),
+              out.data());
+  return out;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.numel() == 0) return true;  // empty tensors may have null data()
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Max absolute error, reported relative to the oracle's magnitude:
+/// max|x - ref| <= tol * max(1, max|ref|). The blocked kernel reassociates
+/// the k-sum (KC panels, FMA), so exact equality is not expected.
+void ExpectCloseToOracle(const Tensor& got, const Tensor& ref,
+                         const std::string& label, float tol = 1e-4f) {
+  ASSERT_EQ(got.shape(), ref.shape()) << label;
+  float max_abs_ref = 0.0f;
+  float max_err = 0.0f;
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    max_abs_ref = std::max(max_abs_ref, std::fabs(ref[i]));
+    max_err = std::max(max_err, std::fabs(got[i] - ref[i]));
+  }
+  EXPECT_LE(max_err, tol * std::max(1.0f, max_abs_ref)) << label;
+}
+
+/// Dimension candidates straddling the tile boundaries: tiny (< one micro
+/// tile), around kNR=16, 32, around 64, and around 128 (> kMC row tiles at
+/// 96 are covered by the determinism tests below).
+const std::vector<int64_t>& DimCandidates() {
+  static const std::vector<int64_t> dims = {
+      1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+      127, 128, 129};
+  return dims;
+}
+
+TEST(GemmOracleTest, FuzzSweepMatchesNaive) {
+  Rng rng(2026);
+  const auto& dims = DimCandidates();
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t m = dims[rng.UniformInt(dims.size())];
+    const int64_t k = dims[rng.UniformInt(dims.size())];
+    const int64_t n = dims[rng.UniformInt(dims.size())];
+    Tensor a;
+    Tensor b;
+    // Every fourth shape builds its inputs through Transpose, exercising
+    // operands produced as transposed views of other layouts (the pattern
+    // the autograd backward emits).
+    if (iter % 4 == 0) {
+      a = ops::Transpose2D(Tensor::RandNormal({k, m}, &rng));
+      b = ops::Transpose2D(Tensor::RandNormal({n, k}, &rng));
+    } else {
+      a = Tensor::RandNormal({m, k}, &rng);
+      b = Tensor::RandNormal({k, n}, &rng);
+    }
+    const Tensor ref = ops::NaiveMatMul(a, b);
+    const Tensor got = BlockedMatMul(a, b);
+    ExpectCloseToOracle(got, ref,
+                        "m=" + std::to_string(m) + " k=" + std::to_string(k) +
+                            " n=" + std::to_string(n));
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      break;
+    }
+  }
+}
+
+TEST(GemmOracleTest, BatchedFuzzSweepMatchesNaive) {
+  Rng rng(2027);
+  const auto& dims = DimCandidates();
+  for (int iter = 0; iter < 50; ++iter) {
+    const int64_t batch = 1 + static_cast<int64_t>(rng.UniformInt(5));
+    const int64_t m = dims[rng.UniformInt(dims.size())];
+    const int64_t k = dims[rng.UniformInt(dims.size())];
+    const int64_t n = dims[rng.UniformInt(dims.size())];
+    Tensor a = Tensor::RandNormal({batch, m, k}, &rng);
+    Tensor b = Tensor::RandNormal({batch, k, n}, &rng);
+    if (iter % 4 == 0) {
+      b = ops::Transpose(Tensor::RandNormal({batch, n, k}, &rng), 1, 2);
+    }
+    const Tensor ref = ops::NaiveBatchedMatMul(a, b);
+    const Tensor got = BlockedBatchedMatMul(a, b);
+    ExpectCloseToOracle(got, ref,
+                        "batch=" + std::to_string(batch) + " m=" +
+                            std::to_string(m) + " k=" + std::to_string(k) +
+                            " n=" + std::to_string(n));
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      break;
+    }
+  }
+}
+
+TEST(GemmOracleTest, ZeroSizeEdges) {
+  Rng rng(3);
+  for (const auto& [m, k, n] :
+       std::vector<std::array<int64_t, 3>>{{0, 5, 7},
+                                           {5, 0, 7},
+                                           {5, 7, 0},
+                                           {0, 0, 0},
+                                           {1, 0, 1}}) {
+    Tensor a = Tensor::RandNormal({m, k}, &rng);
+    Tensor b = Tensor::RandNormal({k, n}, &rng);
+    const Tensor ref = ops::NaiveMatMul(a, b);
+    const Tensor got = BlockedMatMul(a, b);
+    EXPECT_TRUE(BitwiseEqual(got, ref))
+        << "m=" << m << " k=" << k << " n=" << n;
+    // k == 0 must yield exact zeros, not uninitialized memory.
+    for (int64_t i = 0; i < got.numel(); ++i) {
+      ASSERT_EQ(got[i], 0.0f);
+    }
+  }
+}
+
+TEST(GemmOracleTest, PublicMatMulDispatchMatchesOracle) {
+  // Whatever UNITS_GEMM selects, the public entry points must agree with
+  // the oracle within tolerance (bitwise when the naive path is active).
+  Rng rng(5);
+  Tensor a = Tensor::RandNormal({33, 65}, &rng);
+  Tensor b = Tensor::RandNormal({65, 17}, &rng);
+  ExpectCloseToOracle(ops::MatMul(a, b), ops::NaiveMatMul(a, b), "matmul");
+  Tensor ba = Tensor::RandNormal({3, 17, 31}, &rng);
+  Tensor bb = Tensor::RandNormal({3, 31, 9}, &rng);
+  ExpectCloseToOracle(ops::BatchedMatMul(ba, bb),
+                      ops::NaiveBatchedMatMul(ba, bb), "batched");
+}
+
+// --- thread-count determinism of the blocked path -------------------------
+
+/// Shapes chosen to land on and around the macro/micro tile boundaries, so
+/// chunking must align with whole tiles to stay bitwise reproducible.
+std::vector<std::array<int64_t, 3>> TileBoundaryShapes() {
+  return {
+      {kMC - 1, 40, kNR * 2 + 1},       // last row tile one short
+      {kMC, kKC, kNR},                  // exact single tiles
+      {kMC + 1, kKC + 1, kNR + 1},      // one past every boundary
+      {2 * kMC + 3, 2 * kKC + 5, kNC + 7},  // multiple panels each way
+      {kMR, 1, 1},                      // single micro tile, degenerate k/n
+  };
+}
+
+TEST(GemmDeterminismTest, BlockedIsBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(29);
+  for (const auto& [m, k, n] : TileBoundaryShapes()) {
+    Tensor a = Tensor::RandNormal({m, k}, &rng);
+    Tensor b = Tensor::RandNormal({k, n}, &rng);
+    base::SetNumThreads(1);
+    const Tensor serial = BlockedMatMul(a, b);
+    base::SetNumThreads(8);
+    const Tensor parallel = BlockedMatMul(a, b);
+    EXPECT_TRUE(BitwiseEqual(serial, parallel))
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(GemmDeterminismTest, BatchedBlockedIsBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(31);
+  // Batched shapes the attention/encoder paths actually emit, plus a
+  // boundary-straddling row count.
+  for (const auto& [batch, m, k, n] :
+       std::vector<std::array<int64_t, 4>>{{8, 96, 8, 96},
+                                           {16, kMC + 1, 33, kNR + 1},
+                                           {1, 2 * kMC + 3, 17, 40}}) {
+    Tensor a = Tensor::RandNormal({batch, m, k}, &rng);
+    Tensor b = Tensor::RandNormal({batch, k, n}, &rng);
+    base::SetNumThreads(1);
+    const Tensor serial = BlockedBatchedMatMul(a, b);
+    base::SetNumThreads(8);
+    const Tensor parallel = BlockedBatchedMatMul(a, b);
+    EXPECT_TRUE(BitwiseEqual(serial, parallel))
+        << "batch=" << batch << " m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(GemmDeterminismTest, PublicOpsAreBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(37);
+  Tensor a = Tensor::RandNormal({kMC + kMR + 1, 71}, &rng);
+  Tensor b = Tensor::RandNormal({71, 57}, &rng);
+  base::SetNumThreads(1);
+  const Tensor s = ops::MatMul(a, b);
+  base::SetNumThreads(8);
+  const Tensor p = ops::MatMul(a, b);
+  EXPECT_TRUE(BitwiseEqual(s, p));
+}
+
+// --- RowGrain audit regression --------------------------------------------
+
+// PR 1 partitioned MatMul by output rows with a per-row grain
+// (RowGrain(k*n)); with cache blocking that scheme could put a chunk
+// boundary inside a macro-tile, making the k-panel accumulation order (and
+// hence the bits) depend on the thread count. The partition unit is now a
+// whole macro-tile: TileGrain counts tiles, never rows.
+
+TEST(RowGrainAuditTest, TileGrainNeverSplitsAMacroTile) {
+  // Huge per-tile work -> one tile per chunk; tiny work -> many tiles per
+  // chunk. In both cases the unit is >= 1 whole tile.
+  EXPECT_EQ(TileGrain(kGrainFlops * 100), 1);
+  EXPECT_GE(TileGrain(1), kGrainFlops);
+  EXPECT_GE(TileGrain(0), 1);
+}
+
+TEST(RowGrainAuditTest, AdversarialGrainShapeIsDeterministic) {
+  ThreadCountGuard guard;
+  // k*n large enough that the old RowGrain(k*n) would have been 1 row —
+  // i.e. the old partitioner would split inside the 96-row macro-tile.
+  const int64_t m = kMC + 1;
+  const int64_t k = 300;  // > kKC: two k panels, so mid-tile splits would
+  const int64_t n = 200;  //        change accumulation interleaving
+  Rng rng(41);
+  Tensor a = Tensor::RandNormal({m, k}, &rng);
+  Tensor b = Tensor::RandNormal({k, n}, &rng);
+  std::vector<Tensor> results;
+  for (int threads : {1, 2, 3, 8}) {
+    base::SetNumThreads(threads);
+    results.push_back(BlockedMatMul(a, b));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(BitwiseEqual(results[0], results[i])) << "threads index " << i;
+  }
+  ExpectCloseToOracle(results[0], ops::NaiveMatMul(a, b), "adversarial");
+}
+
+}  // namespace
+}  // namespace units::gemm

@@ -8,6 +8,8 @@
 
 #include "autograd/ops.h"
 #include "base/rng.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::autograd {
@@ -85,9 +87,27 @@ std::vector<OpCase> MakeCases() {
       {{3}}, /*positive=*/true);
   add("matmul", [](const auto& v) { return ag::MatMul(v[0], v[1]); },
       {{2, 3}, {3, 4}});
+  // Shapes that cross the GEMM micro-tile boundaries (kMR=6 rows, kNR=16
+  // cols), so the blocked kernel's packed edge tiles are exercised in both
+  // the forward and the transposed backward products.
+  add("matmul_tile_edges",
+      [](const auto& v) { return ag::MatMul(v[0], v[1]); }, {{7, 5}, {5, 17}});
+  add("linear_gemm",
+      [](const auto& v) { return ag::Add(ag::MatMul(v[0], v[1]), v[2]); },
+      {{7, 9}, {9, 17}, {17}});
   add("batched_matmul",
       [](const auto& v) { return ag::BatchedMatMul(v[0], v[1]); },
       {{2, 2, 3}, {2, 3, 2}});
+  // The attention projection chain: scaled scores -> softmax -> context,
+  // all through the blocked BatchedGemm.
+  add("attention_proj_gemm",
+      [](const auto& v) {
+        Variable scores = ag::MulScalar(
+            ag::BatchedMatMul(v[0], ag::Transpose(v[1], 1, 2)), 0.5f);
+        Variable attn = ag::Softmax(scores, 2);
+        return ag::BatchedMatMul(attn, v[2]);
+      },
+      {{2, 7, 3}, {2, 7, 3}, {2, 7, 3}});
   add("transpose",
       [](const auto& v) { return ag::Transpose(v[0], 0, 1); }, {{2, 3}});
   add("transpose_inner",
@@ -178,6 +198,41 @@ TEST(LossGradCheckTest, MaskedMse) {
     return ag::MaskedMseLoss(v[0], ag::Constant(target), mask);
   };
   EXPECT_TRUE(CheckGradients(fn, {pred}).passed);
+}
+
+// Module-level checks: input gradients through real nn layers, so the
+// autograd path over the blocked GEMM (not just the raw op) is covered.
+
+TEST(ModuleGradCheckTest, LinearInputGradThroughBlockedGemm) {
+  Rng rng(21);
+  // 9 -> 17 crosses the kNR=16 micro-tile edge; 7 rows cross kMR=6.
+  auto linear = std::make_shared<nn::Linear>(9, 17, &rng);
+  auto fn = [linear](const std::vector<Variable>& v) {
+    Variable out = linear->Forward(v[0]);
+    Rng wrng(55);
+    Tensor w = Tensor::RandNormal(out.shape(), &wrng);
+    return ag::SumAll(ag::Mul(out, ag::Constant(w)));
+  };
+  Variable x(Tensor::RandNormal({7, 9}, &rng), /*requires_grad=*/true);
+  const auto result = CheckGradients(fn, {x});
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(ModuleGradCheckTest, AttentionInputGradThroughBlockedGemm) {
+  Rng rng(22);
+  auto attn = std::make_shared<nn::MultiHeadAttention>(/*model_dim=*/6,
+                                                       /*num_heads=*/2, &rng,
+                                                       /*dropout=*/0.0f);
+  attn->SetTraining(false);
+  auto fn = [attn](const std::vector<Variable>& v) {
+    Variable out = attn->Forward(v[0]);
+    Rng wrng(56);
+    Tensor w = Tensor::RandNormal(out.shape(), &wrng);
+    return ag::SumAll(ag::Mul(out, ag::Constant(w)));
+  };
+  Variable x(Tensor::RandNormal({2, 5, 6}, &rng), /*requires_grad=*/true);
+  const auto result = CheckGradients(fn, {x});
+  EXPECT_TRUE(result.passed) << result.detail;
 }
 
 TEST(GradCheckHarnessTest, DetectsWrongGradient) {
