@@ -2,13 +2,16 @@
 // kernels, autograd, encoders, FFT, and k-means that every experiment sits
 // on. Not a paper figure; supports performance regressions.
 //
-// After the google-benchmark suite runs, two harnesses execute:
+// After the google-benchmark suite runs, three harnesses execute:
 //  1. a GEMM GFLOP/s sweep over the shapes the encoders actually emit,
 //     naive vs. blocked micro-kernel (tensor/gemm.h), single-threaded and
 //     at the configured thread count;
-//  2. a serial-vs-parallel scaling pass over the thread-pool hot paths,
+//  2. a fused-vs-composed attention sweep (ag::ScaledDotAttention against
+//     the scores -> softmax -> context chain) over growing sequence
+//     lengths, eval forward and training forward+backward;
+//  3. a serial-vs-parallel scaling pass over the thread-pool hot paths,
 //     checking outputs stay bitwise identical across thread counts.
-// Both write into a machine-readable BENCH_tensor.json (schema v2). The
+// All write into a machine-readable BENCH_tensor.json (schema v2). The
 // fresh numbers are then diffed against the committed baseline (env
 // UNITS_BENCH_BASELINE, default ../BENCH_tensor.json) and a per-kernel
 // regression table is printed so perf drift shows up in tier-1 output.
@@ -364,6 +367,79 @@ json::JsonValue RunGemmSweep() {
   return results;
 }
 
+// --- fused attention sweep ---------------------------------------------------
+
+/// Times the fused tile-streaming attention (ag::ScaledDotAttention)
+/// against the composed scores -> softmax -> context chain it replaced
+/// (the UNITS_ATTN=unfused path of MultiHeadAttention), single-threaded,
+/// eval forward and training forward+backward, over growing sequence
+/// lengths. Shapes mirror an N=2, H=4, hd=16 multi-head call flattened to
+/// [NH, T, hd].
+json::JsonValue RunAttentionSweep() {
+  json::JsonValue results = json::JsonValue::Array();
+  const int64_t nh = 8;
+  const int64_t hd = 16;
+  const float scale = 0.25f;  // 1/sqrt(hd)
+  for (const int64_t t : {int64_t{128}, int64_t{512}, int64_t{1024}}) {
+    Rng rng(401);
+    Tensor q = Tensor::RandNormal({nh, t, hd}, &rng);
+    Tensor k = Tensor::RandNormal({nh, t, hd}, &rng);
+    Tensor v = Tensor::RandNormal({nh, t, hd}, &rng);
+
+    auto composed = [&](const ag::Variable& qv, const ag::Variable& kv,
+                        const ag::Variable& vv) {
+      ag::Variable scores = ag::MulScalar(
+          ag::BatchedMatMul(qv, ag::Transpose(kv, 1, 2)), scale);
+      return ag::BatchedMatMul(ag::Softmax(scores, 2), vv);
+    };
+    auto fwd = [&](bool fused) {
+      ag::NoGradGuard no_grad;
+      ag::Variable qv(q), kv(k), vv(v);
+      ag::Variable out = fused ? ag::ScaledDotAttention(qv, kv, vv, scale)
+                               : composed(qv, kv, vv);
+      benchmark::DoNotOptimize(out.data().data());
+    };
+    auto train = [&](bool fused) {
+      ag::Variable qv(q, true), kv(k, true), vv(v, true);
+      ag::Variable out = fused ? ag::ScaledDotAttention(qv, kv, vv, scale)
+                               : composed(qv, kv, vv);
+      ag::MeanAll(ag::Square(out)).Backward();
+      benchmark::DoNotOptimize(qv.grad().data());
+    };
+
+    base::SetNumThreads(1);
+    const double fused_fwd_ms = TimeGemmMs([&] { fwd(true); });
+    const double unfused_fwd_ms = TimeGemmMs([&] { fwd(false); });
+    const double fused_train_ms = TimeGemmMs([&] { train(true); });
+    const double unfused_train_ms = TimeGemmMs([&] { train(false); });
+    base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+
+    json::JsonValue row = json::JsonValue::Object();
+    row.Set("name", json::JsonValue::String("attn_t" + std::to_string(t)));
+    row.Set("batch_heads", json::JsonValue::Int(nh));
+    row.Set("seq_len", json::JsonValue::Int(t));
+    row.Set("head_dim", json::JsonValue::Int(hd));
+    row.Set("fused_fwd_ms", json::JsonValue::Number(fused_fwd_ms));
+    row.Set("unfused_fwd_ms", json::JsonValue::Number(unfused_fwd_ms));
+    row.Set("fwd_speedup",
+            json::JsonValue::Number(unfused_fwd_ms / fused_fwd_ms));
+    row.Set("fused_train_ms", json::JsonValue::Number(fused_train_ms));
+    row.Set("unfused_train_ms", json::JsonValue::Number(unfused_train_ms));
+    row.Set("train_speedup",
+            json::JsonValue::Number(unfused_train_ms / fused_train_ms));
+    results.Append(std::move(row));
+
+    std::printf(
+        "attention,attn_t%lld,fused_fwd_ms=%.3f,unfused_fwd_ms=%.3f,"
+        "fwd_speedup=%.2f,fused_train_ms=%.3f,unfused_train_ms=%.3f,"
+        "train_speedup=%.2f\n",
+        static_cast<long long>(t), fused_fwd_ms, unfused_fwd_ms,
+        unfused_fwd_ms / fused_fwd_ms, fused_train_ms, unfused_train_ms,
+        unfused_train_ms / fused_train_ms);
+  }
+  return results;
+}
+
 // --- baseline regression diff ----------------------------------------------
 
 /// Extracts name -> metric from a row array, returning NaN when absent.
@@ -428,6 +504,19 @@ void DiffAgainstBaseline(const json::JsonValue& fresh) {
       }
     }
   }
+  // Attention wall times: lower is better.
+  if (base.Contains("attention") && fresh.Contains("attention")) {
+    for (size_t i = 0; i < fresh.at("attention").size(); ++i) {
+      const json::JsonValue& row = fresh.at("attention")[i];
+      const std::string name = row.at("name").AsString();
+      for (const char* key : {"fused_fwd_ms", "fused_train_ms"}) {
+        report("attention/" + name + "/" + key,
+               RowMetric(base.at("attention"), name, key),
+               RowMetric(fresh.at("attention"), name, key),
+               /*higher_is_better=*/false, /*tolerance=*/1.25);
+      }
+    }
+  }
   // Scaling-case wall times: lower is better.
   if (base.Contains("results") && fresh.Contains("results")) {
     for (size_t i = 0; i < fresh.at("results").size(); ++i) {
@@ -486,6 +575,7 @@ void WriteParallelScalingReport(const std::string& path) {
           json::JsonValue::Int(static_cast<int64_t>(parallel_threads)));
   doc.Set("gemm_micro_kernel", json::JsonValue::String(gemm::MicroKernelName()));
   doc.Set("gemm", RunGemmSweep());
+  doc.Set("attention", RunAttentionSweep());
   doc.Set("results", std::move(results));
 
   std::ofstream out(path);

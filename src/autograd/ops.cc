@@ -247,27 +247,48 @@ Variable Abs(const Variable& a) {
 }
 
 Variable Softmax(const Variable& a, int axis) {
-  Tensor out = ops::Softmax(a.data(), axis);
+  Tensor out = ops::SoftmaxFused(a.data(), axis);
   Tensor saved = out;
   return Variable::MakeNode(
       std::move(out), {a}, [a, saved, axis](const Tensor& g) {
-        // dx = y * (g - sum(g*y, axis, keepdim))
-        Tensor gy = ops::Mul(g, saved);
-        Tensor s = ops::Sum(gy, axis, /*keepdim=*/true);
-        Tensor dx = ops::Mul(saved, ops::Sub(g, s));
-        Accumulate(a, dx);
+        // dx = p ⊙ (g − Σ g⊙p), one row-wise pass, no temporaries.
+        Accumulate(a, ops::SoftmaxBackward(saved, g, axis));
       });
 }
 
 Variable LogSoftmax(const Variable& a, int axis) {
-  Tensor out = ops::LogSoftmax(a.data(), axis);
+  Tensor out = ops::LogSoftmaxFused(a.data(), axis);
   Tensor saved = out;
   return Variable::MakeNode(
       std::move(out), {a}, [a, saved, axis](const Tensor& g) {
-        // dx = g - softmax(x) * sum(g, axis, keepdim)
-        Tensor s = ops::Sum(g, axis, /*keepdim=*/true);
-        Tensor dx = ops::Sub(g, ops::Mul(ops::Exp(saved), s));
-        Accumulate(a, dx);
+        // dx = g − exp(out) ⊙ Σ g, one row-wise pass.
+        Accumulate(a, ops::LogSoftmaxBackward(saved, g, axis));
+      });
+}
+
+Variable ScaledDotAttention(const Variable& q, const Variable& k,
+                            const Variable& v, float scale,
+                            const Tensor& dropout_mask) {
+  const bool need_grad =
+      GradEnabled() &&
+      (q.requires_grad() || k.requires_grad() || v.requires_grad());
+  if (!need_grad) {
+    // Streaming tiles: the [B, T, T] probability tensor is never built.
+    return Variable(ops::AttentionForwardStreaming(q.data(), k.data(),
+                                                   v.data(), scale,
+                                                   dropout_mask));
+  }
+  Tensor probs;
+  Tensor out = ops::AttentionForwardTrain(q.data(), k.data(), v.data(), scale,
+                                          dropout_mask, &probs);
+  return Variable::MakeNode(
+      std::move(out), {q, k, v},
+      [q, k, v, scale, probs, dropout_mask](const Tensor& g) {
+        ops::AttentionGrads grads = ops::AttentionBackward(
+            q.data(), k.data(), v.data(), scale, probs, dropout_mask, g);
+        Accumulate(q, grads.dq);
+        Accumulate(k, grads.dk);
+        Accumulate(v, grads.dv);
       });
 }
 

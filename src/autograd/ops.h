@@ -49,9 +49,24 @@ Variable Sqrt(const Variable& a);
 Variable Square(const Variable& a);
 Variable Abs(const Variable& a);
 
-/// Softmax / log-softmax along `axis` (numerically stable, fused backward).
+/// Softmax / log-softmax along `axis`. Forward runs the fused single-sweep
+/// row kernel (ops::SoftmaxFused); backward is the row-wise
+/// dx = p ⊙ (g − Σ g⊙p) pass with no Jacobian or intermediate tensors.
 Variable Softmax(const Variable& a, int axis);
 Variable LogSoftmax(const Variable& a, int axis);
+
+/// Fused scaled-dot-product attention over per-head batches: q, k, v of
+/// shape [B, T, hd] -> softmax(scale · q·kᵀ) · v, with an optional
+/// inverted-dropout mask ([B, T, T], scaling baked in; empty = no dropout)
+/// applied to the probabilities. In eval / no-grad mode the kernel streams
+/// (batch, row-block) tiles and never materializes a [B, T, T] tensor;
+/// when gradients are required exactly one [B, T, T] probability tensor is
+/// kept for the backward pass (vs. three on the composed
+/// BatchedMatMul→Softmax→BatchedMatMul path). Bitwise deterministic across
+/// thread counts (tile boundaries derive from ops::kAttnRowBlock only).
+Variable ScaledDotAttention(const Variable& q, const Variable& k,
+                            const Variable& v, float scale,
+                            const Tensor& dropout_mask = Tensor());
 
 // --- reductions -----------------------------------------------------------
 

@@ -7,6 +7,7 @@
 #include "core/serialize.h"
 #include "core/tasks/tasks.h"
 #include "data/dataloader.h"
+#include "metrics/metrics.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
 
@@ -77,10 +78,7 @@ Status AnomalyDetectionTask::Fit(UnitsPipeline* pipeline,
   std::vector<float> flat(train_scores.data(),
                           train_scores.data() + train_scores.numel());
   std::sort(flat.begin(), flat.end());
-  const size_t idx = std::min(
-      flat.size() - 1,
-      static_cast<size_t>(quantile * static_cast<double>(flat.size())));
-  threshold_ = flat[idx];
+  threshold_ = metrics::NearestRankQuantile(flat, quantile);
   return Status::Ok();
 }
 

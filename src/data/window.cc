@@ -57,6 +57,10 @@ std::pair<Tensor, Tensor> ForecastWindows(const Tensor& series,
 Tensor SlidingLabelWindows(const Tensor& labels, int64_t window,
                            int64_t stride) {
   UNITS_CHECK_EQ(labels.ndim(), 1);
+  // Same guards as SlidingWindows: stride = 0 would divide by zero below,
+  // and window < 1 would produce a negative window extent.
+  UNITS_CHECK_GE(window, 1);
+  UNITS_CHECK_GE(stride, 1);
   const int64_t t_long = labels.dim(0);
   UNITS_CHECK_GE(t_long, window);
   const int64_t n = (t_long - window) / stride + 1;

@@ -1,12 +1,33 @@
 #ifndef UNITS_METRICS_METRICS_H_
 #define UNITS_METRICS_METRICS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace units::metrics {
+
+// --- quantiles ---------------------------------------------------------------
+
+/// Nearest-rank quantile of an ascending-sorted, non-empty sample: the
+/// smallest element whose cumulative proportion reaches q, i.e.
+/// sorted[ceil(q*n) - 1] with the index clamped to [0, n-1]. So the median
+/// of 10 samples is element 4, not 5 (the old floor(q*n) indexing was
+/// biased one rank high). Shared by the serving latency percentiles
+/// (serve/serve_stats.cc) and the anomaly threshold calibration
+/// (core/tasks/anomaly.cc); the convention is pinned by exact-value tests
+/// in tests/test_metrics.cc.
+template <typename T>
+T NearestRankQuantile(const std::vector<T>& sorted, double q) {
+  UNITS_CHECK(!sorted.empty());
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  const int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(n))) - 1;
+  return sorted[static_cast<size_t>(std::clamp<int64_t>(rank, 0, n - 1))];
+}
 
 // --- classification ---------------------------------------------------------
 

@@ -1,6 +1,12 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "base/check.h"
 #include "base/parallel.h"
@@ -9,26 +15,65 @@ namespace units::nn {
 
 namespace ag = ::units::autograd;
 
-Tensor SinusoidalPositionalEncoding(int64_t length, int64_t channels) {
+bool UseFusedAttention() {
+  // Re-read per forward (attention calls are ms-scale, getenv is noise) so
+  // tests and benchmarks can flip the hatch without a process restart.
+  const char* e = std::getenv("UNITS_ATTN");
+  return e == nullptr || std::strcmp(e, "unfused") != 0;
+}
+
+namespace {
+
+Tensor ComputePositionalEncoding(int64_t length, int64_t channels) {
   Tensor pe = Tensor::Zeros({length, channels});
   float* p = pe.data();
-  // Rows are independent; std::pow per element makes this surprisingly hot
-  // for long windows.
+  // The rate depends only on the channel: hoist the std::pow out of the
+  // per-timestep loop (it used to run per element, which made this
+  // surprisingly hot for long windows).
+  std::vector<double> rate(static_cast<size_t>(channels));
+  for (int64_t c = 0; c < channels; ++c) {
+    rate[static_cast<size_t>(c)] =
+        std::pow(10000.0, -static_cast<double>(2 * (c / 2)) /
+                              static_cast<double>(channels));
+  }
   base::ParallelFor(
       0, length, std::max<int64_t>(1, 2048 / std::max<int64_t>(1, channels)),
       [&](int64_t t0, int64_t t1) {
         for (int64_t t = t0; t < t1; ++t) {
           for (int64_t c = 0; c < channels; ++c) {
-            const double rate =
-                std::pow(10000.0, -static_cast<double>(2 * (c / 2)) /
-                                      static_cast<double>(channels));
-            const double angle = static_cast<double>(t) * rate;
+            const double angle =
+                static_cast<double>(t) * rate[static_cast<size_t>(c)];
             p[t * channels + c] = static_cast<float>(
                 (c % 2 == 0) ? std::sin(angle) : std::cos(angle));
           }
         }
       });
   return pe;
+}
+
+}  // namespace
+
+Tensor SinusoidalPositionalEncoding(int64_t length, int64_t channels) {
+  // The table is a pure function of (length, channels) but was recomputed
+  // on every TransformerBackbone::Forward; cache it so training/serving
+  // forwards over the same window length reuse one tensor. Callers treat
+  // the returned (storage-shared) tensor as immutable.
+  static std::mutex mu;
+  static std::map<std::pair<int64_t, int64_t>, Tensor>* cache =
+      new std::map<std::pair<int64_t, int64_t>, Tensor>();
+  const std::pair<int64_t, int64_t> key{length, channels};
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) {
+      return it->second;
+    }
+  }
+  // Compute outside the lock (the fill parallelizes over the pool); a
+  // concurrent miss computes twice and the first insert wins.
+  Tensor pe = ComputePositionalEncoding(length, channels);
+  std::lock_guard<std::mutex> lk(mu);
+  return cache->emplace(key, std::move(pe)).first->second;
 }
 
 MultiHeadAttention::MultiHeadAttention(int64_t model_dim, int64_t num_heads,
@@ -67,14 +112,25 @@ Variable MultiHeadAttention::Forward(const Variable& input) {
   v = split_heads(v);
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  // Score computation fans out across the pool: BatchedMatMul runs the
-  // blocked GEMM split over (batch, macro-tile) work items (tensor/gemm.h)
-  // and Softmax over rows (see tensor_ops.cc).
-  Variable scores = ag::MulScalar(
-      ag::BatchedMatMul(q, ag::Transpose(k, 1, 2)), scale);  // [NH, T, T]
-  Variable attn = ag::Softmax(scores, /*axis=*/2);
-  attn = dropout_->Forward(attn);
-  Variable ctx = ag::BatchedMatMul(attn, v);  // [NH, T, hd]
+  Variable ctx;
+  if (UseFusedAttention()) {
+    // Fused tile-streaming path: scores → online softmax → context per
+    // (batch, row-block) tile (ag::ScaledDotAttention). Eval mode never
+    // materializes the [NH, T, T] probabilities; training keeps exactly
+    // one copy for backward.
+    Tensor mask = dropout_->SampleMask({n * num_heads_, t, t});
+    ctx = ag::ScaledDotAttention(q, k, v, scale, mask);  // [NH, T, hd]
+  } else {
+    // UNITS_ATTN=unfused escape hatch: the composed path, which
+    // materializes scores, probabilities and the dropout product.
+    // BatchedMatMul runs the blocked GEMM split over (batch, macro-tile)
+    // work items (tensor/gemm.h) and Softmax over rows (tensor_ops.cc).
+    Variable scores = ag::MulScalar(
+        ag::BatchedMatMul(q, ag::Transpose(k, 1, 2)), scale);  // [NH, T, T]
+    Variable attn = ag::Softmax(scores, /*axis=*/2);
+    attn = dropout_->Forward(attn);
+    ctx = ag::BatchedMatMul(attn, v);  // [NH, T, hd]
+  }
 
   // Merge heads back: [NH, T, hd] -> [N, T, C].
   ctx = ag::Reshape(ctx, {n, num_heads_, t, head_dim_});

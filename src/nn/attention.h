@@ -11,7 +11,15 @@
 namespace units::nn {
 
 /// Sinusoidal positional encoding table of shape [T, C] (Vaswani et al.).
+/// Cached per (length, channels): repeated calls return the same
+/// storage-shared tensor, which callers must treat as immutable.
 Tensor SinusoidalPositionalEncoding(int64_t length, int64_t channels);
+
+/// True unless UNITS_ATTN=unfused. Selects between the fused
+/// tile-streaming attention (ag::ScaledDotAttention) and the composed
+/// scores→softmax→context path inside MultiHeadAttention::Forward. Read on
+/// every call so tests can toggle it via setenv.
+bool UseFusedAttention();
 
 /// Multi-head scaled-dot-product self-attention over [N, T, C].
 class MultiHeadAttention : public Module {

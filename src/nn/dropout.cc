@@ -10,15 +10,23 @@ Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng->Fork()) {
   UNITS_CHECK(p >= 0.0f && p < 1.0f);
 }
 
-Variable Dropout::Forward(const Variable& input) {
+Tensor Dropout::SampleMask(const Shape& shape) {
   if (!training() || p_ == 0.0f) {
-    return input;
+    return Tensor();
   }
-  Tensor mask(input.shape());
+  Tensor mask(shape);
   const float scale = 1.0f / (1.0f - p_);
   float* m = mask.data();
   for (int64_t i = 0; i < mask.numel(); ++i) {
     m[i] = rng_.Bernoulli(p_) ? 0.0f : scale;
+  }
+  return mask;
+}
+
+Variable Dropout::Forward(const Variable& input) {
+  Tensor mask = SampleMask(input.shape());
+  if (mask.numel() == 0) {
+    return input;
   }
   return ag::Mul(input, ag::Constant(std::move(mask)));
 }

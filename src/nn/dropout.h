@@ -14,6 +14,13 @@ class Dropout : public Module {
 
   Variable Forward(const Variable& input) override;
 
+  /// Draws an inverted-dropout mask (0 with probability p, else 1/(1-p))
+  /// from the module's RNG stream, or an empty tensor when in eval mode or
+  /// p == 0. The fused attention path applies this mask inside its kernels
+  /// instead of as a separate elementwise multiply; the draw order matches
+  /// Forward, so both paths consume the RNG stream identically.
+  Tensor SampleMask(const Shape& shape);
+
   float p() const { return p_; }
 
  private:

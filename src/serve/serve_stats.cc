@@ -2,19 +2,18 @@
 
 #include <algorithm>
 
+#include "metrics/metrics.h"
+
 namespace units::serve {
 
 namespace {
 
-/// Nearest-rank percentile of a sorted sample.
+/// Nearest-rank percentile of a sorted sample; 0.0 for an empty window.
 double Percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) {
     return 0.0;
   }
-  const size_t idx = std::min(
-      sorted.size() - 1,
-      static_cast<size_t>(q * static_cast<double>(sorted.size())));
-  return sorted[idx];
+  return metrics::NearestRankQuantile(sorted, q);
 }
 
 }  // namespace

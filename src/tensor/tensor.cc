@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "base/string_util.h"
@@ -30,13 +31,46 @@ std::string ShapeToString(const Shape& shape) {
 
 bool SameShape(const Shape& a, const Shape& b) { return a == b; }
 
+namespace {
+
+std::atomic<int64_t> g_alloc_count{0};
+std::atomic<int64_t> g_alloc_total{0};
+std::atomic<int64_t> g_alloc_largest{0};
+
+void RecordTensorAlloc(int64_t floats) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_total.fetch_add(floats, std::memory_order_relaxed);
+  int64_t prev = g_alloc_largest.load(std::memory_order_relaxed);
+  while (prev < floats && !g_alloc_largest.compare_exchange_weak(
+                              prev, floats, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+TensorAllocStats GetTensorAllocStats() {
+  TensorAllocStats stats;
+  stats.allocations = g_alloc_count.load(std::memory_order_relaxed);
+  stats.total_floats = g_alloc_total.load(std::memory_order_relaxed);
+  stats.largest_floats = g_alloc_largest.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetTensorAllocStats() {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_total.store(0, std::memory_order_relaxed);
+  g_alloc_largest.store(0, std::memory_order_relaxed);
+}
+
 Tensor::Tensor() : Tensor(Shape{0}) {}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       numel_(NumElements(shape_)),
       storage_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(numel_))) {}
+          static_cast<size_t>(numel_))) {
+  RecordTensorAlloc(numel_);
+}
 
 Tensor Tensor::Zeros(Shape shape) {
   return Tensor(std::move(shape));  // vector value-initializes to 0
@@ -56,6 +90,7 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
   t.shape_ = std::move(shape);
   t.numel_ = static_cast<int64_t>(values.size());
   t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  RecordTensorAlloc(t.numel_);
   return t;
 }
 

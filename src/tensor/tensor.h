@@ -23,6 +23,19 @@ std::string ShapeToString(const Shape& shape);
 
 bool SameShape(const Shape& a, const Shape& b);
 
+/// Process-wide counters over Tensor storage allocations (fresh buffers
+/// only — views and copies share storage and are not counted). Thread-safe.
+/// Tests use these to pin memory behavior of fused kernels, e.g. that
+/// eval-mode attention never allocates a [NH, T, T] probability buffer.
+struct TensorAllocStats {
+  int64_t allocations = 0;    ///< number of fresh storage buffers
+  int64_t total_floats = 0;   ///< cumulative floats across those buffers
+  int64_t largest_floats = 0; ///< largest single buffer
+};
+
+TensorAllocStats GetTensorAllocStats();
+void ResetTensorAllocStats();
+
 /// Dense float32 tensor, row-major, always contiguous. Storage is shared:
 /// copying a Tensor is O(1) and aliases the same buffer (use Clone() for a
 /// deep copy). Reshape returns an aliasing view with a new shape. This is

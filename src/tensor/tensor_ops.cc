@@ -559,22 +559,124 @@ std::pair<Tensor, std::vector<int64_t>> MaxWithArg(const Tensor& a, int axis) {
   return {values, args};
 }
 
-Tensor Softmax(const Tensor& a, int axis) {
-  UNITS_PROFILE_SCOPE("tensor.Softmax");
-  axis = NormalizeAxis(axis, a.ndim());
-  const Tensor m = Max(a, axis, /*keepdim=*/true);
-  const Tensor shifted = Sub(a, m);
-  const Tensor e = Exp(shifted);
-  const Tensor z = Sum(e, axis, /*keepdim=*/true);
-  return Div(e, z);
-}
+Tensor Softmax(const Tensor& a, int axis) { return SoftmaxFused(a, axis); }
 
 Tensor LogSoftmax(const Tensor& a, int axis) {
+  return LogSoftmaxFused(a, axis);
+}
+
+namespace {
+
+/// Runs `row_fn(base_offset, len, stride)` once per softmax row of the
+/// axis-split shape, parallel over rows. A "row" is one (outer, inner)
+/// lane of the axis; lanes are independent, so chunk boundaries cannot
+/// change results.
+template <typename RowFn>
+void ForEachAxisRow(const AxisSplit& s, const RowFn& row_fn) {
+  ParallelFor(0, s.outer * s.inner, RowGrain(s.len),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t r = lo; r < hi; ++r) {
+                  const int64_t o = r / s.inner;
+                  const int64_t i = r % s.inner;
+                  row_fn(o * s.len * s.inner + i, s.len, s.inner);
+                }
+              });
+}
+
+}  // namespace
+
+Tensor SoftmaxFused(const Tensor& a, int axis) {
+  UNITS_PROFILE_SCOPE("tensor.Softmax");
   axis = NormalizeAxis(axis, a.ndim());
-  const Tensor m = Max(a, axis, /*keepdim=*/true);
-  const Tensor shifted = Sub(a, m);
-  const Tensor logz = Log(Sum(Exp(shifted), axis, /*keepdim=*/true));
-  return Sub(shifted, logz);
+  const AxisSplit s = SplitAxis(a.shape(), axis);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ForEachAxisRow(s, [&](int64_t base, int64_t len, int64_t stride) {
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t x = 0; x < len; ++x) {
+      m = std::max(m, pa[base + x * stride]);
+    }
+    float z = 0.0f;
+    for (int64_t x = 0; x < len; ++x) {
+      const float e = std::exp(pa[base + x * stride] - m);
+      po[base + x * stride] = e;
+      z += e;
+    }
+    const float inv = 1.0f / z;
+    for (int64_t x = 0; x < len; ++x) {
+      po[base + x * stride] *= inv;
+    }
+  });
+  return out;
+}
+
+Tensor LogSoftmaxFused(const Tensor& a, int axis) {
+  UNITS_PROFILE_SCOPE("tensor.LogSoftmax");
+  axis = NormalizeAxis(axis, a.ndim());
+  const AxisSplit s = SplitAxis(a.shape(), axis);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ForEachAxisRow(s, [&](int64_t base, int64_t len, int64_t stride) {
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t x = 0; x < len; ++x) {
+      m = std::max(m, pa[base + x * stride]);
+    }
+    float z = 0.0f;
+    for (int64_t x = 0; x < len; ++x) {
+      z += std::exp(pa[base + x * stride] - m);
+    }
+    const float logz = std::log(z);
+    for (int64_t x = 0; x < len; ++x) {
+      po[base + x * stride] = pa[base + x * stride] - m - logz;
+    }
+  });
+  return out;
+}
+
+Tensor SoftmaxBackward(const Tensor& p, const Tensor& g, int axis) {
+  UNITS_PROFILE_SCOPE("tensor.SoftmaxBackward");
+  UNITS_CHECK(p.shape() == g.shape());
+  axis = NormalizeAxis(axis, p.ndim());
+  const AxisSplit s = SplitAxis(p.shape(), axis);
+  Tensor out(p.shape());
+  const float* pp = p.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  ForEachAxisRow(s, [&](int64_t base, int64_t len, int64_t stride) {
+    float dot = 0.0f;
+    for (int64_t x = 0; x < len; ++x) {
+      dot += pg[base + x * stride] * pp[base + x * stride];
+    }
+    for (int64_t x = 0; x < len; ++x) {
+      po[base + x * stride] =
+          pp[base + x * stride] * (pg[base + x * stride] - dot);
+    }
+  });
+  return out;
+}
+
+Tensor LogSoftmaxBackward(const Tensor& out_saved, const Tensor& g, int axis) {
+  UNITS_PROFILE_SCOPE("tensor.LogSoftmaxBackward");
+  UNITS_CHECK(out_saved.shape() == g.shape());
+  axis = NormalizeAxis(axis, out_saved.ndim());
+  const AxisSplit s = SplitAxis(out_saved.shape(), axis);
+  Tensor out(out_saved.shape());
+  const float* ps = out_saved.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  ForEachAxisRow(s, [&](int64_t base, int64_t len, int64_t stride) {
+    float gsum = 0.0f;
+    for (int64_t x = 0; x < len; ++x) {
+      gsum += pg[base + x * stride];
+    }
+    for (int64_t x = 0; x < len; ++x) {
+      po[base + x * stride] =
+          pg[base + x * stride] - std::exp(ps[base + x * stride]) * gsum;
+    }
+  });
+  return out;
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int axis) {
@@ -754,6 +856,249 @@ Tensor Col2Im1D(const Tensor& cols, const Shape& input_shape, int64_t kernel,
     }
   });
   return out;
+}
+
+namespace {
+
+/// Shared shape checks for the fused attention kernels; returns {B, T, hd}.
+std::array<int64_t, 3> AttentionDims(const Tensor& q, const Tensor& k,
+                                     const Tensor& v,
+                                     const Tensor& dropout_mask) {
+  UNITS_CHECK_EQ(q.ndim(), 3);
+  UNITS_CHECK(q.shape() == k.shape());
+  UNITS_CHECK(q.shape() == v.shape());
+  if (dropout_mask.numel() > 0) {
+    UNITS_CHECK(dropout_mask.shape() ==
+                (Shape{q.dim(0), q.dim(1), q.dim(1)}));
+  }
+  return {q.dim(0), q.dim(1), q.dim(2)};
+}
+
+/// Grain for ParallelFor over (batch, row-block) tile indices: at least one
+/// whole tile, more for tiny shapes. Depends only on the shape and the
+/// fixed kAttnRowBlock, so chunk boundaries are thread-count independent.
+int64_t AttnTileGrain(int64_t t, int64_t hd) {
+  const int64_t flops_per_tile = kAttnRowBlock * t * hd;
+  return std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, flops_per_tile));
+}
+
+/// Computes one scores tile for rows [r0, r1): tile = q[r0:r1] x kT via the
+/// blocked GEMM micro-kernel (runs inline when already on a pool thread —
+/// base/parallel executes nested ParallelFor serially, so the accumulation
+/// order stays thread-count independent), then scales and softmaxes each
+/// row in place. The destination rows have stride t, which holds both for
+/// a compact scratch tile and for rows [r0, r1) of a [T, T] probs plane.
+void ScoreSoftmaxTile(const float* qb, const float* ktb, float scale,
+                      int64_t t, int64_t hd, int64_t r0, int64_t r1,
+                      float* tile) {
+  gemm::Gemm(r1 - r0, hd, t, qb + r0 * hd, ktb, tile);
+  for (int64_t r = r0; r < r1; ++r) {
+    float* srow = tile + (r - r0) * t;
+    // Fused row softmax with the scale folded into the two read passes
+    // (cheaper than a separate scaling sweep over the tile).
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < t; ++j) {
+      m = std::max(m, srow[j] * scale);
+    }
+    float z = 0.0f;
+    for (int64_t j = 0; j < t; ++j) {
+      srow[j] = std::exp(srow[j] * scale - m);
+      z += srow[j];
+    }
+    const float inv = 1.0f / z;
+    for (int64_t j = 0; j < t; ++j) {
+      srow[j] *= inv;
+    }
+  }
+}
+
+/// Context rows [r0, r1): out[r0:r1] = P_tile x v, one blocked GEMM per
+/// tile. `ptile` must hold the (dropout-folded, if any) probability rows
+/// with stride t.
+void ContextTile(const float* ptile, const float* vb, int64_t t, int64_t hd,
+                 int64_t r0, int64_t r1, float* out_b) {
+  gemm::Gemm(r1 - r0, t, hd, ptile, vb, out_b + r0 * hd);
+}
+
+/// out[i] = a[i] * b[i] over n floats (folds a dropout-mask block into a
+/// probability block before the context GEMM; in-place when out == a).
+void MulInto(const float* a, const float* b, int64_t n, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+/// dst[j][r] = src[r][j] for a [t, t] plane, 32x32 cache blocks.
+void TransposeSquare(const float* src, int64_t t, float* dst) {
+  constexpr int64_t kB = 32;
+  for (int64_t i0 = 0; i0 < t; i0 += kB) {
+    const int64_t i1 = std::min(t, i0 + kB);
+    for (int64_t j0 = 0; j0 < t; j0 += kB) {
+      const int64_t j1 = std::min(t, j0 + kB);
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t j = j0; j < j1; ++j) {
+          dst[j * t + i] = src[i * t + j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor AttentionForwardStreaming(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, float scale,
+                                 const Tensor& dropout_mask) {
+  UNITS_PROFILE_SCOPE("tensor.AttentionForwardStreaming");
+  const auto [batch, t, hd] = AttentionDims(q, k, v, dropout_mask);
+  Tensor out({batch, t, hd});
+  // K transposed once to [B, hd, T] so each scores tile is a plain GEMM
+  // against a shared B panel. Same footprint as the output — nothing here
+  // ever allocates the [B, T, T] probabilities.
+  const Tensor kt = Transpose(k, 1, 2);
+  const int64_t nblocks = (t + kAttnRowBlock - 1) / kAttnRowBlock;
+  const float* pq = q.data();
+  const float* pkt = kt.data();
+  const float* pv = v.data();
+  const float* pm = dropout_mask.numel() > 0 ? dropout_mask.data() : nullptr;
+  float* po = out.data();
+  ParallelFor(0, batch * nblocks, AttnTileGrain(t, hd),
+              [&, t = t, hd = hd](int64_t lo, int64_t hi) {
+                // Scores scratch for one tile; plain vector, not a Tensor —
+                // eval mode allocates no [B, T, T] probability buffer.
+                std::vector<float> tile(
+                    static_cast<size_t>(kAttnRowBlock * t));
+                for (int64_t idx = lo; idx < hi; ++idx) {
+                  const int64_t b = idx / nblocks;
+                  const int64_t r0 = (idx % nblocks) * kAttnRowBlock;
+                  const int64_t r1 = std::min(t, r0 + kAttnRowBlock);
+                  ScoreSoftmaxTile(pq + b * t * hd, pkt + b * t * hd, scale,
+                                   t, hd, r0, r1, tile.data());
+                  if (pm != nullptr) {
+                    MulInto(tile.data(), pm + (b * t + r0) * t, (r1 - r0) * t,
+                            tile.data());
+                  }
+                  ContextTile(tile.data(), pv + b * t * hd, t, hd, r0, r1,
+                              po + b * t * hd);
+                }
+              });
+  return out;
+}
+
+Tensor AttentionForwardTrain(const Tensor& q, const Tensor& k,
+                             const Tensor& v, float scale,
+                             const Tensor& dropout_mask, Tensor* probs) {
+  UNITS_PROFILE_SCOPE("tensor.AttentionForwardTrain");
+  UNITS_CHECK(probs != nullptr);
+  const auto [batch, t, hd] = AttentionDims(q, k, v, dropout_mask);
+  Tensor out({batch, t, hd});
+  *probs = Tensor({batch, t, t});
+  const Tensor kt = Transpose(k, 1, 2);
+  const int64_t nblocks = (t + kAttnRowBlock - 1) / kAttnRowBlock;
+  const float* pq = q.data();
+  const float* pkt = kt.data();
+  const float* pv = v.data();
+  const float* pm = dropout_mask.numel() > 0 ? dropout_mask.data() : nullptr;
+  float* pp = probs->data();
+  float* po = out.data();
+  ParallelFor(
+      0, batch * nblocks, AttnTileGrain(t, hd),
+      [&, t = t, hd = hd](int64_t lo, int64_t hi) {
+        // Scratch only for the dropout-folded tile; the pre-dropout
+        // probabilities (what softmax backward needs) stay in `probs`.
+        std::vector<float> folded(
+            pm != nullptr ? static_cast<size_t>(kAttnRowBlock * t) : 0);
+        for (int64_t idx = lo; idx < hi; ++idx) {
+          const int64_t b = idx / nblocks;
+          const int64_t r0 = (idx % nblocks) * kAttnRowBlock;
+          const int64_t r1 = std::min(t, r0 + kAttnRowBlock);
+          // Scores land directly in the saved probability tensor
+          // (softmaxed in place): one [B,T,T] buffer total.
+          float* ptile = pp + (b * t + r0) * t;
+          ScoreSoftmaxTile(pq + b * t * hd, pkt + b * t * hd, scale, t, hd,
+                           r0, r1, ptile);
+          const float* ctx_in = ptile;
+          if (pm != nullptr) {
+            MulInto(ptile, pm + (b * t + r0) * t, (r1 - r0) * t,
+                    folded.data());
+            ctx_in = folded.data();
+          }
+          ContextTile(ctx_in, pv + b * t * hd, t, hd, r0, r1,
+                      po + b * t * hd);
+        }
+      });
+  return out;
+}
+
+AttentionGrads AttentionBackward(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, float scale,
+                                 const Tensor& probs,
+                                 const Tensor& dropout_mask, const Tensor& g) {
+  UNITS_PROFILE_SCOPE("tensor.AttentionBackward");
+  const auto [batch, t, hd] = AttentionDims(q, k, v, dropout_mask);
+  UNITS_CHECK(probs.shape() == (Shape{batch, t, t}));
+  UNITS_CHECK(g.shape() == q.shape());
+  // Every plane below is overwritten by a GEMM, so no zero-fill is needed.
+  AttentionGrads grads{Tensor({batch, t, hd}), Tensor({batch, t, hd}),
+                       Tensor({batch, t, hd})};
+  const Tensor vt = Transpose(v, 1, 2);  // [B, hd, T] for the dP GEMM
+  const float* pq = q.data();
+  const float* pk = k.data();
+  const float* pvt = vt.data();
+  const float* pp = probs.data();
+  const float* pm = dropout_mask.numel() > 0 ? dropout_mask.data() : nullptr;
+  const float* pg = g.data();
+  float* pdq = grads.dq.data();
+  float* pdk = grads.dk.data();
+  float* pdv = grads.dv.data();
+  // Parallel over batches only (grain 1): each batch runs its GEMM chain
+  // serially (nested ParallelFor executes inline on pool threads), so the
+  // accumulation order never depends on the thread count.
+  ParallelFor(0, batch, 1, [&, t = t, hd = hd](int64_t b0, int64_t b1) {
+    // [T, T] scratch planes: dS in `ds`, transposed operands in `tr`.
+    // Plain vectors — backward adds no [B, T, T] tensor allocations.
+    std::vector<float> ds(static_cast<size_t>(t * t));
+    std::vector<float> tr(static_cast<size_t>(t * t));
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* qb = pq + b * t * hd;
+      const float* kb = pk + b * t * hd;
+      const float* vtb = pvt + b * t * hd;
+      const float* pb = pp + b * t * t;
+      const float* mb = pm != nullptr ? pm + b * t * t : nullptr;
+      const float* gb = pg + b * t * hd;
+      // d(dropped probs) = g x vT, with the dropout mask folded in to get
+      // dP (the mask multiplied the probs in the forward).
+      gemm::Gemm(t, hd, t, gb, vtb, ds.data());
+      if (mb != nullptr) {
+        MulInto(ds.data(), mb, t * t, ds.data());
+      }
+      // Row-wise softmax backward in place, scale folded in:
+      // dS = scale * P (dP - <dP, P>).
+      for (int64_t r = 0; r < t; ++r) {
+        float* dsrow = ds.data() + r * t;
+        const float* prow = pb + r * t;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < t; ++j) {
+          dot += dsrow[j] * prow[j];
+        }
+        for (int64_t j = 0; j < t; ++j) {
+          dsrow[j] = scale * prow[j] * (dsrow[j] - dot);
+        }
+      }
+      gemm::Gemm(t, t, hd, ds.data(), kb, pdq + b * t * hd);  // dQ = dS K
+      TransposeSquare(ds.data(), t, tr.data());
+      gemm::Gemm(t, t, hd, tr.data(), qb, pdk + b * t * hd);  // dK = dS^T Q
+      // dV = (P o M)^T g, the dropped probabilities from the forward.
+      if (mb != nullptr) {
+        MulInto(pb, mb, t * t, ds.data());
+        TransposeSquare(ds.data(), t, tr.data());
+      } else {
+        TransposeSquare(pb, t, tr.data());
+      }
+      gemm::Gemm(t, t, hd, tr.data(), gb, pdv + b * t * hd);
+    }
+  });
+  return grads;
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {

@@ -103,9 +103,72 @@ Tensor ArgMax(const Tensor& a, int axis);
 /// backward). Returns {values, argmax_flat_offsets_as_int64}.
 std::pair<Tensor, std::vector<int64_t>> MaxWithArg(const Tensor& a, int axis);
 
-/// Numerically stable softmax / log-softmax along `axis`.
+/// Numerically stable softmax / log-softmax along `axis`. Both delegate to
+/// the fused row-wise kernels below.
 Tensor Softmax(const Tensor& a, int axis);
 Tensor LogSoftmax(const Tensor& a, int axis);
+
+/// Fused numerically stable softmax along `axis`: one parallel sweep per
+/// row (max, exp-accumulate, normalize in place) instead of the composed
+/// Max/Sub/Exp/Sum/Div five-pass chain — no intermediate tensors.
+Tensor SoftmaxFused(const Tensor& a, int axis);
+
+/// Fused log-softmax along `axis` (same single-sweep structure).
+Tensor LogSoftmaxFused(const Tensor& a, int axis);
+
+/// Row-wise softmax backward, dx = p ⊙ (g − Σ g⊙p) along `axis`, computed
+/// per row without materializing the Jacobian or any intermediate tensor.
+/// `p` is the saved softmax output.
+Tensor SoftmaxBackward(const Tensor& p, const Tensor& g, int axis);
+
+/// Row-wise log-softmax backward, dx = g − exp(out) ⊙ Σ g along `axis`.
+/// `out` is the saved log-softmax output.
+Tensor LogSoftmaxBackward(const Tensor& out, const Tensor& g, int axis);
+
+// ---------------------------------------------------------------------------
+// Fused scaled-dot-product attention (per-head batches [B, T, hd])
+// ---------------------------------------------------------------------------
+
+/// Row-block size of the streaming attention kernels. Fixed (never derived
+/// from the thread count) so tile boundaries — and therefore outputs — are
+/// bitwise identical at any pool size, like the GEMM macro-tiles.
+inline constexpr int64_t kAttnRowBlock = 32;
+
+/// Streaming eval-mode attention: out[b] = (softmax(scale·q[b]·k[b]ᵀ) ⊙
+/// dropout_mask[b]) · v[b] for q,k,v of shape [B, T, hd]. Scores for one
+/// (batch, row-block) tile are computed into a [kAttnRowBlock, T] scratch
+/// by the blocked GEMM micro-kernel, softmaxed in place and immediately
+/// contracted against V (another per-tile GEMM), so no [B, T, T] tensor is
+/// ever allocated — only a [B, hd, T] transposed copy of K, the same
+/// footprint as the output. `dropout_mask` (inverted-dropout scaling baked
+/// in) may be empty for no dropout.
+Tensor AttentionForwardStreaming(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, float scale,
+                                 const Tensor& dropout_mask);
+
+/// Training-mode attention forward: like AttentionForwardStreaming but
+/// additionally materializes the pre-dropout probability tensor [B, T, T]
+/// into `*probs` (required for the backward pass) — the single big buffer
+/// the fused path keeps, versus three on the composed path.
+Tensor AttentionForwardTrain(const Tensor& q, const Tensor& k,
+                             const Tensor& v, float scale,
+                             const Tensor& dropout_mask, Tensor* probs);
+
+/// Gradients of AttentionForwardTrain. `probs` is the saved pre-dropout
+/// probability tensor; `g` is d(loss)/d(out) of shape [B, T, hd]. Runs a
+/// per-batch GEMM chain (dP = g·Vᵀ, closed-form softmax backward, dQ/dK/dV
+/// GEMMs) over [T, T] vector scratch — no [B, T, T] tensor allocations —
+/// parallel over batches only, so the accumulation order within a batch is
+/// fixed and thread-count independent.
+struct AttentionGrads {
+  Tensor dq;
+  Tensor dk;
+  Tensor dv;
+};
+AttentionGrads AttentionBackward(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, float scale,
+                                 const Tensor& probs,
+                                 const Tensor& dropout_mask, const Tensor& g);
 
 // ---------------------------------------------------------------------------
 // Shape manipulation

@@ -1,16 +1,50 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
+#include "base/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::nn {
 namespace {
 
 namespace ag = ::units::autograd;
+
+/// Flips UNITS_ATTN for a scope; UseFusedAttention() re-reads it per call.
+class AttnPathGuard {
+ public:
+  explicit AttnPathGuard(const char* value) {
+    setenv("UNITS_ATTN", value, /*overwrite=*/1);
+  }
+  ~AttnPathGuard() { unsetenv("UNITS_ATTN"); }
+};
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() {
+    base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  }
+};
+
+/// Max abs difference relative to the reference tensor's max magnitude
+/// (scaled max-norm). Per-element relative error is meaningless on the
+/// near-zero tail of attention outputs: the paths reassociate float sums,
+/// so elements of magnitude ~1e-5 legitimately differ in their low bits.
+float MaxRelDiff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  float diff = 0.0f;
+  float scale = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    diff = std::max(diff, std::fabs(a[i] - b[i]));
+    scale = std::max(scale, std::fabs(b[i]));
+  }
+  return diff / std::max(1e-6f, scale);
+}
 
 TEST(PositionalEncodingTest, ShapeAndRange) {
   Tensor pe = SinusoidalPositionalEncoding(16, 8);
@@ -72,6 +106,141 @@ TEST(MultiHeadAttentionTest, PermutationEquivariance) {
     EXPECT_NEAR(yp.At({0, 2, c}), y.At({0, 1, c}), 1e-4);
     EXPECT_NEAR(yp.At({0, 0, c}), y.At({0, 0, c}), 1e-4);
   }
+}
+
+TEST(PositionalEncodingTest, CacheReturnsSharedStorage) {
+  Tensor a = SinusoidalPositionalEncoding(24, 12);
+  Tensor b = SinusoidalPositionalEncoding(24, 12);
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  // A different key computes a fresh table.
+  Tensor c = SinusoidalPositionalEncoding(25, 12);
+  EXPECT_FALSE(a.SharesStorageWith(c));
+  // And the cached values stay correct (spot-check against the formula).
+  EXPECT_NEAR(b.At({3, 0}), std::sin(3.0), 1e-6);
+  EXPECT_NEAR(b.At({3, 1}), std::cos(3.0), 1e-6);
+}
+
+// T = 50 is deliberately not a multiple of kAttnRowBlock = 32 so every
+// fused test here also covers the partial final row-block.
+TEST(FusedAttentionTest, EvalMatchesUnfused) {
+  Rng rng(21);
+  MultiHeadAttention attn(16, 4, &rng, /*dropout=*/0.0f);
+  attn.SetTraining(false);
+  Tensor x = Tensor::RandNormal({2, 50, 16}, &rng);
+  ag::NoGradGuard no_grad;
+  Tensor fused = attn.Forward(Variable(x)).data();
+  Tensor unfused;
+  {
+    AttnPathGuard unfused_path("unfused");
+    unfused = attn.Forward(Variable(x)).data();
+  }
+  EXPECT_LE(MaxRelDiff(fused, unfused), 1e-5f);
+}
+
+TEST(FusedAttentionTest, TrainingGradsMatchUnfused) {
+  Rng rng(22);
+  MultiHeadAttention attn(8, 2, &rng, /*dropout=*/0.0f);
+  Tensor x = Tensor::RandNormal({1, 50, 8}, &rng);
+
+  auto run = [&]() {
+    attn.ZeroGrad();
+    Variable in(x.Clone(), /*requires_grad=*/true);
+    ag::MeanAll(ag::Square(attn.Forward(in))).Backward();
+    std::vector<Tensor> grads;
+    grads.push_back(in.grad().Clone());
+    for (const auto& [name, p] : attn.NamedParameters()) {
+      grads.push_back(p.grad().Clone());
+    }
+    return grads;
+  };
+
+  std::vector<Tensor> fused = run();
+  std::vector<Tensor> unfused;
+  {
+    AttnPathGuard unfused_path("unfused");
+    unfused = run();
+  }
+  ASSERT_EQ(fused.size(), unfused.size());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_LE(MaxRelDiff(fused[i], unfused[i]), 1e-5f) << "grad " << i;
+  }
+}
+
+TEST(FusedAttentionTest, BitwiseDeterministicAcrossThreadCounts) {
+  Rng rng(23);
+  Tensor q = Tensor::RandNormal({3, 50, 8}, &rng);
+  Tensor k = Tensor::RandNormal({3, 50, 8}, &rng);
+  Tensor v = Tensor::RandNormal({3, 50, 8}, &rng);
+  ThreadCountGuard guard;
+
+  auto run = [&]() {
+    Variable qv(q.Clone(), true), kv(k.Clone(), true), vv(v.Clone(), true);
+    Variable out = ag::ScaledDotAttention(qv, kv, vv, 0.35f);
+    Tensor fwd = out.data().Clone();
+    ag::MeanAll(ag::Square(out)).Backward();
+    return std::vector<Tensor>{fwd, qv.grad().Clone(), kv.grad().Clone(),
+                               vv.grad().Clone()};
+  };
+
+  base::SetNumThreads(1);
+  std::vector<Tensor> serial = run();
+  base::SetNumThreads(8);
+  std::vector<Tensor> threaded = run();
+  for (size_t t = 0; t < serial.size(); ++t) {
+    ASSERT_EQ(serial[t].numel(), threaded[t].numel());
+    for (int64_t i = 0; i < serial[t].numel(); ++i) {
+      ASSERT_EQ(serial[t][i], threaded[t][i]) << "tensor " << t << " at " << i;
+    }
+  }
+}
+
+TEST(FusedAttentionTest, EvalNeverMaterializesProbabilities) {
+  Rng rng(24);
+  const int64_t nh = 8, t = 64, hd = 8;  // [NH, T, T] would be 32768 floats
+  Tensor q = Tensor::RandNormal({nh, t, hd}, &rng);
+  Tensor k = Tensor::RandNormal({nh, t, hd}, &rng);
+  Tensor v = Tensor::RandNormal({nh, t, hd}, &rng);
+  {
+    ag::NoGradGuard no_grad;
+    ResetTensorAllocStats();
+    Tensor out = ag::ScaledDotAttention(Variable(q), Variable(k), Variable(v),
+                                        0.35f)
+                     .data();
+    const TensorAllocStats stats = GetTensorAllocStats();
+    // The streaming kernel allocates only the [NH, T, hd] output (plus
+    // per-thread std::vector scratch, which is not tensor storage): the
+    // largest tensor allocated during the forward must be far below the
+    // [NH, T, T] probability tensor the composed path materializes.
+    EXPECT_LT(stats.largest_floats, nh * t * t);
+    EXPECT_EQ(stats.largest_floats, nh * t * hd);
+    EXPECT_EQ(out.numel(), nh * t * hd);
+  }
+
+  // Training (grads required) saves exactly the one probability tensor.
+  Variable qv(q, /*requires_grad=*/true);
+  ResetTensorAllocStats();
+  Variable tr = ag::ScaledDotAttention(qv, Variable(k), Variable(v), 0.35f);
+  EXPECT_EQ(GetTensorAllocStats().largest_floats, nh * t * t);
+}
+
+TEST(FusedAttentionTest, DropoutMaskPathMatchesUnfusedStatistically) {
+  // With dropout active the two paths consume RNG draws identically
+  // (SampleMask preserves Forward's draw order), so seeding the module RNG
+  // the same way must give identical outputs across paths.
+  Rng rng_a(25);
+  MultiHeadAttention attn_a(8, 2, &rng_a, /*dropout=*/0.25f);
+  Rng rng_b(25);
+  MultiHeadAttention attn_b(8, 2, &rng_b, /*dropout=*/0.25f);
+  Rng data_rng(26);
+  Tensor x = Tensor::RandNormal({1, 20, 8}, &data_rng);
+  ag::NoGradGuard no_grad;
+  Tensor fused = attn_a.Forward(Variable(x)).data();
+  Tensor unfused;
+  {
+    AttnPathGuard unfused_path("unfused");
+    unfused = attn_b.Forward(Variable(x)).data();
+  }
+  EXPECT_LE(MaxRelDiff(fused, unfused), 1e-5f);
 }
 
 TEST(TransformerEncoderLayerTest, PreservesShape) {

@@ -129,6 +129,25 @@ std::vector<OpCase> MakeCases() {
       {{2, 4}});
   add("log_softmax", [](const auto& v) { return ag::LogSoftmax(v[0], 1); },
       {{2, 4}});
+  // Non-last axis exercises the strided (inner != 1) rows of the fused
+  // softmax kernels and their closed-form backwards.
+  add("softmax_axis0", [](const auto& v) { return ag::Softmax(v[0], 0); },
+      {{3, 4}});
+  add("log_softmax_axis0",
+      [](const auto& v) { return ag::LogSoftmax(v[0], 0); }, {{3, 4}});
+  // Fused attention: forward tiles + the streaming AttentionBackward.
+  add("scaled_dot_attention",
+      [](const auto& v) {
+        return ag::ScaledDotAttention(v[0], v[1], v[2], 0.5f);
+      },
+      {{2, 7, 3}, {2, 7, 3}, {2, 7, 3}});
+  // T = 40 > kAttnRowBlock = 32 crosses a row-block boundary, covering the
+  // partial final tile.
+  add("scaled_dot_attention_multiblock",
+      [](const auto& v) {
+        return ag::ScaledDotAttention(v[0], v[1], v[2], 0.6f);
+      },
+      {{1, 40, 4}, {1, 40, 4}, {1, 40, 4}});
   add("sum_axis", [](const auto& v) { return ag::Sum(v[0], 1); }, {{2, 3}});
   add("sum_keepdim",
       [](const auto& v) { return ag::Sum(v[0], 0, /*keepdim=*/true); },

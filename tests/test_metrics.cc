@@ -8,6 +8,38 @@
 namespace units::metrics {
 namespace {
 
+TEST(NearestRankQuantileTest, ExactRanks) {
+  // 10 samples 1..10. Nearest rank: index ceil(q*n)-1, so the median is
+  // element 4 (value 5), not element 5 — the old floor(q*n) indexing
+  // returned 6 here.
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(NearestRankQuantile(v, 0.50), 5.0);
+  EXPECT_EQ(NearestRankQuantile(v, 0.95), 10.0);
+  EXPECT_EQ(NearestRankQuantile(v, 0.90), 9.0);
+  EXPECT_EQ(NearestRankQuantile(v, 0.10), 1.0);
+}
+
+TEST(NearestRankQuantileTest, Edges) {
+  std::vector<float> v{3.0f, 7.0f, 9.0f};
+  // q=0 clamps to the first element; q=1 is exactly the last.
+  EXPECT_EQ(NearestRankQuantile(v, 0.0), 3.0f);
+  EXPECT_EQ(NearestRankQuantile(v, 1.0), 9.0f);
+  // One-third of 3 samples is exactly rank 1.
+  EXPECT_EQ(NearestRankQuantile(v, 1.0 / 3.0), 3.0f);
+  EXPECT_EQ(NearestRankQuantile(v, 0.34), 7.0f);
+  std::vector<int64_t> single{42};
+  EXPECT_EQ(NearestRankQuantile(single, 0.5), 42);
+}
+
+TEST(NearestRankQuantileTest, HundredSamplePercentiles) {
+  // The serving-stats convention: percentiles of 1..100 are exact.
+  std::vector<double> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i + 1;
+  EXPECT_EQ(NearestRankQuantile(v, 0.50), 50.0);
+  EXPECT_EQ(NearestRankQuantile(v, 0.95), 95.0);
+  EXPECT_EQ(NearestRankQuantile(v, 0.99), 99.0);
+}
+
 TEST(AccuracyTest, Basics) {
   EXPECT_EQ(Accuracy({0, 1, 2}, {0, 1, 2}), 1.0);
   EXPECT_EQ(Accuracy({0, 1, 2, 3}, {0, 0, 0, 3}), 0.5);

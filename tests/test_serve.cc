@@ -337,9 +337,11 @@ TEST(ServeStatsTest, HistogramAndQuantiles) {
   EXPECT_DOUBLE_EQ(snapshot.mean_batch_size, 3.0);
   EXPECT_EQ(snapshot.batch_histogram.at(2), 1);
   EXPECT_EQ(snapshot.batch_histogram.at(4), 1);
-  EXPECT_NEAR(snapshot.p50_ms, 50.0, 1.0);
-  EXPECT_NEAR(snapshot.p95_ms, 95.0, 1.0);
-  EXPECT_NEAR(snapshot.p99_ms, 99.0, 1.0);
+  // Exact nearest-rank values: index ceil(q*100)-1 of the sorted latencies
+  // 1..100. The old floor(q*n) indexing reported 51/96/100 here.
+  EXPECT_DOUBLE_EQ(snapshot.p50_ms, 50.0);
+  EXPECT_DOUBLE_EQ(snapshot.p95_ms, 95.0);
+  EXPECT_DOUBLE_EQ(snapshot.p99_ms, 99.0);
 
   auto json = stats.ToJson();
   ASSERT_TRUE(json.Contains("m"));

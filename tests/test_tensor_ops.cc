@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/parallel.h"
 #include "base/rng.h"
 
 namespace units::ops {
@@ -216,6 +217,67 @@ TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
   Tensor ls = LogSoftmax(a, 1);
   Tensor log_s = Log(Softmax(a, 1));
   EXPECT_TRUE(AllClose(ls, log_s, 1e-4f, 1e-5f));
+}
+
+// Reference softmax via the old composed op chain the fused kernel
+// replaced: max -> sub -> exp -> sum -> div, five full passes.
+Tensor ComposedSoftmax(const Tensor& a, int axis) {
+  Tensor m = Max(a, axis, /*keepdim=*/true);
+  Tensor e = Exp(Sub(a, m));
+  return Div(e, Sum(e, axis, /*keepdim=*/true));
+}
+
+TEST(SoftmaxFusedTest, MatchesComposedReference) {
+  Rng rng(11);
+  Tensor a = Tensor::RandNormal({3, 17}, &rng, 0.0f, 2.0f);
+  EXPECT_TRUE(AllClose(SoftmaxFused(a, 1), ComposedSoftmax(a, 1), 1e-6f,
+                       1e-7f));
+  Tensor b = Tensor::RandNormal({4, 5, 6}, &rng);
+  // Middle axis: strided rows (inner != 1).
+  EXPECT_TRUE(AllClose(SoftmaxFused(b, 1), ComposedSoftmax(b, 1), 1e-6f,
+                       1e-7f));
+  EXPECT_TRUE(AllClose(SoftmaxFused(b, 0), ComposedSoftmax(b, 0), 1e-6f,
+                       1e-7f));
+}
+
+TEST(SoftmaxFusedTest, LogSoftmaxFusedMatchesLogOfFused) {
+  Rng rng(12);
+  Tensor a = Tensor::RandNormal({2, 9, 4}, &rng, 0.0f, 3.0f);
+  for (int axis : {0, 1, 2}) {
+    EXPECT_TRUE(AllClose(LogSoftmaxFused(a, axis),
+                         Log(SoftmaxFused(a, axis)), 1e-5f, 1e-6f));
+  }
+}
+
+TEST(SoftmaxFusedTest, DeterministicAcrossThreadCounts) {
+  Rng rng(13);
+  Tensor a = Tensor::RandNormal({64, 33}, &rng, 0.0f, 2.0f);
+  base::SetNumThreads(1);
+  Tensor s1 = SoftmaxFused(a, 1);
+  base::SetNumThreads(8);
+  Tensor s8 = SoftmaxFused(a, 1);
+  base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(s1[i], s8[i]) << "at " << i;
+  }
+}
+
+TEST(SoftmaxBackwardTest, MatchesJacobianProduct) {
+  // For one row, dL/dx_i = p_i * (g_i - sum_j g_j p_j). Check against the
+  // explicit Jacobian J_ij = p_i (delta_ij - p_j).
+  Rng rng(14);
+  Tensor a = Tensor::RandNormal({1, 6}, &rng);
+  Tensor g = Tensor::RandNormal({1, 6}, &rng);
+  Tensor p = SoftmaxFused(a, 1);
+  Tensor dx = SoftmaxBackward(p, g, 1);
+  for (int64_t i = 0; i < 6; ++i) {
+    float want = 0.0f;
+    for (int64_t j = 0; j < 6; ++j) {
+      const float jac = p[i] * ((i == j ? 1.0f : 0.0f) - p[j]);
+      want += jac * g[j];
+    }
+    EXPECT_NEAR(dx[i], want, 1e-6f);
+  }
 }
 
 TEST(ShapeOpsTest, ConcatAxis0And1) {

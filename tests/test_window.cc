@@ -58,6 +58,21 @@ TEST(ForecastWindowTest, MultichannelAligned) {
   EXPECT_EQ(y.At({0, 2, 0}), 2008.0f);
 }
 
+TEST(LabelWindowTest, RejectsDegenerateWindowAndStride) {
+  // Regression: SlidingLabelWindows used to skip the window/stride guards
+  // that SlidingWindows has, so stride=0 hit an integer divide-by-zero
+  // (SIGFPE, no diagnostic) instead of a check failure.
+  Tensor labels = Tensor::Zeros({10});
+  EXPECT_DEATH(SlidingLabelWindows(labels, 0, 2), "CHECK failed");
+  EXPECT_DEATH(SlidingLabelWindows(labels, 4, 0), "CHECK failed");
+}
+
+TEST(SlidingWindowTest, RejectsDegenerateWindowAndStride) {
+  Tensor s = MakeSeries(1, 10);
+  EXPECT_DEATH(SlidingWindows(s, 0, 2), "CHECK failed");
+  EXPECT_DEATH(SlidingWindows(s, 4, 0), "CHECK failed");
+}
+
 TEST(LabelWindowTest, TracksSlidingWindows) {
   Tensor labels = Tensor::Zeros({10});
   labels[5] = 1.0f;
