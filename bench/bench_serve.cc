@@ -1,13 +1,25 @@
-// Serving-runtime benchmark: closed-loop clients drive the micro-batcher
-// in process, sweeping max_batch_size to show the batching throughput /
-// latency trade-off. Writes a machine-readable BENCH_serve.json (qps,
-// p50/p99 latency, mean executed batch size per setting) so subsequent
-// PRs can track the serving perf trajectory.
+// Serving-runtime benchmark, two parts:
+//  1. closed-loop clients drive the micro-batcher in process, sweeping
+//     max_batch_size to show the batching throughput / latency trade-off;
+//  2. the same workload through the TCP transport (SocketServer on
+//     loopback), sweeping the client count, with client-observed
+//     latencies and the shed rate under a deliberately small admission
+//     window.
+// Writes a machine-readable BENCH_serve.json so subsequent PRs can track
+// the serving perf trajectory.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +29,7 @@
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/serve_stats.h"
+#include "serve/socket_server.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::bench {
@@ -73,6 +86,141 @@ SweepPoint RunClosedLoop(serve::ModelRegistry* registry, const Tensor& row,
   return point;
 }
 
+/// One NDJSON predict request line for the resident bench model.
+std::string PredictLine(const Tensor& row) {
+  const int64_t channels = row.dim(1);
+  const int64_t length = row.dim(2);
+  std::ostringstream os;
+  os << "{\"op\": \"predict\", \"model\": \"model\", \"values\": [";
+  for (int64_t d = 0; d < channels; ++d) {
+    os << (d == 0 ? "[" : ", [");
+    for (int64_t t = 0; t < length; ++t) {
+      os << (t == 0 ? "" : ", ") << row[d * length + t];
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+struct SocketSweepPoint {
+  int clients = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double shed_rate = 0.0;
+};
+
+/// Nearest-rank quantile over client-observed latencies.
+double Quantile(std::vector<double>* values, double q) {
+  if (values->empty()) {
+    return 0.0;
+  }
+  std::sort(values->begin(), values->end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values->size())));
+  return (*values)[std::min(values->size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// Closed-loop TCP clients against an in-process SocketServer. Admission
+/// is capped below the largest client count so the sweep also shows shed
+/// behaviour under overload.
+SocketSweepPoint RunSocketClosedLoop(serve::ModelRegistry* registry,
+                                     const Tensor& row, int num_clients) {
+  serve::SocketServer::Options options;
+  options.port = 0;  // ephemeral
+  options.batcher.max_batch_size = 16;
+  options.batcher.max_delay_ms = 1.0;
+  options.admission.max_queue = 8;
+  serve::SocketServer server(registry, options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "socket bench: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+  const int port = server.bound_port();
+  std::thread loop([&] { server.Run(); });
+
+  const std::string request = PredictLine(row) + "\n";
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(num_clients));
+  std::vector<int64_t> shed(static_cast<size_t>(num_clients), 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<uint16_t>(port));
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+        std::fprintf(stderr, "socket bench: connect failed\n");
+        std::abort();
+      }
+      std::string rbuf;
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const auto sent = std::chrono::steady_clock::now();
+        if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) < 0) {
+          std::fprintf(stderr, "socket bench: send failed\n");
+          std::abort();
+        }
+        size_t pos;
+        while ((pos = rbuf.find('\n')) == std::string::npos) {
+          char buf[4096];
+          const ssize_t n = ::read(fd, buf, sizeof(buf));
+          if (n <= 0) {
+            std::fprintf(stderr, "socket bench: connection lost\n");
+            std::abort();
+          }
+          rbuf.append(buf, static_cast<size_t>(n));
+        }
+        const std::string line = rbuf.substr(0, pos);
+        rbuf.erase(0, pos + 1);
+        latencies[static_cast<size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - sent)
+                .count());
+        if (line.find("\"ok\":true") == std::string::npos) {
+          if (line.find("overloaded") == std::string::npos) {
+            std::fprintf(stderr, "socket bench: %s\n", line.c_str());
+            std::abort();
+          }
+          ++shed[static_cast<size_t>(c)];
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  server.Shutdown();
+  loop.join();
+
+  std::vector<double> all;
+  int64_t total_shed = 0;
+  for (int c = 0; c < num_clients; ++c) {
+    all.insert(all.end(), latencies[static_cast<size_t>(c)].begin(),
+               latencies[static_cast<size_t>(c)].end());
+    total_shed += shed[static_cast<size_t>(c)];
+  }
+  const int64_t total = static_cast<int64_t>(num_clients) *
+                        kRequestsPerClient;
+  SocketSweepPoint point;
+  point.clients = num_clients;
+  point.qps = static_cast<double>(total) / seconds;
+  point.p50_ms = Quantile(&all, 0.50);
+  point.p99_ms = Quantile(&all, 0.99);
+  point.shed_rate = static_cast<double>(total_shed) /
+                    static_cast<double>(total);
+  return point;
+}
+
 int Main() {
   BenchInit();
   PrintHeader("serve: micro-batch sweep, closed-loop clients");
@@ -119,12 +267,36 @@ int Main() {
     sweep.Append(std::move(entry));
   }
 
+  PrintHeader("serve: socket transport, closed-loop client sweep");
+  json::JsonValue socket_sweep = json::JsonValue::Array();
+  for (const int num_clients : {1, 4, 16}) {
+    const SocketSweepPoint point =
+        RunSocketClosedLoop(&registry, row, num_clients);
+    const std::string label = "clients_" + std::to_string(num_clients);
+    PrintRow("serve_socket", "classification", label, "qps", point.qps);
+    PrintRow("serve_socket", "classification", label, "p50_ms",
+             point.p50_ms);
+    PrintRow("serve_socket", "classification", label, "p99_ms",
+             point.p99_ms);
+    PrintRow("serve_socket", "classification", label, "shed_rate",
+             point.shed_rate);
+    json::JsonValue entry = json::JsonValue::Object();
+    entry.Set("clients", json::JsonValue::Int(point.clients));
+    entry.Set("qps", json::JsonValue::Number(point.qps));
+    entry.Set("p50_ms", json::JsonValue::Number(point.p50_ms));
+    entry.Set("p99_ms", json::JsonValue::Number(point.p99_ms));
+    entry.Set("shed_rate", json::JsonValue::Number(point.shed_rate));
+    socket_sweep.Append(std::move(entry));
+  }
+
   json::JsonValue doc = json::JsonValue::Object();
   doc.Set("bench", json::JsonValue::String("serve"));
   doc.Set("clients", json::JsonValue::Int(kClients));
   doc.Set("requests_per_client", json::JsonValue::Int(kRequestsPerClient));
   doc.Set("max_delay_ms", json::JsonValue::Number(1.0));
   doc.Set("sweep", std::move(sweep));
+  doc.Set("socket_max_queue", json::JsonValue::Int(8));
+  doc.Set("socket_sweep", std::move(socket_sweep));
   std::ofstream out("BENCH_serve.json");
   out << doc.Dump(2) << "\n";
   std::printf("wrote BENCH_serve.json\n");

@@ -19,6 +19,8 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -57,6 +59,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

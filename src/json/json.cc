@@ -344,6 +344,19 @@ class Parser {
     if (pos_ >= text_.size()) {
       return Error("unexpected end of input");
     }
+    // Containers recurse through ParseValue; untrusted input like
+    // "[[[[..." must exhaust this budget, not the call stack.
+    if (depth_ >= kMaxDepth) {
+      return Error("nesting deeper than " + std::to_string(kMaxDepth) +
+                   " levels");
+    }
+    ++depth_;
+    auto result = ParseValueInner();
+    --depth_;
+    return result;
+  }
+
+  Result<JsonValue> ParseValueInner() {
     const char c = text_[pos_];
     switch (c) {
       case '{':
@@ -526,8 +539,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 128;
+
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,58 @@
+#include "serve/admission.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace units::serve {
+
+AdmissionController::AdmissionController(Options options, ServeStats* stats)
+    : options_(options), stats_(stats) {
+  // max_queue = 0 would shed every request; negative capacity and
+  // non-finite or negative timeouts are configuration bugs, not load
+  // conditions, so they abort rather than degrade.
+  UNITS_CHECK_GE(options_.max_queue, 1);
+  UNITS_CHECK(std::isfinite(options_.request_timeout_ms));
+  UNITS_CHECK_GE(options_.request_timeout_ms, 0.0);
+}
+
+Status AdmissionController::TryAdmit() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (in_flight_ >= options_.max_queue) {
+      if (stats_ != nullptr) {
+        stats_->RecordShed();
+      }
+      return Status::ResourceExhausted("overloaded");
+    }
+    in_flight_ += 1;
+  }
+  if (stats_ != nullptr) {
+    stats_->RecordAccepted();
+  }
+  return Status::Ok();
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lk(mu_);
+  UNITS_CHECK_GE(in_flight_, 1);
+  in_flight_ -= 1;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+AdmissionController::DeadlineFor(
+    std::chrono::steady_clock::time_point now) const {
+  if (options_.request_timeout_ms <= 0.0) {
+    return std::nullopt;
+  }
+  return now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       options_.request_timeout_ms));
+}
+
+int64_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
+}  // namespace units::serve

@@ -1,0 +1,68 @@
+#ifndef UNITS_SERVE_ADMISSION_H_
+#define UNITS_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "base/status.h"
+#include "serve/serve_stats.h"
+
+namespace units::serve {
+
+/// Bounded request admission: at most `max_queue` requests may be admitted
+/// and not yet answered at any moment. A request beyond that is shed
+/// immediately with ResourceExhausted("overloaded") instead of queueing
+/// unboundedly — the serving layer turns that into a structured
+/// {"ok": false, "error": "overloaded"} reply. Admitted requests may also
+/// carry a deadline (`request_timeout_ms`); the batcher answers requests
+/// that are still queued past their deadline with DeadlineExceeded.
+///
+/// Accepted / shed / timed-out outcomes are counted in ServeStats (the
+/// controller owns accepted and shed; the batcher reports timeouts).
+class AdmissionController {
+ public:
+  struct Options {
+    /// Capacity of the admitted-but-unanswered window. Must be >= 1.
+    int64_t max_queue = 256;
+    /// Queue-wait deadline per admitted request, in milliseconds.
+    /// 0 disables deadlines. Must be finite and >= 0.
+    double request_timeout_ms = 0.0;
+  };
+
+  /// Aborts (UNITS_CHECK) on out-of-range options; `stats` may be null.
+  explicit AdmissionController(Options options, ServeStats* stats = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admits one request (OK) or sheds it (ResourceExhausted, message
+  /// "overloaded"). Every OK must be paired with exactly one Release().
+  Status TryAdmit();
+
+  /// Returns the slot of a previously admitted request. Called by the
+  /// batcher when the request's promise is fulfilled — on success, error,
+  /// timeout, or shutdown drain alike.
+  void Release();
+
+  /// Deadline for a request admitted at `now`, or nullopt when deadlines
+  /// are disabled.
+  std::optional<std::chrono::steady_clock::time_point> DeadlineFor(
+      std::chrono::steady_clock::time_point now) const;
+
+  /// Admitted-and-unanswered request count right now.
+  int64_t in_flight() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  ServeStats* stats_;
+  mutable std::mutex mu_;
+  int64_t in_flight_ = 0;
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_ADMISSION_H_

@@ -1,8 +1,10 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "base/check.h"
 #include "base/profile.h"
 #include "tensor/tensor_ops.h"
 
@@ -45,18 +47,53 @@ Result<core::TaskResult> SliceRow(const core::TaskResult& full, int64_t n,
 }  // namespace
 
 MicroBatcher::MicroBatcher(ModelRegistry* registry, Options options,
-                           ServeStats* stats)
-    : registry_(registry), options_(options), stats_(stats) {
-  options_.max_batch_size = std::max<int64_t>(1, options_.max_batch_size);
-  options_.max_delay_ms = std::max(0.0, options_.max_delay_ms);
+                           ServeStats* stats, AdmissionController* admission)
+    : registry_(registry),
+      options_(std::move(options)),
+      stats_(stats),
+      admission_(admission) {
+  // max_batch_size = 0 would form empty batches forever (busy-spin) and
+  // never drain a queue; a negative or non-finite delay would turn the
+  // timed flush into either a hot loop or a never-flush. These are
+  // configuration bugs, so they abort instead of being silently clamped.
+  UNITS_CHECK_GE(options_.max_batch_size, 1);
+  UNITS_CHECK(std::isfinite(options_.max_delay_ms));
+  UNITS_CHECK_GE(options_.max_delay_ms, 0.0);
+  UNITS_CHECK_GE(options_.num_workers, 1);
+  max_delay_ = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
 MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+void MicroBatcher::Resolve(Request* req, Result<core::TaskResult> result) {
+  // Release the admission slot before fulfilling the promise so a caller
+  // woken by the future can immediately be admitted again.
+  if (req->admitted && admission_ != nullptr) {
+    admission_->Release();
+  }
+  req->promise.set_value(std::move(result));
+  if (options_.on_resolve) {
+    options_.on_resolve();
+  }
+}
 
 std::future<Result<core::TaskResult>> MicroBatcher::Submit(
     const std::string& model, const Tensor& x) {
   std::promise<Result<core::TaskResult>> promise;
   std::future<Result<core::TaskResult>> future = promise.get_future();
+  auto fail = [&](Status status) {
+    promise.set_value(std::move(status));
+    if (options_.on_resolve) {
+      options_.on_resolve();
+    }
+    return std::move(future);
+  };
 
   Tensor row;
   if (x.ndim() == 2) {
@@ -64,80 +101,165 @@ std::future<Result<core::TaskResult>> MicroBatcher::Submit(
   } else if (x.ndim() == 3 && x.dim(0) == 1) {
     row = x;
   } else {
-    promise.set_value(Status::InvalidArgument(
+    return fail(Status::InvalidArgument(
         "Submit expects one series [D, T] or [1, D, T], got " +
         ShapeToString(x.shape())));
-    return future;
   }
 
-  ModelQueue* q = nullptr;
   {
-    std::lock_guard<std::mutex> lk(map_mu_);
+    std::lock_guard<std::mutex> lk(mu_);
     if (shutdown_) {
-      promise.set_value(
-          Status::FailedPrecondition("batcher is shut down"));
-      return future;
+      return fail(Status::FailedPrecondition("batcher is shut down"));
     }
     auto it = queues_.find(model);
     if (it == queues_.end()) {
       // Fail fast on unknown models instead of queueing forever.
       if (!registry_->Get(model).ok()) {
-        promise.set_value(
-            Status::NotFound("model '" + model + "' is not loaded"));
-        return future;
+        return fail(Status::NotFound("model '" + model + "' is not loaded"));
       }
-      auto created = std::make_unique<ModelQueue>();
-      created->worker = std::thread(
-          [this, model, queue = created.get()] { WorkerLoop(model, queue); });
-      it = queues_.emplace(model, std::move(created)).first;
+      it = queues_.emplace(model, ModelQueue{}).first;
     }
-    q = it->second.get();
-  }
-
-  {
-    std::lock_guard<std::mutex> lk(q->mu);
+    if (admission_ != nullptr) {
+      const Status admitted = admission_->TryAdmit();
+      if (!admitted.ok()) {
+        return fail(admitted);
+      }
+    }
     Request req;
     req.x = row;
-    req.promise = std::move(promise);
     req.enqueued = Clock::now();
-    q->queue.push_back(std::move(req));
+    req.admitted = admission_ != nullptr;
+    if (admission_ != nullptr) {
+      req.deadline = admission_->DeadlineFor(req.enqueued);
+    }
+    req.promise = std::move(promise);
+    it->second.queue.push_back(std::move(req));
   }
-  q->cv.notify_one();
+  sched_cv_.notify_one();
   return future;
 }
 
-void MicroBatcher::WorkerLoop(const std::string& model, ModelQueue* q) {
-  const auto max_delay = std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double, std::milli>(options_.max_delay_ms));
-  std::unique_lock<std::mutex> lk(q->mu);
+void MicroBatcher::SchedulerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    if (q->queue.empty()) {
-      if (q->stop) {
+    auto now = Clock::now();
+
+    // 1) Answer requests that out-waited their deadline. Within a queue
+    // enqueue times are monotone and all requests share one timeout, so
+    // expiry is always front-first.
+    for (auto& [name, q] : queues_) {
+      while (!q.queue.empty() && q.queue.front().deadline.has_value() &&
+             *q.queue.front().deadline <= now) {
+        Request req = std::move(q.queue.front());
+        q.queue.pop_front();
+        if (stats_ != nullptr) {
+          stats_->RecordTimedOut();
+        }
+        Resolve(&req, Status::DeadlineExceeded(
+                          "request timed out after waiting " +
+                          std::to_string(static_cast<int64_t>(
+                              admission_->options().request_timeout_ms)) +
+                          " ms in queue"));
+      }
+    }
+
+    // 2) Flush the readiest model: among queues with no batch in flight
+    // whose batch is full, whose oldest request hit max_delay, or during
+    // shutdown drain, pick the one that has waited longest.
+    ModelQueue* best = nullptr;
+    const std::string* best_name = nullptr;
+    for (auto& [name, q] : queues_) {
+      if (q.in_flight || q.queue.empty()) {
+        continue;
+      }
+      const bool ready =
+          shutdown_ ||
+          static_cast<int64_t>(q.queue.size()) >= options_.max_batch_size ||
+          q.queue.front().enqueued + max_delay_ <= now;
+      if (!ready) {
+        continue;
+      }
+      if (best == nullptr ||
+          q.queue.front().enqueued < best->queue.front().enqueued) {
+        best = &q;
+        best_name = &name;
+      }
+    }
+    if (best != nullptr) {
+      // The longest prefix of same-shaped requests, capped at
+      // max_batch_size. A shape change ends the batch (requests stay FIFO).
+      Batch batch;
+      batch.model = *best_name;
+      const Shape row_shape = best->queue.front().x.shape();
+      while (!best->queue.empty() &&
+             static_cast<int64_t>(batch.requests.size()) <
+                 options_.max_batch_size &&
+             SameShape(best->queue.front().x.shape(), row_shape)) {
+        batch.requests.push_back(std::move(best->queue.front()));
+        best->queue.pop_front();
+      }
+      best->in_flight = true;
+      ready_.push_back(std::move(batch));
+      work_cv_.notify_one();
+      continue;  // keep flushing while other models are ready
+    }
+
+    // 3) Nothing flushable. Exit once shutdown has fully drained.
+    if (shutdown_) {
+      bool drained = ready_.empty() && executing_ == 0;
+      for (const auto& [name, q] : queues_) {
+        drained = drained && q.queue.empty();
+      }
+      if (drained) {
         return;
       }
-      q->cv.wait(lk, [&] { return q->stop || !q->queue.empty(); });
+    }
+
+    // 4) Sleep until the next flush deadline, request deadline, Submit,
+    // or batch completion — whichever comes first.
+    std::optional<Clock::time_point> next;
+    for (const auto& [name, q] : queues_) {
+      if (q.queue.empty()) {
+        continue;
+      }
+      if (!q.in_flight) {
+        const auto flush_at = q.queue.front().enqueued + max_delay_;
+        next = next.has_value() ? std::min(*next, flush_at) : flush_at;
+      }
+      if (q.queue.front().deadline.has_value()) {
+        next = next.has_value() ? std::min(*next, *q.queue.front().deadline)
+                                : *q.queue.front().deadline;
+      }
+    }
+    if (next.has_value()) {
+      sched_cv_.wait_until(lk, *next);
+    } else {
+      sched_cv_.wait(lk);
+    }
+  }
+}
+
+void MicroBatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return workers_exit_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      if (workers_exit_) {
+        return;
+      }
       continue;
     }
-    const auto deadline = q->queue.front().enqueued + max_delay;
-    if (!q->stop &&
-        static_cast<int64_t>(q->queue.size()) < options_.max_batch_size &&
-        Clock::now() < deadline) {
-      q->cv.wait_until(lk, deadline);
-      continue;  // re-evaluate: batch full, deadline hit, or spurious wake
-    }
-    // Flush: the longest prefix of same-shaped requests, capped at
-    // max_batch_size. A shape change ends the batch (requests stay FIFO).
-    const Shape row_shape = q->queue.front().x.shape();
-    std::vector<Request> batch;
-    while (!q->queue.empty() &&
-           static_cast<int64_t>(batch.size()) < options_.max_batch_size &&
-           SameShape(q->queue.front().x.shape(), row_shape)) {
-      batch.push_back(std::move(q->queue.front()));
-      q->queue.pop_front();
-    }
+    Batch batch = std::move(ready_.front());
+    ready_.pop_front();
+    executing_ += 1;
     lk.unlock();
-    ExecuteBatch(model, &batch);
+    ExecuteBatch(batch.model, &batch.requests);
     lk.lock();
+    executing_ -= 1;
+    queues_[batch.model].in_flight = false;
+    // Wake the scheduler: this model may have queued more requests, and
+    // the shutdown drain waits for executing_ to reach zero.
+    sched_cv_.notify_one();
   }
 }
 
@@ -148,7 +270,7 @@ void MicroBatcher::ExecuteBatch(const std::string& model,
 
   auto fail_all = [&](const Status& status) {
     for (Request& req : *batch) {
-      req.promise.set_value(status);
+      Resolve(&req, status);
     }
   };
 
@@ -189,35 +311,37 @@ void MicroBatcher::ExecuteBatch(const std::string& model,
                      .count());
     }
     if (n == 1) {
-      req.promise.set_value(std::move(result));
+      Resolve(&req, std::move(result));
       return;
     }
-    req.promise.set_value(SliceRow(full, n, i));
+    Resolve(&req, SliceRow(full, n, i));
   }
 }
 
 void MicroBatcher::Shutdown() {
-  std::vector<ModelQueue*> queues;
   {
-    std::lock_guard<std::mutex> lk(map_mu_);
+    std::lock_guard<std::mutex> lk(mu_);
     if (shutdown_) {
+      // A second caller must still wait for the drain to finish, but the
+      // joins below are single-owner; the destructor is the only repeat
+      // caller in practice and the threads are already joined then.
       return;
     }
     shutdown_ = true;
-    for (auto& [name, q] : queues_) {
-      queues.push_back(q.get());
-    }
   }
-  for (ModelQueue* q : queues) {
-    {
-      std::lock_guard<std::mutex> lk(q->mu);
-      q->stop = true;
-    }
-    q->cv.notify_all();
+  sched_cv_.notify_all();
+  work_cv_.notify_all();
+  if (scheduler_.joinable()) {
+    scheduler_.join();  // returns only once every queue has drained
   }
-  for (ModelQueue* q : queues) {
-    if (q->worker.joinable()) {
-      q->worker.join();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    workers_exit_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
     }
   }
 }

@@ -4,15 +4,18 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/status.h"
+#include "serve/admission.h"
 #include "serve/model_registry.h"
 #include "serve/serve_stats.h"
 
@@ -21,30 +24,53 @@ namespace units::serve {
 /// Dynamic micro-batcher: coalesces concurrent single-series Predict
 /// requests for the same model into one [N, D, T] forward.
 ///
-/// Each model gets a FIFO queue and one dispatcher thread. The dispatcher
-/// flushes a batch as soon as `max_batch_size` requests are waiting or the
-/// oldest request has waited `max_delay_ms`, whichever comes first, then
-/// scatters the per-row results back to the callers' futures. Intra-batch
-/// compute parallelism comes from the kernels' shared ThreadPool (see
-/// base/parallel.h), which is safe for concurrent dispatchers.
+/// Each model gets a FIFO queue, but — unlike the original thread-per-model
+/// design — all queues are serviced by ONE scheduler thread plus a small
+/// worker pool (`num_workers`), so the thread count is fixed no matter how
+/// many models are resident. The scheduler flushes a model's queue as soon
+/// as `max_batch_size` requests are waiting or the oldest request has
+/// waited `max_delay_ms`, whichever comes first. When several models are
+/// ready at once, the one whose oldest request has waited longest flushes
+/// first (deadline-ordered, per-model-fair); at most one batch per model is
+/// in flight at a time, so batch formation stays FIFO per model and a hot
+/// model cannot occupy more than one worker.
+///
+/// With an AdmissionController attached, Submit sheds requests beyond the
+/// admission capacity (ResourceExhausted "overloaded") and the scheduler
+/// answers requests that out-wait their deadline with DeadlineExceeded;
+/// both outcomes are counted in ServeStats.
 ///
 /// Determinism: batching never changes answers. Every kernel in the
 /// forward path computes each output row independently of its batch
 /// neighbours (DESIGN.md §9), so a request's result is bitwise identical
 /// whether it rode in a batch of 1 or of `max_batch_size`, at any thread
-/// count.
+/// count — and regardless of which worker executed it.
 class MicroBatcher {
  public:
   struct Options {
+    /// Largest coalesced forward. Must be >= 1 (0 would never form a
+    /// batch and spin the scheduler; validated in the constructor).
     int64_t max_batch_size = 16;
+    /// Longest time the oldest queued request may wait before a partial
+    /// batch is flushed. Must be finite and >= 0 (0 = flush immediately).
     double max_delay_ms = 2.0;
+    /// Worker threads executing flushed batches. Must be >= 1. Total
+    /// batcher threads = num_workers + 1 (the scheduler), independent of
+    /// the number of resident models.
+    int num_workers = 2;
+    /// Invoked after every request resolution (success, error, shed, or
+    /// timeout) from whichever thread resolved it. The socket transport
+    /// uses this to wake its poll loop; must be cheap and non-blocking.
+    std::function<void()> on_resolve;
   };
 
-  /// `registry` must outlive the batcher; `stats` may be null.
+  /// `registry` must outlive the batcher; `stats` and `admission` may be
+  /// null. Aborts (UNITS_CHECK) on out-of-range options.
   MicroBatcher(ModelRegistry* registry, Options options,
-               ServeStats* stats = nullptr);
+               ServeStats* stats = nullptr,
+               AdmissionController* admission = nullptr);
 
-  /// Drains all pending requests, then joins the dispatchers.
+  /// Drains all pending requests, then joins scheduler and workers.
   ~MicroBatcher();
 
   MicroBatcher(const MicroBatcher&) = delete;
@@ -52,12 +78,14 @@ class MicroBatcher {
 
   /// Enqueues one series for `model` and returns a future for its result.
   /// `x` is a single series [D, T] (or [1, D, T]). The future carries the
-  /// same Result a direct ServableModel::Predict on [1, D, T] would.
+  /// same Result a direct ServableModel::Predict on [1, D, T] would, or
+  /// ResourceExhausted("overloaded") when admission sheds the request, or
+  /// DeadlineExceeded when it expires in the queue.
   std::future<Result<core::TaskResult>> Submit(const std::string& model,
                                                const Tensor& x);
 
-  /// Flushes outstanding requests and stops the dispatchers. Subsequent
-  /// Submit calls fail with FailedPrecondition. Idempotent.
+  /// Flushes outstanding requests and stops the scheduler and workers.
+  /// Subsequent Submit calls fail with FailedPrecondition. Idempotent.
   void Shutdown();
 
   const Options& options() const { return options_; }
@@ -67,26 +95,44 @@ class MicroBatcher {
     Tensor x;  // always [1, D, T]
     std::promise<Result<core::TaskResult>> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    bool admitted = false;
   };
 
   struct ModelQueue {
-    std::mutex mu;
-    std::condition_variable cv;
     std::deque<Request> queue;
-    std::thread worker;
-    bool stop = false;
+    bool in_flight = false;  // a batch of this model is queued or executing
   };
 
-  void WorkerLoop(const std::string& model, ModelQueue* q);
+  struct Batch {
+    std::string model;
+    std::vector<Request> requests;
+  };
+
+  void SchedulerLoop();
+  void WorkerLoop();
   void ExecuteBatch(const std::string& model, std::vector<Request>* batch);
+  /// Fulfils one request: releases its admission slot, sets the promise,
+  /// fires on_resolve. The single exit point for every queued request.
+  void Resolve(Request* req, Result<core::TaskResult> result);
 
   ModelRegistry* registry_;
   Options options_;
   ServeStats* stats_;
+  AdmissionController* admission_;
+  std::chrono::steady_clock::duration max_delay_{};
 
-  std::mutex map_mu_;
-  std::map<std::string, std::unique_ptr<ModelQueue>> queues_;
-  bool shutdown_ = false;
+  std::mutex mu_;
+  std::condition_variable sched_cv_;  // wakes the scheduler
+  std::condition_variable work_cv_;   // wakes workers
+  std::map<std::string, ModelQueue> queues_;
+  std::deque<Batch> ready_;  // formed batches awaiting a worker
+  int executing_ = 0;        // batches currently running on workers
+  bool shutdown_ = false;    // no further Submits; drain everything
+  bool workers_exit_ = false;  // set after the scheduler has drained
+
+  std::thread scheduler_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace units::serve

@@ -37,6 +37,26 @@ void ServeStats::RecordBatch(const std::string& model, int64_t batch_size) {
   m.batch_histogram[batch_size] += 1;
 }
 
+void ServeStats::RecordAccepted() {
+  std::lock_guard<std::mutex> lk(mu_);
+  admission_.accepted += 1;
+}
+
+void ServeStats::RecordShed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  admission_.shed += 1;
+}
+
+void ServeStats::RecordTimedOut() {
+  std::lock_guard<std::mutex> lk(mu_);
+  admission_.timed_out += 1;
+}
+
+ServeStats::AdmissionSnapshot ServeStats::Admission() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return admission_;
+}
+
 ServeStats::ModelSnapshot ServeStats::MakeSnapshot(const PerModel& m) {
   ModelSnapshot snap;
   snap.requests = m.requests;
@@ -89,12 +109,18 @@ json::JsonValue ServeStats::ToJson() const {
     entry.Set("latency_ms", std::move(latency));
     root.Set(name, std::move(entry));
   }
+  json::JsonValue admission = json::JsonValue::Object();
+  admission.Set("accepted", json::JsonValue::Int(admission_.accepted));
+  admission.Set("shed", json::JsonValue::Int(admission_.shed));
+  admission.Set("timed_out", json::JsonValue::Int(admission_.timed_out));
+  root.Set("admission", std::move(admission));
   return root;
 }
 
 void ServeStats::Reset() {
   std::lock_guard<std::mutex> lk(mu_);
   models_.clear();
+  admission_ = AdmissionSnapshot{};
 }
 
 }  // namespace units::serve

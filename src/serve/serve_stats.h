@@ -28,6 +28,20 @@ class ServeStats {
   /// Records one executed batch of the given size.
   void RecordBatch(const std::string& model, int64_t batch_size);
 
+  /// Admission-control outcomes (server-wide, across models): a request is
+  /// counted exactly once as accepted or shed; accepted requests that
+  /// expire in the queue are additionally counted as timed out.
+  void RecordAccepted();
+  void RecordShed();
+  void RecordTimedOut();
+
+  struct AdmissionSnapshot {
+    int64_t accepted = 0;
+    int64_t shed = 0;
+    int64_t timed_out = 0;
+  };
+  AdmissionSnapshot Admission() const;
+
   /// Per-model snapshot used by tests and the JSON dump.
   struct ModelSnapshot {
     int64_t requests = 0;
@@ -42,7 +56,8 @@ class ServeStats {
 
   /// {"<model>": {"requests": N, "batches": M, "mean_batch_size": X,
   ///              "batch_histogram": {"1": n1, ...},
-  ///              "latency_ms": {"p50": ..., "p95": ..., "p99": ...}}}
+  ///              "latency_ms": {"p50": ..., "p95": ..., "p99": ...}},
+  ///  "admission": {"accepted": A, "shed": S, "timed_out": T}}
   json::JsonValue ToJson() const;
 
   void Reset();
@@ -60,6 +75,7 @@ class ServeStats {
 
   mutable std::mutex mu_;
   std::map<std::string, PerModel> models_;
+  AdmissionSnapshot admission_;
 };
 
 }  // namespace units::serve

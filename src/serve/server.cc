@@ -84,11 +84,17 @@ Result<Tensor> ValuesToSeries(const json::JsonValue& values) {
   return Tensor::FromVector({channels, length}, std::move(flat));
 }
 
-/// Renders a completed prediction as a response line.
+/// Renders a completed prediction as a response line. Admission sheds and
+/// queue timeouts keep their terse messages ("overloaded", "request timed
+/// out ...") so clients can match on them.
 json::JsonValue PredictResponse(const json::JsonValue& id,
                                 const std::string& model,
                                 const Result<core::TaskResult>& result) {
   if (!result.ok()) {
+    if (result.status().code() == StatusCode::kResourceExhausted ||
+        result.status().code() == StatusCode::kDeadlineExceeded) {
+      return ErrorResponse(id, result.status().message());
+    }
     return ErrorResponse(id, result.status().ToString());
   }
   json::JsonValue resp = json::JsonValue::Object();
@@ -110,27 +116,98 @@ json::JsonValue PredictResponse(const json::JsonValue& id,
 
 }  // namespace
 
-JsonLineServer::JsonLineServer(ModelRegistry* registry, Options options)
-    : registry_(registry), batcher_(registry, options.batcher, &stats_) {}
+// --- RequestSession --------------------------------------------------------
 
-void JsonLineServer::Drain(std::vector<Pending>* pending,
-                           std::ostream& out) {
-  for (Pending& p : *pending) {
-    const Result<core::TaskResult> result = p.future.get();
-    out << PredictResponse(p.id, p.model, result).Dump() << "\n";
-  }
-  out.flush();
-  pending->clear();
+RequestSession::RequestSession(ModelRegistry* registry, MicroBatcher* batcher,
+                               ServeStats* stats, Options options)
+    : registry_(registry),
+      batcher_(batcher),
+      stats_(stats),
+      options_(options) {}
+
+void RequestSession::PushError(const std::string& message) {
+  Entry entry;
+  entry.ready = true;
+  entry.line = ErrorResponse(json::JsonValue(), message).Dump() + "\n";
+  entries_.push_back(std::move(entry));
 }
 
-json::JsonValue JsonLineServer::HandleControl(
-    const json::JsonValue& request) {
+RequestSession::LineKind RequestSession::ProcessLine(const std::string& line) {
+  if (line.size() > options_.max_line_bytes) {
+    PushError("request line exceeds " +
+              std::to_string(options_.max_line_bytes) + " bytes");
+    return LineKind::kBarrier;
+  }
+  auto parsed = json::Parse(line);
+  if (!parsed.ok() || !parsed->is_object() || !parsed->Contains("op") ||
+      !parsed->at("op").is_string()) {
+    PushError(parsed.ok() ? "request needs a string 'op' field"
+                          : parsed.status().ToString());
+    return LineKind::kBarrier;
+  }
+  const json::JsonValue& request = *parsed;
+  const std::string op = request.at("op").AsString();
+
+  if (op == "predict") {
+    json::JsonValue id = request.Contains("id") ? request.at("id")
+                                                : json::JsonValue::Int(next_id_);
+    ++next_id_;
+    auto model = GetStringField(request, "model");
+    if (!model.ok()) {
+      Entry entry;
+      entry.ready = true;
+      entry.line = ErrorResponse(id, model.status().ToString()).Dump() + "\n";
+      entries_.push_back(std::move(entry));
+      return LineKind::kBarrier;
+    }
+    auto values = request.Find("values");
+    Result<Tensor> series = values.ok() ? ValuesToSeries(**values)
+                                        : Result<Tensor>(values.status());
+    if (!series.ok()) {
+      Entry entry;
+      entry.ready = true;
+      entry.line = ErrorResponse(id, series.status().ToString()).Dump() + "\n";
+      entries_.push_back(std::move(entry));
+      return LineKind::kBarrier;
+    }
+    Entry entry;
+    entry.is_predict = true;
+    entry.id = std::move(id);
+    entry.model = *model;
+    entry.future = batcher_->Submit(*model, *series);
+    entries_.push_back(std::move(entry));
+    return LineKind::kPending;
+  }
+
+  if (op == "quit") {
+    quit_ = true;
+    Entry entry;
+    entry.ready = true;
+    entry.line = OkResponse(op).Dump() + "\n";
+    entries_.push_back(std::move(entry));
+    return LineKind::kQuit;
+  }
+
+  // Control ops are evaluated when they reach the front of the response
+  // queue, i.e. after every earlier predict has been answered — the
+  // barrier semantics "stats"/"list"/"unload" rely on.
+  Entry entry;
+  entry.deferred = [this, request]() { return HandleControl(request); };
+  entries_.push_back(std::move(entry));
+  return LineKind::kBarrier;
+}
+
+json::JsonValue RequestSession::HandleControl(const json::JsonValue& request) {
   const std::string op = request.at("op").AsString();
   if (op == "load") {
     auto model = GetStringField(request, "model");
     auto path = GetStringField(request, "path");
-    if (!model.ok()) return ErrorResponse(json::JsonValue(), model.status().ToString());
-    if (!path.ok()) return ErrorResponse(json::JsonValue(), path.status().ToString());
+    if (!model.ok()) {
+      return ErrorResponse(json::JsonValue(), model.status().ToString());
+    }
+    if (!path.ok()) {
+      return ErrorResponse(json::JsonValue(), path.status().ToString());
+    }
     const Status status = registry_->Load(*model, *path);
     if (!status.ok()) {
       return ErrorResponse(json::JsonValue(), status.ToString());
@@ -145,7 +222,9 @@ json::JsonValue JsonLineServer::HandleControl(
   }
   if (op == "unload" || op == "reload") {
     auto model = GetStringField(request, "model");
-    if (!model.ok()) return ErrorResponse(json::JsonValue(), model.status().ToString());
+    if (!model.ok()) {
+      return ErrorResponse(json::JsonValue(), model.status().ToString());
+    }
     const Status status = op == "unload" ? registry_->Unload(*model)
                                          : registry_->Reload(*model);
     if (!status.ok()) {
@@ -176,7 +255,8 @@ json::JsonValue JsonLineServer::HandleControl(
   }
   if (op == "stats") {
     json::JsonValue resp = OkResponse(op);
-    resp.Set("stats", stats_.ToJson());
+    resp.Set("stats", stats_ != nullptr ? stats_->ToJson()
+                                        : json::JsonValue::Object());
     if (base::OpStatsRegistry::Enabled()) {
       auto parsed = json::Parse(base::OpStatsRegistry::Global()->DumpJson());
       if (parsed.ok()) {
@@ -188,71 +268,87 @@ json::JsonValue JsonLineServer::HandleControl(
   return ErrorResponse(json::JsonValue(), "unknown op '" + op + "'");
 }
 
+void RequestSession::Render(Entry* entry) {
+  if (entry->ready) {
+    return;
+  }
+  if (entry->is_predict) {
+    const Result<core::TaskResult> result = entry->future.get();
+    entry->line =
+        PredictResponse(entry->id, entry->model, result).Dump() + "\n";
+  } else {
+    entry->line = entry->deferred().Dump() + "\n";
+  }
+  entry->ready = true;
+}
+
+bool RequestSession::PopReady(std::string* out) {
+  if (entries_.empty()) {
+    return false;
+  }
+  Entry& front = entries_.front();
+  if (!front.ready && front.is_predict &&
+      front.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+    return false;
+  }
+  Render(&front);
+  *out = std::move(front.line);
+  entries_.pop_front();
+  return true;
+}
+
+bool RequestSession::PopBlocking(std::string* out) {
+  if (entries_.empty()) {
+    return false;
+  }
+  Render(&entries_.front());  // future.get() blocks as needed
+  *out = std::move(entries_.front().line);
+  entries_.pop_front();
+  return true;
+}
+
+// --- JsonLineServer --------------------------------------------------------
+
+JsonLineServer::JsonLineServer(ModelRegistry* registry, Options options)
+    : options_(std::move(options)),
+      registry_(registry),
+      admission_(options_.admission, &stats_),
+      batcher_(registry, options_.batcher, &stats_, &admission_) {}
+
 int JsonLineServer::Run(std::istream& in, std::ostream& out) {
-  std::vector<Pending> pending;
-  int64_t next_id = 0;
+  RequestSession session(registry_, &batcher_, &stats_, options_.session);
   std::string line;
+  std::string response;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) {
       continue;  // blank line
     }
-    auto parsed = json::Parse(line);
-    if (!parsed.ok() || !parsed->is_object() || !parsed->Contains("op") ||
-        !parsed->at("op").is_string()) {
-      Drain(&pending, out);
-      out << ErrorResponse(json::JsonValue(),
-                           parsed.ok() ? "request needs a string 'op' field"
-                                       : parsed.status().ToString())
-                 .Dump()
-          << "\n";
+    const RequestSession::LineKind kind = session.ProcessLine(line);
+    if (kind == RequestSession::LineKind::kPending) {
+      // Opportunistically flush responses that are already complete, but
+      // never block — later predict lines may still coalesce into the
+      // same batch.
+      while (session.PopReady(&response)) {
+        out << response;
+      }
       out.flush();
       continue;
     }
-    const json::JsonValue& request = *parsed;
-    const std::string op = request.at("op").AsString();
-
-    if (op == "predict") {
-      json::JsonValue id = request.Contains("id")
-                               ? request.at("id")
-                               : json::JsonValue::Int(next_id);
-      ++next_id;
-      auto model = GetStringField(request, "model");
-      if (!model.ok()) {
-        Drain(&pending, out);
-        out << ErrorResponse(id, model.status().ToString()).Dump() << "\n";
-        out.flush();
-        continue;
-      }
-      auto values = request.Find("values");
-      Result<Tensor> series =
-          values.ok() ? ValuesToSeries(**values)
-                      : Result<Tensor>(values.status());
-      if (!series.ok()) {
-        Drain(&pending, out);
-        out << ErrorResponse(id, series.status().ToString()).Dump() << "\n";
-        out.flush();
-        continue;
-      }
-      Pending p;
-      p.id = std::move(id);
-      p.model = *model;
-      p.future = batcher_.Submit(*model, *series);
-      pending.push_back(std::move(p));
-      continue;
+    // Control ops and errors act as barriers: drain everything queued so
+    // far (the barrier's own response last).
+    while (session.PopBlocking(&response)) {
+      out << response;
     }
-
-    // Every control op is a barrier: answer outstanding predictions first
-    // so responses keep request order.
-    Drain(&pending, out);
-    if (op == "quit") {
-      out << OkResponse(op).Dump() << "\n";
-      out.flush();
+    out.flush();
+    if (session.quit_requested()) {
       return 0;
     }
-    out << HandleControl(request).Dump() << "\n";
-    out.flush();
   }
-  Drain(&pending, out);
+  while (session.PopBlocking(&response)) {
+    out << response;
+  }
+  out.flush();
   return 0;
 }
 

@@ -1,19 +1,25 @@
 #ifndef UNITS_SERVE_SERVER_H_
 #define UNITS_SERVE_SERVER_H_
 
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "serve/admission.h"
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/serve_stats.h"
 
 namespace units::serve {
 
-/// Newline-delimited JSON request/response loop — the transport behind the
-/// `units_serve` tool. One request per line on the input stream, one
-/// response per line on the output stream, in request order.
+/// Per-client protocol state for the newline-delimited JSON protocol,
+/// shared by the stdin transport (JsonLineServer) and the TCP transport
+/// (SocketServer). One request per input line, one response per line, in
+/// request order.
 ///
 /// Requests ({"op": ..., ...}):
 ///   {"op": "load", "model": "m", "path": "fitted.json"}
@@ -28,15 +34,96 @@ namespace units::serve {
 ///   {"op": "quit"}
 ///
 /// Predict requests are submitted to the micro-batcher without waiting, so
-/// a burst of predict lines coalesces into batched forwards; any other op
-/// acts as a barrier that first drains pending predictions (responses stay
-/// in request order). Responses are {"id": ..., "ok": true, ...} or
-/// {"id": ..., "ok": false, "error": "..."}; malformed lines produce an
-/// error response and the loop continues.
+/// a burst of predict lines coalesces into batched forwards. Responses are
+/// queued strictly in request order; control ops are evaluated lazily when
+/// they reach the front of the queue, i.e. only after every earlier
+/// predict has been answered — which preserves the barrier semantics of
+/// the original stdin loop ("stats" sees all prior requests). Responses
+/// are {"id": ..., "ok": true, ...} or {"id": ..., "ok": false,
+/// "error": "..."}; malformed lines produce an error response and the
+/// session continues. Requests shed by admission control are answered
+/// with {"ok": false, "error": "overloaded"}.
+///
+/// Not thread-safe: each transport drives one session per client from one
+/// thread (the futures inside resolve on batcher threads, which is safe).
+class RequestSession {
+ public:
+  struct Options {
+    /// Longest accepted request line, in bytes; longer lines are answered
+    /// with a structured error instead of being parsed.
+    size_t max_line_bytes = 1 << 20;
+  };
+
+  /// What a processed line was — transports use this to decide when to
+  /// flush synchronously (stdin) or keep pumping the event loop (socket).
+  enum class LineKind {
+    kPending,  // predict submitted; response arrives via the batcher
+    kBarrier,  // control op or error: response is queued (maybe deferred)
+    kQuit,     // orderly end of this client's session
+  };
+
+  /// All pointers must outlive the session; `batcher` and `registry` are
+  /// shared across sessions, `stats` may be null.
+  RequestSession(ModelRegistry* registry, MicroBatcher* batcher,
+                 ServeStats* stats, Options options);
+
+  /// Parses and executes one input line (without its newline), appending
+  /// its response to the ordered queue.
+  LineKind ProcessLine(const std::string& line);
+
+  /// Appends an error response for a condition detected by the transport
+  /// itself (e.g. an oversized unterminated line on the socket path).
+  void PushError(const std::string& message);
+
+  /// If the oldest unanswered response is ready, serializes it (with a
+  /// trailing '\n') into *out and returns true. Never blocks.
+  bool PopReady(std::string* out);
+
+  /// Like PopReady but waits for the oldest response; returns false only
+  /// when nothing is pending.
+  bool PopBlocking(std::string* out);
+
+  /// Responses queued (ready or not).
+  size_t pending() const { return entries_.size(); }
+
+  bool quit_requested() const { return quit_; }
+
+ private:
+  struct Entry {
+    bool ready = false;
+    std::string line;  // serialized response when ready
+    // Pending predict:
+    bool is_predict = false;
+    json::JsonValue id;
+    std::string model;
+    std::future<Result<core::TaskResult>> future;
+    // Deferred control op, evaluated at the front of the queue:
+    std::function<json::JsonValue()> deferred;
+  };
+
+  json::JsonValue HandleControl(const json::JsonValue& request);
+  void Render(Entry* entry);  // resolves a due entry into `line`
+
+  ModelRegistry* registry_;
+  MicroBatcher* batcher_;
+  ServeStats* stats_;
+  Options options_;
+  std::deque<Entry> entries_;
+  int64_t next_id_ = 0;
+  bool quit_ = false;
+};
+
+/// Newline-delimited JSON request/response loop over std streams — the
+/// default (stdin/stdout) transport behind the `units_serve` tool. See
+/// RequestSession for the protocol. Predict responses are written as soon
+/// as they are ready; any other op acts as a barrier that drains every
+/// outstanding response first (responses always stay in request order).
 class JsonLineServer {
  public:
   struct Options {
     MicroBatcher::Options batcher;
+    AdmissionController::Options admission;
+    RequestSession::Options session;
   };
 
   /// `registry` must outlive the server.
@@ -47,20 +134,16 @@ class JsonLineServer {
   int Run(std::istream& in, std::ostream& out);
 
   ServeStats* stats() { return &stats_; }
+  MicroBatcher* batcher() { return &batcher_; }
+  AdmissionController* admission() { return &admission_; }
+  const Options& options() const { return options_; }
 
  private:
-  struct Pending {
-    json::JsonValue id;
-    std::string model;
-    std::future<Result<core::TaskResult>> future;
-  };
-
-  void Drain(std::vector<Pending>* pending, std::ostream& out);
-  json::JsonValue HandleControl(const json::JsonValue& request);
-
+  Options options_;
   ModelRegistry* registry_;
   ServeStats stats_;
-  MicroBatcher batcher_;  // must follow stats_ (holds a pointer to it)
+  AdmissionController admission_;  // must follow stats_ (points to it)
+  MicroBatcher batcher_;           // must follow both (points to both)
 };
 
 }  // namespace units::serve

@@ -1,0 +1,340 @@
+#include "serve/socket_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace units::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+Clock::duration SecondsToDuration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ModelRegistry* registry, Options options)
+    : registry_(registry),
+      options_(std::move(options)),
+      admission_(options_.admission, &stats_),
+      batcher_(registry,
+               [this] {
+                 // A request resolving on a batcher thread wakes the poll
+                 // loop so its response is written promptly.
+                 MicroBatcher::Options b = options_.batcher;
+                 b.on_resolve = [this] {
+                   const int fd = wake_write_fd_.load(std::memory_order_relaxed);
+                   if (fd >= 0) {
+                     const char byte = 1;
+                     // Best-effort: EAGAIN means the pipe already holds a
+                     // wakeup, which is all we need.
+                     (void)!::write(fd, &byte, 1);
+                   }
+                 };
+                 return b;
+               }(),
+               &stats_, &admission_) {}
+
+SocketServer::~SocketServer() {
+  for (auto& [fd, conn] : connections_) {
+    ::close(fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  if (wake_fds_[0] >= 0) {
+    ::close(wake_fds_[0]);
+  }
+  const int wake_write = wake_write_fd_.exchange(-1);
+  if (wake_write >= 0) {
+    ::close(wake_write);
+  }
+}
+
+Status SocketServer::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("socket server already started");
+  }
+  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Status::IoError(std::string("pipe2: ") + std::strerror(errno));
+  }
+  wake_write_fd_.store(wake_fds_[1], std::memory_order_relaxed);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IoError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  bound_port_ = static_cast<int>(ntohs(addr.sin_port));
+  UNITS_LOG(Info) << "socket server listening on " << options_.bind_address
+                  << ":" << bound_port_;
+  return Status::Ok();
+}
+
+void SocketServer::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  const int fd = wake_write_fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    (void)!::write(fd, &byte, 1);
+  }
+}
+
+void SocketServer::DrainWakePipe() {
+  char buf[256];
+  while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+void SocketServer::AcceptNew(Clock::time_point now) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN (no more pending) or a transient error
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->session = std::make_unique<RequestSession>(
+        registry_, &batcher_, &stats_, options_.session);
+    conn->last_activity = now;
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+bool SocketServer::ReadFrom(Connection* conn, Clock::time_point now) {
+  char buf[kReadChunk];
+  const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+  if (n == 0) {
+    // Half-close: the client is done sending; answer what it already
+    // asked, then close once the write buffer drains.
+    conn->read_closed = true;
+    return true;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return true;
+    }
+    return false;  // reset mid-line or otherwise gone: tear down
+  }
+  conn->last_activity = now;
+  conn->rbuf.append(buf, static_cast<size_t>(n));
+
+  size_t start = 0;
+  size_t pos;
+  while (!conn->read_closed &&
+         (pos = conn->rbuf.find('\n', start)) != std::string::npos) {
+    std::string line = conn->rbuf.substr(start, pos - start);
+    start = pos + 1;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (conn->discarding_line) {
+      // Tail of an oversized line already answered with an error.
+      conn->discarding_line = false;
+      continue;
+    }
+    if (line.find_first_not_of(" \t") == std::string::npos) {
+      continue;  // blank line
+    }
+    const RequestSession::LineKind kind = conn->session->ProcessLine(line);
+    if (kind == RequestSession::LineKind::kQuit) {
+      // No further requests from this client; remaining input is dropped
+      // and the connection closes after the responses flush.
+      conn->read_closed = true;
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  conn->rbuf.erase(0, start);
+  if (!conn->discarding_line &&
+      conn->rbuf.size() > options_.session.max_line_bytes) {
+    // Unterminated oversized line: answer now, skip input to the next
+    // newline so the connection can resynchronize.
+    conn->session->PushError("request line exceeds " +
+                             std::to_string(options_.session.max_line_bytes) +
+                             " bytes");
+    conn->discarding_line = true;
+    conn->rbuf.clear();
+  }
+  return true;
+}
+
+bool SocketServer::FlushTo(Connection* conn, Clock::time_point now) {
+  // Backpressure: harvest completed responses only while the unsent
+  // buffer is under the cap; a slow reader blocks its own harvest (and,
+  // via the POLLIN gate in Run, its own reads) but nobody else's.
+  std::string response;
+  while (conn->wbuf.size() < options_.max_write_buffer_bytes &&
+         conn->session->PopReady(&response)) {
+    conn->wbuf += response;
+  }
+  while (!conn->wbuf.empty()) {
+    const ssize_t n = ::send(conn->fd, conn->wbuf.data(), conn->wbuf.size(),
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return true;
+      }
+      return false;  // EPIPE etc.: reader is gone
+    }
+    conn->wbuf.erase(0, static_cast<size_t>(n));
+    conn->last_activity = now;
+  }
+  return true;
+}
+
+void SocketServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) {
+    return;
+  }
+  ::close(fd);
+  // Dropping the session abandons any still-pending futures; the batcher
+  // fulfils their promises and the results evaporate with the shared
+  // state — no leak, no dangling pointer.
+  connections_.erase(it);
+}
+
+int SocketServer::Run() {
+  if (listen_fd_ < 0) {
+    UNITS_LOG(Error) << "SocketServer::Run called before Start";
+    return 1;
+  }
+  bool draining = false;
+  Clock::time_point drain_started{};
+  const bool idle_enabled = options_.idle_timeout_s > 0.0;
+  const auto idle_timeout = SecondsToDuration(options_.idle_timeout_s);
+  const auto drain_timeout = SecondsToDuration(options_.drain_timeout_s);
+
+  std::vector<pollfd> fds;
+  std::vector<int> conn_fds;
+  for (;;) {
+    const auto now = Clock::now();
+    if (drain_requested_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_started = now;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      for (auto& [fd, conn] : connections_) {
+        conn->read_closed = true;  // answer what's queued, take no more
+      }
+    }
+
+    fds.clear();
+    conn_fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (!draining) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    for (auto& [fd, conn] : connections_) {
+      short events = 0;
+      if (!conn->read_closed &&
+          conn->wbuf.size() < options_.max_write_buffer_bytes) {
+        events |= POLLIN;
+      }
+      if (!conn->wbuf.empty()) {
+        events |= POLLOUT;
+      }
+      fds.push_back({fd, events, 0});
+      conn_fds.push_back(fd);
+    }
+
+    // 100 ms cap so idle/drain timeouts fire without a dedicated timer;
+    // request completions wake the loop immediately through the pipe.
+    (void)::poll(fds.data(), fds.size(), 100);
+    const auto after = Clock::now();
+
+    size_t idx = 0;
+    if (fds[idx].revents & POLLIN) {
+      DrainWakePipe();
+    }
+    ++idx;
+    if (!draining) {
+      if (fds[idx].revents & POLLIN) {
+        AcceptNew(after);
+      }
+      ++idx;
+    }
+
+    for (size_t i = 0; i < conn_fds.size(); ++i) {
+      auto it = connections_.find(conn_fds[i]);
+      if (it == connections_.end()) {
+        continue;
+      }
+      Connection* conn = it->second.get();
+      const short revents = fds[idx + i].revents;
+      bool alive = true;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        alive = ReadFrom(conn, after);
+      }
+      // Harvest + write every pass: completions arrive via the wake pipe,
+      // not as poll events on the connection.
+      alive = alive && FlushTo(conn, after);
+      if (!alive) {
+        CloseConnection(conn->fd);
+        continue;
+      }
+      const bool quiescent =
+          conn->session->pending() == 0 && conn->wbuf.empty();
+      if (conn->read_closed && quiescent) {
+        CloseConnection(conn->fd);
+        continue;
+      }
+      if (idle_enabled && !conn->read_closed && quiescent &&
+          after - conn->last_activity > idle_timeout) {
+        CloseConnection(conn->fd);
+        continue;
+      }
+      if (draining && after - drain_started > drain_timeout) {
+        CloseConnection(conn->fd);  // peer stopped reading; give up
+        continue;
+      }
+    }
+
+    if (draining && connections_.empty()) {
+      return 0;
+    }
+  }
+}
+
+}  // namespace units::serve

@@ -1,0 +1,135 @@
+#ifndef UNITS_SERVE_SOCKET_SERVER_H_
+#define UNITS_SERVE_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/admission.h"
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/serve_stats.h"
+#include "serve/server.h"
+
+namespace units::serve {
+
+/// TCP front end for the newline-delimited JSON protocol: one poll()-based
+/// event-loop thread multiplexes every client connection, while predict
+/// execution happens on the shared micro-batcher scheduler + worker pool.
+/// Request handling is RequestSession — byte-for-byte the same protocol the
+/// stdin transport speaks, so `printf ... | units_serve` scripts port to
+/// `... | nc host port` unchanged.
+///
+/// Per connection the server keeps a read buffer (lines are reassembled
+/// across reads; an unterminated line longer than `session.max_line_bytes`
+/// is answered with a structured error and discarded up to the next
+/// newline) and a write buffer with backpressure: once a slow reader's
+/// unsent responses exceed `max_write_buffer_bytes`, the server stops
+/// reading — and stops harvesting completed responses — for that
+/// connection until the client catches up. Admission control bounds the
+/// server-wide queue; shed requests get {"ok": false, "error":
+/// "overloaded"} immediately.
+///
+/// Half-closed connections (client shutdown(SHUT_WR)) still receive every
+/// response for requests already sent. A connection that disconnects
+/// mid-request is torn down without leaking its fd or its in-flight
+/// futures (the batcher fulfils the promises; the results are dropped).
+///
+/// Graceful drain: Shutdown()/RequestDrain() (async-signal-safe, so a
+/// SIGTERM handler may call it) closes the listener, stops reading,
+/// answers everything already queued, flushes, then closes connections
+/// and returns from Run(). Connections whose peer stops reading are
+/// force-closed after `drain_timeout_s`.
+class SocketServer {
+ public:
+  struct Options {
+    /// Port to listen on; 0 binds an ephemeral port (see bound_port()).
+    int port = 0;
+    /// Listen address; loopback by default.
+    std::string bind_address = "127.0.0.1";
+    int backlog = 128;
+    /// Close a connection with no outstanding work after this long
+    /// without traffic. 0 disables idle timeouts.
+    double idle_timeout_s = 0.0;
+    /// Force-close lingering connections this long after drain starts.
+    double drain_timeout_s = 5.0;
+    /// Unsent-response cap per connection before reads pause.
+    size_t max_write_buffer_bytes = 4u << 20;
+    MicroBatcher::Options batcher;      // on_resolve is overwritten
+    AdmissionController::Options admission;
+    RequestSession::Options session;
+  };
+
+  /// `registry` must outlive the server. Option validation (batcher and
+  /// admission constructors) aborts on out-of-range values.
+  SocketServer(ModelRegistry* registry, Options options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens (and creates the wake pipe). After an OK return,
+  /// bound_port() is final and clients may connect even before Run().
+  Status Start();
+
+  /// The actual listening port (resolves port 0).
+  int bound_port() const { return bound_port_; }
+
+  /// Serves until a drain is requested and completes. Returns a process
+  /// exit code (0 on orderly shutdown). Call Start() first.
+  int Run();
+
+  /// Requests a graceful drain and returns immediately; Run() finishes
+  /// the outstanding work and returns. Async-signal-safe.
+  void RequestDrain();
+
+  /// Alias for RequestDrain(); kept for symmetry with the batcher API.
+  void Shutdown() { RequestDrain(); }
+
+  ServeStats* stats() { return &stats_; }
+  AdmissionController* admission() { return &admission_; }
+  MicroBatcher* batcher() { return &batcher_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string rbuf;
+    std::string wbuf;
+    std::unique_ptr<RequestSession> session;
+    std::chrono::steady_clock::time_point last_activity;
+    bool read_closed = false;     // EOF, quit, or drain: no more requests
+    bool discarding_line = false; // oversized unterminated line: skip to \n
+  };
+
+  void AcceptNew(std::chrono::steady_clock::time_point now);
+  /// Reads once; feeds complete lines to the session. False = tear down.
+  bool ReadFrom(Connection* conn, std::chrono::steady_clock::time_point now);
+  /// Moves ready responses into wbuf (bounded) and writes what it can.
+  /// False = tear down.
+  bool FlushTo(Connection* conn, std::chrono::steady_clock::time_point now);
+  void CloseConnection(int fd);
+  void DrainWakePipe();
+
+  ModelRegistry* registry_;
+  Options options_;
+  ServeStats stats_;
+  AdmissionController admission_;  // must follow stats_ (points to it)
+  MicroBatcher batcher_;           // must follow both (points to both)
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // [0] read end (polled), [1] write end
+  /// The write end again, as an atomic: batcher worker threads and signal
+  /// handlers read it while the poll thread owns the plain fds.
+  std::atomic<int> wake_write_fd_{-1};
+  int bound_port_ = 0;
+  std::atomic<bool> drain_requested_{false};
+  std::map<int, std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_SOCKET_SERVER_H_

@@ -1,0 +1,126 @@
+#ifndef UNITS_TESTS_SERVE_TEST_UTIL_H_
+#define UNITS_TESTS_SERVE_TEST_UTIL_H_
+
+// Shared fixtures for the serving test binaries (test_serve,
+// test_admission, test_socket_server): toy fitted pipelines, bitwise
+// result comparison, and a Linux thread counter for the bounded-threads
+// assertions.
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/tasks/tasks.h"
+#include "data/synthetic.h"
+#include "data/window.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::serve {
+
+inline core::UnitsPipeline::Config TinyConfig(const std::string& task,
+                                              uint64_t seed = 7) {
+  core::UnitsPipeline::Config cfg;
+  cfg.templates = {"whole_series_contrastive"};
+  cfg.task = task;
+  cfg.mode = core::ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("epochs", 1);
+  cfg.pretrain_params.SetInt("batch_size", 8);
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 8);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  cfg.finetune_params.SetInt("epochs", 2);
+  cfg.finetune_params.SetInt("batch_size", 8);
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline data::TimeSeriesDataset TinyClassData() {
+  data::ClassificationOpts opts;
+  opts.num_samples = 12;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.seed = 5;
+  return data::MakeClassificationDataset(opts);
+}
+
+inline data::TimeSeriesDataset TinyForecastData() {
+  data::ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 300;
+  opts.seed = 9;
+  return data::MakeForecastDataset(opts, 32, 16, 8);
+}
+
+inline data::TimeSeriesDataset TinyAnomalyData() {
+  data::AnomalyOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 300;
+  opts.seed = 11;
+  return data::TimeSeriesDataset(
+      data::SlidingWindows(data::MakeCleanSeries(opts), 32, 16));
+}
+
+/// A fitted pipeline for `task`, plus data it can serve, at toy scale.
+/// Different `seed`s yield different weights (distinct "models").
+struct FittedModel {
+  std::unique_ptr<core::UnitsPipeline> pipeline;
+  Tensor data;  // [N, 2, 32]
+};
+
+inline FittedModel MakeFitted(const std::string& task, uint64_t seed = 7) {
+  auto cfg = TinyConfig(task, seed);
+  data::TimeSeriesDataset dataset = TinyClassData();
+  if (task == "clustering") {
+    cfg.finetune_params.SetInt("num_clusters", 2);
+    cfg.finetune_params.SetInt("cluster_finetune_epochs", 0);
+  } else if (task == "forecasting" || task == "imputation") {
+    dataset = TinyForecastData();
+  } else if (task == "anomaly_detection") {
+    dataset = TinyAnomalyData();
+  }
+  auto pipeline = core::UnitsPipeline::Create(cfg, 2);
+  EXPECT_TRUE(pipeline.ok());
+  EXPECT_TRUE((*pipeline)->FineTune(dataset).ok());
+  return FittedModel{std::move(*pipeline), dataset.values()};
+}
+
+inline void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
+                               const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+inline void ExpectBitwiseEqual(const core::TaskResult& a,
+                               const core::TaskResult& b,
+                               const std::string& what) {
+  EXPECT_EQ(a.labels, b.labels) << what;
+  ExpectBitwiseEqual(a.predictions, b.predictions, what + " predictions");
+  ExpectBitwiseEqual(a.scores, b.scores, what + " scores");
+}
+
+/// Live thread count of this process (Linux /proc; -1 elsewhere).
+inline int CountProcessThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      std::istringstream fields(line.substr(8));
+      int n = -1;
+      fields >> n;
+      return n;
+    }
+  }
+  return -1;
+}
+
+}  // namespace units::serve
+
+#endif  // UNITS_TESTS_SERVE_TEST_UTIL_H_

@@ -2,7 +2,9 @@
 # End-to-end test of the serving runtime: train two tiny models with
 # units_cli, then drive units_serve over its newline-delimited JSON
 # protocol — preload, runtime load, predicts against both models
-# (coalesced by the micro-batcher), stats, and error handling.
+# (coalesced by the micro-batcher), stats, and error handling — first on
+# stdin, then over the TCP transport: 16 concurrent loopback clients,
+# admission-control shedding, and a graceful SIGTERM drain.
 # Usage: serve_workflow.sh <path-to-units_cli> <path-to-units_serve>
 set -euo pipefail
 
@@ -97,5 +99,103 @@ if "$SERVE" --model "a=$WORK/absent.json" < /dev/null > /dev/null 2>&1; then
   echo "expected nonzero exit for a missing model file" >&2
   exit 1
 fi
+
+# --- Socket transport ------------------------------------------------------
+
+# Waits for "listening on port N" in $1 and prints N.
+wait_for_port() {
+  local log="$1" port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$log" | head -n 1)"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "server did not report a port" >&2; return 1; }
+  echo "$port"
+}
+
+VALUES_A="$(awk 'BEGIN{for(t=0;t<32;++t)printf "%s%.2f",(t?",":""),0.1*(t%3)}')"
+VALUES_B="$(awk 'BEGIN{for(t=0;t<32;++t)printf "%s%.2f",(t?",":""),5+0.1*(t%3)}')"
+
+# Phase 1: 16 concurrent clients, interleaved predicts against both
+# models, zero dropped responses.
+"$SERVE" --model "a=$WORK/m1.json" --model "b=$WORK/m2.json" \
+  --port 0 --max-delay-ms 2 > /dev/null 2> "$WORK/socket.log" &
+SOCKET_PID=$!
+PORT="$(wait_for_port "$WORK/socket.log")"
+
+run_client() {
+  local id="$1" out="$WORK/client_$1.out" r m vals
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  for r in 0 1 2 3; do
+    if [ $(( (id + r) % 2 )) -eq 0 ]; then m=a; vals="$VALUES_A";
+    else m=b; vals="$VALUES_B"; fi
+    printf '{"op":"predict","model":"%s","id":%d,"values":[%s]}\n' \
+      "$m" $((id * 100 + r)) "$vals" >&3
+  done
+  printf '{"op":"quit"}\n' >&3
+  cat <&3 > "$out"
+  exec 3<&- 3>&-
+}
+
+CLIENT_PIDS=""
+for c in $(seq 0 15); do
+  run_client "$c" &
+  CLIENT_PIDS="$CLIENT_PIDS $!"
+done
+# shellcheck disable=SC2086  # word splitting over the pid list is intended
+wait $CLIENT_PIDS
+for c in $(seq 0 15); do
+  OUT="$WORK/client_$c.out"
+  # 4 predicts + the quit ack, all ok, every id answered, none dropped.
+  [ "$(wc -l < "$OUT")" -eq 5 ]
+  [ "$(grep -c '"ok":true' "$OUT")" -eq 5 ]
+  for r in 0 1 2 3; do
+    grep -q "\"id\":$((c * 100 + r))," "$OUT"
+  done
+done
+
+# A clean SIGTERM drain of the (now idle) phase-1 server exits 0.
+kill -TERM "$SOCKET_PID"
+wait "$SOCKET_PID"
+
+# Phase 2: admission control. Capacity 2 with the batcher parked means
+# exactly 2 requests are admitted (and later time out) while the other 4
+# are shed with the structured "overloaded" reply.
+"$SERVE" --model "a=$WORK/m1.json" --port 0 --max-queue 2 \
+  --max-batch 64 --max-delay-ms 10000 --request-timeout-ms 300 \
+  > /dev/null 2> "$WORK/shed.log" &
+SHED_PID=$!
+PORT="$(wait_for_port "$WORK/shed.log")"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+for r in 0 1 2 3 4 5; do
+  printf '{"op":"predict","model":"a","id":%d,"values":[%s]}\n' \
+    "$r" "$VALUES_A" >&3
+done
+printf '{"op":"quit"}\n' >&3
+cat <&3 > "$WORK/shed.out"
+exec 3<&- 3>&-
+[ "$(grep -c '"error":"overloaded"' "$WORK/shed.out")" -eq 4 ]
+[ "$(grep -c 'timed out' "$WORK/shed.out")" -eq 2 ]
+kill -TERM "$SHED_PID"
+wait "$SHED_PID"
+
+# Phase 3: SIGTERM with responses still pending — the drain must answer
+# everything admitted before exiting 0.
+"$SERVE" --model "a=$WORK/m1.json" --port 0 --max-batch 64 \
+  --max-delay-ms 5000 > /dev/null 2> "$WORK/drain.log" &
+DRAIN_PID=$!
+PORT="$(wait_for_port "$WORK/drain.log")"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+for r in 0 1 2; do
+  printf '{"op":"predict","model":"a","id":%d,"values":[%s]}\n' \
+    "$r" "$VALUES_A" >&3
+done
+sleep 0.3  # let the event loop admit the burst
+kill -TERM "$DRAIN_PID"
+cat <&3 > "$WORK/drain.out"  # drain flushes, then EOF
+exec 3<&- 3>&-
+wait "$DRAIN_PID"
+[ "$(grep -c '"ok":true' "$WORK/drain.out")" -eq 3 ]
 
 echo "serve workflow OK"

@@ -1,0 +1,238 @@
+// Deterministic overload tests for the admission layer: the capacity+1-th
+// request is shed with the structured "overloaded" error, deadline-expired
+// requests get timeout replies, the accepted/shed/timed-out counters in
+// ServeStats match the submitted workload exactly, and a shutdown drain
+// leaves zero pending futures. Determinism comes from parking requests in
+// the batcher (max_batch_size larger than the workload plus a long
+// max_delay_ms), so queue occupancy at every assertion point is exact.
+// Built as its own executable so the ThreadSanitizer CI job can run it.
+
+#include "serve/admission.h"
+
+#include <chrono>
+#include <future>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/serve_stats.h"
+#include "serve_test_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::serve {
+namespace {
+
+TEST(AdmissionControllerTest, AdmitsUpToCapacityThenSheds) {
+  ServeStats stats;
+  AdmissionController::Options options;
+  options.max_queue = 3;
+  AdmissionController admission(options, &stats);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(admission.TryAdmit().ok()) << "admit " << i;
+  }
+  EXPECT_EQ(admission.in_flight(), 3);
+
+  const Status shed = admission.TryAdmit();
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.message(), "overloaded");
+  EXPECT_EQ(admission.in_flight(), 3);
+
+  admission.Release();
+  EXPECT_EQ(admission.in_flight(), 2);
+  EXPECT_TRUE(admission.TryAdmit().ok());  // freed slot is reusable
+
+  const auto snapshot = stats.Admission();
+  EXPECT_EQ(snapshot.accepted, 4);
+  EXPECT_EQ(snapshot.shed, 1);
+  EXPECT_EQ(snapshot.timed_out, 0);
+}
+
+TEST(AdmissionControllerTest, DeadlineFollowsTimeoutOption) {
+  const auto now = std::chrono::steady_clock::now();
+
+  AdmissionController no_deadline({.max_queue = 1, .request_timeout_ms = 0.0});
+  EXPECT_FALSE(no_deadline.DeadlineFor(now).has_value());
+
+  AdmissionController with_deadline(
+      {.max_queue = 1, .request_timeout_ms = 50.0});
+  const auto deadline = with_deadline.DeadlineFor(now);
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_EQ(*deadline - now, std::chrono::milliseconds(50));
+}
+
+TEST(AdmissionControllerTest, WorksWithoutStats) {
+  AdmissionController admission({.max_queue = 1});
+  EXPECT_TRUE(admission.TryAdmit().ok());
+  EXPECT_EQ(admission.TryAdmit().code(), StatusCode::kResourceExhausted);
+  admission.Release();
+}
+
+TEST(AdmissionDeathTest, RejectsInvalidOptions) {
+  EXPECT_DEATH(AdmissionController({.max_queue = 0}), "CHECK failed");
+  EXPECT_DEATH(AdmissionController({.max_queue = -5}), "CHECK failed");
+  EXPECT_DEATH(
+      AdmissionController({.max_queue = 1, .request_timeout_ms = -1.0}),
+      "CHECK failed");
+  EXPECT_DEATH(AdmissionController(
+                   {.max_queue = 1,
+                    .request_timeout_ms = std::numeric_limits<double>::quiet_NaN()}),
+               "CHECK failed");
+}
+
+/// Batcher + admission end to end. Requests are parked by a never-filling
+/// batch size plus a long flush delay, so the admission window's occupancy
+/// is exact at every step.
+class BatcherAdmissionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FittedModel fitted = MakeFitted("classification");
+    row_ = new Tensor(ops::Slice(fitted.data, 0, 0, 1));
+    registry_ = new ModelRegistry();
+    ASSERT_TRUE(registry_->Add("m", std::move(fitted.pipeline)).ok());
+  }
+
+  static MicroBatcher::Options ParkedBatcher() {
+    MicroBatcher::Options options;
+    options.max_batch_size = 64;      // never reached by these workloads
+    options.max_delay_ms = 10000.0;   // flushed only by Shutdown
+    return options;
+  }
+
+  static Tensor* row_;
+  static ModelRegistry* registry_;
+};
+
+Tensor* BatcherAdmissionTest::row_ = nullptr;
+ModelRegistry* BatcherAdmissionTest::registry_ = nullptr;
+
+TEST_F(BatcherAdmissionTest, CapacityPlusOneIsShedWithStructuredError) {
+  ServeStats stats;
+  AdmissionController admission({.max_queue = 4}, &stats);
+  MicroBatcher batcher(registry_, ParkedBatcher(), &stats, &admission);
+
+  std::vector<std::future<Result<core::TaskResult>>> parked;
+  for (int i = 0; i < 4; ++i) {
+    parked.push_back(batcher.Submit("m", *row_));
+  }
+  EXPECT_EQ(admission.in_flight(), 4);
+
+  // The capacity+1-th request must be answered immediately, not queued.
+  auto shed = batcher.Submit("m", *row_);
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const Status status = shed.get().status();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.message(), "overloaded");
+
+  batcher.Shutdown();  // drain flushes the four parked requests
+  for (auto& f : parked) {
+    auto r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  EXPECT_EQ(admission.in_flight(), 0) << "drain must release every slot";
+  const auto snapshot = stats.Admission();
+  EXPECT_EQ(snapshot.accepted, 4);
+  EXPECT_EQ(snapshot.shed, 1);
+  EXPECT_EQ(snapshot.timed_out, 0);
+}
+
+TEST_F(BatcherAdmissionTest, ExpiredRequestsGetTimeoutReplies) {
+  ServeStats stats;
+  AdmissionController admission({.max_queue = 16, .request_timeout_ms = 30.0},
+                                &stats);
+  MicroBatcher batcher(registry_, ParkedBatcher(), &stats, &admission);
+
+  // With the batcher parked, the only way out of the queue before Shutdown
+  // is deadline expiry — so all five must time out.
+  std::vector<std::future<Result<core::TaskResult>>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(batcher.Submit("m", *row_));
+  }
+  for (auto& f : futures) {
+    const Status status = f.get().status();
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(status.message().find("timed out"), std::string::npos)
+        << status.ToString();
+  }
+
+  EXPECT_EQ(admission.in_flight(), 0);
+  const auto snapshot = stats.Admission();
+  EXPECT_EQ(snapshot.accepted, 5);
+  EXPECT_EQ(snapshot.shed, 0);
+  EXPECT_EQ(snapshot.timed_out, 5);
+
+  batcher.Shutdown();
+}
+
+TEST_F(BatcherAdmissionTest, ResolutionReleasesSlotForReadmission) {
+  ServeStats stats;
+  AdmissionController admission({.max_queue = 1}, &stats);
+  MicroBatcher::Options options;
+  options.max_batch_size = 1;
+  options.max_delay_ms = 0.0;  // flush immediately
+  MicroBatcher batcher(registry_, options, &stats, &admission);
+
+  // Closed loop at capacity 1: the slot must be released by the time the
+  // future resolves, so the next submit is never spuriously shed.
+  for (int i = 0; i < 10; ++i) {
+    auto r = batcher.Submit("m", *row_).get();
+    ASSERT_TRUE(r.ok()) << "iteration " << i << ": " << r.status().ToString();
+  }
+
+  const auto snapshot = stats.Admission();
+  EXPECT_EQ(snapshot.accepted, 10);
+  EXPECT_EQ(snapshot.shed, 0);
+  EXPECT_EQ(snapshot.timed_out, 0);
+}
+
+TEST_F(BatcherAdmissionTest, DrainLeavesZeroPendingFutures) {
+  ServeStats stats;
+  AdmissionController admission({.max_queue = 8}, &stats);
+  auto batcher = std::make_unique<MicroBatcher>(registry_, ParkedBatcher(),
+                                               &stats, &admission);
+
+  std::vector<std::future<Result<core::TaskResult>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(batcher->Submit("m", *row_));
+  }
+  batcher.reset();  // destructor drains
+
+  // Every future must already be resolved — a drain may not strand one.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+  EXPECT_EQ(admission.in_flight(), 0);
+  EXPECT_EQ(stats.Admission().accepted, 6);
+}
+
+TEST(ServeStatsAdmissionTest, CountersRoundTripThroughJson) {
+  ServeStats stats;
+  stats.RecordAccepted();
+  stats.RecordAccepted();
+  stats.RecordShed();
+  stats.RecordTimedOut();
+
+  auto json = stats.ToJson();
+  ASSERT_TRUE(json.Contains("admission"));
+  EXPECT_EQ(json.at("admission").at("accepted").AsInt(), 2);
+  EXPECT_EQ(json.at("admission").at("shed").AsInt(), 1);
+  EXPECT_EQ(json.at("admission").at("timed_out").AsInt(), 1);
+
+  stats.Reset();
+  const auto snapshot = stats.Admission();
+  EXPECT_EQ(snapshot.accepted, 0);
+  EXPECT_EQ(snapshot.shed, 0);
+  EXPECT_EQ(snapshot.timed_out, 0);
+}
+
+}  // namespace
+}  // namespace units::serve

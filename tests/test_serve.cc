@@ -9,17 +9,22 @@
 #include "serve/model_registry.h"
 #include "serve/serve_stats.h"
 
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <limits>
+#include <random>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "base/parallel.h"
-#include "core/pipeline.h"
-#include "core/tasks/tasks.h"
-#include "data/synthetic.h"
-#include "data/window.h"
+#include "json/json.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::serve {
@@ -32,87 +37,6 @@ class ThreadCountGuard {
     base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
   }
 };
-
-core::UnitsPipeline::Config TinyConfig(const std::string& task) {
-  core::UnitsPipeline::Config cfg;
-  cfg.templates = {"whole_series_contrastive"};
-  cfg.task = task;
-  cfg.mode = core::ConfigMode::kManual;
-  cfg.pretrain_params.SetInt("epochs", 1);
-  cfg.pretrain_params.SetInt("batch_size", 8);
-  cfg.pretrain_params.SetInt("hidden_channels", 8);
-  cfg.pretrain_params.SetInt("repr_dim", 8);
-  cfg.pretrain_params.SetInt("num_blocks", 1);
-  cfg.finetune_params.SetInt("epochs", 2);
-  cfg.finetune_params.SetInt("batch_size", 8);
-  cfg.seed = 7;
-  return cfg;
-}
-
-data::TimeSeriesDataset TinyClassData() {
-  data::ClassificationOpts opts;
-  opts.num_samples = 12;
-  opts.num_classes = 2;
-  opts.num_channels = 2;
-  opts.length = 32;
-  opts.seed = 5;
-  return data::MakeClassificationDataset(opts);
-}
-
-data::TimeSeriesDataset TinyForecastData() {
-  data::ForecastSeriesOpts opts;
-  opts.num_channels = 2;
-  opts.total_length = 300;
-  opts.seed = 9;
-  return data::MakeForecastDataset(opts, 32, 16, 8);
-}
-
-data::TimeSeriesDataset TinyAnomalyData() {
-  data::AnomalyOpts opts;
-  opts.num_channels = 2;
-  opts.total_length = 300;
-  opts.seed = 11;
-  return data::TimeSeriesDataset(
-      data::SlidingWindows(data::MakeCleanSeries(opts), 32, 16));
-}
-
-/// A fitted pipeline for `task`, plus data it can serve, at toy scale.
-struct FittedModel {
-  std::unique_ptr<core::UnitsPipeline> pipeline;
-  Tensor data;  // [N, 2, 32]
-};
-
-FittedModel MakeFitted(const std::string& task) {
-  auto cfg = TinyConfig(task);
-  data::TimeSeriesDataset dataset = TinyClassData();
-  if (task == "clustering") {
-    cfg.finetune_params.SetInt("num_clusters", 2);
-    cfg.finetune_params.SetInt("cluster_finetune_epochs", 0);
-  } else if (task == "forecasting" || task == "imputation") {
-    dataset = TinyForecastData();
-  } else if (task == "anomaly_detection") {
-    dataset = TinyAnomalyData();
-  }
-  auto pipeline = core::UnitsPipeline::Create(cfg, 2);
-  EXPECT_TRUE(pipeline.ok());
-  EXPECT_TRUE((*pipeline)->FineTune(dataset).ok());
-  return FittedModel{std::move(*pipeline), dataset.values()};
-}
-
-void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
-                        const std::string& what) {
-  ASSERT_EQ(a.shape(), b.shape()) << what;
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    ASSERT_EQ(a[i], b[i]) << what << " diverges at flat index " << i;
-  }
-}
-
-void ExpectBitwiseEqual(const core::TaskResult& a, const core::TaskResult& b,
-                        const std::string& what) {
-  EXPECT_EQ(a.labels, b.labels) << what;
-  ExpectBitwiseEqual(a.predictions, b.predictions, what + " predictions");
-  ExpectBitwiseEqual(a.scores, b.scores, what + " scores");
-}
 
 TEST(ModelRegistryTest, LoadListGetUnload) {
   const std::string path = ::testing::TempDir() + "/serve_reg.json";
@@ -199,6 +123,10 @@ TEST(MicroBatcherTest, BatchedMatchesSequentialAllTasks) {
         MicroBatcher::Options options;
         options.max_batch_size = max_batch;
         options.max_delay_ms = 5.0;  // long enough that bursts coalesce
+        // Vary the shared scheduler's worker pool across the existing
+        // sweep so identity also holds regardless of which worker runs a
+        // batch (1 worker serializes, 4 races batches of one model).
+        options.num_workers = max_batch == 4 ? 4 : 1;
         MicroBatcher batcher(&registry, options);
         std::vector<std::future<Result<core::TaskResult>>> futures;
         for (int64_t i = 0; i < n; ++i) {
@@ -350,6 +278,214 @@ TEST(ServeStatsTest, HistogramAndQuantiles) {
 
   stats.Reset();
   EXPECT_EQ(stats.Snapshot("m").requests, 0);
+}
+
+TEST(MicroBatcherDeathTest, RejectsInvalidOptions) {
+  ModelRegistry registry;
+  {
+    MicroBatcher::Options options;
+    options.max_batch_size = 0;
+    EXPECT_DEATH(MicroBatcher(&registry, options), "CHECK failed");
+    options.max_batch_size = -4;
+    EXPECT_DEATH(MicroBatcher(&registry, options), "CHECK failed");
+  }
+  {
+    MicroBatcher::Options options;
+    options.max_delay_ms = -1.0;
+    EXPECT_DEATH(MicroBatcher(&registry, options), "CHECK failed");
+    options.max_delay_ms = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DEATH(MicroBatcher(&registry, options), "CHECK failed");
+    options.max_delay_ms = std::numeric_limits<double>::infinity();
+    EXPECT_DEATH(MicroBatcher(&registry, options), "CHECK failed");
+  }
+  {
+    MicroBatcher::Options options;
+    options.num_workers = 0;
+    EXPECT_DEATH(MicroBatcher(&registry, options), "CHECK failed");
+  }
+}
+
+/// The shared-scheduler sizing claim: batcher threads are num_workers + 1
+/// regardless of how many models are resident and being served.
+TEST(MicroBatcherTest, ThreadCountBoundedByWorkerPoolNotModelCount) {
+  FittedModel fitted = MakeFitted("classification");
+  const Tensor row = ops::Slice(fitted.data, 0, 0, 1);
+  // Warm the intra-op pool (created lazily) so it cannot perturb counts.
+  ASSERT_TRUE(fitted.pipeline->Predict(row).ok());
+  const std::string path = ::testing::TempDir() + "/serve_threads.json";
+  ASSERT_TRUE(fitted.pipeline->SaveJson(path).ok());
+
+  ModelRegistry registry;
+  const int before = CountProcessThreads();
+  ASSERT_GT(before, 0) << "/proc/self/status not readable";
+
+  MicroBatcher::Options options;
+  options.num_workers = 3;
+  options.max_delay_ms = 0.0;
+  MicroBatcher batcher(&registry, options);
+  const int with_batcher = CountProcessThreads();
+  EXPECT_EQ(with_batcher, before + options.num_workers + 1);
+
+  for (int i = 0; i < 6; ++i) {
+    const std::string name = "m" + std::to_string(i);
+    ASSERT_TRUE(registry.Load(name, path).ok());
+    auto r = batcher.Submit(name, row).get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(CountProcessThreads(), with_batcher)
+      << "serving more models must not add threads";
+}
+
+/// Per-model fairness: a model receiving occasional single requests must
+/// not starve behind a model being flooded — the scheduler flushes the
+/// queue whose oldest request has waited longest, and a model holds at
+/// most one worker.
+TEST(MicroBatcherTest, TrickleModelStaysResponsiveBesideHotModel) {
+  FittedModel hot = MakeFitted("classification");
+  FittedModel trickle = MakeFitted("classification", 13);
+  const Tensor hot_row = ops::Slice(hot.data, 0, 0, 1);
+  const Tensor trickle_row = ops::Slice(trickle.data, 0, 0, 1);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("hot", std::move(hot.pipeline)).ok());
+  ASSERT_TRUE(registry.Add("trickle", std::move(trickle.pipeline)).ok());
+
+  ServeStats stats;
+  MicroBatcher::Options options;
+  options.max_batch_size = 8;
+  options.max_delay_ms = 2.0;
+  options.num_workers = 2;
+  MicroBatcher batcher(&registry, options, &stats);
+
+  std::atomic<bool> stop{false};
+  std::thread flood([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<std::future<Result<core::TaskResult>>> burst;
+      for (int i = 0; i < 8; ++i) {
+        burst.push_back(batcher.Submit("hot", hot_row));
+      }
+      for (auto& f : burst) {
+        f.get();
+      }
+    }
+  });
+
+  constexpr int kTrickleRequests = 10;
+  double worst_ms = 0.0;
+  for (int i = 0; i < kTrickleRequests; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto r = batcher.Submit("trickle", trickle_row).get();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    worst_ms = std::max(worst_ms, ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  flood.join();
+
+  // The structural bound is max_delay plus one hot batch ahead of each
+  // trickle flush — single-digit milliseconds here. The assertion is very
+  // generous for slow, sanitized, single-core CI; a starving trickle queue
+  // would wait for the whole flood (seconds) and still trip it.
+  EXPECT_LT(worst_ms, 2000.0);
+  EXPECT_EQ(stats.Snapshot("trickle").requests, kTrickleRequests);
+}
+
+/// Seeded malformed-input corpus through the full NDJSON server loop:
+/// truncated JSON, random garbage, invalid UTF-8, wrong-type fields,
+/// oversized lines (against the line-length cap), and pathological
+/// nesting (against the parser's depth cap). Every line must produce one
+/// structured error response — never a crash, hang, or dropped reply.
+/// The ASan+UBSan CI job runs this filter explicitly.
+TEST(JsonLineServerFuzzTest, MalformedCorpusGetsStructuredErrors) {
+  constexpr size_t kCases = 500;
+  constexpr size_t kMaxLineBytes = 4096;
+  std::mt19937 rng(20260805u);
+  const std::string valid =
+      "{\"op\": \"predict\", \"model\": \"m\", "
+      "\"values\": [[1.0, 2.0], [3.0, 4.0]], \"id\": 1}";
+  const std::string garbage_alphabet =
+      "{}[]\",:0123456789abcdef .-+eEtrunl\\/";
+  const std::vector<std::string> wrong_types = {
+      "{\"op\": 7}",
+      "{\"op\": [\"predict\"]}",
+      "{\"op\": \"predict\", \"model\": 3, \"values\": [[1]]}",
+      "{\"op\": \"predict\", \"model\": \"m\", \"values\": \"nope\"}",
+      "{\"op\": \"predict\", \"model\": \"m\", \"values\": [[1, 2], [3]]}",
+      "{\"op\": \"predict\", \"model\": \"m\", \"values\": [[true]]}",
+      "{\"op\": \"load\", \"model\": \"m\", \"path\": 5}",
+      "{\"op\": \"predict\"}",
+  };
+
+  std::ostringstream input;
+  for (size_t i = 0; i < kCases; ++i) {
+    std::string line;
+    switch (i % 6) {
+      case 0: {  // truncated valid request: a proper prefix is never JSON
+        const size_t cut = 1 + rng() % (valid.size() - 1);
+        line = valid.substr(0, cut);
+        break;
+      }
+      case 1: {  // random garbage from JSON-ish bytes
+        const size_t len = 1 + rng() % 80;
+        for (size_t j = 0; j < len; ++j) {
+          line += garbage_alphabet[rng() % garbage_alphabet.size()];
+        }
+        if (line.find_first_not_of(" \t") == std::string::npos) {
+          line = "}";  // blank lines are skipped, keep the 1:1 mapping
+        }
+        break;
+      }
+      case 2: {  // invalid UTF-8 inside a string field
+        line = "{\"op\": \"predict\", \"model\": \"";
+        const char bad[] = {'\xff', '\xc3', '\xfe', '\x80'};
+        for (int j = 0; j < 4; ++j) {
+          line += bad[rng() % 4];
+        }
+        line += "\"}";
+        break;
+      }
+      case 3:  // structurally valid JSON, wrong field types
+        line = wrong_types[rng() % wrong_types.size()];
+        break;
+      case 4: {  // past the line-length cap
+        line.assign(kMaxLineBytes + 1 + rng() % 2000, 'a');
+        break;
+      }
+      case 5: {  // past the parser's nesting-depth cap
+        line.assign(150 + rng() % 200, '[');
+        break;
+      }
+    }
+    input << line << "\n";
+  }
+
+  ModelRegistry registry;  // empty: even a "valid" predict cannot succeed
+  JsonLineServer::Options options;
+  options.session.max_line_bytes = kMaxLineBytes;
+  options.batcher.max_delay_ms = 0.0;
+  JsonLineServer server(&registry, options);
+
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.Run(in, out), 0);
+
+  std::istringstream responses(out.str());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(responses, line)) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << "unparseable response: " << line;
+    ASSERT_TRUE(parsed->is_object()) << line;
+    ASSERT_TRUE(parsed->Contains("ok")) << line;
+    EXPECT_FALSE(parsed->at("ok").AsBool()) << line;
+    ASSERT_TRUE(parsed->Contains("error")) << line;
+    EXPECT_FALSE(parsed->at("error").AsString().empty()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kCases) << "every malformed line needs exactly one reply";
 }
 
 }  // namespace

@@ -1,0 +1,533 @@
+// Loopback integration tests for the TCP serving transport: concurrent
+// clients with interleaved predicts against two resident models (per-
+// connection response order and payload correctness), slow-reader
+// backpressure, half-closed connections, mid-line disconnects without fd
+// leaks, oversized-line resynchronization, idle timeouts, and graceful
+// drain. Built as its own executable so the ThreadSanitizer CI job can run
+// the full event-loop + batcher concurrency directly.
+
+#include "serve/socket_server.h"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "serve/model_registry.h"
+#include "serve_test_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Blocking loopback NDJSON client with a poll-based read deadline.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendLine(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Reads one '\n'-terminated line (newline stripped). Returns false on
+  /// EOF or after `timeout_s` without a complete line.
+  bool ReadLine(std::string* out, double timeout_s = 30.0) {
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_s));
+    for (;;) {
+      const size_t pos = rbuf_.find('\n');
+      if (pos != std::string::npos) {
+        *out = rbuf_.substr(0, pos);
+        rbuf_.erase(0, pos + 1);
+        return true;
+      }
+      const auto remaining = deadline - Clock::now();
+      if (remaining <= Clock::duration::zero()) {
+        return false;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count());
+      if (::poll(&pfd, 1, std::max(1, timeout_ms)) <= 0) {
+        continue;
+      }
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) {
+        return false;  // server closed
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) {
+          continue;
+        }
+        return false;
+      }
+      rbuf_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  /// True when the server has closed the connection (EOF within
+  /// `timeout_s`); fails fast if data arrives instead.
+  bool WaitForEof(double timeout_s = 10.0) {
+    std::string line;
+    return !ReadLine(&line, timeout_s) && rbuf_.empty();
+  }
+
+  void CloseWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;
+};
+
+/// A SocketServer on an ephemeral port with its event loop on a thread.
+class ServerHarness {
+ public:
+  ServerHarness(ModelRegistry* registry, SocketServer::Options options)
+      : server_(registry, std::move(options)) {}
+
+  ~ServerHarness() { Stop(); }
+
+  bool Start() {
+    const Status status = server_.Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!status.ok()) {
+      return false;
+    }
+    thread_ = std::thread([this] { exit_code_ = server_.Run(); });
+    return true;
+  }
+
+  int port() const { return server_.bound_port(); }
+  SocketServer* server() { return &server_; }
+
+  /// Requests a drain and returns the event loop's exit code.
+  int Stop() {
+    if (!thread_.joinable()) {
+      return exit_code_;
+    }
+    server_.RequestDrain();
+    thread_.join();
+    return exit_code_;
+  }
+
+ private:
+  SocketServer server_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+/// One predict request line for `model` carrying `row` ([1, D, T]) and `id`.
+std::string PredictLine(const std::string& model, const Tensor& row,
+                        int64_t id) {
+  const int64_t channels = row.dim(1);
+  const int64_t length = row.dim(2);
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"op\": \"predict\", \"model\": \"" << model << "\", \"id\": " << id
+     << ", \"values\": [";
+  for (int64_t d = 0; d < channels; ++d) {
+    os << (d == 0 ? "[" : ", [");
+    for (int64_t t = 0; t < length; ++t) {
+      os << (t == 0 ? "" : ", ") << row[d * length + t];
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// Expected per-model answer, captured from a direct pipeline Predict.
+struct Reference {
+  Tensor row;
+  std::vector<int64_t> labels;
+  std::vector<float> predictions;
+};
+
+/// Parses a response line and checks it against the model's reference.
+void ExpectPredictResponse(const std::string& line, const std::string& model,
+                           int64_t id, const Reference& ref) {
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  ASSERT_TRUE(parsed->is_object()) << line;
+  ASSERT_TRUE(parsed->Contains("ok")) << line;
+  ASSERT_TRUE(parsed->at("ok").AsBool()) << line;
+  EXPECT_EQ(parsed->at("id").AsInt(), id) << line;
+  EXPECT_EQ(parsed->at("model").AsString(), model) << line;
+  const auto labels = parsed->at("labels").ToInts();
+  EXPECT_EQ(labels, ref.labels) << line;
+  const auto data = parsed->at("predictions").at("data").ToFloats();
+  ASSERT_EQ(data.size(), ref.predictions.size()) << line;
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i], ref.predictions[i], 1e-6f) << line;
+  }
+}
+
+/// Open descriptor count for this process (tests run the server in-process,
+/// so a leaked connection fd shows up here).
+int CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return -1;
+  }
+  int count = 0;
+  while (::readdir(dir) != nullptr) {
+    ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+/// Two resident classification models with distinct weights, fitted once
+/// for the whole suite; their references are the correctness oracle.
+class SocketServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = new ModelRegistry();
+    refs_ = new std::map<std::string, Reference>();
+    for (const auto& [name, seed] :
+         std::vector<std::pair<std::string, uint64_t>>{{"a", 7}, {"b", 21}}) {
+      FittedModel fitted = MakeFitted("classification", seed);
+      Reference ref;
+      ref.row = ops::Slice(fitted.data, 0, 0, 1);
+      auto result = fitted.pipeline->Predict(ref.row);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ref.labels = result->labels;
+      for (int64_t i = 0; i < result->predictions.numel(); ++i) {
+        ref.predictions.push_back(result->predictions[i]);
+      }
+      (*refs_)[name] = std::move(ref);
+      ASSERT_TRUE(registry_->Add(name, std::move(fitted.pipeline)).ok());
+    }
+  }
+
+  static SocketServer::Options Defaults() {
+    SocketServer::Options options;
+    options.port = 0;  // ephemeral
+    options.batcher.max_delay_ms = 1.0;
+    return options;
+  }
+
+  static const Reference& Ref(const std::string& model) {
+    return refs_->at(model);
+  }
+
+  static ModelRegistry* registry_;
+  static std::map<std::string, Reference>* refs_;
+};
+
+ModelRegistry* SocketServerTest::registry_ = nullptr;
+std::map<std::string, Reference>* SocketServerTest::refs_ = nullptr;
+
+TEST_F(SocketServerTest, ConcurrentClientsInterleaveTwoModels) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  constexpr int kClients = 16;
+  constexpr int kRequestsPerClient = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(harness.port());
+      if (!client.connected()) {
+        failures[c] = "connect failed";
+        return;
+      }
+      // Pipeline all requests, alternating models, before reading anything:
+      // responses must still come back in request order.
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string model = (c + i) % 2 == 0 ? "a" : "b";
+        const int64_t id = c * 1000 + i;
+        if (!client.SendLine(PredictLine(model, Ref(model).row, id))) {
+          failures[c] = "send failed";
+          return;
+        }
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        std::string line;
+        if (!client.ReadLine(&line)) {
+          failures[c] = "missing response " + std::to_string(i);
+          return;
+        }
+        const std::string model = (c + i) % 2 == 0 ? "a" : "b";
+        ExpectPredictResponse(line, model, c * 1000 + i, Ref(model));
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, SlowReaderGetsEveryResponseInOrder) {
+  auto options = Defaults();
+  // A cap far below the workload's response volume, so the harvest gate
+  // (and with it the POLLIN gate) must engage and then recover.
+  options.max_write_buffer_bytes = 1024;
+  options.admission.max_queue = 512;
+  ServerHarness harness(registry_, options);
+  ASSERT_TRUE(harness.Start());
+
+  constexpr int kRequests = 200;
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.SendLine(PredictLine("a", Ref("a").row, i)));
+  }
+  // Stay a slow reader long enough for the write buffer to hit its cap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  for (int i = 0; i < kRequests; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line)) << "response " << i;
+    ExpectPredictResponse(line, "a", i, Ref("a"));
+  }
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, HalfCloseStillAnswersThenCloses) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  constexpr int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.SendLine(PredictLine("b", Ref("b").row, i)));
+  }
+  client.CloseWrite();  // half-close: done sending, still reading
+  for (int i = 0; i < kRequests; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line)) << "response " << i;
+    ExpectPredictResponse(line, "b", i, Ref("b"));
+  }
+  EXPECT_TRUE(client.WaitForEof());
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, MidLineDisconnectCleansUpWithoutLeaks) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  // Let the first accept (if any startup fds are lazily created) settle
+  // before taking the baseline.
+  {
+    TestClient warmup(harness.port());
+    ASSERT_TRUE(warmup.connected());
+    ASSERT_TRUE(warmup.SendLine(PredictLine("a", Ref("a").row, 0)));
+    std::string line;
+    ASSERT_TRUE(warmup.ReadLine(&line));
+    warmup.CloseWrite();
+    ASSERT_TRUE(warmup.WaitForEof());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const int baseline = CountOpenFds();
+  ASSERT_GT(baseline, 0);
+
+  // Ten clients die mid-request-line; the server must reap every fd.
+  for (int i = 0; i < 10; ++i) {
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.SendRaw("{\"op\": \"pred"));  // no newline
+    client.Close();  // hard close mid-line
+  }
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  int fds = -1;
+  while (Clock::now() < deadline) {
+    fds = CountOpenFds();
+    if (fds == baseline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(fds, baseline) << "connection fds leaked after disconnects";
+
+  // The server must still be serving after the carnage.
+  TestClient survivor(harness.port());
+  ASSERT_TRUE(survivor.connected());
+  ASSERT_TRUE(survivor.SendLine(PredictLine("a", Ref("a").row, 42)));
+  std::string line;
+  ASSERT_TRUE(survivor.ReadLine(&line));
+  ExpectPredictResponse(line, "a", 42, Ref("a"));
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, OversizedLineGetsErrorAndResynchronizes) {
+  auto options = Defaults();
+  // Big enough for this suite's predict lines, far below the garbage below.
+  options.session.max_line_bytes = 4096;
+  ServerHarness harness(registry_, options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  // An unterminated 16 KiB line must be answered before its newline even
+  // arrives, and the tail must be discarded so the stream resyncs.
+  ASSERT_TRUE(client.SendRaw(std::string(16384, 'x')));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_FALSE(parsed->at("ok").AsBool()) << line;
+  EXPECT_NE(parsed->at("error").AsString().find("exceeds"),
+            std::string::npos)
+      << line;
+
+  ASSERT_TRUE(client.SendRaw("still the same oversized line\n"));
+  ASSERT_TRUE(client.SendLine(PredictLine("a", Ref("a").row, 7)));
+  ASSERT_TRUE(client.ReadLine(&line));
+  ExpectPredictResponse(line, "a", 7, Ref("a"));
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, IdleTimeoutClosesQuiescentConnection) {
+  auto options = Defaults();
+  options.idle_timeout_s = 0.3;
+  ServerHarness harness(registry_, options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(PredictLine("a", Ref("a").row, 1)));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  ExpectPredictResponse(line, "a", 1, Ref("a"));
+  // Quiescent now; the server should hang up within the idle timeout
+  // (plus poll granularity), well inside this deadline.
+  EXPECT_TRUE(client.WaitForEof(5.0));
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, QuitEndsSessionAfterFlushingResponses) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(PredictLine("b", Ref("b").row, 3)));
+  ASSERT_TRUE(client.SendLine("{\"op\": \"quit\"}"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  ExpectPredictResponse(line, "b", 3, Ref("b"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_TRUE(parsed->at("ok").AsBool()) << line;
+  EXPECT_TRUE(client.WaitForEof());
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, GracefulDrainAnswersAdmittedRequests) {
+  auto options = Defaults();
+  options.batcher.max_delay_ms = 500.0;  // requests linger in the batcher
+  ServerHarness harness(registry_, options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  constexpr int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.SendLine(PredictLine("a", Ref("a").row, i)));
+  }
+  // Give the event loop a beat to read and admit the burst, then drain
+  // while the requests are still waiting out the flush delay.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  harness.server()->RequestDrain();
+
+  for (int i = 0; i < kRequests; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line)) << "response " << i;
+    ExpectPredictResponse(line, "a", i, Ref("a"));
+  }
+  EXPECT_TRUE(client.WaitForEof());
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, StatsOverSocketReportAdmissionCounters) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(PredictLine("a", Ref("a").row, 11)));
+  ASSERT_TRUE(client.SendLine("{\"op\": \"stats\"}"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  ExpectPredictResponse(line, "a", 11, Ref("a"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  ASSERT_TRUE(parsed->at("ok").AsBool()) << line;
+  // The stats barrier runs after the predict resolved, so "accepted" has
+  // a deterministic value here.
+  const auto& admission = parsed->at("stats").at("admission");
+  EXPECT_EQ(admission.at("accepted").AsInt(), 1);
+  EXPECT_EQ(admission.at("shed").AsInt(), 0);
+  EXPECT_EQ(admission.at("timed_out").AsInt(), 0);
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+}  // namespace
+}  // namespace units::serve

@@ -1,17 +1,28 @@
 // units_serve — inference serving front end: loads fitted pipeline files
-// into a model registry and answers newline-delimited JSON requests on
-// stdin/stdout, micro-batching concurrent predicts per model (see
-// DESIGN.md §9 and serve/server.h for the protocol).
+// into a model registry and answers newline-delimited JSON requests,
+// micro-batching concurrent predicts per model on a shared scheduler (see
+// DESIGN.md §9/§12 and serve/server.h for the protocol).
 //
-//   units_serve [--model name=fitted.json ...]
-//               [--max-batch N] [--max-delay-ms X] [--threads N]
+// Two transports share the protocol and the batcher:
+//   default      NDJSON on stdin/stdout (one client)
+//   --port N     TCP listener (many concurrent clients; 0 = ephemeral
+//                port, printed to stderr as "listening on port P")
+//
+//   units_serve [--model name=fitted.json ...] [--port N]
+//               [--max-batch N] [--max-delay-ms X] [--workers N]
+//               [--max-queue N] [--request-timeout-ms X]
+//               [--idle-timeout-s X] [--threads N]
 //
 // Example session:
 //   {"op": "load", "model": "ecg", "path": "fitted.json"}
 //   {"op": "predict", "model": "ecg", "values": [0.1, 0.2, ...]}
 //   {"op": "stats"}
 //   {"op": "quit"}
+//
+// In socket mode SIGTERM/SIGINT trigger a graceful drain: stop accepting,
+// answer everything admitted, flush, exit 0.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -21,6 +32,7 @@
 #include "base/logging.h"
 #include "base/parallel.h"
 #include "serve/server.h"
+#include "serve/socket_server.h"
 
 namespace units::serve {
 namespace {
@@ -28,9 +40,12 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: units_serve [--model name=fitted.json ...]\n"
-      "                   [--max-batch N] [--max-delay-ms X] [--threads N]\n"
-      "speaks newline-delimited JSON on stdin/stdout; see serve/server.h\n");
+      "usage: units_serve [--model name=fitted.json ...] [--port N]\n"
+      "                   [--max-batch N] [--max-delay-ms X] [--workers N]\n"
+      "                   [--max-queue N] [--request-timeout-ms X]\n"
+      "                   [--idle-timeout-s X] [--threads N]\n"
+      "speaks newline-delimited JSON on stdin/stdout, or over TCP with\n"
+      "--port; see serve/server.h for the protocol\n");
   return 2;
 }
 
@@ -55,11 +70,22 @@ bool ParseDouble(const std::string& value, double* out) {
   return true;
 }
 
+SocketServer* g_socket_server = nullptr;
+
+/// SIGTERM/SIGINT → graceful drain. RequestDrain is async-signal-safe
+/// (an atomic store plus a pipe write).
+void HandleDrainSignal(int) {
+  if (g_socket_server != nullptr) {
+    g_socket_server->RequestDrain();
+  }
+}
+
 int Main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
 
   std::vector<std::pair<std::string, std::string>> preload;  // name, path
-  JsonLineServer::Options options;
+  bool socket_mode = false;
+  SocketServer::Options options;  // superset of the stdin-mode options
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -75,6 +101,15 @@ int Main(int argc, char** argv) {
         return 2;
       }
       preload.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (flag == "--port") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 0 || n > 65535) {
+        std::fprintf(stderr, "error: --port expects 0..65535\n");
+        return 2;
+      }
+      socket_mode = true;
+      options.port = static_cast<int>(n);
     } else if (flag == "--max-batch") {
       const char* value = next();
       int64_t n = 0;
@@ -92,6 +127,42 @@ int Main(int argc, char** argv) {
         return 2;
       }
       options.batcher.max_delay_ms = ms;
+    } else if (flag == "--workers") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 1) {
+        std::fprintf(stderr, "error: --workers expects a positive int\n");
+        return 2;
+      }
+      options.batcher.num_workers = static_cast<int>(n);
+    } else if (flag == "--max-queue") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 1) {
+        std::fprintf(stderr, "error: --max-queue expects a positive int\n");
+        return 2;
+      }
+      options.admission.max_queue = n;
+    } else if (flag == "--request-timeout-ms") {
+      const char* value = next();
+      double ms = 0.0;
+      if (value == nullptr || !ParseDouble(value, &ms) || ms < 0.0) {
+        std::fprintf(
+            stderr,
+            "error: --request-timeout-ms expects a non-negative number\n");
+        return 2;
+      }
+      options.admission.request_timeout_ms = ms;
+    } else if (flag == "--idle-timeout-s") {
+      const char* value = next();
+      double s = 0.0;
+      if (value == nullptr || !ParseDouble(value, &s) || s < 0.0) {
+        std::fprintf(
+            stderr,
+            "error: --idle-timeout-s expects a non-negative number\n");
+        return 2;
+      }
+      options.idle_timeout_s = s;
     } else if (flag == "--threads") {
       const char* value = next();
       int64_t n = 0;
@@ -120,7 +191,27 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "loaded '%s' from %s\n", name.c_str(), path.c_str());
   }
 
-  JsonLineServer server(&registry, options);
+  if (socket_mode) {
+    SocketServer server(&registry, options);
+    const Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "listening on port %d\n", server.bound_port());
+    g_socket_server = &server;
+    std::signal(SIGTERM, HandleDrainSignal);
+    std::signal(SIGINT, HandleDrainSignal);
+    const int code = server.Run();
+    g_socket_server = nullptr;
+    return code;
+  }
+
+  JsonLineServer::Options stdin_options;
+  stdin_options.batcher = options.batcher;
+  stdin_options.admission = options.admission;
+  stdin_options.session = options.session;
+  JsonLineServer server(&registry, stdin_options);
   return server.Run(std::cin, std::cout);
 }
 
