@@ -1,10 +1,14 @@
-// Serving-runtime benchmark, two parts:
+// Serving-runtime benchmark, three parts:
 //  1. closed-loop clients drive the micro-batcher in process, sweeping
 //     max_batch_size to show the batching throughput / latency trade-off;
 //  2. the same workload through the TCP transport (SocketServer on
 //     loopback), sweeping the client count, with client-observed
 //     latencies and the shed rate under a deliberately small admission
-//     window.
+//     window;
+//  3. streaming sessions over the TCP transport — each client opens a
+//     stream, feeds points in fixed-size chunks, and waits for every
+//     feed's reply (closed loop), sweeping sessions x chunk size to show
+//     assembled-window throughput and per-feed tail latency.
 // Writes a machine-readable BENCH_serve.json so subsequent PRs can track
 // the serving perf trajectory.
 
@@ -221,6 +225,154 @@ SocketSweepPoint RunSocketClosedLoop(serve::ModelRegistry* registry,
   return point;
 }
 
+constexpr int kWindowsPerStream = 8;
+
+struct StreamSweepPoint {
+  int sessions = 0;
+  int64_t chunk = 0;
+  double windows_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "stream bench: connect failed\n");
+    std::abort();
+  }
+  return fd;
+}
+
+/// Reads one newline-terminated response; aborts on a lost connection.
+std::string ReadResponseLine(int fd, std::string* rbuf) {
+  size_t pos;
+  while ((pos = rbuf->find('\n')) == std::string::npos) {
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      std::fprintf(stderr, "stream bench: connection lost\n");
+      std::abort();
+    }
+    rbuf->append(buf, static_cast<size_t>(n));
+  }
+  std::string line = rbuf->substr(0, pos);
+  rbuf->erase(0, pos + 1);
+  return line;
+}
+
+void SendAll(int fd, const std::string& bytes) {
+  if (::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(bytes.size())) {
+    std::fprintf(stderr, "stream bench: send failed\n");
+    std::abort();
+  }
+}
+
+/// One stream_feed line carrying `count` points per channel, tiling the
+/// bench row so successive chunks continue the series.
+std::string FeedChunkLine(const Tensor& row, int64_t offset, int64_t count) {
+  const int64_t channels = row.dim(1);
+  const int64_t length = row.dim(2);
+  std::ostringstream os;
+  os << "{\"op\": \"stream_feed\", \"stream\": 0, \"values\": [";
+  for (int64_t d = 0; d < channels; ++d) {
+    os << (d == 0 ? "[" : ", [");
+    for (int64_t j = 0; j < count; ++j) {
+      os << (j == 0 ? "" : ", ") << row[d * length + (offset + j) % length];
+    }
+    os << "]";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+/// Closed-loop streaming clients: every client opens one stream sized to
+/// the model window, feeds kWindowsPerStream windows' worth of points in
+/// `chunk`-point pieces, and waits for each feed's reply before the next.
+StreamSweepPoint RunStreamingClosedLoop(serve::ModelRegistry* registry,
+                                        const Tensor& row, int num_sessions,
+                                        int64_t chunk) {
+  serve::SocketServer::Options options;
+  options.port = 0;  // ephemeral
+  options.batcher.max_batch_size = 16;
+  options.batcher.max_delay_ms = 1.0;
+  options.streaming.max_sessions = num_sessions;
+  serve::SocketServer server(registry, options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "stream bench: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+  const int port = server.bound_port();
+  std::thread loop([&] { server.Run(); });
+
+  const int64_t window = row.dim(2);
+  const int64_t total_points = kWindowsPerStream * window;
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(num_sessions));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_sessions; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = ConnectLoopback(port);
+      std::string rbuf;
+      std::ostringstream open;
+      open << "{\"op\": \"stream_open\", \"model\": \"model\", \"window\": "
+           << window << ", \"stride\": " << window << "}\n";
+      SendAll(fd, open.str());
+      if (ReadResponseLine(fd, &rbuf).find("\"ok\":true") ==
+          std::string::npos) {
+        std::fprintf(stderr, "stream bench: open rejected\n");
+        std::abort();
+      }
+      for (int64_t offset = 0; offset < total_points; offset += chunk) {
+        const std::string line =
+            FeedChunkLine(row, offset, std::min(chunk, total_points - offset));
+        const auto sent = std::chrono::steady_clock::now();
+        SendAll(fd, line);
+        const std::string resp = ReadResponseLine(fd, &rbuf);
+        latencies[static_cast<size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - sent)
+                .count());
+        if (resp.find("\"ok\":true") == std::string::npos) {
+          std::fprintf(stderr, "stream bench: %s\n", resp.c_str());
+          std::abort();
+        }
+      }
+      SendAll(fd, "{\"op\": \"stream_close\", \"stream\": 0}\n");
+      ReadResponseLine(fd, &rbuf);
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  server.Shutdown();
+  loop.join();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  StreamSweepPoint point;
+  point.sessions = num_sessions;
+  point.chunk = chunk;
+  point.windows_per_s =
+      static_cast<double>(num_sessions) * kWindowsPerStream / seconds;
+  point.p50_ms = Quantile(&all, 0.50);
+  point.p99_ms = Quantile(&all, 0.99);
+  return point;
+}
+
 int Main() {
   BenchInit();
   PrintHeader("serve: micro-batch sweep, closed-loop clients");
@@ -289,6 +441,32 @@ int Main() {
     socket_sweep.Append(std::move(entry));
   }
 
+  PrintHeader("serve: streaming sessions, closed-loop feed sweep");
+  json::JsonValue streaming_sweep = json::JsonValue::Array();
+  for (const int num_sessions : {2, 8}) {
+    for (const int64_t chunk : {int64_t{8}, int64_t{32}}) {
+      const StreamSweepPoint point =
+          RunStreamingClosedLoop(&registry, row, num_sessions, chunk);
+      const std::string label = "sessions_" + std::to_string(num_sessions) +
+                                "_chunk_" + std::to_string(chunk);
+      PrintRow("serve_stream", "classification", label, "windows_per_s",
+               point.windows_per_s);
+      PrintRow("serve_stream", "classification", label, "p50_ms",
+               point.p50_ms);
+      PrintRow("serve_stream", "classification", label, "p99_ms",
+               point.p99_ms);
+      json::JsonValue entry = json::JsonValue::Object();
+      entry.Set("sessions", json::JsonValue::Int(point.sessions));
+      entry.Set("chunk", json::JsonValue::Int(point.chunk));
+      entry.Set("windows_per_stream",
+                json::JsonValue::Int(kWindowsPerStream));
+      entry.Set("windows_per_s", json::JsonValue::Number(point.windows_per_s));
+      entry.Set("p50_ms", json::JsonValue::Number(point.p50_ms));
+      entry.Set("p99_ms", json::JsonValue::Number(point.p99_ms));
+      streaming_sweep.Append(std::move(entry));
+    }
+  }
+
   json::JsonValue doc = json::JsonValue::Object();
   doc.Set("bench", json::JsonValue::String("serve"));
   doc.Set("clients", json::JsonValue::Int(kClients));
@@ -297,6 +475,7 @@ int Main() {
   doc.Set("sweep", std::move(sweep));
   doc.Set("socket_max_queue", json::JsonValue::Int(8));
   doc.Set("socket_sweep", std::move(socket_sweep));
+  doc.Set("streaming_sweep", std::move(streaming_sweep));
   std::ofstream out("BENCH_serve.json");
   out << doc.Dump(2) << "\n";
   std::printf("wrote BENCH_serve.json\n");

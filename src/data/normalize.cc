@@ -7,10 +7,6 @@
 
 namespace units::data {
 
-namespace {
-constexpr float kMinStddev = 1e-6f;
-}  // namespace
-
 Status ZScoreNormalizer::Fit(const Tensor& values) {
   if (values.ndim() != 3) {
     return Status::InvalidArgument("ZScoreNormalizer expects [N, D, T]");
@@ -21,26 +17,20 @@ Status ZScoreNormalizer::Fit(const Tensor& values) {
   if (n * t == 0) {
     return Status::InvalidArgument("empty dataset");
   }
-  mean_.assign(static_cast<size_t>(d), 0.0f);
-  stddev_.assign(static_cast<size_t>(d), 0.0f);
+  // Welford accumulation (RollingNormalizer) instead of E[x^2] - E[x]^2:
+  // for a channel with mean ~1e6 and stddev ~1 the latter cancels almost
+  // every significant bit and collapses the stddev to the kMinStddev
+  // floor. Sharing the accumulator also makes a batch Fit bitwise
+  // identical to feeding the same points through a streaming session.
+  RollingNormalizer acc(d);
   const float* p = values.data();
-  for (int64_t c = 0; c < d; ++c) {
-    double sum = 0.0;
-    double sq = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      const float* row = p + (i * d + c) * t;
-      for (int64_t j = 0; j < t; ++j) {
-        sum += row[j];
-        sq += static_cast<double>(row[j]) * row[j];
-      }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      acc.Update(p + i * d * t + j, t);
     }
-    const double count = static_cast<double>(n * t);
-    const double mu = sum / count;
-    const double var = std::max(0.0, sq / count - mu * mu);
-    mean_[static_cast<size_t>(c)] = static_cast<float>(mu);
-    stddev_[static_cast<size_t>(c)] =
-        std::max(kMinStddev, static_cast<float>(std::sqrt(var)));
   }
+  mean_ = acc.Mean();
+  stddev_ = acc.Stddev();
   fitted_ = true;
   return Status::Ok();
 }
@@ -70,6 +60,7 @@ Tensor ZScoreNormalizer::Transform(const Tensor& values) const {
 Tensor ZScoreNormalizer::InverseTransform(const Tensor& values) const {
   UNITS_CHECK_MSG(fitted_, "InverseTransform before Fit");
   UNITS_CHECK_EQ(values.ndim(), 3);
+  UNITS_CHECK_EQ(values.dim(1), static_cast<int64_t>(mean_.size()));
   Tensor out = values.Clone();
   const int64_t n = out.dim(0);
   const int64_t d = out.dim(1);
@@ -96,6 +87,56 @@ ZScoreNormalizer ZScoreNormalizer::FromStats(std::vector<float> mean,
   n.stddev_ = std::move(stddev);
   n.fitted_ = true;
   return n;
+}
+
+RollingNormalizer::RollingNormalizer(int64_t channels) {
+  UNITS_CHECK_GE(channels, 1);
+  mean_.assign(static_cast<size_t>(channels), 0.0);
+  m2_.assign(static_cast<size_t>(channels), 0.0);
+}
+
+void RollingNormalizer::Update(const float* values, int64_t stride) {
+  count_ += 1;
+  const double n = static_cast<double>(count_);
+  for (size_t c = 0; c < mean_.size(); ++c) {
+    const double x = values[static_cast<int64_t>(c) * stride];
+    const double delta = x - mean_[c];
+    mean_[c] += delta / n;
+    m2_[c] += delta * (x - mean_[c]);
+  }
+}
+
+void RollingNormalizer::UpdateSeries(const Tensor& series) {
+  UNITS_CHECK_EQ(series.ndim(), 2);
+  UNITS_CHECK_EQ(series.dim(0), channels());
+  const int64_t p = series.dim(1);
+  for (int64_t j = 0; j < p; ++j) {
+    Update(series.data() + j, p);
+  }
+}
+
+std::vector<float> RollingNormalizer::Mean() const {
+  std::vector<float> out(mean_.size());
+  for (size_t c = 0; c < mean_.size(); ++c) {
+    out[c] = static_cast<float>(mean_[c]);
+  }
+  return out;
+}
+
+std::vector<float> RollingNormalizer::Stddev() const {
+  std::vector<float> out(m2_.size(), kMinStddev);
+  if (count_ == 0) {
+    return out;
+  }
+  for (size_t c = 0; c < m2_.size(); ++c) {
+    const double var = std::max(0.0, m2_[c] / static_cast<double>(count_));
+    out[c] = std::max(kMinStddev, static_cast<float>(std::sqrt(var)));
+  }
+  return out;
+}
+
+ZScoreNormalizer RollingNormalizer::Snapshot() const {
+  return ZScoreNormalizer::FromStats(Mean(), Stddev());
 }
 
 Status MinMaxNormalizer::Fit(const Tensor& values) {
@@ -127,6 +168,7 @@ Status MinMaxNormalizer::Fit(const Tensor& values) {
 Tensor MinMaxNormalizer::Transform(const Tensor& values) const {
   UNITS_CHECK_MSG(fitted_, "Transform before Fit");
   UNITS_CHECK_EQ(values.ndim(), 3);
+  UNITS_CHECK_EQ(values.dim(1), static_cast<int64_t>(min_.size()));
   Tensor out = values.Clone();
   const int64_t n = out.dim(0);
   const int64_t d = out.dim(1);
@@ -148,6 +190,7 @@ Tensor MinMaxNormalizer::Transform(const Tensor& values) const {
 Tensor MinMaxNormalizer::InverseTransform(const Tensor& values) const {
   UNITS_CHECK_MSG(fitted_, "InverseTransform before Fit");
   UNITS_CHECK_EQ(values.ndim(), 3);
+  UNITS_CHECK_EQ(values.dim(1), static_cast<int64_t>(min_.size()));
   Tensor out = values.Clone();
   const int64_t n = out.dim(0);
   const int64_t d = out.dim(1);

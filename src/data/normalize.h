@@ -1,12 +1,17 @@
 #ifndef UNITS_DATA_NORMALIZE_H_
 #define UNITS_DATA_NORMALIZE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "base/status.h"
 #include "tensor/tensor.h"
 
 namespace units::data {
+
+/// Smallest standard deviation (or min-max span) a normalizer will divide
+/// by; constant channels scale by 1/kMinStddev instead of exploding.
+inline constexpr float kMinStddev = 1e-6f;
 
 /// Per-channel z-score normalizer with the sklearn-style Fit/Transform
 /// contract. Statistics are computed over all samples and timesteps of each
@@ -34,6 +39,44 @@ class ZScoreNormalizer {
   bool fitted_ = false;
   std::vector<float> mean_;
   std::vector<float> stddev_;
+};
+
+/// Incremental per-channel mean/variance over a stream of multivariate
+/// samples, using Welford's update so large-mean series (e.g. monitoring
+/// counters around 1e6) do not lose their variance to catastrophic
+/// cancellation the way an E[x^2] - E[x]^2 accumulator does.
+/// ZScoreNormalizer::Fit and the serving layer's streaming sessions share
+/// this accumulator, so rolling statistics computed point-by-point online
+/// are bitwise identical to a batch Fit over the same points in the same
+/// order.
+class RollingNormalizer {
+ public:
+  explicit RollingNormalizer(int64_t channels);
+
+  /// Folds in one multivariate sample (one timestep): channel c reads
+  /// values[c * stride]. Channels update independently, so only the
+  /// per-channel arrival order matters for determinism.
+  void Update(const float* values, int64_t stride = 1);
+
+  /// Folds in every timestep of a [D, P] series in time order.
+  void UpdateSeries(const Tensor& series);
+
+  /// Samples folded in so far.
+  int64_t count() const { return count_; }
+  int64_t channels() const { return static_cast<int64_t>(mean_.size()); }
+
+  /// Current per-channel statistics (population variance, like Fit).
+  /// Stddev is floored at kMinStddev; with no samples it is all-floor.
+  std::vector<float> Mean() const;
+  std::vector<float> Stddev() const;
+
+  /// A fitted ZScoreNormalizer frozen at the current statistics.
+  ZScoreNormalizer Snapshot() const;
+
+ private:
+  int64_t count_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;  // sum of squared deviations from the mean
 };
 
 /// Per-channel min-max scaler to [0, 1].

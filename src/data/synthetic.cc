@@ -376,4 +376,59 @@ Tensor MakeMissingMask(const Shape& shape, float missing_rate,
   return mask;
 }
 
+AnomalySeries MakeDriftingStream(const DriftingStreamOpts& opts) {
+  UNITS_CHECK_GE(opts.num_channels, 1);
+  UNITS_CHECK_GE(opts.total_length, 1);
+  AnomalySeries out;
+  out.series = Tensor::Zeros({opts.num_channels, opts.total_length});
+  out.labels = Tensor::Zeros({opts.total_length});
+  Rng rng(opts.seed);
+  float* p = out.series.data();
+  const int64_t t_long = opts.total_length;
+  for (int64_t d = 0; d < opts.num_channels; ++d) {
+    // Distinct baselines per channel keep the per-channel statistics (and
+    // hence rolling normalization) genuinely multivariate.
+    const float level0 =
+        opts.base_level * (1.0f + 0.5f * static_cast<float>(d));
+    const float phase = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+    float* row = p + d * t_long;
+    for (int64_t t = 0; t < t_long; ++t) {
+      const float progress =
+          static_cast<float>(t) / static_cast<float>(t_long);
+      // Amplitude grows from 1x to scale_drift x across the stream.
+      const float scale = 1.0f + (opts.scale_drift - 1.0f) * progress;
+      const float angle =
+          2.0f * static_cast<float>(M_PI) * static_cast<float>(t) /
+          opts.base_period;
+      row[t] = level0 + opts.level_drift * static_cast<float>(t) +
+               scale * (opts.season_amp * std::sin(angle + phase) +
+                        opts.noise * static_cast<float>(rng.Normal()));
+    }
+  }
+  // Inject alternating spikes and short level shifts, labeled per step.
+  Rng anomaly_rng(opts.seed ^ 0xD81FULL);
+  float* lab = out.labels.data();
+  for (int64_t k = 0; k < opts.num_anomalies; ++k) {
+    const int64_t channel = static_cast<int64_t>(
+        anomaly_rng.UniformInt(static_cast<uint64_t>(opts.num_channels)));
+    float* row = p + channel * t_long;
+    const bool spike = (k % 2 == 0);
+    const int64_t len = spike ? anomaly_rng.UniformInt(1, 3)
+                              : anomaly_rng.UniformInt(10, 20);
+    if (t_long <= len + 1) {
+      continue;
+    }
+    const int64_t start = anomaly_rng.UniformInt(0, t_long - len - 1);
+    const float magnitude =
+        (anomaly_rng.Bernoulli(0.5) ? 1.0f : -1.0f) *
+        static_cast<float>(anomaly_rng.Uniform(6.0, 10.0)) *
+        (opts.season_amp + opts.noise);
+    for (int64_t j = 0; j < len; ++j) {
+      row[start + j] += magnitude;
+      lab[start + j] = 1.0f;
+    }
+  }
+  return out;
+}
+
 }  // namespace units::data

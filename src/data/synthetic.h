@@ -111,6 +111,29 @@ AnomalySeries MakeAnomalySeries(const AnomalyOpts& opts);
 Tensor MakeMissingMask(const Shape& shape, float missing_rate,
                        float mean_block_len, Rng* rng);
 
+/// Options for the drifting server-monitoring stream generator.
+struct DriftingStreamOpts {
+  int64_t num_channels = 2;
+  int64_t total_length = 2048;
+  float base_level = 1.0e6f;   // large-mean counter baseline (per channel,
+                               // scaled by channel index)
+  float base_period = 64.0f;   // request-rate seasonality
+  float season_amp = 50.0f;
+  float noise = 5.0f;
+  float level_drift = 0.25f;   // mean drift per step (deployment creep)
+  float scale_drift = 1.5f;    // amplitude multiplier reached by the end
+  int64_t num_anomalies = 8;   // injected spike/level-shift events
+  uint64_t seed = 17;
+};
+
+/// Continuous monitoring stream [D, T_long] whose mean and amplitude drift
+/// over time, with per-timestep 0/1 anomaly labels. The drift defeats any
+/// statistics frozen at deployment: rolling normalization and online
+/// threshold recalibration (the serving layer's streaming sessions) are
+/// exactly what this series exists to exercise. The large base level also
+/// stresses variance accumulators against catastrophic cancellation.
+AnomalySeries MakeDriftingStream(const DriftingStreamOpts& opts);
+
 }  // namespace units::data
 
 #endif  // UNITS_DATA_SYNTHETIC_H_

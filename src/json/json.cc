@@ -407,6 +407,13 @@ class Parser {
     if (end != token.c_str() + token.size()) {
       return Error("invalid number '" + token + "'");
     }
+    // strtod saturates overflowing literals like 1e999 to +/-inf, which the
+    // serializer cannot represent (it dumps non-finite as null) — accepting
+    // them would break every echo/round-trip path. Reject with a structured
+    // parse error instead. Underflow to 0.0 stays accepted.
+    if (!std::isfinite(v)) {
+      return Error("number out of range '" + token + "'");
+    }
     return JsonValue::Number(v);
   }
 

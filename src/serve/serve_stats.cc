@@ -57,6 +57,37 @@ ServeStats::AdmissionSnapshot ServeStats::Admission() const {
   return admission_;
 }
 
+void ServeStats::RecordStreamOpened() {
+  std::lock_guard<std::mutex> lk(mu_);
+  streams_.opened += 1;
+}
+
+void ServeStats::RecordStreamShed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  streams_.shed += 1;
+}
+
+void ServeStats::RecordStreamClosed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  streams_.closed += 1;
+}
+
+void ServeStats::RecordStreamReaped() {
+  std::lock_guard<std::mutex> lk(mu_);
+  streams_.reaped += 1;
+}
+
+void ServeStats::RecordStreamActivity(int64_t windows, int64_t points) {
+  std::lock_guard<std::mutex> lk(mu_);
+  streams_.windows += windows;
+  streams_.points += points;
+}
+
+ServeStats::StreamsSnapshot ServeStats::Streams() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return streams_;
+}
+
 ServeStats::ModelSnapshot ServeStats::MakeSnapshot(const PerModel& m) {
   ModelSnapshot snap;
   snap.requests = m.requests;
@@ -114,6 +145,15 @@ json::JsonValue ServeStats::ToJson() const {
   admission.Set("shed", json::JsonValue::Int(admission_.shed));
   admission.Set("timed_out", json::JsonValue::Int(admission_.timed_out));
   root.Set("admission", std::move(admission));
+  json::JsonValue streams = json::JsonValue::Object();
+  streams.Set("opened", json::JsonValue::Int(streams_.opened));
+  streams.Set("shed", json::JsonValue::Int(streams_.shed));
+  streams.Set("closed", json::JsonValue::Int(streams_.closed));
+  streams.Set("reaped", json::JsonValue::Int(streams_.reaped));
+  streams.Set("active", json::JsonValue::Int(streams_.active()));
+  streams.Set("windows", json::JsonValue::Int(streams_.windows));
+  streams.Set("points", json::JsonValue::Int(streams_.points));
+  root.Set("streams", std::move(streams));
   return root;
 }
 
@@ -121,6 +161,7 @@ void ServeStats::Reset() {
   std::lock_guard<std::mutex> lk(mu_);
   models_.clear();
   admission_ = AdmissionSnapshot{};
+  streams_ = StreamsSnapshot{};
 }
 
 }  // namespace units::serve

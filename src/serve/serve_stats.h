@@ -42,6 +42,27 @@ class ServeStats {
   };
   AdmissionSnapshot Admission() const;
 
+  /// Streaming-session outcomes (server-wide): every stream_open is counted
+  /// once as opened or shed; every opened stream is eventually counted once
+  /// as closed (orderly close or connection teardown) or reaped (idle
+  /// timeout). Windows/points accumulate over all feeds.
+  void RecordStreamOpened();
+  void RecordStreamShed();
+  void RecordStreamClosed();
+  void RecordStreamReaped();
+  void RecordStreamActivity(int64_t windows, int64_t points);
+
+  struct StreamsSnapshot {
+    int64_t opened = 0;
+    int64_t shed = 0;
+    int64_t closed = 0;
+    int64_t reaped = 0;
+    int64_t windows = 0;
+    int64_t points = 0;
+    int64_t active() const { return opened - closed - reaped; }
+  };
+  StreamsSnapshot Streams() const;
+
   /// Per-model snapshot used by tests and the JSON dump.
   struct ModelSnapshot {
     int64_t requests = 0;
@@ -57,7 +78,9 @@ class ServeStats {
   /// {"<model>": {"requests": N, "batches": M, "mean_batch_size": X,
   ///              "batch_histogram": {"1": n1, ...},
   ///              "latency_ms": {"p50": ..., "p95": ..., "p99": ...}},
-  ///  "admission": {"accepted": A, "shed": S, "timed_out": T}}
+  ///  "admission": {"accepted": A, "shed": S, "timed_out": T},
+  ///  "streams": {"opened": ..., "shed": ..., "closed": ..., "reaped": ...,
+  ///              "active": ..., "windows": ..., "points": ...}}
   json::JsonValue ToJson() const;
 
   void Reset();
@@ -76,6 +99,7 @@ class ServeStats {
   mutable std::mutex mu_;
   std::map<std::string, PerModel> models_;
   AdmissionSnapshot admission_;
+  StreamsSnapshot streams_;
 };
 
 }  // namespace units::serve

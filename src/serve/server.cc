@@ -40,6 +40,17 @@ Result<std::string> GetStringField(const json::JsonValue& req,
   return v->AsString();
 }
 
+/// Fallible integer-field lookup; rejects non-integral numbers.
+Result<int64_t> GetIntField(const json::JsonValue& req,
+                            const std::string& key) {
+  UNITS_ASSIGN_OR_RETURN(const json::JsonValue* v, req.Find(key));
+  if (!v->is_number() ||
+      v->AsNumber() != static_cast<double>(v->AsInt())) {
+    return Status::InvalidArgument("field '" + key + "' must be an integer");
+  }
+  return v->AsInt();
+}
+
 /// Parses the "values" payload into one series [D, T]. Accepts [D][T]
 /// nested arrays or a flat [T] array (D = 1).
 Result<Tensor> ValuesToSeries(const json::JsonValue& values) {
@@ -119,11 +130,31 @@ json::JsonValue PredictResponse(const json::JsonValue& id,
 // --- RequestSession --------------------------------------------------------
 
 RequestSession::RequestSession(ModelRegistry* registry, MicroBatcher* batcher,
-                               ServeStats* stats, Options options)
+                               ServeStats* stats, Options options,
+                               StreamGate* streams)
     : registry_(registry),
       batcher_(batcher),
       stats_(stats),
-      options_(options) {}
+      options_(options),
+      streams_gate_(streams) {}
+
+RequestSession::~RequestSession() {
+  // A dropped connection releases its stream slots; any still-pending feed
+  // futures are abandoned (the batcher fulfils promises independently).
+  for (auto& [sid, state] : streams_) {
+    if (streams_gate_ != nullptr && !state->released) {
+      state->released = true;
+      streams_gate_->Close(StreamGate::Release::kClosed);
+    }
+  }
+}
+
+void RequestSession::PushReady(const json::JsonValue& response) {
+  Entry entry;
+  entry.ready = true;
+  entry.line = response.Dump() + "\n";
+  entries_.push_back(std::move(entry));
+}
 
 void RequestSession::PushError(const std::string& message) {
   Entry entry;
@@ -177,6 +208,19 @@ RequestSession::LineKind RequestSession::ProcessLine(const std::string& line) {
     entry.future = batcher_->Submit(*model, *series);
     entries_.push_back(std::move(entry));
     return LineKind::kPending;
+  }
+
+  if (op == "stream_open" || op == "stream_feed" || op == "stream_close") {
+    const json::JsonValue id =
+        request.Contains("id") ? request.at("id") : json::JsonValue();
+    if (op == "stream_open") {
+      HandleStreamOpen(request, id);
+      return LineKind::kBarrier;
+    }
+    if (op == "stream_feed") {
+      return HandleStreamFeed(request, id);
+    }
+    return HandleStreamClose(request, id);
   }
 
   if (op == "quit") {
@@ -268,6 +312,271 @@ json::JsonValue RequestSession::HandleControl(const json::JsonValue& request) {
   return ErrorResponse(json::JsonValue(), "unknown op '" + op + "'");
 }
 
+void RequestSession::HandleStreamOpen(const json::JsonValue& request,
+                                      const json::JsonValue& id) {
+  if (streams_gate_ == nullptr) {
+    PushReady(ErrorResponse(id, "streaming is not enabled on this transport"));
+    return;
+  }
+  auto model = GetStringField(request, "model");
+  if (!model.ok()) {
+    PushReady(ErrorResponse(id, model.status().ToString()));
+    return;
+  }
+  auto handle = registry_->Get(*model);
+  if (!handle.ok()) {
+    PushReady(ErrorResponse(id, handle.status().ToString()));
+    return;
+  }
+  const StreamingLimits& limits = streams_gate_->limits();
+  auto window = GetIntField(request, "window");
+  if (!window.ok()) {
+    PushReady(ErrorResponse(id, window.status().ToString()));
+    return;
+  }
+  if (*window < 1 || *window > limits.max_window) {
+    PushReady(ErrorResponse(id, "'window' must be in [1, " +
+                                    std::to_string(limits.max_window) + "]"));
+    return;
+  }
+  int64_t stride = *window;
+  if (request.Contains("stride")) {
+    auto s = GetIntField(request, "stride");
+    if (!s.ok()) {
+      PushReady(ErrorResponse(id, s.status().ToString()));
+      return;
+    }
+    if (*s < 1 || *s > *window) {
+      PushReady(ErrorResponse(id, "'stride' must be in [1, window]"));
+      return;
+    }
+    stride = *s;
+  }
+  bool normalize = true;
+  if (request.Contains("normalize")) {
+    if (!request.at("normalize").is_bool()) {
+      PushReady(ErrorResponse(id, "'normalize' must be a boolean"));
+      return;
+    }
+    normalize = request.at("normalize").AsBool();
+  }
+  const std::string task = (*handle)->task();
+  double quantile = task == "anomaly_detection" ? 0.995 : 0.0;
+  if (request.Contains("quantile")) {
+    const json::JsonValue& q = request.at("quantile");
+    if (!q.is_number() || q.AsNumber() < 0.0 || q.AsNumber() >= 1.0) {
+      PushReady(ErrorResponse(id, "'quantile' must be a number in [0, 1)"));
+      return;
+    }
+    if (q.AsNumber() > 0.0 && task != "anomaly_detection") {
+      PushReady(ErrorResponse(
+          id, "'quantile' recalibration requires an anomaly detection model"));
+      return;
+    }
+    quantile = q.AsNumber();
+  }
+  if (!streams_gate_->TryOpen()) {
+    PushReady(ErrorResponse(id, "overloaded"));
+    return;
+  }
+  StreamState::Config config;
+  config.model = *model;
+  config.channels = (*handle)->input_channels();
+  config.window = *window;
+  config.stride = stride;
+  config.normalize = normalize;
+  config.quantile = quantile;
+  config.score_window = limits.score_window;
+  auto state = std::make_shared<StreamState>(std::move(config));
+  state->last_feed = std::chrono::steady_clock::now();
+  const int64_t sid = next_stream_;
+  next_stream_ += 1;
+  streams_[sid] = state;
+  json::JsonValue resp = OkResponse("stream_open");
+  if (!id.is_null()) {
+    resp.Set("id", id);
+  }
+  resp.Set("stream", json::JsonValue::Int(sid));
+  resp.Set("model", json::JsonValue::String(*model));
+  resp.Set("task", json::JsonValue::String(task));
+  resp.Set("window", json::JsonValue::Int(*window));
+  resp.Set("stride", json::JsonValue::Int(stride));
+  PushReady(resp);
+}
+
+RequestSession::LineKind RequestSession::HandleStreamFeed(
+    const json::JsonValue& request, const json::JsonValue& id) {
+  auto fail = [&](const std::string& message) {
+    PushReady(ErrorResponse(id, message));
+    return LineKind::kBarrier;
+  };
+  if (streams_gate_ == nullptr) {
+    return fail("streaming is not enabled on this transport");
+  }
+  auto sid = GetIntField(request, "stream");
+  if (!sid.ok()) {
+    return fail(sid.status().ToString());
+  }
+  auto it = streams_.find(*sid);
+  if (it == streams_.end() || it->second->closed) {
+    return fail("unknown or closed stream " + std::to_string(*sid));
+  }
+  std::shared_ptr<StreamState> state = it->second;
+  auto values = request.Find("values");
+  Result<Tensor> series = values.ok() ? ValuesToSeries(**values)
+                                      : Result<Tensor>(values.status());
+  if (!series.ok()) {
+    return fail(series.status().ToString());
+  }
+  if (series->dim(0) != state->config().channels) {
+    return fail("stream expects " +
+                std::to_string(state->config().channels) + " channels, got " +
+                std::to_string(series->dim(0)));
+  }
+  if (series->dim(1) > streams_gate_->limits().max_feed_points) {
+    return fail("feed exceeds " +
+                std::to_string(streams_gate_->limits().max_feed_points) +
+                " points");
+  }
+  state->last_feed = std::chrono::steady_clock::now();
+  std::vector<StreamState::CompletedWindow> completed = state->Feed(*series);
+  if (stats_ != nullptr) {
+    stats_->RecordStreamActivity(static_cast<int64_t>(completed.size()),
+                                 series->dim(1));
+  }
+  Entry entry;
+  entry.is_feed = true;
+  entry.id = id;
+  entry.stream_id = *sid;
+  entry.stream_points = state->points();
+  entry.stream = state;
+  for (StreamState::CompletedWindow& window : completed) {
+    entry.window_indices.push_back(window.index);
+    entry.window_futures.push_back(
+        batcher_->Submit(state->config().model, window.values));
+  }
+  entries_.push_back(std::move(entry));
+  return LineKind::kPending;
+}
+
+RequestSession::LineKind RequestSession::HandleStreamClose(
+    const json::JsonValue& request, const json::JsonValue& id) {
+  auto fail = [&](const std::string& message) {
+    PushReady(ErrorResponse(id, message));
+    return LineKind::kBarrier;
+  };
+  if (streams_gate_ == nullptr) {
+    return fail("streaming is not enabled on this transport");
+  }
+  auto sid = GetIntField(request, "stream");
+  if (!sid.ok()) {
+    return fail(sid.status().ToString());
+  }
+  auto it = streams_.find(*sid);
+  if (it == streams_.end() || it->second->closed) {
+    return fail("unknown or closed stream " + std::to_string(*sid));
+  }
+  std::shared_ptr<StreamState> state = it->second;
+  // Later feeds on this id fail immediately; teardown and the counter
+  // response wait until every earlier feed has been answered.
+  state->closed = true;
+  const int64_t stream_id = *sid;
+  Entry entry;
+  entry.deferred = [this, id, stream_id, state]() {
+    streams_.erase(stream_id);
+    if (!state->released) {
+      state->released = true;
+      streams_gate_->Close(StreamGate::Release::kClosed);
+    }
+    json::JsonValue resp = OkResponse("stream_close");
+    if (!id.is_null()) {
+      resp.Set("id", id);
+    }
+    resp.Set("stream", json::JsonValue::Int(stream_id));
+    resp.Set("windows", json::JsonValue::Int(state->windows()));
+    resp.Set("points", json::JsonValue::Int(state->points()));
+    return resp;
+  };
+  entries_.push_back(std::move(entry));
+  return LineKind::kBarrier;
+}
+
+void RequestSession::ReapIdleStreams(
+    std::chrono::steady_clock::time_point now) {
+  if (streams_.empty() || streams_gate_ == nullptr) {
+    return;
+  }
+  const double timeout_s = streams_gate_->limits().idle_timeout_s;
+  if (timeout_s <= 0.0) {
+    return;
+  }
+  const auto timeout = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(timeout_s));
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    std::shared_ptr<StreamState>& state = it->second;
+    if (!state->closed && now - state->last_feed > timeout) {
+      state->closed = true;
+      state->released = true;
+      streams_gate_->Close(StreamGate::Release::kReaped);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+json::JsonValue RequestSession::RenderFeed(Entry* entry) {
+  json::JsonValue resp = OkResponse("stream_feed");
+  if (!entry->id.is_null()) {
+    resp.Set("id", entry->id);
+  }
+  resp.Set("stream", json::JsonValue::Int(entry->stream_id));
+  const StreamState::Config& config = entry->stream->config();
+  json::JsonValue windows = json::JsonValue::Array();
+  for (size_t k = 0; k < entry->window_futures.size(); ++k) {
+    const Result<core::TaskResult> result = entry->window_futures[k].get();
+    json::JsonValue w = json::JsonValue::Object();
+    w.Set("index", json::JsonValue::Int(entry->window_indices[k]));
+    if (!result.ok()) {
+      const bool terse =
+          result.status().code() == StatusCode::kResourceExhausted ||
+          result.status().code() == StatusCode::kDeadlineExceeded;
+      w.Set("ok", json::JsonValue::Bool(false));
+      w.Set("error", json::JsonValue::String(
+                         terse ? result.status().message()
+                               : result.status().ToString()));
+    } else {
+      w.Set("ok", json::JsonValue::Bool(true));
+      const core::TaskResult& r = result.value();
+      std::vector<int64_t> labels = r.labels;
+      if (config.quantile > 0.0 && r.scores.numel() > 0) {
+        // Feed entries render in FIFO order, so the score ring sees
+        // windows in emission order — the rolling threshold is
+        // deterministic for a given input sequence.
+        std::optional<float> threshold =
+            entry->stream->RecalibrateLabels(r.scores, &labels);
+        if (threshold.has_value()) {
+          w.Set("threshold", json::JsonValue::Number(*threshold));
+        }
+      }
+      if (!labels.empty()) {
+        w.Set("labels", json::JsonValue::FromInts(labels));
+      }
+      if (r.predictions.numel() > 0) {
+        w.Set("predictions", core::TensorToJson(r.predictions));
+      }
+      if (r.scores.numel() > 0) {
+        w.Set("scores", core::TensorToJson(r.scores));
+      }
+    }
+    windows.Append(std::move(w));
+  }
+  resp.Set("windows", std::move(windows));
+  resp.Set("points", json::JsonValue::Int(entry->stream_points));
+  return resp;
+}
+
 void RequestSession::Render(Entry* entry) {
   if (entry->ready) {
     return;
@@ -276,6 +585,8 @@ void RequestSession::Render(Entry* entry) {
     const Result<core::TaskResult> result = entry->future.get();
     entry->line =
         PredictResponse(entry->id, entry->model, result).Dump() + "\n";
+  } else if (entry->is_feed) {
+    entry->line = RenderFeed(entry).Dump() + "\n";
   } else {
     entry->line = entry->deferred().Dump() + "\n";
   }
@@ -291,6 +602,14 @@ bool RequestSession::PopReady(std::string* out) {
       front.future.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
     return false;
+  }
+  if (!front.ready && front.is_feed) {
+    for (const auto& future : front.window_futures) {
+      if (future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        return false;
+      }
+    }
   }
   Render(&front);
   *out = std::move(front.line);
@@ -313,17 +632,22 @@ bool RequestSession::PopBlocking(std::string* out) {
 JsonLineServer::JsonLineServer(ModelRegistry* registry, Options options)
     : options_(std::move(options)),
       registry_(registry),
+      streams_gate_(options_.streaming, &stats_),
       admission_(options_.admission, &stats_),
       batcher_(registry, options_.batcher, &stats_, &admission_) {}
 
 int JsonLineServer::Run(std::istream& in, std::ostream& out) {
-  RequestSession session(registry_, &batcher_, &stats_, options_.session);
+  RequestSession session(registry_, &batcher_, &stats_, options_.session,
+                         &streams_gate_);
   std::string line;
   std::string response;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) {
       continue;  // blank line
     }
+    // Blocking reads mean idle streams are reaped lazily, when the next
+    // request arrives; the socket transport reaps on its event loop.
+    session.ReapIdleStreams(std::chrono::steady_clock::now());
     const RequestSession::LineKind kind = session.ProcessLine(line);
     if (kind == RequestSession::LineKind::kPending) {
       // Opportunistically flush responses that are already complete, but

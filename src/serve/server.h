@@ -1,11 +1,15 @@
 #ifndef UNITS_SERVE_SERVER_H_
 #define UNITS_SERVE_SERVER_H_
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <iosfwd>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +17,7 @@
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/serve_stats.h"
+#include "serve/streaming.h"
 
 namespace units::serve {
 
@@ -32,6 +37,22 @@ namespace units::serve {
 ///       sequence number).
 ///   {"op": "stats"}
 ///   {"op": "quit"}
+///   {"op": "stream_open", "model": "m", "window": W, "stride": S,
+///    "normalize": true, "quantile": 0.995, "id": any}
+///       opens a streaming session: -> {"ok": true, "op": "stream_open",
+///       "stream": sid, ...}. stride defaults to W (tumbling windows);
+///       normalize (default true) applies rolling per-channel z-scores;
+///       quantile (anomaly models only; default 0.995, 0 disables) drives
+///       online threshold recalibration from recent window scores.
+///   {"op": "stream_feed", "stream": sid, "values": [[...], ...]}
+///       appends points ([D][P] nested, or flat [P] for single-channel
+///       models); -> one response carrying every window the feed
+///       completed: {"ok": true, "op": "stream_feed", "stream": sid,
+///       "windows": [{"index": k, "ok": true, labels/predictions/scores,
+///       "threshold": t?}, ...], "points": total}.
+///   {"op": "stream_close", "stream": sid}
+///       -> {"ok": true, "op": "stream_close", "stream": sid,
+///       "windows": N, "points": P}.
 ///
 /// Predict requests are submitted to the micro-batcher without waiting, so
 /// a burst of predict lines coalesces into batched forwards. Responses are
@@ -63,13 +84,28 @@ class RequestSession {
   };
 
   /// All pointers must outlive the session; `batcher` and `registry` are
-  /// shared across sessions, `stats` may be null.
+  /// shared across sessions, `stats` may be null. `streams` (the
+  /// transport-wide stream gate) may be null, in which case streaming ops
+  /// answer a structured error.
   RequestSession(ModelRegistry* registry, MicroBatcher* batcher,
-                 ServeStats* stats, Options options);
+                 ServeStats* stats, Options options,
+                 StreamGate* streams = nullptr);
+
+  /// Releases this session's open stream slots back to the gate (a dropped
+  /// connection must not pin streaming capacity).
+  ~RequestSession();
+
+  RequestSession(const RequestSession&) = delete;
+  RequestSession& operator=(const RequestSession&) = delete;
 
   /// Parses and executes one input line (without its newline), appending
   /// its response to the ordered queue.
   LineKind ProcessLine(const std::string& line);
+
+  /// Closes streams idle longer than the gate's idle_timeout_s (counted as
+  /// reaped); later feeds on a reaped id answer "unknown or closed
+  /// stream". No-op when streaming is disabled or the timeout is 0.
+  void ReapIdleStreams(std::chrono::steady_clock::time_point now);
 
   /// Appends an error response for a condition detected by the transport
   /// itself (e.g. an oversized unterminated line on the socket path).
@@ -97,18 +133,38 @@ class RequestSession {
     json::JsonValue id;
     std::string model;
     std::future<Result<core::TaskResult>> future;
+    // Pending stream_feed: rendered once every window future resolved. The
+    // shared state keeps recalibration alive across a close or reap that
+    // lands while this feed is still in the queue.
+    bool is_feed = false;
+    int64_t stream_id = -1;
+    int64_t stream_points = 0;  // cumulative points at feed time
+    std::shared_ptr<StreamState> stream;
+    std::vector<int64_t> window_indices;
+    std::vector<std::future<Result<core::TaskResult>>> window_futures;
     // Deferred control op, evaluated at the front of the queue:
     std::function<json::JsonValue()> deferred;
   };
 
   json::JsonValue HandleControl(const json::JsonValue& request);
+  void PushReady(const json::JsonValue& response);
+  void HandleStreamOpen(const json::JsonValue& request,
+                        const json::JsonValue& id);
+  LineKind HandleStreamFeed(const json::JsonValue& request,
+                            const json::JsonValue& id);
+  LineKind HandleStreamClose(const json::JsonValue& request,
+                             const json::JsonValue& id);
+  json::JsonValue RenderFeed(Entry* entry);
   void Render(Entry* entry);  // resolves a due entry into `line`
 
   ModelRegistry* registry_;
   MicroBatcher* batcher_;
   ServeStats* stats_;
   Options options_;
+  StreamGate* streams_gate_;
   std::deque<Entry> entries_;
+  std::map<int64_t, std::shared_ptr<StreamState>> streams_;
+  int64_t next_stream_ = 0;
   int64_t next_id_ = 0;
   bool quit_ = false;
 };
@@ -124,6 +180,7 @@ class JsonLineServer {
     MicroBatcher::Options batcher;
     AdmissionController::Options admission;
     RequestSession::Options session;
+    StreamingLimits streaming;
   };
 
   /// `registry` must outlive the server.
@@ -142,6 +199,7 @@ class JsonLineServer {
   Options options_;
   ModelRegistry* registry_;
   ServeStats stats_;
+  StreamGate streams_gate_;        // must follow stats_ (points to it)
   AdmissionController admission_;  // must follow stats_ (points to it)
   MicroBatcher batcher_;           // must follow both (points to both)
 };

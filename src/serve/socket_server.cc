@@ -32,6 +32,7 @@ Clock::duration SecondsToDuration(double seconds) {
 SocketServer::SocketServer(ModelRegistry* registry, Options options)
     : registry_(registry),
       options_(std::move(options)),
+      streams_gate_(options_.streaming, &stats_),
       admission_(options_.admission, &stats_),
       batcher_(registry,
                [this] {
@@ -136,7 +137,7 @@ void SocketServer::AcceptNew(Clock::time_point now) {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->session = std::make_unique<RequestSession>(
-        registry_, &batcher_, &stats_, options_.session);
+        registry_, &batcher_, &stats_, options_.session, &streams_gate_);
     conn->last_activity = now;
     connections_.emplace(fd, std::move(conn));
   }
@@ -302,6 +303,7 @@ int SocketServer::Run() {
         continue;
       }
       Connection* conn = it->second.get();
+      conn->session->ReapIdleStreams(after);
       const short revents = fds[idx + i].revents;
       bool alive = true;
       if (revents & (POLLIN | POLLHUP | POLLERR)) {

@@ -61,6 +61,7 @@ class SocketServer {
     MicroBatcher::Options batcher;      // on_resolve is overwritten
     AdmissionController::Options admission;
     RequestSession::Options session;
+    StreamingLimits streaming;
   };
 
   /// `registry` must outlive the server. Option validation (batcher and
@@ -117,6 +118,7 @@ class SocketServer {
   ModelRegistry* registry_;
   Options options_;
   ServeStats stats_;
+  StreamGate streams_gate_;        // must follow stats_ (points to it)
   AdmissionController admission_;  // must follow stats_ (points to it)
   MicroBatcher batcher_;           // must follow both (points to both)
 

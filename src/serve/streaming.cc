@@ -1,0 +1,146 @@
+#include "serve/streaming.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "base/check.h"
+#include "data/window.h"
+#include "metrics/metrics.h"
+
+namespace units::serve {
+
+// --- StreamGate ------------------------------------------------------------
+
+StreamGate::StreamGate(const StreamingLimits& limits, ServeStats* stats)
+    : limits_(limits), stats_(stats) {
+  UNITS_CHECK_GE(limits_.max_sessions, 1);
+  UNITS_CHECK_GE(limits_.max_window, 1);
+  UNITS_CHECK_GE(limits_.max_feed_points, 1);
+  UNITS_CHECK_GE(limits_.score_window, 1);
+}
+
+bool StreamGate::TryOpen() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (active_ >= limits_.max_sessions) {
+      if (stats_ != nullptr) {
+        stats_->RecordStreamShed();
+      }
+      return false;
+    }
+    active_ += 1;
+  }
+  if (stats_ != nullptr) {
+    stats_->RecordStreamOpened();
+  }
+  return true;
+}
+
+void StreamGate::Close(Release kind) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    UNITS_CHECK_GE(active_, 1);
+    active_ -= 1;
+  }
+  if (stats_ != nullptr) {
+    if (kind == Release::kReaped) {
+      stats_->RecordStreamReaped();
+    } else {
+      stats_->RecordStreamClosed();
+    }
+  }
+}
+
+int64_t StreamGate::active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_;
+}
+
+// --- StreamState -----------------------------------------------------------
+
+StreamState::StreamState(Config config)
+    : config_(std::move(config)), norm_(config_.channels) {
+  UNITS_CHECK_GE(config_.window, 1);
+  UNITS_CHECK_GE(config_.stride, 1);
+  UNITS_CHECK_LE(config_.stride, config_.window);
+  UNITS_CHECK_GE(config_.score_window, 1);
+  buffer_.assign(static_cast<size_t>(config_.channels * config_.window), 0.0f);
+}
+
+std::vector<StreamState::CompletedWindow> StreamState::Feed(
+    const Tensor& points) {
+  UNITS_CHECK_EQ(points.ndim(), 2);
+  UNITS_CHECK_EQ(points.dim(0), config_.channels);
+  const int64_t d = config_.channels;
+  const int64_t w = config_.window;
+  const int64_t p = points.dim(1);
+  const float* src = points.data();
+  std::vector<CompletedWindow> out;
+  for (int64_t j = 0; j < p; ++j) {
+    // buffer_ is [D, W] row-major: channel c's pending points occupy the
+    // first buffered_ slots of row c, so a full buffer IS the series.
+    for (int64_t c = 0; c < d; ++c) {
+      buffer_[static_cast<size_t>(c * w + buffered_)] = src[c * p + j];
+    }
+    buffered_ += 1;
+    norm_.Update(src + j, p);
+    points_ += 1;
+    if (buffered_ < w) {
+      continue;
+    }
+    Tensor series = Tensor::FromVector({d, w}, buffer_);
+    // SlidingWindows reshapes the full buffer into the batcher's expected
+    // [1, D, W] — one window, stride irrelevant at this length.
+    Tensor window = data::SlidingWindows(series, w, w);
+    if (config_.normalize) {
+      // Snapshot includes every point through this window's last point.
+      window = norm_.Snapshot().Transform(window);
+    }
+    CompletedWindow completed;
+    completed.index = windows_;
+    completed.values = std::move(window);
+    out.push_back(std::move(completed));
+    windows_ += 1;
+    const int64_t keep = w - config_.stride;
+    for (int64_t c = 0; c < d; ++c) {
+      float* row = buffer_.data() + c * w;
+      std::memmove(row, row + config_.stride,
+                   static_cast<size_t>(keep) * sizeof(float));
+    }
+    buffered_ = keep;
+  }
+  return out;
+}
+
+std::optional<float> StreamState::RecalibrateLabels(
+    const Tensor& scores, std::vector<int64_t>* labels) {
+  if (config_.quantile <= 0.0) {
+    return std::nullopt;
+  }
+  const int64_t n = scores.numel();
+  std::optional<float> threshold;
+  if (!score_ring_.empty()) {
+    std::vector<float> sorted = score_ring_;
+    std::sort(sorted.begin(), sorted.end());
+    const float thr = metrics::NearestRankQuantile(sorted, config_.quantile);
+    threshold = thr;
+    labels->resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      (*labels)[static_cast<size_t>(i)] = scores.data()[i] > thr ? 1 : 0;
+    }
+  }
+  const size_t cap = static_cast<size_t>(config_.score_window);
+  for (int64_t i = 0; i < n; ++i) {
+    const float s = scores.data()[i];
+    if (score_ring_.size() < cap) {
+      score_ring_.push_back(s);
+    } else {
+      score_ring_[next_score_ % cap] = s;
+    }
+    next_score_ += 1;
+  }
+  return threshold;
+}
+
+}  // namespace units::serve

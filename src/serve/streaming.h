@@ -1,0 +1,131 @@
+#ifndef UNITS_SERVE_STREAMING_H_
+#define UNITS_SERVE_STREAMING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/normalize.h"
+#include "serve/serve_stats.h"
+#include "tensor/tensor.h"
+
+namespace units::serve {
+
+/// Bounds shared by every streaming session on a transport. Sessions over
+/// the limit are shed with a structured "overloaded" error, mirroring the
+/// predict path's admission control.
+struct StreamingLimits {
+  /// Open streams allowed across all connections of one server.
+  int64_t max_sessions = 64;
+  /// Largest window length a stream_open may request.
+  int64_t max_window = 4096;
+  /// Most points (per channel) a single stream_feed may carry; bounds the
+  /// per-line work and, together with the line-size cap, per-session
+  /// buffered bytes.
+  int64_t max_feed_points = 16384;
+  /// Anomaly scores retained for rolling threshold recalibration.
+  int64_t score_window = 4096;
+  /// Streams idle longer than this are reaped (0 disables reaping).
+  double idle_timeout_s = 0.0;
+};
+
+/// Server-wide admission gate for streaming sessions: a bounded count of
+/// concurrently open streams shared by every connection. Thread-safe (the
+/// socket transport opens streams from its event loop while tests inspect
+/// counts from other threads).
+class StreamGate {
+ public:
+  /// `stats` may be null; it must outlive the gate otherwise.
+  StreamGate(const StreamingLimits& limits, ServeStats* stats);
+
+  /// Claims a stream slot. Returns false — and counts a shed — when every
+  /// slot is taken; the caller answers "overloaded".
+  bool TryOpen();
+
+  /// How a slot is being released: an orderly stream_close (or connection
+  /// teardown) vs the idle-timeout reaper.
+  enum class Release { kClosed, kReaped };
+  void Close(Release kind);
+
+  int64_t active() const;
+  const StreamingLimits& limits() const { return limits_; }
+
+ private:
+  StreamingLimits limits_;
+  ServeStats* stats_;
+  mutable std::mutex mu_;
+  int64_t active_ = 0;
+};
+
+/// One open streaming session: a per-channel ring of not-yet-emitted
+/// points, rolling Welford statistics over everything ever fed, and a
+/// bounded ring of recent anomaly scores for online threshold
+/// recalibration. Owned by a RequestSession (single-threaded); kept in a
+/// shared_ptr so queued feed responses outlive a close or reap.
+class StreamState {
+ public:
+  struct Config {
+    std::string model;
+    int64_t channels = 0;
+    int64_t window = 0;
+    int64_t stride = 0;   // 1 <= stride <= window
+    bool normalize = true;
+    /// > 0 enables rolling anomaly-threshold recalibration at this score
+    /// quantile; only ever set for anomaly-detection models.
+    double quantile = 0.0;
+    int64_t score_window = 4096;
+  };
+
+  explicit StreamState(Config config);
+
+  struct CompletedWindow {
+    int64_t index = 0;  // 0-based count of windows emitted by this stream
+    Tensor values;      // [1, D, W], normalized when config.normalize
+  };
+
+  /// Feeds `points` ([D, P], time-major per channel) into the stream:
+  /// updates the rolling statistics point by point, then emits every
+  /// window that completed. Window k is normalized with the statistics of
+  /// all points up to and including its last point — the contract that
+  /// makes streamed outputs bitwise identical to an offline replay.
+  std::vector<CompletedWindow> Feed(const Tensor& points);
+
+  /// Rolling threshold recalibration for one window's anomaly scores:
+  /// computes the configured quantile over the score ring (prior windows
+  /// only), rewrites `labels` as score > threshold, then folds `scores`
+  /// into the ring. Returns the threshold, or nullopt when the ring is
+  /// still empty (the model's fitted threshold stands). No-op unless
+  /// config.quantile > 0.
+  std::optional<float> RecalibrateLabels(const Tensor& scores,
+                                         std::vector<int64_t>* labels);
+
+  const Config& config() const { return config_; }
+  int64_t points() const { return points_; }
+  int64_t windows() const { return windows_; }
+  const data::RollingNormalizer& normalizer() const { return norm_; }
+
+  /// Set by stream_close / the reaper the moment the request is accepted;
+  /// later feeds on this id fail even though teardown is deferred.
+  bool closed = false;
+  /// Whether this stream's StreamGate slot has been released — teardown
+  /// can race between deferred close, reap and session destruction.
+  bool released = false;
+  std::chrono::steady_clock::time_point last_feed{};
+
+ private:
+  Config config_;
+  data::RollingNormalizer norm_;
+  std::vector<float> buffer_;  // [D, W] row-major; first buffered_ columns live
+  int64_t buffered_ = 0;
+  int64_t points_ = 0;
+  int64_t windows_ = 0;
+  std::vector<float> score_ring_;
+  size_t next_score_ = 0;  // ring write cursor
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_STREAMING_H_

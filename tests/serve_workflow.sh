@@ -4,7 +4,9 @@
 # protocol — preload, runtime load, predicts against both models
 # (coalesced by the micro-batcher), stats, and error handling — first on
 # stdin, then over the TCP transport: 16 concurrent loopback clients,
-# admission-control shedding, and a graceful SIGTERM drain.
+# admission-control shedding, a graceful SIGTERM drain, and streaming
+# sessions (stream_open/stream_feed/stream_close with window assembly,
+# session shedding, stream counters, and a mid-stream drain).
 # Usage: serve_workflow.sh <path-to-units_cli> <path-to-units_serve>
 set -euo pipefail
 
@@ -197,5 +199,56 @@ cat <&3 > "$WORK/drain.out"  # drain flushes, then EOF
 exec 3<&- 3>&-
 wait "$DRAIN_PID"
 [ "$(grep -c '"ok":true' "$WORK/drain.out")" -eq 3 ]
+
+# Phase 4: streaming sessions. One connection opens two streams (the
+# configured maximum), feeds a partial chunk then a window-completing
+# chunk, and a third open is shed with the structured "overloaded"
+# reply; stream counters surface through the stats op.
+"$SERVE" --model "a=$WORK/m1.json" --model "b=$WORK/m2.json" \
+  --port 0 --max-streams 2 --max-delay-ms 2 \
+  > /dev/null 2> "$WORK/stream.log" &
+STREAM_PID=$!
+PORT="$(wait_for_port "$WORK/stream.log")"
+HALF_A="$(awk 'BEGIN{for(t=0;t<16;++t)printf "%s%.2f",(t?",":""),0.1*(t%3)}')"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"op":"stream_open","model":"a","window":32,"stride":32}\n' >&3
+printf '{"op":"stream_feed","stream":0,"values":[%s]}\n' "$HALF_A" >&3
+printf '{"op":"stream_feed","stream":0,"values":[%s]}\n' "$VALUES_A" >&3
+printf '{"op":"stream_open","model":"b","window":32}\n' >&3
+printf '{"op":"stream_open","model":"a","window":32}\n' >&3
+printf '{"op":"stream_close","stream":0}\n' >&3
+printf '{"op":"stats"}\n' >&3
+printf '{"op":"quit"}\n' >&3
+cat <&3 > "$WORK/stream.out"
+exec 3<&- 3>&-
+# The 16-point feed completes no window; the next 32 points complete
+# window 0 and leave 16 buffered.
+grep -q '"op":"stream_open".*"stream":0' "$WORK/stream.out"
+grep -q '"op":"stream_feed".*"windows":\[\]' "$WORK/stream.out"
+grep -q '"windows":\[{"index":0' "$WORK/stream.out"
+grep '"windows":\[{"index":0' "$WORK/stream.out" | grep -q '"labels":'
+# Second session fits; the third is shed by --max-streams 2.
+grep -q '"op":"stream_open".*"stream":1' "$WORK/stream.out"
+grep -q '"error":"overloaded"' "$WORK/stream.out"
+# Close reports the per-session totals; stats reports server-wide ones.
+CLOSE_LINE="$(grep '"op":"stream_close"' "$WORK/stream.out")"
+echo "$CLOSE_LINE" | grep -q '"windows":1'
+echo "$CLOSE_LINE" | grep -q '"points":48'
+STATS_LINE="$(grep '"op":"stats"' "$WORK/stream.out")"
+echo "$STATS_LINE" | grep -q '"streams":'
+echo "$STATS_LINE" | grep -q '"opened":2'
+echo "$STATS_LINE" | grep -q '"shed":1'
+
+# SIGTERM with a stream still open and a feed in flight — the drain
+# must answer the pending window before exiting 0.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"op":"stream_open","model":"a","window":32,"stride":32}\n' >&3
+printf '{"op":"stream_feed","stream":0,"values":[%s]}\n' "$VALUES_A" >&3
+sleep 0.3  # let the event loop admit the feed
+kill -TERM "$STREAM_PID"
+cat <&3 > "$WORK/stream_drain.out"  # drain flushes, then EOF
+exec 3<&- 3>&-
+wait "$STREAM_PID"
+grep -q '"windows":\[{"index":0' "$WORK/stream_drain.out"
 
 echo "serve workflow OK"

@@ -1,0 +1,167 @@
+#ifndef UNITS_TESTS_SOCKET_TEST_UTIL_H_
+#define UNITS_TESTS_SOCKET_TEST_UTIL_H_
+
+// Loopback helpers shared by the TCP serving test binaries
+// (test_socket_server, test_streaming): a blocking NDJSON client with a
+// poll-based read deadline and a SocketServer harness that runs the event
+// loop on a thread.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "serve/model_registry.h"
+#include "serve/socket_server.h"
+
+namespace units::serve {
+
+/// Blocking loopback NDJSON client with a poll-based read deadline.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendLine(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Reads one '\n'-terminated line (newline stripped). Returns false on
+  /// EOF or after `timeout_s` without a complete line.
+  bool ReadLine(std::string* out, double timeout_s = 30.0) {
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_s));
+    for (;;) {
+      const size_t pos = rbuf_.find('\n');
+      if (pos != std::string::npos) {
+        *out = rbuf_.substr(0, pos);
+        rbuf_.erase(0, pos + 1);
+        return true;
+      }
+      const auto remaining = deadline - Clock::now();
+      if (remaining <= Clock::duration::zero()) {
+        return false;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count());
+      if (::poll(&pfd, 1, std::max(1, timeout_ms)) <= 0) {
+        continue;
+      }
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) {
+        return false;  // server closed
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) {
+          continue;
+        }
+        return false;
+      }
+      rbuf_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  /// True when the server has closed the connection (EOF within
+  /// `timeout_s`); fails fast if data arrives instead.
+  bool WaitForEof(double timeout_s = 10.0) {
+    std::string line;
+    return !ReadLine(&line, timeout_s) && rbuf_.empty();
+  }
+
+  void CloseWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;
+};
+
+/// A SocketServer on an ephemeral port with its event loop on a thread.
+class ServerHarness {
+ public:
+  ServerHarness(ModelRegistry* registry, SocketServer::Options options)
+      : server_(registry, std::move(options)) {}
+
+  ~ServerHarness() { Stop(); }
+
+  bool Start() {
+    const Status status = server_.Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!status.ok()) {
+      return false;
+    }
+    thread_ = std::thread([this] { exit_code_ = server_.Run(); });
+    return true;
+  }
+
+  int port() const { return server_.bound_port(); }
+  SocketServer* server() { return &server_; }
+
+  /// Requests a drain and returns the event loop's exit code.
+  int Stop() {
+    if (!thread_.joinable()) {
+      return exit_code_;
+    }
+    server_.RequestDrain();
+    thread_.join();
+    return exit_code_;
+  }
+
+ private:
+  SocketServer server_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_TESTS_SOCKET_TEST_UTIL_H_

@@ -125,6 +125,23 @@ TEST(JsonParseTest, RejectsMalformedInput) {
   EXPECT_FALSE(Parse("{\"a\": 1,}").ok());
 }
 
+TEST(JsonParseTest, RejectsNonFiniteNumbers) {
+  // strtod turns overflowing literals into +/-inf, which Dump would then
+  // write as null — a silent round-trip corruption. The parser must reject
+  // them with a structured error instead.
+  auto big = Parse("1e999");
+  EXPECT_FALSE(big.ok());
+  EXPECT_NE(big.status().ToString().find("out of range"), std::string::npos);
+  EXPECT_FALSE(Parse("-1e999").ok());
+  EXPECT_FALSE(Parse("[1, 2, 1e999]").ok());
+  EXPECT_FALSE(Parse("{\"v\": -1e400}").ok());
+  // Large but finite doubles still parse.
+  auto ok = Parse("1e308");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->AsNumber(), 1e308);
+  EXPECT_TRUE(Parse("-1.7976931348623157e308").ok());
+}
+
 TEST(JsonRoundTripTest, DumpParseIdentity) {
   JsonValue obj = JsonValue::Object();
   obj.Set("name", JsonValue::String("units"));

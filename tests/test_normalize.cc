@@ -1,6 +1,7 @@
 #include "data/normalize.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -84,6 +85,84 @@ TEST(ZScoreTest, ConstantChannelDoesNotDivideByZero) {
 TEST(ZScoreTest, RejectsWrongRank) {
   ZScoreNormalizer norm;
   EXPECT_FALSE(norm.Fit(Tensor::Zeros({4, 8})).ok());
+}
+
+TEST(ZScoreTest, LargeMeanKeepsUnitVariance) {
+  // Monitoring-counter regime: mean ~1e6, true stddev 1. The old
+  // E[x^2] - E[x]^2 accumulator cancels nearly every significant bit here
+  // and clamps the stddev to the kMinStddev floor; Welford must not.
+  // 1e6 +/- 1 are exactly representable floats (spacing 0.0625 at 1e6).
+  const int64_t n = 16;
+  const int64_t t = 64;
+  Tensor x = Tensor::Zeros({n, 1, t});
+  float* p = x.data();
+  for (int64_t i = 0; i < n * t; ++i) {
+    p[i] = 1.0e6f + ((i % 2 == 0) ? 1.0f : -1.0f);
+  }
+  ZScoreNormalizer norm;
+  ASSERT_TRUE(norm.Fit(x).ok());
+  EXPECT_NEAR(norm.mean()[0], 1.0e6f, 1e-3f);
+  EXPECT_NEAR(norm.stddev()[0], 1.0f, 1e-4f);
+  EXPECT_GT(norm.stddev()[0], 1000.0f * kMinStddev);
+}
+
+TEST(RollingNormalizerTest, MatchesBatchFitBitwise) {
+  Tensor x = MakeData();  // [32, 2, 64]
+  ZScoreNormalizer batch;
+  ASSERT_TRUE(batch.Fit(x).ok());
+  RollingNormalizer rolling(2);
+  // Feed the same points in the same order, one [D, T] sample at a time.
+  for (int64_t i = 0; i < x.dim(0); ++i) {
+    Tensor sample = Tensor::FromVector(
+        {2, 64}, std::vector<float>(x.data() + i * 2 * 64,
+                                    x.data() + (i + 1) * 2 * 64));
+    rolling.UpdateSeries(sample);
+  }
+  ASSERT_EQ(rolling.count(), x.dim(0) * x.dim(2));
+  const std::vector<float> mean = rolling.Mean();
+  const std::vector<float> stddev = rolling.Stddev();
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(mean[c], batch.mean()[c]);
+    EXPECT_EQ(stddev[c], batch.stddev()[c]);
+  }
+}
+
+TEST(RollingNormalizerTest, EmptyAccumulatorYieldsFloorStddev) {
+  RollingNormalizer rolling(3);
+  EXPECT_EQ(rolling.count(), 0);
+  for (float sd : rolling.Stddev()) {
+    EXPECT_EQ(sd, kMinStddev);
+  }
+}
+
+TEST(RollingNormalizerTest, SnapshotTransformsLikeFromStats) {
+  RollingNormalizer rolling(1);
+  const float pts[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  for (float v : pts) {
+    rolling.Update(&v);
+  }
+  ZScoreNormalizer snap = rolling.Snapshot();
+  ASSERT_TRUE(snap.fitted());
+  Tensor x = Tensor::FromVector({1, 1, 2}, {2.5f, 4.0f});
+  Tensor z = snap.Transform(x);
+  EXPECT_NEAR(z[0], 0.0f, 1e-6f);  // 2.5 is the mean of 1..4
+}
+
+using NormalizerDeathTest = ::testing::Test;
+
+TEST(NormalizerDeathTest, ZScoreInverseTransformChecksChannelCount) {
+  ZScoreNormalizer norm;
+  ASSERT_TRUE(norm.Fit(MakeData()).ok());  // 2 channels
+  EXPECT_DEATH(norm.InverseTransform(Tensor::Zeros({1, 3, 8})),
+               "CHECK failed");
+}
+
+TEST(NormalizerDeathTest, MinMaxTransformChecksChannelCount) {
+  MinMaxNormalizer norm;
+  ASSERT_TRUE(norm.Fit(MakeData()).ok());  // 2 channels
+  EXPECT_DEATH(norm.Transform(Tensor::Zeros({1, 3, 8})), "CHECK failed");
+  EXPECT_DEATH(norm.InverseTransform(Tensor::Zeros({1, 3, 8})),
+               "CHECK failed");
 }
 
 TEST(ZScoreTest, FromStatsRestoresFittedState) {

@@ -280,6 +280,61 @@ TEST(ServeStatsTest, HistogramAndQuantiles) {
   EXPECT_EQ(stats.Snapshot("m").requests, 0);
 }
 
+TEST(ServeStatsTest, LatencyRingWrapsToTrailingWindow) {
+  // Past kLatencyWindow observations the ring overwrites oldest-first, so
+  // quantiles must reflect only the trailing window — a long-running
+  // server's p99 tracks recent behaviour, not its startup transient.
+  constexpr size_t kWindow = ServeStats::kLatencyWindow;
+  ServeStats stats;
+  for (size_t i = 0; i < kWindow; ++i) {
+    stats.RecordRequest("m", 1000.0);  // startup transient fills the ring
+  }
+  for (size_t i = 0; i < kWindow / 2; ++i) {
+    stats.RecordRequest("m", 1.0);  // overwrites the first half
+  }
+  auto snapshot = stats.Snapshot("m");
+  EXPECT_EQ(snapshot.requests, static_cast<int64_t>(kWindow + kWindow / 2));
+  EXPECT_DOUBLE_EQ(snapshot.p50_ms, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.p95_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(snapshot.p99_ms, 1000.0);
+  // Another half-window of 2.0 evicts the last of the 1000s: the window
+  // is now {1.0 x 32768, 2.0 x 32768} and the transient is gone.
+  for (size_t i = 0; i < kWindow / 2; ++i) {
+    stats.RecordRequest("m", 2.0);
+  }
+  snapshot = stats.Snapshot("m");
+  EXPECT_DOUBLE_EQ(snapshot.p50_ms, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.p95_ms, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot.p99_ms, 2.0);
+}
+
+TEST(ServeStatsTest, StreamCountersRoundTrip) {
+  ServeStats stats;
+  stats.RecordStreamOpened();
+  stats.RecordStreamOpened();
+  stats.RecordStreamOpened();
+  stats.RecordStreamShed();
+  stats.RecordStreamClosed();
+  stats.RecordStreamReaped();
+  stats.RecordStreamActivity(4, 128);
+  stats.RecordStreamActivity(1, 32);
+  const auto streams = stats.Streams();
+  EXPECT_EQ(streams.opened, 3);
+  EXPECT_EQ(streams.shed, 1);
+  EXPECT_EQ(streams.closed, 1);
+  EXPECT_EQ(streams.reaped, 1);
+  EXPECT_EQ(streams.active(), 1);
+  EXPECT_EQ(streams.windows, 5);
+  EXPECT_EQ(streams.points, 160);
+  auto json = stats.ToJson();
+  ASSERT_TRUE(json.Contains("streams"));
+  EXPECT_EQ(json.at("streams").at("opened").AsInt(), 3);
+  EXPECT_EQ(json.at("streams").at("active").AsInt(), 1);
+  EXPECT_EQ(json.at("streams").at("windows").AsInt(), 5);
+  stats.Reset();
+  EXPECT_EQ(stats.Streams().opened, 0);
+}
+
 TEST(MicroBatcherDeathTest, RejectsInvalidOptions) {
   ModelRegistry registry;
   {
@@ -395,8 +450,9 @@ TEST(MicroBatcherTest, TrickleModelStaysResponsiveBesideHotModel) {
 
 /// Seeded malformed-input corpus through the full NDJSON server loop:
 /// truncated JSON, random garbage, invalid UTF-8, wrong-type fields,
-/// oversized lines (against the line-length cap), and pathological
-/// nesting (against the parser's depth cap). Every line must produce one
+/// oversized lines (against the line-length cap), pathological nesting
+/// (against the parser's depth cap), and overflowing number literals
+/// (against the non-finite rejection). Every line must produce one
 /// structured error response — never a crash, hang, or dropped reply.
 /// The ASan+UBSan CI job runs this filter explicitly.
 TEST(JsonLineServerFuzzTest, MalformedCorpusGetsStructuredErrors) {
@@ -422,7 +478,7 @@ TEST(JsonLineServerFuzzTest, MalformedCorpusGetsStructuredErrors) {
   std::ostringstream input;
   for (size_t i = 0; i < kCases; ++i) {
     std::string line;
-    switch (i % 6) {
+    switch (i % 7) {
       case 0: {  // truncated valid request: a proper prefix is never JSON
         const size_t cut = 1 + rng() % (valid.size() - 1);
         line = valid.substr(0, cut);
@@ -456,6 +512,14 @@ TEST(JsonLineServerFuzzTest, MalformedCorpusGetsStructuredErrors) {
       }
       case 5: {  // past the parser's nesting-depth cap
         line.assign(150 + rng() % 200, '[');
+        break;
+      }
+      case 6: {  // overflowing literal: strtod yields inf, parser rejects
+        const int exponent = 400 + static_cast<int>(rng() % 600);
+        const std::string huge =
+            (rng() % 2 == 0 ? "1e" : "-1e") + std::to_string(exponent);
+        line = "{\"op\": \"predict\", \"model\": \"m\", \"values\": [" +
+               huge + "]}";
         break;
       }
     }

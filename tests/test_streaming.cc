@@ -1,0 +1,674 @@
+// Streaming inference sessions, end to end: StreamState window assembly
+// and rolling normalization (chunking-invariant, bitwise equal to offline
+// replay), rolling anomaly-threshold recalibration, the stream_open /
+// stream_feed / stream_close protocol ops over both transports, session
+// admission control (bounded stream count, shed, idle reap), and graceful
+// drain mid-stream. Built as its own executable so the ThreadSanitizer and
+// ASan+UBSan CI jobs can run the event-loop + batcher concurrency directly.
+
+#include "serve/streaming.h"
+
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "data/synthetic.h"
+#include "json/json.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/socket_server.h"
+#include "serve_test_util.h"
+#include "socket_test_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::serve {
+namespace {
+
+StreamState::Config TinyStreamConfig(int64_t channels, int64_t window,
+                                     int64_t stride, bool normalize = false) {
+  StreamState::Config config;
+  config.model = "m";
+  config.channels = channels;
+  config.window = window;
+  config.stride = stride;
+  config.normalize = normalize;
+  return config;
+}
+
+Tensor Ramp(int64_t channels, int64_t length, float offset = 0.0f) {
+  Tensor t = Tensor::Zeros({channels, length});
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t j = 0; j < length; ++j) {
+      t.data()[c * length + j] =
+          offset + static_cast<float>(c * 100 + j);
+    }
+  }
+  return t;
+}
+
+TEST(StreamStateTest, TumblingWindowsCarryRawValues) {
+  StreamState state(TinyStreamConfig(2, 4, 4));
+  const Tensor points = Ramp(2, 10);
+  auto windows = state.Feed(points);
+  ASSERT_EQ(windows.size(), 2u);  // 10 points -> 2 tumbling windows of 4
+  EXPECT_EQ(state.points(), 10);
+  EXPECT_EQ(state.windows(), 2);
+  for (size_t k = 0; k < windows.size(); ++k) {
+    EXPECT_EQ(windows[k].index, static_cast<int64_t>(k));
+    ASSERT_EQ(windows[k].values.shape(), Shape({1, 2, 4}));
+    for (int64_t c = 0; c < 2; ++c) {
+      for (int64_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(windows[k].values[c * 4 + j],
+                  points[c * 10 + static_cast<int64_t>(k) * 4 + j]);
+      }
+    }
+  }
+  // The 2 leftover points complete the next window after 2 more arrive.
+  auto more = state.Feed(Ramp(2, 2, 500.0f));
+  ASSERT_EQ(more.size(), 1u);
+  EXPECT_EQ(more[0].index, 2);
+  EXPECT_EQ(more[0].values[0], points[8]);  // buffered tail
+  EXPECT_EQ(more[0].values[2], 500.0f);     // fresh point, channel 0
+}
+
+TEST(StreamStateTest, OverlappingStrideReusesTail) {
+  StreamState state(TinyStreamConfig(1, 4, 2));
+  auto windows = state.Feed(Ramp(1, 8));  // values 0..7
+  ASSERT_EQ(windows.size(), 3u);  // starts at 0, 2, 4
+  for (size_t k = 0; k < windows.size(); ++k) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(windows[k].values[j],
+                static_cast<float>(2 * k) + static_cast<float>(j));
+    }
+  }
+}
+
+TEST(StreamStateTest, WindowsAreChunkingInvariant) {
+  data::DriftingStreamOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 100;
+  const Tensor series = data::MakeDriftingStream(opts).series;
+  StreamState one_shot(TinyStreamConfig(2, 16, 8, /*normalize=*/true));
+  auto expected = one_shot.Feed(series);
+  StreamState chunked(TinyStreamConfig(2, 16, 8, /*normalize=*/true));
+  std::vector<StreamState::CompletedWindow> got;
+  const int64_t chunks[] = {7, 1, 32, 17, 3, 40};
+  int64_t offset = 0;
+  for (int64_t len : chunks) {
+    len = std::min(len, series.dim(1) - offset);
+    if (len <= 0) {
+      break;
+    }
+    Tensor chunk = Tensor::Zeros({2, len});
+    for (int64_t c = 0; c < 2; ++c) {
+      for (int64_t j = 0; j < len; ++j) {
+        chunk.data()[c * len + j] = series[c * series.dim(1) + offset + j];
+      }
+    }
+    for (auto& w : chunked.Feed(chunk)) {
+      got.push_back(std::move(w));
+    }
+    offset += len;
+  }
+  ASSERT_EQ(offset, series.dim(1));
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t k = 0; k < got.size(); ++k) {
+    EXPECT_EQ(got[k].index, expected[k].index);
+    ExpectBitwiseEqual(got[k].values, expected[k].values,
+                       "chunked window " + std::to_string(k));
+  }
+}
+
+TEST(StreamStateTest, RollingNormalizationUsesAllPointsSeen) {
+  // Window 2's normalization must include window 1's points: the rolling
+  // statistics accumulate over the whole stream, not per window.
+  StreamState state(TinyStreamConfig(1, 2, 2, /*normalize=*/true));
+  const std::vector<float> pts = {0.0f, 2.0f, 4.0f, 6.0f};
+  auto w = state.Feed(Tensor::FromVector({1, 4}, pts));
+  ASSERT_EQ(w.size(), 2u);
+  // After 2 points: mean 1, population stddev 1 -> z = {-1, 1}.
+  EXPECT_FLOAT_EQ(w[0].values[0], -1.0f);
+  EXPECT_FLOAT_EQ(w[0].values[1], 1.0f);
+  // After 4 points: mean 3, stddev sqrt(5); window 2 holds {4, 6}.
+  data::RollingNormalizer ref(1);
+  for (float v : pts) {
+    ref.Update(&v);
+  }
+  const float mu = ref.Mean()[0];
+  const float sd = ref.Stddev()[0];
+  EXPECT_FLOAT_EQ(w[1].values[0], (4.0f - mu) / sd);
+  EXPECT_FLOAT_EQ(w[1].values[1], (6.0f - mu) / sd);
+}
+
+TEST(StreamStateTest, RecalibrationUsesPriorWindowsOnly) {
+  StreamState::Config config = TinyStreamConfig(1, 4, 4);
+  config.quantile = 0.5;
+  config.score_window = 8;
+  StreamState state(config);
+  std::vector<int64_t> labels(4, 0);
+  // First window: empty ring -> no threshold, labels untouched.
+  const Tensor first = Tensor::FromVector({1, 4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_FALSE(state.RecalibrateLabels(first, &labels).has_value());
+  EXPECT_EQ(labels, std::vector<int64_t>(4, 0));
+  // Second window: threshold = median of the first window's scores (2.0).
+  const Tensor second = Tensor::FromVector({1, 4}, {0.5f, 2.5f, 1.0f, 9.0f});
+  auto threshold = state.RecalibrateLabels(second, &labels);
+  ASSERT_TRUE(threshold.has_value());
+  EXPECT_FLOAT_EQ(*threshold, 2.0f);
+  EXPECT_EQ(labels, (std::vector<int64_t>{0, 1, 0, 1}));
+}
+
+TEST(StreamStateTest, ScoreRingIsBounded) {
+  StreamState::Config config = TinyStreamConfig(1, 2, 2);
+  config.quantile = 0.99;
+  config.score_window = 4;
+  StreamState state(config);
+  std::vector<int64_t> labels(2, 0);
+  // 3 windows x 2 scores with rising magnitude: the ring keeps only the
+  // trailing 4 scores, so the threshold reflects recent windows.
+  state.RecalibrateLabels(Tensor::FromVector({1, 2}, {100.0f, 100.0f}),
+                          &labels);
+  state.RecalibrateLabels(Tensor::FromVector({1, 2}, {1.0f, 2.0f}), &labels);
+  state.RecalibrateLabels(Tensor::FromVector({1, 2}, {3.0f, 4.0f}), &labels);
+  // Ring is now {1, 2, 3, 4}; p99 nearest-rank = 4.
+  auto threshold = state.RecalibrateLabels(
+      Tensor::FromVector({1, 2}, {5.0f, 6.0f}), &labels);
+  ASSERT_TRUE(threshold.has_value());
+  EXPECT_FLOAT_EQ(*threshold, 4.0f);
+}
+
+TEST(StreamGateTest, BoundsSessionsAndCounts) {
+  ServeStats stats;
+  StreamingLimits limits;
+  limits.max_sessions = 2;
+  StreamGate gate(limits, &stats);
+  EXPECT_TRUE(gate.TryOpen());
+  EXPECT_TRUE(gate.TryOpen());
+  EXPECT_FALSE(gate.TryOpen());  // at capacity -> shed
+  EXPECT_EQ(gate.active(), 2);
+  gate.Close(StreamGate::Release::kClosed);
+  EXPECT_TRUE(gate.TryOpen());  // slot freed
+  gate.Close(StreamGate::Release::kReaped);
+  gate.Close(StreamGate::Release::kClosed);
+  EXPECT_EQ(gate.active(), 0);
+  const auto streams = stats.Streams();
+  EXPECT_EQ(streams.opened, 3);
+  EXPECT_EQ(streams.shed, 1);
+  EXPECT_EQ(streams.closed, 2);
+  EXPECT_EQ(streams.reaped, 1);
+  EXPECT_EQ(streams.active(), 0);
+}
+
+// --- protocol tests (stdin transport) --------------------------------------
+
+/// Serializes a [D, P] chunk as the "values" field of a stream_feed line.
+std::string FeedLine(int64_t sid, const Tensor& series, int64_t offset,
+                     int64_t length) {
+  const int64_t channels = series.dim(0);
+  const int64_t total = series.dim(1);
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"op\": \"stream_feed\", \"stream\": " << sid << ", \"values\": [";
+  for (int64_t c = 0; c < channels; ++c) {
+    os << (c == 0 ? "[" : ", [");
+    for (int64_t j = 0; j < length; ++j) {
+      os << (j == 0 ? "" : ", ") << series[c * total + offset + j];
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// A registry with one fitted model saved + loaded under `name`, keeping
+/// the original pipeline as the offline oracle.
+struct ResidentModel {
+  FittedModel fitted;
+  std::string name;
+};
+
+void LoadResident(ModelRegistry* registry, ResidentModel* model) {
+  const std::string path =
+      ::testing::TempDir() + "/stream_" + model->name + ".json";
+  ASSERT_TRUE(model->fitted.pipeline->SaveJson(path).ok());
+  ASSERT_TRUE(registry->Load(model->name, path).ok());
+}
+
+TEST(StreamProtocolTest, OpenFeedCloseOverStdinTransport) {
+  ResidentModel model{MakeFitted("classification"), "cls"};
+  ModelRegistry registry;
+  LoadResident(&registry, &model);
+
+  data::DriftingStreamOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 96;
+  const Tensor series = data::MakeDriftingStream(opts).series;
+
+  std::ostringstream input;
+  input << "{\"op\": \"stream_open\", \"model\": \"cls\", \"window\": 32, "
+           "\"id\": \"s0\"}\n";
+  input << FeedLine(0, series, 0, 40) << "\n";
+  input << FeedLine(0, series, 40, 56) << "\n";
+  input << "{\"op\": \"stream_close\", \"stream\": 0}\n";
+  input << "{\"op\": \"stream_feed\", \"stream\": 0, \"values\": [1]}\n";
+  input << "{\"op\": \"stats\"}\n";
+  input << "{\"op\": \"quit\"}\n";
+
+  JsonLineServer::Options options;
+  options.batcher.max_delay_ms = 0.0;
+  JsonLineServer server(&registry, options);
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.Run(in, out), 0);
+
+  std::istringstream responses(out.str());
+  std::vector<json::JsonValue> lines;
+  std::string line;
+  while (std::getline(responses, line)) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    lines.push_back(std::move(*parsed));
+  }
+  ASSERT_EQ(lines.size(), 7u);
+
+  EXPECT_TRUE(lines[0].at("ok").AsBool());
+  EXPECT_EQ(lines[0].at("op").AsString(), "stream_open");
+  EXPECT_EQ(lines[0].at("id").AsString(), "s0");
+  EXPECT_EQ(lines[0].at("stream").AsInt(), 0);
+  EXPECT_EQ(lines[0].at("window").AsInt(), 32);
+  EXPECT_EQ(lines[0].at("stride").AsInt(), 32);
+
+  // 40 points -> 1 window; +56 -> 2 more tumbling windows.
+  EXPECT_TRUE(lines[1].at("ok").AsBool());
+  ASSERT_EQ(lines[1].at("windows").size(), 1u);
+  EXPECT_EQ(lines[1].at("windows")[0].at("index").AsInt(), 0);
+  EXPECT_TRUE(lines[1].at("windows")[0].at("ok").AsBool());
+  EXPECT_TRUE(lines[1].at("windows")[0].Contains("labels"));
+  EXPECT_EQ(lines[1].at("points").AsInt(), 40);
+  ASSERT_EQ(lines[2].at("windows").size(), 2u);
+  EXPECT_EQ(lines[2].at("windows")[0].at("index").AsInt(), 1);
+  EXPECT_EQ(lines[2].at("windows")[1].at("index").AsInt(), 2);
+  EXPECT_EQ(lines[2].at("points").AsInt(), 96);
+
+  EXPECT_TRUE(lines[3].at("ok").AsBool());
+  EXPECT_EQ(lines[3].at("op").AsString(), "stream_close");
+  EXPECT_EQ(lines[3].at("windows").AsInt(), 3);
+  EXPECT_EQ(lines[3].at("points").AsInt(), 96);
+
+  EXPECT_FALSE(lines[4].at("ok").AsBool());  // feed after close
+  EXPECT_NE(lines[4].at("error").AsString().find("unknown or closed"),
+            std::string::npos);
+
+  const json::JsonValue& streams = lines[5].at("stats").at("streams");
+  EXPECT_EQ(streams.at("opened").AsInt(), 1);
+  EXPECT_EQ(streams.at("closed").AsInt(), 1);
+  EXPECT_EQ(streams.at("active").AsInt(), 0);
+  EXPECT_EQ(streams.at("windows").AsInt(), 3);
+  EXPECT_EQ(streams.at("points").AsInt(), 96);  // failed feed counts nothing
+}
+
+TEST(StreamProtocolTest, OpenValidationErrors) {
+  ResidentModel model{MakeFitted("classification"), "cls"};
+  ModelRegistry registry;
+  LoadResident(&registry, &model);
+
+  std::ostringstream input;
+  input << "{\"op\": \"stream_open\", \"model\": \"nope\", \"window\": 8}\n";
+  input << "{\"op\": \"stream_open\", \"model\": \"cls\"}\n";
+  input << "{\"op\": \"stream_open\", \"model\": \"cls\", \"window\": 0}\n";
+  input << "{\"op\": \"stream_open\", \"model\": \"cls\", \"window\": 8, "
+           "\"stride\": 9}\n";
+  input << "{\"op\": \"stream_open\", \"model\": \"cls\", \"window\": 8, "
+           "\"quantile\": 0.9}\n";  // not an anomaly model
+  input << "{\"op\": \"stream_open\", \"model\": \"cls\", \"window\": "
+           "1000000}\n";
+  input << "{\"op\": \"stream_feed\", \"stream\": 5, \"values\": [1]}\n";
+  input << "{\"op\": \"stream_open\", \"model\": \"cls\", \"window\": 8}\n";
+  input << "{\"op\": \"stream_feed\", \"stream\": 0, \"values\": [1, 2]}\n";
+  input << "{\"op\": \"quit\"}\n";
+
+  JsonLineServer::Options options;
+  options.batcher.max_delay_ms = 0.0;
+  JsonLineServer server(&registry, options);
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.Run(in, out), 0);
+
+  std::istringstream responses(out.str());
+  std::vector<json::JsonValue> lines;
+  std::string line;
+  while (std::getline(responses, line)) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    lines.push_back(std::move(*parsed));
+  }
+  ASSERT_EQ(lines.size(), 10u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(lines[i].at("ok").AsBool()) << i;
+  }
+  EXPECT_TRUE(lines[7].at("ok").AsBool());  // valid open
+  // Feed with 1 channel against a 2-channel model.
+  EXPECT_FALSE(lines[8].at("ok").AsBool());
+  EXPECT_NE(lines[8].at("error").AsString().find("channels"),
+            std::string::npos);
+}
+
+// --- end-to-end over TCP ---------------------------------------------------
+
+struct WindowOutput {
+  int64_t index = 0;
+  json::JsonValue body;
+};
+
+/// Runs one streaming client session: open, feed `series` in chunks of
+/// `chunk`, close; returns the per-window responses.
+void RunStreamClient(int port, const std::string& model, const Tensor& series,
+                     int64_t window, int64_t chunk,
+                     std::vector<WindowOutput>* outputs) {
+  TestClient client(port);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine("{\"op\": \"stream_open\", \"model\": \"" +
+                              model + "\", \"window\": " +
+                              std::to_string(window) + "}"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  auto open_resp = json::Parse(line);
+  ASSERT_TRUE(open_resp.ok()) << line;
+  ASSERT_TRUE(open_resp->at("ok").AsBool()) << line;
+  const int64_t sid = open_resp->at("stream").AsInt();
+
+  const int64_t total = series.dim(1);
+  for (int64_t offset = 0; offset < total; offset += chunk) {
+    const int64_t len = std::min(chunk, total - offset);
+    ASSERT_TRUE(client.SendLine(FeedLine(sid, series, offset, len)));
+    ASSERT_TRUE(client.ReadLine(&line));
+    auto resp = json::Parse(line);
+    ASSERT_TRUE(resp.ok()) << line;
+    ASSERT_TRUE(resp->at("ok").AsBool()) << line;
+    ASSERT_EQ(resp->at("op").AsString(), "stream_feed") << line;
+    const json::JsonValue& windows = resp->at("windows");
+    for (size_t k = 0; k < windows.size(); ++k) {
+      ASSERT_TRUE(windows[k].at("ok").AsBool()) << line;
+      outputs->push_back({windows[k].at("index").AsInt(), windows[k]});
+    }
+  }
+  ASSERT_TRUE(
+      client.SendLine("{\"op\": \"stream_close\", \"stream\": " +
+                      std::to_string(sid) + "}"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  auto close_resp = json::Parse(line);
+  ASSERT_TRUE(close_resp.ok()) << line;
+  ASSERT_TRUE(close_resp->at("ok").AsBool()) << line;
+  EXPECT_EQ(close_resp->at("points").AsInt(), total);
+  EXPECT_EQ(close_resp->at("windows").AsInt(),
+            static_cast<int64_t>(outputs->size()));
+}
+
+/// Replays the same series offline (StreamState + direct pipeline
+/// Predict + the same rolling recalibration) and checks the streamed
+/// responses are bitwise identical: same labels, same %.9g-serialized
+/// scores/predictions, same rolling thresholds.
+void ExpectMatchesOfflineReplay(const std::vector<WindowOutput>& outputs,
+                                core::UnitsPipeline* pipeline,
+                                const Tensor& series, int64_t window,
+                                double quantile) {
+  StreamState::Config config;
+  config.model = "oracle";
+  config.channels = series.dim(0);
+  config.window = window;
+  config.stride = window;
+  config.normalize = true;
+  config.quantile = quantile;
+  StreamState offline(config);
+  auto windows = offline.Feed(series);
+  ASSERT_EQ(outputs.size(), windows.size());
+  for (size_t k = 0; k < windows.size(); ++k) {
+    ASSERT_EQ(outputs[k].index, windows[k].index);
+    auto result = pipeline->Predict(windows[k].values);
+    ASSERT_TRUE(result.ok());
+    std::vector<int64_t> labels = result->labels;
+    std::optional<float> threshold;
+    if (quantile > 0.0 && result->scores.numel() > 0) {
+      threshold = offline.RecalibrateLabels(result->scores, &labels);
+    }
+    const json::JsonValue& got = outputs[k].body;
+    const std::string what = "window " + std::to_string(k);
+    if (!labels.empty()) {
+      ASSERT_TRUE(got.Contains("labels")) << what;
+      EXPECT_EQ(got.at("labels").ToInts(), labels) << what;
+    }
+    if (result->scores.numel() > 0) {
+      ASSERT_TRUE(got.Contains("scores")) << what;
+      // Dump/Parse is idempotent on serialized output, so string equality
+      // of the re-dumped field is bitwise equality of the floats.
+      EXPECT_EQ(got.at("scores").Dump(),
+                core::TensorToJson(result->scores).Dump())
+          << what;
+    }
+    if (result->predictions.numel() > 0) {
+      ASSERT_TRUE(got.Contains("predictions")) << what;
+      EXPECT_EQ(got.at("predictions").Dump(),
+                core::TensorToJson(result->predictions).Dump())
+          << what;
+    }
+    if (threshold.has_value()) {
+      ASSERT_TRUE(got.Contains("threshold")) << what;
+      EXPECT_EQ(static_cast<float>(got.at("threshold").AsNumber()),
+                *threshold)
+          << what;
+    } else {
+      EXPECT_FALSE(got.Contains("threshold")) << what;
+    }
+  }
+}
+
+class StreamingE2ETest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cls_ = new ResidentModel{MakeFitted("classification", 7), "cls"};
+    anom_ = new ResidentModel{MakeFitted("anomaly_detection", 11), "anom"};
+  }
+  static void TearDownTestSuite() {
+    delete cls_;
+    cls_ = nullptr;
+    delete anom_;
+    anom_ = nullptr;
+  }
+
+  void LoadModels(ModelRegistry* registry) {
+    LoadResident(registry, cls_);
+    LoadResident(registry, anom_);
+  }
+
+  static ResidentModel* cls_;
+  static ResidentModel* anom_;
+};
+
+ResidentModel* StreamingE2ETest::cls_ = nullptr;
+ResidentModel* StreamingE2ETest::anom_ = nullptr;
+
+TEST_F(StreamingE2ETest, ConcurrentDriftingStreamsMatchOfflineReplay) {
+  ModelRegistry registry;
+  LoadModels(&registry);
+  SocketServer::Options options;
+  options.batcher.max_delay_ms = 1.0;
+  ServerHarness harness(&registry, options);
+  ASSERT_TRUE(harness.Start());
+
+  constexpr int kClients = 8;
+  constexpr int64_t kWindow = 32;
+  std::vector<Tensor> series;
+  std::vector<std::vector<WindowOutput>> outputs(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    data::DriftingStreamOpts opts;
+    opts.num_channels = 2;
+    opts.total_length = 32 * 6 + 11;  // 6 windows + a ragged tail
+    opts.seed = 100 + static_cast<uint64_t>(c);
+    series.push_back(data::MakeDriftingStream(opts).series);
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string model = c % 2 == 0 ? "cls" : "anom";
+      const int64_t chunk = 5 + 9 * c;  // different chunkings per client
+      RunStreamClient(harness.port(), model, series[c], kWindow, chunk,
+                      &outputs[c]);
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(outputs[c].size(), 6u) << "client " << c;
+    const bool anomaly = c % 2 != 0;
+    ExpectMatchesOfflineReplay(
+        outputs[c], (anomaly ? anom_ : cls_)->fitted.pipeline.get(),
+        series[c], kWindow, anomaly ? 0.995 : 0.0);
+  }
+  const auto streams = harness.server()->stats()->Streams();
+  EXPECT_EQ(streams.opened, kClients);
+  EXPECT_EQ(streams.closed, kClients);
+  EXPECT_EQ(streams.active(), 0);
+  EXPECT_EQ(streams.windows, kClients * 6);
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(StreamingE2ETest, ExcessStreamsAreShedWithStructuredError) {
+  ModelRegistry registry;
+  LoadModels(&registry);
+  SocketServer::Options options;
+  options.streaming.max_sessions = 2;
+  ServerHarness harness(&registry, options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  std::string line;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.SendLine(
+        "{\"op\": \"stream_open\", \"model\": \"cls\", \"window\": 8}"));
+    ASSERT_TRUE(client.ReadLine(&line));
+    auto resp = json::Parse(line);
+    ASSERT_TRUE(resp.ok()) << line;
+    if (i < 2) {
+      EXPECT_TRUE(resp->at("ok").AsBool()) << line;
+    } else {
+      EXPECT_FALSE(resp->at("ok").AsBool()) << line;
+      EXPECT_EQ(resp->at("error").AsString(), "overloaded") << line;
+    }
+  }
+  const auto streams = harness.server()->stats()->Streams();
+  EXPECT_EQ(streams.opened, 2);
+  EXPECT_EQ(streams.shed, 1);
+  EXPECT_EQ(streams.active(), 2);
+  // Closing the connection releases both slots.
+  client.Close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.server()->stats()->Streams().active() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(harness.server()->stats()->Streams().active(), 0);
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(StreamingE2ETest, IdleStreamsAreReaped) {
+  ModelRegistry registry;
+  LoadModels(&registry);
+  SocketServer::Options options;
+  options.streaming.idle_timeout_s = 0.2;
+  ServerHarness harness(&registry, options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  std::string line;
+  ASSERT_TRUE(client.SendLine(
+      "{\"op\": \"stream_open\", \"model\": \"cls\", \"window\": 8}"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  ASSERT_TRUE(json::Parse(line)->at("ok").AsBool()) << line;
+
+  // The stream sits idle past its timeout; the event loop reaps it on its
+  // 100ms poll cadence even with no traffic on the connection.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.server()->stats()->Streams().reaped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(harness.server()->stats()->Streams().reaped, 1);
+  EXPECT_EQ(harness.server()->stats()->Streams().active(), 0);
+
+  // A feed on the reaped id answers a structured error.
+  ASSERT_TRUE(client.SendLine(
+      "{\"op\": \"stream_feed\", \"stream\": 0, \"values\": [[1], [2]]}"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  auto resp = json::Parse(line);
+  ASSERT_TRUE(resp.ok()) << line;
+  EXPECT_FALSE(resp->at("ok").AsBool()) << line;
+  EXPECT_NE(resp->at("error").AsString().find("unknown or closed"),
+            std::string::npos)
+      << line;
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(StreamingE2ETest, DrainMidStreamAnswersPendingFeedsAndExitsZero) {
+  ModelRegistry registry;
+  LoadModels(&registry);
+  SocketServer::Options options;
+  options.batcher.max_delay_ms = 1.0;
+  ServerHarness harness(&registry, options);
+  ASSERT_TRUE(harness.Start());
+
+  data::DriftingStreamOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 64;
+  const Tensor series = data::MakeDriftingStream(opts).series;
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  std::string line;
+  ASSERT_TRUE(client.SendLine(
+      "{\"op\": \"stream_open\", \"model\": \"anom\", \"window\": 32}"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  ASSERT_TRUE(json::Parse(line)->at("ok").AsBool()) << line;
+  // Two feeds in flight when the drain lands mid-stream. Wait until the
+  // server has parsed both lines (points visible in stats) — drain stops
+  // reading, so bytes still in the kernel buffer would be dropped — then
+  // drain while their window predicts may still be pending.
+  ASSERT_TRUE(client.SendLine(FeedLine(0, series, 0, 32)));
+  ASSERT_TRUE(client.SendLine(FeedLine(0, series, 32, 32)));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.server()->stats()->Streams().points < 64 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(harness.server()->stats()->Streams().points, 64);
+  harness.server()->RequestDrain();
+  // Both feed responses still arrive, in order, then the server closes.
+  for (int64_t k = 0; k < 2; ++k) {
+    ASSERT_TRUE(client.ReadLine(&line)) << k;
+    auto resp = json::Parse(line);
+    ASSERT_TRUE(resp.ok()) << line;
+    EXPECT_TRUE(resp->at("ok").AsBool()) << line;
+    ASSERT_EQ(resp->at("windows").size(), 1u) << line;
+    EXPECT_EQ(resp->at("windows")[0].at("index").AsInt(), k) << line;
+  }
+  EXPECT_TRUE(client.WaitForEof());
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+}  // namespace
+}  // namespace units::serve

@@ -247,6 +247,49 @@ TEST(MissingMaskTest, ZeroRateAllObserved) {
   EXPECT_EQ(ops::SumAll(mask), 80.0f);
 }
 
+TEST(DriftingStreamTest, ShapeDeterminismAndLabels) {
+  DriftingStreamOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 512;
+  AnomalySeries a = MakeDriftingStream(opts);
+  AnomalySeries b = MakeDriftingStream(opts);
+  ASSERT_EQ(a.series.shape(), (Shape{2, 512}));
+  ASSERT_EQ(a.labels.shape(), (Shape{512}));
+  // Deterministic given the seed.
+  for (int64_t i = 0; i < a.series.numel(); ++i) {
+    ASSERT_EQ(a.series[i], b.series[i]);
+  }
+  // Labels are binary, and the injected events are actually labeled.
+  int64_t labeled = 0;
+  for (int64_t t = 0; t < 512; ++t) {
+    ASSERT_TRUE(a.labels[t] == 0.0f || a.labels[t] == 1.0f);
+    labeled += a.labels[t] == 1.0f ? 1 : 0;
+  }
+  EXPECT_GT(labeled, 0);
+  EXPECT_LT(labeled, 512 / 4);  // anomalies are rare
+}
+
+TEST(DriftingStreamTest, MeanAndAmplitudeDrift) {
+  DriftingStreamOpts opts;
+  opts.num_channels = 1;
+  opts.total_length = 2048;
+  opts.num_anomalies = 0;
+  AnomalySeries s = MakeDriftingStream(opts);
+  // Level drift: the last quarter's mean sits well above the first's.
+  const int64_t q = 2048 / 4;
+  double first = 0.0;
+  double last = 0.0;
+  for (int64_t t = 0; t < q; ++t) {
+    first += s.series[t];
+    last += s.series[2048 - q + t];
+  }
+  first /= static_cast<double>(q);
+  last /= static_cast<double>(q);
+  EXPECT_GT(last - first, 0.5 * opts.level_drift * 2048.0 * 0.5);
+  // The baseline is in the catastrophic-cancellation regime on purpose.
+  EXPECT_GT(first, 1.0e5);
+}
+
 TEST(MissingMaskTest, MissingComesInBlocks) {
   Rng rng(11);
   Tensor mask = MakeMissingMask({1, 4000}, 0.3f, 8.0f, &rng);

@@ -12,10 +12,14 @@
 //               [--max-batch N] [--max-delay-ms X] [--workers N]
 //               [--max-queue N] [--request-timeout-ms X]
 //               [--idle-timeout-s X] [--threads N]
+//               [--max-streams N] [--stream-idle-timeout-s X]
 //
 // Example session:
 //   {"op": "load", "model": "ecg", "path": "fitted.json"}
 //   {"op": "predict", "model": "ecg", "values": [0.1, 0.2, ...]}
+//   {"op": "stream_open", "model": "ecg", "window": 32}
+//   {"op": "stream_feed", "stream": 0, "values": [0.1, 0.2, ...]}
+//   {"op": "stream_close", "stream": 0}
 //   {"op": "stats"}
 //   {"op": "quit"}
 //
@@ -44,6 +48,7 @@ int Usage() {
       "                   [--max-batch N] [--max-delay-ms X] [--workers N]\n"
       "                   [--max-queue N] [--request-timeout-ms X]\n"
       "                   [--idle-timeout-s X] [--threads N]\n"
+      "                   [--max-streams N] [--stream-idle-timeout-s X]\n"
       "speaks newline-delimited JSON on stdin/stdout, or over TCP with\n"
       "--port; see serve/server.h for the protocol\n");
   return 2;
@@ -163,6 +168,24 @@ int Main(int argc, char** argv) {
         return 2;
       }
       options.idle_timeout_s = s;
+    } else if (flag == "--max-streams") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 1) {
+        std::fprintf(stderr, "error: --max-streams expects a positive int\n");
+        return 2;
+      }
+      options.streaming.max_sessions = n;
+    } else if (flag == "--stream-idle-timeout-s") {
+      const char* value = next();
+      double s = 0.0;
+      if (value == nullptr || !ParseDouble(value, &s) || s < 0.0) {
+        std::fprintf(
+            stderr,
+            "error: --stream-idle-timeout-s expects a non-negative number\n");
+        return 2;
+      }
+      options.streaming.idle_timeout_s = s;
     } else if (flag == "--threads") {
       const char* value = next();
       int64_t n = 0;
@@ -211,6 +234,7 @@ int Main(int argc, char** argv) {
   stdin_options.batcher = options.batcher;
   stdin_options.admission = options.admission;
   stdin_options.session = options.session;
+  stdin_options.streaming = options.streaming;
   JsonLineServer server(&registry, stdin_options);
   return server.Run(std::cin, std::cout);
 }
