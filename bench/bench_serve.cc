@@ -1,4 +1,4 @@
-// Serving-runtime benchmark, three parts:
+// Serving-runtime benchmark, four parts:
 //  1. closed-loop clients drive the micro-batcher in process, sweeping
 //     max_batch_size to show the batching throughput / latency trade-off;
 //  2. the same workload through the TCP transport (SocketServer on
@@ -9,6 +9,10 @@
 //     stream, feeds points in fixed-size chunks, and waits for every
 //     feed's reply (closed loop), sweeping sessions x chunk size to show
 //     assembled-window throughput and per-feed tail latency.
+//  4. the router tier — an in-process Router spawns real units_serve
+//     worker processes, eight models are spread over the ring, and
+//     closed-loop clients sweep workers x clients to show how sharding
+//     scales the same workload across processes.
 // Writes a machine-readable BENCH_serve.json so subsequent PRs can track
 // the serving perf trajectory.
 
@@ -21,6 +25,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -30,6 +35,7 @@
 
 #include "bench_util.h"
 #include "json/json.h"
+#include "router/router.h"
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/serve_stats.h"
@@ -91,11 +97,11 @@ SweepPoint RunClosedLoop(serve::ModelRegistry* registry, const Tensor& row,
 }
 
 /// One NDJSON predict request line for the resident bench model.
-std::string PredictLine(const Tensor& row) {
+std::string PredictLine(const Tensor& row, const std::string& model = "model") {
   const int64_t channels = row.dim(1);
   const int64_t length = row.dim(2);
   std::ostringstream os;
-  os << "{\"op\": \"predict\", \"model\": \"model\", \"values\": [";
+  os << "{\"op\": \"predict\", \"model\": \"" << model << "\", \"values\": [";
   for (int64_t d = 0; d < channels; ++d) {
     os << (d == 0 ? "[" : ", [");
     for (int64_t t = 0; t < length; ++t) {
@@ -373,6 +379,150 @@ StreamSweepPoint RunStreamingClosedLoop(serve::ModelRegistry* registry,
   return point;
 }
 
+constexpr int kRouterModels = 8;
+
+struct RouterSweepPoint {
+  int workers = 0;
+  int clients = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double shed_rate = 0.0;
+};
+
+/// units_serve next to this binary's sibling tools/ directory, the same
+/// resolution the router tests use; UNITS_SERVE_BIN overrides.
+std::string WorkerBinaryPath() {
+  if (const char* env = std::getenv("UNITS_SERVE_BIN")) {
+    return env;
+  }
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    return "units_serve";
+  }
+  buf[n] = '\0';
+  const std::string self(buf);
+  const size_t slash = self.rfind('/');
+  return self.substr(0, slash) + "/../tools/units_serve";
+}
+
+/// Closed-loop TCP clients against a router fronting `workers` spawned
+/// units_serve processes. kRouterModels copies of the bench model are
+/// loaded through the router so the ring has names to spread; client c
+/// rotates through them, exercising every shard.
+RouterSweepPoint RunRouterClosedLoop(const std::string& model_path,
+                                     const Tensor& row, int workers,
+                                     int num_clients) {
+  router::Router::Options options;
+  options.port = 0;  // ephemeral
+  options.num_shards = workers;
+  options.worker_binary = WorkerBinaryPath();
+  options.worker_args = {"--max-delay-ms", "1", "--max-queue", "8"};
+  router::Router server(options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "router bench: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+  const int port = server.bound_port();
+  std::thread loop([&] { server.Run(); });
+
+  // Wait for every worker to join the ring, then place the models.
+  {
+    const int fd = ConnectLoopback(port);
+    std::string rbuf;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (true) {
+      SendAll(fd, "{\"op\": \"stats\"}\n");
+      const auto parsed = json::Parse(ReadResponseLine(fd, &rbuf));
+      if (parsed.ok() && parsed->is_object() && parsed->Contains("router") &&
+          parsed->at("router").at("healthy_shards").AsInt() == workers) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "router bench: workers never became healthy\n");
+        std::abort();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    for (int m = 0; m < kRouterModels; ++m) {
+      SendAll(fd, "{\"op\": \"load\", \"model\": \"m" + std::to_string(m) +
+                      "\", \"path\": \"" + model_path + "\"}\n");
+      const std::string line = ReadResponseLine(fd, &rbuf);
+      if (line.find("\"ok\":true") == std::string::npos) {
+        std::fprintf(stderr, "router bench: load failed: %s\n", line.c_str());
+        std::abort();
+      }
+    }
+    ::close(fd);
+  }
+
+  std::vector<std::string> requests;
+  requests.reserve(kRouterModels);
+  for (int m = 0; m < kRouterModels; ++m) {
+    requests.push_back(PredictLine(row, "m" + std::to_string(m)) + "\n");
+  }
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(num_clients));
+  std::vector<int64_t> shed(static_cast<size_t>(num_clients), 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = ConnectLoopback(port);
+      std::string rbuf;
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::string& request =
+            requests[static_cast<size_t>((c + r) % kRouterModels)];
+        const auto sent = std::chrono::steady_clock::now();
+        SendAll(fd, request);
+        const std::string line = ReadResponseLine(fd, &rbuf);
+        latencies[static_cast<size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - sent)
+                .count());
+        if (line.find("\"ok\":true") == std::string::npos) {
+          if (line.find("overloaded") == std::string::npos) {
+            std::fprintf(stderr, "router bench: %s\n", line.c_str());
+            std::abort();
+          }
+          ++shed[static_cast<size_t>(c)];
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  server.RequestDrain();
+  loop.join();
+
+  std::vector<double> all;
+  int64_t total_shed = 0;
+  for (int c = 0; c < num_clients; ++c) {
+    all.insert(all.end(), latencies[static_cast<size_t>(c)].begin(),
+               latencies[static_cast<size_t>(c)].end());
+    total_shed += shed[static_cast<size_t>(c)];
+  }
+  const int64_t total = static_cast<int64_t>(num_clients) *
+                        kRequestsPerClient;
+  RouterSweepPoint point;
+  point.workers = workers;
+  point.clients = num_clients;
+  point.qps = static_cast<double>(total) / seconds;
+  point.p50_ms = Quantile(&all, 0.50);
+  point.p99_ms = Quantile(&all, 0.99);
+  point.shed_rate = static_cast<double>(total_shed) /
+                    static_cast<double>(total);
+  return point;
+}
+
 int Main() {
   BenchInit();
   PrintHeader("serve: micro-batch sweep, closed-loop clients");
@@ -388,6 +538,14 @@ int Main() {
   auto pipeline = core::UnitsPipeline::Create(cfg, dataset.num_channels());
   if (!pipeline.ok() || !(*pipeline)->FineTune(dataset).ok()) {
     std::fprintf(stderr, "failed to fit the bench model\n");
+    return 1;
+  }
+  // The router sweep spawns worker processes that load the model from
+  // disk, so persist it before the registry takes ownership.
+  const std::string model_path =
+      "/tmp/units_bench_serve_model_" + std::to_string(::getpid()) + ".json";
+  if (!(*pipeline)->SaveJson(model_path).ok()) {
+    std::fprintf(stderr, "failed to save the bench model\n");
     return 1;
   }
   serve::ModelRegistry registry;
@@ -467,6 +625,33 @@ int Main() {
     }
   }
 
+  PrintHeader("serve: router tier, workers x clients sweep");
+  json::JsonValue router_sweep = json::JsonValue::Array();
+  for (const int workers : {1, 2, 4}) {
+    for (const int num_clients : {4, 16}) {
+      const RouterSweepPoint point =
+          RunRouterClosedLoop(model_path, row, workers, num_clients);
+      const std::string label = "workers_" + std::to_string(workers) +
+                                "_clients_" + std::to_string(num_clients);
+      PrintRow("serve_router", "classification", label, "qps", point.qps);
+      PrintRow("serve_router", "classification", label, "p50_ms",
+               point.p50_ms);
+      PrintRow("serve_router", "classification", label, "p99_ms",
+               point.p99_ms);
+      PrintRow("serve_router", "classification", label, "shed_rate",
+               point.shed_rate);
+      json::JsonValue entry = json::JsonValue::Object();
+      entry.Set("workers", json::JsonValue::Int(point.workers));
+      entry.Set("clients", json::JsonValue::Int(point.clients));
+      entry.Set("qps", json::JsonValue::Number(point.qps));
+      entry.Set("p50_ms", json::JsonValue::Number(point.p50_ms));
+      entry.Set("p99_ms", json::JsonValue::Number(point.p99_ms));
+      entry.Set("shed_rate", json::JsonValue::Number(point.shed_rate));
+      router_sweep.Append(std::move(entry));
+    }
+  }
+  ::unlink(model_path.c_str());
+
   json::JsonValue doc = json::JsonValue::Object();
   doc.Set("bench", json::JsonValue::String("serve"));
   doc.Set("clients", json::JsonValue::Int(kClients));
@@ -476,6 +661,8 @@ int Main() {
   doc.Set("socket_max_queue", json::JsonValue::Int(8));
   doc.Set("socket_sweep", std::move(socket_sweep));
   doc.Set("streaming_sweep", std::move(streaming_sweep));
+  doc.Set("router_models", json::JsonValue::Int(kRouterModels));
+  doc.Set("router_sweep", std::move(router_sweep));
   std::ofstream out("BENCH_serve.json");
   out << doc.Dump(2) << "\n";
   std::printf("wrote BENCH_serve.json\n");

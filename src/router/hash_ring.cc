@@ -1,0 +1,72 @@
+#include "router/hash_ring.h"
+
+#include <climits>
+
+namespace units::router {
+
+uint64_t Fnv1a64(const std::string& key) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+namespace {
+
+/// splitmix64 finalizer. Raw FNV-1a has weak high-bit avalanche: keys
+/// sharing a long prefix ("model-1", "model-2", ...) hash within ~2^32 of
+/// each other and would pile onto one arc of the ring, defeating the
+/// virtual replicas. Mixing restores a uniform spread while keeping the
+/// placement fully deterministic.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t RingPoint(const std::string& key) { return Mix64(Fnv1a64(key)); }
+
+}  // namespace
+
+void HashRing::AddNode(int node) {
+  if (!nodes_.insert(node).second) {
+    return;
+  }
+  for (int r = 0; r < replicas_; ++r) {
+    const uint64_t point =
+        RingPoint("node:" + std::to_string(node) + ":" + std::to_string(r));
+    ring_.emplace(std::make_pair(point, node), node);
+  }
+}
+
+void HashRing::RemoveNode(int node) {
+  if (nodes_.erase(node) == 0) {
+    return;
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int HashRing::Lookup(const std::string& key) const {
+  if (ring_.empty()) {
+    return -1;
+  }
+  const uint64_t hash = RingPoint(key);
+  auto it = ring_.lower_bound(std::make_pair(hash, INT_MIN));
+  if (it == ring_.end()) {
+    it = ring_.begin();  // clockwise wrap
+  }
+  return it->second;
+}
+
+}  // namespace units::router

@@ -1,0 +1,53 @@
+#ifndef UNITS_ROUTER_HASH_RING_H_
+#define UNITS_ROUTER_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace units::router {
+
+/// FNV-1a 64-bit hash — stable across platforms and runs, which matters
+/// because shard placement must be reproducible (a restarted router must
+/// route a model to the same shard index as its predecessor).
+uint64_t Fnv1a64(const std::string& key);
+
+/// Consistent hash ring over integer node ids (shard indices). Each node
+/// owns `replicas` virtual points; a key is served by the first virtual
+/// point clockwise from the key's hash (FNV-1a through a splitmix64
+/// finalizer, so similarly named models still spread uniformly). Removing
+/// one node reassigns only that node's keys (to their successors) — the
+/// property the router's drain-and-rebalance leans on: a worker death
+/// moves ~1/N of the models, not all of them.
+///
+/// Deterministic by construction: the ring is a map keyed on
+/// (hash, node), so virtual-point collisions between nodes resolve by
+/// node id, independent of insertion order.
+class HashRing {
+ public:
+  explicit HashRing(int replicas = 64) : replicas_(replicas) {}
+
+  void AddNode(int node);
+  void RemoveNode(int node);
+  bool Contains(int node) const { return nodes_.count(node) > 0; }
+
+  /// Owning node for `key`, or -1 when the ring is empty.
+  int Lookup(const std::string& key) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  std::vector<int> nodes() const {
+    return std::vector<int>(nodes_.begin(), nodes_.end());
+  }
+
+ private:
+  int replicas_;
+  std::map<std::pair<uint64_t, int>, int> ring_;
+  std::set<int> nodes_;
+};
+
+}  // namespace units::router
+
+#endif  // UNITS_ROUTER_HASH_RING_H_

@@ -1,0 +1,1324 @@
+#include "router/router.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "base/logging.h"
+#include "router/worker_process.h"
+#include "serve/net_util.h"
+#include "serve/serve_stats.h"
+
+namespace units::router {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+Clock::duration SecondsToDuration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+/// {"id"?, "ok": false, "error": msg} — the worker's error shape, so
+/// clients cannot tell a router-originated error from a worker one.
+std::string ErrorLine(const json::JsonValue& id, const std::string& message) {
+  json::JsonValue resp = json::JsonValue::Object();
+  if (!id.is_null()) {
+    resp.Set("id", id);
+  }
+  resp.Set("ok", json::JsonValue::Bool(false));
+  resp.Set("error", json::JsonValue::String(message));
+  return resp.Dump();
+}
+
+/// Error response for a stored request line: echoes its "id" when the
+/// line still parses (it did when first routed).
+std::string ErrorForLine(const std::string& request_line,
+                         const std::string& message) {
+  auto parsed = json::Parse(request_line);
+  if (parsed.ok() && parsed->is_object() && parsed->Contains("id")) {
+    return ErrorLine(parsed->at("id"), message);
+  }
+  return ErrorLine(json::JsonValue(), message);
+}
+
+Result<std::string> GetString(const json::JsonValue& request,
+                              const std::string& key) {
+  if (!request.Contains(key) || !request.at(key).is_string()) {
+    return Status::InvalidArgument("field '" + key + "' must be a string");
+  }
+  return request.at(key).AsString();
+}
+
+bool ResponseOk(const std::string& line) {
+  auto parsed = json::Parse(line);
+  return parsed.ok() && parsed->is_object() && parsed->Contains("ok") &&
+         parsed->at("ok").is_bool() && parsed->at("ok").AsBool();
+}
+
+void Inc(std::map<std::string, int>* counts, const std::string& key) {
+  (*counts)[key] += 1;
+}
+
+void Dec(std::map<std::string, int>* counts, const std::string& key) {
+  auto it = counts->find(key);
+  if (it != counts->end() && --it->second <= 0) {
+    counts->erase(it);
+  }
+}
+
+const char* StateName(int state) {
+  switch (state) {
+    case 0: return "spawning";
+    case 1: return "healthy";
+    case 2: return "backoff";
+    default: return "unknown";
+  }
+}
+
+}  // namespace
+
+Router::Router(Options options)
+    : options_(std::move(options)), ring_(options_.virtual_nodes) {}
+
+Router::~Router() {
+  // Abandoned without a drain (a test tearing down, Start() failing):
+  // make sure no worker outlives the router.
+  for (auto& s : shards_) {
+    if (s->pid > 0) {
+      ::kill(s->pid, SIGKILL);
+      int status = 0;
+      pid_t r;
+      do {
+        r = ::waitpid(s->pid, &status, 0);
+      } while (r < 0 && errno == EINTR);
+    }
+    for (int fd : {s->stderr_fd, s->data_fd, s->ctrl_fd}) {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+  }
+  for (auto& [fd, conn] : clients_) {
+    ::close(fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  if (wake_fds_[0] >= 0) {
+    ::close(wake_fds_[0]);
+  }
+  const int wake_write = wake_write_fd_.exchange(-1);
+  if (wake_write >= 0) {
+    ::close(wake_write);
+  }
+}
+
+Status Router::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("router already started");
+  }
+  if (options_.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options_.worker_binary.empty()) {
+    options_.worker_binary = DefaultWorkerBinary();
+  }
+  if (options_.worker_binary.empty()) {
+    return Status::InvalidArgument(
+        "worker binary not found: pass Options::worker_binary or set "
+        "UNITS_SERVE_BIN");
+  }
+  if (::access(options_.worker_binary.c_str(), X_OK) != 0) {
+    return Status::InvalidArgument("worker binary '" +
+                                   options_.worker_binary +
+                                   "' is not executable");
+  }
+  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Status::IoError(std::string("pipe2: ") + std::strerror(errno));
+  }
+  wake_write_fd_.store(wake_fds_[1], std::memory_order_relaxed);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IoError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  bound_port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  const auto now = Clock::now();
+  for (int i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shards_.push_back(std::move(shard));
+    SpawnShard(shards_.back().get(), now);
+  }
+  UNITS_LOG(Info) << "router listening on " << options_.bind_address << ":"
+                  << bound_port_ << " with " << options_.num_shards
+                  << " shards";
+  return Status::Ok();
+}
+
+void Router::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  const int fd = wake_write_fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    (void)!::write(fd, &byte, 1);
+  }
+}
+
+void Router::DrainWakePipe() {
+  char buf[256];
+  while (serve::ReadRetry(wake_fds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+// --- Shard lifecycle -------------------------------------------------------
+
+void Router::SpawnShard(Shard* s, Clock::time_point now) {
+  std::vector<std::string> args = {"--port", "0"};
+  args.insert(args.end(), options_.worker_args.begin(),
+              options_.worker_args.end());
+  auto spawned = SpawnWorker(options_.worker_binary, args);
+  if (!spawned.ok()) {
+    UNITS_LOG(Error) << "shard " << s->index
+                     << " spawn failed: " << spawned.status().ToString();
+    s->state = Shard::State::kBackoff;
+    s->backoff_s = s->backoff_s <= 0.0
+                       ? options_.respawn_backoff_s
+                       : std::min(s->backoff_s * 2.0,
+                                  options_.respawn_backoff_max_s);
+    s->respawn_at = now + SecondsToDuration(s->backoff_s);
+    return;
+  }
+  s->pid = spawned->pid;
+  s->stderr_fd = spawned->stderr_fd;
+  s->stderr_buf.clear();
+  s->port = 0;
+  s->state = Shard::State::kSpawning;
+  s->spawn_deadline = now + SecondsToDuration(options_.spawn_timeout_s);
+  if (s->deaths > 0) {
+    counters_.respawns += 1;
+  }
+}
+
+void Router::OnShardListening(Shard* s, int port, Clock::time_point now) {
+  auto data = ConnectTcp("127.0.0.1", port);
+  auto ctrl = data.ok() ? ConnectTcp("127.0.0.1", port)
+                        : Result<int>(data.status());
+  if (!data.ok() || !ctrl.ok()) {
+    if (data.ok()) {
+      ::close(*data);
+    }
+    MarkDead(s, now,
+             "connect failed: " + (data.ok() ? ctrl : data).status().ToString());
+    return;
+  }
+  s->port = port;
+  s->data_fd = *data;
+  s->ctrl_fd = *ctrl;
+  s->state = Shard::State::kHealthy;
+  s->last_pong = now;
+  // Make the first health ping due immediately.
+  s->last_ping_sent = now - SecondsToDuration(options_.health_interval_s);
+  s->ping_outstanding = false;
+  s->backoff_s = 0.0;
+  ring_.AddNode(s->index);
+  UNITS_LOG(Info) << "shard " << s->index << " healthy on port " << port
+                  << " (pid " << s->pid << ")";
+}
+
+void Router::FailPendings(Shard* s, Clock::time_point now) {
+  const auto retry_after = now + SecondsToDuration(
+                                     options_.retry_backoff_ms / 1000.0);
+  auto fail_queue = [&](std::deque<Pending>* q) {
+    for (Pending& p : *q) {
+      switch (p.kind) {
+        case Pending::Kind::kClient:
+          if (p.op.empty() && p.retries_left > 0) {
+            // Idempotent predict: retry against the successor shard once
+            // the backoff elapses (the ring no longer contains this one).
+            counters_.retries += 1;
+            held_[p.model].push_back({p.client_fd, p.entry_id,
+                                      std::move(p.line), p.model,
+                                      p.retries_left - 1, retry_after});
+          } else {
+            counters_.unavailable += 1;
+            CompleteEntry(p.client_fd, p.entry_id,
+                          ErrorForLine(
+                              p.line,
+                              "unavailable: worker shard died mid-request") +
+                              "\n");
+          }
+          break;
+        case Pending::Kind::kFanout:
+          if (--p.fanout->outstanding == 0) {
+            CompleteFanout(p.fanout);
+          }
+          break;
+        case Pending::Kind::kHealth:
+        case Pending::Kind::kInternal:
+          break;  // bookkeeping resets below; Reconcile reissues
+      }
+    }
+    q->clear();
+  };
+  fail_queue(&s->data_pending);
+  fail_queue(&s->ctrl_pending);
+}
+
+void Router::MarkDead(Shard* s, Clock::time_point now,
+                      const std::string& reason) {
+  UNITS_LOG(Warning) << "shard " << s->index << " down: " << reason;
+  counters_.worker_deaths += 1;
+  s->deaths += 1;
+  ring_.RemoveNode(s->index);
+  for (int* fd : {&s->stderr_fd, &s->data_fd, &s->ctrl_fd}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  s->stderr_buf.clear();
+  s->data_rbuf.clear();
+  s->data_wbuf.clear();
+  s->ctrl_rbuf.clear();
+  s->ctrl_wbuf.clear();
+  FailPendings(s, now);
+  s->loaded.clear();
+  s->loading.clear();
+  s->unloading.clear();
+  s->ping_outstanding = false;
+  if (s->pid > 0) {
+    ::kill(s->pid, SIGKILL);  // idempotent; a hung worker must actually die
+  }
+  s->state = Shard::State::kBackoff;
+  s->backoff_s = s->backoff_s <= 0.0
+                     ? options_.respawn_backoff_s
+                     : std::min(s->backoff_s * 2.0,
+                                options_.respawn_backoff_max_s);
+  s->respawn_at = now + SecondsToDuration(s->backoff_s);
+}
+
+void Router::ReapAndRespawn(Clock::time_point now) {
+  const bool draining = drain_requested_.load(std::memory_order_acquire);
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    if (s->pid > 0) {
+      int status = 0;
+      const pid_t r = ::waitpid(s->pid, &status, WNOHANG);
+      if (r == s->pid) {
+        s->pid = -1;
+        if (s->state != Shard::State::kBackoff) {
+          MarkDead(s, now, "worker exited");
+        }
+      }
+    }
+    if (s->state == Shard::State::kSpawning && now > s->spawn_deadline) {
+      MarkDead(s, now, "no port announcement within spawn timeout");
+    }
+    if (!draining && s->state == Shard::State::kBackoff && s->pid < 0 &&
+        now >= s->respawn_at) {
+      SpawnShard(s, now);
+    }
+  }
+}
+
+void Router::HealthTick(Clock::time_point now) {
+  const auto interval = SecondsToDuration(options_.health_interval_s);
+  const auto timeout = SecondsToDuration(options_.health_timeout_s);
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    if (s->state != Shard::State::kHealthy) {
+      continue;
+    }
+    if (now - s->last_pong > timeout) {
+      counters_.health_evictions += 1;
+      MarkDead(s, now, "health check timed out");
+      continue;
+    }
+    if (!s->ping_outstanding && now - s->last_ping_sent >= interval) {
+      Pending p;
+      p.kind = Pending::Kind::kHealth;
+      SendToShard(s, /*ctrl=*/true, "{\"op\": \"ping\"}", std::move(p));
+      s->ping_outstanding = true;
+      s->last_ping_sent = now;
+    }
+  }
+}
+
+void Router::Reconcile() {
+  // Converge every desired model toward exactly one replica, on its ring
+  // owner. The new owner confirms its load before any other shard is asked
+  // to unload, so a healthy model never has a zero-replica window.
+  const auto now = Clock::now();
+  for (const auto& [model, path] : desired_models_) {
+    const int owner = ring_.Lookup(model);
+    if (owner < 0) {
+      continue;  // no healthy shards; predicts answer "unavailable"
+    }
+    Shard* s = shards_[owner].get();
+    auto backoff = load_retry_after_.find(model);
+    if (backoff != load_retry_after_.end() && now < backoff->second) {
+      continue;
+    }
+    if (s->loaded.count(model) == 0 && s->loading.count(model) == 0) {
+      json::JsonValue req = json::JsonValue::Object();
+      req.Set("op", json::JsonValue::String("load"));
+      req.Set("model", json::JsonValue::String(model));
+      req.Set("path", json::JsonValue::String(path));
+      Pending p;
+      p.kind = Pending::Kind::kInternal;
+      p.model = model;
+      p.op = "load";
+      p.path = path;
+      Inc(&s->loading, model);
+      SendToShard(s, /*ctrl=*/true, req.Dump(), std::move(p));
+    }
+    if (s->loaded.count(model) > 0) {
+      for (auto& other : shards_) {
+        Shard* t = other.get();
+        if (t == s || t->state != Shard::State::kHealthy) {
+          continue;
+        }
+        if (t->loaded.count(model) > 0 && t->unloading.count(model) == 0) {
+          // Predicts already forwarded to `t` may still be parked in its
+          // batcher (their responses arrive only once the batch flushes),
+          // and the worker's unload barrier is per-connection: an unload on
+          // the control connection would drop the model out from under
+          // predicts in flight on the data connection. Hold the unload
+          // until every forwarded predict for this model has answered; the
+          // next pass retries.
+          bool in_flight = false;
+          for (const Pending& dp : t->data_pending) {
+            if (dp.model == model) {
+              in_flight = true;
+              break;
+            }
+          }
+          if (in_flight) {
+            continue;
+          }
+          json::JsonValue req = json::JsonValue::Object();
+          req.Set("op", json::JsonValue::String("unload"));
+          req.Set("model", json::JsonValue::String(model));
+          Pending p;
+          p.kind = Pending::Kind::kInternal;
+          p.model = model;
+          p.op = "unload";
+          Inc(&t->unloading, model);
+          SendToShard(t, /*ctrl=*/true, req.Dump(), std::move(p));
+        }
+      }
+    }
+  }
+}
+
+// --- Shard I/O -------------------------------------------------------------
+
+void Router::SendToShard(Shard* s, bool ctrl, const std::string& line,
+                         Pending p) {
+  std::string& wbuf = ctrl ? s->ctrl_wbuf : s->data_wbuf;
+  wbuf += line;
+  wbuf += '\n';
+  (ctrl ? s->ctrl_pending : s->data_pending).push_back(std::move(p));
+}
+
+void Router::ReadShardStderr(Shard* s, Clock::time_point now) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = serve::ReadRetry(s->stderr_fd, buf, sizeof(buf));
+    if (n > 0) {
+      s->stderr_buf.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      ::close(s->stderr_fd);
+      s->stderr_fd = -1;
+      if (s->state == Shard::State::kSpawning) {
+        MarkDead(s, now, "worker exited before announcing its port");
+      }
+      break;
+    }
+    break;  // EAGAIN (or a transient error): try again next pass
+  }
+  if (s->state == Shard::State::kSpawning) {
+    const int port = FindPortAnnouncement(s->stderr_buf);
+    if (port > 0) {
+      OnShardListening(s, port, now);
+    }
+  }
+  // Forward complete worker log lines under a shard prefix.
+  size_t start = 0;
+  size_t pos;
+  while ((pos = s->stderr_buf.find('\n', start)) != std::string::npos) {
+    const std::string line = s->stderr_buf.substr(start, pos - start);
+    start = pos + 1;
+    if (!line.empty()) {
+      std::fprintf(stderr, "[shard %d] %s\n", s->index, line.c_str());
+    }
+  }
+  s->stderr_buf.erase(0, start);
+}
+
+bool Router::ReadShardConn(Shard* s, bool ctrl, Clock::time_point now) {
+  const int fd = ctrl ? s->ctrl_fd : s->data_fd;
+  std::string& rbuf = ctrl ? s->ctrl_rbuf : s->data_rbuf;
+  char buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = serve::ReadRetry(fd, buf, sizeof(buf));
+    if (n > 0) {
+      rbuf.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      MarkDead(s, now, ctrl ? "control connection closed"
+                            : "data connection closed");
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    MarkDead(s, now, std::string("read: ") + std::strerror(errno));
+    return false;
+  }
+  size_t start = 0;
+  size_t pos;
+  while ((pos = rbuf.find('\n', start)) != std::string::npos) {
+    std::string line = rbuf.substr(start, pos - start);
+    start = pos + 1;
+    if (!line.empty()) {
+      HandleShardLine(s, ctrl, line, now);
+    }
+  }
+  rbuf.erase(0, start);
+  return true;
+}
+
+bool Router::FlushShardConn(Shard* s, bool ctrl) {
+  const int fd = ctrl ? s->ctrl_fd : s->data_fd;
+  std::string& wbuf = ctrl ? s->ctrl_wbuf : s->data_wbuf;
+  while (!wbuf.empty()) {
+    const ssize_t n =
+        serve::SendRetry(fd, wbuf.data(), wbuf.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      }
+      return false;
+    }
+    wbuf.erase(0, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+void Router::HandleShardLine(Shard* s, bool ctrl, const std::string& line,
+                             Clock::time_point now) {
+  s->last_pong = now;  // any response proves the worker is alive
+  auto& q = ctrl ? s->ctrl_pending : s->data_pending;
+  if (q.empty()) {
+    UNITS_LOG(Warning) << "shard " << s->index
+                       << " sent an unsolicited response; dropping";
+    return;
+  }
+  Pending p = std::move(q.front());
+  q.pop_front();
+  switch (p.kind) {
+    case Pending::Kind::kHealth:
+      s->ping_outstanding = false;
+      break;
+    case Pending::Kind::kClient:
+      if (!p.op.empty()) {
+        NoteControlResponse(s, p, line);
+      }
+      // Forwarded byte-for-byte: a predict via the router is bitwise
+      // identical to one answered by the worker directly.
+      CompleteEntry(p.client_fd, p.entry_id, line + "\n");
+      break;
+    case Pending::Kind::kInternal:
+      NoteControlResponse(s, p, line);
+      break;
+    case Pending::Kind::kFanout:
+      p.fanout->responses[s->index] = line;
+      if (--p.fanout->outstanding == 0) {
+        CompleteFanout(p.fanout);
+      }
+      break;
+  }
+}
+
+void Router::NoteControlResponse(Shard* s, const Pending& p,
+                                 const std::string& line) {
+  const bool ok = ResponseOk(line);
+  if (p.op == "load" || p.op == "reload") {
+    Dec(&s->loading, p.model);
+    if (ok) {
+      s->loaded.insert(p.model);
+      load_retry_after_.erase(p.model);
+      if (p.kind == Pending::Kind::kClient && p.op == "load") {
+        desired_models_[p.model] = p.path;
+      }
+    } else if (p.kind == Pending::Kind::kInternal) {
+      UNITS_LOG(Warning) << "shard " << s->index << " failed to load '"
+                         << p.model << "': " << line;
+      load_retry_after_[p.model] = Clock::now() + SecondsToDuration(1.0);
+    }
+  } else if (p.op == "unload") {
+    Dec(&s->unloading, p.model);
+    if (ok) {
+      s->loaded.erase(p.model);
+      if (p.kind == Pending::Kind::kClient) {
+        desired_models_.erase(p.model);
+      }
+    }
+  }
+}
+
+// --- Client I/O ------------------------------------------------------------
+
+void Router::AcceptNew(Clock::time_point now) {
+  for (;;) {
+    const int fd = serve::Accept4Retry(listen_fd_, nullptr, nullptr,
+                                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;
+    }
+    auto conn = std::make_unique<ClientConn>();
+    conn->fd = fd;
+    conn->last_activity = now;
+    clients_.emplace(fd, std::move(conn));
+  }
+}
+
+bool Router::ReadClient(ClientConn* c, Clock::time_point now) {
+  char buf[kReadChunk];
+  const ssize_t n = serve::ReadRetry(c->fd, buf, sizeof(buf));
+  if (n == 0) {
+    c->read_closed = true;
+    return true;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;
+    }
+    return false;
+  }
+  c->last_activity = now;
+  c->rbuf.append(buf, static_cast<size_t>(n));
+  if (c->proto == ClientConn::Proto::kUnknown) {
+    bool decided = false;
+    const bool is_http = serve::SniffHttp(c->rbuf, &decided);
+    if (!decided) {
+      return true;
+    }
+    if (is_http) {
+      c->proto = ClientConn::Proto::kHttp;
+      serve::HttpRequestParser::Limits limits;
+      limits.max_body_bytes = options_.max_line_bytes;
+      c->http = std::make_unique<serve::HttpConnState>(limits);
+    } else {
+      c->proto = ClientConn::Proto::kNdjson;
+    }
+  }
+  if (c->proto == ClientConn::Proto::kHttp) {
+    ConsumeClientHttp(c);
+  } else {
+    ConsumeClientNdjson(c);
+  }
+  return true;
+}
+
+void Router::ConsumeClientNdjson(ClientConn* c) {
+  size_t start = 0;
+  size_t pos;
+  while (!c->read_closed &&
+         (pos = c->rbuf.find('\n', start)) != std::string::npos) {
+    std::string line = c->rbuf.substr(start, pos - start);
+    start = pos + 1;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (c->discarding_line) {
+      c->discarding_line = false;
+      continue;
+    }
+    if (line.find_first_not_of(" \t") == std::string::npos) {
+      continue;
+    }
+    RouteClientLine(c, line);
+  }
+  c->rbuf.erase(0, start);
+  if (!c->discarding_line && c->rbuf.size() > options_.max_line_bytes) {
+    ClientEntry entry;
+    entry.id = next_entry_id_++;
+    entry.ready = true;
+    entry.line = ErrorLine(json::JsonValue(),
+                           "request line exceeds " +
+                               std::to_string(options_.max_line_bytes) +
+                               " bytes") +
+                 "\n";
+    c->entries.push_back(std::move(entry));
+    c->discarding_line = true;
+    c->rbuf.clear();
+  }
+}
+
+void Router::ConsumeClientHttp(ClientConn* c) {
+  // Mirrors the worker transport: every HTTP request yields exactly one
+  // response entry and one meta record, matched FIFO at flush time.
+  while (!c->read_closed) {
+    serve::HttpRequest request;
+    const auto outcome = c->http->parser.Next(&c->rbuf, &request);
+    if (outcome == serve::HttpRequestParser::Outcome::kNeedMore) {
+      return;
+    }
+    if (outcome == serve::HttpRequestParser::Outcome::kError) {
+      ClientEntry entry;
+      entry.id = next_entry_id_++;
+      entry.ready = true;
+      entry.line =
+          ErrorLine(json::JsonValue(), c->http->parser.error()) + "\n";
+      c->entries.push_back(std::move(entry));
+      c->http->meta.push_back({false, c->http->parser.status()});
+      c->read_closed = true;
+      ::shutdown(c->fd, SHUT_RD);
+      return;
+    }
+    auto line = serve::HttpRequestToLine(request);
+    if (!line.ok()) {
+      const std::string& message = line.status().message();
+      const size_t space = message.find(' ');
+      const int status = std::atoi(message.c_str());
+      ClientEntry entry;
+      entry.id = next_entry_id_++;
+      entry.ready = true;
+      entry.line = ErrorLine(json::JsonValue(),
+                             space == std::string::npos
+                                 ? message
+                                 : message.substr(space + 1)) +
+                   "\n";
+      c->entries.push_back(std::move(entry));
+      c->http->meta.push_back({request.keep_alive, status > 0 ? status : 400});
+    } else {
+      c->http->meta.push_back({request.keep_alive, 0});
+      RouteClientLine(c, *line);
+    }
+    if (!request.keep_alive) {
+      c->read_closed = true;
+      ::shutdown(c->fd, SHUT_RD);
+    }
+  }
+}
+
+bool Router::FlushClient(ClientConn* c, Clock::time_point now) {
+  std::string response;
+  while (c->wbuf.size() < options_.max_write_buffer_bytes &&
+         !c->entries.empty() && c->entries.front().ready) {
+    response = std::move(c->entries.front().line);
+    c->entries.pop_front();
+    if (c->proto == ClientConn::Proto::kHttp) {
+      serve::HttpResponseMeta meta{false, 500};
+      if (!c->http->meta.empty()) {
+        meta = c->http->meta.front();
+        c->http->meta.pop_front();
+      }
+      c->wbuf +=
+          serve::RenderHttpResponse(meta.status, response, meta.keep_alive);
+    } else {
+      c->wbuf += response;
+    }
+  }
+  while (!c->wbuf.empty()) {
+    const ssize_t n =
+        serve::SendRetry(c->fd, c->wbuf.data(), c->wbuf.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      }
+      return false;
+    }
+    c->wbuf.erase(0, static_cast<size_t>(n));
+    c->last_activity = now;
+  }
+  return true;
+}
+
+void Router::CloseClient(int fd) {
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) {
+    return;
+  }
+  ::close(fd);
+  // Responses still in flight for this client find no matching entry when
+  // they arrive and are dropped (entry ids are globally unique, so a
+  // reused fd can never receive a stale response).
+  clients_.erase(it);
+}
+
+// --- Routing ---------------------------------------------------------------
+
+void Router::RouteClientLine(ClientConn* c, const std::string& line) {
+  counters_.requests += 1;
+  ClientEntry entry;
+  entry.id = next_entry_id_++;
+  const uint64_t entry_id = entry.id;
+  c->entries.push_back(std::move(entry));
+  auto finish_local = [&](const std::string& response) {
+    CompleteEntry(c->fd, entry_id, response + "\n");
+  };
+
+  if (line.size() > options_.max_line_bytes) {
+    finish_local(ErrorLine(json::JsonValue(),
+                           "request line exceeds " +
+                               std::to_string(options_.max_line_bytes) +
+                               " bytes"));
+    return;
+  }
+  auto parsed = json::Parse(line);
+  if (!parsed.ok() || !parsed->is_object() || !parsed->Contains("op") ||
+      !parsed->at("op").is_string()) {
+    finish_local(ErrorLine(json::JsonValue(),
+                           parsed.ok() ? "request needs a string 'op' field"
+                                       : parsed.status().ToString()));
+    return;
+  }
+  const json::JsonValue& request = *parsed;
+  const std::string op = request.at("op").AsString();
+  const json::JsonValue id =
+      request.Contains("id") ? request.at("id") : json::JsonValue();
+
+  if (op == "predict") {
+    auto model = GetString(request, "model");
+    if (!model.ok()) {
+      finish_local(ErrorLine(id, model.status().ToString()));
+      return;
+    }
+    DispatchPredict(c->fd, entry_id, line, *model, options_.max_retries,
+                    Clock::now());
+    return;
+  }
+  if (op == "load" || op == "unload" || op == "reload") {
+    DispatchControl(c, entry_id, request, op, line);
+    return;
+  }
+  if (op == "stats" || op == "list") {
+    DispatchFanout(c, entry_id, op, id);
+    return;
+  }
+  if (op == "ping") {
+    json::JsonValue resp = json::JsonValue::Object();
+    resp.Set("ok", json::JsonValue::Bool(true));
+    resp.Set("op", json::JsonValue::String(op));
+    if (!id.is_null()) {
+      resp.Set("id", id);
+    }
+    finish_local(resp.Dump());
+    return;
+  }
+  if (op == "quit") {
+    json::JsonValue resp = json::JsonValue::Object();
+    resp.Set("ok", json::JsonValue::Bool(true));
+    resp.Set("op", json::JsonValue::String(op));
+    finish_local(resp.Dump());
+    c->read_closed = true;
+    ::shutdown(c->fd, SHUT_RD);
+    return;
+  }
+  if (op == "stream_open" || op == "stream_feed" || op == "stream_close") {
+    finish_local(ErrorLine(
+        id,
+        "streaming is not supported through the router; connect to a worker "
+        "shard directly"));
+    return;
+  }
+  finish_local(ErrorLine(json::JsonValue(), "unknown op '" + op + "'"));
+}
+
+void Router::DispatchPredict(int client_fd, uint64_t entry_id,
+                             const std::string& line, const std::string& model,
+                             int retries_left, Clock::time_point now) {
+  const int owner = ring_.Lookup(model);
+  if (owner < 0) {
+    counters_.unavailable += 1;
+    CompleteEntry(client_fd, entry_id,
+                  ErrorForLine(line, "unavailable: no healthy shards") + "\n");
+    return;
+  }
+  Shard* s = shards_[owner].get();
+  auto held_it = held_.find(model);
+  if (s->loading.count(model) > 0 ||
+      (held_it != held_.end() && !held_it->second.empty())) {
+    // A (re)load for this model is in flight on its owner: hold the
+    // predict until the load settles, otherwise the worker would see the
+    // predict first and answer "model not found".
+    counters_.held += 1;
+    held_[model].push_back({client_fd, entry_id, line, model, retries_left,
+                            now});
+    return;
+  }
+  Pending p;
+  p.kind = Pending::Kind::kClient;
+  p.client_fd = client_fd;
+  p.entry_id = entry_id;
+  p.line = line;
+  p.model = model;
+  p.retries_left = retries_left;
+  counters_.forwarded += 1;
+  SendToShard(s, /*ctrl=*/false, line, std::move(p));
+}
+
+void Router::DispatchControl(ClientConn* c, uint64_t entry_id,
+                             const json::JsonValue& request,
+                             const std::string& op, const std::string& line) {
+  const json::JsonValue id =
+      request.Contains("id") ? request.at("id") : json::JsonValue();
+  auto model = GetString(request, "model");
+  if (!model.ok()) {
+    CompleteEntry(c->fd, entry_id,
+                  ErrorLine(json::JsonValue(), model.status().ToString()) +
+                      "\n");
+    return;
+  }
+  std::string path;
+  if (op == "load") {
+    auto p = GetString(request, "path");
+    if (!p.ok()) {
+      CompleteEntry(c->fd, entry_id,
+                    ErrorLine(json::JsonValue(), p.status().ToString()) +
+                        "\n");
+      return;
+    }
+    path = *p;
+  }
+  const int owner = ring_.Lookup(*model);
+  if (owner < 0) {
+    counters_.unavailable += 1;
+    CompleteEntry(c->fd, entry_id,
+                  ErrorLine(id, "unavailable: no healthy shards") + "\n");
+    return;
+  }
+  Shard* s = shards_[owner].get();
+  if (op == "load" || op == "reload") {
+    Inc(&s->loading, *model);
+  } else {
+    Inc(&s->unloading, *model);
+  }
+  Pending p;
+  p.kind = Pending::Kind::kClient;
+  p.client_fd = c->fd;
+  p.entry_id = entry_id;
+  p.line = line;
+  p.model = *model;
+  p.op = op;
+  p.path = path;
+  counters_.forwarded += 1;
+  SendToShard(s, /*ctrl=*/true, line, std::move(p));
+}
+
+void Router::DispatchFanout(ClientConn* c, uint64_t entry_id,
+                            const std::string& op, const json::JsonValue& id) {
+  auto fanout = std::make_shared<FanoutState>();
+  fanout->client_fd = c->fd;
+  fanout->entry_id = entry_id;
+  fanout->op = op;
+  fanout->id = id;
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    if (s->state != Shard::State::kHealthy) {
+      continue;
+    }
+    Pending p;
+    p.kind = Pending::Kind::kFanout;
+    p.fanout = fanout;
+    SendToShard(s, /*ctrl=*/true, "{\"op\": \"" + op + "\"}", std::move(p));
+    fanout->outstanding += 1;
+  }
+  if (fanout->outstanding == 0) {
+    CompleteFanout(fanout);  // zero healthy shards: router-only aggregate
+  }
+}
+
+void Router::CompleteFanout(const std::shared_ptr<FanoutState>& fanout) {
+  CompleteEntry(fanout->client_fd, fanout->entry_id,
+                RenderFanout(*fanout) + "\n");
+}
+
+json::JsonValue Router::RouterStats() const {
+  json::JsonValue r = json::JsonValue::Object();
+  r.Set("uptime_s", json::JsonValue::Number(serve::ProcessUptimeSeconds()));
+  r.Set("rss_bytes", json::JsonValue::Int(serve::CurrentRssBytes()));
+  r.Set("pid", json::JsonValue::Int(static_cast<int64_t>(::getpid())));
+  r.Set("shards", json::JsonValue::Int(static_cast<int64_t>(shards_.size())));
+  int64_t healthy = 0;
+  for (const auto& s : shards_) {
+    healthy += s->state == Shard::State::kHealthy ? 1 : 0;
+  }
+  r.Set("healthy_shards", json::JsonValue::Int(healthy));
+  r.Set("models",
+        json::JsonValue::Int(static_cast<int64_t>(desired_models_.size())));
+  r.Set("requests", json::JsonValue::Int(counters_.requests));
+  r.Set("forwarded", json::JsonValue::Int(counters_.forwarded));
+  r.Set("held", json::JsonValue::Int(counters_.held));
+  r.Set("retries", json::JsonValue::Int(counters_.retries));
+  r.Set("unavailable", json::JsonValue::Int(counters_.unavailable));
+  r.Set("worker_deaths", json::JsonValue::Int(counters_.worker_deaths));
+  r.Set("respawns", json::JsonValue::Int(counters_.respawns));
+  r.Set("health_evictions",
+        json::JsonValue::Int(counters_.health_evictions));
+  return r;
+}
+
+std::string Router::RenderFanout(const FanoutState& fanout) const {
+  json::JsonValue resp = json::JsonValue::Object();
+  if (!fanout.id.is_null()) {
+    resp.Set("id", fanout.id);
+  }
+  resp.Set("ok", json::JsonValue::Bool(true));
+  resp.Set("op", json::JsonValue::String(fanout.op));
+  if (fanout.op == "list") {
+    json::JsonValue models = json::JsonValue::Array();
+    for (const auto& [index, line] : fanout.responses) {
+      auto parsed = json::Parse(line);
+      if (!parsed.ok() || !parsed->is_object() ||
+          !parsed->Contains("models") || !parsed->at("models").is_array()) {
+        continue;
+      }
+      const json::JsonValue& shard_models = parsed->at("models");
+      for (size_t i = 0; i < shard_models.size(); ++i) {
+        json::JsonValue entry = shard_models[i];
+        entry.Set("shard", json::JsonValue::Int(index));
+        models.Append(std::move(entry));
+      }
+    }
+    resp.Set("models", std::move(models));
+    return resp.Dump();
+  }
+  // stats: router-level counters plus a per-shard rollup embedding each
+  // worker's own stats document.
+  resp.Set("router", RouterStats());
+  json::JsonValue shards = json::JsonValue::Array();
+  for (const auto& shard : shards_) {
+    const Shard* s = shard.get();
+    json::JsonValue entry = json::JsonValue::Object();
+    entry.Set("shard", json::JsonValue::Int(s->index));
+    entry.Set("state",
+              json::JsonValue::String(StateName(static_cast<int>(s->state))));
+    entry.Set("pid", json::JsonValue::Int(static_cast<int64_t>(s->pid)));
+    entry.Set("port", json::JsonValue::Int(s->port));
+    entry.Set("deaths", json::JsonValue::Int(s->deaths));
+    json::JsonValue models = json::JsonValue::Array();
+    for (const std::string& m : s->loaded) {
+      models.Append(json::JsonValue::String(m));
+    }
+    entry.Set("models", std::move(models));
+    auto it = fanout.responses.find(s->index);
+    if (it != fanout.responses.end()) {
+      auto parsed = json::Parse(it->second);
+      if (parsed.ok() && parsed->is_object() && parsed->Contains("stats")) {
+        entry.Set("stats", parsed->at("stats"));
+      }
+    }
+    shards.Append(std::move(entry));
+  }
+  resp.Set("shards", std::move(shards));
+  return resp.Dump();
+}
+
+void Router::FlushHeld(Clock::time_point now) {
+  std::vector<HeldPredict> runnable;
+  for (auto it = held_.begin(); it != held_.end();) {
+    std::deque<HeldPredict>& q = it->second;
+    const int owner = ring_.Lookup(it->first);
+    const bool loading =
+        owner >= 0 && shards_[owner]->loading.count(it->first) > 0;
+    while (!loading && !q.empty() && q.front().not_before <= now) {
+      runnable.push_back(std::move(q.front()));
+      q.pop_front();
+    }
+    if (q.empty()) {
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (HeldPredict& h : runnable) {
+    DispatchPredict(h.client_fd, h.entry_id, h.line, h.model, h.retries_left,
+                    now);
+  }
+}
+
+void Router::CompleteEntry(int client_fd, uint64_t entry_id,
+                           std::string line) {
+  auto it = clients_.find(client_fd);
+  if (it == clients_.end()) {
+    return;  // client disconnected while its request was in flight
+  }
+  for (ClientEntry& entry : it->second->entries) {
+    if (entry.id == entry_id) {
+      entry.ready = true;
+      entry.line = std::move(line);
+      return;
+    }
+  }
+}
+
+// --- Main loop -------------------------------------------------------------
+
+int Router::ShutdownWorkers() {
+  for (auto& s : shards_) {
+    if (s->pid > 0) {
+      ::kill(s->pid, SIGTERM);
+    }
+  }
+  const auto deadline = Clock::now() + SecondsToDuration(2.0);
+  for (;;) {
+    bool any_alive = false;
+    for (auto& s : shards_) {
+      if (s->pid <= 0) {
+        continue;
+      }
+      int status = 0;
+      const pid_t r = ::waitpid(s->pid, &status, WNOHANG);
+      if (r == s->pid) {
+        s->pid = -1;
+      } else {
+        any_alive = true;
+      }
+    }
+    if (!any_alive) {
+      break;
+    }
+    if (Clock::now() > deadline) {
+      for (auto& s : shards_) {
+        if (s->pid > 0) {
+          ::kill(s->pid, SIGKILL);
+          int status = 0;
+          pid_t r;
+          do {
+            r = ::waitpid(s->pid, &status, 0);
+          } while (r < 0 && errno == EINTR);
+          s->pid = -1;
+        }
+      }
+      break;
+    }
+    ::usleep(10 * 1000);
+  }
+  return 0;
+}
+
+int Router::Run() {
+  if (listen_fd_ < 0 && !drain_requested_.load(std::memory_order_acquire)) {
+    UNITS_LOG(Error) << "Router::Run called before Start";
+    return 1;
+  }
+  bool draining = false;
+  Clock::time_point drain_started{};
+  const auto drain_timeout = SecondsToDuration(options_.drain_timeout_s);
+
+  enum class FdKind { kWake, kListen, kStderr, kData, kCtrl, kClient };
+  struct PollRec {
+    FdKind kind;
+    int shard = -1;
+    int fd = -1;
+  };
+  std::vector<pollfd> fds;
+  std::vector<PollRec> recs;
+
+  for (;;) {
+    auto now = Clock::now();
+    if (drain_requested_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_started = now;
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      for (auto& [fd, conn] : clients_) {
+        conn->read_closed = true;
+      }
+    }
+
+    ReapAndRespawn(now);
+    if (!draining) {
+      HealthTick(now);
+    }
+    Reconcile();
+    FlushHeld(now);
+
+    fds.clear();
+    recs.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    recs.push_back({FdKind::kWake});
+    if (!draining && listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      recs.push_back({FdKind::kListen});
+    }
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      if (s->stderr_fd >= 0) {
+        fds.push_back({s->stderr_fd, POLLIN, 0});
+        recs.push_back({FdKind::kStderr, s->index, s->stderr_fd});
+      }
+      if (s->data_fd >= 0) {
+        short events = POLLIN;
+        if (!s->data_wbuf.empty()) {
+          events |= POLLOUT;
+        }
+        fds.push_back({s->data_fd, events, 0});
+        recs.push_back({FdKind::kData, s->index, s->data_fd});
+      }
+      if (s->ctrl_fd >= 0) {
+        short events = POLLIN;
+        if (!s->ctrl_wbuf.empty()) {
+          events |= POLLOUT;
+        }
+        fds.push_back({s->ctrl_fd, events, 0});
+        recs.push_back({FdKind::kCtrl, s->index, s->ctrl_fd});
+      }
+    }
+    for (auto& [fd, conn] : clients_) {
+      short events = 0;
+      if (!conn->read_closed &&
+          conn->wbuf.size() < options_.max_write_buffer_bytes) {
+        events |= POLLIN;
+      }
+      if (!conn->wbuf.empty()) {
+        events |= POLLOUT;
+      }
+      fds.push_back({fd, events, 0});
+      recs.push_back({FdKind::kClient, -1, fd});
+    }
+
+    // 100 ms cap: health ticks, respawn backoffs, and retry deadlines all
+    // piggyback on this cadence.
+    (void)serve::PollRetry(fds.data(), fds.size(), 100);
+    now = Clock::now();
+
+    for (size_t i = 0; i < fds.size(); ++i) {
+      const short revents = fds[i].revents;
+      const PollRec& rec = recs[i];
+      switch (rec.kind) {
+        case FdKind::kWake:
+          if (revents & POLLIN) {
+            DrainWakePipe();
+          }
+          break;
+        case FdKind::kListen:
+          if (!draining && listen_fd_ >= 0 && (revents & POLLIN)) {
+            AcceptNew(now);
+          }
+          break;
+        case FdKind::kStderr: {
+          Shard* s = shards_[rec.shard].get();
+          if (s->stderr_fd == rec.fd &&
+              (revents & (POLLIN | POLLHUP | POLLERR))) {
+            ReadShardStderr(s, now);
+          }
+          break;
+        }
+        case FdKind::kData:
+        case FdKind::kCtrl: {
+          Shard* s = shards_[rec.shard].get();
+          const bool ctrl = rec.kind == FdKind::kCtrl;
+          const int fd = ctrl ? s->ctrl_fd : s->data_fd;
+          if (fd == rec.fd && (revents & (POLLIN | POLLHUP | POLLERR))) {
+            ReadShardConn(s, ctrl, now);
+          }
+          break;
+        }
+        case FdKind::kClient:
+          if (clients_.count(rec.fd) > 0 &&
+              (revents & (POLLIN | POLLHUP | POLLERR))) {
+            ClientConn* c = clients_.find(rec.fd)->second.get();
+            if (!ReadClient(c, now)) {
+              CloseClient(rec.fd);
+            }
+          }
+          break;
+      }
+    }
+
+    // Push buffered shard traffic (reconcile loads, health pings, newly
+    // routed client requests) every pass.
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      if (s->data_fd >= 0 && !FlushShardConn(s, /*ctrl=*/false)) {
+        MarkDead(s, now, "data connection write failed");
+        continue;
+      }
+      if (s->ctrl_fd >= 0 && !FlushShardConn(s, /*ctrl=*/true)) {
+        MarkDead(s, now, "control connection write failed");
+      }
+    }
+
+    // Flush clients and retire finished connections.
+    std::vector<int> to_close;
+    for (auto& [fd, conn] : clients_) {
+      if (!FlushClient(conn.get(), now)) {
+        to_close.push_back(fd);
+        continue;
+      }
+      if (conn->read_closed && conn->entries.empty() && conn->wbuf.empty()) {
+        to_close.push_back(fd);
+      }
+    }
+    for (const int fd : to_close) {
+      CloseClient(fd);
+    }
+
+    if (draining) {
+      if (clients_.empty()) {
+        return ShutdownWorkers();
+      }
+      if (now - drain_started > drain_timeout) {
+        // Peers that stopped reading, or responses that will never come:
+        // answer what we can and give up on the rest.
+        for (auto& [fd, conn] : clients_) {
+          ::close(fd);
+        }
+        clients_.clear();
+        return ShutdownWorkers();
+      }
+    }
+  }
+}
+
+}  // namespace units::router

@@ -1,0 +1,270 @@
+#ifndef UNITS_ROUTER_ROUTER_H_
+#define UNITS_ROUTER_ROUTER_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "router/hash_ring.h"
+#include "serve/http_adapter.h"
+
+namespace units::router {
+
+/// Front tier for a pool of units_serve worker processes: clients speak
+/// the same NDJSON protocol (or HTTP/1.1 — connections are sniffed exactly
+/// as on a worker) to one port, and the router shards the model namespace
+/// across workers by consistent hashing on the model name.
+///
+/// The router owns the worker lifecycle end to end:
+///   - spawns each shard as `units_serve --port 0`, discovering the
+///     ephemeral port from the worker's stderr announcement;
+///   - keeps two connections per shard — a data connection carrying
+///     predicts and a control connection carrying health pings, fanout
+///     ops, and the router's own load/unload traffic — so liveness
+///     probes never queue behind a deep predict backlog;
+///   - health-checks every shard with {"op": "ping"} round-trips; a shard
+///     that misses pongs for `health_timeout_s` is killed, evicted from
+///     the ring, and respawned with exponential backoff;
+///   - rebalances on membership change: the desired model set (every
+///     model loaded through the router, with its path) is reconciled
+///     against each shard's confirmed loads — the new owner loads before
+///     any old owner is asked to unload, so there is no window with zero
+///     replicas of a healthy model.
+///
+/// Failure semantics for client requests when a worker dies mid-flight:
+/// in-flight predicts are retried against the successor shard up to
+/// `max_retries` times (after `retry_backoff_ms`); once retries are
+/// exhausted — or immediately for non-idempotent control ops — the client
+/// receives {"ok": false, "error": "unavailable: ..."}. Predicts for a
+/// model whose (re)load is still in flight are held and dispatched when
+/// the load completes, which closes the load→predict race a single
+/// worker's FIFO connection would otherwise expose.
+///
+/// Response correlation relies on the worker protocol answering strictly
+/// in request order per connection: each shard connection keeps a FIFO of
+/// pending requests, and forwarded response lines are passed through
+/// byte-for-byte — a predict answered via the router is bitwise identical
+/// to one answered by the worker directly.
+///
+/// Ops handled by the router itself: "ping" (local pong), "quit" (closes
+/// the client connection), "stats"/"list" (fanned out to every healthy
+/// shard and aggregated under router-level counters), and "stream_*"
+/// (answered with a structured error — streaming sessions are pinned to
+/// worker state and must connect to a worker directly).
+///
+/// Single-threaded: Start() + Run() drive everything from one poll loop;
+/// RequestDrain() is async-signal-safe. SIGTERM drain answers what is in
+/// flight, then SIGTERMs the workers and reaps them before returning 0.
+class Router {
+ public:
+  struct Options {
+    int port = 0;                         // 0 = ephemeral
+    std::string bind_address = "127.0.0.1";
+    int backlog = 128;
+    int num_shards = 2;
+    std::string worker_binary;            // empty = DefaultWorkerBinary()
+    std::vector<std::string> worker_args; // extra flags for every worker
+    double health_interval_s = 0.5;
+    double health_timeout_s = 3.0;
+    /// Retries per predict after a shard death; 0 fails fast.
+    int max_retries = 1;
+    double retry_backoff_ms = 50.0;
+    double respawn_backoff_s = 0.25;      // doubles per death, capped below
+    double respawn_backoff_max_s = 5.0;
+    /// Deadline for a spawned worker to announce its port.
+    double spawn_timeout_s = 10.0;
+    double drain_timeout_s = 5.0;
+    size_t max_line_bytes = 1 << 20;
+    size_t max_write_buffer_bytes = 4u << 20;
+    int virtual_nodes = 64;               // ring replicas per shard
+  };
+
+  explicit Router(Options options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds the listener and spawns the shard pool. After an OK return
+  /// bound_port() is final; workers finish booting inside Run().
+  Status Start();
+
+  int bound_port() const { return bound_port_; }
+
+  /// Serves until a drain completes; returns a process exit code.
+  int Run();
+
+  /// Async-signal-safe drain request (atomic store + pipe write).
+  void RequestDrain();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct FanoutState {
+    int client_fd = -1;
+    uint64_t entry_id = 0;
+    std::string op;
+    json::JsonValue id;
+    int outstanding = 0;
+    std::map<int, std::string> responses;  // shard index -> response line
+  };
+
+  /// One forwarded request awaiting its response on a shard connection
+  /// (responses arrive strictly in request order).
+  struct Pending {
+    enum class Kind { kClient, kHealth, kInternal, kFanout };
+    Kind kind = Kind::kClient;
+    int client_fd = -1;      // kClient/kFanout: destination client
+    uint64_t entry_id = 0;   // kClient: which response slot it fills
+    std::string line;        // original request line (retries re-send it)
+    std::string model;       // predict/control target model
+    std::string op;          // empty for predicts
+    std::string path;        // load only: fitted-pipeline path
+    int retries_left = 0;
+    std::shared_ptr<FanoutState> fanout;
+  };
+
+  struct Shard {
+    int index = 0;
+    enum class State { kSpawning, kHealthy, kBackoff };
+    State state = State::kBackoff;
+    pid_t pid = -1;
+    int port = 0;
+    int stderr_fd = -1;
+    std::string stderr_buf;
+    int data_fd = -1;
+    std::string data_rbuf, data_wbuf;
+    std::deque<Pending> data_pending;
+    int ctrl_fd = -1;
+    std::string ctrl_rbuf, ctrl_wbuf;
+    std::deque<Pending> ctrl_pending;
+    Clock::time_point last_pong{};
+    Clock::time_point last_ping_sent{};
+    bool ping_outstanding = false;
+    Clock::time_point spawn_deadline{};
+    Clock::time_point respawn_at{};
+    double backoff_s = 0.0;
+    std::set<std::string> loaded;             // confirmed by the worker
+    std::map<std::string, int> loading;       // in-flight load count
+    std::map<std::string, int> unloading;     // in-flight unload count
+    int64_t deaths = 0;
+  };
+
+  /// One response slot owed to a client, in request order.
+  struct ClientEntry {
+    uint64_t id = 0;
+    bool ready = false;
+    std::string line;  // response with trailing '\n' when ready
+  };
+
+  struct ClientConn {
+    int fd = -1;
+    std::string rbuf, wbuf;
+    bool read_closed = false;
+    bool discarding_line = false;
+    enum class Proto { kUnknown, kNdjson, kHttp };
+    Proto proto = Proto::kUnknown;
+    std::unique_ptr<serve::HttpConnState> http;
+    std::deque<ClientEntry> entries;
+    Clock::time_point last_activity{};
+  };
+
+  /// A predict waiting out a load in flight on its owner shard, or a
+  /// retry backoff after a shard death.
+  struct HeldPredict {
+    int client_fd = -1;
+    uint64_t entry_id = 0;
+    std::string line;
+    std::string model;
+    int retries_left = 0;
+    Clock::time_point not_before{};
+  };
+
+  struct Counters {
+    int64_t requests = 0;
+    int64_t forwarded = 0;
+    int64_t held = 0;
+    int64_t retries = 0;
+    int64_t unavailable = 0;
+    int64_t worker_deaths = 0;
+    int64_t respawns = 0;
+    int64_t health_evictions = 0;
+  };
+
+  // Lifecycle.
+  void SpawnShard(Shard* s, Clock::time_point now);
+  void OnShardListening(Shard* s, int port, Clock::time_point now);
+  void MarkDead(Shard* s, Clock::time_point now, const std::string& reason);
+  void ReapAndRespawn(Clock::time_point now);
+  void HealthTick(Clock::time_point now);
+  void Reconcile();
+
+  // Shard I/O.
+  void ReadShardStderr(Shard* s, Clock::time_point now);
+  bool ReadShardConn(Shard* s, bool ctrl, Clock::time_point now);
+  bool FlushShardConn(Shard* s, bool ctrl);
+  void HandleShardLine(Shard* s, bool ctrl, const std::string& line,
+                       Clock::time_point now);
+  void NoteControlResponse(Shard* s, const Pending& p,
+                           const std::string& line);
+  void SendToShard(Shard* s, bool ctrl, const std::string& line, Pending p);
+
+  // Client I/O.
+  void AcceptNew(Clock::time_point now);
+  bool ReadClient(ClientConn* c, Clock::time_point now);
+  void ConsumeClientNdjson(ClientConn* c);
+  void ConsumeClientHttp(ClientConn* c);
+  bool FlushClient(ClientConn* c, Clock::time_point now);
+  void CloseClient(int fd);
+
+  // Routing.
+  void RouteClientLine(ClientConn* c, const std::string& line);
+  void DispatchPredict(int client_fd, uint64_t entry_id,
+                       const std::string& line, const std::string& model,
+                       int retries_left, Clock::time_point now);
+  void DispatchControl(ClientConn* c, uint64_t entry_id,
+                       const json::JsonValue& request, const std::string& op,
+                       const std::string& line);
+  void DispatchFanout(ClientConn* c, uint64_t entry_id, const std::string& op,
+                      const json::JsonValue& id);
+  void CompleteFanout(const std::shared_ptr<FanoutState>& fanout);
+  std::string RenderFanout(const FanoutState& fanout) const;
+  void FlushHeld(Clock::time_point now);
+  void CompleteEntry(int client_fd, uint64_t entry_id, std::string line);
+  void FailPendings(Shard* s, Clock::time_point now);
+
+  void DrainWakePipe();
+  int ShutdownWorkers();
+  json::JsonValue RouterStats() const;
+
+  Options options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<int, std::unique_ptr<ClientConn>> clients_;
+  std::map<std::string, std::deque<HeldPredict>> held_;
+  std::map<std::string, std::string> desired_models_;  // model -> path
+  /// Backoff for internal loads that failed (e.g. the path vanished), so
+  /// Reconcile does not hammer a shard with doomed load requests.
+  std::map<std::string, Clock::time_point> load_retry_after_;
+  Counters counters_;
+  uint64_t next_entry_id_ = 1;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<int> wake_write_fd_{-1};
+  int bound_port_ = 0;
+  std::atomic<bool> drain_requested_{false};
+};
+
+}  // namespace units::router
+
+#endif  // UNITS_ROUTER_ROUTER_H_

@@ -1,0 +1,120 @@
+#include "router/worker_process.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/net_util.h"
+
+namespace units::router {
+
+Result<WorkerSpawn> SpawnWorker(const std::string& binary,
+                                const std::vector<std::string>& args) {
+  int stderr_pipe[2];
+  if (::pipe2(stderr_pipe, O_CLOEXEC) != 0) {
+    return Status::IoError(std::string("pipe2: ") + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(stderr_pipe[0]);
+    ::close(stderr_pipe[1]);
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. dup2 clears O_CLOEXEC on the duplicates; everything else in
+    // the router (sockets, pipes, the listener) is CLOEXEC and vanishes
+    // across exec.
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+    }
+    ::dup2(stderr_pipe[1], STDERR_FILENO);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    // exec failed: report on the (redirected) stderr and die; the parent
+    // sees an instant exit plus this line on the pipe.
+    const char* msg = "exec failed\n";
+    (void)!::write(STDERR_FILENO, msg, std::strlen(msg));
+    ::_exit(127);
+  }
+  ::close(stderr_pipe[1]);
+  const int flags = ::fcntl(stderr_pipe[0], F_GETFL);
+  ::fcntl(stderr_pipe[0], F_SETFL, flags | O_NONBLOCK);
+  WorkerSpawn spawn;
+  spawn.pid = pid;
+  spawn.stderr_fd = stderr_pipe[0];
+  return spawn;
+}
+
+int FindPortAnnouncement(const std::string& stderr_text) {
+  static const std::string kMarker = "listening on port ";
+  const size_t pos = stderr_text.find(kMarker);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  const size_t digits = pos + kMarker.size();
+  const size_t eol = stderr_text.find('\n', digits);
+  if (eol == std::string::npos) {
+    return 0;  // partial line; wait for the rest
+  }
+  return std::atoi(stderr_text.substr(digits, eol - digits).c_str());
+}
+
+Result<int> ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  const int flags = ::fcntl(fd, F_GETFL);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+std::string DefaultWorkerBinary() {
+  const char* env = std::getenv("UNITS_SERVE_BIN");
+  if (env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n <= 0) {
+    return "";
+  }
+  self[n] = '\0';
+  std::string path(self);
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) {
+    return "";
+  }
+  return path.substr(0, slash) + "/units_serve";
+}
+
+}  // namespace units::router

@@ -1,0 +1,43 @@
+#ifndef UNITS_ROUTER_WORKER_PROCESS_H_
+#define UNITS_ROUTER_WORKER_PROCESS_H_
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace units::router {
+
+/// A freshly spawned worker: the child's pid plus the read end of its
+/// stderr, non-blocking, through which the router discovers the worker's
+/// ephemeral port ("listening on port N") and forwards its logs.
+struct WorkerSpawn {
+  pid_t pid = -1;
+  int stderr_fd = -1;
+};
+
+/// fork/execs `binary` with `args` (argv[0] is derived from the binary
+/// path). The child's stderr is redirected into a pipe; stdin is
+/// /dev/null. Returns without waiting — exec failure surfaces as an
+/// immediate child exit, which the caller's reap loop observes.
+Result<WorkerSpawn> SpawnWorker(const std::string& binary,
+                                const std::vector<std::string>& args);
+
+/// Scans accumulated worker stderr for the "listening on port N"
+/// announcement; returns the port, or 0 when it has not appeared yet.
+int FindPortAnnouncement(const std::string& stderr_text);
+
+/// Blocking TCP connect to host:port; on success the socket is switched to
+/// non-blocking (the router's event loop owns it afterwards).
+Result<int> ConnectTcp(const std::string& host, int port);
+
+/// The units_serve binary next to the running executable
+/// (/proc/self/exe's directory + "/units_serve"); the UNITS_SERVE_BIN
+/// environment variable overrides it. Empty string when neither resolves.
+std::string DefaultWorkerBinary();
+
+}  // namespace units::router
+
+#endif  // UNITS_ROUTER_WORKER_PROCESS_H_

@@ -1,0 +1,260 @@
+#include "serve/http_adapter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "json/json.h"
+
+namespace units::serve {
+
+namespace {
+
+/// Lowercases ASCII in place (header names and values are case-insensitive
+/// where we compare them).
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+bool SniffHttp(const std::string& prefix, bool* decided) {
+  // NDJSON requests are JSON objects (or garbage we answer with a JSON
+  // error); HTTP requests start with "METHOD ". Decide on the longest
+  // method prefix we accept — 8 bytes covers "OPTIONS ".
+  static const char* kMethods[] = {"GET ",    "POST ",   "PUT ",
+                                   "HEAD ",   "DELETE ", "OPTIONS ",
+                                   "PATCH "};
+  for (const char* method : kMethods) {
+    const size_t len = std::char_traits<char>::length(method);
+    if (prefix.compare(0, std::min(prefix.size(), len), method, 0,
+                       std::min(prefix.size(), len)) == 0) {
+      if (prefix.size() >= len) {
+        *decided = true;
+        return true;
+      }
+      *decided = false;  // still a possible method prefix: wait for bytes
+      return false;
+    }
+  }
+  *decided = true;
+  return false;
+}
+
+HttpRequestParser::Outcome HttpRequestParser::Fail(int status,
+                                                   const std::string& msg) {
+  status_ = status;
+  error_ = msg;
+  return Outcome::kError;
+}
+
+HttpRequestParser::Outcome HttpRequestParser::Next(std::string* buffer,
+                                                   HttpRequest* request) {
+  // RFC 9112 §2.2: robustly skip CRLF padding between requests.
+  size_t start = 0;
+  while (start < buffer->size() &&
+         ((*buffer)[start] == '\r' || (*buffer)[start] == '\n')) {
+    ++start;
+  }
+  const size_t head_end = buffer->find("\r\n\r\n", start);
+  if (head_end == std::string::npos) {
+    if (buffer->size() - start > limits_.max_header_bytes) {
+      return Fail(400, "request headers exceed " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    return Outcome::kNeedMore;
+  }
+  if (head_end - start > limits_.max_header_bytes) {
+    return Fail(400, "request headers exceed " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const size_t line_end = buffer->find("\r\n", start);
+  const std::string line = buffer->substr(start, line_end - start);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return Fail(400, "malformed request line");
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail(400, "unsupported protocol version '" + version + "'");
+  }
+  const size_t query = target.find('?');
+  if (query != std::string::npos) {
+    target.erase(query);
+  }
+  if (target.empty() || target[0] != '/') {
+    return Fail(400, "malformed request target");
+  }
+
+  // Headers.
+  bool keep_alive = version == "HTTP/1.1";  // 1.1 default; 1.0 opt-in
+  bool have_length = false;
+  size_t content_length = 0;
+  bool chunked = false;
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const size_t eol = buffer->find("\r\n", pos);
+    const std::string header = buffer->substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = header.find(':');
+    if (colon == std::string::npos) {
+      return Fail(400, "malformed header line");
+    }
+    const std::string name = ToLower(Trim(header.substr(0, colon)));
+    const std::string value = Trim(header.substr(colon + 1));
+    if (name == "connection") {
+      const std::string v = ToLower(value);
+      if (v.find("close") != std::string::npos) {
+        keep_alive = false;
+      } else if (v.find("keep-alive") != std::string::npos) {
+        keep_alive = true;
+      }
+    } else if (name == "content-length") {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Fail(400, "malformed Content-Length");
+      }
+      have_length = true;
+      content_length = static_cast<size_t>(n);
+    } else if (name == "transfer-encoding") {
+      if (ToLower(value).find("chunked") != std::string::npos) {
+        chunked = true;
+      }
+    }
+  }
+  if (chunked) {
+    return Fail(501, "chunked transfer encoding is not supported");
+  }
+  const bool wants_body = method == "POST" || method == "PUT" ||
+                          method == "PATCH";
+  if (wants_body && !have_length) {
+    return Fail(411, "POST requires Content-Length");
+  }
+  if (content_length > limits_.max_body_bytes) {
+    return Fail(413, "request body exceeds " +
+                         std::to_string(limits_.max_body_bytes) + " bytes");
+  }
+  const size_t body_start = head_end + 4;
+  if (buffer->size() - body_start < content_length) {
+    return Outcome::kNeedMore;
+  }
+
+  request->method = method;
+  request->target = std::move(target);
+  request->body = buffer->substr(body_start, content_length);
+  request->keep_alive = keep_alive;
+  buffer->erase(0, body_start + content_length);
+  return Outcome::kRequest;
+}
+
+Result<std::string> HttpRequestToLine(const HttpRequest& request) {
+  if (request.target == "/v1/predict") {
+    if (request.method != "POST") {
+      return Status::InvalidArgument("405 /v1/predict requires POST");
+    }
+    auto body = json::Parse(request.body);
+    if (!body.ok()) {
+      return Status::InvalidArgument("400 request body: " +
+                                     body.status().message());
+    }
+    if (!body->is_object()) {
+      return Status::InvalidArgument("400 request body must be a JSON object");
+    }
+    json::JsonValue line = json::JsonValue::Object();
+    line.Set("op", json::JsonValue::String("predict"));
+    for (const auto& [key, value] : body->items()) {
+      if (key != "op") {
+        line.Set(key, value);
+      }
+    }
+    return line.Dump();
+  }
+  if (request.method != "GET" && request.method != "POST") {
+    return Status::InvalidArgument("405 method not allowed for '" +
+                                   request.target + "'");
+  }
+  if (request.target == "/v1/stats") {
+    return std::string("{\"op\":\"stats\"}");
+  }
+  if (request.target == "/v1/healthz") {
+    return std::string("{\"op\":\"ping\"}");
+  }
+  if (request.target == "/v1/models") {
+    return std::string("{\"op\":\"list\"}");
+  }
+  return Status::InvalidArgument("404 unknown path '" + request.target + "'");
+}
+
+int HttpStatusForLine(const std::string& response_line) {
+  auto parsed = json::Parse(response_line);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return 200;  // pass opaque payloads through rather than masking them
+  }
+  if (parsed->Contains("ok") && parsed->at("ok").is_bool() &&
+      parsed->at("ok").AsBool()) {
+    return 200;
+  }
+  std::string error;
+  if (parsed->Contains("error") && parsed->at("error").is_string()) {
+    error = parsed->at("error").AsString();
+  }
+  if (error.find("overloaded") != std::string::npos ||
+      error.find("unavailable") != std::string::npos) {
+    return 503;  // transient capacity signals a load balancer retries on
+  }
+  if (error.find("not found") != std::string::npos ||
+      error.find("NotFound") != std::string::npos) {
+    return 404;
+  }
+  return 400;
+}
+
+std::string RenderHttpResponse(int status, const std::string& body,
+                               bool keep_alive) {
+  if (status <= 0) {
+    status = HttpStatusForLine(body);
+  }
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    ReasonPhrase(status) + "\r\n";
+  out += "Content-Type: application/json\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace units::serve

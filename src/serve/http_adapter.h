@@ -1,0 +1,120 @@
+#ifndef UNITS_SERVE_HTTP_ADAPTER_H_
+#define UNITS_SERVE_HTTP_ADAPTER_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "base/status.h"
+
+namespace units::serve {
+
+/// Minimal HTTP/1.1 adapter layered over the newline-delimited JSON
+/// protocol, so standard load balancers and curl can hit a worker or the
+/// router without speaking NDJSON. The adapter is a pure translator — it
+/// turns an HTTP request into one protocol request line and one protocol
+/// response line back into an HTTP response — which lets the worker
+/// transport (SocketServer + RequestSession) and the router front tier
+/// share it byte for byte.
+///
+/// Routes:
+///   POST /v1/predict   body = {"model": "m", "values": [...], "id": any}
+///                      -> {"op": "predict", ...}
+///   GET  /v1/stats     -> {"op": "stats"}
+///   GET  /v1/healthz   -> {"op": "ping"}
+///   GET  /v1/models    -> {"op": "list"}
+///
+/// Bodies require Content-Length (411 without one; chunked transfer
+/// encoding is answered 501). Responses carry the protocol's JSON line as
+/// an application/json body; the status code is derived from it: 200 for
+/// {"ok": true}, 503 for "overloaded"/"unavailable" (load shedding and
+/// shard outages, the signals load balancers act on), 404 for unknown
+/// models, 400 for everything else. HTTP/1.1 connections are keep-alive by
+/// default and honor "Connection: close"; HTTP/1.0 closes unless
+/// "Connection: keep-alive" is sent. Malformed framing (bad request line,
+/// oversized headers or body) produces a 400/413 and closes the
+/// connection, since resynchronization inside a corrupt HTTP stream is
+/// guesswork.
+
+/// One parsed request, ready for translation.
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "GET"
+  std::string target;   // path only; the query string is stripped
+  std::string body;
+  bool keep_alive = true;
+};
+
+/// Incremental HTTP/1.1 request parser: feed it the connection's read
+/// buffer; it consumes complete requests and leaves partial ones in place.
+class HttpRequestParser {
+ public:
+  struct Limits {
+    size_t max_header_bytes = 16 * 1024;
+    size_t max_body_bytes = 1 << 20;
+  };
+
+  enum class Outcome {
+    kNeedMore,  // no complete request in the buffer yet
+    kRequest,   // *request filled; its bytes were consumed from *buffer
+    kError,     // framing error: status()/error() describe it; stop reading
+  };
+
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+  HttpRequestParser() : HttpRequestParser(Limits{}) {}
+
+  /// Consumes leading CRLF padding, then at most one complete request from
+  /// the front of *buffer.
+  Outcome Next(std::string* buffer, HttpRequest* request);
+
+  /// After kError: the HTTP status to answer (400 or 413) and a message.
+  int status() const { return status_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  Outcome Fail(int status, const std::string& message);
+
+  Limits limits_;
+  int status_ = 0;
+  std::string error_;
+};
+
+/// True when the first bytes of a connection look like an HTTP request
+/// rather than an NDJSON line. Needs at most 8 bytes to decide; returns
+/// false with *decided=false when the prefix is still ambiguous.
+bool SniffHttp(const std::string& prefix, bool* decided);
+
+/// Translates a parsed request into one NDJSON protocol line (no trailing
+/// newline). On failure the status carries the HTTP code to answer in its
+/// message prefix "<code> <reason>", e.g. "404 unknown path '/x'".
+Result<std::string> HttpRequestToLine(const HttpRequest& request);
+
+/// HTTP status for a protocol response line (see the mapping table above).
+int HttpStatusForLine(const std::string& response_line);
+
+/// Renders a full HTTP response. `body` is the protocol response line
+/// (trailing newline kept — curl output stays line-terminated);
+/// `status` <= 0 derives the code from the body via HttpStatusForLine.
+std::string RenderHttpResponse(int status, const std::string& body,
+                               bool keep_alive);
+
+/// Per-request bookkeeping a transport keeps between translating a request
+/// and rendering its response (response order is FIFO, so a deque of these
+/// runs parallel to the session's entry queue).
+struct HttpResponseMeta {
+  bool keep_alive = true;
+  int status = 0;  // forced status for translation errors; 0 = derive
+};
+
+/// Connection-level HTTP state for a transport: the parser plus the FIFO
+/// of per-request response metadata.
+struct HttpConnState {
+  explicit HttpConnState(HttpRequestParser::Limits limits)
+      : parser(limits) {}
+  HttpConnState() = default;
+  HttpRequestParser parser;
+  std::deque<HttpResponseMeta> meta;
+};
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_HTTP_ADAPTER_H_

@@ -1,0 +1,96 @@
+#ifndef UNITS_SERVE_NET_UTIL_H_
+#define UNITS_SERVE_NET_UTIL_H_
+
+// Retry-on-EINTR wrappers for the raw syscalls the serving transports and
+// the router tier sit on. A signal landing mid-transfer (SIGCHLD from a
+// reaped worker, a profiling signal, a debugger attach) must never be
+// mistaken for an I/O error or a lost byte, so every blocking call the
+// event loops make goes through these helpers instead of the bare syscall.
+// All of them are async-signal-tolerant, not async-signal-safe: call them
+// from ordinary threads, not from signal handlers.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <string>
+
+namespace units::serve {
+
+/// read(2), retried while it fails with EINTR. Every other outcome
+/// (including EAGAIN on a non-blocking fd) is returned unchanged.
+inline ssize_t ReadRetry(int fd, void* buf, size_t count) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, count);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+/// write(2), retried while it fails with EINTR. Short writes are returned
+/// as-is; callers that need the full buffer use WriteAllRetry/SendAllRetry.
+inline ssize_t WriteRetry(int fd, const void* buf, size_t count) {
+  for (;;) {
+    const ssize_t n = ::write(fd, buf, count);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+/// send(2), retried while it fails with EINTR.
+inline ssize_t SendRetry(int fd, const void* buf, size_t count, int flags) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, count, flags);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+/// accept4(2), retried while it fails with EINTR.
+inline int Accept4Retry(int fd, sockaddr* addr, socklen_t* addrlen,
+                        int flags) {
+  for (;;) {
+    const int client = ::accept4(fd, addr, addrlen, flags);
+    if (client >= 0 || errno != EINTR) {
+      return client;
+    }
+  }
+}
+
+/// poll(2), retried while it fails with EINTR. The retry does not recompute
+/// the timeout — under a signal storm the call may wait longer than
+/// `timeout_ms` in total, which every caller here tolerates (their loops
+/// re-check deadlines against a monotonic clock each pass).
+inline int PollRetry(pollfd* fds, nfds_t nfds, int timeout_ms) {
+  for (;;) {
+    const int n = ::poll(fds, nfds, timeout_ms);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+/// Sends the whole buffer on a blocking socket, absorbing EINTR and short
+/// writes. False on any real error (EPIPE, ECONNRESET, ...).
+inline bool SendAllRetry(int fd, const std::string& bytes, int flags) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        SendRetry(fd, bytes.data() + sent, bytes.size() - sent, flags);
+    if (n < 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace units::serve
+
+#endif  // UNITS_SERVE_NET_UTIL_H_

@@ -1,12 +1,21 @@
 #include "serve/serve_stats.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <fstream>
 
 #include "metrics/metrics.h"
 
 namespace units::serve {
 
 namespace {
+
+/// Captured when the library image is initialized — close enough to
+/// process start for an uptime counter.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
 
 /// Nearest-rank percentile of a sorted sample; 0.0 for an empty window.
 double Percentile(const std::vector<double>& sorted, double q) {
@@ -17,6 +26,23 @@ double Percentile(const std::vector<double>& sorted, double q) {
 }
 
 }  // namespace
+
+int64_t CurrentRssBytes() {
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::ifstream statm("/proc/self/statm");
+  int64_t size_pages = 0;
+  int64_t resident_pages = 0;
+  if (!(statm >> size_pages >> resident_pages)) {
+    return 0;
+  }
+  return resident_pages * static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       kProcessStart)
+      .count();
+}
 
 void ServeStats::RecordRequest(const std::string& model, double latency_ms) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -122,8 +148,12 @@ ServeStats::ModelSnapshot ServeStats::Snapshot(
 json::JsonValue ServeStats::ToJson() const {
   std::lock_guard<std::mutex> lk(mu_);
   json::JsonValue root = json::JsonValue::Object();
+  int64_t total_requests = 0;
+  int64_t total_batches = 0;
   for (const auto& [name, m] : models_) {
     const ModelSnapshot snap = MakeSnapshot(m);
+    total_requests += snap.requests;
+    total_batches += snap.batches;
     json::JsonValue entry = json::JsonValue::Object();
     entry.Set("requests", json::JsonValue::Int(snap.requests));
     entry.Set("batches", json::JsonValue::Int(snap.batches));
@@ -140,6 +170,10 @@ json::JsonValue ServeStats::ToJson() const {
     entry.Set("latency_ms", std::move(latency));
     root.Set(name, std::move(entry));
   }
+  json::JsonValue totals = json::JsonValue::Object();
+  totals.Set("requests", json::JsonValue::Int(total_requests));
+  totals.Set("batches", json::JsonValue::Int(total_batches));
+  root.Set("totals", std::move(totals));
   json::JsonValue admission = json::JsonValue::Object();
   admission.Set("accepted", json::JsonValue::Int(admission_.accepted));
   admission.Set("shed", json::JsonValue::Int(admission_.shed));
@@ -154,6 +188,11 @@ json::JsonValue ServeStats::ToJson() const {
   streams.Set("windows", json::JsonValue::Int(streams_.windows));
   streams.Set("points", json::JsonValue::Int(streams_.points));
   root.Set("streams", std::move(streams));
+  json::JsonValue server = json::JsonValue::Object();
+  server.Set("uptime_s", json::JsonValue::Number(ProcessUptimeSeconds()));
+  server.Set("rss_bytes", json::JsonValue::Int(CurrentRssBytes()));
+  server.Set("pid", json::JsonValue::Int(static_cast<int64_t>(::getpid())));
+  root.Set("server", std::move(server));
   return root;
 }
 

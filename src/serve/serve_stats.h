@@ -11,6 +11,14 @@
 
 namespace units::serve {
 
+/// Resident set size of this process in bytes (from /proc/self/statm);
+/// 0 where procfs is unavailable. Surfaced in the stats op so the router
+/// can aggregate worker memory into one document.
+int64_t CurrentRssBytes();
+
+/// Seconds since this process (strictly: this library image) started.
+double ProcessUptimeSeconds();
+
 /// Thread-safe per-model serving statistics: request count, executed batch
 /// count, a batch-size histogram, and request latency quantiles
 /// (p50/p95/p99 over a bounded ring of recent observations). Dumped as
@@ -78,9 +86,14 @@ class ServeStats {
   /// {"<model>": {"requests": N, "batches": M, "mean_batch_size": X,
   ///              "batch_histogram": {"1": n1, ...},
   ///              "latency_ms": {"p50": ..., "p95": ..., "p99": ...}},
+  ///  "totals": {"requests": sum, "batches": sum},
   ///  "admission": {"accepted": A, "shed": S, "timed_out": T},
   ///  "streams": {"opened": ..., "shed": ..., "closed": ..., "reaped": ...,
-  ///              "active": ..., "windows": ..., "points": ...}}
+  ///              "active": ..., "windows": ..., "points": ...},
+  ///  "server": {"uptime_s": ..., "rss_bytes": ..., "pid": ...}}
+  /// The cross-model "totals" rollup and the "server" process block exist
+  /// so the router tier can fold many workers' stats into one coherent
+  /// document without knowing every model name.
   json::JsonValue ToJson() const;
 
   void Reset();

@@ -223,6 +223,19 @@ RequestSession::LineKind RequestSession::ProcessLine(const std::string& line) {
     return HandleStreamClose(request, id);
   }
 
+  if (op == "ping") {
+    // Liveness probe: answered as soon as it is processed (not deferred),
+    // so a dedicated health-check connection — the router keeps one per
+    // shard — gets a pong without waiting behind queued predicts. On a
+    // shared connection FIFO response order still applies.
+    json::JsonValue resp = OkResponse(op);
+    if (request.Contains("id")) {
+      resp.Set("id", request.at("id"));
+    }
+    PushReady(resp);
+    return LineKind::kBarrier;
+  }
+
   if (op == "quit") {
     quit_ = true;
     Entry entry;

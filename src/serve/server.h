@@ -36,6 +36,10 @@ namespace units::serve {
 ///       for single-channel models); id is echoed back (default: request
 ///       sequence number).
 ///   {"op": "stats"}
+///   {"op": "ping"}
+///       liveness probe -> {"ok": true, "op": "ping"} (+ echoed "id").
+///       Answered when processed, without barrier-draining earlier
+///       predicts; the router's per-shard health checks ride on it.
 ///   {"op": "quit"}
 ///   {"op": "stream_open", "model": "m", "window": W, "stride": S,
 ///    "normalize": true, "quantile": 0.995, "id": any}

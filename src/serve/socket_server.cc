@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "serve/net_util.h"
 
 namespace units::serve {
 
@@ -123,14 +124,14 @@ void SocketServer::RequestDrain() {
 
 void SocketServer::DrainWakePipe() {
   char buf[256];
-  while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+  while (ReadRetry(wake_fds_[0], buf, sizeof(buf)) > 0) {
   }
 }
 
 void SocketServer::AcceptNew(Clock::time_point now) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = Accept4Retry(listen_fd_, nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       return;  // EAGAIN (no more pending) or a transient error
     }
@@ -145,7 +146,7 @@ void SocketServer::AcceptNew(Clock::time_point now) {
 
 bool SocketServer::ReadFrom(Connection* conn, Clock::time_point now) {
   char buf[kReadChunk];
-  const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+  const ssize_t n = ReadRetry(conn->fd, buf, sizeof(buf));
   if (n == 0) {
     // Half-close: the client is done sending; answer what it already
     // asked, then close once the write buffer drains.
@@ -153,7 +154,7 @@ bool SocketServer::ReadFrom(Connection* conn, Clock::time_point now) {
     return true;
   }
   if (n < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
       return true;
     }
     return false;  // reset mid-line or otherwise gone: tear down
@@ -161,6 +162,30 @@ bool SocketServer::ReadFrom(Connection* conn, Clock::time_point now) {
   conn->last_activity = now;
   conn->rbuf.append(buf, static_cast<size_t>(n));
 
+  if (conn->proto == Connection::Proto::kUnknown) {
+    bool decided = false;
+    const bool is_http = SniffHttp(conn->rbuf, &decided);
+    if (!decided) {
+      return true;  // method-shaped prefix; wait for more bytes
+    }
+    if (is_http) {
+      conn->proto = Connection::Proto::kHttp;
+      HttpRequestParser::Limits limits;
+      limits.max_body_bytes = options_.session.max_line_bytes;
+      conn->http = std::make_unique<HttpConnState>(limits);
+    } else {
+      conn->proto = Connection::Proto::kNdjson;
+    }
+  }
+  if (conn->proto == Connection::Proto::kHttp) {
+    ConsumeHttp(conn);
+  } else {
+    ConsumeNdjson(conn);
+  }
+  return true;
+}
+
+void SocketServer::ConsumeNdjson(Connection* conn) {
   size_t start = 0;
   size_t pos;
   while (!conn->read_closed &&
@@ -197,7 +222,46 @@ bool SocketServer::ReadFrom(Connection* conn, Clock::time_point now) {
     conn->discarding_line = true;
     conn->rbuf.clear();
   }
-  return true;
+}
+
+void SocketServer::ConsumeHttp(Connection* conn) {
+  // Every request (well-formed or not) pushes exactly one session entry
+  // and one meta record, so FlushTo can wrap responses FIFO.
+  while (!conn->read_closed) {
+    HttpRequest request;
+    const HttpRequestParser::Outcome outcome =
+        conn->http->parser.Next(&conn->rbuf, &request);
+    if (outcome == HttpRequestParser::Outcome::kNeedMore) {
+      return;
+    }
+    if (outcome == HttpRequestParser::Outcome::kError) {
+      // Framing is broken; no way to find the next request boundary.
+      conn->session->PushError(conn->http->parser.error());
+      conn->http->meta.push_back({false, conn->http->parser.status()});
+      conn->read_closed = true;
+      ::shutdown(conn->fd, SHUT_RD);
+      return;
+    }
+    auto line = HttpRequestToLine(request);
+    if (!line.ok()) {
+      // Routing errors ("404 ...", "405 ...") keep the connection usable.
+      const std::string& message = line.status().message();
+      const size_t space = message.find(' ');
+      const int status = std::atoi(message.c_str());
+      conn->session->PushError(space == std::string::npos
+                                   ? message
+                                   : message.substr(space + 1));
+      conn->http->meta.push_back(
+          {request.keep_alive, status > 0 ? status : 400});
+    } else {
+      conn->http->meta.push_back({request.keep_alive, 0});
+      conn->session->ProcessLine(*line);
+    }
+    if (!request.keep_alive) {
+      conn->read_closed = true;
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
 }
 
 bool SocketServer::FlushTo(Connection* conn, Clock::time_point now) {
@@ -207,13 +271,25 @@ bool SocketServer::FlushTo(Connection* conn, Clock::time_point now) {
   std::string response;
   while (conn->wbuf.size() < options_.max_write_buffer_bytes &&
          conn->session->PopReady(&response)) {
-    conn->wbuf += response;
+    if (conn->proto == Connection::Proto::kHttp) {
+      // FIFO responses match the FIFO request metadata 1:1 (ConsumeHttp
+      // pushes exactly one meta per session entry).
+      HttpResponseMeta meta{false, 500};
+      if (!conn->http->meta.empty()) {
+        meta = conn->http->meta.front();
+        conn->http->meta.pop_front();
+      }
+      // The response line keeps its trailing '\n' as the body terminator.
+      conn->wbuf += RenderHttpResponse(meta.status, response, meta.keep_alive);
+    } else {
+      conn->wbuf += response;
+    }
   }
   while (!conn->wbuf.empty()) {
-    const ssize_t n = ::send(conn->fd, conn->wbuf.data(), conn->wbuf.size(),
-                             MSG_NOSIGNAL);
+    const ssize_t n = SendRetry(conn->fd, conn->wbuf.data(), conn->wbuf.size(),
+                                MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return true;
       }
       return false;  // EPIPE etc.: reader is gone
@@ -282,7 +358,7 @@ int SocketServer::Run() {
 
     // 100 ms cap so idle/drain timeouts fire without a dedicated timer;
     // request completions wake the loop immediately through the pipe.
-    (void)::poll(fds.data(), fds.size(), 100);
+    (void)PollRetry(fds.data(), fds.size(), 100);
     const auto after = Clock::now();
 
     size_t idx = 0;

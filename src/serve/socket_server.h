@@ -10,6 +10,7 @@
 
 #include "serve/admission.h"
 #include "serve/batcher.h"
+#include "serve/http_adapter.h"
 #include "serve/model_registry.h"
 #include "serve/serve_stats.h"
 #include "serve/server.h"
@@ -22,6 +23,13 @@ namespace units::serve {
 /// Request handling is RequestSession — byte-for-byte the same protocol the
 /// stdin transport speaks, so `printf ... | units_serve` scripts port to
 /// `... | nc host port` unchanged.
+///
+/// Each connection's protocol is sniffed from its first bytes: an HTTP
+/// method ("POST /v1/predict HTTP/1.1" ...) selects the HTTP/1.1 adapter
+/// (serve/http_adapter.h) — requests are translated onto the same
+/// RequestSession and responses wrapped back, with keep-alive and
+/// per-request status mapping — anything else is NDJSON. curl and a
+/// netcat script can share one port.
 ///
 /// Per connection the server keeps a read buffer (lines are reassembled
 /// across reads; an unterminated line longer than `session.max_line_bytes`
@@ -104,11 +112,17 @@ class SocketServer {
     std::chrono::steady_clock::time_point last_activity;
     bool read_closed = false;     // EOF, quit, or drain: no more requests
     bool discarding_line = false; // oversized unterminated line: skip to \n
+    enum class Proto { kUnknown, kNdjson, kHttp };
+    Proto proto = Proto::kUnknown;
+    std::unique_ptr<HttpConnState> http;  // set once sniffed as HTTP
   };
 
   void AcceptNew(std::chrono::steady_clock::time_point now);
   /// Reads once; feeds complete lines to the session. False = tear down.
   bool ReadFrom(Connection* conn, std::chrono::steady_clock::time_point now);
+  /// Consumes complete NDJSON lines / HTTP requests from conn->rbuf.
+  void ConsumeNdjson(Connection* conn);
+  void ConsumeHttp(Connection* conn);
   /// Moves ready responses into wbuf (bounded) and writes what it can.
   /// False = tear down.
   bool FlushTo(Connection* conn, std::chrono::steady_clock::time_point now);

@@ -6,12 +6,16 @@
 # stdin, then over the TCP transport: 16 concurrent loopback clients,
 # admission-control shedding, a graceful SIGTERM drain, and streaming
 # sessions (stream_open/stream_feed/stream_close with window assembly,
-# session shedding, stream counters, and a mid-stream drain).
-# Usage: serve_workflow.sh <path-to-units_cli> <path-to-units_serve>
+# session shedding, stream counters, and a mid-stream drain). Finally the
+# router tier: units_router shards both models across two spawned workers,
+# survives a kill -9 of the owning worker by rebalancing onto the
+# survivor, and drains cleanly on SIGTERM.
+# Usage: serve_workflow.sh <units_cli> <units_serve> <units_router>
 set -euo pipefail
 
 CLI="$1"
 SERVE="$2"
+ROUTER="$3"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -250,5 +254,102 @@ cat <&3 > "$WORK/stream_drain.out"  # drain flushes, then EOF
 exec 3<&- 3>&-
 wait "$STREAM_PID"
 grep -q '"windows":\[{"index":0' "$WORK/stream_drain.out"
+
+# --- Router tier -----------------------------------------------------------
+
+# Phase 5: units_router shards the same NDJSON protocol across two
+# spawned units_serve workers. Load both models through the router,
+# predict against both, kill -9 the worker that owns model "a", and
+# verify the router rebalances it onto a live worker (predicts succeed
+# again, served by a different pid). SIGTERM then drains the whole tier.
+
+# The router re-prints worker stderr as "[shard N] ...", so match only
+# its own column-0 announcement line.
+wait_for_router_port() {
+  local log="$1" port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' "$log" | head -n 1)"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "router did not report a port" >&2; return 1; }
+  echo "$port"
+}
+
+# One NDJSON request over a fresh connection; prints the response line.
+router_rpc() {
+  local req="$1" line
+  exec 4<>"/dev/tcp/127.0.0.1/$PORT"
+  printf '%s\n' "$req" >&4
+  IFS= read -r line <&4
+  exec 4<&- 4>&-
+  printf '%s\n' "$line"
+}
+
+# Pid of the shard whose loaded-models list contains $2, from a stats
+# line $1. Within a shard entry "pid" precedes "models" and no '{'
+# intervenes, so splitting on '{' keeps them in one segment.
+owner_pid_of() {
+  printf '%s\n' "$1" | tr '{' '\n' \
+    | grep "\"models\":\[[^]]*\"$2\"" \
+    | sed -n 's/.*"pid":\([0-9]*\).*/\1/p' | head -n 1
+}
+
+"$ROUTER" --port 0 --shards 2 --worker-bin "$SERVE" \
+  --health-interval-s 0.2 \
+  --worker-arg --max-delay-ms --worker-arg 2 \
+  > /dev/null 2> "$WORK/router.log" &
+ROUTER_PID=$!
+PORT="$(wait_for_router_port "$WORK/router.log")"
+
+# Both workers must be on the ring before placement is exercised.
+for i in $(seq 1 100); do
+  STATS="$(router_rpc '{"op":"stats"}')"
+  printf '%s' "$STATS" | grep -q '"healthy_shards":2' && break
+  sleep 0.1
+done
+printf '%s' "$STATS" | grep -q '"healthy_shards":2'
+
+router_rpc "{\"op\":\"load\",\"model\":\"a\",\"path\":\"$WORK/m1.json\"}" \
+  | grep -q '"ok":true'
+router_rpc "{\"op\":\"load\",\"model\":\"b\",\"path\":\"$WORK/m2.json\"}" \
+  | grep -q '"ok":true'
+
+# Predicts for both models route through the tier and answer ok.
+for r in 0 1 2 3; do
+  router_rpc "{\"op\":\"predict\",\"model\":\"a\",\"id\":$r,\"values\":[$VALUES_A]}" \
+    | grep -q "\"id\":$r,\"ok\":true"
+  router_rpc "{\"op\":\"predict\",\"model\":\"b\",\"id\":$((r + 10)),\"values\":[$VALUES_B]}" \
+    | grep -q "\"id\":$((r + 10)),\"ok\":true"
+done
+
+# Kill the worker owning "a" outright; the router must notice the death,
+# respawn the shard, and converge "a" back onto a healthy worker.
+STATS="$(router_rpc '{"op":"stats"}')"
+OWNER_PID="$(owner_pid_of "$STATS" a)"
+[ -n "$OWNER_PID" ]
+kill -9 "$OWNER_PID"
+
+for i in $(seq 1 150); do
+  STATS="$(router_rpc '{"op":"stats"}')"
+  NEW_PID="$(owner_pid_of "$STATS" a)"
+  if [ -n "$NEW_PID" ] && [ "$NEW_PID" != "$OWNER_PID" ]; then
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$NEW_PID" ] && [ "$NEW_PID" != "$OWNER_PID" ]
+printf '%s' "$STATS" | grep -q '"worker_deaths":[1-9]'
+
+# Both models keep answering after the rebalance.
+router_rpc "{\"op\":\"predict\",\"model\":\"a\",\"id\":50,\"values\":[$VALUES_A]}" \
+  | grep -q '"id":50,"ok":true'
+router_rpc "{\"op\":\"predict\",\"model\":\"b\",\"id\":51,\"values\":[$VALUES_B]}" \
+  | grep -q '"id":51,"ok":true'
+
+# Graceful drain: SIGTERM answers in-flight work, stops the workers, and
+# exits 0.
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID"
 
 echo "serve workflow OK"

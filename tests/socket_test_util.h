@@ -2,9 +2,17 @@
 #define UNITS_TESTS_SOCKET_TEST_UTIL_H_
 
 // Loopback helpers shared by the TCP serving test binaries
-// (test_socket_server, test_streaming): a blocking NDJSON client with a
-// poll-based read deadline and a SocketServer harness that runs the event
-// loop on a thread.
+// (test_socket_server, test_streaming, test_router, test_http): a
+// blocking NDJSON/HTTP client with a poll-based read deadline and a
+// SocketServer harness that runs the event loop on a thread.
+//
+// Port discipline: nothing in these helpers (or the binaries using them)
+// ever pre-picks a port number. Every listener binds port 0 and the
+// chosen port is read back — via getsockname for in-process servers
+// (SocketServer/Router bound_port()) or via the "listening on port N"
+// stderr announcement for spawned server processes. Router tests run
+// many listeners at once (router + one per worker); pre-picked ports
+// would race.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -13,8 +21,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <map>
 #include <string>
 #include <thread>
 #include <utility>
@@ -25,6 +35,13 @@
 #include "serve/socket_server.h"
 
 namespace units::serve {
+
+/// One parsed HTTP response, for conformance assertions.
+struct TestHttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // names lowercased
+  std::string body;
+};
 
 /// Blocking loopback NDJSON client with a poll-based read deadline.
 class TestClient {
@@ -109,6 +126,82 @@ class TestClient {
   bool WaitForEof(double timeout_s = 10.0) {
     std::string line;
     return !ReadLine(&line, timeout_s) && rbuf_.empty();
+  }
+
+  /// Reads one HTTP/1.1 response (status line, headers, Content-Length
+  /// body). Returns false on EOF or timeout before a complete response.
+  bool ReadHttpResponse(TestHttpResponse* out, double timeout_s = 30.0) {
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_s));
+    const auto complete = [&]() -> bool {
+      const size_t head_end = rbuf_.find("\r\n\r\n");
+      if (head_end == std::string::npos) {
+        return false;
+      }
+      size_t content_length = 0;
+      size_t pos = rbuf_.find("\r\n") + 2;
+      std::map<std::string, std::string> headers;
+      while (pos < head_end) {
+        const size_t eol = rbuf_.find("\r\n", pos);
+        const std::string header = rbuf_.substr(pos, eol - pos);
+        pos = eol + 2;
+        const size_t colon = header.find(':');
+        if (colon == std::string::npos) {
+          continue;
+        }
+        std::string name = header.substr(0, colon);
+        std::transform(name.begin(), name.end(), name.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        std::string value = header.substr(colon + 1);
+        const size_t b = value.find_first_not_of(" \t");
+        headers[name] = b == std::string::npos ? "" : value.substr(b);
+      }
+      auto it = headers.find("content-length");
+      if (it != headers.end()) {
+        content_length = static_cast<size_t>(std::stoul(it->second));
+      }
+      if (rbuf_.size() < head_end + 4 + content_length) {
+        return false;
+      }
+      const std::string status_line = rbuf_.substr(0, rbuf_.find("\r\n"));
+      const size_t sp = status_line.find(' ');
+      out->status =
+          sp == std::string::npos ? 0 : std::atoi(status_line.c_str() + sp);
+      out->headers = std::move(headers);
+      out->body = rbuf_.substr(head_end + 4, content_length);
+      rbuf_.erase(0, head_end + 4 + content_length);
+      return true;
+    };
+    for (;;) {
+      if (complete()) {
+        return true;
+      }
+      const auto remaining = deadline - Clock::now();
+      if (remaining <= Clock::duration::zero()) {
+        return false;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count());
+      if (::poll(&pfd, 1, std::max(1, timeout_ms)) <= 0) {
+        continue;
+      }
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) {
+        return false;
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) {
+          continue;
+        }
+        return false;
+      }
+      rbuf_.append(buf, static_cast<size_t>(n));
+    }
   }
 
   void CloseWrite() { ::shutdown(fd_, SHUT_WR); }

@@ -1,0 +1,493 @@
+// HTTP/1.1 adapter tests: unit coverage for the incremental request
+// parser, protocol sniffing, and request/response translation, plus raw-
+// socket conformance against a live SocketServer — keep-alive pipelining,
+// status mapping (200/400/404/405/411/413/501/503), Connection: close,
+// HTTP/1.0 defaults, and NDJSON + HTTP clients sharing one port. Built as
+// its own executable so the sanitizer CI jobs can exercise the adapter
+// under the full event loop.
+
+#include "serve/http_adapter.h"
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "serve/model_registry.h"
+#include "serve_test_util.h"
+#include "socket_test_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::serve {
+namespace {
+
+// --- Parser unit tests -----------------------------------------------------
+
+TEST(HttpRequestParserTest, ParsesRequestsIncrementally) {
+  HttpRequestParser parser;
+  HttpRequest request;
+  std::string buffer;
+  const std::string raw =
+      "POST /v1/predict?trace=1 HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 13\r\n"
+      "\r\n"
+      "{\"model\":\"a\"}";
+  // Feed one byte at a time: the parser must keep answering kNeedMore
+  // until the final byte completes the body.
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    buffer.push_back(raw[i]);
+    ASSERT_EQ(parser.Next(&buffer, &request),
+              HttpRequestParser::Outcome::kNeedMore)
+        << "at byte " << i;
+  }
+  buffer.push_back(raw.back());
+  ASSERT_EQ(parser.Next(&buffer, &request),
+            HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/predict");  // query string stripped
+  EXPECT_EQ(request.body, "{\"model\":\"a\"}");
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(HttpRequestParserTest, SkipsCrlfPaddingBetweenRequests) {
+  HttpRequestParser parser;
+  HttpRequest request;
+  std::string buffer =
+      "\r\n\r\nGET /v1/healthz HTTP/1.1\r\n\r\n"
+      "\r\nGET /v1/stats HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(parser.Next(&buffer, &request),
+            HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(request.target, "/v1/healthz");
+  ASSERT_EQ(parser.Next(&buffer, &request),
+            HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(request.target, "/v1/stats");
+  EXPECT_EQ(parser.Next(&buffer, &request),
+            HttpRequestParser::Outcome::kNeedMore);
+}
+
+TEST(HttpRequestParserTest, KeepAliveFollowsVersionAndConnectionHeader) {
+  struct Case {
+    const char* raw;
+    bool keep_alive;
+  };
+  const std::vector<Case> cases = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const Case& c : cases) {
+    HttpRequestParser parser;
+    HttpRequest request;
+    std::string buffer = c.raw;
+    ASSERT_EQ(parser.Next(&buffer, &request),
+              HttpRequestParser::Outcome::kRequest)
+        << c.raw;
+    EXPECT_EQ(request.keep_alive, c.keep_alive) << c.raw;
+  }
+}
+
+TEST(HttpRequestParserTest, FramingErrorsCarryTheirStatus) {
+  struct Case {
+    const char* raw;
+    int status;
+  };
+  const std::vector<Case> cases = {
+      {"GARBAGE\r\n\r\n", 400},                              // no spaces
+      {"GET /x HTTP/9.9\r\n\r\n", 400},                      // bad version
+      {"GET noslash HTTP/1.1\r\n\r\n", 400},                 // bad target
+      {"GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400},     // no colon
+      {"POST /x HTTP/1.1\r\n\r\n", 411},                     // no length
+      {"POST /x HTTP/1.1\r\nContent-Length: zz\r\n\r\n", 400},
+      {"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+  };
+  for (const Case& c : cases) {
+    HttpRequestParser parser;
+    HttpRequest request;
+    std::string buffer = c.raw;
+    ASSERT_EQ(parser.Next(&buffer, &request),
+              HttpRequestParser::Outcome::kError)
+        << c.raw;
+    EXPECT_EQ(parser.status(), c.status) << c.raw;
+    EXPECT_FALSE(parser.error().empty()) << c.raw;
+  }
+}
+
+TEST(HttpRequestParserTest, EnforcesHeaderAndBodyLimits) {
+  HttpRequestParser::Limits limits;
+  limits.max_header_bytes = 128;
+  limits.max_body_bytes = 64;
+  {
+    HttpRequestParser parser(limits);
+    HttpRequest request;
+    std::string buffer =
+        "GET / HTTP/1.1\r\nX-Pad: " + std::string(256, 'x') + "\r\n\r\n";
+    ASSERT_EQ(parser.Next(&buffer, &request),
+              HttpRequestParser::Outcome::kError);
+    EXPECT_EQ(parser.status(), 400);
+  }
+  {
+    HttpRequestParser parser(limits);
+    HttpRequest request;
+    // The declared length alone must trip the limit, before any body
+    // bytes arrive — a client cannot make the server buffer the payload.
+    std::string buffer = "POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+    ASSERT_EQ(parser.Next(&buffer, &request),
+              HttpRequestParser::Outcome::kError);
+    EXPECT_EQ(parser.status(), 413);
+  }
+}
+
+TEST(HttpSniffTest, DecidesOnMethodPrefixes) {
+  bool decided = false;
+  EXPECT_TRUE(SniffHttp("GET /v1/healthz", &decided));
+  EXPECT_TRUE(decided);
+  EXPECT_TRUE(SniffHttp("POST ", &decided));
+  EXPECT_TRUE(decided);
+  EXPECT_FALSE(SniffHttp("{\"op\": \"ping\"}", &decided));
+  EXPECT_TRUE(decided);
+  // Prefixes of a method are still ambiguous: wait for more bytes.
+  EXPECT_FALSE(SniffHttp("GE", &decided));
+  EXPECT_FALSE(decided);
+  EXPECT_FALSE(SniffHttp("POST", &decided));
+  EXPECT_FALSE(decided);
+}
+
+TEST(HttpTranslationTest, RoutesMapToProtocolOps) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/predict";
+  request.body = "{\"model\": \"m\", \"id\": 7, \"op\": \"quit\"}";
+  auto line = HttpRequestToLine(request);
+  ASSERT_TRUE(line.ok());
+  auto parsed = json::Parse(*line);
+  ASSERT_TRUE(parsed.ok()) << *line;
+  // The op is forced to predict — a body cannot smuggle another op in.
+  EXPECT_EQ(parsed->at("op").AsString(), "predict");
+  EXPECT_EQ(parsed->at("model").AsString(), "m");
+  EXPECT_EQ(parsed->at("id").AsInt(), 7);
+
+  request.method = "GET";
+  request.body.clear();
+  for (const auto& [target, op] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"/v1/stats", "stats"},
+           {"/v1/healthz", "ping"},
+           {"/v1/models", "list"}}) {
+    request.target = target;
+    line = HttpRequestToLine(request);
+    ASSERT_TRUE(line.ok()) << target;
+    parsed = json::Parse(*line);
+    ASSERT_TRUE(parsed.ok()) << *line;
+    EXPECT_EQ(parsed->at("op").AsString(), op) << target;
+  }
+}
+
+TEST(HttpTranslationTest, RouteErrorsEncodeTheirHttpStatus) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/v1/predict";
+  auto line = HttpRequestToLine(request);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().message().rfind("405 ", 0), 0u)
+      << line.status().message();
+
+  request.target = "/v2/elsewhere";
+  line = HttpRequestToLine(request);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().message().rfind("404 ", 0), 0u)
+      << line.status().message();
+
+  request.method = "POST";
+  request.target = "/v1/predict";
+  request.body = "not json";
+  line = HttpRequestToLine(request);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().message().rfind("400 ", 0), 0u)
+      << line.status().message();
+}
+
+TEST(HttpTranslationTest, StatusDerivesFromProtocolResponses) {
+  EXPECT_EQ(HttpStatusForLine("{\"ok\": true, \"op\": \"ping\"}"), 200);
+  EXPECT_EQ(HttpStatusForLine("{\"ok\": false, \"error\": \"overloaded\"}"),
+            503);
+  EXPECT_EQ(HttpStatusForLine(
+                "{\"ok\": false, \"error\": \"unavailable: no shards\"}"),
+            503);
+  EXPECT_EQ(HttpStatusForLine(
+                "{\"ok\": false, \"error\": \"NotFound: model 'x' is not "
+                "loaded\"}"),
+            404);
+  EXPECT_EQ(HttpStatusForLine("{\"ok\": false, \"error\": \"bad values\"}"),
+            400);
+}
+
+// --- Conformance against a live SocketServer -------------------------------
+
+std::string PredictBody(const Tensor& row, int64_t id) {
+  const int64_t channels = row.dim(1);
+  const int64_t length = row.dim(2);
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"model\": \"a\", \"id\": " << id << ", \"values\": [";
+  for (int64_t d = 0; d < channels; ++d) {
+    os << (d == 0 ? "[" : ", [");
+    for (int64_t t = 0; t < length; ++t) {
+      os << (t == 0 ? "" : ", ") << row[d * length + t];
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string PostPredict(const std::string& body,
+                        const std::string& extra_headers = "") {
+  return "POST /v1/predict HTTP/1.1\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n" + extra_headers + "\r\n" + body;
+}
+
+class HttpConformanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = new ModelRegistry();
+    fitted_ = new FittedModel(MakeFitted("classification", 7));
+    row_ = new Tensor(ops::Slice(fitted_->data, 0, 0, 1));
+    ASSERT_TRUE(registry_->Add("a", std::move(fitted_->pipeline)).ok());
+  }
+
+  static SocketServer::Options Defaults() {
+    SocketServer::Options options;
+    options.port = 0;
+    options.batcher.max_delay_ms = 1.0;
+    return options;
+  }
+
+  static ModelRegistry* registry_;
+  static FittedModel* fitted_;
+  static Tensor* row_;
+};
+
+ModelRegistry* HttpConformanceTest::registry_ = nullptr;
+FittedModel* HttpConformanceTest::fitted_ = nullptr;
+Tensor* HttpConformanceTest::row_ = nullptr;
+
+TEST_F(HttpConformanceTest, KeepAliveClientRunsPredictStatsHealthz) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  // predict, stats, and healthz on one keep-alive connection — the
+  // workflow a load balancer health-checking a worker runs.
+  ASSERT_TRUE(client.SendRaw(PostPredict(PredictBody(*row_, 5))));
+  TestHttpResponse resp;
+  ASSERT_TRUE(client.ReadHttpResponse(&resp));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers["content-type"], "application/json");
+  EXPECT_EQ(resp.headers["connection"], "keep-alive");
+  ASSERT_FALSE(resp.body.empty());
+  EXPECT_EQ(resp.body.back(), '\n');  // protocol line stays line-terminated
+  auto parsed = json::Parse(resp.body);
+  ASSERT_TRUE(parsed.ok()) << resp.body;
+  EXPECT_TRUE(parsed->at("ok").AsBool()) << resp.body;
+  EXPECT_EQ(parsed->at("id").AsInt(), 5) << resp.body;
+  EXPECT_EQ(parsed->at("model").AsString(), "a") << resp.body;
+
+  ASSERT_TRUE(client.SendRaw("GET /v1/stats HTTP/1.1\r\n\r\n"));
+  ASSERT_TRUE(client.ReadHttpResponse(&resp));
+  EXPECT_EQ(resp.status, 200);
+  parsed = json::Parse(resp.body);
+  ASSERT_TRUE(parsed.ok()) << resp.body;
+  const json::JsonValue& stats = parsed->at("stats");
+  // The stats document carries the process-level satellite fields.
+  EXPECT_GE(stats.at("server").at("uptime_s").AsNumber(), 0.0);
+  EXPECT_GT(stats.at("server").at("rss_bytes").AsInt(), 0);
+  EXPECT_GE(stats.at("totals").at("requests").AsInt(), 1);
+
+  ASSERT_TRUE(client.SendRaw("GET /v1/healthz HTTP/1.1\r\n\r\n"));
+  ASSERT_TRUE(client.ReadHttpResponse(&resp));
+  EXPECT_EQ(resp.status, 200);
+  parsed = json::Parse(resp.body);
+  ASSERT_TRUE(parsed.ok()) << resp.body;
+  EXPECT_EQ(parsed->at("op").AsString(), "ping") << resp.body;
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(HttpConformanceTest, PipelinedRequestsAnswerInOrder) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  // Both requests in one write; responses must come back FIFO.
+  ASSERT_TRUE(client.SendRaw(PostPredict(PredictBody(*row_, 1)) +
+                             PostPredict(PredictBody(*row_, 2))));
+  for (int64_t id : {1, 2}) {
+    TestHttpResponse resp;
+    ASSERT_TRUE(client.ReadHttpResponse(&resp)) << "response " << id;
+    EXPECT_EQ(resp.status, 200);
+    auto parsed = json::Parse(resp.body);
+    ASSERT_TRUE(parsed.ok()) << resp.body;
+    EXPECT_EQ(parsed->at("id").AsInt(), id) << resp.body;
+  }
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(HttpConformanceTest, RouteErrorsKeepTheConnectionUsable) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.SendRaw("GET /v1/predict HTTP/1.1\r\n\r\n"));
+  TestHttpResponse resp;
+  ASSERT_TRUE(client.ReadHttpResponse(&resp));
+  EXPECT_EQ(resp.status, 405);
+
+  ASSERT_TRUE(client.SendRaw("GET /v2/elsewhere HTTP/1.1\r\n\r\n"));
+  ASSERT_TRUE(client.ReadHttpResponse(&resp));
+  EXPECT_EQ(resp.status, 404);
+
+  // Unknown model: the protocol's NotFound maps to 404.
+  ASSERT_TRUE(client.SendRaw(PostPredict(
+      "{\"model\": \"zzz\", \"values\": [[1, 2], [3, 4]]}")));
+  ASSERT_TRUE(client.ReadHttpResponse(&resp));
+  EXPECT_EQ(resp.status, 404) << resp.body;
+
+  // The same connection still serves real requests afterwards.
+  ASSERT_TRUE(client.SendRaw(PostPredict(PredictBody(*row_, 9))));
+  ASSERT_TRUE(client.ReadHttpResponse(&resp));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(HttpConformanceTest, FramingErrorsAnswerThenClose) {
+  struct Case {
+    std::string raw;
+    int status;
+  };
+  const std::vector<Case> cases = {
+      {"POST /v1/predict HTTP/1.1\r\n\r\n", 411},
+      {"GET /v1/healthz HTTP/9.9\r\n\r\n", 400},
+      {"POST /v1/predict HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       501},
+      {"POST /v1/predict HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n", 413},
+  };
+  auto options = Defaults();
+  options.session.max_line_bytes = 64 * 1024;
+  ServerHarness harness(registry_, options);
+  ASSERT_TRUE(harness.Start());
+  for (const Case& c : cases) {
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.SendRaw(c.raw));
+    TestHttpResponse resp;
+    ASSERT_TRUE(client.ReadHttpResponse(&resp)) << c.raw;
+    EXPECT_EQ(resp.status, c.status) << c.raw;
+    EXPECT_EQ(resp.headers["connection"], "close") << c.raw;
+    EXPECT_TRUE(client.WaitForEof()) << c.raw;
+  }
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(HttpConformanceTest, ConnectionCloseAndHttp10CloseAfterResponse) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+  {
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.SendRaw(
+        "GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n"));
+    TestHttpResponse resp;
+    ASSERT_TRUE(client.ReadHttpResponse(&resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.headers["connection"], "close");
+    EXPECT_TRUE(client.WaitForEof());
+  }
+  {
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.SendRaw("GET /v1/healthz HTTP/1.0\r\n\r\n"));
+    TestHttpResponse resp;
+    ASSERT_TRUE(client.ReadHttpResponse(&resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.headers["connection"], "close");
+    EXPECT_TRUE(client.WaitForEof());
+  }
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(HttpConformanceTest, OverloadShedsMapTo503) {
+  auto options = Defaults();
+  // One admission slot and a long flush delay: the head of the burst is
+  // admitted and parks in the batcher, everything behind it sheds.
+  options.admission.max_queue = 1;
+  options.batcher.max_batch_size = 64;
+  options.batcher.max_delay_ms = 200.0;
+  ServerHarness harness(registry_, options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  constexpr int kRequests = 8;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += PostPredict(PredictBody(*row_, i));
+  }
+  ASSERT_TRUE(client.SendRaw(burst));
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    TestHttpResponse resp;
+    ASSERT_TRUE(client.ReadHttpResponse(&resp)) << "response " << i;
+    if (resp.status == 200) {
+      ++ok;
+    } else {
+      EXPECT_EQ(resp.status, 503) << resp.body;
+      ++shed;
+    }
+  }
+  // With a queue of one and a slow flush, the burst cannot all be
+  // admitted — but the head of it must be.
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(HttpConformanceTest, NdjsonAndHttpClientsShareOnePort) {
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient ndjson(harness.port());
+  TestClient http(harness.port());
+  ASSERT_TRUE(ndjson.connected());
+  ASSERT_TRUE(http.connected());
+
+  // Interleave: open both, send HTTP first, then NDJSON, read both.
+  ASSERT_TRUE(http.SendRaw(PostPredict(PredictBody(*row_, 1))));
+  ASSERT_TRUE(ndjson.SendLine("{\"op\": \"ping\", \"id\": 2}"));
+
+  TestHttpResponse resp;
+  ASSERT_TRUE(http.ReadHttpResponse(&resp));
+  EXPECT_EQ(resp.status, 200);
+  std::string line;
+  ASSERT_TRUE(ndjson.ReadLine(&line));
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_TRUE(parsed->at("ok").AsBool()) << line;
+  EXPECT_EQ(parsed->at("id").AsInt(), 2) << line;
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+}  // namespace
+}  // namespace units::serve

@@ -1,0 +1,702 @@
+// End-to-end tests for the shard router tier: consistent-hash placement
+// of models across spawned units_serve workers, byte-identical predict
+// responses through the router versus a direct worker, worker-death
+// rebalancing (retries drain to the successor shard with zero lost
+// accepted requests; retries=0 fails fast with a structured
+// "unavailable"), health-check eviction of a hung worker followed by
+// respawn, fan-out stats/list aggregation, and the ops the router answers
+// locally. Built as its own executable so the sanitizer CI jobs can run
+// the full multi-process lifecycle directly.
+//
+// The worker binary is resolved relative to this test executable
+// (build/tests/... -> build/tools/units_serve); UNITS_SERVE_BIN overrides.
+
+#include "router/router.h"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "router/hash_ring.h"
+#include "router/worker_process.h"
+#include "serve/model_registry.h"
+#include "serve_test_util.h"
+#include "socket_test_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::router {
+namespace {
+
+using serve::TestClient;
+
+// --- Hash ring unit tests --------------------------------------------------
+
+std::vector<std::string> RingKeys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    keys.push_back("model-" + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(HashRingTest, LookupIsDeterministicAcrossInstances) {
+  HashRing a, b;
+  // Different insertion orders must still agree on every placement.
+  for (int node : {0, 1, 2, 3}) {
+    a.AddNode(node);
+  }
+  for (int node : {3, 1, 0, 2}) {
+    b.AddNode(node);
+  }
+  for (const std::string& key : RingKeys(200)) {
+    const int owner = a.Lookup(key);
+    ASSERT_GE(owner, 0);
+    ASSERT_LE(owner, 3);
+    EXPECT_EQ(owner, b.Lookup(key)) << key;
+  }
+}
+
+TEST(HashRingTest, EmptyRingHasNoOwner) {
+  HashRing ring;
+  EXPECT_EQ(ring.Lookup("anything"), -1);
+  ring.AddNode(5);
+  EXPECT_EQ(ring.Lookup("anything"), 5);
+  ring.RemoveNode(5);
+  EXPECT_EQ(ring.Lookup("anything"), -1);
+}
+
+TEST(HashRingTest, RemovalOnlyRemapsTheRemovedNodesKeys) {
+  HashRing ring;
+  for (int node : {0, 1, 2, 3}) {
+    ring.AddNode(node);
+  }
+  const auto keys = RingKeys(400);
+  std::map<std::string, int> before;
+  for (const std::string& key : keys) {
+    before[key] = ring.Lookup(key);
+  }
+  ring.RemoveNode(2);
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const int owner = ring.Lookup(key);
+    ASSERT_NE(owner, 2) << key;
+    if (before[key] != 2) {
+      // The consistent-hashing contract: surviving nodes keep their keys.
+      EXPECT_EQ(owner, before[key]) << key;
+    } else {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashRingTest, VirtualReplicasSpreadKeysAcrossNodes) {
+  HashRing ring;
+  for (int node : {0, 1, 2, 3}) {
+    ring.AddNode(node);
+  }
+  std::map<int, int> counts;
+  for (const std::string& key : RingKeys(1000)) {
+    counts[ring.Lookup(key)] += 1;
+  }
+  for (int node : {0, 1, 2, 3}) {
+    // 64 virtual points per node keep the split coarse but never
+    // degenerate; each node must own a real share of 1000 keys.
+    EXPECT_GT(counts[node], 100) << "node " << node;
+  }
+}
+
+TEST(WorkerProcessTest, FindPortAnnouncementNeedsACompleteLine) {
+  EXPECT_EQ(FindPortAnnouncement(""), 0);
+  EXPECT_EQ(FindPortAnnouncement("listening on port 4242"), 0);
+  EXPECT_EQ(FindPortAnnouncement("listening on port 4242\n"), 4242);
+  EXPECT_EQ(FindPortAnnouncement(
+                "units_serve: loaded 2 models\nlistening on port 999\nmore\n"),
+            999);
+  EXPECT_EQ(FindPortAnnouncement("nothing relevant\n"), 0);
+}
+
+// --- End-to-end fixtures ---------------------------------------------------
+
+/// The units_serve binary next to this test executable's sibling tools/
+/// directory; UNITS_SERVE_BIN overrides (the CMake test target sets
+/// nothing, so the relative layout is the normal path).
+std::string WorkerBinaryPath() {
+  if (const char* env = ::getenv("UNITS_SERVE_BIN");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    return "";
+  }
+  buf[n] = '\0';
+  const std::string self(buf);
+  const size_t slash = self.rfind('/');
+  if (slash == std::string::npos) {
+    return "";
+  }
+  return self.substr(0, slash) + "/../tools/units_serve";
+}
+
+/// A Router on an ephemeral port with its event loop on a thread.
+class RouterHarness {
+ public:
+  explicit RouterHarness(Router::Options options)
+      : router_(std::move(options)) {}
+
+  ~RouterHarness() { Stop(); }
+
+  bool Start() {
+    const Status status = router_.Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!status.ok()) {
+      return false;
+    }
+    thread_ = std::thread([this] { exit_code_ = router_.Run(); });
+    return true;
+  }
+
+  int port() const { return router_.bound_port(); }
+
+  /// Requests a drain and returns the event loop's exit code.
+  int Stop() {
+    if (!thread_.joinable()) {
+      return exit_code_;
+    }
+    router_.RequestDrain();
+    thread_.join();
+    return exit_code_;
+  }
+
+ private:
+  Router router_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+std::string PredictLine(const std::string& model, const Tensor& row,
+                        int64_t id) {
+  const int64_t channels = row.dim(1);
+  const int64_t length = row.dim(2);
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"op\": \"predict\", \"model\": \"" << model << "\", \"id\": " << id
+     << ", \"values\": [";
+  for (int64_t d = 0; d < channels; ++d) {
+    os << (d == 0 ? "[" : ", [");
+    for (int64_t t = 0; t < length; ++t) {
+      os << (t == 0 ? "" : ", ") << row[d * length + t];
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+struct Reference {
+  Tensor row;
+  std::vector<int64_t> labels;
+};
+
+/// Two fitted classification models saved to disk once for the suite —
+/// router tests load them into spawned workers by path.
+class RouterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    worker_bin_ = new std::string(WorkerBinaryPath());
+    ASSERT_EQ(::access(worker_bin_->c_str(), X_OK), 0)
+        << "worker binary not found at " << *worker_bin_
+        << " (set UNITS_SERVE_BIN)";
+    dir_ = new std::string(::testing::TempDir() + "units_router_models_" +
+                           std::to_string(::getpid()));
+    ::mkdir(dir_->c_str(), 0755);
+    paths_ = new std::map<std::string, std::string>();
+    refs_ = new std::map<std::string, Reference>();
+    for (const auto& [name, seed] :
+         std::vector<std::pair<std::string, uint64_t>>{{"alpha", 7},
+                                                       {"beta", 21}}) {
+      serve::FittedModel fitted = serve::MakeFitted("classification", seed);
+      Reference ref;
+      ref.row = ops::Slice(fitted.data, 0, 0, 1);
+      auto result = fitted.pipeline->Predict(ref.row);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ref.labels = result->labels;
+      (*refs_)[name] = std::move(ref);
+      const std::string path = *dir_ + "/" + name + ".json";
+      ASSERT_TRUE(fitted.pipeline->SaveJson(path).ok());
+      (*paths_)[name] = path;
+    }
+  }
+
+  static Router::Options Defaults(int shards = 2) {
+    Router::Options options;
+    options.num_shards = shards;
+    options.worker_binary = *worker_bin_;
+    options.health_interval_s = 0.1;
+    options.respawn_backoff_s = 0.1;
+    options.worker_args = {"--max-delay-ms", "1"};
+    return options;
+  }
+
+  static const Reference& Ref(const std::string& model) {
+    return refs_->at(model);
+  }
+  static const std::string& Path(const std::string& model) {
+    return paths_->at(model);
+  }
+
+  /// Loads `model` through the router and checks the worker's response.
+  static void LoadViaRouter(TestClient* client, const std::string& model) {
+    ASSERT_TRUE(client->SendLine("{\"op\": \"load\", \"model\": \"" + model +
+                                 "\", \"path\": \"" + Path(model) + "\"}"));
+    std::string line;
+    ASSERT_TRUE(client->ReadLine(&line, 60.0)) << "load " << model;
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    ASSERT_TRUE(parsed->at("ok").AsBool()) << line;
+    EXPECT_EQ(parsed->at("op").AsString(), "load") << line;
+    EXPECT_EQ(parsed->at("model").AsString(), model) << line;
+  }
+
+  /// One aggregated stats round-trip through the router.
+  static json::JsonValue StatsViaRouter(TestClient* client) {
+    EXPECT_TRUE(client->SendLine("{\"op\": \"stats\"}"));
+    std::string line;
+    EXPECT_TRUE(client->ReadLine(&line, 60.0));
+    auto parsed = json::Parse(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    return parsed.ok() ? *parsed : json::JsonValue::Object();
+  }
+
+  /// Polls aggregated stats until `want` shards report healthy — workers
+  /// boot asynchronously inside Run(), so tests must not race the spawn.
+  static void WaitForHealthyShards(TestClient* client, int want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const json::JsonValue stats = StatsViaRouter(client);
+      if (stats.is_object() && stats.Contains("router") &&
+          stats.at("router").at("healthy_shards").AsInt() == want) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    FAIL() << "never reached " << want << " healthy shards";
+  }
+
+  /// Shard rollup entry owning `model`, or a null value when unplaced.
+  static json::JsonValue OwnerEntry(const json::JsonValue& stats,
+                                    const std::string& model) {
+    if (!stats.is_object() || !stats.Contains("shards")) {
+      return json::JsonValue();
+    }
+    const json::JsonValue& shards = stats.at("shards");
+    for (size_t i = 0; i < shards.size(); ++i) {
+      const json::JsonValue& entry = shards[i];
+      const json::JsonValue& models = entry.at("models");
+      for (size_t m = 0; m < models.size(); ++m) {
+        if (models[m].AsString() == model) {
+          return entry;
+        }
+      }
+    }
+    return json::JsonValue();
+  }
+
+  static void ExpectPredictOk(const std::string& line,
+                              const std::string& model, int64_t id) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    ASSERT_TRUE(parsed->Contains("ok")) << line;
+    ASSERT_TRUE(parsed->at("ok").AsBool()) << line;
+    EXPECT_EQ(parsed->at("id").AsInt(), id) << line;
+    EXPECT_EQ(parsed->at("model").AsString(), model) << line;
+    EXPECT_EQ(parsed->at("labels").ToInts(), Ref(model).labels) << line;
+  }
+
+  static std::string* worker_bin_;
+  static std::string* dir_;
+  static std::map<std::string, std::string>* paths_;
+  static std::map<std::string, Reference>* refs_;
+};
+
+std::string* RouterTest::worker_bin_ = nullptr;
+std::string* RouterTest::dir_ = nullptr;
+std::map<std::string, std::string>* RouterTest::paths_ = nullptr;
+std::map<std::string, Reference>* RouterTest::refs_ = nullptr;
+
+// --- End-to-end tests ------------------------------------------------------
+
+TEST_F(RouterTest, PlacesModelsByHashAndMatchesDirectWorkerBitwise) {
+  RouterHarness harness(Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_NO_FATAL_FAILURE(WaitForHealthyShards(&client, 2));
+  LoadViaRouter(&client, "alpha");
+  LoadViaRouter(&client, "beta");
+
+  // Each model must live on exactly the shard the ring places it on, and
+  // placement must agree with an independently constructed ring.
+  HashRing ring(64);
+  ring.AddNode(0);
+  ring.AddNode(1);
+  const json::JsonValue stats = StatsViaRouter(&client);
+  for (const std::string model : {"alpha", "beta"}) {
+    const json::JsonValue owner = OwnerEntry(stats, model);
+    ASSERT_TRUE(owner.is_object()) << model << " not placed on any shard";
+    EXPECT_EQ(owner.at("shard").AsInt(), ring.Lookup(model)) << model;
+    EXPECT_EQ(owner.at("state").AsString(), "healthy") << model;
+  }
+
+  // Collect predict responses through the router.
+  std::vector<std::string> via_router;
+  for (const std::string model : {"alpha", "beta"}) {
+    ASSERT_TRUE(client.SendLine(PredictLine(model, Ref(model).row, 1234)));
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line, 60.0)) << model;
+    ExpectPredictOk(line, model, 1234);
+    via_router.push_back(line);
+  }
+
+  // The same requests against an in-process worker loaded from the same
+  // files must produce byte-identical response lines — the router
+  // forwards worker responses without re-encoding them.
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("alpha", Path("alpha")).ok());
+  ASSERT_TRUE(registry.Load("beta", Path("beta")).ok());
+  serve::SocketServer::Options worker_options;
+  worker_options.batcher.max_delay_ms = 1.0;
+  serve::ServerHarness direct(&registry, worker_options);
+  ASSERT_TRUE(direct.Start());
+  TestClient direct_client(direct.port());
+  ASSERT_TRUE(direct_client.connected());
+  size_t i = 0;
+  for (const std::string model : {"alpha", "beta"}) {
+    ASSERT_TRUE(
+        direct_client.SendLine(PredictLine(model, Ref(model).row, 1234)));
+    std::string line;
+    ASSERT_TRUE(direct_client.ReadLine(&line, 60.0)) << model;
+    EXPECT_EQ(via_router[i++], line)
+        << model << ": router response is not bitwise-identical";
+  }
+  EXPECT_EQ(direct.Stop(), 0);
+
+  // list fans out and annotates each model with its shard.
+  ASSERT_TRUE(client.SendLine("{\"op\": \"list\"}"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line, 60.0));
+  auto listed = json::Parse(line);
+  ASSERT_TRUE(listed.ok()) << line;
+  ASSERT_TRUE(listed->at("ok").AsBool()) << line;
+  const json::JsonValue& models = listed->at("models");
+  std::set<std::string> names;
+  for (size_t m = 0; m < models.size(); ++m) {
+    names.insert(models[m].at("name").AsString());
+    EXPECT_TRUE(models[m].Contains("shard")) << line;
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"alpha", "beta"}));
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(RouterTest, KilledWorkerRebalancesWithZeroLostPredicts) {
+  auto options = Defaults();
+  // Park predicts in the worker's batcher long enough to kill the shard
+  // while they are in flight.
+  options.worker_args = {"--max-delay-ms", "400", "--max-batch", "64"};
+  options.max_retries = 1;
+  RouterHarness harness(options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_NO_FATAL_FAILURE(WaitForHealthyShards(&client, 2));
+  LoadViaRouter(&client, "alpha");
+  const json::JsonValue owner = OwnerEntry(StatsViaRouter(&client), "alpha");
+  ASSERT_TRUE(owner.is_object());
+  const pid_t owner_pid = static_cast<pid_t>(owner.at("pid").AsInt());
+  ASSERT_GT(owner_pid, 0);
+
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.SendLine(PredictLine("alpha", Ref("alpha").row, i)));
+  }
+  // Give the router a beat to forward the burst into the doomed worker's
+  // batcher, then kill it hard mid-batch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(::kill(owner_pid, SIGKILL), 0);
+
+  // Every accepted predict must still be answered correctly: the router
+  // retries the in-flight ones against the successor shard after it
+  // rebalances the model there.
+  for (int i = 0; i < kRequests; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line, 90.0)) << "response " << i;
+    ExpectPredictOk(line, "alpha", i);
+  }
+
+  const json::JsonValue stats = StatsViaRouter(&client);
+  const json::JsonValue& router = stats.at("router");
+  EXPECT_GE(router.at("worker_deaths").AsInt(), 1);
+  EXPECT_GE(router.at("retries").AsInt(), 1);
+  const json::JsonValue new_owner = OwnerEntry(stats, "alpha");
+  ASSERT_TRUE(new_owner.is_object()) << "alpha lost after rebalance";
+  EXPECT_NE(static_cast<pid_t>(new_owner.at("pid").AsInt()), owner_pid);
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(RouterTest, KilledWorkerFailsFastWhenRetriesAreDisabled) {
+  auto options = Defaults();
+  options.worker_args = {"--max-delay-ms", "400", "--max-batch", "64"};
+  options.max_retries = 0;
+  RouterHarness harness(options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_NO_FATAL_FAILURE(WaitForHealthyShards(&client, 2));
+  LoadViaRouter(&client, "alpha");
+  const json::JsonValue owner = OwnerEntry(StatsViaRouter(&client), "alpha");
+  ASSERT_TRUE(owner.is_object());
+  const pid_t owner_pid = static_cast<pid_t>(owner.at("pid").AsInt());
+
+  constexpr int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.SendLine(PredictLine("alpha", Ref("alpha").row, i)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(::kill(owner_pid, SIGKILL), 0);
+
+  // Without retries the in-flight predicts fail fast — but with a
+  // structured error naming the cause, never a dropped connection.
+  for (int i = 0; i < kRequests; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line, 60.0)) << "response " << i;
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_FALSE(parsed->at("ok").AsBool()) << line;
+    EXPECT_NE(parsed->at("error").AsString().find("unavailable"),
+              std::string::npos)
+        << line;
+  }
+
+  // The model still rebalances: a fresh predict succeeds on the successor.
+  ASSERT_TRUE(client.SendLine(PredictLine("alpha", Ref("alpha").row, 99)));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line, 90.0));
+  ExpectPredictOk(line, "alpha", 99);
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(RouterTest, HungWorkerIsEvictedAndRespawned) {
+  auto options = Defaults();
+  options.health_interval_s = 0.1;
+  options.health_timeout_s = 0.6;
+  RouterHarness harness(options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_NO_FATAL_FAILURE(WaitForHealthyShards(&client, 2));
+  LoadViaRouter(&client, "alpha");
+  const json::JsonValue owner = OwnerEntry(StatsViaRouter(&client), "alpha");
+  ASSERT_TRUE(owner.is_object());
+  const pid_t owner_pid = static_cast<pid_t>(owner.at("pid").AsInt());
+
+  // A stopped worker answers nothing: the health checker must notice the
+  // missed pongs, evict (SIGKILL) it, and respawn a replacement.
+  ASSERT_EQ(::kill(owner_pid, SIGSTOP), 0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  bool recovered = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const json::JsonValue stats = StatsViaRouter(&client);
+    if (!stats.is_object() || !stats.Contains("router")) {
+      break;  // client connection failed; the assertions below report it
+    }
+    const json::JsonValue& router = stats.at("router");
+    if (router.at("health_evictions").AsInt() >= 1 &&
+        router.at("respawns").AsInt() >= 1 &&
+        router.at("healthy_shards").AsInt() == 2) {
+      recovered = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(recovered) << "router never evicted and respawned the shard";
+
+  // The model survives the eviction and serves again.
+  ASSERT_TRUE(client.SendLine(PredictLine("alpha", Ref("alpha").row, 7)));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line, 90.0));
+  ExpectPredictOk(line, "alpha", 7);
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(RouterTest, LocalOpsAndStatsRollupShape) {
+  RouterHarness harness(Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_NO_FATAL_FAILURE(WaitForHealthyShards(&client, 2));
+
+  // ping is answered by the router itself, echoing the id.
+  ASSERT_TRUE(client.SendLine("{\"op\": \"ping\", \"id\": 42}"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line, 30.0));
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_TRUE(parsed->at("ok").AsBool()) << line;
+  EXPECT_EQ(parsed->at("op").AsString(), "ping") << line;
+  EXPECT_EQ(parsed->at("id").AsInt(), 42) << line;
+
+  // Unknown ops and streaming ops get structured errors, not hangs.
+  ASSERT_TRUE(client.SendLine("{\"op\": \"bogus\"}"));
+  ASSERT_TRUE(client.ReadLine(&line, 30.0));
+  parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_FALSE(parsed->at("ok").AsBool()) << line;
+  EXPECT_NE(parsed->at("error").AsString().find("unknown op 'bogus'"),
+            std::string::npos)
+      << line;
+
+  ASSERT_TRUE(client.SendLine("{\"op\": \"stream_open\", \"model\": \"a\"}"));
+  ASSERT_TRUE(client.ReadLine(&line, 30.0));
+  parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_FALSE(parsed->at("ok").AsBool()) << line;
+  EXPECT_NE(parsed->at("error").AsString().find("streaming"),
+            std::string::npos)
+      << line;
+
+  // The stats rollup carries router-level counters plus per-shard state.
+  const json::JsonValue stats = StatsViaRouter(&client);
+  ASSERT_TRUE(stats.Contains("router")) << stats.Dump();
+  const json::JsonValue& router = stats.at("router");
+  EXPECT_EQ(router.at("pid").AsInt(), static_cast<int64_t>(::getpid()));
+  EXPECT_GE(router.at("uptime_s").AsNumber(), 0.0);
+  EXPECT_GT(router.at("rss_bytes").AsInt(), 0);
+  EXPECT_EQ(router.at("shards").AsInt(), 2);
+  EXPECT_EQ(router.at("healthy_shards").AsInt(), 2);
+  EXPECT_GE(router.at("requests").AsInt(), 1);
+  const json::JsonValue& shards = stats.at("shards");
+  ASSERT_EQ(shards.size(), 2u);
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const json::JsonValue& entry = shards[i];
+    EXPECT_EQ(entry.at("state").AsString(), "healthy") << entry.Dump();
+    EXPECT_GT(entry.at("pid").AsInt(), 0) << entry.Dump();
+    EXPECT_GT(entry.at("port").AsInt(), 0) << entry.Dump();
+    ASSERT_TRUE(entry.Contains("stats")) << entry.Dump();
+    // The embedded worker stats document carries the satellite fields.
+    const json::JsonValue& server = entry.at("stats").at("server");
+    EXPECT_GE(server.at("uptime_s").AsNumber(), 0.0);
+    EXPECT_GT(server.at("rss_bytes").AsInt(), 0);
+    EXPECT_EQ(server.at("pid").AsInt(), entry.at("pid").AsInt());
+  }
+
+  // quit closes the connection after answering.
+  ASSERT_TRUE(client.SendLine("{\"op\": \"quit\"}"));
+  ASSERT_TRUE(client.ReadLine(&line, 30.0));
+  parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_TRUE(parsed->at("ok").AsBool()) << line;
+  EXPECT_TRUE(client.WaitForEof());
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(RouterTest, HttpClientsWorkThroughTheRouter) {
+  RouterHarness harness(Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendRaw("GET /v1/healthz HTTP/1.1\r\n\r\n"));
+  serve::TestHttpResponse resp;
+  ASSERT_TRUE(client.ReadHttpResponse(&resp, 30.0));
+  EXPECT_EQ(resp.status, 200);
+  auto parsed = json::Parse(resp.body);
+  ASSERT_TRUE(parsed.ok()) << resp.body;
+  EXPECT_TRUE(parsed->at("ok").AsBool()) << resp.body;
+
+  // Keep-alive: a second request on the same connection — the aggregated
+  // stats document over HTTP.
+  ASSERT_TRUE(client.SendRaw("GET /v1/stats HTTP/1.1\r\n\r\n"));
+  ASSERT_TRUE(client.ReadHttpResponse(&resp, 30.0));
+  EXPECT_EQ(resp.status, 200);
+  parsed = json::Parse(resp.body);
+  ASSERT_TRUE(parsed.ok()) << resp.body;
+  EXPECT_EQ(parsed->at("router").at("shards").AsInt(), 2) << resp.body;
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(RouterTest, NoHealthyShardsAnswersStructuredUnavailable) {
+  Router::Options options;
+  options.num_shards = 2;
+  // A worker that exits immediately: the ring never gains a node, so the
+  // router must degrade to structured errors instead of hanging.
+  options.worker_binary = "/bin/false";
+  options.respawn_backoff_s = 0.2;
+  RouterHarness harness(options);
+  ASSERT_TRUE(harness.Start());
+
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(
+      "{\"op\": \"predict\", \"model\": \"alpha\", \"values\": [[1, 2]]}"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line, 30.0));
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_FALSE(parsed->at("ok").AsBool()) << line;
+  EXPECT_NE(parsed->at("error").AsString().find("no healthy shards"),
+            std::string::npos)
+      << line;
+
+  // Fanout ops still answer with the router-only aggregate. The first
+  // worker exit may not have been reaped yet, so poll for the death count.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  json::JsonValue stats;
+  while (true) {
+    stats = StatsViaRouter(&client);
+    ASSERT_TRUE(stats.Contains("router")) << stats.Dump();
+    if (stats.at("router").at("worker_deaths").AsInt() >= 1 ||
+        std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(stats.at("router").at("healthy_shards").AsInt(), 0);
+  EXPECT_GE(stats.at("router").at("worker_deaths").AsInt(), 1);
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
+}  // namespace
+}  // namespace units::router

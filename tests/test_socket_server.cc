@@ -12,10 +12,12 @@
 #include <dirent.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -369,6 +371,53 @@ TEST_F(SocketServerTest, GracefulDrainAnswersAdmittedRequests) {
   }
   EXPECT_TRUE(client.WaitForEof());
   EXPECT_EQ(harness.Stop(), 0);
+}
+
+TEST_F(SocketServerTest, SignalStormDoesNotLoseOrCorruptResponses) {
+  // EINTR-audit regression (serve/net_util.h): pepper the whole process
+  // with SIGUSR1 — handler installed *without* SA_RESTART so read/write/
+  // poll/send actually return EINTR — while a large pipelined transfer
+  // runs through the event loop. Every response must still arrive intact
+  // and in order.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  ServerHarness harness(registry_, Defaults());
+  ASSERT_TRUE(harness.Start());
+
+  std::atomic<bool> storming{true};
+  std::thread storm([&storming] {
+    while (storming.load(std::memory_order_relaxed)) {
+      ::kill(::getpid(), SIGUSR1);  // delivered to an arbitrary thread
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Run the transfer in a callee so a failed ASSERT still falls through
+  // to stopping the storm thread below.
+  constexpr int kRequests = 150;
+  const auto run_transfer = [&]() {
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.connected());
+    for (int i = 0; i < kRequests; ++i) {
+      ASSERT_TRUE(client.SendLine(PredictLine("a", Ref("a").row, i)))
+          << "send " << i;
+    }
+    for (int i = 0; i < kRequests; ++i) {
+      std::string line;
+      ASSERT_TRUE(client.ReadLine(&line, 60.0)) << "response " << i;
+      ExpectPredictResponse(line, "a", i, Ref("a"));
+    }
+  };
+  run_transfer();
+  storming.store(false);
+  storm.join();
+  EXPECT_EQ(harness.Stop(), 0);
+  ::sigaction(SIGUSR1, &old, nullptr);
 }
 
 TEST_F(SocketServerTest, StatsOverSocketReportAdmissionCounters) {

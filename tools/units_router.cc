@@ -1,0 +1,176 @@
+// units_router — shard router front tier: spawns a pool of units_serve
+// worker processes, shards the model namespace across them by consistent
+// hashing on the model name, health-checks every worker, and rebalances
+// models when a worker dies (see DESIGN.md §14 and router/router.h).
+//
+// Clients speak the same protocols a worker does — NDJSON lines or
+// HTTP/1.1 (POST /v1/predict, GET /v1/stats, GET /v1/healthz), sniffed
+// per connection — so moving from one worker to a sharded pool is a
+// matter of pointing at a different port.
+//
+//   units_router [--port N] [--shards N] [--worker-bin PATH]
+//                [--health-interval-s X] [--health-timeout-s X]
+//                [--retries N] [--drain-timeout-s X]
+//                [--worker-arg FLAG ...]
+//
+// --worker-arg values are passed through to every spawned worker verbatim
+// (repeat the flag: --worker-arg --max-batch --worker-arg 16). The worker
+// binary defaults to units_serve next to this executable; UNITS_SERVE_BIN
+// overrides it. Like units_serve, the bound port is announced on stderr
+// as "listening on port P", and SIGTERM/SIGINT drain gracefully: answer
+// what is in flight, SIGTERM the workers, reap them, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/logging.h"
+#include "router/router.h"
+
+namespace units::router {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: units_router [--port N] [--shards N] [--worker-bin PATH]\n"
+      "                    [--health-interval-s X] [--health-timeout-s X]\n"
+      "                    [--retries N] [--drain-timeout-s X]\n"
+      "                    [--worker-arg FLAG ...]\n"
+      "shards the NDJSON/HTTP serving protocol across a pool of\n"
+      "units_serve workers; see router/router.h\n");
+  return 2;
+}
+
+bool ParseInt(const std::string& value, int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+Router* g_router = nullptr;
+
+void HandleDrainSignal(int) {
+  if (g_router != nullptr) {
+    g_router->RequestDrain();
+  }
+}
+
+int Main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+
+  Router::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--port") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 0 || n > 65535) {
+        std::fprintf(stderr, "error: --port expects 0..65535\n");
+        return 2;
+      }
+      options.port = static_cast<int>(n);
+    } else if (flag == "--shards") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 1 || n > 256) {
+        std::fprintf(stderr, "error: --shards expects 1..256\n");
+        return 2;
+      }
+      options.num_shards = static_cast<int>(n);
+    } else if (flag == "--worker-bin") {
+      const char* value = next();
+      if (value == nullptr) {
+        std::fprintf(stderr, "error: --worker-bin expects a path\n");
+        return 2;
+      }
+      options.worker_binary = value;
+    } else if (flag == "--health-interval-s") {
+      const char* value = next();
+      double s = 0.0;
+      if (value == nullptr || !ParseDouble(value, &s) || s <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --health-interval-s expects a positive number\n");
+        return 2;
+      }
+      options.health_interval_s = s;
+    } else if (flag == "--health-timeout-s") {
+      const char* value = next();
+      double s = 0.0;
+      if (value == nullptr || !ParseDouble(value, &s) || s <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --health-timeout-s expects a positive number\n");
+        return 2;
+      }
+      options.health_timeout_s = s;
+    } else if (flag == "--retries") {
+      const char* value = next();
+      int64_t n = 0;
+      if (value == nullptr || !ParseInt(value, &n) || n < 0) {
+        std::fprintf(stderr, "error: --retries expects a non-negative int\n");
+        return 2;
+      }
+      options.max_retries = static_cast<int>(n);
+    } else if (flag == "--drain-timeout-s") {
+      const char* value = next();
+      double s = 0.0;
+      if (value == nullptr || !ParseDouble(value, &s) || s <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --drain-timeout-s expects a positive number\n");
+        return 2;
+      }
+      options.drain_timeout_s = s;
+    } else if (flag == "--worker-arg") {
+      const char* value = next();
+      if (value == nullptr) {
+        std::fprintf(stderr, "error: --worker-arg expects a value\n");
+        return 2;
+      }
+      options.worker_args.push_back(value);
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      return Usage();
+    }
+  }
+
+  Router router(options);
+  const Status status = router.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "listening on port %d\n", router.bound_port());
+  g_router = &router;
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  const int code = router.Run();
+  g_router = nullptr;
+  return code;
+}
+
+}  // namespace
+}  // namespace units::router
+
+int main(int argc, char** argv) { return units::router::Main(argc, argv); }
