@@ -39,6 +39,7 @@
 #include "json/json.h"
 #include "nn/attention.h"
 #include "nn/tcn.h"
+#include "plan/plan.h"
 #include "tensor/fft.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
@@ -440,6 +441,117 @@ json::JsonValue RunAttentionSweep() {
   return results;
 }
 
+// --- captured-plan vs dynamic sweep ----------------------------------------
+
+/// Times eval forwards executed through a captured plan (src/plan/: fused
+/// elementwise sweeps + arena memory, zero steady-state allocations)
+/// against the dynamic autograd walk they were traced from,
+/// single-threaded. Covers a bare GELU, a fusable bias->GELU->tanh chain
+/// (three memory sweeps collapsing into one), and the TCN + transformer
+/// encoder evals the pipeline actually serves. Outputs are checked bitwise
+/// — a plan that diverges from the walk reports bitwise_equal=0.
+json::JsonValue RunPlanSweep() {
+  struct PlanCase {
+    std::string name;
+    Tensor x;
+    plan::EvalPlan::EvalFn fn;
+  };
+  std::vector<PlanCase> cases;
+  {
+    Rng rng(501);
+    Tensor x = Tensor::RandNormal({1 << 20}, &rng);
+    cases.push_back({"gelu_1m", x, [](const ag::Variable& xb) {
+                       return std::vector<ag::Variable>{ag::Gelu(xb)};
+                     }});
+    auto bias = std::make_shared<Tensor>(Tensor::RandNormal({1 << 20}, &rng));
+    cases.push_back(
+        {"bias_gelu_tanh_1m", x, [bias](const ag::Variable& xb) {
+           return std::vector<ag::Variable>{ag::Tanh(
+               ag::MulScalar(ag::Gelu(ag::Add(xb, ag::Constant(*bias))),
+                             0.5f))};
+         }});
+  }
+  {
+    Rng rng(502);
+    nn::TcnConfig config;
+    config.input_channels = 3;
+    config.hidden_channels = 24;
+    config.repr_channels = 48;
+    config.num_blocks = 3;
+    auto encoder = std::make_shared<nn::TcnEncoder>(config, &rng);
+    encoder->SetTraining(false);
+    cases.push_back({"tcn_encoder_16x3x96",
+                     Tensor::RandNormal({16, 3, 96}, &rng),
+                     [encoder](const ag::Variable& xb) {
+                       return std::vector<ag::Variable>{encoder->Forward(xb)};
+                     }});
+  }
+  {
+    Rng rng(503);
+    auto backbone =
+        std::make_shared<nn::TransformerBackbone>(3, 32, 48, 2, 4, &rng, 0.0f);
+    backbone->SetTraining(false);
+    cases.push_back({"transformer_8x3x96",
+                     Tensor::RandNormal({8, 3, 96}, &rng),
+                     [backbone](const ag::Variable& xb) {
+                       return std::vector<ag::Variable>{
+                           backbone->Forward(xb)};
+                     }});
+  }
+
+  json::JsonValue results = json::JsonValue::Array();
+  base::SetNumThreads(1);
+  for (PlanCase& c : cases) {
+    std::string error;
+    auto plan = plan::EvalPlan::Capture(c.fn, c.x, &error);
+    if (plan == nullptr) {
+      std::printf("plan,%s,unplannable: %s\n", c.name.c_str(), error.c_str());
+      continue;
+    }
+    const auto dynamic_once = [&] {
+      ag::NoGradGuard no_grad;
+      std::vector<ag::Variable> vs = c.fn(ag::Variable(c.x));
+      benchmark::DoNotOptimize(vs[0].data().data());
+      return vs[0].data();
+    };
+    Tensor planned_out;
+    plan->Run(c.x, [&](int, const Tensor& t) { planned_out = t.Clone(); });
+    const Tensor dynamic_out = dynamic_once();
+    const bool bitwise =
+        SameShape(planned_out.shape(), dynamic_out.shape()) &&
+        std::memcmp(planned_out.data(), dynamic_out.data(),
+                    static_cast<size_t>(planned_out.numel()) *
+                        sizeof(float)) == 0;
+
+    const double dynamic_ms = TimeGemmMs([&] { dynamic_once(); });
+    const double planned_ms = TimeGemmMs([&] {
+      plan->Run(c.x, [](int, const Tensor& t) {
+        benchmark::DoNotOptimize(t.data());
+      });
+    });
+
+    json::JsonValue row = json::JsonValue::Object();
+    row.Set("name", json::JsonValue::String(c.name));
+    row.Set("dynamic_ms", json::JsonValue::Number(dynamic_ms));
+    row.Set("planned_ms", json::JsonValue::Number(planned_ms));
+    row.Set("speedup", json::JsonValue::Number(dynamic_ms / planned_ms));
+    row.Set("bitwise_equal", json::JsonValue::Bool(bitwise));
+    row.Set("arena_bytes", json::JsonValue::Int(plan->arena_bytes()));
+    row.Set("fused_sweeps",
+            json::JsonValue::Int(plan->num_multi_step_sweeps()));
+    results.Append(std::move(row));
+
+    std::printf(
+        "plan,%s,dynamic_ms=%.3f,planned_ms=%.3f,speedup=%.2f,"
+        "bitwise_equal=%d,arena_bytes=%lld,fused_sweeps=%d\n",
+        c.name.c_str(), dynamic_ms, planned_ms, dynamic_ms / planned_ms,
+        bitwise ? 1 : 0, static_cast<long long>(plan->arena_bytes()),
+        plan->num_multi_step_sweeps());
+  }
+  base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  return results;
+}
+
 // --- baseline regression diff ----------------------------------------------
 
 /// Extracts name -> metric from a row array, returning NaN when absent.
@@ -517,6 +629,17 @@ void DiffAgainstBaseline(const json::JsonValue& fresh) {
       }
     }
   }
+  // Planned-execution wall times: lower is better.
+  if (base.Contains("plan") && fresh.Contains("plan")) {
+    for (size_t i = 0; i < fresh.at("plan").size(); ++i) {
+      const json::JsonValue& row = fresh.at("plan")[i];
+      const std::string name = row.at("name").AsString();
+      report("plan/" + name + "/planned_ms",
+             RowMetric(base.at("plan"), name, "planned_ms"),
+             RowMetric(fresh.at("plan"), name, "planned_ms"),
+             /*higher_is_better=*/false, /*tolerance=*/1.25);
+    }
+  }
   // Scaling-case wall times: lower is better.
   if (base.Contains("results") && fresh.Contains("results")) {
     for (size_t i = 0; i < fresh.at("results").size(); ++i) {
@@ -576,6 +699,7 @@ void WriteParallelScalingReport(const std::string& path) {
   doc.Set("gemm_micro_kernel", json::JsonValue::String(gemm::MicroKernelName()));
   doc.Set("gemm", RunGemmSweep());
   doc.Set("attention", RunAttentionSweep());
+  doc.Set("plan", RunPlanSweep());
   doc.Set("results", std::move(results));
 
   std::ofstream out(path);

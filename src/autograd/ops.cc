@@ -5,6 +5,8 @@
 
 #include "base/check.h"
 #include "base/parallel.h"
+#include "plan/trace.h"
+#include "tensor/scalar_fns.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::autograd {
@@ -27,6 +29,24 @@ void Accumulate(Variable v, const Tensor& g) {
   v.AccumulateGrad(g);
 }
 
+/// Registers an op result with the active plan tracer (no-op unless the
+/// calling thread is inside an EvalPlan capture) and passes it through.
+Variable Traced(plan::OpKind kind, const Variable& a, Variable result,
+                const plan::NodeArgs& args = {}) {
+  if (plan::TraceActive()) {
+    plan::TraceUnary(kind, a, result, args);
+  }
+  return result;
+}
+
+Variable Traced2(plan::OpKind kind, const Variable& a, const Variable& b,
+                 Variable result) {
+  if (plan::TraceActive()) {
+    plan::TraceBinary(kind, a, b, result);
+  }
+  return result;
+}
+
 }  // namespace
 
 Variable Constant(Tensor t) { return Variable(std::move(t), false); }
@@ -35,235 +55,293 @@ Variable Constant(Tensor t) { return Variable(std::move(t), false); }
 
 Variable Add(const Variable& a, const Variable& b) {
   Tensor out = ops::Add(a.data(), b.data());
-  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
-    AccumulateBroadcast(a, g);
-    AccumulateBroadcast(b, g);
-  });
+  return Traced2(
+      plan::OpKind::kAdd, a, b,
+      Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+        AccumulateBroadcast(a, g);
+        AccumulateBroadcast(b, g);
+      }));
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   Tensor out = ops::Sub(a.data(), b.data());
-  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
-    AccumulateBroadcast(a, g);
-    AccumulateBroadcast(b, ops::Neg(g));
-  });
+  return Traced2(
+      plan::OpKind::kSub, a, b,
+      Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+        AccumulateBroadcast(a, g);
+        AccumulateBroadcast(b, ops::Neg(g));
+      }));
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   Tensor out = ops::Mul(a.data(), b.data());
-  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
-    AccumulateBroadcast(a, ops::Mul(g, b.data()));
-    AccumulateBroadcast(b, ops::Mul(g, a.data()));
-  });
+  return Traced2(
+      plan::OpKind::kMul, a, b,
+      Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+        AccumulateBroadcast(a, ops::Mul(g, b.data()));
+        AccumulateBroadcast(b, ops::Mul(g, a.data()));
+      }));
 }
 
 Variable Div(const Variable& a, const Variable& b) {
   Tensor out = ops::Div(a.data(), b.data());
-  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
-    AccumulateBroadcast(a, ops::Div(g, b.data()));
-    // d/db (a/b) = -a / b^2
-    Tensor gb = ops::Neg(
-        ops::Div(ops::Mul(g, a.data()), ops::Square(b.data())));
-    AccumulateBroadcast(b, gb);
-  });
+  return Traced2(
+      plan::OpKind::kDiv, a, b,
+      Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+        AccumulateBroadcast(a, ops::Div(g, b.data()));
+        // d/db (a/b) = -a / b^2
+        Tensor gb = ops::Neg(
+            ops::Div(ops::Mul(g, a.data()), ops::Square(b.data())));
+        AccumulateBroadcast(b, gb);
+      }));
 }
 
 Variable Neg(const Variable& a) {
-  return Variable::MakeNode(ops::Neg(a.data()), {a}, [a](const Tensor& g) {
-    Accumulate(a, ops::Neg(g));
-  });
+  return Traced(plan::OpKind::kNeg, a,
+                Variable::MakeNode(ops::Neg(a.data()), {a},
+                                   [a](const Tensor& g) {
+                                     Accumulate(a, ops::Neg(g));
+                                   }));
 }
 
 Variable AddScalar(const Variable& a, float s) {
-  return Variable::MakeNode(ops::AddScalar(a.data(), s), {a},
-                            [a](const Tensor& g) { Accumulate(a, g); });
+  return Traced(plan::OpKind::kAddScalar, a,
+                Variable::MakeNode(ops::AddScalar(a.data(), s), {a},
+                                   [a](const Tensor& g) { Accumulate(a, g); }),
+                plan::NodeArgs{.scalar = s});
 }
 
 Variable MulScalar(const Variable& a, float s) {
-  return Variable::MakeNode(ops::MulScalar(a.data(), s), {a},
-                            [a, s](const Tensor& g) {
-                              Accumulate(a, ops::MulScalar(g, s));
-                            });
+  return Traced(plan::OpKind::kMulScalar, a,
+                Variable::MakeNode(ops::MulScalar(a.data(), s), {a},
+                                   [a, s](const Tensor& g) {
+                                     Accumulate(a, ops::MulScalar(g, s));
+                                   }),
+                plan::NodeArgs{.scalar = s});
 }
 
 Variable PowScalar(const Variable& a, float p) {
-  Tensor out = ops::UnaryOp(a.data(), [p](float x) { return std::pow(x, p); });
-  return Variable::MakeNode(std::move(out), {a}, [a, p](const Tensor& g) {
-    Tensor dx = ops::UnaryOp(a.data(), [p](float x) {
-      return p * std::pow(x, p - 1.0f);
-    });
-    Accumulate(a, ops::Mul(g, dx));
-  });
+  Tensor out =
+      ops::UnaryOp(a.data(), [p](float x) { return scalar::PowScalar(x, p); });
+  return Traced(plan::OpKind::kPowScalar, a,
+                Variable::MakeNode(
+                    std::move(out), {a},
+                    [a, p](const Tensor& g) {
+                      Tensor dx = ops::UnaryOp(a.data(), [p](float x) {
+                        return p * std::pow(x, p - 1.0f);
+                      });
+                      Accumulate(a, ops::Mul(g, dx));
+                    }),
+                plan::NodeArgs{.scalar = p});
 }
 
 // --- linear algebra -------------------------------------------------------
 
 Variable MatMul(const Variable& a, const Variable& b) {
   Tensor out = ops::MatMul(a.data(), b.data());
-  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
-    if (a.requires_grad()) {
-      a.AccumulateGrad(ops::MatMul(g, ops::Transpose2D(b.data())));
-    }
-    if (b.requires_grad()) {
-      b.AccumulateGrad(ops::MatMul(ops::Transpose2D(a.data()), g));
-    }
-  });
+  return Traced2(
+      plan::OpKind::kMatMul, a, b,
+      Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+        if (a.requires_grad()) {
+          a.AccumulateGrad(ops::MatMul(g, ops::Transpose2D(b.data())));
+        }
+        if (b.requires_grad()) {
+          b.AccumulateGrad(ops::MatMul(ops::Transpose2D(a.data()), g));
+        }
+      }));
 }
 
 Variable BatchedMatMul(const Variable& a, const Variable& b) {
   Tensor out = ops::BatchedMatMul(a.data(), b.data());
-  return Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
-    if (a.requires_grad()) {
-      a.AccumulateGrad(
-          ops::BatchedMatMul(g, ops::Transpose(b.data(), 1, 2)));
-    }
-    if (b.requires_grad()) {
-      b.AccumulateGrad(
-          ops::BatchedMatMul(ops::Transpose(a.data(), 1, 2), g));
-    }
-  });
+  return Traced2(
+      plan::OpKind::kBatchedMatMul, a, b,
+      Variable::MakeNode(std::move(out), {a, b}, [a, b](const Tensor& g) {
+        if (a.requires_grad()) {
+          a.AccumulateGrad(
+              ops::BatchedMatMul(g, ops::Transpose(b.data(), 1, 2)));
+        }
+        if (b.requires_grad()) {
+          b.AccumulateGrad(
+              ops::BatchedMatMul(ops::Transpose(a.data(), 1, 2), g));
+        }
+      }));
 }
 
 Variable Transpose(const Variable& a, int axis0, int axis1) {
   Tensor out = ops::Transpose(a.data(), axis0, axis1);
-  return Variable::MakeNode(std::move(out), {a},
-                            [a, axis0, axis1](const Tensor& g) {
-                              Accumulate(a, ops::Transpose(g, axis0, axis1));
-                            });
+  return Traced(plan::OpKind::kTranspose, a,
+                Variable::MakeNode(std::move(out), {a},
+                                   [a, axis0, axis1](const Tensor& g) {
+                                     Accumulate(
+                                         a, ops::Transpose(g, axis0, axis1));
+                                   }),
+                plan::NodeArgs{.axis0 = axis0, .axis1 = axis1});
 }
 
 Variable Reshape(const Variable& a, Shape new_shape) {
   Tensor out = a.data().Reshape(std::move(new_shape));
   const Shape original = a.shape();
-  return Variable::MakeNode(std::move(out), {a},
-                            [a, original](const Tensor& g) {
-                              Accumulate(a, g.Reshape(original));
-                            });
+  return Traced(plan::OpKind::kReshape, a,
+                Variable::MakeNode(std::move(out), {a},
+                                   [a, original](const Tensor& g) {
+                                     Accumulate(a, g.Reshape(original));
+                                   }));
 }
 
 // --- nonlinearities -------------------------------------------------------
 
 Variable Relu(const Variable& a) {
   Tensor out = ops::Relu(a.data());
-  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
-    Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
-      return x > 0.0f ? gi : 0.0f;
-    });
-    Accumulate(a, dx);
-  });
+  return Traced(
+      plan::OpKind::kRelu, a,
+      Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+        Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
+          return x > 0.0f ? gi : 0.0f;
+        });
+        Accumulate(a, dx);
+      }));
 }
 
 Variable LeakyRelu(const Variable& a, float slope) {
   Tensor out = ops::UnaryOp(
-      a.data(), [slope](float x) { return x > 0.0f ? x : slope * x; });
-  return Variable::MakeNode(std::move(out), {a}, [a, slope](const Tensor& g) {
-    Tensor dx = ops::BinaryOp(g, a.data(), [slope](float gi, float x) {
-      return x > 0.0f ? gi : slope * gi;
-    });
-    Accumulate(a, dx);
-  });
+      a.data(), [slope](float x) { return scalar::LeakyRelu(x, slope); });
+  return Traced(
+      plan::OpKind::kLeakyRelu, a,
+      Variable::MakeNode(std::move(out), {a},
+                         [a, slope](const Tensor& g) {
+                           Tensor dx = ops::BinaryOp(
+                               g, a.data(), [slope](float gi, float x) {
+                                 return x > 0.0f ? gi : slope * gi;
+                               });
+                           Accumulate(a, dx);
+                         }),
+      plan::NodeArgs{.scalar = slope});
 }
 
 Variable Gelu(const Variable& a) {
   Tensor out = ops::Gelu(a.data());
-  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
-    Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
-      const float kC = 0.7978845608f;  // sqrt(2/pi)
-      const float u = kC * (x + 0.044715f * x * x * x);
-      const float t = std::tanh(u);
-      const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
-      return gi * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du);
-    });
-    Accumulate(a, dx);
-  });
+  return Traced(
+      plan::OpKind::kGelu, a,
+      Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+        Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
+          const float kC = 0.7978845608f;  // sqrt(2/pi)
+          const float u = kC * (x + 0.044715f * x * x * x);
+          const float t = std::tanh(u);
+          const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+          return gi * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du);
+        });
+        Accumulate(a, dx);
+      }));
 }
 
 Variable Tanh(const Variable& a) {
   Tensor out = ops::Tanh(a.data());
   Tensor saved = out;  // aliases out's storage (cheap)
-  return Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
-    Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
-      return gi * (1.0f - y * y);
-    });
-    Accumulate(a, dx);
-  });
+  return Traced(
+      plan::OpKind::kTanh, a,
+      Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
+        Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
+          return gi * (1.0f - y * y);
+        });
+        Accumulate(a, dx);
+      }));
 }
 
 Variable Sigmoid(const Variable& a) {
   Tensor out = ops::Sigmoid(a.data());
   Tensor saved = out;
-  return Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
-    Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
-      return gi * y * (1.0f - y);
-    });
-    Accumulate(a, dx);
-  });
+  return Traced(
+      plan::OpKind::kSigmoid, a,
+      Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
+        Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
+          return gi * y * (1.0f - y);
+        });
+        Accumulate(a, dx);
+      }));
 }
 
 Variable Exp(const Variable& a) {
   Tensor out = ops::Exp(a.data());
   Tensor saved = out;
-  return Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
-    Accumulate(a, ops::Mul(g, saved));
-  });
+  return Traced(
+      plan::OpKind::kExp, a,
+      Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
+        Accumulate(a, ops::Mul(g, saved));
+      }));
 }
 
 Variable Log(const Variable& a) {
   Tensor out = ops::Log(a.data());
-  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
-    Accumulate(a, ops::Div(g, a.data()));
-  });
+  return Traced(
+      plan::OpKind::kLog, a,
+      Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+        Accumulate(a, ops::Div(g, a.data()));
+      }));
 }
 
 Variable Sqrt(const Variable& a) {
   Tensor out = ops::Sqrt(a.data());
   Tensor saved = out;
-  return Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
-    Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
-      return gi * 0.5f / y;
-    });
-    Accumulate(a, dx);
-  });
+  return Traced(
+      plan::OpKind::kSqrt, a,
+      Variable::MakeNode(std::move(out), {a}, [a, saved](const Tensor& g) {
+        Tensor dx = ops::BinaryOp(g, saved, [](float gi, float y) {
+          return gi * 0.5f / y;
+        });
+        Accumulate(a, dx);
+      }));
 }
 
 Variable Square(const Variable& a) {
   Tensor out = ops::Square(a.data());
-  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
-    Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
-      return gi * 2.0f * x;
-    });
-    Accumulate(a, dx);
-  });
+  return Traced(
+      plan::OpKind::kSquare, a,
+      Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+        Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
+          return gi * 2.0f * x;
+        });
+        Accumulate(a, dx);
+      }));
 }
 
 Variable Abs(const Variable& a) {
   Tensor out = ops::Abs(a.data());
-  return Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
-    Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
-      return x > 0.0f ? gi : (x < 0.0f ? -gi : 0.0f);
-    });
-    Accumulate(a, dx);
-  });
+  return Traced(
+      plan::OpKind::kAbs, a,
+      Variable::MakeNode(std::move(out), {a}, [a](const Tensor& g) {
+        Tensor dx = ops::BinaryOp(g, a.data(), [](float gi, float x) {
+          return x > 0.0f ? gi : (x < 0.0f ? -gi : 0.0f);
+        });
+        Accumulate(a, dx);
+      }));
 }
 
 Variable Softmax(const Variable& a, int axis) {
   Tensor out = ops::SoftmaxFused(a.data(), axis);
   Tensor saved = out;
-  return Variable::MakeNode(
-      std::move(out), {a}, [a, saved, axis](const Tensor& g) {
-        // dx = p ⊙ (g − Σ g⊙p), one row-wise pass, no temporaries.
-        Accumulate(a, ops::SoftmaxBackward(saved, g, axis));
-      });
+  return Traced(
+      plan::OpKind::kSoftmax, a,
+      Variable::MakeNode(
+          std::move(out), {a},
+          [a, saved, axis](const Tensor& g) {
+            // dx = p ⊙ (g − Σ g⊙p), one row-wise pass, no temporaries.
+            Accumulate(a, ops::SoftmaxBackward(saved, g, axis));
+          }),
+      plan::NodeArgs{.axis0 = axis});
 }
 
 Variable LogSoftmax(const Variable& a, int axis) {
   Tensor out = ops::LogSoftmaxFused(a.data(), axis);
   Tensor saved = out;
-  return Variable::MakeNode(
-      std::move(out), {a}, [a, saved, axis](const Tensor& g) {
-        // dx = g − exp(out) ⊙ Σ g, one row-wise pass.
-        Accumulate(a, ops::LogSoftmaxBackward(saved, g, axis));
-      });
+  return Traced(
+      plan::OpKind::kLogSoftmax, a,
+      Variable::MakeNode(
+          std::move(out), {a},
+          [a, saved, axis](const Tensor& g) {
+            // dx = g − exp(out) ⊙ Σ g, one row-wise pass.
+            Accumulate(a, ops::LogSoftmaxBackward(saved, g, axis));
+          }),
+      plan::NodeArgs{.axis0 = axis});
 }
 
 Variable ScaledDotAttention(const Variable& q, const Variable& k,
@@ -274,9 +352,17 @@ Variable ScaledDotAttention(const Variable& q, const Variable& k,
       (q.requires_grad() || k.requires_grad() || v.requires_grad());
   if (!need_grad) {
     // Streaming tiles: the [B, T, T] probability tensor is never built.
-    return Variable(ops::AttentionForwardStreaming(q.data(), k.data(),
+    Variable result(ops::AttentionForwardStreaming(q.data(), k.data(),
                                                    v.data(), scale,
                                                    dropout_mask));
+    if (plan::TraceActive()) {
+      if (dropout_mask.numel() > 0) {
+        plan::PoisonTrace("attention with a dropout mask in an eval trace");
+      } else {
+        plan::TraceAttention(q, k, v, scale, result);
+      }
+    }
+    return result;
   }
   Tensor probs;
   Tensor out = ops::AttentionForwardTrain(q.data(), k.data(), v.data(), scale,
@@ -299,18 +385,21 @@ Variable Sum(const Variable& a, int axis, bool keepdim) {
   const Shape in_shape = a.shape();
   const int ndim = a.ndim();
   const int norm_axis = axis < 0 ? axis + ndim : axis;
-  return Variable::MakeNode(
-      std::move(out), {a},
-      [a, in_shape, norm_axis, keepdim](const Tensor& g) {
-        Tensor gk = g;
-        if (!keepdim) {
-          Shape keep = in_shape;
-          keep[static_cast<size_t>(norm_axis)] = 1;
-          gk = g.Reshape(keep);
-        }
-        // Broadcast back up to the input shape.
-        Accumulate(a, ops::Add(Tensor::Zeros(in_shape), gk));
-      });
+  return Traced(
+      plan::OpKind::kSum, a,
+      Variable::MakeNode(
+          std::move(out), {a},
+          [a, in_shape, norm_axis, keepdim](const Tensor& g) {
+            Tensor gk = g;
+            if (!keepdim) {
+              Shape keep = in_shape;
+              keep[static_cast<size_t>(norm_axis)] = 1;
+              gk = g.Reshape(keep);
+            }
+            // Broadcast back up to the input shape.
+            Accumulate(a, ops::Add(Tensor::Zeros(in_shape), gk));
+          }),
+      plan::NodeArgs{.axis0 = norm_axis, .keepdim = keepdim});
 }
 
 Variable Mean(const Variable& a, int axis, bool keepdim) {
@@ -338,17 +427,19 @@ Variable MaxPoolOverTime(const Variable& a) {
   UNITS_CHECK_EQ(a.ndim(), 3);
   auto [values, args] = ops::MaxWithArg(a.data(), /*axis=*/2);
   const Shape in_shape = a.shape();
-  return Variable::MakeNode(
-      std::move(values), {a},
-      [a, in_shape, args = std::move(args)](const Tensor& g) {
-        Tensor dx = Tensor::Zeros(in_shape);
-        float* pd = dx.data();
-        const float* pg = g.data();
-        for (size_t i = 0; i < args.size(); ++i) {
-          pd[args[i]] += pg[static_cast<int64_t>(i)];
-        }
-        Accumulate(a, dx);
-      });
+  return Traced(
+      plan::OpKind::kMaxPool, a,
+      Variable::MakeNode(
+          std::move(values), {a},
+          [a, in_shape, args = std::move(args)](const Tensor& g) {
+            Tensor dx = Tensor::Zeros(in_shape);
+            float* pd = dx.data();
+            const float* pg = g.data();
+            for (size_t i = 0; i < args.size(); ++i) {
+              pd[args[i]] += pg[static_cast<int64_t>(i)];
+            }
+            Accumulate(a, dx);
+          }));
 }
 
 Variable MeanPoolOverTime(const Variable& a) {
@@ -363,7 +454,7 @@ Variable Slice(const Variable& a, int axis, int64_t start, int64_t length) {
   const Shape in_shape = a.shape();
   const int ndim = a.ndim();
   const int norm_axis = axis < 0 ? axis + ndim : axis;
-  return Variable::MakeNode(
+  Variable result = Variable::MakeNode(
       std::move(out), {a},
       [a, in_shape, norm_axis, start, length](const Tensor& g) {
         // Embed g back into a zero tensor of the input shape.
@@ -391,6 +482,8 @@ Variable Slice(const Variable& a, int axis, int64_t start, int64_t length) {
         }
         Accumulate(a, dx);
       });
+  return Traced(plan::OpKind::kSlice, a, std::move(result),
+                plan::NodeArgs{.axis0 = norm_axis, .i0 = start, .i1 = length});
 }
 
 Variable Concat(const std::vector<Variable>& parts, int axis) {
@@ -408,7 +501,7 @@ Variable Concat(const std::vector<Variable>& parts, int axis) {
   for (const Variable& p : parts) {
     lengths.push_back(p.dim(norm_axis));
   }
-  return Variable::MakeNode(
+  Variable result = Variable::MakeNode(
       std::move(out), parts,
       [parts, norm_axis, lengths](const Tensor& g) {
         int64_t offset = 0;
@@ -420,6 +513,10 @@ Variable Concat(const std::vector<Variable>& parts, int axis) {
           offset += lengths[i];
         }
       });
+  if (plan::TraceActive()) {
+    plan::TraceConcat(parts, norm_axis, result);
+  }
+  return result;
 }
 
 Variable GatherRows(const Variable& a, std::vector<int64_t> indices) {
@@ -435,27 +532,6 @@ Variable GatherRows(const Variable& a, std::vector<int64_t> indices) {
 // --- convolution ----------------------------------------------------------
 
 namespace {
-
-/// [Cout, N*Tout] -> [N, Cout, Tout].
-Tensor UnpackConvOutput(const Tensor& out2, int64_t n, int64_t c_out,
-                        int64_t t_out) {
-  Tensor out = Tensor::Zeros({n, c_out, t_out});
-  const float* p2 = out2.data();
-  float* po = out.data();
-  // Parallel over output channels; channels write disjoint [ni, co] rows.
-  base::ParallelFor(
-      0, c_out, std::max<int64_t>(1, 16384 / std::max<int64_t>(1, n * t_out)),
-      [&](int64_t co0, int64_t co1) {
-        for (int64_t co = co0; co < co1; ++co) {
-          for (int64_t ni = 0; ni < n; ++ni) {
-            const float* src = p2 + co * (n * t_out) + ni * t_out;
-            float* dst = po + (ni * c_out + co) * t_out;
-            std::copy(src, src + t_out, dst);
-          }
-        }
-      });
-  return out;
-}
 
 /// [N, Cout, Tout] -> [Cout, N*Tout].
 Tensor PackConvGrad(const Tensor& g, int64_t n, int64_t c_out, int64_t t_out) {
@@ -496,7 +572,7 @@ Variable Conv1d(const Variable& input, const Variable& weight,
                               pad_right);                     // [Cin*k, N*Tout]
   Tensor w2 = weight.data().Reshape({c_out, c_in * kernel});  // view
   Tensor out2 = ops::MatMul(w2, cols);                        // [Cout, N*Tout]
-  Tensor out = UnpackConvOutput(out2, n, c_out, t_out);
+  Tensor out = ops::ConvUnpack(out2, n, c_out, t_out);
   if (bias.defined()) {
     UNITS_CHECK_EQ(bias.numel(), c_out);
     // Broadcast bias over N and Tout: reshape to [Cout, 1].
@@ -509,7 +585,7 @@ Variable Conv1d(const Variable& input, const Variable& weight,
   if (bias.defined()) {
     parents.push_back(bias);
   }
-  return Variable::MakeNode(
+  Variable result = Variable::MakeNode(
       std::move(out), parents,
       [input, weight, bias, cols, in_shape, w_shape, n, c_in, c_out, kernel,
        t_out, dilation, pad_left, pad_right](const Tensor& g) {
@@ -530,6 +606,11 @@ Variable Conv1d(const Variable& input, const Variable& weight,
           bias.AccumulateGrad(gb.Reshape(bias.shape()));
         }
       });
+  if (plan::TraceActive()) {
+    plan::TraceConv1d(input, w2, bias, result, kernel, dilation, pad_left,
+                      pad_right);
+  }
+  return result;
 }
 
 // --- losses ---------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "base/check.h"
+#include "plan/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::autograd {
@@ -146,6 +147,12 @@ Variable Variable::MakeNode(Tensor data, std::vector<Variable> parents,
     }
   }
   Variable out(std::move(data), any_requires);
+  if (plan::TraceActive()) {
+    // Poison-detection bookkeeping: if a trace hook never registers this
+    // Variable and a hooked op later consumes it, the capture is abandoned
+    // instead of silently treating an op result as a constant.
+    plan::NoteNodeCreated(out);
+  }
   if (any_requires) {
     out.impl_->backward_fn = std::move(backward_fn);
     out.impl_->parents.reserve(parents.size());

@@ -1,5 +1,8 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "base/check.h"
 #include "base/logging.h"
 #include "core/registry.h"
@@ -125,6 +128,9 @@ Status UnitsPipeline::EnsureReadyForServing() {
   }
   UNITS_RETURN_IF_ERROR(EnsureFusion());
   SetTraining(false);
+  // Weights are frozen from here on (until someone flips training back),
+  // so eval forwards may be captured into reusable plans.
+  planning_enabled_ = true;
   return Status::Ok();
 }
 
@@ -209,6 +215,134 @@ Tensor UnitsPipeline::TransformFusedPerTimestep(const Tensor& x) {
   return out;
 }
 
+std::vector<Tensor> UnitsPipeline::RunEvalProgram(
+    const std::string& key, const Tensor& x,
+    const plan::EvalPlan::EvalFn& fn) {
+  EnsureFusion().CheckOk();
+  ag::NoGradGuard no_grad;
+  const bool was_training = templates_.empty()
+                                ? false
+                                : templates_[0]->encoder()->training();
+  if (was_training) {
+    SetTraining(false);
+  }
+
+  const int64_t n = x.dim(0);
+  if (n == 0) {
+    std::vector<Variable> vs = fn(Variable(x));
+    std::vector<Tensor> empty;
+    empty.reserve(vs.size());
+    for (Variable& v : vs) {
+      empty.push_back(v.data());
+    }
+    if (was_training) {
+      SetTraining(true);
+    }
+    return empty;
+  }
+
+  const int64_t per_row = x.numel() / n;
+  constexpr int64_t kChunk = 64;
+  const plan::Mode mode = plan::ActiveMode();
+  const bool plans_allowed =
+      planning_enabled_ && !was_training && mode != plan::Mode::kDynamic;
+
+  std::vector<Tensor> outs;         // stitched [N, ...tail] results
+  std::vector<int64_t> per_sample;  // floats per row, per output
+
+  // Output count and tail shapes come from whatever the first chunk
+  // produced (plan metadata or the dynamic forward's tensors).
+  const auto ensure_outputs =
+      [&](size_t num, const std::function<const Shape&(size_t)>& shape_of) {
+        if (!outs.empty()) {
+          return;
+        }
+        UNITS_CHECK(num > 0);
+        outs.reserve(num);
+        per_sample.reserve(num);
+        for (size_t i = 0; i < num; ++i) {
+          Shape s = shape_of(i);
+          UNITS_CHECK(!s.empty());
+          per_sample.push_back(NumElements(s) / s[0]);
+          s[0] = n;
+          outs.push_back(plan::AcquireResultTensor(s));
+        }
+      };
+  const auto stitch_dynamic = [&](int64_t start,
+                                  const std::vector<Variable>& vs) {
+    ensure_outputs(vs.size(), [&](size_t i) -> const Shape& {
+      return vs[i].data().shape();
+    });
+    UNITS_CHECK_EQ(vs.size(), outs.size());
+    for (size_t i = 0; i < vs.size(); ++i) {
+      const Tensor& t = vs[i].data();
+      std::copy(t.data(), t.data() + t.numel(),
+                outs[i].data() + start * per_sample[i]);
+    }
+  };
+
+  std::string plan_error;
+  for (int64_t start = 0; start < n; start += kChunk) {
+    const int64_t len = std::min(kChunk, n - start);
+    Shape chunk_shape = x.shape();
+    chunk_shape[0] = len;
+
+    std::shared_ptr<plan::EvalPlan> plan;
+    if (plans_allowed) {
+      if (!plan_cache_.Lookup(key, chunk_shape, &plan)) {
+        const Tensor x_chunk =
+            Tensor::ViewInto(x, start * per_row, chunk_shape);
+        plan = plan::EvalPlan::Capture(fn, x_chunk, &plan_error);
+        if (plan == nullptr) {
+          UNITS_LOG(Info) << "eval program '" << key
+                          << "' pinned to the dynamic walk: " << plan_error;
+        }
+        // A null entry pins a known-unplannable program so capture is not
+        // retried every batch.
+        plan_cache_.Insert(key, chunk_shape, plan);
+      }
+    }
+
+    if (plan != nullptr) {
+      ensure_outputs(plan->output_shapes().size(),
+                     [&](size_t i) -> const Shape& {
+                       return plan->output_shapes()[i];
+                     });
+      const Tensor x_chunk =
+          Tensor::ViewInto(x, start * per_row, chunk_shape);
+      plan->Run(x_chunk, [&](int i, const Tensor& t) {
+        std::copy(t.data(), t.data() + t.numel(),
+                  outs[static_cast<size_t>(i)].data() +
+                      start * per_sample[static_cast<size_t>(i)]);
+      });
+      plan_cache_.RecordPlannedChunk();
+      if (mode == plan::Mode::kVerify) {
+        std::vector<Variable> vs = fn(Variable(ops::Slice(x, 0, start, len)));
+        UNITS_CHECK_EQ(vs.size(), outs.size());
+        for (size_t i = 0; i < vs.size(); ++i) {
+          const Tensor& want = vs[i].data();
+          UNITS_CHECK_MSG(
+              std::memcmp(outs[i].data() + start * per_sample[i], want.data(),
+                          static_cast<size_t>(want.numel()) * sizeof(float)) ==
+                  0,
+              "UNITS_PLAN=verify: planned output diverged from the dynamic "
+              "walk");
+        }
+      }
+    } else {
+      // Dynamic fallback runs over the very same chunk boundaries, so the
+      // two substrates are bitwise comparable row for row.
+      stitch_dynamic(start, fn(Variable(ops::Slice(x, 0, start, len))));
+      plan_cache_.RecordDynamicChunk();
+    }
+  }
+
+  if (was_training) {
+    SetTraining(true);
+  }
+  return outs;
+}
+
 int64_t UnitsPipeline::fused_dim() {
   EnsureFusion().CheckOk();
   return fusion_->fused_dim();
@@ -236,6 +370,12 @@ std::vector<Variable> UnitsPipeline::EncoderAndFusionParams() {
 }
 
 void UnitsPipeline::SetTraining(bool training) {
+  if (training) {
+    // Training steps mutate weights that captured plans hold as constants;
+    // drop every plan and require a fresh EnsureReadyForServing.
+    planning_enabled_ = false;
+    plan_cache_.Clear();
+  }
   for (auto& tmpl : templates_) {
     if (tmpl->encoder() != nullptr) {
       tmpl->encoder()->SetTraining(training);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "plan/plan.h"
 
 namespace units::core {
 
@@ -89,6 +90,25 @@ class UnitsPipeline {
   Tensor TransformFused(const Tensor& x);
   Tensor TransformFusedPerTimestep(const Tensor& x);
 
+  /// Runs the eval program `fn` over the rows of x [N, ...] in fixed-size
+  /// chunks and returns the stitched outputs, each shaped [N, ...tail].
+  ///
+  /// When planning is enabled (EnsureReadyForServing) and UNITS_PLAN does
+  /// not force the dynamic walk, each (key, chunk shape) pair is traced
+  /// once into a captured plan (fused elementwise chains + arena memory,
+  /// see src/plan/) and replayed thereafter with zero steady-state tensor
+  /// allocations. The dynamic autograd walk runs over the very same chunk
+  /// boundaries otherwise, so both substrates are bitwise comparable.
+  /// `fn` must be a pure eval forward: row-independent, mutation-free,
+  /// returning at least one Variable.
+  std::vector<Tensor> RunEvalProgram(const std::string& key, const Tensor& x,
+                                     const plan::EvalPlan::EvalFn& fn);
+
+  /// Counters for this pipeline's captured-plan cache (serving stats).
+  plan::PlanCacheStats GetPlanCacheStats() const {
+    return plan_cache_.Stats();
+  }
+
   int64_t fused_dim();
   int64_t fused_dim_per_timestep();
   int64_t input_channels() const { return input_channels_; }
@@ -139,6 +159,11 @@ class UnitsPipeline {
   Config config_;  // retained for serialization
   bool fusion_ready_ = false;
   bool pretrained_ = false;
+  /// Captured eval plans, keyed by (program, chunk shape). Populated only
+  /// after EnsureReadyForServing; flipping any module back to training
+  /// invalidates the cache (weights may change under a captured constant).
+  plan::PlanCache plan_cache_;
+  bool planning_enabled_ = false;
 };
 
 }  // namespace units::core

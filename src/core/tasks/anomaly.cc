@@ -82,18 +82,28 @@ Status AnomalyDetectionTask::Fit(UnitsPipeline* pipeline,
   return Status::Ok();
 }
 
-Tensor AnomalyDetectionTask::ScoreWindows(UnitsPipeline* pipeline,
-                                          const Tensor& x) {
+std::vector<Tensor> AnomalyDetectionTask::RunPredictProgram(
+    UnitsPipeline* pipeline, const Tensor& x) {
   UNITS_CHECK(decoder_ != nullptr);
   ag::NoGradGuard no_grad;
   if (decoder_->training()) {
     decoder_->SetTraining(false);
   }
-  const Tensor repr = pipeline->TransformFusedPerTimestep(x);
-  Variable recon = decoder_->Forward(Variable(repr));  // [N, D, T]
-  // Score s_t = mean over channels of |x_hat - x| at t.
-  const Tensor err = ops::Abs(ops::Sub(recon.data(), x));
-  return ops::Mean(err, /*axis=*/1);  // [N, T]
+  // One program yields both the reconstruction and the per-timestep score
+  // s_t = mean over channels of |x_hat - x| at t, so Predict runs a single
+  // (capturable) forward instead of encoding twice.
+  return pipeline->RunEvalProgram(
+      "anomaly.predict", x, [&](const Variable& xb) {
+        Variable repr = pipeline->EncodeFusedPerTimestep(xb);
+        Variable recon = decoder_->Forward(repr);  // [B, D, T]
+        Variable scores = ag::Mean(ag::Abs(ag::Sub(recon, xb)), /*axis=*/1);
+        return std::vector<Variable>{recon, scores};
+      });
+}
+
+Tensor AnomalyDetectionTask::ScoreWindows(UnitsPipeline* pipeline,
+                                          const Tensor& x) {
+  return RunPredictProgram(pipeline, x)[1];  // [N, T]
 }
 
 Result<TaskResult> AnomalyDetectionTask::Predict(UnitsPipeline* pipeline,
@@ -101,13 +111,10 @@ Result<TaskResult> AnomalyDetectionTask::Predict(UnitsPipeline* pipeline,
   if (decoder_ == nullptr) {
     return Status::FailedPrecondition("Predict before Fit");
   }
+  std::vector<Tensor> outs = RunPredictProgram(pipeline, x);
   TaskResult result;
-  result.scores = ScoreWindows(pipeline, x);
-  {
-    ag::NoGradGuard no_grad;
-    const Tensor repr = pipeline->TransformFusedPerTimestep(x);
-    result.predictions = decoder_->Forward(Variable(repr)).data();
-  }
+  result.predictions = outs[0];
+  result.scores = outs[1];
   result.labels.reserve(static_cast<size_t>(result.scores.numel()));
   for (int64_t i = 0; i < result.scores.numel(); ++i) {
     result.labels.push_back(result.scores[i] > threshold_ ? 1 : 0);

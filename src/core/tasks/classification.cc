@@ -103,21 +103,40 @@ Result<TaskResult> ClassificationTask::Predict(UnitsPipeline* pipeline,
   if (head_->training()) {
     head_->SetTraining(false);
   }
-  Variable z(pipeline->TransformFused(x));
-  if (normalize_repr_) {
-    z = ag::MulScalar(ag::L2Normalize(z, /*axis=*/1),
-                      std::sqrt(static_cast<float>(z.dim(1))));
-  }
-  Variable logits = head_->Forward(z);
-  const Tensor probs = ops::Softmax(logits.data(), /*axis=*/1);
-  const Tensor arg = ops::ArgMax(logits.data(), /*axis=*/1);
-
+  // One captured-plannable eval program: encode -> (normalize) -> head ->
+  // {logits, probs}. RunEvalProgram chunks the batch and serves each chunk
+  // from a captured plan once the pipeline is in its serving steady state.
+  std::vector<Tensor> outs = pipeline->RunEvalProgram(
+      "classification.predict", x, [&](const Variable& xb) {
+        Variable z = pipeline->EncodeFused(xb);
+        if (normalize_repr_) {
+          // Unit-sphere features, matching Fit's conditioning trick.
+          z = ag::MulScalar(ag::L2Normalize(z, /*axis=*/1),
+                            std::sqrt(static_cast<float>(z.dim(1))));
+        }
+        Variable logits = head_->Forward(z);
+        Variable probs = ag::Softmax(logits, /*axis=*/1);
+        return std::vector<Variable>{logits, probs};
+      });
+  // Raw argmax scan (first max wins, matching ops::ArgMax) keeps the
+  // steady-state Predict free of tensor allocations.
+  const Tensor& logits = outs[0];
+  const int64_t rows = logits.dim(0);
+  const int64_t cols = logits.dim(1);
+  const float* pl = logits.data();
   TaskResult result;
-  result.labels.reserve(static_cast<size_t>(arg.numel()));
-  for (int64_t i = 0; i < arg.numel(); ++i) {
-    result.labels.push_back(static_cast<int64_t>(arg[i]));
+  result.labels.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = pl + i * cols;
+    int64_t best = 0;
+    for (int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) {
+        best = c;
+      }
+    }
+    result.labels.push_back(best);
   }
-  result.predictions = probs;  // class distribution per sample
+  result.predictions = outs[1];  // class distribution per sample
   return result;
 }
 

@@ -128,10 +128,17 @@ Result<TaskResult> ClusteringTask::Predict(UnitsPipeline* pipeline,
   if (centroids_.numel() == 0) {
     return Status::FailedPrecondition("Predict before Fit");
   }
-  Tensor z = pipeline->TransformFused(x);
-  if (normalize_repr_) {
-    z = NormalizeRows(z);
-  }
+  ag::NoGradGuard no_grad;
+  std::vector<Tensor> outs = pipeline->RunEvalProgram(
+      "clustering.predict", x, [&](const Variable& xb) {
+        Variable z = pipeline->EncodeFused(xb);
+        if (normalize_repr_) {
+          z = ag::MulScalar(ag::L2Normalize(z, /*axis=*/1),
+                            std::sqrt(static_cast<float>(z.dim(1))));
+        }
+        return std::vector<Variable>{z};
+      });
+  const Tensor& z = outs[0];
   TaskResult result;
   result.labels = cluster::AssignToCentroids(z, centroids_);
   result.predictions = z;  // expose representations for inspection

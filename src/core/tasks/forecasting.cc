@@ -94,10 +94,13 @@ Result<TaskResult> ForecastingTask::Predict(UnitsPipeline* pipeline,
     decoder_->SetTraining(false);
     pipeline->SetTraining(false);
   }
-  Variable z = EncodeForForecast(pipeline, Variable(x));
-  Variable pred = decoder_->Forward(z);
+  std::vector<Tensor> outs = pipeline->RunEvalProgram(
+      "forecasting.predict", x, [&](const Variable& xb) {
+        Variable z = EncodeForForecast(pipeline, xb);
+        return std::vector<Variable>{decoder_->Forward(z)};
+      });
   TaskResult result;
-  result.predictions = pred.data();
+  result.predictions = outs[0];
   return result;
 }
 

@@ -89,9 +89,13 @@ Result<TaskResult> ImputationTask::Predict(UnitsPipeline* pipeline,
   if (decoder_->training()) {
     decoder_->SetTraining(false);
   }
-  const Tensor repr = pipeline->TransformFusedPerTimestep(x);
+  std::vector<Tensor> outs = pipeline->RunEvalProgram(
+      "imputation.predict", x, [&](const Variable& xb) {
+        return std::vector<Variable>{
+            decoder_->Forward(pipeline->EncodeFusedPerTimestep(xb))};
+      });
   TaskResult result;
-  result.predictions = decoder_->Forward(Variable(repr)).data();
+  result.predictions = outs[0];
   return result;
 }
 

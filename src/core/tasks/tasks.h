@@ -125,6 +125,11 @@ class AnomalyDetectionTask : public AnalysisTask {
   Tensor ScoreWindows(UnitsPipeline* pipeline, const Tensor& x);
 
  private:
+  /// Single eval program producing {reconstruction [N,D,T], scores [N,T]}
+  /// in one forward (shared by Predict and ScoreWindows).
+  std::vector<Tensor> RunPredictProgram(UnitsPipeline* pipeline,
+                                        const Tensor& x);
+
   std::shared_ptr<nn::ReconstructionDecoder> decoder_;
   float threshold_ = 0.0f;
 };

@@ -1,0 +1,406 @@
+#include "plan/fusion_pass.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+#include "base/parallel.h"
+#include "tensor/scalar_fns.h"
+
+namespace units::plan {
+
+namespace {
+
+/// Same grain as the dynamic elementwise kernels in tensor_ops.cc, so a
+/// fused sweep partitions work across threads exactly like the ops it
+/// replaces (and stays thread-count invariant).
+constexpr int64_t kSweepGrain = 1 << 15;
+
+/// Marks `id` and its whole alias chain in `flags`.
+void MarkChain(const Graph& g, int id, std::vector<char>* flags) {
+  for (int v = id; v >= 0; v = g.values[static_cast<size_t>(v)].alias_of) {
+    (*flags)[static_cast<size_t>(v)] = 1;
+  }
+}
+
+/// Drops nodes whose outputs can never reach a graph output.
+void RemoveDeadNodes(Graph* g) {
+  std::vector<char> needed(g->values.size(), 0);
+  for (int id : g->outputs) {
+    MarkChain(*g, id, &needed);
+  }
+  std::vector<Node> kept;
+  kept.reserve(g->nodes.size());
+  for (auto it = g->nodes.rbegin(); it != g->nodes.rend(); ++it) {
+    if (!needed[static_cast<size_t>(it->output)]) {
+      continue;
+    }
+    for (int in : it->inputs) {
+      MarkChain(*g, in, &needed);
+    }
+    kept.push_back(std::move(*it));
+  }
+  std::reverse(kept.begin(), kept.end());
+  g->nodes = std::move(kept);
+}
+
+/// Compiles per-leaf broadcast strides against the sweep's output shape.
+void CompileSweepLeaves(const Graph& g, Node* n) {
+  const Shape& os = g.values[static_cast<size_t>(n->output)].shape;
+  const int nd = static_cast<int>(os.size());
+  n->out_dims.assign(os.begin(), os.end());
+  n->leaf_strides.clear();
+  n->leaf_contiguous.clear();
+  for (int leaf : n->inputs) {
+    const Shape& ls = g.values[static_cast<size_t>(leaf)].shape;
+    n->leaf_contiguous.push_back(ls == os);
+    // Right-aligned broadcast: missing leading dims and size-1 dims read
+    // with stride 0.
+    const int lnd = static_cast<int>(ls.size());
+    UNITS_CHECK_LE(lnd, nd);
+    std::vector<int64_t> lstr(static_cast<size_t>(lnd));
+    int64_t acc = 1;
+    for (int d = lnd - 1; d >= 0; --d) {
+      lstr[static_cast<size_t>(d)] = acc;
+      acc *= ls[static_cast<size_t>(d)];
+    }
+    std::vector<int64_t> strides(static_cast<size_t>(nd), 0);
+    const int off = nd - lnd;
+    for (int d = off; d < nd; ++d) {
+      const int64_t ldim = ls[static_cast<size_t>(d - off)];
+      if (ldim == os[static_cast<size_t>(d)]) {
+        strides[static_cast<size_t>(d)] = lstr[static_cast<size_t>(d - off)];
+      } else {
+        UNITS_CHECK_EQ(ldim, 1);  // broadcast dim
+        strides[static_cast<size_t>(d)] = 0;
+      }
+    }
+    n->leaf_strides.push_back(std::move(strides));
+  }
+}
+
+}  // namespace
+
+void FusePass(Graph* g) {
+  RemoveDeadNodes(g);
+
+  // Consumer counts and output flags, attributed through alias chains: a
+  // use (or output) of a reshaped view pins the root buffer too.
+  std::vector<int> consumers(g->values.size(), 0);
+  std::vector<char> is_output(g->values.size(), 0);
+  for (const Node& n : g->nodes) {
+    for (int in : n.inputs) {
+      for (int v = in; v >= 0; v = g->values[static_cast<size_t>(v)].alias_of) {
+        ++consumers[static_cast<size_t>(v)];
+      }
+    }
+  }
+  for (int id : g->outputs) {
+    MarkChain(*g, id, &is_output);
+    for (int v = id; v >= 0; v = g->values[static_cast<size_t>(v)].alias_of) {
+      ++consumers[static_cast<size_t>(v)];
+    }
+  }
+
+  std::vector<Node> out_nodes;
+  out_nodes.reserve(g->nodes.size());
+  // Value id -> index in out_nodes of the live sweep producing it.
+  std::vector<int> group_of(g->values.size(), -1);
+  std::vector<char> absorbed(g->nodes.size(), 0);  // indexed like out_nodes
+
+  for (Node& n : g->nodes) {
+    if (!IsElementwise(n.kind)) {
+      out_nodes.push_back(std::move(n));
+      absorbed[out_nodes.size() - 1] = 0;
+      continue;
+    }
+    // Pick at most one producer to absorb (the chain is linear): the first
+    // input that is a live sweep feeding only us, not an output, with our
+    // exact output shape.
+    int absorb_idx = -1;
+    int absorb_operand = -1;
+    for (int oi = 0; oi < static_cast<int>(n.inputs.size()); ++oi) {
+      const int vid = n.inputs[static_cast<size_t>(oi)];
+      const int gi = group_of[static_cast<size_t>(vid)];
+      if (gi < 0) {
+        continue;
+      }
+      if (consumers[static_cast<size_t>(vid)] != 1 ||
+          is_output[static_cast<size_t>(vid)]) {
+        continue;
+      }
+      if (g->values[static_cast<size_t>(vid)].shape !=
+          g->values[static_cast<size_t>(n.output)].shape) {
+        continue;
+      }
+      absorb_idx = gi;
+      absorb_operand = oi;
+      break;
+    }
+
+    Node sweep;
+    sweep.kind = OpKind::kFusedSweep;
+    sweep.output = n.output;
+    if (absorb_idx >= 0) {
+      Node& prod = out_nodes[static_cast<size_t>(absorb_idx)];
+      sweep.sweep = std::move(prod.sweep);
+      sweep.inputs = std::move(prod.inputs);
+      absorbed[static_cast<size_t>(absorb_idx)] = 1;
+      group_of[static_cast<size_t>(prod.output)] = -1;
+    }
+    auto leaf_index = [&sweep](int vid) {
+      for (size_t i = 0; i < sweep.inputs.size(); ++i) {
+        if (sweep.inputs[i] == vid) {
+          return static_cast<int>(i);
+        }
+      }
+      sweep.inputs.push_back(vid);
+      return static_cast<int>(sweep.inputs.size() - 1);
+    };
+    SweepStep st;
+    st.kind = n.kind;
+    st.scalar = n.scalar;
+    st.a = absorb_operand == 0 ? -1 : leaf_index(n.inputs[0]);
+    if (n.inputs.size() > 1) {
+      st.b = absorb_operand == 1 ? -1 : leaf_index(n.inputs[1]);
+    }
+    sweep.sweep.push_back(st);
+    group_of[static_cast<size_t>(n.output)] =
+        static_cast<int>(out_nodes.size());
+    out_nodes.push_back(std::move(sweep));
+    absorbed[out_nodes.size() - 1] = 0;
+  }
+
+  std::vector<Node> compacted;
+  compacted.reserve(out_nodes.size());
+  for (size_t i = 0; i < out_nodes.size(); ++i) {
+    if (!absorbed[i]) {
+      compacted.push_back(std::move(out_nodes[i]));
+    }
+  }
+  for (Node& n : compacted) {
+    if (n.kind == OpKind::kFusedSweep) {
+      CompileSweepLeaves(*g, &n);
+    }
+  }
+  g->nodes = std::move(compacted);
+}
+
+namespace {
+
+/// Elements per L1-resident tile of the contiguous sweep path. 4096 floats
+/// = 16 KiB: half a typical L1d, leaving room for one leaf stream.
+constexpr int64_t kSweepTile = 4096;
+
+/// Applies one sweep step over `len` contiguous elements. The switch runs
+/// once per (step, tile) instead of once per element, and every case is a
+/// tight loop the compiler can vectorize — this is what makes a fused
+/// sweep beat the chain of dynamic kernels it replaced instead of losing
+/// to interpretation overhead. Uses the same scalar:: functions as the
+/// dynamic kernels, in the same per-element order, so results stay
+/// bitwise identical. In-place (`dst` == `a` or `b`) is fine: element i
+/// reads only index i before writing it.
+void ApplyStepSpan(const SweepStep& s, const float* a, const float* b,
+                   float* dst, int64_t len) {
+  switch (s.kind) {
+    case OpKind::kAdd:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Add(a[i], b[i]);
+      break;
+    case OpKind::kSub:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Sub(a[i], b[i]);
+      break;
+    case OpKind::kMul:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Mul(a[i], b[i]);
+      break;
+    case OpKind::kDiv:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Div(a[i], b[i]);
+      break;
+    case OpKind::kNeg:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Neg(a[i]);
+      break;
+    case OpKind::kAddScalar:
+      for (int64_t i = 0; i < len; ++i) {
+        dst[i] = scalar::AddScalar(a[i], s.scalar);
+      }
+      break;
+    case OpKind::kMulScalar:
+      for (int64_t i = 0; i < len; ++i) {
+        dst[i] = scalar::MulScalar(a[i], s.scalar);
+      }
+      break;
+    case OpKind::kPowScalar:
+      for (int64_t i = 0; i < len; ++i) {
+        dst[i] = scalar::PowScalar(a[i], s.scalar);
+      }
+      break;
+    case OpKind::kRelu:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Relu(a[i]);
+      break;
+    case OpKind::kLeakyRelu:
+      for (int64_t i = 0; i < len; ++i) {
+        dst[i] = scalar::LeakyRelu(a[i], s.scalar);
+      }
+      break;
+    case OpKind::kGelu:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Gelu(a[i]);
+      break;
+    case OpKind::kTanh:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Tanh(a[i]);
+      break;
+    case OpKind::kSigmoid:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Sigmoid(a[i]);
+      break;
+    case OpKind::kExp:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Exp(a[i]);
+      break;
+    case OpKind::kLog:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Log(a[i]);
+      break;
+    case OpKind::kSqrt:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Sqrt(a[i]);
+      break;
+    case OpKind::kSquare:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Square(a[i]);
+      break;
+    case OpKind::kAbs:
+      for (int64_t i = 0; i < len; ++i) dst[i] = scalar::Abs(a[i]);
+      break;
+    default:
+      UNITS_CHECK_MSG(false, "non-elementwise op in sweep");
+  }
+}
+
+}  // namespace
+
+void ExecuteSweep(const Node& node, const std::vector<const float*>& leaf_data,
+                  float* out, int64_t numel) {
+  UNITS_CHECK_EQ(static_cast<int64_t>(leaf_data.size()),
+                 static_cast<int64_t>(node.inputs.size()));
+  const std::vector<SweepStep>& steps = node.sweep;
+  bool all_contig = true;
+  for (bool c : node.leaf_contiguous) {
+    all_contig = all_contig && c;
+  }
+
+  if (all_contig) {
+    // Tile the range so intermediate chain values live in one stack buffer
+    // (one pass of memory traffic per leaf + output, however long the
+    // chain), with each step a vectorized span. The last step writes the
+    // output range directly. Partitioning is ParallelFor over the same
+    // grain as the dynamic kernels; tiling within a partition does not
+    // change per-element results, so this stays thread-count invariant.
+    const size_t nsteps = steps.size();
+    base::ParallelFor(0, numel, kSweepGrain, [&](int64_t lo, int64_t hi) {
+      alignas(64) float acc[kSweepTile];
+      for (int64_t t0 = lo; t0 < hi; t0 += kSweepTile) {
+        const int64_t len = std::min<int64_t>(kSweepTile, hi - t0);
+        for (size_t si = 0; si < nsteps; ++si) {
+          const SweepStep& s = steps[si];
+          const float* a =
+              s.a < 0 ? acc : leaf_data[static_cast<size_t>(s.a)] + t0;
+          const float* b =
+              s.b < 0 ? acc : leaf_data[static_cast<size_t>(s.b)] + t0;
+          float* dst = si + 1 == nsteps ? out + t0 : acc;
+          ApplyStepSpan(s, a, b, dst, len);
+        }
+      }
+    });
+    return;
+  }
+
+  // Broadcast path: every leaf's innermost-dim stride is 1 (dense) or 0
+  // (broadcast), so runs along the innermost output dimension execute as
+  // the same vectorized spans as the contiguous path — a broadcast operand
+  // is constant over a run and gets splatted into an L1-resident buffer
+  // first. The odometer only advances between runs, not per element.
+  const std::vector<int64_t>* strides = node.leaf_strides.data();
+  const size_t nleaf = leaf_data.size();
+  const size_t nd = node.out_dims.size();
+  const int64_t inner = nd == 0 ? 1 : node.out_dims[nd - 1];
+  const size_t nsteps = steps.size();
+  base::ParallelFor(0, numel, kSweepGrain, [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t> digits(nd, 0);
+    std::vector<int64_t> offs(nleaf, 0);
+    // Initialize digits and per-leaf offsets from flat index `lo`.
+    {
+      int64_t rem = lo;
+      for (size_t d = nd; d-- > 0;) {
+        const int64_t dim = node.out_dims[d];
+        digits[d] = dim == 0 ? 0 : rem % dim;
+        rem = dim == 0 ? 0 : rem / dim;
+      }
+      for (size_t l = 0; l < nleaf; ++l) {
+        int64_t o = 0;
+        for (size_t d = 0; d < nd; ++d) {
+          o += digits[d] * strides[l][d];
+        }
+        offs[l] = o;
+      }
+    }
+    alignas(64) float acc[kSweepTile];
+    alignas(64) float splat_a[kSweepTile];
+    alignas(64) float splat_b[kSweepTile];
+    int64_t i = lo;
+    while (i < hi) {
+      // Run to the end of the inner row, the partition, or the tile cap.
+      const int64_t inner_pos = nd == 0 ? 0 : digits[nd - 1];
+      const int64_t len =
+          std::min({inner - inner_pos, hi - i, kSweepTile});
+      for (size_t si = 0; si < nsteps; ++si) {
+        const SweepStep& s = steps[si];
+        const float* a = acc;
+        if (s.a >= 0) {
+          const size_t l = static_cast<size_t>(s.a);
+          const float* base = leaf_data[l] + offs[l];
+          if (nd > 0 && strides[l][nd - 1] == 0) {
+            std::fill(splat_a, splat_a + len, *base);
+            a = splat_a;
+          } else {
+            a = base;
+          }
+        }
+        const float* b = acc;
+        if (s.b >= 0) {
+          const size_t l = static_cast<size_t>(s.b);
+          const float* base = leaf_data[l] + offs[l];
+          if (nd > 0 && strides[l][nd - 1] == 0) {
+            std::fill(splat_b, splat_b + len, *base);
+            b = splat_b;
+          } else {
+            b = base;
+          }
+        }
+        float* dst = si + 1 == nsteps ? out + i : acc;
+        ApplyStepSpan(s, a, b, dst, len);
+      }
+      i += len;
+      if (i >= hi) {
+        break;
+      }
+      // Advance the odometer by `len` along the inner dim, with carries.
+      digits[nd - 1] += len;
+      for (size_t l = 0; l < nleaf; ++l) {
+        offs[l] += len * strides[l][nd - 1];
+      }
+      for (size_t d = nd; d-- > 0;) {
+        if (digits[d] < node.out_dims[d]) {
+          break;
+        }
+        // Carry: reset this digit, roll offsets back, bump the next digit.
+        for (size_t l = 0; l < nleaf; ++l) {
+          offs[l] -= node.out_dims[d] * strides[l][d];
+        }
+        digits[d] = 0;
+        if (d == 0) {
+          break;
+        }
+        ++digits[d - 1];
+        for (size_t l = 0; l < nleaf; ++l) {
+          offs[l] += strides[l][d - 1];
+        }
+      }
+    }
+  });
+}
+
+}  // namespace units::plan

@@ -1,0 +1,33 @@
+#ifndef UNITS_PLAN_FUSION_PASS_H_
+#define UNITS_PLAN_FUSION_PASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/graph.h"
+
+namespace units::plan {
+
+/// Rewrites the captured graph in place:
+///   1. Dead-code elimination (ops whose results never reach an output).
+///   2. Greedy linear-chain fusion: every elementwise node becomes a
+///      kFusedSweep; a sweep absorbs its producer when the producer is
+///      itself elementwise, feeds only this node, is not a graph output,
+///      and has exactly the consumer's output shape — the same legality
+///      rule torch's graph fuser applies to pointwise chains. Absorbed
+///      intermediates are never materialized: one memory sweep evaluates
+///      the whole chain (bias→GELU, residual-add→LayerNorm-normalize,
+///      scale→tanh, ...).
+/// Leaf read strides (broadcast-aware) are compiled into each sweep node.
+void FusePass(Graph* graph);
+
+/// Executes a compiled kFusedSweep node. `leaf_data[i]` is the buffer of
+/// node.inputs[i]; `out` has `numel` elements of shape
+/// graph.values[node.output].shape. Chunk partitioning matches the dynamic
+/// elementwise kernels (grain 1<<15, thread-count invariant).
+void ExecuteSweep(const Node& node, const std::vector<const float*>& leaf_data,
+                  float* out, int64_t numel);
+
+}  // namespace units::plan
+
+#endif  // UNITS_PLAN_FUSION_PASS_H_

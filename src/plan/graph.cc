@@ -1,0 +1,68 @@
+#include "plan/graph.h"
+
+namespace units::plan {
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kDiv: return "div";
+    case OpKind::kNeg: return "neg";
+    case OpKind::kAddScalar: return "add_scalar";
+    case OpKind::kMulScalar: return "mul_scalar";
+    case OpKind::kPowScalar: return "pow_scalar";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kLeakyRelu: return "leaky_relu";
+    case OpKind::kGelu: return "gelu";
+    case OpKind::kTanh: return "tanh";
+    case OpKind::kSigmoid: return "sigmoid";
+    case OpKind::kExp: return "exp";
+    case OpKind::kLog: return "log";
+    case OpKind::kSqrt: return "sqrt";
+    case OpKind::kSquare: return "square";
+    case OpKind::kAbs: return "abs";
+    case OpKind::kMatMul: return "matmul";
+    case OpKind::kBatchedMatMul: return "batched_matmul";
+    case OpKind::kTranspose: return "transpose";
+    case OpKind::kReshape: return "reshape";
+    case OpKind::kSoftmax: return "softmax";
+    case OpKind::kLogSoftmax: return "log_softmax";
+    case OpKind::kAttention: return "attention";
+    case OpKind::kSum: return "sum";
+    case OpKind::kMaxPool: return "max_pool";
+    case OpKind::kSlice: return "slice";
+    case OpKind::kConcat: return "concat";
+    case OpKind::kConv1dCore: return "conv1d_core";
+    case OpKind::kFusedSweep: return "fused_sweep";
+  }
+  return "unknown";
+}
+
+bool IsElementwise(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kNeg:
+    case OpKind::kAddScalar:
+    case OpKind::kMulScalar:
+    case OpKind::kPowScalar:
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kGelu:
+    case OpKind::kTanh:
+    case OpKind::kSigmoid:
+    case OpKind::kExp:
+    case OpKind::kLog:
+    case OpKind::kSqrt:
+    case OpKind::kSquare:
+    case OpKind::kAbs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace units::plan

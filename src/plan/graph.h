@@ -1,0 +1,143 @@
+#ifndef UNITS_PLAN_GRAPH_H_
+#define UNITS_PLAN_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace units::plan {
+
+/// Operation kinds a captured eval graph can contain. The set mirrors the
+/// autograd ops that appear in UniTS eval forwards; anything else poisons
+/// the trace and the pipeline falls back to the dynamic walk (the parity
+/// oracle) for that program.
+enum class OpKind {
+  // Elementwise — fusable into kFusedSweep chains.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kAddScalar,
+  kMulScalar,
+  kPowScalar,
+  kRelu,
+  kLeakyRelu,
+  kGelu,
+  kTanh,
+  kSigmoid,
+  kExp,
+  kLog,
+  kSqrt,
+  kSquare,
+  kAbs,
+  // Structured kernels.
+  kMatMul,
+  kBatchedMatMul,
+  kTranspose,
+  kReshape,  // pure alias: output shares the input's buffer
+  kSoftmax,
+  kLogSoftmax,
+  kAttention,    // fused streaming attention; workspace [B, hd, T]
+  kSum,          // axis reduction
+  kMaxPool,      // MaxPoolOverTime values: max over axis 2
+  kSlice,
+  kConcat,
+  kConv1dCore,   // im2col + GEMM + unpack (bias is traced as a kAdd after)
+  // Produced by the fusion pass only, never traced directly.
+  kFusedSweep,
+};
+
+const char* OpKindName(OpKind k);
+
+/// True for ops that compute out[i] = f(in...[i]) pointwise — the candidates
+/// the fusion pass may merge into a single memory sweep.
+bool IsElementwise(OpKind k);
+
+/// SSA value in a captured graph. Exactly one of three storage classes:
+/// constants (weights / eval statistics, captured at trace time and shared
+/// with the module parameters), the chunk input, or arena-resident
+/// intermediates (everything else). Reshape outputs alias their input's
+/// buffer via `alias_of`.
+struct Value {
+  int id = -1;
+  Shape shape;
+  bool is_const = false;
+  Tensor const_tensor;  // defined iff is_const
+  bool is_input = false;
+  int alias_of = -1;  // value id this is a reshaped view of (-1 = none)
+};
+
+/// One scalar step of a fused elementwise sweep. Operand encoding: -1 means
+/// the running chain value (the previous step's result); >= 0 indexes into
+/// the node's `inputs` (an outside leaf, possibly broadcast). Unary kinds
+/// read only `a`; scalar kinds (kAddScalar, kMulScalar, kPowScalar,
+/// kLeakyRelu) read `a` and `scalar`.
+struct SweepStep {
+  OpKind kind = OpKind::kAdd;
+  int a = -1;
+  int b = -1;
+  float scalar = 0.0f;
+};
+
+/// One scheduled op of a captured graph.
+struct Node {
+  OpKind kind = OpKind::kAdd;
+  std::vector<int> inputs;  // value ids (leaf ids for kFusedSweep)
+  int output = -1;          // value id
+
+  // Attributes (meaning depends on kind).
+  int axis0 = 0;
+  int axis1 = 0;
+  bool keepdim = false;
+  float scalar = 0.0f;  // AddScalar/MulScalar/PowScalar/LeakyRelu slope,
+                        // attention scale
+  int64_t i0 = 0;       // slice start / conv kernel
+  int64_t i1 = 0;       // slice length / conv dilation
+  int64_t i2 = 0;       // conv pad_left
+  int64_t i3 = 0;       // conv pad_right
+  Tensor tensor_attr;   // conv reshaped weight [Cout, Cin*k] /
+                        // attention dropout mask (empty in eval)
+
+  /// Scratch buffers this node needs while executing (attention's K^T
+  /// panel, conv's column/GEMM planes). The memory planner materializes
+  /// them as arena values live only during this step.
+  std::vector<Shape> workspaces;
+  std::vector<int> workspace_ids;  // filled by the planner
+
+  // kFusedSweep only: the chain program plus per-leaf read strides against
+  // the output shape (stride 0 on broadcast dims). `leaf_contiguous[i]` is
+  // true when leaf i has exactly the output shape (flat-index fast path);
+  // `out_dims` is the output shape the strides were compiled against (the
+  // odometer dims of the broadcast path).
+  std::vector<SweepStep> sweep;
+  std::vector<std::vector<int64_t>> leaf_strides;
+  std::vector<bool> leaf_contiguous;
+  std::vector<int64_t> out_dims;
+};
+
+/// A captured eval program: flat schedule over SSA values, one designated
+/// chunk input, and the ordered output values. `captured_outputs` holds the
+/// tensors the traced forward actually produced — the oracle the plan is
+/// validated against bit for bit before it is ever used.
+struct Graph {
+  std::vector<Value> values;
+  std::vector<Node> nodes;
+  int input_id = -1;
+  std::vector<int> outputs;
+  std::vector<Tensor> captured_outputs;
+
+  /// Follows alias links to the storage root of `id`.
+  int ResolveRoot(int id) const {
+    while (values[static_cast<size_t>(id)].alias_of >= 0) {
+      id = values[static_cast<size_t>(id)].alias_of;
+    }
+    return id;
+  }
+};
+
+}  // namespace units::plan
+
+#endif  // UNITS_PLAN_GRAPH_H_

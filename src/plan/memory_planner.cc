@@ -1,0 +1,190 @@
+#include "plan/memory_planner.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace units::plan {
+
+namespace {
+
+/// 64-byte alignment, in floats.
+constexpr int64_t kAlignFloats = 16;
+
+int64_t AlignUp(int64_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+/// First-fit free-list allocator over an open-ended arena. Blocks are kept
+/// sorted by offset and coalesced on free.
+class Arena {
+ public:
+  int64_t Alloc(int64_t size) {
+    size = AlignUp(size);
+    if (size == 0) {
+      return 0;
+    }
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      if (blocks_[i].size >= size) {
+        const int64_t off = blocks_[i].offset;
+        blocks_[i].offset += size;
+        blocks_[i].size -= size;
+        if (blocks_[i].size == 0) {
+          blocks_.erase(blocks_.begin() + static_cast<int64_t>(i));
+        }
+        return off;
+      }
+    }
+    const int64_t off = end_;
+    end_ += size;
+    return off;
+  }
+
+  void Free(int64_t offset, int64_t size) {
+    size = AlignUp(size);
+    if (size == 0) {
+      return;
+    }
+    Block b{offset, size};
+    auto it = std::lower_bound(
+        blocks_.begin(), blocks_.end(), b,
+        [](const Block& x, const Block& y) { return x.offset < y.offset; });
+    it = blocks_.insert(it, b);
+    // Coalesce with the next block, then with the previous one.
+    const size_t i = static_cast<size_t>(it - blocks_.begin());
+    if (i + 1 < blocks_.size() &&
+        blocks_[i].offset + blocks_[i].size == blocks_[i + 1].offset) {
+      blocks_[i].size += blocks_[i + 1].size;
+      blocks_.erase(blocks_.begin() + static_cast<int64_t>(i) + 1);
+    }
+    if (i > 0 &&
+        blocks_[i - 1].offset + blocks_[i - 1].size == blocks_[i].offset) {
+      blocks_[i - 1].size += blocks_[i].size;
+      blocks_.erase(blocks_.begin() + static_cast<int64_t>(i));
+    }
+  }
+
+  int64_t end() const { return end_; }
+
+ private:
+  struct Block {
+    int64_t offset;
+    int64_t size;
+  };
+  std::vector<Block> blocks_;
+  int64_t end_ = 0;
+};
+
+}  // namespace
+
+MemoryPlan PlanMemory(Graph* g) {
+  const int num_steps = static_cast<int>(g->nodes.size());
+
+  // Materialize workspaces as values that live only during their step.
+  for (int s = 0; s < num_steps; ++s) {
+    Node& n = g->nodes[static_cast<size_t>(s)];
+    n.workspace_ids.clear();
+    for (const Shape& ws : n.workspaces) {
+      Value v;
+      v.id = static_cast<int>(g->values.size());
+      v.shape = ws;
+      g->values.push_back(v);
+      n.workspace_ids.push_back(g->values.back().id);
+    }
+  }
+
+  const size_t nv = g->values.size();
+  // def[v]: step whose node writes root value v (-1 for the input, which is
+  // staged before step 0). last_use[v]: last step reading v; graph outputs
+  // are read after the schedule finishes (step num_steps).
+  std::vector<int> def(nv, -2);  // -2 = not materialized (const/alias/dead)
+  std::vector<int> last_use(nv, -2);
+
+  const int input_root = g->input_id;
+  def[static_cast<size_t>(input_root)] = -1;
+
+  auto touch = [&](int id, int step) {
+    const int root = g->ResolveRoot(id);
+    if (g->values[static_cast<size_t>(root)].is_const) {
+      return;
+    }
+    last_use[static_cast<size_t>(root)] =
+        std::max(last_use[static_cast<size_t>(root)], step);
+  };
+
+  for (int s = 0; s < num_steps; ++s) {
+    const Node& n = g->nodes[static_cast<size_t>(s)];
+    for (int in : n.inputs) {
+      touch(in, s);
+    }
+    const int out_root = g->ResolveRoot(n.output);
+    UNITS_CHECK(!g->values[static_cast<size_t>(out_root)].is_const);
+    def[static_cast<size_t>(out_root)] = s;
+    for (int ws : n.workspace_ids) {
+      def[static_cast<size_t>(ws)] = s;
+      last_use[static_cast<size_t>(ws)] = s;
+    }
+  }
+  for (int id : g->outputs) {
+    touch(id, num_steps);
+  }
+  // The staged input must stay live through its last reader even if the
+  // forward never touches it (degenerate constant programs).
+  if (last_use[static_cast<size_t>(input_root)] < -1) {
+    last_use[static_cast<size_t>(input_root)] = -1;
+  }
+
+  // expire_at[s]: roots to free right before step s allocates. A value last
+  // read at step t is freed at step t+1, so step t's own outputs can never
+  // land on top of its inputs.
+  std::vector<std::vector<int>> expire_at(static_cast<size_t>(num_steps) + 1);
+  for (size_t v = 0; v < nv; ++v) {
+    if (def[v] == -2) {
+      continue;
+    }
+    const int lu = std::max(last_use[v], def[v]);
+    if (lu + 1 <= num_steps) {
+      expire_at[static_cast<size_t>(lu + 1)].push_back(static_cast<int>(v));
+    }
+  }
+
+  MemoryPlan plan;
+  plan.offsets.assign(nv, -1);
+  Arena arena;
+
+  auto numel_of = [&](size_t v) { return NumElements(g->values[v].shape); };
+
+  plan.offsets[static_cast<size_t>(input_root)] =
+      arena.Alloc(numel_of(static_cast<size_t>(input_root)));
+
+  for (int s = 0; s < num_steps; ++s) {
+    for (int v : expire_at[static_cast<size_t>(s)]) {
+      arena.Free(plan.offsets[static_cast<size_t>(v)],
+                 numel_of(static_cast<size_t>(v)));
+    }
+    const Node& n = g->nodes[static_cast<size_t>(s)];
+    const int out_root = g->ResolveRoot(n.output);
+    plan.offsets[static_cast<size_t>(out_root)] =
+        arena.Alloc(numel_of(static_cast<size_t>(out_root)));
+    for (int ws : n.workspace_ids) {
+      plan.offsets[static_cast<size_t>(ws)] =
+          arena.Alloc(numel_of(static_cast<size_t>(ws)));
+    }
+  }
+
+  // Resolve alias offsets to their roots so execution can bind every value
+  // without chasing chains.
+  for (size_t v = 0; v < nv; ++v) {
+    const Value& val = g->values[v];
+    if (val.is_const || val.alias_of < 0) {
+      continue;
+    }
+    const int root = g->ResolveRoot(static_cast<int>(v));
+    plan.offsets[v] = plan.offsets[static_cast<size_t>(root)];
+  }
+
+  plan.arena_floats = arena.end();
+  return plan;
+}
+
+}  // namespace units::plan

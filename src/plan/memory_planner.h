@@ -1,0 +1,35 @@
+#ifndef UNITS_PLAN_MEMORY_PLANNER_H_
+#define UNITS_PLAN_MEMORY_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/graph.h"
+
+namespace units::plan {
+
+/// Static buffer assignment for one captured graph: every non-constant
+/// value (chunk input, node outputs, per-node workspaces) gets a float
+/// offset into a single arena, sized by liveness analysis with first-fit
+/// reuse, so steady-state execution allocates nothing.
+struct MemoryPlan {
+  /// Total arena length in floats (already includes alignment padding).
+  int64_t arena_floats = 0;
+  /// Per value id: offset into the arena in floats. -1 for constants
+  /// (bound to their captured tensors instead). Aliases resolve to their
+  /// root's offset.
+  std::vector<int64_t> offsets;
+};
+
+/// Runs liveness analysis over the scheduled nodes and assigns arena
+/// offsets. Mutates the graph: per-node workspace Shapes are materialized
+/// as fresh values (live only during their step) and their ids recorded in
+/// node.workspace_ids. Buffers are 64-byte aligned; a value freed at step s
+/// can back a buffer defined at any step > s, but never a buffer of the
+/// step that still reads it (outputs never alias live inputs, so kernels
+/// need not be in-place safe).
+MemoryPlan PlanMemory(Graph* graph);
+
+}  // namespace units::plan
+
+#endif  // UNITS_PLAN_MEMORY_PLANNER_H_

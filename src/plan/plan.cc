@@ -1,0 +1,324 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "base/check.h"
+#include "plan/fusion_pass.h"
+#include "plan/trace.h"
+#include "tensor/tensor_ops.h"
+
+namespace units::plan {
+
+Mode ActiveMode() {
+  const char* e = std::getenv("UNITS_PLAN");
+  if (e == nullptr) {
+    return Mode::kPlanned;
+  }
+  const std::string s(e);
+  if (s == "dynamic" || s == "off" || s == "0") {
+    return Mode::kDynamic;
+  }
+  if (s == "verify") {
+    return Mode::kVerify;
+  }
+  return Mode::kPlanned;
+}
+
+EvalPlan::EvalPlan(Graph graph) : graph_(std::move(graph)) {
+  FusePass(&graph_);
+  mem_ = PlanMemory(&graph_);
+  input_shape_ = graph_.values[static_cast<size_t>(graph_.input_id)].shape;
+  output_shapes_.reserve(graph_.outputs.size());
+  for (int id : graph_.outputs) {
+    output_shapes_.push_back(graph_.values[static_cast<size_t>(id)].shape);
+  }
+}
+
+int EvalPlan::num_sweeps() const {
+  int n = 0;
+  for (const Node& node : graph_.nodes) {
+    n += node.kind == OpKind::kFusedSweep ? 1 : 0;
+  }
+  return n;
+}
+
+int EvalPlan::num_multi_step_sweeps() const {
+  int n = 0;
+  for (const Node& node : graph_.nodes) {
+    n += node.kind == OpKind::kFusedSweep && node.sweep.size() > 1 ? 1 : 0;
+  }
+  return n;
+}
+
+int EvalPlan::max_sweep_len() const {
+  size_t n = 0;
+  for (const Node& node : graph_.nodes) {
+    if (node.kind == OpKind::kFusedSweep) {
+      n = std::max(n, node.sweep.size());
+    }
+  }
+  return static_cast<int>(n);
+}
+
+std::unique_ptr<EvalPlan::ExecState> EvalPlan::NewState() const {
+  auto st = std::make_unique<ExecState>();
+  st->arena = Tensor(Shape{mem_.arena_floats});
+  st->bound.resize(graph_.values.size());
+  for (const Value& v : graph_.values) {
+    const size_t id = static_cast<size_t>(v.id);
+    if (v.is_const) {
+      st->bound[id] = v.const_tensor;
+    } else if (mem_.offsets[id] >= 0) {
+      st->bound[id] = Tensor::ViewInto(st->arena, mem_.offsets[id], v.shape);
+    }  // else: dead value, never touched by the schedule
+  }
+  return st;
+}
+
+std::unique_ptr<EvalPlan::ExecState> EvalPlan::AcquireState() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      auto st = std::move(pool_.back());
+      pool_.pop_back();
+      return st;
+    }
+  }
+  return NewState();
+}
+
+void EvalPlan::ReleaseState(std::unique_ptr<ExecState> state) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_.push_back(std::move(state));
+}
+
+void EvalPlan::Execute(ExecState* st) const {
+  for (const Node& n : graph_.nodes) {
+    const auto in = [&](int i) -> const Tensor& {
+      return st->bound[static_cast<size_t>(n.inputs[static_cast<size_t>(i)])];
+    };
+    Tensor& out = st->bound[static_cast<size_t>(n.output)];
+    switch (n.kind) {
+      case OpKind::kFusedSweep: {
+        std::vector<const float*> leafs;
+        leafs.reserve(n.inputs.size());
+        for (int id : n.inputs) {
+          leafs.push_back(st->bound[static_cast<size_t>(id)].data());
+        }
+        ExecuteSweep(n, leafs, out.data(), out.numel());
+        break;
+      }
+      case OpKind::kMatMul:
+        ops::MatMulInto(in(0), in(1), &out);
+        break;
+      case OpKind::kBatchedMatMul:
+        ops::BatchedMatMulInto(in(0), in(1), &out);
+        break;
+      case OpKind::kTranspose:
+        ops::TransposeInto(in(0), n.axis0, n.axis1, &out);
+        break;
+      case OpKind::kSoftmax:
+        ops::SoftmaxInto(in(0), n.axis0, &out);
+        break;
+      case OpKind::kLogSoftmax:
+        ops::LogSoftmaxInto(in(0), n.axis0, &out);
+        break;
+      case OpKind::kSum:
+        ops::SumInto(in(0), n.axis0, n.keepdim, &out);
+        break;
+      case OpKind::kMaxPool:
+        ops::MaxInto(in(0), /*axis=*/2, /*keepdim=*/false, &out);
+        break;
+      case OpKind::kSlice:
+        ops::SliceInto(in(0), n.axis0, n.i0, n.i1, &out);
+        break;
+      case OpKind::kConcat: {
+        std::vector<Tensor> parts;
+        parts.reserve(n.inputs.size());
+        for (int id : n.inputs) {
+          parts.push_back(st->bound[static_cast<size_t>(id)]);
+        }
+        ops::ConcatInto(parts, n.axis0, &out);
+        break;
+      }
+      case OpKind::kAttention: {
+        Tensor& kt = st->bound[static_cast<size_t>(n.workspace_ids[0])];
+        ops::AttentionForwardStreamingInto(in(0), in(1), in(2), n.scalar,
+                                           n.tensor_attr, &kt, &out);
+        break;
+      }
+      case OpKind::kConv1dCore: {
+        Tensor& cols = st->bound[static_cast<size_t>(n.workspace_ids[0])];
+        Tensor& out2 = st->bound[static_cast<size_t>(n.workspace_ids[1])];
+        ops::Im2Col1DInto(in(0), n.i0, n.i1, n.i2, n.i3, &cols);
+        ops::MatMulInto(n.tensor_attr, cols, &out2);
+        ops::ConvUnpackInto(out2, &out);
+        break;
+      }
+      default:
+        // Raw elementwise kinds are rewritten to sweeps by FusePass and
+        // kReshape is an alias, never a node.
+        UNITS_CHECK_MSG(false, "unexecutable node kind in captured plan");
+    }
+  }
+}
+
+void EvalPlan::Run(const Tensor& x,
+                   const std::function<void(int, const Tensor&)>& sink) {
+  UNITS_CHECK(SameShape(x.shape(), input_shape_));
+  auto st = AcquireState();
+  st->bound[static_cast<size_t>(graph_.input_id)].CopyDataFrom(x);
+  Execute(st.get());
+  for (size_t i = 0; i < graph_.outputs.size(); ++i) {
+    sink(static_cast<int>(i),
+         st->bound[static_cast<size_t>(graph_.outputs[i])]);
+  }
+  ReleaseState(std::move(st));
+}
+
+bool EvalPlan::Validate(const Tensor& x_chunk, std::string* error) {
+  bool ok = true;
+  Run(x_chunk, [&](int i, const Tensor& got) {
+    const Tensor& want = graph_.captured_outputs[static_cast<size_t>(i)];
+    if (got.numel() != want.numel() ||
+        std::memcmp(got.data(), want.data(),
+                    static_cast<size_t>(got.numel()) * sizeof(float)) != 0) {
+      ok = false;
+    }
+  });
+  if (!ok && error != nullptr) {
+    *error = "plan validation replay was not bitwise identical to the traced forward";
+  }
+  return ok;
+}
+
+std::shared_ptr<EvalPlan> EvalPlan::Capture(const EvalFn& fn,
+                                            const Tensor& x_chunk,
+                                            std::string* error) {
+  autograd::NoGradGuard no_grad;
+  Graph g;
+  {
+    autograd::Variable xv(x_chunk, /*requires_grad=*/false);
+    internal::Tracer tracer(xv);
+    std::vector<autograd::Variable> outs = fn(xv);
+    if (!tracer.Finish(outs, &g, error)) {
+      return nullptr;
+    }
+  }
+  std::shared_ptr<EvalPlan> plan(new EvalPlan(std::move(g)));
+  if (!plan->Validate(x_chunk, error)) {
+    return nullptr;
+  }
+  // The traced oracle tensors served their purpose; drop them so a cached
+  // plan does not pin one chunk of activations per program.
+  plan->graph_.captured_outputs.clear();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+std::string PlanCache::MakeKey(const std::string& key, const Shape& shape) {
+  return key + "|" + ShapeToString(shape);
+}
+
+bool PlanCache::Lookup(const std::string& key, const Shape& shape,
+                       std::shared_ptr<EvalPlan>* plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(MakeKey(key, shape));
+  if (it == plans_.end()) {
+    return false;
+  }
+  *plan = it->second;
+  return true;
+}
+
+void PlanCache::Insert(const std::string& key, const Shape& shape,
+                       std::shared_ptr<EvalPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_[MakeKey(key, shape)] = std::move(plan);
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+}
+
+void PlanCache::RecordPlannedChunk() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++planned_chunks_;
+}
+
+void PlanCache::RecordDynamicChunk() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++dynamic_chunks_;
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats stats;
+  for (const auto& [key, plan] : plans_) {
+    if (plan == nullptr) {
+      ++stats.unplannable;
+      continue;
+    }
+    ++stats.plans;
+    stats.arena_bytes_max = std::max(stats.arena_bytes_max, plan->arena_bytes());
+    stats.fused_sweeps += plan->num_multi_step_sweeps();
+  }
+  stats.planned_chunks = planned_chunks_;
+  stats.dynamic_chunks = dynamic_chunks_;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Result tensor pool
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr size_t kResultBucketCap = 8;
+
+struct ResultPool {
+  std::mutex mu;
+  std::unordered_map<int64_t, std::vector<Tensor>> buckets;
+};
+
+ResultPool& GetResultPool() {
+  static ResultPool* pool = new ResultPool;  // leaked: outlives all threads
+  return *pool;
+}
+
+}  // namespace
+
+Tensor AcquireResultTensor(const Shape& shape) {
+  const int64_t n = NumElements(shape);
+  ResultPool& pool = GetResultPool();
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    auto it = pool.buckets.find(n);
+    if (it != pool.buckets.end()) {
+      for (Tensor& t : it->second) {
+        // use_count == 1 means the pool is the only owner: safe to hand out.
+        if (t.StorageUseCount() == 1) {
+          return t.Reshape(shape);
+        }
+      }
+    }
+  }
+  Tensor fresh(shape);
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    std::vector<Tensor>& bucket = pool.buckets[n];
+    if (bucket.size() < kResultBucketCap) {
+      bucket.push_back(fresh);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace units::plan

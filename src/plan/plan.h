@@ -1,0 +1,126 @@
+#ifndef UNITS_PLAN_PLAN_H_
+#define UNITS_PLAN_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "plan/graph.h"
+#include "plan/memory_planner.h"
+
+namespace units::plan {
+
+/// Execution mode, read from the UNITS_PLAN environment variable on every
+/// program run (so tests can flip it at runtime):
+///   unset / "planned"          -> captured plans (default)
+///   "dynamic" / "off" / "0"    -> always the dynamic autograd walk
+///   "verify"                   -> run both, abort on any bitwise mismatch
+enum class Mode { kPlanned, kDynamic, kVerify };
+Mode ActiveMode();
+
+/// A captured, fused, arena-scheduled eval program for one exact input
+/// shape. Built by Capture(): trace one real forward, fuse elementwise
+/// chains, plan buffer reuse, then replay against the traced outputs and
+/// refuse to exist on any bitwise deviation. Thereafter Run() executes the
+/// flat schedule with zero tensor allocations in steady state (execution
+/// states are pooled; concurrent Run()s each get their own arena).
+class EvalPlan {
+ public:
+  using EvalFn =
+      std::function<std::vector<autograd::Variable>(const autograd::Variable&)>;
+
+  /// Traces `fn` on `x_chunk` and compiles. Returns nullptr (with *error
+  /// set) when the forward used an untraceable op or the validation replay
+  /// was not bitwise identical to the traced forward.
+  static std::shared_ptr<EvalPlan> Capture(const EvalFn& fn,
+                                           const Tensor& x_chunk,
+                                           std::string* error);
+
+  /// Executes on `x` (shape must equal the captured input shape). Calls
+  /// `sink(i, out_i)` for each program output while the backing arena is
+  /// held; the views are invalid after Run returns, so sinks must copy.
+  void Run(const Tensor& x,
+           const std::function<void(int, const Tensor&)>& sink);
+
+  const Shape& input_shape() const { return input_shape_; }
+  const std::vector<Shape>& output_shapes() const { return output_shapes_; }
+  /// Per-execution arena footprint in bytes (one per concurrent Run).
+  int64_t arena_bytes() const {
+    return mem_.arena_floats * static_cast<int64_t>(sizeof(float));
+  }
+  int num_nodes() const { return static_cast<int>(graph_.nodes.size()); }
+  /// Number of kFusedSweep nodes / those covering 2+ original ops.
+  int num_sweeps() const;
+  int num_multi_step_sweeps() const;
+  int max_sweep_len() const;
+
+ private:
+  /// Everything one in-flight execution needs: the arena plus per-value
+  /// tensor bindings (views into the arena, or the captured constants).
+  struct ExecState {
+    Tensor arena;
+    std::vector<Tensor> bound;  // per value id
+  };
+
+  explicit EvalPlan(Graph graph);
+  std::unique_ptr<ExecState> NewState() const;
+  std::unique_ptr<ExecState> AcquireState();
+  void ReleaseState(std::unique_ptr<ExecState> state);
+  void Execute(ExecState* state) const;
+  bool Validate(const Tensor& x_chunk, std::string* error);
+
+  Graph graph_;
+  MemoryPlan mem_;
+  Shape input_shape_;
+  std::vector<Shape> output_shapes_;
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<ExecState>> pool_;
+};
+
+/// Aggregate counters for a pipeline's plan cache, surfaced through the
+/// serving stats op and consumed by admission control.
+struct PlanCacheStats {
+  int64_t plans = 0;              // compiled plans resident
+  int64_t unplannable = 0;        // (key, shape) pairs pinned to dynamic
+  int64_t arena_bytes_max = 0;    // largest single-execution arena
+  int64_t fused_sweeps = 0;       // multi-step sweeps across all plans
+  int64_t planned_chunks = 0;     // chunk executions served by plans
+  int64_t dynamic_chunks = 0;     // chunk executions on the dynamic walk
+};
+
+/// Thread-safe map from (program key, input shape) to compiled plan. A
+/// present-but-null entry records a known-unplannable program so capture is
+/// not retried every batch.
+class PlanCache {
+ public:
+  /// Returns true if an entry exists (possibly null -> known unplannable).
+  bool Lookup(const std::string& key, const Shape& shape,
+              std::shared_ptr<EvalPlan>* plan);
+  void Insert(const std::string& key, const Shape& shape,
+              std::shared_ptr<EvalPlan> plan);
+  void Clear();
+  void RecordPlannedChunk();
+  void RecordDynamicChunk();
+  PlanCacheStats Stats() const;
+
+ private:
+  static std::string MakeKey(const std::string& key, const Shape& shape);
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<EvalPlan>> plans_;
+  int64_t planned_chunks_ = 0;
+  int64_t dynamic_chunks_ = 0;
+};
+
+/// Bounded global recycling pool for Predict result tensors (keyed by
+/// element count). After warmup, steady-state serving draws every result
+/// buffer from here instead of allocating. A buffer is handed out only when
+/// the pool holds the sole reference to its storage.
+Tensor AcquireResultTensor(const Shape& shape);
+
+}  // namespace units::plan
+
+#endif  // UNITS_PLAN_PLAN_H_

@@ -1,0 +1,326 @@
+#include "plan/trace.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace units::plan {
+
+namespace internal {
+thread_local Tracer* t_tracer = nullptr;
+}  // namespace internal
+
+using autograd::Variable;
+
+void TraceUnary(OpKind kind, const Variable& a, const Variable& out,
+                const NodeArgs& args) {
+  if (internal::Tracer* t = internal::t_tracer) {
+    const Variable* ins[1] = {&a};
+    t->RecordOp(kind, ins, 1, out, args);
+  }
+}
+
+void TraceBinary(OpKind kind, const Variable& a, const Variable& b,
+                 const Variable& out) {
+  if (internal::Tracer* t = internal::t_tracer) {
+    const Variable* ins[2] = {&a, &b};
+    t->RecordOp(kind, ins, 2, out, NodeArgs{});
+  }
+}
+
+void TraceConcat(const std::vector<Variable>& parts, int axis,
+                 const Variable& out) {
+  if (internal::Tracer* t = internal::t_tracer) {
+    t->RecordConcat(parts, axis, out);
+  }
+}
+
+void TraceAttention(const Variable& q, const Variable& k, const Variable& v,
+                    float scale, const Variable& out) {
+  if (internal::Tracer* t = internal::t_tracer) {
+    t->RecordAttention(q, k, v, scale, out);
+  }
+}
+
+void TraceConv1d(const Variable& input, const Tensor& w2, const Variable& bias,
+                 const Variable& out, int64_t kernel, int64_t dilation,
+                 int64_t pad_left, int64_t pad_right) {
+  if (internal::Tracer* t = internal::t_tracer) {
+    t->RecordConv1d(input, w2, bias, out, kernel, dilation, pad_left,
+                    pad_right);
+  }
+}
+
+void NoteNodeCreated(const Variable& v) {
+  if (internal::Tracer* t = internal::t_tracer) {
+    t->NoteCreated(v);
+  }
+}
+
+void PoisonTrace(const std::string& reason) {
+  if (internal::Tracer* t = internal::t_tracer) {
+    t->Poison(reason);
+  }
+}
+
+namespace internal {
+
+Tracer::Tracer(const Variable& input) {
+  UNITS_CHECK_MSG(t_tracer == nullptr,
+                  "nested plan captures on one thread are not supported");
+  UNITS_CHECK(input.defined());
+  Value v;
+  v.id = 0;
+  v.shape = input.data().shape();
+  v.is_input = true;
+  graph_.values.push_back(std::move(v));
+  graph_.input_id = 0;
+  Register(input, 0);
+  t_tracer = this;
+}
+
+Tracer::~Tracer() { t_tracer = nullptr; }
+
+void Tracer::Poison(const std::string& reason) {
+  if (!poisoned_) {
+    poisoned_ = true;
+    poison_reason_ = reason;
+  }
+}
+
+void Tracer::Register(const Variable& v, int id) {
+  value_ids_[v.impl().get()] = id;
+  keep_alive_.push_back(v.impl());
+}
+
+void Tracer::NoteCreated(const Variable& v) {
+  if (poisoned_ || !v.defined()) {
+    return;
+  }
+  // Hold the impl so its address can never be recycled for a different
+  // Variable mid-trace (a recycled address would corrupt the identity maps).
+  created_.insert(v.impl().get());
+  keep_alive_.push_back(v.impl());
+}
+
+int Tracer::Resolve(const Variable& v) {
+  UNITS_CHECK(v.defined());
+  const auto* impl = v.impl().get();
+  auto it = value_ids_.find(impl);
+  if (it != value_ids_.end()) {
+    return it->second;
+  }
+  if (created_.count(impl) != 0) {
+    // Produced by an op that ran without a trace hook: the graph would
+    // wrongly treat it as a constant. Abandon the capture.
+    Poison("op consumed the result of an untraced producer");
+    return -1;
+  }
+  // Materialized outside the trace (parameter, eval statistic, positional
+  // table, zero-init state): a constant of the captured program.
+  const int id = NewConstValue(v.data());
+  value_ids_[impl] = id;
+  keep_alive_.push_back(v.impl());
+  return id;
+}
+
+int Tracer::NewConstValue(Tensor t) {
+  Value v;
+  v.id = static_cast<int>(graph_.values.size());
+  v.shape = t.shape();
+  v.is_const = true;
+  v.const_tensor = std::move(t);
+  graph_.values.push_back(std::move(v));
+  return graph_.values.back().id;
+}
+
+int Tracer::NewDerivedValue(const Shape& shape, int alias_of) {
+  Value v;
+  v.id = static_cast<int>(graph_.values.size());
+  v.shape = shape;
+  v.alias_of = alias_of;
+  graph_.values.push_back(std::move(v));
+  return graph_.values.back().id;
+}
+
+bool Tracer::FoldIfAllConst(const std::vector<int>& ids, const Variable& out) {
+  for (int id : ids) {
+    if (!graph_.values[static_cast<size_t>(id)].is_const) {
+      return false;
+    }
+  }
+  // Every operand is a trace-time constant, so the already-computed result
+  // is too: bake it in and emit no node (BatchNorm statistic math, reshaped
+  // weights, etc. run once at capture instead of every batch).
+  Register(out, NewConstValue(out.data()));
+  return true;
+}
+
+void Tracer::RecordOp(OpKind kind, const Variable* const* ins, int nin,
+                      const Variable& out, const NodeArgs& args) {
+  if (poisoned_) {
+    return;
+  }
+  std::vector<int> ids;
+  ids.reserve(static_cast<size_t>(nin));
+  for (int i = 0; i < nin; ++i) {
+    const int id = Resolve(*ins[i]);
+    if (id < 0) {
+      return;
+    }
+    ids.push_back(id);
+  }
+  if (FoldIfAllConst(ids, out)) {
+    return;
+  }
+  if (kind == OpKind::kReshape) {
+    // Pure metadata change: alias the producer's buffer.
+    Register(out, NewDerivedValue(out.data().shape(), ids[0]));
+    return;
+  }
+  const int out_id = NewDerivedValue(out.data().shape());
+  Node node;
+  node.kind = kind;
+  node.inputs = std::move(ids);
+  node.output = out_id;
+  node.axis0 = args.axis0;
+  node.axis1 = args.axis1;
+  node.keepdim = args.keepdim;
+  node.scalar = args.scalar;
+  node.i0 = args.i0;
+  node.i1 = args.i1;
+  graph_.nodes.push_back(std::move(node));
+  Register(out, out_id);
+}
+
+void Tracer::RecordConcat(const std::vector<Variable>& parts, int axis,
+                          const Variable& out) {
+  if (poisoned_) {
+    return;
+  }
+  std::vector<int> ids;
+  ids.reserve(parts.size());
+  for (const Variable& p : parts) {
+    const int id = Resolve(p);
+    if (id < 0) {
+      return;
+    }
+    ids.push_back(id);
+  }
+  if (FoldIfAllConst(ids, out)) {
+    return;
+  }
+  const int out_id = NewDerivedValue(out.data().shape());
+  Node node;
+  node.kind = OpKind::kConcat;
+  node.inputs = std::move(ids);
+  node.output = out_id;
+  node.axis0 = axis;
+  graph_.nodes.push_back(std::move(node));
+  Register(out, out_id);
+}
+
+void Tracer::RecordAttention(const Variable& q, const Variable& k,
+                             const Variable& v, float scale,
+                             const Variable& out) {
+  if (poisoned_) {
+    return;
+  }
+  const int qid = Resolve(q);
+  const int kid = qid < 0 ? -1 : Resolve(k);
+  const int vid = kid < 0 ? -1 : Resolve(v);
+  if (vid < 0) {
+    return;
+  }
+  std::vector<int> ids = {qid, kid, vid};
+  if (FoldIfAllConst(ids, out)) {
+    return;
+  }
+  const int out_id = NewDerivedValue(out.data().shape());
+  Node node;
+  node.kind = OpKind::kAttention;
+  node.inputs = std::move(ids);
+  node.output = out_id;
+  node.scalar = scale;
+  const Shape& qs = q.data().shape();
+  // Transposed-K panel [B, hd, T], the kernel's only allocation.
+  node.workspaces.push_back(Shape{qs[0], qs[2], qs[1]});
+  graph_.nodes.push_back(std::move(node));
+  Register(out, out_id);
+}
+
+void Tracer::RecordConv1d(const Variable& input, const Tensor& w2,
+                          const Variable& bias, const Variable& out,
+                          int64_t kernel, int64_t dilation, int64_t pad_left,
+                          int64_t pad_right) {
+  if (poisoned_) {
+    return;
+  }
+  const int in_id = Resolve(input);
+  if (in_id < 0) {
+    return;
+  }
+  if (graph_.values[static_cast<size_t>(in_id)].is_const) {
+    Register(out, NewConstValue(out.data()));
+    return;
+  }
+  const Shape& os = out.data().shape();  // [N, Cout, Tout]
+  const int64_t n = os[0];
+  const int64_t c_out = os[1];
+  const int64_t t_out = os[2];
+  const int core_id = NewDerivedValue(os);
+  Node core;
+  core.kind = OpKind::kConv1dCore;
+  core.inputs = {in_id};
+  core.output = core_id;
+  core.tensor_attr = w2;  // [Cout, Cin*k], reshaped once at capture
+  core.i0 = kernel;
+  core.i1 = dilation;
+  core.i2 = pad_left;
+  core.i3 = pad_right;
+  core.workspaces.push_back(Shape{w2.dim(1), n * t_out});  // im2col columns
+  core.workspaces.push_back(Shape{c_out, n * t_out});      // GEMM output
+  graph_.nodes.push_back(std::move(core));
+  if (!bias.defined()) {
+    Register(out, core_id);
+    return;
+  }
+  // Bias enters as a separate elementwise kAdd against the [Cout, 1] view
+  // the dynamic path broadcasts, so a following activation can fuse with it.
+  const int bias_id = NewConstValue(bias.data().Reshape(Shape{c_out, 1}));
+  const int out_id = NewDerivedValue(os);
+  Node add;
+  add.kind = OpKind::kAdd;
+  add.inputs = {core_id, bias_id};
+  add.output = out_id;
+  graph_.nodes.push_back(std::move(add));
+  Register(out, out_id);
+}
+
+bool Tracer::Finish(const std::vector<Variable>& outputs, Graph* graph,
+                    std::string* error) {
+  for (const Variable& v : outputs) {
+    if (poisoned_) {
+      break;
+    }
+    const int id = Resolve(v);
+    if (id < 0) {
+      break;
+    }
+    graph_.outputs.push_back(id);
+    graph_.captured_outputs.push_back(v.data());
+  }
+  if (poisoned_) {
+    if (error != nullptr) {
+      *error = poison_reason_;
+    }
+    return false;
+  }
+  UNITS_CHECK(!graph_.outputs.empty());
+  *graph = std::move(graph_);
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace units::plan

@@ -1,0 +1,130 @@
+#ifndef UNITS_PLAN_TRACE_H_
+#define UNITS_PLAN_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "plan/graph.h"
+
+namespace units::plan {
+
+namespace internal {
+class Tracer;
+/// Non-null while the current thread is capturing a graph. Kept as a raw
+/// thread-local pointer so the hot-path check in every autograd op is one
+/// load + branch when tracing is off.
+extern thread_local Tracer* t_tracer;
+}  // namespace internal
+
+/// True while the calling thread is inside an EvalPlan capture. Autograd ops
+/// gate their trace hooks on this so the untraced path stays free.
+inline bool TraceActive() { return internal::t_tracer != nullptr; }
+
+/// Optional attributes for TraceUnary/TraceBinary (axes, scalars, slice
+/// bounds). Field meaning matches plan::Node.
+struct NodeArgs {
+  int axis0 = 0;
+  int axis1 = 0;
+  bool keepdim = false;
+  float scalar = 0.0f;
+  int64_t i0 = 0;
+  int64_t i1 = 0;
+};
+
+// --- Hooks called from autograd/ops.cc (only when TraceActive()) ----------
+
+void TraceUnary(OpKind kind, const autograd::Variable& a,
+                const autograd::Variable& out, const NodeArgs& args = {});
+void TraceBinary(OpKind kind, const autograd::Variable& a,
+                 const autograd::Variable& b, const autograd::Variable& out);
+void TraceConcat(const std::vector<autograd::Variable>& parts, int axis,
+                 const autograd::Variable& out);
+void TraceAttention(const autograd::Variable& q, const autograd::Variable& k,
+                    const autograd::Variable& v, float scale,
+                    const autograd::Variable& out);
+/// Conv1d is traced as two nodes: a kConv1dCore (im2col + GEMM + unpack
+/// against the pre-reshaped [Cout, Cin*k] weight `w2`) and, when `bias` is
+/// defined, a kAdd against the constant [Cout, 1] bias view — so the
+/// bias-add can fuse with a following activation.
+void TraceConv1d(const autograd::Variable& input, const Tensor& w2,
+                 const autograd::Variable& bias, const autograd::Variable& out,
+                 int64_t kernel, int64_t dilation, int64_t pad_left,
+                 int64_t pad_right);
+
+/// Called from Variable::MakeNode for every op-produced Variable while
+/// tracing. Implements poison detection: if a later hooked op consumes a
+/// Variable that was created by an op but never registered by a trace hook,
+/// the trace is unsound (an untraced producer ran) and is abandoned.
+void NoteNodeCreated(const autograd::Variable& v);
+
+/// Explicit poison for ops that can never be planned (training-only paths
+/// that construct results without MakeNode). Records `reason` and marks the
+/// capture failed.
+void PoisonTrace(const std::string& reason);
+
+namespace internal {
+
+/// Thread-local graph capture state. Construct to begin tracing on this
+/// thread (registers itself as t_tracer), run the eval forward, then call
+/// Finish() with the forward's outputs.
+class Tracer {
+ public:
+  explicit Tracer(const autograd::Variable& input);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& poison_reason() const { return poison_reason_; }
+
+  /// Resolves the traced outputs and moves the captured graph into *graph.
+  /// Returns false (with *error set) if the trace was poisoned.
+  bool Finish(const std::vector<autograd::Variable>& outputs, Graph* graph,
+              std::string* error);
+
+  // Hook bodies (free functions above forward here).
+  void RecordOp(OpKind kind, const autograd::Variable* const* ins, int nin,
+                const autograd::Variable& out, const NodeArgs& args);
+  void RecordConcat(const std::vector<autograd::Variable>& parts, int axis,
+                    const autograd::Variable& out);
+  void RecordAttention(const autograd::Variable& q,
+                       const autograd::Variable& k,
+                       const autograd::Variable& v, float scale,
+                       const autograd::Variable& out);
+  void RecordConv1d(const autograd::Variable& input, const Tensor& w2,
+                    const autograd::Variable& bias,
+                    const autograd::Variable& out, int64_t kernel,
+                    int64_t dilation, int64_t pad_left, int64_t pad_right);
+  void NoteCreated(const autograd::Variable& v);
+  void Poison(const std::string& reason);
+
+ private:
+  /// Value id for `v`: an already-registered value, or a fresh constant for
+  /// Variables materialized outside the trace (weights, eval statistics).
+  /// Returns -1 and poisons if `v` was produced by an untraced op.
+  int Resolve(const autograd::Variable& v);
+  int NewConstValue(Tensor t);
+  int NewDerivedValue(const Shape& shape, int alias_of = -1);
+  void Register(const autograd::Variable& v, int id);
+  /// Common tail for RecordOp-style hooks: folds to a constant when every
+  /// input is constant (weight-only subexpressions run once, at capture).
+  bool FoldIfAllConst(const std::vector<int>& ids,
+                      const autograd::Variable& out);
+
+  Graph graph_;
+  std::unordered_map<const autograd::internal::VariableImpl*, int> value_ids_;
+  std::unordered_set<const autograd::internal::VariableImpl*> created_;
+  std::vector<std::shared_ptr<autograd::internal::VariableImpl>> keep_alive_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+}  // namespace internal
+
+}  // namespace units::plan
+
+#endif  // UNITS_PLAN_TRACE_H_

@@ -14,9 +14,10 @@ AdmissionController::AdmissionController(Options options, ServeStats* stats)
   UNITS_CHECK_GE(options_.max_queue, 1);
   UNITS_CHECK(std::isfinite(options_.request_timeout_ms));
   UNITS_CHECK_GE(options_.request_timeout_ms, 0.0);
+  UNITS_CHECK_GE(options_.max_plan_bytes_in_flight, 0);
 }
 
-Status AdmissionController::TryAdmit() {
+Status AdmissionController::TryAdmit(int64_t plan_bytes) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (in_flight_ >= options_.max_queue) {
@@ -25,7 +26,19 @@ Status AdmissionController::TryAdmit() {
       }
       return Status::ResourceExhausted("overloaded");
     }
+    // Plan-memory backpressure: keep the summed arena footprint of
+    // admitted work under the cap. A lone oversized request is still
+    // admitted (in_flight_ == 0), so progress is guaranteed.
+    if (options_.max_plan_bytes_in_flight > 0 && in_flight_ > 0 &&
+        plan_bytes_in_flight_ + plan_bytes >
+            options_.max_plan_bytes_in_flight) {
+      if (stats_ != nullptr) {
+        stats_->RecordShed();
+      }
+      return Status::ResourceExhausted("overloaded");
+    }
     in_flight_ += 1;
+    plan_bytes_in_flight_ += plan_bytes;
   }
   if (stats_ != nullptr) {
     stats_->RecordAccepted();
@@ -33,10 +46,12 @@ Status AdmissionController::TryAdmit() {
   return Status::Ok();
 }
 
-void AdmissionController::Release() {
+void AdmissionController::Release(int64_t plan_bytes) {
   std::lock_guard<std::mutex> lk(mu_);
   UNITS_CHECK_GE(in_flight_, 1);
+  UNITS_CHECK_GE(plan_bytes_in_flight_, plan_bytes);
   in_flight_ -= 1;
+  plan_bytes_in_flight_ -= plan_bytes;
 }
 
 std::optional<std::chrono::steady_clock::time_point>
@@ -53,6 +68,11 @@ AdmissionController::DeadlineFor(
 int64_t AdmissionController::in_flight() const {
   std::lock_guard<std::mutex> lk(mu_);
   return in_flight_;
+}
+
+int64_t AdmissionController::plan_bytes_in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return plan_bytes_in_flight_;
 }
 
 }  // namespace units::serve

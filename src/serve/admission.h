@@ -29,6 +29,12 @@ class AdmissionController {
     /// Queue-wait deadline per admitted request, in milliseconds.
     /// 0 disables deadlines. Must be finite and >= 0.
     double request_timeout_ms = 0.0;
+    /// Cap on the summed plan-arena bytes of admitted requests (each
+    /// request's cost is its model's largest captured-plan arena, see
+    /// ServableModel::plan_arena_bytes). 0 disables the cap. A request
+    /// that would exceed it is shed — unless nothing is in flight, so an
+    /// oversized model still makes progress. Must be >= 0.
+    int64_t max_plan_bytes_in_flight = 0;
   };
 
   /// Aborts (UNITS_CHECK) on out-of-range options; `stats` may be null.
@@ -38,13 +44,15 @@ class AdmissionController {
   AdmissionController& operator=(const AdmissionController&) = delete;
 
   /// Admits one request (OK) or sheds it (ResourceExhausted, message
-  /// "overloaded"). Every OK must be paired with exactly one Release().
-  Status TryAdmit();
+  /// "overloaded"). `plan_bytes` is the request's plan-arena memory cost,
+  /// counted against max_plan_bytes_in_flight while admitted. Every OK
+  /// must be paired with exactly one Release() carrying the same cost.
+  Status TryAdmit(int64_t plan_bytes = 0);
 
   /// Returns the slot of a previously admitted request. Called by the
   /// batcher when the request's promise is fulfilled — on success, error,
   /// timeout, or shutdown drain alike.
-  void Release();
+  void Release(int64_t plan_bytes = 0);
 
   /// Deadline for a request admitted at `now`, or nullopt when deadlines
   /// are disabled.
@@ -54,6 +62,9 @@ class AdmissionController {
   /// Admitted-and-unanswered request count right now.
   int64_t in_flight() const;
 
+  /// Summed plan-arena bytes of admitted-and-unanswered requests.
+  int64_t plan_bytes_in_flight() const;
+
   const Options& options() const { return options_; }
 
  private:
@@ -61,6 +72,7 @@ class AdmissionController {
   ServeStats* stats_;
   mutable std::mutex mu_;
   int64_t in_flight_ = 0;
+  int64_t plan_bytes_in_flight_ = 0;
 };
 
 }  // namespace units::serve

@@ -75,7 +75,7 @@ void MicroBatcher::Resolve(Request* req, Result<core::TaskResult> result) {
   // Release the admission slot before fulfilling the promise so a caller
   // woken by the future can immediately be admitted again.
   if (req->admitted && admission_ != nullptr) {
-    admission_->Release();
+    admission_->Release(req->plan_bytes);
   }
   req->promise.set_value(std::move(result));
   if (options_.on_resolve) {
@@ -119,8 +119,16 @@ std::future<Result<core::TaskResult>> MicroBatcher::Submit(
       }
       it = queues_.emplace(model, ModelQueue{}).first;
     }
+    int64_t plan_bytes = 0;
     if (admission_ != nullptr) {
-      const Status admitted = admission_->TryAdmit();
+      // Charge the model's current worst-case plan arena. The first
+      // requests admit at cost 0 (no plan captured yet); the gauge becomes
+      // accurate as soon as serving reaches its steady state.
+      auto handle = registry_->Get(model);
+      if (handle.ok()) {
+        plan_bytes = (*handle)->plan_arena_bytes();
+      }
+      const Status admitted = admission_->TryAdmit(plan_bytes);
       if (!admitted.ok()) {
         return fail(admitted);
       }
@@ -129,6 +137,7 @@ std::future<Result<core::TaskResult>> MicroBatcher::Submit(
     req.x = row;
     req.enqueued = Clock::now();
     req.admitted = admission_ != nullptr;
+    req.plan_bytes = plan_bytes;
     if (admission_ != nullptr) {
       req.deadline = admission_->DeadlineFor(req.enqueued);
     }

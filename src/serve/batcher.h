@@ -90,6 +90,9 @@ class MicroBatcher {
 
   const Options& options() const { return options_; }
 
+  /// The attached admission controller (null when none was given).
+  AdmissionController* admission() const { return admission_; }
+
  private:
   struct Request {
     Tensor x;  // always [1, D, T]
@@ -97,6 +100,8 @@ class MicroBatcher {
     std::chrono::steady_clock::time_point enqueued;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     bool admitted = false;
+    /// Plan-arena cost charged at admission; released with the request.
+    int64_t plan_bytes = 0;
   };
 
   struct ModelQueue {

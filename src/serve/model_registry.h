@@ -36,6 +36,14 @@ class ServableModel {
 
   core::UnitsPipeline* pipeline() { return pipeline_.get(); }
 
+  /// Largest per-execution arena any of this model's captured eval plans
+  /// needs, in bytes (0 until the first plan is captured). Admission
+  /// control charges each admitted request this cost, bounding the total
+  /// plan memory the serving process can have in flight.
+  int64_t plan_arena_bytes() const {
+    return pipeline_->GetPlanCacheStats().arena_bytes_max;
+  }
+
  private:
   std::string name_;
   std::string path_;

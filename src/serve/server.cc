@@ -314,6 +314,37 @@ json::JsonValue RequestSession::HandleControl(const json::JsonValue& request) {
     json::JsonValue resp = OkResponse(op);
     resp.Set("stats", stats_ != nullptr ? stats_->ToJson()
                                         : json::JsonValue::Object());
+    // Captured-plan summary: per-model cache counters plus the admission
+    // controller's plan-memory gauge.
+    json::JsonValue plan = json::JsonValue::Object();
+    json::JsonValue per_model = json::JsonValue::Object();
+    for (const std::string& name : registry_->List()) {
+      auto handle = registry_->Get(name);
+      if (!handle.ok()) {
+        continue;
+      }
+      const plan::PlanCacheStats s =
+          (*handle)->pipeline()->GetPlanCacheStats();
+      json::JsonValue m = json::JsonValue::Object();
+      m.Set("plans", json::JsonValue::Int(s.plans));
+      m.Set("unplannable", json::JsonValue::Int(s.unplannable));
+      m.Set("plan_arena_bytes", json::JsonValue::Int(s.arena_bytes_max));
+      m.Set("fused_sweeps", json::JsonValue::Int(s.fused_sweeps));
+      m.Set("planned_chunks", json::JsonValue::Int(s.planned_chunks));
+      m.Set("dynamic_chunks", json::JsonValue::Int(s.dynamic_chunks));
+      per_model.Set(name, std::move(m));
+    }
+    plan.Set("models", std::move(per_model));
+    if (batcher_ != nullptr && batcher_->admission() != nullptr) {
+      plan.Set("bytes_in_flight",
+               json::JsonValue::Int(
+                   batcher_->admission()->plan_bytes_in_flight()));
+      plan.Set("max_bytes_in_flight",
+               json::JsonValue::Int(batcher_->admission()
+                                        ->options()
+                                        .max_plan_bytes_in_flight));
+    }
+    resp.Set("plan", std::move(plan));
     if (base::OpStatsRegistry::Enabled()) {
       auto parsed = json::Parse(base::OpStatsRegistry::Global()->DumpJson());
       if (parsed.ok()) {

@@ -1,0 +1,47 @@
+#ifndef UNITS_TENSOR_SCALAR_FNS_H_
+#define UNITS_TENSOR_SCALAR_FNS_H_
+
+#include <cmath>
+
+/// Scalar elementwise kernels shared by the dynamic tensor ops
+/// (tensor/tensor_ops.cc), the autograd wrappers, and the plan executor's
+/// fused sweeps (plan/fusion_pass.cc). Keeping one definition per function
+/// is what makes a fused sweep bitwise identical to the unfused op chain:
+/// both paths inline exactly the same float expression, so per-element
+/// rounding (including any compiler FMA contraction) matches. Do not
+/// duplicate these formulas elsewhere.
+
+namespace units::scalar {
+
+inline float Add(float x, float y) { return x + y; }
+inline float Sub(float x, float y) { return x - y; }
+inline float Mul(float x, float y) { return x * y; }
+inline float Div(float x, float y) { return x / y; }
+
+inline float Neg(float x) { return -x; }
+inline float Exp(float x) { return std::exp(x); }
+inline float Log(float x) { return std::log(x); }
+inline float Sqrt(float x) { return std::sqrt(x); }
+inline float Abs(float x) { return std::fabs(x); }
+inline float Tanh(float x) { return std::tanh(x); }
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+inline float Relu(float x) { return x > 0.0f ? x : 0.0f; }
+inline float Square(float x) { return x * x; }
+
+/// GELU, tanh approximation — the exact expression the GELU backward in
+/// autograd/ops.cc differentiates.
+inline float Gelu(float x) {
+  const float kC = 0.7978845608f;  // sqrt(2/pi)
+  return 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+}
+
+inline float AddScalar(float x, float s) { return x + s; }
+inline float MulScalar(float x, float s) { return x * s; }
+inline float PowScalar(float x, float p) { return std::pow(x, p); }
+inline float LeakyRelu(float x, float slope) {
+  return x > 0.0f ? x : slope * x;
+}
+
+}  // namespace units::scalar
+
+#endif  // UNITS_TENSOR_SCALAR_FNS_H_

@@ -38,6 +38,9 @@ std::atomic<int64_t> g_alloc_total{0};
 std::atomic<int64_t> g_alloc_largest{0};
 
 void RecordTensorAlloc(int64_t floats) {
+  if (floats == 0) {
+    return;  // empty tensors (e.g. default-constructed) carry no payload
+  }
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   g_alloc_total.fetch_add(floats, std::memory_order_relaxed);
   int64_t prev = g_alloc_largest.load(std::memory_order_relaxed);
@@ -127,6 +130,19 @@ Tensor Tensor::Arange(int64_t count, float start, float step) {
   return t;
 }
 
+Tensor Tensor::ViewInto(const Tensor& base, int64_t offset, Shape shape) {
+  const int64_t n = NumElements(shape);
+  UNITS_CHECK_GE(offset, 0);
+  UNITS_CHECK_LE(base.offset_ + offset + n,
+                 static_cast<int64_t>(base.storage_->size()));
+  Tensor view;
+  view.shape_ = std::move(shape);
+  view.numel_ = n;
+  view.offset_ = base.offset_ + offset;
+  view.storage_ = base.storage_;
+  return view;
+}
+
 int64_t Tensor::dim(int axis) const {
   if (axis < 0) {
     axis += ndim();
@@ -149,13 +165,11 @@ int64_t Tensor::Offset(const std::vector<int64_t>& idx) const {
 }
 
 float& Tensor::At(std::initializer_list<int64_t> idx) {
-  return (*storage_)[static_cast<size_t>(
-      Offset(std::vector<int64_t>(idx)))];
+  return data()[Offset(std::vector<int64_t>(idx))];
 }
 
 float Tensor::At(std::initializer_list<int64_t> idx) const {
-  return (*storage_)[static_cast<size_t>(
-      Offset(std::vector<int64_t>(idx)))];
+  return data()[Offset(std::vector<int64_t>(idx))];
 }
 
 Tensor Tensor::Reshape(Shape new_shape) const {
@@ -169,17 +183,18 @@ Tensor Tensor::Clone() const {
   Tensor copy;
   copy.shape_ = shape_;
   copy.numel_ = numel_;
-  copy.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  copy.storage_ =
+      std::make_shared<std::vector<float>>(data(), data() + numel_);
   return copy;
 }
 
 void Tensor::Fill(float value) {
-  std::fill(storage_->begin(), storage_->end(), value);
+  std::fill(data(), data() + numel_, value);
 }
 
 void Tensor::CopyDataFrom(const Tensor& src) {
   UNITS_CHECK_EQ(numel_, src.numel_);
-  std::copy(src.storage_->begin(), src.storage_->end(), storage_->begin());
+  std::copy(src.data(), src.data() + numel_, data());
 }
 
 namespace {

@@ -23,8 +23,9 @@ std::string ShapeToString(const Shape& shape);
 
 bool SameShape(const Shape& a, const Shape& b);
 
-/// Process-wide counters over Tensor storage allocations (fresh buffers
-/// only — views and copies share storage and are not counted). Thread-safe.
+/// Process-wide counters over Tensor storage allocations (fresh non-empty
+/// buffers only — views and copies share storage, and zero-element tensors
+/// hold no payload, so neither is counted). Thread-safe.
 /// Tests use these to pin memory behavior of fused kernels, e.g. that
 /// eval-mode attention never allocates a [NH, T, T] probability buffer.
 struct TensorAllocStats {
@@ -41,6 +42,11 @@ void ResetTensorAllocStats();
 /// deep copy). Reshape returns an aliasing view with a new shape. This is
 /// the substrate for the autograd engine; it deliberately has no strides —
 /// ops that would need them (transpose, slice) materialize their output.
+///
+/// A tensor may view a contiguous sub-range of a larger buffer (ViewInto);
+/// the plan executor uses this to carve per-value views out of one arena
+/// allocation. Views are still dense and row-major — only the start offset
+/// differs — so every kernel works on them unchanged.
 class Tensor {
  public:
   /// An empty (rank-1, zero-length) tensor.
@@ -72,22 +78,26 @@ class Tensor {
   /// Evenly spaced values [start, start+step, ...), `count` of them.
   static Tensor Arange(int64_t count, float start = 0.0f, float step = 1.0f);
 
+  /// Aliasing view of `shape` floats starting `offset` floats into `base`'s
+  /// storage. Shares storage (no allocation is recorded); bounds-checked.
+  static Tensor ViewInto(const Tensor& base, int64_t offset, Shape shape);
+
   const Shape& shape() const { return shape_; }
   int64_t dim(int axis) const;
   int ndim() const { return static_cast<int>(shape_.size()); }
   int64_t numel() const { return numel_; }
 
-  float* data() { return storage_->data(); }
-  const float* data() const { return storage_->data(); }
+  float* data() { return storage_->data() + offset_; }
+  const float* data() const { return storage_->data() + offset_; }
 
   /// Element access by flat index (row-major).
   float& operator[](int64_t i) {
     UNITS_CHECK(i >= 0 && i < numel_);
-    return (*storage_)[static_cast<size_t>(i)];
+    return data()[i];
   }
   float operator[](int64_t i) const {
     UNITS_CHECK(i >= 0 && i < numel_);
-    return (*storage_)[static_cast<size_t>(i)];
+    return data()[i];
   }
 
   /// Element access by multi-index, e.g. t.At({n, c, t}).
@@ -111,6 +121,11 @@ class Tensor {
     return storage_ == other.storage_;
   }
 
+  /// Number of Tensor handles (and explicit holders) sharing this buffer.
+  /// The plan layer's recycling pool reuses a pooled buffer only when the
+  /// pool holds the sole reference (use count 1).
+  long StorageUseCount() const { return storage_.use_count(); }
+
   /// Pretty-print (truncated for large tensors).
   std::string ToString(int max_per_dim = 8) const;
 
@@ -120,6 +135,7 @@ class Tensor {
  private:
   Shape shape_;
   int64_t numel_ = 0;
+  int64_t offset_ = 0;  // start of this view within storage_, in floats
   std::shared_ptr<std::vector<float>> storage_;
 };
 

@@ -8,6 +8,7 @@
 #include "base/parallel.h"
 #include "base/profile.h"
 #include "tensor/gemm.h"
+#include "tensor/scalar_fns.h"
 
 namespace units::ops {
 
@@ -106,20 +107,20 @@ Tensor ReduceToShape(const Tensor& t, const Shape& target) {
   return out;
 }
 
-Tensor BinaryOp(const Tensor& a, const Tensor& b,
-                const std::function<float(float, float)>& fn) {
+void BinaryOpInto(const Tensor& a, const Tensor& b,
+                  const std::function<float(float, float)>& fn, Tensor* out) {
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    UNITS_CHECK(out->shape() == a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
-    float* po = out.data();
+    float* po = out->data();
     ParallelFor(0, a.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
         po[i] = fn(pa[i], pb[i]);
       }
     });
-    return out;
+    return;
   }
   // Fast path: b is a suffix of a's shape (e.g. bias add [N,K] + [K]).
   if (b.ndim() <= a.ndim()) {
@@ -132,12 +133,12 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b,
       }
     }
     if (suffix) {
-      Tensor out(a.shape());
+      UNITS_CHECK(out->shape() == a.shape());
       const int64_t inner = b.numel();
       const int64_t outer = a.numel() / inner;
       const float* pa = a.data();
       const float* pb = b.data();
-      float* po = out.data();
+      float* po = out->data();
       ParallelFor(0, outer, RowGrain(inner), [&](int64_t o0, int64_t o1) {
         for (int64_t o = o0; o < o1; ++o) {
           const int64_t base = o * inner;
@@ -146,18 +147,18 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b,
           }
         }
       });
-      return out;
+      return;
     }
   }
   // General broadcasting path.
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
+  UNITS_CHECK(out->shape() == out_shape);
   const auto sa = BroadcastStrides(a.shape(), out_shape);
   const auto sb = BroadcastStrides(b.shape(), out_shape);
   const float* pa = a.data();
   const float* pb = b.data();
-  float* po = out.data();
-  ParallelFor(0, out.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
+  float* po = out->data();
+  ParallelFor(0, out->numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
     // Reconstruct the multi-index at the chunk start, then increment.
     std::vector<int64_t> idx(out_shape.size(), 0);
     int64_t rem = lo;
@@ -182,73 +183,86 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b,
       }
     }
   });
+}
+
+Tensor BinaryOp(const Tensor& a, const Tensor& b,
+                const std::function<float(float, float)>& fn) {
+  Tensor out(BroadcastShapes(a.shape(), b.shape()));
+  BinaryOpInto(a, b, fn, &out);
   return out;
 }
 
-Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn) {
-  Tensor out(a.shape());
+void UnaryOpInto(const Tensor& a, const std::function<float(float)>& fn,
+                 Tensor* out) {
+  UNITS_CHECK_EQ(out->numel(), a.numel());
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   ParallelFor(0, a.numel(), kElementGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       po[i] = fn(pa[i]);
     }
   });
+}
+
+Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.shape());
+  UnaryOpInto(a, fn, &out);
   return out;
 }
 
+// Elementwise wrappers delegate to the shared scalar kernels in
+// tensor/scalar_fns.h — the plan executor's fused sweeps call the very same
+// inline functions, which is what keeps fused and unfused results bitwise
+// identical.
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+  return BinaryOp(a, b, [](float x, float y) { return scalar::Add(x, y); });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+  return BinaryOp(a, b, [](float x, float y) { return scalar::Sub(x, y); });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+  return BinaryOp(a, b, [](float x, float y) { return scalar::Mul(x, y); });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+  return BinaryOp(a, b, [](float x, float y) { return scalar::Div(x, y); });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return UnaryOp(a, [s](float x) { return scalar::AddScalar(x, s); });
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return UnaryOp(a, [s](float x) { return scalar::MulScalar(x, s); });
 }
 
 Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
+  return UnaryOp(a, [](float x) { return scalar::Neg(x); });
 }
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
+  return UnaryOp(a, [](float x) { return scalar::Exp(x); });
 }
 Tensor Log(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::log(x); });
+  return UnaryOp(a, [](float x) { return scalar::Log(x); });
 }
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+  return UnaryOp(a, [](float x) { return scalar::Sqrt(x); });
 }
 Tensor Abs(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::fabs(x); });
+  return UnaryOp(a, [](float x) { return scalar::Abs(x); });
 }
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
+  return UnaryOp(a, [](float x) { return scalar::Tanh(x); });
 }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return UnaryOp(a, [](float x) { return scalar::Sigmoid(x); });
 }
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return UnaryOp(a, [](float x) { return scalar::Relu(x); });
 }
 Tensor Gelu(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
-    const float kC = 0.7978845608f;  // sqrt(2/pi)
-    return 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
-  });
+  return UnaryOp(a, [](float x) { return scalar::Gelu(x); });
 }
 Tensor Square(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x * x; });
+  return UnaryOp(a, [](float x) { return scalar::Square(x); });
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   return UnaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
@@ -275,17 +289,23 @@ std::array<int64_t, 4> BatchedMatMulDims(const Tensor& a, const Tensor& b) {
 
 }  // namespace
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
   UNITS_PROFILE_SCOPE("tensor.MatMul");
   const auto [m, k, n] = MatMulDims(a, b);
-  Tensor out({m, n});
+  UNITS_CHECK(out->shape() == (Shape{m, n}));
   // Cache-blocked micro-kernel GEMM (tensor/gemm.{h,cc}), parallel over
   // row macro-tiles; UNITS_GEMM=naive falls back to the PR-1 loop.
   if (gemm::ActiveKernel() == gemm::Kernel::kNaive) {
-    gemm::NaiveGemm(m, k, n, a.data(), b.data(), out.data());
+    gemm::NaiveGemm(m, k, n, a.data(), b.data(), out->data());
   } else {
-    gemm::Gemm(m, k, n, a.data(), b.data(), out.data());
+    gemm::Gemm(m, k, n, a.data(), b.data(), out->data());
   }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const auto [m, k, n] = MatMulDims(a, b);
+  Tensor out({m, n});
+  MatMulInto(a, b, &out);
   return out;
 }
 
@@ -297,18 +317,24 @@ Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+void BatchedMatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
   UNITS_PROFILE_SCOPE("tensor.BatchedMatMul");
   const auto [batch, m, k, n] = BatchedMatMulDims(a, b);
-  Tensor out({batch, m, n});
+  UNITS_CHECK(out->shape() == (Shape{batch, m, n}));
   if (gemm::ActiveKernel() == gemm::Kernel::kNaive) {
     for (int64_t bi = 0; bi < batch; ++bi) {
       gemm::NaiveGemm(m, k, n, a.data() + bi * m * k, b.data() + bi * k * n,
-                      out.data() + bi * m * n);
+                      out->data() + bi * m * n);
     }
   } else {
-    gemm::BatchedGemm(batch, m, k, n, a.data(), b.data(), out.data());
+    gemm::BatchedGemm(batch, m, k, n, a.data(), b.data(), out->data());
   }
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  const auto [batch, m, k, n] = BatchedMatMulDims(a, b);
+  Tensor out({batch, m, n});
+  BatchedMatMulInto(a, b, &out);
   return out;
 }
 
@@ -323,14 +349,15 @@ Tensor NaiveBatchedMatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor Transpose(const Tensor& a, int axis0, int axis1) {
+void TransposeInto(const Tensor& a, int axis0, int axis1, Tensor* out_t) {
   UNITS_PROFILE_SCOPE("tensor.Transpose");
   axis0 = NormalizeAxis(axis0, a.ndim());
   axis1 = NormalizeAxis(axis1, a.ndim());
   Shape out_shape = a.shape();
   std::swap(out_shape[static_cast<size_t>(axis0)],
             out_shape[static_cast<size_t>(axis1)]);
-  Tensor out(out_shape);
+  UNITS_CHECK(out_t->shape() == out_shape);
+  Tensor& out = *out_t;
   const auto in_strides = StridesOf(a.shape());
   auto perm_strides = in_strides;
   std::swap(perm_strides[static_cast<size_t>(axis0)],
@@ -359,6 +386,14 @@ Tensor Transpose(const Tensor& a, int axis0, int axis1) {
       }
     }
   });
+}
+
+Tensor Transpose(const Tensor& a, int axis0, int axis1) {
+  Shape out_shape = a.shape();
+  std::swap(out_shape[static_cast<size_t>(NormalizeAxis(axis0, a.ndim()))],
+            out_shape[static_cast<size_t>(NormalizeAxis(axis1, a.ndim()))]);
+  Tensor out(out_shape);
+  TransposeInto(a, axis0, axis1, &out);
   return out;
 }
 
@@ -438,11 +473,13 @@ Shape DropOrKeepAxis(const Shape& shape, int axis, bool keepdim) {
 
 }  // namespace
 
-Tensor Sum(const Tensor& a, int axis, bool keepdim) {
+void SumInto(const Tensor& a, int axis, bool keepdim, Tensor* out_t) {
   UNITS_PROFILE_SCOPE("tensor.Sum");
   axis = NormalizeAxis(axis, a.ndim());
   const AxisSplit s = SplitAxis(a.shape(), axis);
-  Tensor out = Tensor::Zeros(DropOrKeepAxis(a.shape(), axis, keepdim));
+  UNITS_CHECK(out_t->shape() == DropOrKeepAxis(a.shape(), axis, keepdim));
+  Tensor& out = *out_t;
+  out.Fill(0.0f);  // accumulated below, exactly like the Zeros-backed path
   const float* pa = a.data();
   float* po = out.data();
   // Chunk over whichever of outer/inner has more slack; every output
@@ -475,6 +512,12 @@ Tensor Sum(const Tensor& a, int axis, bool keepdim) {
                   }
                 });
   }
+}
+
+Tensor Sum(const Tensor& a, int axis, bool keepdim) {
+  const int norm_axis = NormalizeAxis(axis, a.ndim());
+  Tensor out(DropOrKeepAxis(a.shape(), norm_axis, keepdim));
+  SumInto(a, axis, keepdim, &out);
   return out;
 }
 
@@ -484,11 +527,12 @@ Tensor Mean(const Tensor& a, int axis, bool keepdim) {
   return MulScalar(Sum(a, axis, keepdim), 1.0f / static_cast<float>(len));
 }
 
-Tensor Max(const Tensor& a, int axis, bool keepdim) {
+void MaxInto(const Tensor& a, int axis, bool keepdim, Tensor* out_t) {
   axis = NormalizeAxis(axis, a.ndim());
   const AxisSplit s = SplitAxis(a.shape(), axis);
-  Tensor out = Tensor::Full(DropOrKeepAxis(a.shape(), axis, keepdim),
-                            -std::numeric_limits<float>::infinity());
+  UNITS_CHECK(out_t->shape() == DropOrKeepAxis(a.shape(), axis, keepdim));
+  Tensor& out = *out_t;
+  out.Fill(-std::numeric_limits<float>::infinity());
   const float* pa = a.data();
   float* po = out.data();
   ParallelFor(0, s.outer, RowGrain(s.len * s.inner),
@@ -503,6 +547,12 @@ Tensor Max(const Tensor& a, int axis, bool keepdim) {
                   }
                 }
               });
+}
+
+Tensor Max(const Tensor& a, int axis, bool keepdim) {
+  const int norm_axis = NormalizeAxis(axis, a.ndim());
+  Tensor out(DropOrKeepAxis(a.shape(), norm_axis, keepdim));
+  MaxInto(a, axis, keepdim, &out);
   return out;
 }
 
@@ -585,11 +635,12 @@ void ForEachAxisRow(const AxisSplit& s, const RowFn& row_fn) {
 
 }  // namespace
 
-Tensor SoftmaxFused(const Tensor& a, int axis) {
+void SoftmaxInto(const Tensor& a, int axis, Tensor* out_t) {
   UNITS_PROFILE_SCOPE("tensor.Softmax");
   axis = NormalizeAxis(axis, a.ndim());
   const AxisSplit s = SplitAxis(a.shape(), axis);
-  Tensor out(a.shape());
+  UNITS_CHECK(out_t->shape() == a.shape());
+  Tensor& out = *out_t;
   const float* pa = a.data();
   float* po = out.data();
   ForEachAxisRow(s, [&](int64_t base, int64_t len, int64_t stride) {
@@ -608,14 +659,20 @@ Tensor SoftmaxFused(const Tensor& a, int axis) {
       po[base + x * stride] *= inv;
     }
   });
+}
+
+Tensor SoftmaxFused(const Tensor& a, int axis) {
+  Tensor out(a.shape());
+  SoftmaxInto(a, axis, &out);
   return out;
 }
 
-Tensor LogSoftmaxFused(const Tensor& a, int axis) {
+void LogSoftmaxInto(const Tensor& a, int axis, Tensor* out_t) {
   UNITS_PROFILE_SCOPE("tensor.LogSoftmax");
   axis = NormalizeAxis(axis, a.ndim());
   const AxisSplit s = SplitAxis(a.shape(), axis);
-  Tensor out(a.shape());
+  UNITS_CHECK(out_t->shape() == a.shape());
+  Tensor& out = *out_t;
   const float* pa = a.data();
   float* po = out.data();
   ForEachAxisRow(s, [&](int64_t base, int64_t len, int64_t stride) {
@@ -632,6 +689,11 @@ Tensor LogSoftmaxFused(const Tensor& a, int axis) {
       po[base + x * stride] = pa[base + x * stride] - m - logz;
     }
   });
+}
+
+Tensor LogSoftmaxFused(const Tensor& a, int axis) {
+  Tensor out(a.shape());
+  LogSoftmaxInto(a, axis, &out);
   return out;
 }
 
@@ -679,7 +741,7 @@ Tensor LogSoftmaxBackward(const Tensor& out_saved, const Tensor& g, int axis) {
   return out;
 }
 
-Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+void ConcatInto(const std::vector<Tensor>& parts, int axis, Tensor* out_t) {
   UNITS_CHECK(!parts.empty());
   const int ndim = parts[0].ndim();
   axis = NormalizeAxis(axis, ndim);
@@ -696,7 +758,8 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     total += p.dim(axis);
   }
   out_shape[static_cast<size_t>(axis)] = total;
-  Tensor out(out_shape);
+  UNITS_CHECK(out_t->shape() == out_shape);
+  Tensor& out = *out_t;
   const AxisSplit s = SplitAxis(out_shape, axis);
   float* po = out.data();
   int64_t axis_offset = 0;
@@ -712,17 +775,32 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     }
     axis_offset += plen;
   }
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  UNITS_CHECK(!parts.empty());
+  const int norm_axis = NormalizeAxis(axis, parts[0].ndim());
+  Shape out_shape = parts[0].shape();
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    total += p.dim(norm_axis);
+  }
+  out_shape[static_cast<size_t>(norm_axis)] = total;
+  Tensor out(out_shape);
+  ConcatInto(parts, axis, &out);
   return out;
 }
 
-Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
+void SliceInto(const Tensor& a, int axis, int64_t start, int64_t length,
+               Tensor* out_t) {
   axis = NormalizeAxis(axis, a.ndim());
   UNITS_CHECK_GE(start, 0);
   UNITS_CHECK_GE(length, 0);
   UNITS_CHECK_LE(start + length, a.dim(axis));
   Shape out_shape = a.shape();
   out_shape[static_cast<size_t>(axis)] = length;
-  Tensor out(out_shape);
+  UNITS_CHECK(out_t->shape() == out_shape);
+  Tensor& out = *out_t;
   const AxisSplit s = SplitAxis(a.shape(), axis);
   const float* pa = a.data();
   float* po = out.data();
@@ -733,6 +811,13 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
       std::copy(src, src + s.inner, dst);
     }
   }
+}
+
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(NormalizeAxis(axis, a.ndim()))] = length;
+  Tensor out(out_shape);
+  SliceInto(a, axis, start, length, &out);
   return out;
 }
 
@@ -789,8 +874,8 @@ Tensor Stack(const std::vector<Tensor>& parts) {
   return out;
 }
 
-Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
-                int64_t pad_left, int64_t pad_right) {
+void Im2Col1DInto(const Tensor& input, int64_t kernel, int64_t dilation,
+                  int64_t pad_left, int64_t pad_right, Tensor* cols_t) {
   UNITS_PROFILE_SCOPE("tensor.Im2Col1D");
   UNITS_CHECK_EQ(input.ndim(), 3);
   const int64_t n = input.dim(0);
@@ -798,7 +883,10 @@ Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
   const int64_t t = input.dim(2);
   const int64_t t_out = t + pad_left + pad_right - (kernel - 1) * dilation;
   UNITS_CHECK_GT(t_out, 0);
-  Tensor cols = Tensor::Zeros({c * kernel, n * t_out});
+  UNITS_CHECK(cols_t->shape() == (Shape{c * kernel, n * t_out}));
+  Tensor& cols = *cols_t;
+  // Every element of `cols` is written below (padding taps store 0.0f
+  // explicitly), so no pre-fill is needed.
   const float* pin = input.data();
   float* pc = cols.data();
   // Parallel over (channel, tap) rows of the column matrix; each row is
@@ -818,7 +906,47 @@ Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
       }
     }
   });
+}
+
+Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
+                int64_t pad_left, int64_t pad_right) {
+  UNITS_CHECK_EQ(input.ndim(), 3);
+  const int64_t t_out = input.dim(2) + pad_left + pad_right -
+                        (kernel - 1) * dilation;
+  Tensor cols({input.dim(1) * kernel, input.dim(0) * t_out});
+  Im2Col1DInto(input, kernel, dilation, pad_left, pad_right, &cols);
   return cols;
+}
+
+void ConvUnpackInto(const Tensor& out2, Tensor* out_t) {
+  UNITS_CHECK_EQ(out_t->ndim(), 3);
+  const int64_t n = out_t->dim(0);
+  const int64_t c_out = out_t->dim(1);
+  const int64_t t_out = out_t->dim(2);
+  UNITS_CHECK(out2.shape() == (Shape{c_out, n * t_out}));
+  Tensor& out = *out_t;
+  const float* p2 = out2.data();
+  float* po = out.data();
+  // Parallel over output channels; channels write disjoint [ni, co] rows.
+  // Every element is copied, so no pre-fill is needed.
+  ParallelFor(
+      0, c_out, std::max<int64_t>(1, 16384 / std::max<int64_t>(1, n * t_out)),
+      [&](int64_t co0, int64_t co1) {
+        for (int64_t co = co0; co < co1; ++co) {
+          for (int64_t ni = 0; ni < n; ++ni) {
+            const float* src = p2 + co * (n * t_out) + ni * t_out;
+            float* dst = po + (ni * c_out + co) * t_out;
+            std::copy(src, src + t_out, dst);
+          }
+        }
+      });
+}
+
+Tensor ConvUnpack(const Tensor& out2, int64_t n, int64_t c_out,
+                  int64_t t_out) {
+  Tensor out({n, c_out, t_out});
+  ConvUnpackInto(out2, &out);
+  return out;
 }
 
 Tensor Col2Im1D(const Tensor& cols, const Shape& input_shape, int64_t kernel,
@@ -946,16 +1074,21 @@ void TransposeSquare(const float* src, int64_t t, float* dst) {
 
 }  // namespace
 
-Tensor AttentionForwardStreaming(const Tensor& q, const Tensor& k,
-                                 const Tensor& v, float scale,
-                                 const Tensor& dropout_mask) {
+void AttentionForwardStreamingInto(const Tensor& q, const Tensor& k,
+                                   const Tensor& v, float scale,
+                                   const Tensor& dropout_mask, Tensor* kt_ws,
+                                   Tensor* out_t) {
   UNITS_PROFILE_SCOPE("tensor.AttentionForwardStreaming");
   const auto [batch, t, hd] = AttentionDims(q, k, v, dropout_mask);
-  Tensor out({batch, t, hd});
+  UNITS_CHECK(out_t->shape() == (Shape{batch, t, hd}));
+  Tensor& out = *out_t;
   // K transposed once to [B, hd, T] so each scores tile is a plain GEMM
   // against a shared B panel. Same footprint as the output — nothing here
-  // ever allocates the [B, T, T] probabilities.
-  const Tensor kt = Transpose(k, 1, 2);
+  // ever allocates the [B, T, T] probabilities. The caller provides the
+  // [B, hd, T] workspace (a plan arena slot, or a fresh tensor from the
+  // allocating wrapper below).
+  TransposeInto(k, 1, 2, kt_ws);
+  const Tensor& kt = *kt_ws;
   const int64_t nblocks = (t + kAttnRowBlock - 1) / kAttnRowBlock;
   const float* pq = q.data();
   const float* pkt = kt.data();
@@ -982,6 +1115,15 @@ Tensor AttentionForwardStreaming(const Tensor& q, const Tensor& k,
                               po + b * t * hd);
                 }
               });
+}
+
+Tensor AttentionForwardStreaming(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, float scale,
+                                 const Tensor& dropout_mask) {
+  const auto [batch, t, hd] = AttentionDims(q, k, v, dropout_mask);
+  Tensor out({batch, t, hd});
+  Tensor kt_ws({batch, hd, t});
+  AttentionForwardStreamingInto(q, k, v, scale, dropout_mask, &kt_ws, &out);
   return out;
 }
 

@@ -43,6 +43,42 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b,
 Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn);
 
 // ---------------------------------------------------------------------------
+// Into-variants
+//
+// Each *Into writes its result into a caller-provided tensor of exactly the
+// shape the allocating wrapper would have produced (checked). The wrapper is
+// `allocate + delegate`, so both paths run the identical kernel body — the
+// plan executor (src/plan/) uses the Into forms to run a captured graph out
+// of a preallocated arena with bitwise-identical results and zero
+// steady-state allocations.
+// ---------------------------------------------------------------------------
+
+void BinaryOpInto(const Tensor& a, const Tensor& b,
+                  const std::function<float(float, float)>& fn, Tensor* out);
+void UnaryOpInto(const Tensor& a, const std::function<float(float)>& fn,
+                 Tensor* out);
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void BatchedMatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void TransposeInto(const Tensor& a, int axis0, int axis1, Tensor* out);
+void SumInto(const Tensor& a, int axis, bool keepdim, Tensor* out);
+void MaxInto(const Tensor& a, int axis, bool keepdim, Tensor* out);
+void SoftmaxInto(const Tensor& a, int axis, Tensor* out);
+void LogSoftmaxInto(const Tensor& a, int axis, Tensor* out);
+void ConcatInto(const std::vector<Tensor>& parts, int axis, Tensor* out);
+void SliceInto(const Tensor& a, int axis, int64_t start, int64_t length,
+               Tensor* out);
+void Im2Col1DInto(const Tensor& input, int64_t kernel, int64_t dilation,
+                  int64_t pad_left, int64_t pad_right, Tensor* cols);
+
+/// Streaming attention into a caller buffer. `kt_ws` is a [B, hd, T]
+/// workspace for the transposed K panel (an arena slot in planned
+/// execution); `out` is [B, T, hd].
+void AttentionForwardStreamingInto(const Tensor& q, const Tensor& k,
+                                   const Tensor& v, float scale,
+                                   const Tensor& dropout_mask, Tensor* kt_ws,
+                                   Tensor* out);
+
+// ---------------------------------------------------------------------------
 // Elementwise unary ops
 // ---------------------------------------------------------------------------
 
@@ -204,6 +240,11 @@ Tensor Im2Col1D(const Tensor& input, int64_t kernel, int64_t dilation,
 /// Folds columns [C*k, N*T_out] back into [N, C, T] (adjoint of Im2Col1D).
 Tensor Col2Im1D(const Tensor& cols, const Shape& input_shape, int64_t kernel,
                 int64_t dilation, int64_t pad_left, int64_t pad_right);
+
+/// Rearranges the GEMM-packed conv output [Cout, N*Tout] into [N, Cout,
+/// Tout]. The Into form reads the dims from out's shape.
+Tensor ConvUnpack(const Tensor& out2, int64_t n, int64_t c_out, int64_t t_out);
+void ConvUnpackInto(const Tensor& out2, Tensor* out);
 
 // ---------------------------------------------------------------------------
 // Comparisons / misc

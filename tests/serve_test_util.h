@@ -6,6 +6,7 @@
 // result comparison, and a Linux thread counter for the bounded-threads
 // assertions.
 
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -21,6 +22,32 @@
 #include "tensor/tensor_ops.h"
 
 namespace units::serve {
+
+/// Scoped UNITS_PLAN override (nullptr = unset, i.e. the planned default);
+/// restores the previous value on destruction. Tests that assert behavior
+/// of one specific execution substrate pin it with this guard so they hold
+/// under the CI leg that exports UNITS_PLAN=dynamic for the whole suite.
+class PlanModeGuard {
+ public:
+  explicit PlanModeGuard(const char* mode) {
+    const char* prev = std::getenv("UNITS_PLAN");
+    if (prev != nullptr) {
+      saved_ = prev;
+    }
+    Apply(mode);
+  }
+  ~PlanModeGuard() { Apply(saved_.empty() ? nullptr : saved_.c_str()); }
+
+ private:
+  static void Apply(const char* mode) {
+    if (mode != nullptr) {
+      setenv("UNITS_PLAN", mode, 1);
+    } else {
+      unsetenv("UNITS_PLAN");
+    }
+  }
+  std::string saved_;
+};
 
 inline core::UnitsPipeline::Config TinyConfig(const std::string& task,
                                               uint64_t seed = 7) {

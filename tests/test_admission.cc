@@ -53,6 +53,52 @@ TEST(AdmissionControllerTest, AdmitsUpToCapacityThenSheds) {
   EXPECT_EQ(snapshot.timed_out, 0);
 }
 
+TEST(AdmissionControllerTest, PlanBytesCapShedsAndReleasesExactly) {
+  ServeStats stats;
+  AdmissionController::Options options;
+  options.max_queue = 100;  // slots are not the binding constraint here
+  options.max_plan_bytes_in_flight = 100;
+  AdmissionController admission(options, &stats);
+
+  EXPECT_TRUE(admission.TryAdmit(60).ok());
+  EXPECT_EQ(admission.plan_bytes_in_flight(), 60);
+
+  // 60 + 60 would exceed the cap while something is in flight: shed.
+  const Status shed = admission.TryAdmit(60);
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.message(), "overloaded");
+  EXPECT_EQ(admission.plan_bytes_in_flight(), 60);
+
+  // A request within the remaining budget still admits.
+  EXPECT_TRUE(admission.TryAdmit(40).ok());
+  EXPECT_EQ(admission.plan_bytes_in_flight(), 100);
+
+  // Release returns exactly the recorded cost.
+  admission.Release(60);
+  EXPECT_EQ(admission.plan_bytes_in_flight(), 40);
+  EXPECT_TRUE(admission.TryAdmit(60).ok());
+  admission.Release(40);
+  admission.Release(60);
+  EXPECT_EQ(admission.plan_bytes_in_flight(), 0);
+  EXPECT_EQ(admission.in_flight(), 0);
+
+  // Progress guarantee: a lone request larger than the whole cap is
+  // admitted when nothing else is in flight — it could never run
+  // otherwise.
+  EXPECT_TRUE(admission.TryAdmit(1000).ok());
+  EXPECT_EQ(admission.plan_bytes_in_flight(), 1000);
+  // ...but it does hold back everyone else until it resolves.
+  EXPECT_FALSE(admission.TryAdmit(1).ok());
+  admission.Release(1000);
+  EXPECT_EQ(admission.plan_bytes_in_flight(), 0);
+  EXPECT_TRUE(admission.TryAdmit(1).ok());
+
+  // Zero-cost requests (no plan captured yet) never hit the cap.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(admission.TryAdmit(0).ok());
+  }
+}
+
 TEST(AdmissionControllerTest, DeadlineFollowsTimeoutOption) {
   const auto now = std::chrono::steady_clock::now();
 

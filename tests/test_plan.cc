@@ -1,0 +1,581 @@
+// Captured eval-graph plans (src/plan/): differential tests of the planned
+// execution substrate against the dynamic autograd walk. The contract under
+// test is strict: a captured plan must be BITWISE identical to the dynamic
+// forward it replaced — on inputs other than the one it was traced on, at
+// any thread count — and steady-state planned Predicts must perform zero
+// tensor allocations.
+
+#include "plan/plan.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "base/parallel.h"
+#include "core/pipeline.h"
+#include "core/tasks/tasks.h"
+#include "data/synthetic.h"
+#include "data/window.h"
+#include "plan/graph.h"
+#include "tensor/tensor_ops.h"
+
+namespace units {
+namespace {
+
+namespace ag = ::units::autograd;
+using ag::Variable;
+using core::UnitsPipeline;
+
+/// Scoped UNITS_PLAN override (nullptr = unset, i.e. the planned default);
+/// restores the previous value on destruction so tests keep working under
+/// the CI leg that exports UNITS_PLAN=dynamic for the whole suite.
+class PlanModeGuard {
+ public:
+  explicit PlanModeGuard(const char* mode) {
+    const char* prev = std::getenv("UNITS_PLAN");
+    if (prev != nullptr) {
+      saved_ = prev;
+    }
+    Apply(mode);
+  }
+  ~PlanModeGuard() { Apply(saved_.empty() ? nullptr : saved_.c_str()); }
+
+ private:
+  static void Apply(const char* mode) {
+    if (mode != nullptr) {
+      setenv("UNITS_PLAN", mode, 1);
+    } else {
+      unsetenv("UNITS_PLAN");
+    }
+  }
+  std::string saved_;
+};
+
+void ExpectBitwise(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  if (a.numel() == 0) {
+    return;
+  }
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<size_t>(a.numel()) * sizeof(float)))
+      << what << ": planned and dynamic outputs are not bitwise identical";
+}
+
+std::vector<Tensor> RunDynamic(const plan::EvalPlan::EvalFn& fn,
+                               const Tensor& x) {
+  ag::NoGradGuard no_grad;
+  std::vector<Tensor> outs;
+  for (Variable& v : fn(Variable(x))) {
+    outs.push_back(v.data());
+  }
+  return outs;
+}
+
+std::vector<Tensor> RunPlanned(plan::EvalPlan* p, const Tensor& x) {
+  std::vector<Tensor> outs;
+  p->Run(x, [&](int i, const Tensor& t) {
+    (void)i;
+    outs.push_back(t.Clone());  // views die when the state is released
+  });
+  return outs;
+}
+
+Tensor RandomTensor(const Shape& shape, std::mt19937* gen) {
+  std::normal_distribution<float> dist(0.0f, 0.7f);
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = dist(*gen);
+  }
+  return t;
+}
+
+// --- fusion legality -------------------------------------------------------
+
+TEST(PlanFusionTest, BiasGeluChainFusesAndMatchesDynamic) {
+  std::mt19937 gen(7);
+  const Tensor bias = RandomTensor({3, 1}, &gen);  // broadcast over [N,3,T]
+  auto fn = [&](const Variable& xb) {
+    return std::vector<Variable>{ag::Gelu(ag::Add(xb, ag::Constant(bias)))};
+  };
+  const Tensor x1 = RandomTensor({2, 3, 5}, &gen);
+  const Tensor x2 = RandomTensor({2, 3, 5}, &gen);
+  std::string error;
+  auto plan = plan::EvalPlan::Capture(fn, x1, &error);
+  ASSERT_NE(plan, nullptr) << error;
+  // bias-add -> GELU collapses into one multi-step memory sweep.
+  EXPECT_GE(plan->num_multi_step_sweeps(), 1);
+  auto planned = RunPlanned(plan.get(), x2);
+  auto dynamic = RunDynamic(fn, x2);
+  ASSERT_EQ(planned.size(), dynamic.size());
+  ExpectBitwise(planned[0], dynamic[0], "bias+gelu");
+}
+
+TEST(PlanFusionTest, ResidualAddThenScaleTanhChains) {
+  std::mt19937 gen(11);
+  const Tensor res = RandomTensor({2, 4, 6}, &gen);
+  auto fn = [&](const Variable& xb) {
+    Variable y = ag::Add(xb, ag::Constant(res));       // residual add
+    Variable z = ag::Tanh(ag::MulScalar(y, 0.125f));   // scale -> tanh
+    return std::vector<Variable>{z};
+  };
+  const Tensor x1 = RandomTensor({2, 4, 6}, &gen);
+  const Tensor x2 = RandomTensor({2, 4, 6}, &gen);
+  std::string error;
+  auto plan = plan::EvalPlan::Capture(fn, x1, &error);
+  ASSERT_NE(plan, nullptr) << error;
+  // The whole add -> scale -> tanh chain collapses into one memory sweep.
+  EXPECT_GE(plan->num_multi_step_sweeps(), 1);
+  EXPECT_GE(plan->max_sweep_len(), 3);
+  ExpectBitwise(RunPlanned(plan.get(), x2)[0], RunDynamic(fn, x2)[0],
+                "residual+scale+tanh");
+}
+
+TEST(PlanFusionTest, BroadcastEdgeCaseTable) {
+  // Fused sweeps must honor right-aligned broadcasting exactly like the
+  // dynamic kernels: size-1 dims, scalar-ish consts, trailing dims.
+  const std::vector<Shape> const_shapes = {
+      {3, 1}, {1}, {1, 1}, {5}, {3, 5}, {2, 3, 5}, {1, 3, 1}};
+  std::mt19937 gen(13);
+  for (const Shape& cs : const_shapes) {
+    const Tensor c = RandomTensor(cs, &gen);
+    auto fn = [&](const Variable& xb) {
+      return std::vector<Variable>{
+          ag::Tanh(ag::Mul(ag::Add(xb, ag::Constant(c)), ag::Constant(c)))};
+    };
+    const Tensor x1 = RandomTensor({2, 3, 5}, &gen);
+    const Tensor x2 = RandomTensor({2, 3, 5}, &gen);
+    std::string error;
+    auto plan = plan::EvalPlan::Capture(fn, x1, &error);
+    ASSERT_NE(plan, nullptr) << "const shape " << ShapeToString(cs) << ": "
+                             << error;
+    ExpectBitwise(RunPlanned(plan.get(), x2)[0], RunDynamic(fn, x2)[0],
+                  "broadcast const " + ShapeToString(cs));
+  }
+}
+
+TEST(PlanFusionTest, EmptyTensorsExecute) {
+  std::mt19937 gen(17);
+  auto fn = [&](const Variable& xb) {
+    return std::vector<Variable>{ag::Gelu(ag::MulScalar(xb, 2.0f))};
+  };
+  const Tensor x(Shape{0, 3, 4});
+  std::string error;
+  auto plan = plan::EvalPlan::Capture(fn, x, &error);
+  ASSERT_NE(plan, nullptr) << error;
+  auto outs = RunPlanned(plan.get(), x);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].shape(), (Shape{0, 3, 4}));
+}
+
+TEST(PlanFusionTest, ProducerWithTwoConsumersIsNotAbsorbed) {
+  // y feeds both branches; fusing it into either would recompute or
+  // reorder work. Legality requires it to stay a standalone value, and
+  // the outputs must still match the dynamic walk bitwise.
+  std::mt19937 gen(19);
+  auto fn = [&](const Variable& xb) {
+    Variable y = ag::Gelu(xb);
+    return std::vector<Variable>{ag::Add(ag::Tanh(y), ag::Sigmoid(y))};
+  };
+  const Tensor x1 = RandomTensor({3, 4}, &gen);
+  const Tensor x2 = RandomTensor({3, 4}, &gen);
+  std::string error;
+  auto plan = plan::EvalPlan::Capture(fn, x1, &error);
+  ASSERT_NE(plan, nullptr) << error;
+  ExpectBitwise(RunPlanned(plan.get(), x2)[0], RunDynamic(fn, x2)[0],
+                "diamond");
+}
+
+// --- memory planner --------------------------------------------------------
+
+TEST(PlanMemoryTest, ChainReusesBuffersInsteadOfAccumulating) {
+  // Eight serial softmaxes cannot fuse; liveness lets them ping-pong
+  // between two arena slots, so the arena stays O(1) in chain length.
+  auto fn = [](const Variable& xb) {
+    Variable y = xb;
+    for (int i = 0; i < 8; ++i) {
+      y = ag::Softmax(y, /*axis=*/1);
+    }
+    return std::vector<Variable>{y};
+  };
+  std::mt19937 gen(23);
+  const Tensor x1 = RandomTensor({4, 16}, &gen);
+  std::string error;
+  auto plan = plan::EvalPlan::Capture(fn, x1, &error);
+  ASSERT_NE(plan, nullptr) << error;
+  const int64_t one_buffer =
+      x1.numel() * static_cast<int64_t>(sizeof(float));
+  EXPECT_LE(plan->arena_bytes(), 3 * one_buffer);
+  EXPECT_GT(plan->arena_bytes(), 0);
+  const Tensor x2 = RandomTensor({4, 16}, &gen);
+  ExpectBitwise(RunPlanned(plan.get(), x2)[0], RunDynamic(fn, x2)[0],
+                "softmax chain");
+}
+
+TEST(PlanCaptureTest, UntracedOpPoisonsTheCapture) {
+  // GatherRows has no trace hook; consuming its result must abandon the
+  // capture with an error instead of silently baking in a constant.
+  auto fn = [](const Variable& xb) {
+    Variable picked = ag::GatherRows(xb, {0, 0});
+    return std::vector<Variable>{ag::Tanh(picked)};
+  };
+  std::mt19937 gen(29);
+  const Tensor x = RandomTensor({3, 4}, &gen);
+  std::string error;
+  auto plan = plan::EvalPlan::Capture(fn, x, &error);
+  EXPECT_EQ(plan, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// --- 200-case seeded differential fuzz -------------------------------------
+
+/// One randomly generated eval program: a spec of ops interpreted the same
+/// way on every invocation (capture, replay, dynamic reference).
+struct FuzzProgram {
+  struct Step {
+    int op = 0;
+    int a = 0;  // pool operand
+    int b = 0;  // second pool operand (same shape as a)
+    float scalar = 0.0f;
+    int const_idx = -1;
+  };
+  std::vector<Step> steps;
+  std::vector<Tensor> consts;
+  Shape input_shape;
+  size_t second_output = 0;
+
+  std::vector<Variable> operator()(const Variable& xb) const {
+    std::vector<Variable> pool{xb};
+    for (const Step& s : steps) {
+      const Variable& a = pool[static_cast<size_t>(s.a)];
+      switch (s.op) {
+        case 0:
+          pool.push_back(ag::Relu(a));
+          break;
+        case 1:
+          pool.push_back(ag::Gelu(a));
+          break;
+        case 2:
+          pool.push_back(ag::Tanh(a));
+          break;
+        case 3:
+          pool.push_back(ag::Sigmoid(a));
+          break;
+        case 4:
+          pool.push_back(ag::Square(a));
+          break;
+        case 5:
+          pool.push_back(ag::Abs(a));
+          break;
+        case 6:
+          pool.push_back(ag::AddScalar(a, s.scalar));
+          break;
+        case 7:
+          pool.push_back(ag::MulScalar(a, s.scalar));
+          break;
+        case 8:
+          pool.push_back(ag::LeakyRelu(a, 0.0625f));
+          break;
+        case 9:
+          pool.push_back(ag::Add(a, pool[static_cast<size_t>(s.b)]));
+          break;
+        case 10:
+          pool.push_back(ag::Sub(a, pool[static_cast<size_t>(s.b)]));
+          break;
+        case 11:
+          pool.push_back(ag::Mul(a, pool[static_cast<size_t>(s.b)]));
+          break;
+        case 12: {
+          // Safe division: |denominator| + 1 keeps it away from zero.
+          Variable denom = ag::AddScalar(
+              ag::Abs(pool[static_cast<size_t>(s.b)]), 1.0f);
+          pool.push_back(ag::Div(a, denom));
+          break;
+        }
+        case 13:
+          pool.push_back(
+              ag::Add(a, ag::Constant(consts[static_cast<size_t>(
+                             s.const_idx)])));
+          break;
+        case 14:
+          pool.push_back(ag::Softmax(a, /*axis=*/2));
+          break;
+        case 15:
+          pool.push_back(ag::Exp(ag::Tanh(a)));  // bounded exponent
+          break;
+        case 16:
+          pool.push_back(ag::Sqrt(ag::AddScalar(ag::Abs(a), 0.5f)));
+          break;
+        default:
+          pool.push_back(ag::Neg(a));
+          break;
+      }
+    }
+    return {pool.back(), pool[second_output]};
+  }
+};
+
+FuzzProgram MakeFuzzProgram(uint64_t seed) {
+  std::mt19937 gen(static_cast<uint32_t>(seed));
+  FuzzProgram prog;
+  std::uniform_int_distribution<int64_t> bdist(1, 3), cdist(1, 4), tdist(2, 6);
+  prog.input_shape = {bdist(gen), cdist(gen), tdist(gen)};
+  std::uniform_int_distribution<int> ndist(3, 9), opdist(0, 17);
+  std::uniform_real_distribution<float> sdist(-1.5f, 1.5f);
+  const int num_steps = ndist(gen);
+  // Shapes tracked during generation so binary operands always match.
+  std::vector<Shape> shapes{prog.input_shape};
+  for (int i = 0; i < num_steps; ++i) {
+    FuzzProgram::Step step;
+    step.op = opdist(gen);
+    step.a = std::uniform_int_distribution<int>(
+        0, static_cast<int>(shapes.size()) - 1)(gen);
+    step.scalar = sdist(gen);
+    const Shape& sa = shapes[static_cast<size_t>(step.a)];
+    if (step.op >= 9 && step.op <= 12) {
+      // Pick a same-shaped partner or degrade to a unary op.
+      std::vector<int> candidates;
+      for (size_t j = 0; j < shapes.size(); ++j) {
+        if (shapes[j] == sa) {
+          candidates.push_back(static_cast<int>(j));
+        }
+      }
+      step.b = candidates[std::uniform_int_distribution<size_t>(
+          0, candidates.size() - 1)(gen)];
+    } else if (step.op == 13) {
+      // Broadcast constant over the trailing dims of sa.
+      std::mt19937 cgen(static_cast<uint32_t>(seed * 31 + i));
+      Shape cs;
+      switch (std::uniform_int_distribution<int>(0, 2)(gen)) {
+        case 0:
+          cs = {sa.back()};
+          break;
+        case 1:
+          cs = {sa[sa.size() - 2], 1};
+          break;
+        default:
+          cs = sa;
+          break;
+      }
+      step.const_idx = static_cast<int>(prog.consts.size());
+      prog.consts.push_back(RandomTensor(cs, &cgen));
+    }
+    shapes.push_back(sa);  // every op in the table preserves shape
+    prog.steps.push_back(step);
+  }
+  prog.second_output = shapes.size() / 2;
+  return prog;
+}
+
+TEST(PlanFuzzTest, TwoHundredRandomProgramsMatchDynamicBitwise) {
+  base::SetNumThreads(1);
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const FuzzProgram prog = MakeFuzzProgram(seed);
+    std::mt19937 gen(static_cast<uint32_t>(seed + 9000));
+    const Tensor x1 = RandomTensor(prog.input_shape, &gen);
+    const Tensor x2 = RandomTensor(prog.input_shape, &gen);
+    auto fn = [&prog](const Variable& xb) { return prog(xb); };
+    std::string error;
+    auto plan = plan::EvalPlan::Capture(fn, x1, &error);
+    ASSERT_NE(plan, nullptr) << "seed " << seed << ": " << error;
+    auto planned = RunPlanned(plan.get(), x2);
+    auto dynamic = RunDynamic(fn, x2);
+    ASSERT_EQ(planned.size(), dynamic.size()) << "seed " << seed;
+    for (size_t i = 0; i < planned.size(); ++i) {
+      ExpectBitwise(planned[i], dynamic[i],
+                    "fuzz seed " + std::to_string(seed) + " output " +
+                        std::to_string(i));
+    }
+    if (seed % 10 == 0) {
+      // Thread-count invariance: the same plan at 8 threads.
+      base::SetNumThreads(8);
+      auto planned8 = RunPlanned(plan.get(), x2);
+      base::SetNumThreads(1);
+      for (size_t i = 0; i < planned.size(); ++i) {
+        ExpectBitwise(planned8[i], planned[i],
+                      "fuzz seed " + std::to_string(seed) + " @8 threads");
+      }
+    }
+  }
+}
+
+// --- pipeline-level differential matrix ------------------------------------
+
+UnitsPipeline::Config TinyConfig(const std::string& task) {
+  UnitsPipeline::Config cfg;
+  cfg.templates = {"whole_series_contrastive"};
+  cfg.task = task;
+  cfg.mode = core::ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("epochs", 1);
+  cfg.pretrain_params.SetInt("batch_size", 8);
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 12);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  cfg.finetune_params.SetInt("epochs", 2);
+  cfg.finetune_params.SetInt("batch_size", 8);
+  cfg.seed = 7;
+  return cfg;
+}
+
+data::TimeSeriesDataset ClassData() {
+  data::ClassificationOpts opts;
+  opts.num_samples = 24;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.noise = 0.2f;
+  opts.seed = 5;
+  return data::MakeClassificationDataset(opts);
+}
+
+data::TimeSeriesDataset ForecastData() {
+  data::ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.seed = 3;
+  return data::MakeForecastDataset(opts, 32, 8, 8);
+}
+
+data::TimeSeriesDataset AnomalyData() {
+  data::AnomalyOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 600;
+  opts.seed = 11;
+  Tensor clean = data::MakeCleanSeries(opts);
+  return data::TimeSeriesDataset(data::SlidingWindows(clean, 32, 16));
+}
+
+void ExpectSameResult(const core::TaskResult& a, const core::TaskResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.labels, b.labels) << what;
+  ExpectBitwise(a.predictions, b.predictions, what + " predictions");
+  ExpectBitwise(a.scores, b.scores, what + " scores");
+}
+
+/// Fits a tiny pipeline for `task`, flips it to serving steady state, and
+/// checks planned Predict == dynamic Predict bitwise at several batch
+/// sizes and thread counts.
+void CheckTaskPlannedVsDynamic(const std::string& task,
+                               const data::TimeSeriesDataset& train) {
+  PlanModeGuard planned(nullptr);  // this test IS about the planned path
+  auto cfg = TinyConfig(task);
+  if (task == "clustering") {
+    cfg.finetune_params.SetInt("num_clusters", 2);
+    cfg.finetune_params.SetInt("cluster_finetune_epochs", 1);
+  }
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  ASSERT_TRUE((*pipeline)->EnsureReadyForServing().ok());
+
+  for (const int64_t batch : {int64_t{1}, int64_t{4}, int64_t{16}}) {
+    const Tensor x = ops::Slice(train.values(), 0, 0, batch);
+    for (const int threads : {1, 8}) {
+      base::SetNumThreads(threads);
+      Result<core::TaskResult> planned = (*pipeline)->Predict(x);
+      ASSERT_TRUE(planned.ok()) << task;
+      Result<core::TaskResult> dynamic = [&] {
+        PlanModeGuard dyn("dynamic");
+        return (*pipeline)->Predict(x);
+      }();
+      ASSERT_TRUE(dynamic.ok()) << task;
+      ExpectSameResult(*planned, *dynamic,
+                       task + " batch " + std::to_string(batch) + " threads " +
+                           std::to_string(threads));
+    }
+  }
+  base::SetNumThreads(1);
+  // The matrix above must actually have exercised captured plans.
+  const plan::PlanCacheStats stats = (*pipeline)->GetPlanCacheStats();
+  EXPECT_GE(stats.plans, 1) << task;
+  EXPECT_GT(stats.planned_chunks, 0) << task;
+  EXPECT_GT(stats.dynamic_chunks, 0) << task;
+}
+
+TEST(PlanPipelineTest, ClassificationPlannedVsDynamic) {
+  CheckTaskPlannedVsDynamic("classification", ClassData());
+}
+
+TEST(PlanPipelineTest, ClusteringPlannedVsDynamic) {
+  CheckTaskPlannedVsDynamic("clustering", ClassData());
+}
+
+TEST(PlanPipelineTest, ForecastingPlannedVsDynamic) {
+  CheckTaskPlannedVsDynamic("forecasting", ForecastData());
+}
+
+TEST(PlanPipelineTest, AnomalyPlannedVsDynamic) {
+  CheckTaskPlannedVsDynamic("anomaly_detection", AnomalyData());
+}
+
+TEST(PlanPipelineTest, ImputationPlannedVsDynamic) {
+  CheckTaskPlannedVsDynamic("imputation", ForecastData());
+}
+
+TEST(PlanPipelineTest, VerifyModeRunsCleanOnAllTasks) {
+  // UNITS_PLAN=verify executes both substrates per chunk and aborts on
+  // any bitwise mismatch; surviving a Predict is the assertion.
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE(pipeline.ok());
+  auto train = ClassData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  ASSERT_TRUE((*pipeline)->EnsureReadyForServing().ok());
+  PlanModeGuard verify("verify");
+  ASSERT_TRUE((*pipeline)->Predict(train.values()).ok());
+}
+
+TEST(PlanPipelineTest, TrainingInvalidatesThePlanCache) {
+  PlanModeGuard planned(nullptr);
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE(pipeline.ok());
+  auto train = ClassData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  ASSERT_TRUE((*pipeline)->EnsureReadyForServing().ok());
+  const Tensor x = ops::Slice(train.values(), 0, 0, 4);
+  ASSERT_TRUE((*pipeline)->Predict(x).ok());
+  EXPECT_GE((*pipeline)->GetPlanCacheStats().plans, 1);
+  // Weights may change under a captured constant: plans must die.
+  (*pipeline)->SetTraining(true);
+  EXPECT_EQ((*pipeline)->GetPlanCacheStats().plans, 0);
+  // And Predict still works (dynamically) until re-armed for serving.
+  ASSERT_TRUE((*pipeline)->Predict(x).ok());
+  ASSERT_TRUE((*pipeline)->EnsureReadyForServing().ok());
+  ASSERT_TRUE((*pipeline)->Predict(x).ok());
+  EXPECT_GE((*pipeline)->GetPlanCacheStats().plans, 1);
+}
+
+// --- steady-state allocation behavior --------------------------------------
+
+TEST(PlanAllocTest, SteadyStatePredictAllocatesNothing) {
+  PlanModeGuard planned(nullptr);
+  base::SetNumThreads(1);
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE(pipeline.ok());
+  auto train = ClassData();
+  ASSERT_TRUE((*pipeline)->FineTune(train).ok());
+  ASSERT_TRUE((*pipeline)->EnsureReadyForServing().ok());
+  const Tensor x = ops::Slice(train.values(), 0, 0, 16);
+
+  // Warm up: captures the plan, fills the exec-state and result pools.
+  for (int i = 0; i < 3; ++i) {
+    auto r = (*pipeline)->Predict(x);
+    ASSERT_TRUE(r.ok());
+  }  // results dropped here, so the pool holds the sole references again
+
+  ResetTensorAllocStats();
+  auto r = (*pipeline)->Predict(x);
+  ASSERT_TRUE(r.ok());
+  const TensorAllocStats stats = GetTensorAllocStats();
+  EXPECT_EQ(stats.allocations, 0)
+      << "steady-state planned Predict allocated " << stats.allocations
+      << " fresh tensor buffers (" << stats.total_floats << " floats)";
+  // Sanity: the answer is still right (labels populated, finite probs).
+  EXPECT_EQ(r->labels.size(), 16u);
+  EXPECT_FALSE(ops::HasNonFinite(r->predictions));
+}
+
+}  // namespace
+}  // namespace units

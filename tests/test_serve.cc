@@ -552,5 +552,108 @@ TEST(JsonLineServerFuzzTest, MalformedCorpusGetsStructuredErrors) {
   EXPECT_EQ(count, kCases) << "every malformed line needs exactly one reply";
 }
 
+/// Batched and sequential Predicts stay bitwise identical when the model
+/// serves from captured plans (ModelRegistry arms planning on load), and
+/// the model reports its plan-arena footprint once a plan is resident.
+TEST(MicroBatcherTest, PlannedServingMatchesSequentialAndReportsArena) {
+  ThreadCountGuard guard;
+  PlanModeGuard planned(nullptr);  // asserts captured-plan serving
+  base::SetNumThreads(1);
+  FittedModel fitted = MakeFitted("classification");
+  const Tensor data = fitted.data;
+  const int64_t n = data.dim(0);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("m", std::move(fitted.pipeline)).ok());
+  auto handle = registry.Get("m");
+  ASSERT_TRUE(handle.ok());
+  // Cold: no plan captured yet, so the reported arena is zero.
+  EXPECT_EQ((*handle)->plan_arena_bytes(), 0);
+
+  // Direct sequential single-row reference — this also warms the [1, D, T]
+  // plan, after which the arena footprint must be visible.
+  std::vector<core::TaskResult> reference;
+  for (int64_t i = 0; i < n; ++i) {
+    auto r = (*handle)->Predict(ops::Slice(data, 0, i, 1));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    reference.push_back(std::move(*r));
+  }
+  EXPECT_GT((*handle)->plan_arena_bytes(), 0);
+
+  MicroBatcher::Options options;
+  options.max_batch_size = 4;
+  options.max_delay_ms = 5.0;
+  MicroBatcher batcher(&registry, options);
+  std::vector<std::future<Result<core::TaskResult>>> futures;
+  for (int64_t i = 0; i < n; ++i) {
+    futures.push_back(batcher.Submit("m", ops::Slice(data, 0, i, 1)));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    Result<core::TaskResult> r = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectBitwiseEqual(*r, reference[static_cast<size_t>(i)],
+                       "planned row " + std::to_string(i));
+  }
+  // The traffic above was actually served by captured plans.
+  const plan::PlanCacheStats stats = (*handle)->pipeline()->GetPlanCacheStats();
+  EXPECT_GE(stats.plans, 1);
+  EXPECT_GT(stats.planned_chunks, 0);
+  EXPECT_EQ((*handle)->plan_arena_bytes(), stats.arena_bytes_max);
+}
+
+/// The "stats" op reports the per-model plan cache (arena bytes, chunk
+/// counters) and the admission controller's plan-memory gauge.
+TEST(JsonLineServerTest, StatsReportPlanArenaAndAdmissionGauge) {
+  PlanModeGuard planned(nullptr);  // asserts captured-plan serving
+  FittedModel fitted = MakeFitted("classification");
+  const Tensor row = ops::Slice(fitted.data, 0, 0, 1);  // [1, D, T]
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("m", std::move(fitted.pipeline)).ok());
+
+  std::ostringstream values;
+  values << "[";
+  for (int64_t d = 0; d < row.dim(1); ++d) {
+    values << (d == 0 ? "[" : ", [");
+    for (int64_t t = 0; t < row.dim(2); ++t) {
+      values << (t == 0 ? "" : ", ") << row.At({0, d, t});
+    }
+    values << "]";
+  }
+  values << "]";
+  std::ostringstream input;
+  input << "{\"op\": \"predict\", \"model\": \"m\", \"values\": "
+        << values.str() << ", \"id\": 1}\n"
+        << "{\"op\": \"stats\"}\n";
+
+  JsonLineServer::Options options;
+  options.batcher.max_delay_ms = 0.0;
+  options.admission.max_plan_bytes_in_flight = int64_t{1} << 30;
+  JsonLineServer server(&registry, options);
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.Run(in, out), 0);
+
+  std::istringstream responses(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(responses, line));  // predict reply
+  auto predict = json::Parse(line);
+  ASSERT_TRUE(predict.ok() && predict->at("ok").AsBool()) << line;
+  ASSERT_TRUE(std::getline(responses, line));  // stats reply (barrier)
+  auto stats = json::Parse(line);
+  ASSERT_TRUE(stats.ok() && stats->at("ok").AsBool()) << line;
+
+  const json::JsonValue& plan = stats->at("plan");
+  const json::JsonValue& m = plan.at("models").at("m");
+  // The predict above warmed the [1, D, T] plan.
+  EXPECT_GE(m.at("plans").AsInt(), 1) << line;
+  EXPECT_GT(m.at("plan_arena_bytes").AsInt(), 0) << line;
+  EXPECT_GE(m.at("planned_chunks").AsInt(), 1) << line;
+  // The stats barrier runs after the predict resolved, so its plan-memory
+  // charge has been released again.
+  EXPECT_EQ(plan.at("bytes_in_flight").AsInt(), 0) << line;
+  EXPECT_EQ(plan.at("max_bytes_in_flight").AsInt(), int64_t{1} << 30)
+      << line;
+}
+
 }  // namespace
 }  // namespace units::serve

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iomanip>
 #include <map>
 #include <optional>
@@ -315,6 +316,83 @@ TEST(StreamProtocolTest, OpenFeedCloseOverStdinTransport) {
   EXPECT_EQ(streams.at("active").AsInt(), 0);
   EXPECT_EQ(streams.at("windows").AsInt(), 3);
   EXPECT_EQ(streams.at("points").AsInt(), 96);  // failed feed counts nothing
+}
+
+/// Runs one stream session over the stdin transport, feeding `series` in
+/// the given chunk lengths, and returns the serialized window objects in
+/// index order. `plan_mode` is the UNITS_PLAN value for the whole session
+/// (nullptr = default, i.e. captured plans).
+std::vector<std::string> StreamWindows(ModelRegistry* registry,
+                                       const std::string& model,
+                                       const Tensor& series,
+                                       const std::vector<int64_t>& chunks,
+                                       const char* plan_mode) {
+  PlanModeGuard scoped_mode(plan_mode);
+  std::ostringstream input;
+  input << "{\"op\": \"stream_open\", \"model\": \"" << model
+        << "\", \"window\": 32}\n";
+  int64_t offset = 0;
+  for (const int64_t len : chunks) {
+    input << FeedLine(0, series, offset, len) << "\n";
+    offset += len;
+  }
+  input << "{\"op\": \"stream_close\", \"stream\": 0}\n";
+  input << "{\"op\": \"quit\"}\n";
+
+  std::vector<std::string> windows;
+  {
+    JsonLineServer::Options options;
+    options.batcher.max_delay_ms = 0.0;
+    JsonLineServer server(registry, options);
+    std::istringstream in(input.str());
+    std::ostringstream out;
+    EXPECT_EQ(server.Run(in, out), 0);
+
+    std::istringstream responses(out.str());
+    std::string line;
+    while (std::getline(responses, line)) {
+      auto parsed = json::Parse(line);
+      EXPECT_TRUE(parsed.ok()) << line;
+      if (!parsed.ok() || !parsed->Contains("windows") ||
+          !parsed->at("windows").is_array()) {
+        continue;  // open/close/quit replies
+      }
+      for (size_t i = 0; i < parsed->at("windows").size(); ++i) {
+        windows.push_back(parsed->at("windows")[i].Dump());
+      }
+    }
+  }  // server (and its batcher threads) gone before the env resets
+  return windows;
+}
+
+/// Stream replies are invariant to both feed chunking and the execution
+/// substrate: captured plans on vs UNITS_PLAN=dynamic yield bitwise
+/// identical window payloads, whatever chunk sizes the client picked.
+TEST(StreamProtocolTest, WindowsInvariantToChunkingAndPlanMode) {
+  ResidentModel model{MakeFitted("classification"), "cls"};
+  ModelRegistry registry;
+  LoadResident(&registry, &model);
+
+  data::DriftingStreamOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 128;
+  const Tensor series = data::MakeDriftingStream(opts).series;
+
+  const std::vector<int64_t> even = {32, 32, 32, 32};
+  const std::vector<int64_t> ragged = {7, 41, 3, 29, 48};
+  const auto planned_even =
+      StreamWindows(&registry, "cls", series, even, nullptr);
+  const auto planned_ragged =
+      StreamWindows(&registry, "cls", series, ragged, nullptr);
+  const auto dynamic_even =
+      StreamWindows(&registry, "cls", series, even, "dynamic");
+  const auto dynamic_ragged =
+      StreamWindows(&registry, "cls", series, ragged, "dynamic");
+
+  ASSERT_EQ(planned_even.size(), 4u);
+  ASSERT_EQ(planned_ragged, planned_even);  // chunking-invariant
+  ASSERT_EQ(dynamic_even, planned_even);    // plan-substrate-invariant
+  ASSERT_EQ(dynamic_ragged, planned_even);  // both at once
 }
 
 TEST(StreamProtocolTest, OpenValidationErrors) {
