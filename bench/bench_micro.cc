@@ -9,7 +9,11 @@
 //  2. a fused-vs-composed attention sweep (ag::ScaledDotAttention against
 //     the scores -> softmax -> context chain) over growing sequence
 //     lengths, eval forward and training forward+backward;
-//  3. a serial-vs-parallel scaling pass over the thread-pool hot paths,
+//  3. a multi-encoder pre-training backward sweep (encoders x threads)
+//     pitting the serial reverse-topological sweep against the
+//     dependency-counted parallel engine (UNITS_BACKWARD), with bitwise
+//     gradient comparison against the serial oracle;
+//  4. a serial-vs-parallel scaling pass over the thread-pool hot paths,
 //     checking outputs stay bitwise identical across thread counts.
 // All write into a machine-readable BENCH_tensor.json (schema v2). The
 // fresh numbers are then diffed against the committed baseline (env
@@ -552,6 +556,119 @@ json::JsonValue RunPlanSweep() {
   return results;
 }
 
+// --- multi-encoder backward sweep ------------------------------------------
+
+/// Times reverse-mode sweeps of a multi-encoder pre-training graph (the
+/// UniTS shape: M independent TCN encoder branches over one batch, fused by
+/// concat, reduced to a scalar loss) under the serial sweep vs the
+/// dependency-counted ready-queue engine, across thread counts. Gradients
+/// from the parallel engine are checked bitwise against the serial oracle.
+/// Speedups reflect the host: on a single-core container both engines
+/// degenerate to one worker and the ratio sits near 1x — re-measure on
+/// multi-core hardware, where independent branches back-propagate
+/// concurrently.
+json::JsonValue RunBackwardSweep() {
+  json::JsonValue results = json::JsonValue::Array();
+  for (const int num_encoders : {2, 4}) {
+    Rng xrng(600);
+    Tensor x = Tensor::RandNormal({16, 3, 96}, &xrng);
+    std::vector<std::shared_ptr<nn::TcnEncoder>> encoders;
+    std::vector<ag::Variable> params;
+    for (int m = 0; m < num_encoders; ++m) {
+      Rng rng(601 + static_cast<uint64_t>(m));
+      nn::TcnConfig config;
+      config.input_channels = 3;
+      config.hidden_channels = 24;
+      config.repr_channels = 48;
+      config.num_blocks = 3;
+      auto enc = std::make_shared<nn::TcnEncoder>(config, &rng);
+      enc->SetTraining(true);
+      for (ag::Variable& p : enc->Parameters()) {
+        params.push_back(p);
+      }
+      encoders.push_back(std::move(enc));
+    }
+
+    const auto forward = [&] {
+      ag::Variable xv(x);
+      std::vector<ag::Variable> reprs;
+      reprs.reserve(encoders.size());
+      for (const auto& enc : encoders) {
+        reprs.push_back(ag::MeanPoolOverTime(enc->Forward(xv)));
+      }
+      return ag::MeanAll(ag::Square(ag::Concat(reprs, 1)));
+    };
+
+    // Fresh graph per repetition so every timed Backward() does identical
+    // work; only the sweep itself is inside the timer.
+    const auto time_backward_ms = [&](const char* mode, int threads) {
+      setenv("UNITS_BACKWARD", mode, /*overwrite=*/1);
+      base::SetNumThreads(threads);
+      double best = 1e300;
+      for (int rep = 0; rep < 4; ++rep) {  // rep 0 warms up
+        ag::Variable loss = forward();
+        const auto t0 = std::chrono::steady_clock::now();
+        loss.Backward();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep > 0) {
+          best = std::min(best, ms);
+        }
+      }
+      return best;
+    };
+
+    const auto grads_once = [&](const char* mode, int threads) {
+      setenv("UNITS_BACKWARD", mode, /*overwrite=*/1);
+      base::SetNumThreads(threads);
+      for (ag::Variable& p : params) {
+        p.ZeroGrad();
+      }
+      forward().Backward();
+      std::vector<float> flat;
+      for (const ag::Variable& p : params) {
+        const Tensor& g = p.grad();
+        flat.insert(flat.end(), g.data(), g.data() + g.numel());
+      }
+      return flat;
+    };
+
+    const std::vector<float> oracle = grads_once("serial", 1);
+    for (const int threads : {1, 8}) {
+      const double serial_ms = time_backward_ms("serial", threads);
+      const double parallel_ms = time_backward_ms("parallel", threads);
+      const std::vector<float> grads = grads_once("parallel", threads);
+      const bool bitwise =
+          grads.size() == oracle.size() &&
+          std::memcmp(grads.data(), oracle.data(),
+                      grads.size() * sizeof(float)) == 0;
+
+      json::JsonValue row = json::JsonValue::Object();
+      const std::string name = "pretrain_backward_enc" +
+                               std::to_string(num_encoders) + "_t" +
+                               std::to_string(threads);
+      row.Set("name", json::JsonValue::String(name));
+      row.Set("encoders", json::JsonValue::Int(num_encoders));
+      row.Set("threads", json::JsonValue::Int(threads));
+      row.Set("serial_ms", json::JsonValue::Number(serial_ms));
+      row.Set("parallel_ms", json::JsonValue::Number(parallel_ms));
+      row.Set("speedup", json::JsonValue::Number(serial_ms / parallel_ms));
+      row.Set("bitwise_equal", json::JsonValue::Bool(bitwise));
+      results.Append(std::move(row));
+
+      std::printf(
+          "backward,%s,serial_ms=%.3f,parallel_ms=%.3f,speedup=%.2f,"
+          "bitwise_equal=%d\n",
+          name.c_str(), serial_ms, parallel_ms, serial_ms / parallel_ms,
+          bitwise ? 1 : 0);
+    }
+  }
+  unsetenv("UNITS_BACKWARD");
+  base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  return results;
+}
+
 // --- baseline regression diff ----------------------------------------------
 
 /// Extracts name -> metric from a row array, returning NaN when absent.
@@ -640,6 +757,17 @@ void DiffAgainstBaseline(const json::JsonValue& fresh) {
              /*higher_is_better=*/false, /*tolerance=*/1.25);
     }
   }
+  // Parallel-backward wall times: lower is better.
+  if (base.Contains("backward") && fresh.Contains("backward")) {
+    for (size_t i = 0; i < fresh.at("backward").size(); ++i) {
+      const json::JsonValue& row = fresh.at("backward")[i];
+      const std::string name = row.at("name").AsString();
+      report("backward/" + name + "/parallel_ms",
+             RowMetric(base.at("backward"), name, "parallel_ms"),
+             RowMetric(fresh.at("backward"), name, "parallel_ms"),
+             /*higher_is_better=*/false, /*tolerance=*/1.25);
+    }
+  }
   // Scaling-case wall times: lower is better.
   if (base.Contains("results") && fresh.Contains("results")) {
     for (size_t i = 0; i < fresh.at("results").size(); ++i) {
@@ -700,6 +828,7 @@ void WriteParallelScalingReport(const std::string& path) {
   doc.Set("gemm", RunGemmSweep());
   doc.Set("attention", RunAttentionSweep());
   doc.Set("plan", RunPlanSweep());
+  doc.Set("backward", RunBackwardSweep());
   doc.Set("results", std::move(results));
 
   std::ofstream out(path);

@@ -1,0 +1,340 @@
+#include "autograd/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "base/parallel.h"
+
+namespace units::autograd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Graph discovery (shared by both engines)
+// ---------------------------------------------------------------------------
+
+/// Iterative post-order DFS over requires-grad parents. order.back() is the
+/// root; iterating the vector in reverse visits every node after all of its
+/// consumers — the serial execution order. This is the exact traversal the
+/// serial sweep has always used, so both engines agree on what "serial
+/// execution index" means.
+std::vector<internal::VariableImpl*> TopoPostOrder(
+    internal::VariableImpl* root) {
+  std::vector<internal::VariableImpl*> order;
+  std::unordered_set<internal::VariableImpl*> visited;
+  std::vector<std::pair<internal::VariableImpl*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, child_idx] = stack.back();
+    if (child_idx < node->parents.size()) {
+      internal::VariableImpl* parent = node->parents[child_idx].get();
+      ++child_idx;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Serial sweep (parity oracle)
+// ---------------------------------------------------------------------------
+
+void RunSerial(internal::VariableImpl* root) {
+  std::vector<internal::VariableImpl*> order = TopoPostOrder(root);
+  // Reverse topological order: every node's grad is complete before its
+  // backward_fn runs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VariableImpl* node = *it;
+    if (node->backward_fn && node->has_grad) {
+      node->backward_fn(node->grad);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel ready-queue engine
+// ---------------------------------------------------------------------------
+
+/// Per-node execution state. Lives in an EngineContext-owned deque (stable
+/// addresses) for the duration of one Backward() call.
+struct NodeTask {
+  internal::VariableImpl* node = nullptr;
+  /// This node's position in the serial sweep (root == 0). Contributions
+  /// are tagged with their producer's exec_index so reduction can replay
+  /// the serial accumulation order.
+  int64_t exec_index = 0;
+  /// One entry per requires-grad parent occurrence (duplicates kept:
+  /// Mul(a, a) contributes to `a` twice, and each occurrence is a distinct
+  /// consumer edge for dependency counting).
+  std::vector<NodeTask*> parent_edges;
+  /// Unfinished consumer edges. This node is ready when it reaches zero.
+  std::atomic<int64_t> pending{0};
+  /// Guards `contributions`. Uncontended once the node is ready.
+  std::mutex mu;
+  /// Deferred gradient contributions: (consumer exec_index, tensor). The
+  /// tensors are stored by handle, not cloned — every closure either hands
+  /// over a freshly computed tensor it never touches again, or a view of
+  /// its own node's grad, which is immutable once that node ran (all of its
+  /// contributions were reduced before it was enqueued).
+  std::vector<std::pair<int64_t, Tensor>> contributions;
+};
+
+struct EngineContext {
+  /// Graph membership + node lookup. Read-only after construction, so
+  /// concurrent reads from RouteGradContribution need no lock.
+  std::unordered_map<internal::VariableImpl*, NodeTask*> index;
+  /// Task storage; deque so emplace_back never moves existing elements
+  /// (NodeTask holds a mutex and an atomic and is not movable).
+  std::deque<NodeTask> tasks;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<NodeTask*> ready;
+  /// Nodes not yet finished (executed or skipped). Workers exit at zero.
+  int64_t remaining = 0;
+  std::exception_ptr error;
+  bool abort = false;
+};
+
+/// Identifies the engine (and the consumer being executed) on the current
+/// thread while a backward_fn runs, so Variable::AccumulateGrad can route
+/// contributions into buckets instead of writing shared grad buffers.
+thread_local EngineContext* t_engine = nullptr;
+thread_local int64_t t_consumer = -1;
+
+/// Sets/restores the routing thread-locals around one backward_fn call.
+struct ConsumerScope {
+  EngineContext* prev_engine;
+  int64_t prev_consumer;
+  ConsumerScope(EngineContext* ctx, int64_t consumer)
+      : prev_engine(t_engine), prev_consumer(t_consumer) {
+    t_engine = ctx;
+    t_consumer = consumer;
+  }
+  ~ConsumerScope() {
+    t_engine = prev_engine;
+    t_consumer = prev_consumer;
+  }
+};
+
+/// Flushes a ready node's contribution bucket into its grad buffer, in
+/// ascending consumer exec_index order. That is exactly the order in which
+/// the serial sweep's consumers would have called AccumulateGrad (consumers
+/// run at smaller serial indices than the nodes they feed), and stable_sort
+/// keeps same-consumer contributions in their push order (a single thread
+/// pushed them sequentially) — so float accumulation associates identically
+/// to the serial sweep, bitwise.
+void ReduceNodeGrad(NodeTask* task) {
+  std::lock_guard<std::mutex> lock(task->mu);
+  std::stable_sort(task->contributions.begin(), task->contributions.end(),
+                   [](const std::pair<int64_t, Tensor>& a,
+                      const std::pair<int64_t, Tensor>& b) {
+                     return a.first < b.first;
+                   });
+  for (const auto& [consumer, g] : task->contributions) {
+    internal::AccumulateGradInto(task->node, g);
+  }
+  task->contributions.clear();
+  task->contributions.shrink_to_fit();
+}
+
+/// Runs one engine worker until the sweep completes or aborts. Every pool
+/// task RunParallel spawns executes this loop; all workers share the ready
+/// deque, so any worker can run any ready node.
+void WorkerLoop(EngineContext* ctx) {
+  for (;;) {
+    NodeTask* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(ctx->mu);
+      ctx->cv.wait(lock, [ctx] {
+        return !ctx->ready.empty() || ctx->remaining == 0 || ctx->abort;
+      });
+      if (ctx->abort || ctx->ready.empty()) {
+        return;  // aborted, or all nodes finished
+      }
+      task = ctx->ready.front();
+      ctx->ready.pop_front();
+    }
+
+    int64_t finished = 0;
+    std::vector<NodeTask*> newly_ready;
+    try {
+      // By the time a node is popped its bucket has been reduced (or it is
+      // the pre-seeded root), so node->grad is complete — same precondition
+      // the serial sweep guarantees.
+      internal::VariableImpl* node = task->node;
+      if (node->backward_fn && node->has_grad) {
+        ConsumerScope scope(ctx, task->exec_index);
+        node->backward_fn(node->grad);
+      }
+
+      // Completion cascade: finishing a node releases one consumer edge on
+      // each parent. A parent whose last edge is released gets its bucket
+      // reduced; if it has work it joins the ready queue, otherwise (leaf,
+      // or nothing reached it) it finishes immediately and cascades in turn.
+      std::vector<NodeTask*> finished_stack{task};
+      while (!finished_stack.empty()) {
+        NodeTask* f = finished_stack.back();
+        finished_stack.pop_back();
+        ++finished;
+        for (NodeTask* p : f->parent_edges) {
+          if (p->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            ReduceNodeGrad(p);
+            if (p->node->backward_fn && p->node->has_grad) {
+              newly_ready.push_back(p);
+            } else {
+              finished_stack.push_back(p);
+            }
+          }
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(ctx->mu);
+      if (!ctx->error) {
+        ctx->error = std::current_exception();
+      }
+      ctx->abort = true;
+      ctx->cv.notify_all();
+      return;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(ctx->mu);
+      ctx->remaining -= finished;
+      for (NodeTask* p : newly_ready) {
+        ctx->ready.push_back(p);
+      }
+      if (!newly_ready.empty() || ctx->remaining == 0) {
+        ctx->cv.notify_all();
+      }
+    }
+  }
+}
+
+void RunParallel(internal::VariableImpl* root) {
+  std::vector<internal::VariableImpl*> order = TopoPostOrder(root);
+  const int64_t n = static_cast<int64_t>(order.size());
+
+  EngineContext ctx;
+  ctx.index.reserve(order.size());
+  for (int64_t i = 0; i < n; ++i) {
+    ctx.tasks.emplace_back();
+    NodeTask& t = ctx.tasks.back();
+    t.node = order[i];
+    t.exec_index = n - 1 - i;  // order.back() (the root) executes first
+    ctx.index.emplace(order[i], &t);
+  }
+  // Count consumer edges. Every requires-grad parent is in `order` (the DFS
+  // visited it), and duplicates count once per occurrence so a node like
+  // Mul(a, a) holds `a` back until both of its contributions are in.
+  for (NodeTask& t : ctx.tasks) {
+    t.parent_edges.reserve(t.node->parents.size());
+    for (const auto& parent : t.node->parents) {
+      if (!parent->requires_grad) {
+        continue;
+      }
+      auto it = ctx.index.find(parent.get());
+      UNITS_CHECK(it != ctx.index.end());
+      t.parent_edges.push_back(it->second);
+      it->second->pending.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  NodeTask* root_task = ctx.index.at(root);
+  // The graph is a DAG discovered from the root, so nothing in it consumes
+  // the root: it is the unique initially-ready node.
+  UNITS_CHECK_EQ(root_task->pending.load(std::memory_order_relaxed), 0);
+
+  ctx.remaining = n;
+  ctx.ready.push_back(root_task);
+
+  int64_t workers = std::min<int64_t>(base::NumThreads(), n);
+  workers = std::max<int64_t>(workers, 1);
+  base::ThreadPool::Global()->Run(workers,
+                                  [&ctx](int64_t) { WorkerLoop(&ctx); });
+
+  if (ctx.error) {
+    std::rethrow_exception(ctx.error);
+  }
+}
+
+}  // namespace
+
+BackwardMode BackwardModeFromEnv() {
+  const char* e = std::getenv("UNITS_BACKWARD");
+  if (e == nullptr) {
+    return BackwardMode::kAuto;
+  }
+  const std::string s(e);
+  if (s == "serial") {
+    return BackwardMode::kSerial;
+  }
+  if (s == "parallel") {
+    return BackwardMode::kParallel;
+  }
+  return BackwardMode::kAuto;
+}
+
+void RunBackward(internal::VariableImpl* root) {
+  if (t_engine != nullptr) {
+    // Re-entrant backward from inside a backward_fn: the engine's workers
+    // are busy running this graph, so sweep the inner graph serially on the
+    // calling thread (grads routed only for nodes of the *outer* graph, and
+    // an inner graph built during backward is disjoint from it).
+    RunSerial(root);
+    return;
+  }
+  switch (BackwardModeFromEnv()) {
+    case BackwardMode::kSerial:
+      RunSerial(root);
+      return;
+    case BackwardMode::kParallel:
+      RunParallel(root);
+      return;
+    case BackwardMode::kAuto:
+      if (base::NumThreads() > 1) {
+        RunParallel(root);
+      } else {
+        RunSerial(root);
+      }
+      return;
+  }
+}
+
+namespace internal {
+
+bool RouteGradContribution(VariableImpl* node, const Tensor& g) {
+  EngineContext* ctx = t_engine;
+  if (ctx == nullptr) {
+    return false;
+  }
+  auto it = ctx->index.find(node);
+  if (it == ctx->index.end()) {
+    // Not part of the active graph (e.g. a node of an inner re-entrant
+    // backward): accumulate directly.
+    return false;
+  }
+  NodeTask* task = it->second;
+  std::lock_guard<std::mutex> lock(task->mu);
+  task->contributions.emplace_back(t_consumer, g);
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace units::autograd

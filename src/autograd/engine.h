@@ -1,0 +1,70 @@
+#ifndef UNITS_AUTOGRAD_ENGINE_H_
+#define UNITS_AUTOGRAD_ENGINE_H_
+
+#include "autograd/variable.h"
+
+/// Reverse-mode execution engines. Variable::Backward() seeds the root
+/// gradient and delegates here; the engine decides how the graph is swept.
+///
+/// Two engines exist:
+///
+///  - Serial: the classic reverse-topological sweep. One node at a time, in
+///    the exact post-order-DFS-derived order. This is the parity oracle.
+///  - Parallel: a dependency-counted ready queue in the style of PyTorch's
+///    autograd engine. Graph discovery counts the consumer edges of every
+///    node; the root seeds the queue; base::ThreadPool workers pop ready
+///    nodes and run their backward_fn concurrently, so independent branches
+///    (e.g. the M parallel encoders UniTS fuses per sample) back-propagate
+///    at the same time.
+///
+/// Determinism contract: gradients are bitwise identical between the two
+/// engines and across any thread count. Concurrent backward_fns never write
+/// a shared gradient buffer directly — each contribution is captured into a
+/// per-node bucket tagged with the consumer's serial execution index, and
+/// when a node's last consumer finishes, the bucket is reduced in ascending
+/// consumer order, which reproduces the serial sweep's accumulation order
+/// exactly (kernels themselves are already thread-count-deterministic, see
+/// base/parallel.h).
+///
+/// The UNITS_BACKWARD environment variable selects the engine:
+///   unset / "auto"  parallel engine when the pool has >1 thread, serial
+///                   sweep otherwise (the engine adds no value on one
+///                   thread, so the hot path skips its bookkeeping);
+///   "parallel"      always the ready-queue engine, even on 1 thread;
+///   "serial"        always the serial sweep (escape hatch / oracle, the
+///                   same pattern as UNITS_GEMM / UNITS_ATTN / UNITS_PLAN).
+
+namespace units::autograd {
+
+/// Engine choice for one Backward() call.
+enum class BackwardMode {
+  kAuto,      ///< parallel iff the global pool has more than one thread
+  kParallel,  ///< dependency-counted ready-queue engine
+  kSerial,    ///< reverse-topological serial sweep (parity oracle)
+};
+
+/// Reads UNITS_BACKWARD (see above). Re-read on every call so tests can
+/// flip engines with setenv, mirroring plan::ModeFromEnv().
+BackwardMode BackwardModeFromEnv();
+
+/// Sweeps the graph rooted at `root`, whose gradient must already be
+/// seeded. Dispatches on BackwardModeFromEnv(); a Backward() issued from
+/// inside a running parallel engine (re-entrant backward) always runs the
+/// serial sweep on the calling thread.
+void RunBackward(internal::VariableImpl* root);
+
+namespace internal {
+
+/// Called by Variable::AccumulateGrad. Returns true when the calling thread
+/// is executing a backward_fn inside the parallel engine and `node` belongs
+/// to the active graph: the contribution has been captured into the node's
+/// bucket (tagged with the running consumer's serial index) for deferred
+/// in-order reduction, and must not be applied directly. Returns false
+/// otherwise — the caller applies the gradient immediately.
+bool RouteGradContribution(VariableImpl* node, const Tensor& g);
+
+}  // namespace internal
+
+}  // namespace units::autograd
+
+#endif  // UNITS_AUTOGRAD_ENGINE_H_

@@ -1,7 +1,6 @@
 #include "autograd/variable.h"
 
-#include <unordered_set>
-
+#include "autograd/engine.h"
 #include "base/check.h"
 #include "plan/trace.h"
 #include "tensor/tensor_ops.h"
@@ -11,6 +10,24 @@ namespace units::autograd {
 namespace {
 thread_local bool t_grad_enabled = true;
 }  // namespace
+
+namespace internal {
+
+void AccumulateGradInto(VariableImpl* impl, const Tensor& g) {
+  UNITS_CHECK(SameShape(g.shape(), impl->data.shape()));
+  if (!impl->has_grad) {
+    impl->grad = g.Clone();
+    impl->has_grad = true;
+    return;
+  }
+  float* dst = impl->grad.data();
+  const float* src = g.data();
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    dst[i] += src[i];
+  }
+}
+
+}  // namespace internal
 
 bool GradEnabled() { return t_grad_enabled; }
 
@@ -65,16 +82,13 @@ Tensor& Variable::mutable_grad() const {
 void Variable::AccumulateGrad(const Tensor& g) const {
   UNITS_CHECK(defined());
   UNITS_CHECK(SameShape(g.shape(), impl_->data.shape()));
-  if (!impl_->has_grad) {
-    impl_->grad = g.Clone();
-    impl_->has_grad = true;
+  // Inside a parallel backward, contributions to nodes of the active graph
+  // are captured into per-node buckets (reduced later in serial consumer
+  // order) instead of racing on the shared grad buffer.
+  if (internal::RouteGradContribution(impl_.get(), g)) {
     return;
   }
-  float* dst = impl_->grad.data();
-  const float* src = g.data();
-  for (int64_t i = 0; i < g.numel(); ++i) {
-    dst[i] += src[i];
-  }
+  internal::AccumulateGradInto(impl_.get(), g);
 }
 
 void Variable::ZeroGrad() const {
@@ -91,37 +105,10 @@ void Variable::Backward() {
   UNITS_CHECK_MSG(impl_->requires_grad,
                   "Backward() on a node that does not require grad");
 
-  // Topological order via iterative post-order DFS over parents.
-  std::vector<internal::VariableImpl*> order;
-  std::unordered_set<internal::VariableImpl*> visited;
-  std::vector<std::pair<internal::VariableImpl*, size_t>> stack;
-  stack.emplace_back(impl_.get(), 0);
-  visited.insert(impl_.get());
-  while (!stack.empty()) {
-    auto& [node, child_idx] = stack.back();
-    if (child_idx < node->parents.size()) {
-      internal::VariableImpl* parent = node->parents[child_idx].get();
-      ++child_idx;
-      if (parent->requires_grad && visited.insert(parent).second) {
-        stack.emplace_back(parent, 0);
-      }
-    } else {
-      order.push_back(node);
-      stack.pop_back();
-    }
-  }
-
-  // Seed d(out)/d(out) = 1.
-  AccumulateGrad(Tensor::Ones(impl_->data.shape()));
-
-  // Reverse topological order: every node's grad is complete before its
-  // backward_fn runs.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    internal::VariableImpl* node = *it;
-    if (node->backward_fn && node->has_grad) {
-      node->backward_fn(node->grad);
-    }
-  }
+  // Seed d(out)/d(out) = 1 directly (never routed into an engine bucket),
+  // then hand the sweep to the engine selected by UNITS_BACKWARD.
+  internal::AccumulateGradInto(impl_.get(), Tensor::Ones(impl_->data.shape()));
+  RunBackward(impl_.get());
 }
 
 Variable Variable::Detach() const {

@@ -27,6 +27,12 @@ struct VariableImpl {
   std::function<void(const Tensor&)> backward_fn;
 };
 
+/// Adds `g` into `impl`'s gradient buffer directly (clone on first use,
+/// elementwise add afterwards), bypassing the engine routing that
+/// Variable::AccumulateGrad applies. Used by the backward engines to seed
+/// the root and to flush contribution buckets in serial order.
+void AccumulateGradInto(VariableImpl* impl, const Tensor& g);
+
 }  // namespace internal
 
 /// True while gradients are being recorded (default). Use NoGradGuard to

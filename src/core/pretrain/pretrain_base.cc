@@ -75,7 +75,8 @@ Status PretrainBase::Fit(const Tensor& x) {
   }
 
   data::TimeSeriesDataset dataset(x);
-  data::DataLoader loader(&dataset, batch_size, /*shuffle=*/true, &rng_);
+  data::DataLoader loader(&dataset, batch_size, /*shuffle=*/true, &rng_,
+                          /*prefetch=*/params_.GetInt("prefetch", 1) != 0);
 
   loss_history_.clear();
   for (int64_t epoch = 0; epoch < epochs; ++epoch) {

@@ -59,7 +59,8 @@ Status ClassificationTask::Fit(UnitsPipeline* pipeline,
   all_params.insert(all_params.end(), enc_params.begin(), enc_params.end());
 
   data::DataLoader loader(&train, batch_size, /*shuffle=*/true,
-                          pipeline->rng());
+                          pipeline->rng(),
+                          /*prefetch=*/p.GetInt("prefetch", 1) != 0);
   loss_history_.clear();
   for (int64_t epoch = 0; epoch < epochs; ++epoch) {
     loader.Reset();

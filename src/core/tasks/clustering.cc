@@ -77,7 +77,8 @@ Status ClusteringTask::Fit(UnitsPipeline* pipeline,
 
       // M-step: minibatch updates against the fixed centroids.
       data::DataLoader loader(&train, batch_size, /*shuffle=*/true,
-                              pipeline->rng());
+                              pipeline->rng(),
+                              /*prefetch=*/p.GetInt("prefetch", 1) != 0);
       data::Batch batch;
       double epoch_loss = 0.0;
       int64_t num_batches = 0;

@@ -1,63 +1,178 @@
 #include "data/dataloader.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
 
 #include "base/check.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::data {
 
+namespace {
+
+/// UNITS_PREFETCH=0 / off is a global kill switch (escape hatch for
+/// debugging and for the synchronous parity oracle in tests). Re-read per
+/// loader construction so tests can flip it with setenv.
+bool PrefetchEnabledByEnv() {
+  const char* e = std::getenv("UNITS_PREFETCH");
+  if (e == nullptr) {
+    return true;
+  }
+  const std::string s(e);
+  return !(s == "0" || s == "off");
+}
+
+/// Gathers one minibatch. Pure function of (dataset, idx), so it runs the
+/// same whether called by the consumer or the prefetch worker.
+void MaterializeBatch(const TimeSeriesDataset& dataset,
+                      std::vector<int64_t> idx, Batch* batch) {
+  batch->values = ops::GatherRows(dataset.values(), idx);
+  batch->labels.clear();
+  if (dataset.has_labels()) {
+    batch->labels.reserve(idx.size());
+    for (int64_t i : idx) {
+      batch->labels.push_back(dataset.labels()[static_cast<size_t>(i)]);
+    }
+  }
+  if (dataset.has_targets()) {
+    batch->targets = ops::GatherRows(dataset.targets(), idx);
+  } else {
+    batch->targets = Tensor();
+  }
+  if (dataset.has_point_labels()) {
+    batch->point_labels = ops::GatherRows(dataset.point_labels(), idx);
+  } else {
+    batch->point_labels = Tensor();
+  }
+  batch->indices = std::move(idx);
+}
+
+}  // namespace
+
+Rng DataLoader::ForkAfterGuards(const TimeSeriesDataset* dataset,
+                                int64_t batch_size, Rng* rng) {
+  UNITS_CHECK(dataset != nullptr);
+  UNITS_CHECK_GE(batch_size, 1);
+  UNITS_CHECK(rng != nullptr);
+  return rng->Fork();
+}
+
 DataLoader::DataLoader(const TimeSeriesDataset* dataset, int64_t batch_size,
-                       bool shuffle, Rng* rng)
+                       bool shuffle, Rng* rng, bool prefetch)
     : dataset_(dataset),
       batch_size_(batch_size),
       shuffle_(shuffle),
-      rng_(rng->Fork()) {
-  UNITS_CHECK(dataset != nullptr);
-  UNITS_CHECK_GE(batch_size, 1);
+      rng_(ForkAfterGuards(dataset, batch_size, rng)) {
   Reset();
+  if (prefetch && PrefetchEnabledByEnv()) {
+    worker_ = std::thread(&DataLoader::WorkerLoop, this);
+  }
 }
 
-void DataLoader::Reset() {
+DataLoader::~DataLoader() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+}
+
+void DataLoader::ResetLocked() {
   const int64_t n = dataset_->num_samples();
   order_.resize(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     order_[static_cast<size_t>(i)] = i;
   }
   if (shuffle_) {
+    // Always on the caller's thread: the rng draw sequence is identical to
+    // the synchronous loader's, so the epoch order is bitwise reproducible.
     rng_.Shuffle(&order_);
   }
   cursor_ = 0;
+  produce_cursor_ = 0;
+  slot_full_ = false;
+  slot_ = Batch();
+  slot_end_ = 0;
+}
+
+void DataLoader::Reset() {
+  if (!worker_.joinable()) {
+    ResetLocked();  // no worker yet (or prefetch off): no locking needed
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;  // a batch the worker is currently building is now stale
+    ResetLocked();
+  }
+  cv_.notify_all();
+}
+
+void DataLoader::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return shutdown_ ||
+             (!slot_full_ && produce_cursor_ < dataset_->num_samples());
+    });
+    if (shutdown_) {
+      return;
+    }
+    const int64_t epoch = epoch_;
+    const int64_t begin = produce_cursor_;
+    const int64_t end =
+        std::min(begin + batch_size_, dataset_->num_samples());
+    std::vector<int64_t> idx(order_.begin() + begin, order_.begin() + end);
+    produce_cursor_ = end;
+
+    lock.unlock();
+    Batch batch;
+    MaterializeBatch(*dataset_, std::move(idx), &batch);
+    lock.lock();
+
+    if (epoch == epoch_ && !shutdown_) {
+      slot_ = std::move(batch);
+      slot_end_ = end;
+      slot_full_ = true;
+      cv_.notify_all();
+    }
+    // Epoch changed mid-materialize: drop the stale batch and loop; the
+    // predicate re-reads the (reset) produce cursor.
+  }
 }
 
 bool DataLoader::Next(Batch* batch) {
   const int64_t n = dataset_->num_samples();
+  if (!worker_.joinable()) {
+    if (cursor_ >= n) {
+      return false;
+    }
+    const int64_t end = std::min(cursor_ + batch_size_, n);
+    std::vector<int64_t> idx(order_.begin() + cursor_,
+                             order_.begin() + end);
+    cursor_ = end;
+    MaterializeBatch(*dataset_, std::move(idx), batch);
+    return true;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
   if (cursor_ >= n) {
     return false;
   }
-  const int64_t end = std::min(cursor_ + batch_size_, n);
-  std::vector<int64_t> idx(order_.begin() + cursor_, order_.begin() + end);
-  cursor_ = end;
-
-  batch->indices = idx;
-  batch->values = ops::GatherRows(dataset_->values(), idx);
-  batch->labels.clear();
-  if (dataset_->has_labels()) {
-    batch->labels.reserve(idx.size());
-    for (int64_t i : idx) {
-      batch->labels.push_back(dataset_->labels()[static_cast<size_t>(i)]);
-    }
-  }
-  if (dataset_->has_targets()) {
-    batch->targets = ops::GatherRows(dataset_->targets(), idx);
-  } else {
-    batch->targets = Tensor();
-  }
-  if (dataset_->has_point_labels()) {
-    batch->point_labels = ops::GatherRows(dataset_->point_labels(), idx);
-  } else {
-    batch->point_labels = Tensor();
-  }
+  // cursor_ < n implies the worker has claimed or will claim the next
+  // slice, so the slot always fills eventually.
+  cv_.wait(lock, [this] { return slot_full_; });
+  *batch = std::move(slot_);
+  slot_ = Batch();
+  slot_full_ = false;
+  cursor_ = slot_end_;
+  lock.unlock();
+  cv_.notify_all();  // wake the worker to start on batch k+1
   return true;
 }
 

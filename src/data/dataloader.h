@@ -1,6 +1,9 @@
 #ifndef UNITS_DATA_DATALOADER_H_
 #define UNITS_DATA_DATALOADER_H_
 
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "base/rng.h"
@@ -19,13 +22,29 @@ struct Batch {
 
 /// Iterates a dataset in minibatches; reshuffles each epoch when shuffle is
 /// on. The final short batch is emitted (no drop-last).
+///
+/// With `prefetch` on (the default), a single background worker materializes
+/// batch k+1 (GatherRows of values/labels/targets/point-labels) into a
+/// one-slot double buffer while the trainer consumes batch k, so windowing
+/// overlaps compute. The batch *sequence* is bitwise identical to the
+/// synchronous path: the epoch shuffle still runs on the calling thread in
+/// Reset() (same rng stream, same draw count), batch boundaries are
+/// unchanged, and GatherRows partitions work independently of the calling
+/// thread. Setting the UNITS_PREFETCH environment variable to "0" or "off"
+/// disables prefetching globally regardless of the constructor flag.
 class DataLoader {
  public:
-  /// `dataset` must outlive the loader.
+  /// `dataset` must outlive the loader; `rng` must be non-null (it is only
+  /// used to fork a private stream during construction).
   DataLoader(const TimeSeriesDataset* dataset, int64_t batch_size,
-             bool shuffle, Rng* rng);
+             bool shuffle, Rng* rng, bool prefetch = true);
+  ~DataLoader();
 
-  /// Starts a new epoch.
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  /// Starts a new epoch. Any batch the worker is materializing for the old
+  /// epoch is cancelled (never observed by Next()).
   void Reset();
 
   /// Fills `batch` with the next minibatch; false at epoch end.
@@ -34,13 +53,38 @@ class DataLoader {
   /// Batches per epoch.
   int64_t NumBatches() const;
 
+  /// Whether a background prefetch worker is running.
+  bool prefetching() const { return worker_.joinable(); }
+
  private:
+  /// Runs the constructor guards (null dataset / null rng / bad batch size
+  /// must fail the UNITS_CHECK, not segfault) before `rng` is dereferenced.
+  static Rng ForkAfterGuards(const TimeSeriesDataset* dataset,
+                             int64_t batch_size, Rng* rng);
+
+  void ResetLocked();
+  void WorkerLoop();
+
   const TimeSeriesDataset* dataset_;
   int64_t batch_size_;
   bool shuffle_;
   Rng rng_;
   std::vector<int64_t> order_;
-  int64_t cursor_ = 0;
+  int64_t cursor_ = 0;  // first row the consumer has not received yet
+
+  // Prefetch state. All fields below are guarded by mu_; the worker copies
+  // the index slice under the lock and materializes outside it, so Reset()
+  // can reshuffle order_ concurrently (the stale batch is dropped via the
+  // epoch generation check on install).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread worker_;
+  int64_t produce_cursor_ = 0;  // first row the worker has not claimed yet
+  int64_t epoch_ = 0;           // bumped by Reset() to cancel stale batches
+  bool slot_full_ = false;
+  bool shutdown_ = false;
+  Batch slot_;
+  int64_t slot_end_ = 0;  // consumer cursor after slot_ is consumed
 };
 
 }  // namespace units::data

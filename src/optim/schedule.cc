@@ -37,7 +37,21 @@ StepLr::StepLr(int64_t step_size, float gamma)
 }
 
 float StepLr::Multiplier(int64_t step) const {
-  return std::pow(gamma_, static_cast<float>(step / step_size_));
+  // Integer exponentiation by squaring in double: exact power of the
+  // (double-widened) gamma for any decay count, unlike float-exponent
+  // std::pow, which drifts from repeated multiplication at large step
+  // counts and varies across libm implementations.
+  int64_t e = step / step_size_;
+  double base = static_cast<double>(gamma_);
+  double result = 1.0;
+  while (e > 0) {
+    if (e & 1) {
+      result *= base;
+    }
+    base *= base;
+    e >>= 1;
+  }
+  return static_cast<float>(result);
 }
 
 }  // namespace units::optim

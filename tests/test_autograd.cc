@@ -1,9 +1,15 @@
 #include "autograd/ops.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "autograd/engine.h"
+#include "base/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::autograd {
@@ -286,6 +292,205 @@ TEST(OpsTest, NoNonFiniteInLongChain) {
   Variable loss = ag::MeanAll(ag::Square(h));
   loss.Backward();
   EXPECT_FALSE(ops::HasNonFinite(x.grad()));
+}
+
+// ---------------------------------------------------------------------------
+// Backward engine determinism (UNITS_BACKWARD serial vs parallel, 1 vs 8
+// threads). The contract is bitwise equality, so every comparison below is
+// exact float equality against the serial 1-thread oracle.
+// ---------------------------------------------------------------------------
+
+/// Pins UNITS_BACKWARD and the pool size for one engine run; restores the
+/// default (env unset, default thread count) on scope exit.
+class ScopedEngine {
+ public:
+  ScopedEngine(const char* mode, int threads) {
+    if (mode == nullptr) {
+      unsetenv("UNITS_BACKWARD");
+    } else {
+      setenv("UNITS_BACKWARD", mode, /*overwrite=*/1);
+    }
+    base::SetNumThreads(threads);
+  }
+  ~ScopedEngine() {
+    unsetenv("UNITS_BACKWARD");
+    base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  }
+};
+
+/// Builds a fresh graph (pushing its leaves), returns the scalar loss. Must
+/// be deterministic so independent runs produce comparable graphs.
+using GraphBuilder = std::function<Variable(std::vector<Variable>*)>;
+
+std::vector<std::vector<float>> GradsUnder(const char* mode, int threads,
+                                           const GraphBuilder& build) {
+  ScopedEngine engine(mode, threads);
+  std::vector<Variable> leaves;
+  Variable loss = build(&leaves);
+  loss.Backward();
+  std::vector<std::vector<float>> grads;
+  grads.reserve(leaves.size());
+  for (const Variable& leaf : leaves) {
+    const Tensor& g = leaf.grad();
+    grads.emplace_back(g.data(), g.data() + g.numel());
+  }
+  return grads;
+}
+
+void ExpectEngineInvariantGrads(const GraphBuilder& build) {
+  const auto baseline = GradsUnder("serial", 1, build);
+  const struct {
+    const char* mode;  // nullptr = unset (auto)
+    int threads;
+  } kConfigs[] = {
+      {"serial", 8}, {"parallel", 1}, {"parallel", 4}, {"parallel", 8},
+      {nullptr, 8},
+  };
+  for (const auto& cfg : kConfigs) {
+    const auto got = GradsUnder(cfg.mode, cfg.threads, build);
+    ASSERT_EQ(got.size(), baseline.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].size(), baseline[i].size()) << "leaf " << i;
+      for (size_t j = 0; j < got[i].size(); ++j) {
+        ASSERT_EQ(got[i][j], baseline[i][j])
+            << "mode=" << (cfg.mode ? cfg.mode : "auto")
+            << " threads=" << cfg.threads << " leaf=" << i << " elem=" << j;
+      }
+    }
+  }
+}
+
+TEST(BackwardEngineTest, ModeFromEnvParsing) {
+  unsetenv("UNITS_BACKWARD");
+  EXPECT_EQ(BackwardModeFromEnv(), BackwardMode::kAuto);
+  setenv("UNITS_BACKWARD", "serial", 1);
+  EXPECT_EQ(BackwardModeFromEnv(), BackwardMode::kSerial);
+  setenv("UNITS_BACKWARD", "parallel", 1);
+  EXPECT_EQ(BackwardModeFromEnv(), BackwardMode::kParallel);
+  setenv("UNITS_BACKWARD", "garbage", 1);
+  EXPECT_EQ(BackwardModeFromEnv(), BackwardMode::kAuto);
+  unsetenv("UNITS_BACKWARD");
+}
+
+TEST(BackwardEngineTest, DiamondGraphBitwiseInvariant) {
+  ExpectEngineInvariantGrads([](std::vector<Variable>* leaves) {
+    Variable a(Tensor::FromVector({3}, {3, -1, 0.5f}), true);
+    leaves->push_back(a);
+    Variable sq = ag::Square(a);
+    return ag::SumAll(ag::Add(sq, sq));
+  });
+}
+
+TEST(BackwardEngineTest, SharedSubgraphBitwiseInvariant) {
+  ExpectEngineInvariantGrads([](std::vector<Variable>* leaves) {
+    Variable x(Tensor::FromVector({2}, {1.25f, -2.5f}), true);
+    leaves->push_back(x);
+    Variable y = ag::Mul(x, x);  // duplicate parent edge: x held back
+    Variable z = ag::Mul(y, x);  // until both contributions are in
+    return ag::SumAll(z);
+  });
+}
+
+TEST(BackwardEngineTest, MultiBranchFanOutBitwiseInvariant) {
+  // The UniTS shape: one input fanned out to M independent encoder-like
+  // branches, fused, reduced. Branches are the parallelism the engine
+  // exploits; their contributions to x must still reduce in serial order.
+  ExpectEngineInvariantGrads([](std::vector<Variable>* leaves) {
+    Rng rng(1234);
+    Variable x(Tensor::RandNormal({4, 16}, &rng), true);
+    leaves->push_back(x);
+    std::vector<Variable> branches;
+    for (int m = 0; m < 6; ++m) {
+      Variable w(Tensor::RandNormal({16, 8}, &rng), true);
+      leaves->push_back(w);
+      branches.push_back(ag::Tanh(ag::MatMul(x, w)));
+    }
+    Variable fused = ag::Concat(branches, 1);
+    return ag::MeanAll(ag::Square(fused));
+  });
+}
+
+TEST(BackwardEngineTest, DeepChainBitwiseInvariant) {
+  // Fully serial dependency chain: the engine degenerates to one ready node
+  // at a time and must still match the sweep exactly.
+  ExpectEngineInvariantGrads([](std::vector<Variable>* leaves) {
+    Rng rng(7);
+    Variable x(Tensor::RandNormal({4, 8}, &rng), true);
+    leaves->push_back(x);
+    Variable h = x;
+    for (int i = 0; i < 25; ++i) {
+      h = ag::Tanh(ag::MulScalar(h, 1.05f));
+    }
+    return ag::MeanAll(ag::Square(h));
+  });
+}
+
+TEST(BackwardEngineTest, BroadcastAndReductionBitwiseInvariant) {
+  ExpectEngineInvariantGrads([](std::vector<Variable>* leaves) {
+    Rng rng(42);
+    Variable a(Tensor::RandNormal({3, 5}, &rng), true);
+    Variable bias(Tensor::RandNormal({5}, &rng), true);
+    leaves->push_back(a);
+    leaves->push_back(bias);
+    Variable h = ag::Relu(ag::Add(a, bias));
+    return ag::SumAll(ag::Mul(h, h));
+  });
+}
+
+TEST(BackwardEngineTest, ScalarLeafRootRunsUnderParallelEngine) {
+  ScopedEngine engine("parallel", 8);
+  Variable a(Tensor::Ones({1}), true);
+  a.Backward();  // single-node graph, no backward_fn
+  EXPECT_EQ(a.grad()[0], 1.0f);
+}
+
+TEST(BackwardEngineTest, AccumulationAcrossPassesMatchesSerial) {
+  // Pass 2 reuses an interior node that still carries pass-1 gradient; the
+  // serial sweep folds the pre-existing grad in before running backward_fn,
+  // and the parallel reduction must do the same.
+  auto run_two_passes = [](const char* mode, int threads) {
+    ScopedEngine engine(mode, threads);
+    Variable x(Tensor::FromVector({2}, {1.5f, -0.75f}), true);
+    Variable y = ag::Square(x);
+    ag::SumAll(y).Backward();
+    ag::SumAll(ag::Mul(y, y)).Backward();
+    return std::vector<float>{x.grad()[0], x.grad()[1]};
+  };
+  const auto baseline = run_two_passes("serial", 1);
+  for (int threads : {1, 8}) {
+    const auto got = run_two_passes("parallel", threads);
+    EXPECT_EQ(got[0], baseline[0]) << "threads=" << threads;
+    EXPECT_EQ(got[1], baseline[1]) << "threads=" << threads;
+  }
+}
+
+TEST(BackwardEngineTest, ReentrantBackwardInsideBackwardFn) {
+  ScopedEngine engine("parallel", 4);
+  Variable a(Tensor::Ones({2}), true);
+  float inner_grad = 0.0f;
+  Variable node = Variable::MakeNode(
+      Tensor::Ones({2}), {a}, [a, &inner_grad](const Tensor& g) {
+        // An independent inner graph differentiated from inside a running
+        // engine worker: must sweep serially and not disturb the outer run.
+        Variable u(Tensor::FromVector({1}, {3.0f}), true);
+        ag::SumAll(ag::Square(u)).Backward();
+        inner_grad = u.grad()[0];
+        a.AccumulateGrad(g);
+      });
+  ag::SumAll(node).Backward();
+  EXPECT_EQ(inner_grad, 6.0f);
+  EXPECT_EQ(a.grad()[0], 1.0f);
+  EXPECT_EQ(a.grad()[1], 1.0f);
+}
+
+TEST(BackwardEngineTest, ExceptionFromBackwardFnPropagates) {
+  ScopedEngine engine("parallel", 4);
+  Variable a(Tensor::Ones({4}), true);
+  Variable bad = Variable::MakeNode(
+      Tensor::Ones({4}), {a},
+      [](const Tensor&) { throw std::runtime_error("backward boom"); });
+  Variable loss = ag::SumAll(bad);
+  EXPECT_THROW(loss.Backward(), std::runtime_error);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "data/dataloader.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -108,6 +110,155 @@ TEST(DataLoaderTest, EmptyTargetsWhenAbsent) {
   ASSERT_TRUE(loader.Next(&batch));
   EXPECT_EQ(batch.targets.numel(), 0);
   EXPECT_EQ(batch.point_labels.numel(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Prefetching: the background worker must be transparent — bitwise-identical
+// batch sequence to the synchronous loader — and killable via UNITS_PREFETCH.
+// ---------------------------------------------------------------------------
+
+void ExpectBatchesBitwiseEqual(const Batch& a, const Batch& b) {
+  ASSERT_EQ(a.indices, b.indices);
+  ASSERT_EQ(a.labels, b.labels);
+  ASSERT_EQ(a.values.shape(), b.values.shape());
+  ASSERT_EQ(std::memcmp(a.values.data(), b.values.data(),
+                        sizeof(float) * static_cast<size_t>(a.values.numel())),
+            0);
+  ASSERT_EQ(a.targets.shape(), b.targets.shape());
+  if (a.targets.numel() > 0) {
+    ASSERT_EQ(
+        std::memcmp(a.targets.data(), b.targets.data(),
+                    sizeof(float) * static_cast<size_t>(a.targets.numel())),
+        0);
+  }
+  ASSERT_EQ(a.point_labels.shape(), b.point_labels.shape());
+  if (a.point_labels.numel() > 0) {
+    ASSERT_EQ(std::memcmp(
+                  a.point_labels.data(), b.point_labels.data(),
+                  sizeof(float) * static_cast<size_t>(a.point_labels.numel())),
+              0);
+  }
+}
+
+TEST(DataLoaderPrefetchTest, BitwiseIdenticalToSynchronousAcrossEpochs) {
+  unsetenv("UNITS_PREFETCH");  // must actually exercise the worker
+  auto ds = MakeDataset(23);
+  ds.set_targets(Tensor::Full({23, 1, 2}, 3.0f));
+  ds.set_point_labels(Tensor::Full({23, 4}, 1.0f));
+  // Same seed -> same forked stream -> the shuffled epoch orders must match.
+  Rng rng_sync(77);
+  Rng rng_pre(77);
+  DataLoader sync(&ds, 4, /*shuffle=*/true, &rng_sync, /*prefetch=*/false);
+  DataLoader prefetch(&ds, 4, /*shuffle=*/true, &rng_pre, /*prefetch=*/true);
+  ASSERT_FALSE(sync.prefetching());
+  ASSERT_TRUE(prefetch.prefetching());
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    Batch a;
+    Batch b;
+    int64_t batches = 0;
+    while (sync.Next(&a)) {
+      ASSERT_TRUE(prefetch.Next(&b));
+      ExpectBatchesBitwiseEqual(a, b);
+      ++batches;
+    }
+    EXPECT_FALSE(prefetch.Next(&b));
+    EXPECT_EQ(batches, sync.NumBatches());
+    sync.Reset();
+    prefetch.Reset();
+  }
+}
+
+TEST(DataLoaderPrefetchTest, ResetMidEpochCancelsStaleBatches) {
+  unsetenv("UNITS_PREFETCH");
+  auto ds = MakeDataset(20);
+  Rng rng_sync(88);
+  Rng rng_pre(88);
+  DataLoader sync(&ds, 3, /*shuffle=*/true, &rng_sync, /*prefetch=*/false);
+  DataLoader prefetch(&ds, 3, /*shuffle=*/true, &rng_pre, /*prefetch=*/true);
+  // Consume one batch of epoch 1 from each, then restart mid-epoch. Both
+  // loaders draw the same number of rng values, so epoch 2 must match
+  // bitwise — and the prefetch worker's in-flight epoch-1 batch must never
+  // surface.
+  Batch a;
+  Batch b;
+  ASSERT_TRUE(sync.Next(&a));
+  ASSERT_TRUE(prefetch.Next(&b));
+  ExpectBatchesBitwiseEqual(a, b);
+  sync.Reset();
+  prefetch.Reset();
+  std::set<int64_t> seen;
+  while (sync.Next(&a)) {
+    ASSERT_TRUE(prefetch.Next(&b));
+    ExpectBatchesBitwiseEqual(a, b);
+    for (int64_t idx : b.indices) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_FALSE(prefetch.Next(&b));
+  EXPECT_EQ(seen.size(), 20u);  // full epoch, nothing stale, nothing lost
+}
+
+TEST(DataLoaderPrefetchTest, RepeatedResetStorm) {
+  // Hammer Reset against the worker to shake out install/cancel races (the
+  // TSan job runs this test too).
+  unsetenv("UNITS_PREFETCH");
+  auto ds = MakeDataset(16);
+  Rng rng(99);
+  DataLoader loader(&ds, 4, /*shuffle=*/true, &rng, /*prefetch=*/true);
+  Batch batch;
+  for (int i = 0; i < 50; ++i) {
+    if (i % 3 != 0) {
+      ASSERT_TRUE(loader.Next(&batch));
+      ASSERT_EQ(batch.values.dim(0), 4);
+    }
+    loader.Reset();
+  }
+  std::set<int64_t> seen;
+  while (loader.Next(&batch)) {
+    for (int64_t idx : batch.indices) {
+      EXPECT_TRUE(seen.insert(idx).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(DataLoaderPrefetchTest, EnvKillSwitchDisablesWorker) {
+  auto ds = MakeDataset(8);
+  Rng rng(11);
+  setenv("UNITS_PREFETCH", "0", /*overwrite=*/1);
+  DataLoader off(&ds, 2, /*shuffle=*/false, &rng, /*prefetch=*/true);
+  EXPECT_FALSE(off.prefetching());
+  setenv("UNITS_PREFETCH", "off", /*overwrite=*/1);
+  DataLoader off2(&ds, 2, /*shuffle=*/false, &rng, /*prefetch=*/true);
+  EXPECT_FALSE(off2.prefetching());
+  unsetenv("UNITS_PREFETCH");
+  DataLoader on(&ds, 2, /*shuffle=*/false, &rng, /*prefetch=*/true);
+  EXPECT_TRUE(on.prefetching());
+  // The env switch only gates the worker; batches are unaffected.
+  Batch batch;
+  ASSERT_TRUE(off.Next(&batch));
+  EXPECT_EQ(batch.indices, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(DataLoaderDeathTest, NullRngFailsTheCheckNotASegfault) {
+  auto ds = MakeDataset(4);
+  // Regression: the constructor used to dereference rng in the member-init
+  // list before any guard ran, so a null rng crashed instead of CHECKing.
+  EXPECT_DEATH(DataLoader(&ds, 2, /*shuffle=*/false, /*rng=*/nullptr),
+               "CHECK failed");
+}
+
+TEST(DataLoaderDeathTest, NullDatasetFailsTheCheck) {
+  Rng rng(1);
+  EXPECT_DEATH(DataLoader(/*dataset=*/nullptr, 2, /*shuffle=*/false, &rng),
+               "CHECK failed");
+}
+
+TEST(DataLoaderDeathTest, NonPositiveBatchSizeFailsTheCheck) {
+  auto ds = MakeDataset(4);
+  Rng rng(1);
+  EXPECT_DEATH(DataLoader(&ds, 0, /*shuffle=*/false, &rng), "CHECK failed");
+  EXPECT_DEATH(DataLoader(&ds, -3, /*shuffle=*/false, &rng), "CHECK failed");
 }
 
 }  // namespace

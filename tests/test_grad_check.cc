@@ -4,11 +4,16 @@
 
 #include "autograd/grad_check.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
+#include "autograd/engine.h"
 #include "autograd/ops.h"
+#include "base/parallel.h"
 #include "base/rng.h"
 #include "nn/attention.h"
+#include "nn/heads.h"
 #include "nn/linear.h"
 #include "tensor/tensor_ops.h"
 
@@ -252,6 +257,195 @@ TEST(ModuleGradCheckTest, AttentionInputGradThroughBlockedGemm) {
   Variable x(Tensor::RandNormal({2, 5, 6}, &rng), /*requires_grad=*/true);
   const auto result = CheckGradients(fn, {x});
   EXPECT_TRUE(result.passed) << result.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Engine parity: the parallel ready-queue engine must produce bitwise the
+// same gradients as the serial sweep for every differentiable op and for
+// losses shaped like the five task heads.
+// ---------------------------------------------------------------------------
+
+/// Pins UNITS_BACKWARD + pool size; restores defaults on scope exit.
+class ScopedEngine {
+ public:
+  ScopedEngine(const char* mode, int threads) {
+    setenv("UNITS_BACKWARD", mode, /*overwrite=*/1);
+    base::SetNumThreads(threads);
+  }
+  ~ScopedEngine() {
+    unsetenv("UNITS_BACKWARD");
+    base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  }
+};
+
+/// Rebuilds the op case's inputs and graph from a fixed seed, runs Backward
+/// under the given engine, returns every input gradient flattened.
+std::vector<std::vector<float>> OpGradsUnder(const OpCase& c, const char* mode,
+                                             int threads) {
+  ScopedEngine engine(mode, threads);
+  Rng rng(1234);
+  std::vector<Variable> inputs;
+  for (const Shape& shape : c.shapes) {
+    Tensor t = c.positive_inputs
+                   ? Tensor::RandUniform(shape, &rng, 0.5f, 2.0f)
+                   : Tensor::RandNormal(shape, &rng);
+    inputs.emplace_back(std::move(t), /*requires_grad=*/true);
+  }
+  Variable loss = c.fn(inputs);
+  loss.Backward();
+  std::vector<std::vector<float>> grads;
+  grads.reserve(inputs.size());
+  for (const Variable& in : inputs) {
+    const Tensor& g = in.grad();
+    grads.emplace_back(g.data(), g.data() + g.numel());
+  }
+  return grads;
+}
+
+class EngineParityTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(EngineParityTest, SerialAndParallelBitwiseIdentical) {
+  const OpCase& c = GetParam();
+  const auto baseline = OpGradsUnder(c, "serial", 1);
+  const struct {
+    const char* mode;
+    int threads;
+  } kConfigs[] = {{"parallel", 1}, {"parallel", 8}, {"serial", 8}};
+  for (const auto& cfg : kConfigs) {
+    const auto got = OpGradsUnder(c, cfg.mode, cfg.threads);
+    ASSERT_EQ(got.size(), baseline.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].size(), baseline[i].size());
+      for (size_t j = 0; j < got[i].size(); ++j) {
+        ASSERT_EQ(got[i][j], baseline[i][j])
+            << c.name << " mode=" << cfg.mode << " threads=" << cfg.threads
+            << " input=" << i << " elem=" << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, EngineParityTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<OpCase>& info) {
+                           return info.param.name;
+                         });
+
+// Task-head-shaped losses: full forward+loss graphs matching what the five
+// trainers differentiate (heads rebuilt from a fixed seed per run).
+
+using GraphBuilder = std::function<Variable(std::vector<Variable>*)>;
+
+std::vector<std::vector<float>> TaskGradsUnder(const char* mode, int threads,
+                                               const GraphBuilder& build) {
+  ScopedEngine engine(mode, threads);
+  std::vector<Variable> leaves;
+  Variable loss = build(&leaves);
+  loss.Backward();
+  std::vector<std::vector<float>> grads;
+  grads.reserve(leaves.size());
+  for (const Variable& leaf : leaves) {
+    const Tensor& g = leaf.grad();
+    grads.emplace_back(g.data(), g.data() + g.numel());
+  }
+  return grads;
+}
+
+void ExpectTaskHeadParity(const GraphBuilder& build) {
+  const auto baseline = TaskGradsUnder("serial", 1, build);
+  const struct {
+    const char* mode;
+    int threads;
+  } kConfigs[] = {{"parallel", 1}, {"parallel", 8}, {"serial", 8}};
+  for (const auto& cfg : kConfigs) {
+    const auto got = TaskGradsUnder(cfg.mode, cfg.threads, build);
+    ASSERT_EQ(got.size(), baseline.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].size(), baseline[i].size()) << "leaf " << i;
+      for (size_t j = 0; j < got[i].size(); ++j) {
+        ASSERT_EQ(got[i][j], baseline[i][j])
+            << "mode=" << cfg.mode << " threads=" << cfg.threads
+            << " leaf=" << i << " elem=" << j;
+      }
+    }
+  }
+}
+
+TEST(TaskHeadEngineParityTest, ClassificationHeadCrossEntropy) {
+  ExpectTaskHeadParity([](std::vector<Variable>* leaves) {
+    Rng rng(301);
+    nn::MlpHead head(16, {12}, 4, &rng);
+    Variable x(Tensor::RandNormal({6, 16}, &rng), /*requires_grad=*/true);
+    leaves->push_back(x);
+    for (Variable& p : head.Parameters()) {
+      leaves->push_back(p);
+    }
+    const std::vector<int64_t> targets = {0, 1, 2, 3, 1, 0};
+    return ag::CrossEntropyLoss(head.Forward(x), targets);
+  });
+}
+
+TEST(TaskHeadEngineParityTest, ForecastDecoderMse) {
+  ExpectTaskHeadParity([](std::vector<Variable>* leaves) {
+    Rng rng(302);
+    nn::ForecastDecoder decoder(16, 3, 5, &rng, /*hidden_dim=*/8);
+    Variable z(Tensor::RandNormal({4, 16}, &rng), /*requires_grad=*/true);
+    leaves->push_back(z);
+    for (Variable& p : decoder.Parameters()) {
+      leaves->push_back(p);
+    }
+    Tensor target = Tensor::RandNormal({4, 3, 5}, &rng);
+    return ag::MseLoss(decoder.Forward(z), ag::Constant(target));
+  });
+}
+
+TEST(TaskHeadEngineParityTest, ImputationDecoderMaskedMse) {
+  ExpectTaskHeadParity([](std::vector<Variable>* leaves) {
+    Rng rng(303);
+    nn::ReconstructionDecoder decoder(8, 2, &rng, /*hidden_channels=*/6);
+    Variable z(Tensor::RandNormal({3, 8, 10}, &rng), /*requires_grad=*/true);
+    leaves->push_back(z);
+    for (Variable& p : decoder.Parameters()) {
+      leaves->push_back(p);
+    }
+    Tensor target = Tensor::RandNormal({3, 2, 10}, &rng);
+    Tensor mask = Tensor::RandUniform({3, 2, 10}, &rng, 0.0f, 1.0f);
+    for (int64_t i = 0; i < mask.numel(); ++i) {
+      mask.data()[i] = mask.data()[i] < 0.7f ? 1.0f : 0.0f;
+    }
+    return ag::MaskedMseLoss(decoder.Forward(z), ag::Constant(target), mask);
+  });
+}
+
+TEST(TaskHeadEngineParityTest, AnomalyDecoderReconstructionMse) {
+  ExpectTaskHeadParity([](std::vector<Variable>* leaves) {
+    Rng rng(304);
+    nn::ReconstructionDecoder decoder(6, 3, &rng);
+    Variable z(Tensor::RandNormal({2, 6, 12}, &rng), /*requires_grad=*/true);
+    leaves->push_back(z);
+    for (Variable& p : decoder.Parameters()) {
+      leaves->push_back(p);
+    }
+    Tensor target = Tensor::RandNormal({2, 3, 12}, &rng);
+    return ag::MseLoss(decoder.Forward(z), ag::Constant(target));
+  });
+}
+
+TEST(TaskHeadEngineParityTest, ClusteringProjectionCentroidLoss) {
+  // The k-means regularizer shape: normalized projected representations
+  // pulled toward fixed centroids.
+  ExpectTaskHeadParity([](std::vector<Variable>* leaves) {
+    Rng rng(305);
+    nn::MlpHead projector(16, {}, 8, &rng);
+    Variable z(Tensor::RandNormal({5, 16}, &rng), /*requires_grad=*/true);
+    leaves->push_back(z);
+    for (Variable& p : projector.Parameters()) {
+      leaves->push_back(p);
+    }
+    Tensor centroids = Tensor::RandNormal({5, 8}, &rng);
+    Variable proj = ag::L2Normalize(projector.Forward(z), /*axis=*/1);
+    return ag::MseLoss(proj, ag::Constant(centroids));
+  });
 }
 
 TEST(GradCheckHarnessTest, DetectsWrongGradient) {

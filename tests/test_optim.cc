@@ -189,6 +189,44 @@ TEST(ScheduleTest, StepDecaysGeometrically) {
   EXPECT_EQ(sched.Multiplier(25), 0.25f);
 }
 
+TEST(ScheduleTest, StepExactPowersOfTwoAtLargeStepCounts) {
+  // gamma = 0.5 halves exactly in binary floating point, so the multiplier
+  // must equal 2^-k exactly — float-exponent pow is not guaranteed to
+  // produce this (and differs between libm builds), integer exponentiation
+  // by squaring is.
+  StepLr sched(1, 0.5f);
+  EXPECT_EQ(sched.Multiplier(20), std::ldexp(1.0f, -20));
+  EXPECT_EQ(sched.Multiplier(63), std::ldexp(1.0f, -63));
+  EXPECT_EQ(sched.Multiplier(126), std::ldexp(1.0f, -126));
+  // Below float's normal range the product flushes toward zero identically
+  // to repeated multiplication in double then one rounding to float.
+  EXPECT_EQ(sched.Multiplier(1000), 0.0f);
+}
+
+TEST(ScheduleTest, StepMatchesRepeatedMultiplication) {
+  // The contract fixed here: the multiplier at decay count k equals the
+  // double-precision product gamma^k rounded once to float, for every k —
+  // i.e. the schedule is exactly what a training loop multiplying per decay
+  // would produce (no libm drift at large step counts).
+  const float gamma = 0.77f;
+  StepLr sched(7, gamma);
+  double expected = 1.0;
+  for (int64_t k = 0; k < 400; ++k) {
+    const int64_t step = k * 7;  // first step of decay interval k
+    ASSERT_EQ(sched.Multiplier(step), static_cast<float>(expected))
+        << "decay count " << k;
+    ASSERT_EQ(sched.Multiplier(step + 6), static_cast<float>(expected))
+        << "last step of interval " << k;
+    expected *= static_cast<double>(gamma);
+  }
+}
+
+TEST(ScheduleTest, StepGammaOneStaysExactlyOne) {
+  StepLr sched(3, 1.0f);
+  EXPECT_EQ(sched.Multiplier(0), 1.0f);
+  EXPECT_EQ(sched.Multiplier(3'000'000'000LL), 1.0f);
+}
+
 TEST(OptimizerTest, SetLrTakesEffect) {
   Variable x(Tensor::Zeros({1}), true);
   Sgd opt({x}, 1.0f);
