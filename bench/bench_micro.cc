@@ -5,7 +5,9 @@
 // After the google-benchmark suite runs, three harnesses execute:
 //  1. a GEMM GFLOP/s sweep over the shapes the encoders actually emit,
 //     naive vs. blocked micro-kernel (tensor/gemm.h), single-threaded and
-//     at the configured thread count;
+//     at the configured thread count, plus the packed int8 serving kernel
+//     (tensor/gemm_int8.h) vs fp32 with bitwise thread-count determinism
+//     and quantization-error gates;
 //  2. a fused-vs-composed attention sweep (ag::ScaledDotAttention against
 //     the scores -> softmax -> context chain) over growing sequence
 //     lengths, eval forward and training forward+backward;
@@ -46,6 +48,8 @@
 #include "plan/plan.h"
 #include "tensor/fft.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
+#include "tensor/quant.h"
 #include "tensor/tensor_ops.h"
 
 namespace units {
@@ -367,6 +371,112 @@ json::JsonValue RunGemmSweep() {
         "blocked_mt_gflops=%.2f,speedup_1t=%.2f\n",
         s.name.c_str(), gflop / (naive_ms * 1e-3), gflop / (blocked_ms * 1e-3),
         gflop / (blocked_mt_ms * 1e-3), naive_ms / blocked_ms);
+  }
+  base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  return results;
+}
+
+// --- int8 GEMM sweep ---------------------------------------------------------
+
+/// Times the packed int8 serving kernel (tensor/gemm_int8.h) against its
+/// naive int32 reference and the fp32 blocked kernel on the same shapes,
+/// single-threaded and at the configured thread count. Because int8 "ops"
+/// and fp32 FLOPs are the same multiply-add count, GOP/s are directly
+/// comparable: fp32_ratio is the serving speedup from quantization
+/// (DESIGN.md §17 targets >= 2x at square_512). Two gates ride along in
+/// every row:
+///   bitwise_equal  — int32 results memcmp-identical at 1 vs 8 threads
+///                    (exact integer accumulation, so any mismatch is a bug);
+///   max_rel_err    — full quantize->int8 GEMM->dequant output vs the fp32
+///                    product, max |delta| / absmax(ref): the accuracy cost
+///                    of serving int8, kept in the committed baseline so
+///                    drift in quantization error is as visible as a perf
+///                    regression.
+json::JsonValue RunInt8GemmSweep() {
+  json::JsonValue results = json::JsonValue::Array();
+  const int parallel_threads =
+      std::max(2, base::ThreadPool::DefaultNumThreads());
+  for (const GemmShape& s : MakeGemmShapes()) {
+    if (s.batch != 1) {
+      continue;  // the int8 kernel serves 2-D Linear products
+    }
+    Rng rng(701);
+    Tensor a = Tensor::RandNormal({s.m, s.k}, &rng);
+    Tensor b = Tensor::RandNormal({s.k, s.n}, &rng);
+    const double gop = 2.0 * static_cast<double>(s.m * s.k * s.n) * 1e-9;
+
+    // Weights quantized per-channel as at model-quantize time; activations
+    // per-row as on every quantized forward.
+    const quant::QuantizedLinearWeights qw =
+        quant::QuantizeLinearWeight(b, /*bias=*/nullptr);
+    std::vector<uint8_t> qa(static_cast<size_t>(s.m * s.k));
+    std::vector<float> row_scale(static_cast<size_t>(s.m));
+    std::vector<int32_t> row_zero(static_cast<size_t>(s.m));
+    quant::QuantizeActivationRows(a.data(), s.m, s.k, qa.data(),
+                                  row_scale.data(), row_zero.data());
+
+    std::vector<int32_t> c8(static_cast<size_t>(s.m * s.n));
+    auto int8_naive = [&] {
+      gemm::NaiveInt8Gemm(s.m, s.k, s.n, qa.data(), s.k, qw.qweight.data(),
+                          s.n, c8.data());
+    };
+    auto int8_packed = [&] {
+      gemm::Int8Gemm(s.m, s.n, qa.data(), s.k, qw.packed, c8.data());
+    };
+    Tensor c32({s.m, s.n});
+    auto fp32_blocked = [&] {
+      gemm::BatchedGemm(1, s.m, s.k, s.n, a.data(), b.data(), c32.data());
+    };
+
+    base::SetNumThreads(1);
+    const double naive_ms = TimeGemmMs(int8_naive);
+    const double packed_ms = TimeGemmMs(int8_packed);
+    const double fp32_ms = TimeGemmMs(fp32_blocked);
+    const std::vector<int32_t> c8_1t = c8;
+    base::SetNumThreads(parallel_threads);
+    const double packed_mt_ms = TimeGemmMs(int8_packed);
+    const bool bitwise =
+        std::memcmp(c8_1t.data(), c8.data(),
+                    c8_1t.size() * sizeof(int32_t)) == 0;
+
+    // Accuracy gate: dequantized serving output vs the fp32 product.
+    base::SetNumThreads(1);
+    fp32_blocked();
+    std::vector<float> y8(static_cast<size_t>(s.m * s.n));
+    quant::QuantizedLinearForward(a.data(), s.m, qw, y8.data());
+    double ref_absmax = 0.0;
+    double max_abs_err = 0.0;
+    for (size_t i = 0; i < y8.size(); ++i) {
+      ref_absmax = std::max(ref_absmax,
+                            static_cast<double>(std::fabs(c32.data()[i])));
+      max_abs_err = std::max(
+          max_abs_err,
+          static_cast<double>(std::fabs(y8[i] - c32.data()[i])));
+    }
+    const double max_rel_err =
+        ref_absmax > 0.0 ? max_abs_err / ref_absmax : 0.0;
+
+    json::JsonValue row = json::JsonValue::Object();
+    row.Set("name", json::JsonValue::String(s.name));
+    row.Set("m", json::JsonValue::Int(s.m));
+    row.Set("k", json::JsonValue::Int(s.k));
+    row.Set("n", json::JsonValue::Int(s.n));
+    row.Set("naive_gops", json::JsonValue::Number(gop / (naive_ms * 1e-3)));
+    row.Set("packed_gops", json::JsonValue::Number(gop / (packed_ms * 1e-3)));
+    row.Set("packed_mt_gops",
+            json::JsonValue::Number(gop / (packed_mt_ms * 1e-3)));
+    row.Set("fp32_gflops", json::JsonValue::Number(gop / (fp32_ms * 1e-3)));
+    row.Set("fp32_ratio", json::JsonValue::Number(fp32_ms / packed_ms));
+    row.Set("bitwise_equal", json::JsonValue::Bool(bitwise));
+    row.Set("max_rel_err", json::JsonValue::Number(max_rel_err));
+    results.Append(std::move(row));
+
+    std::printf(
+        "gemm_int8,%s,naive_gops=%.2f,packed_gops=%.2f,packed_mt_gops=%.2f,"
+        "fp32_gflops=%.2f,fp32_ratio=%.2f,bitwise_equal=%d,max_rel_err=%.4f\n",
+        s.name.c_str(), gop / (naive_ms * 1e-3), gop / (packed_ms * 1e-3),
+        gop / (packed_mt_ms * 1e-3), gop / (fp32_ms * 1e-3),
+        fp32_ms / packed_ms, bitwise ? 1 : 0, max_rel_err);
   }
   base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
   return results;
@@ -733,6 +843,25 @@ void DiffAgainstBaseline(const json::JsonValue& fresh) {
       }
     }
   }
+  // Int8 GEMM throughput: higher is better; quantization error: any growth
+  // past 25% over the committed baseline is flagged (it is a property of the
+  // kernel + quantizer, not the machine, so it should not drift at all).
+  if (base.Contains("gemm_int8") && fresh.Contains("gemm_int8")) {
+    for (size_t i = 0; i < fresh.at("gemm_int8").size(); ++i) {
+      const json::JsonValue& row = fresh.at("gemm_int8")[i];
+      const std::string name = row.at("name").AsString();
+      for (const char* key : {"naive_gops", "packed_gops"}) {
+        report("gemm_int8/" + name + "/" + key,
+               RowMetric(base.at("gemm_int8"), name, key),
+               RowMetric(fresh.at("gemm_int8"), name, key),
+               /*higher_is_better=*/true, /*tolerance=*/1.25);
+      }
+      report("gemm_int8/" + name + "/max_rel_err",
+             RowMetric(base.at("gemm_int8"), name, "max_rel_err"),
+             RowMetric(fresh.at("gemm_int8"), name, "max_rel_err"),
+             /*higher_is_better=*/false, /*tolerance=*/1.25);
+    }
+  }
   // Attention wall times: lower is better.
   if (base.Contains("attention") && fresh.Contains("attention")) {
     for (size_t i = 0; i < fresh.at("attention").size(); ++i) {
@@ -825,7 +954,10 @@ void WriteParallelScalingReport(const std::string& path) {
   doc.Set("parallel_threads",
           json::JsonValue::Int(static_cast<int64_t>(parallel_threads)));
   doc.Set("gemm_micro_kernel", json::JsonValue::String(gemm::MicroKernelName()));
+  doc.Set("gemm_int8_micro_kernel",
+          json::JsonValue::String(gemm::Int8MicroKernelName()));
   doc.Set("gemm", RunGemmSweep());
+  doc.Set("gemm_int8", RunInt8GemmSweep());
   doc.Set("attention", RunAttentionSweep());
   doc.Set("plan", RunPlanSweep());
   doc.Set("backward", RunBackwardSweep());

@@ -151,6 +151,27 @@ Variable MatMul(const Variable& a, const Variable& b) {
       }));
 }
 
+Variable QuantizedLinear(
+    const Variable& x,
+    std::shared_ptr<const quant::QuantizedLinearWeights> weights) {
+  UNITS_CHECK(weights != nullptr);
+  UNITS_CHECK_EQ(x.ndim(), 2);
+  UNITS_CHECK_EQ(x.dim(1), weights->in_features);
+  const int64_t rows = x.dim(0);
+  Tensor out({rows, weights->out_features});
+  quant::QuantizedLinearForward(x.data().data(), rows, *weights, out.data());
+  Variable result =
+      Variable::MakeNode(std::move(out), {x}, [](const Tensor&) {
+        UNITS_CHECK_MSG(false,
+                        "QuantizedLinear is inference-only and has no "
+                        "backward; dequantize before training");
+      });
+  if (plan::TraceActive()) {
+    plan::TraceQuantLinear(x, std::move(weights), result);
+  }
+  return result;
+}
+
 Variable BatchedMatMul(const Variable& a, const Variable& b) {
   Tensor out = ops::BatchedMatMul(a.data(), b.data());
   return Traced2(

@@ -2,9 +2,11 @@
 #define UNITS_AUTOGRAD_OPS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "tensor/quant.h"
 
 namespace units::autograd {
 
@@ -35,6 +37,12 @@ Variable MatMul(const Variable& a, const Variable& b);
 Variable BatchedMatMul(const Variable& a, const Variable& b);
 Variable Transpose(const Variable& a, int axis0, int axis1);
 Variable Reshape(const Variable& a, Shape new_shape);
+/// Quantized Linear for serving: x [rows, in] against packed int8 weights,
+/// bias fused into the dequantize epilogue (tensor/quant.h). Inference-only
+/// — the backward CHECK-fails; nn::Linear gates this on eval mode.
+Variable QuantizedLinear(
+    const Variable& x,
+    std::shared_ptr<const quant::QuantizedLinearWeights> weights);
 
 // --- nonlinearities -------------------------------------------------------
 

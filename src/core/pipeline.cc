@@ -6,6 +6,7 @@
 #include "base/check.h"
 #include "base/logging.h"
 #include "core/registry.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/tensor_ops.h"
 
 namespace units::core {
@@ -134,6 +135,28 @@ Status UnitsPipeline::EnsureReadyForServing() {
   return Status::Ok();
 }
 
+int64_t UnitsPipeline::QuantizeInt8() {
+  int64_t quantized = 0;
+  for (auto& tmpl : templates_) {
+    if (tmpl->encoder() != nullptr) {
+      quantized += tmpl->encoder()->QuantizeInt8Weights();
+    }
+  }
+  if (fusion_ != nullptr && fusion_->module() != nullptr) {
+    quantized += fusion_->module()->QuantizeInt8Weights();
+  }
+  if (task_ != nullptr && task_->head() != nullptr) {
+    quantized += task_->head()->QuantizeInt8Weights();
+  }
+  precision_ = "int8";
+  // Captured plans traced the fp32 forward (possibly const-folding fp32
+  // linear outputs); they are stale now. The next RunEvalProgram recaptures
+  // through the quantized Linear::Forward path.
+  plan_cache_.Clear();
+  plans_captured_int8_ = gemm::Int8GemmEnabled();
+  return quantized;
+}
+
 Variable UnitsPipeline::EncodeFused(const Variable& x) {
   EnsureFusion().CheckOk();
   std::vector<Variable> zs;
@@ -246,6 +269,16 @@ std::vector<Tensor> UnitsPipeline::RunEvalProgram(
   const plan::Mode mode = plan::ActiveMode();
   const bool plans_allowed =
       planning_enabled_ && !was_training && mode != plan::Mode::kDynamic;
+  if (precision_ == "int8") {
+    // UNITS_GEMM_INT8 is read per forward call, so flipping it mid-serve
+    // would silently replay plans captured under the other kernel; detect
+    // the flip and recapture.
+    const bool int8_now = gemm::Int8GemmEnabled();
+    if (int8_now != plans_captured_int8_) {
+      plan_cache_.Clear();
+      plans_captured_int8_ = int8_now;
+    }
+  }
 
   std::vector<Tensor> outs;         // stitched [N, ...tail] results
   std::vector<int64_t> per_sample;  // floats per row, per output

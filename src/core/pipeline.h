@@ -78,6 +78,17 @@ class UnitsPipeline {
   /// safe to issue concurrently).
   Status EnsureReadyForServing();
 
+  /// Post-training int8 quantization (DESIGN.md §17): attaches per-channel
+  /// int8 weights to every Linear in the encoder/fusion/task trees (GRU
+  /// recurrent layers opt out) and drops captured plans so the next
+  /// capture traces the quantized forward. The fp32 weights stay resident:
+  /// UNITS_GEMM_INT8=off serves them as the accuracy oracle. Returns the
+  /// number of layers quantized; precision() flips to "int8".
+  int64_t QuantizeInt8();
+
+  /// "fp32", or "int8" once QuantizeInt8 has run.
+  const std::string& precision() const { return precision_; }
+
   // --- services used by AnalysisTask implementations ------------------------
 
   /// Differentiable fused pooled encoding [B, D, T] -> [B, K'].
@@ -164,6 +175,11 @@ class UnitsPipeline {
   /// invalidates the cache (weights may change under a captured constant).
   plan::PlanCache plan_cache_;
   bool planning_enabled_ = false;
+  std::string precision_ = "fp32";
+  /// UNITS_GEMM_INT8 state the cached plans were captured under; a flip
+  /// mid-serve invalidates them (the traced forward chose its kernel by
+  /// this gate).
+  bool plans_captured_int8_ = false;
 };
 
 }  // namespace units::core

@@ -148,6 +148,10 @@ Status UnitsPipeline::SaveJson(const std::string& path) const {
                                   config_.pretrain_params)));
   root.Set("finetune_params", ParamSetToJson(finetune_params_));
   root.Set("pretrained", json::JsonValue::Bool(pretrained_));
+  // Only the fp32 weights are persisted; "int8" asks LoadJson to requantize
+  // them. Quantization is deterministic, so save -> load -> Predict is
+  // bitwise stable across restarts.
+  root.Set("precision", json::JsonValue::String(precision_));
 
   json::JsonValue encoders = json::JsonValue::Array();
   for (const auto& tmpl : templates_) {
@@ -224,6 +228,10 @@ Result<std::unique_ptr<UnitsPipeline>> UnitsPipeline::LoadJson(
   }
   if (root.at("pretrained").AsBool()) {
     pipeline->MarkPretrained();
+  }
+  if (root.Contains("precision") &&
+      root.at("precision").AsString() == "int8") {
+    pipeline->QuantizeInt8();
   }
   return pipeline;
 }

@@ -25,6 +25,11 @@ class GruBackbone : public Module {
 
   Variable Forward(const Variable& input) override;
 
+  /// Opts out of int8 quantization: the recurrent projections feed their
+  /// own output back as input, so per-step rounding error compounds over
+  /// T timesteps instead of staying bounded like in feed-forward layers.
+  int64_t QuantizeInt8Weights() override { return 0; }
+
   int64_t repr_dim() const { return repr_dim_; }
 
  private:

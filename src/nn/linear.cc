@@ -1,6 +1,8 @@
 #include "nn/linear.h"
 
 #include "base/check.h"
+#include "tensor/gemm_int8.h"
+#include "tensor/quant.h"
 
 namespace units::nn {
 
@@ -26,11 +28,19 @@ Variable Linear::Forward(const Variable& input) {
     const int64_t rows = input.numel() / in_features_;
     x = ag::Reshape(input, {rows, in_features_});
   }
-  // Runs the blocked GEMM (tensor/gemm.h); UNITS_GEMM=naive forces the
-  // reference loop.
-  Variable y = ag::MatMul(x, weight_);
-  if (bias_.defined()) {
-    y = ag::Add(y, bias_);
+  Variable y;
+  if (qweights_ != nullptr && !training() && gemm::Int8GemmEnabled()) {
+    // Quantized serving path: exact int8 GEMM + fused dequantize/bias
+    // epilogue. The env gate is read per call so UNITS_GEMM_INT8=off flips
+    // a live model back to the fp32 oracle below without reloading.
+    y = ag::QuantizedLinear(x, qweights_);
+  } else {
+    // Runs the blocked GEMM (tensor/gemm.h); UNITS_GEMM=naive forces the
+    // reference loop.
+    y = ag::MatMul(x, weight_);
+    if (bias_.defined()) {
+      y = ag::Add(y, bias_);
+    }
   }
   if (in_shape.size() != 2) {
     Shape out_shape(in_shape.begin(), in_shape.end() - 1);
@@ -38,6 +48,13 @@ Variable Linear::Forward(const Variable& input) {
     y = ag::Reshape(y, out_shape);
   }
   return y;
+}
+
+int64_t Linear::QuantizeInt8Weights() {
+  const Tensor* bias = bias_.defined() ? &bias_.data() : nullptr;
+  qweights_ = std::make_shared<const quant::QuantizedLinearWeights>(
+      quant::QuantizeLinearWeight(weight_.data(), bias));
+  return 1;
 }
 
 }  // namespace units::nn

@@ -17,6 +17,21 @@ class Linear : public Module {
 
   Variable Forward(const Variable& input) override;
 
+  /// Attaches per-output-channel int8 weights quantized from the current
+  /// fp32 parameters (which stay in place — UNITS_GEMM_INT8=off and
+  /// training both fall back to them). Returns 1.
+  int64_t QuantizeInt8Weights() override;
+
+  /// Drops the quantized weights (back to pure fp32).
+  void ClearQuantizedWeights() { qweights_.reset(); }
+
+  /// True when int8 weights are attached (regardless of the env gate).
+  bool quantized() const { return qweights_ != nullptr; }
+  const std::shared_ptr<const quant::QuantizedLinearWeights>&
+  quantized_weights() const {
+    return qweights_;
+  }
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
   const Variable& weight() const { return weight_; }
@@ -27,6 +42,7 @@ class Linear : public Module {
   int64_t out_features_;
   Variable weight_;  // [in, out]
   Variable bias_;    // [out] (undefined when use_bias=false)
+  std::shared_ptr<const quant::QuantizedLinearWeights> qweights_;
 };
 
 }  // namespace units::nn

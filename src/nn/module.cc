@@ -48,6 +48,14 @@ void Module::SetTraining(bool training) {
   }
 }
 
+int64_t Module::QuantizeInt8Weights() {
+  int64_t quantized = 0;
+  for (auto& [name, child] : children_) {
+    quantized += child->QuantizeInt8Weights();
+  }
+  return quantized;
+}
+
 int64_t Module::NumParameters() const {
   int64_t total = 0;
   for (const Variable& v : Parameters()) {

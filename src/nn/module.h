@@ -41,6 +41,13 @@ class Module {
   void SetTraining(bool training);
   bool training() const { return training_; }
 
+  /// Post-training int8 quantization walk (DESIGN.md §17): asks every
+  /// module in the tree to attach per-channel int8 weights for serving.
+  /// Returns the number of layers quantized. Default recurses into
+  /// children; Linear overrides to quantize itself, recurrence-sensitive
+  /// modules (GRU) override to opt out.
+  virtual int64_t QuantizeInt8Weights();
+
   /// Total number of scalar parameters.
   int64_t NumParameters() const;
 

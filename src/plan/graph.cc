@@ -34,6 +34,7 @@ const char* OpKindName(OpKind k) {
     case OpKind::kSlice: return "slice";
     case OpKind::kConcat: return "concat";
     case OpKind::kConv1dCore: return "conv1d_core";
+    case OpKind::kQuantLinear: return "quant_linear";
     case OpKind::kFusedSweep: return "fused_sweep";
   }
   return "unknown";

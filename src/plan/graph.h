@@ -2,9 +2,11 @@
 #define UNITS_PLAN_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace units::plan {
@@ -46,6 +48,7 @@ enum class OpKind {
   kSlice,
   kConcat,
   kConv1dCore,   // im2col + GEMM + unpack (bias is traced as a kAdd after)
+  kQuantLinear,  // int8 quantized Linear incl. fused bias (DESIGN.md §17)
   // Produced by the fusion pass only, never traced directly.
   kFusedSweep,
 };
@@ -100,6 +103,11 @@ struct Node {
   int64_t i3 = 0;       // conv pad_right
   Tensor tensor_attr;   // conv reshaped weight [Cout, Cin*k] /
                         // attention dropout mask (empty in eval)
+
+  /// kQuantLinear only: the layer's packed int8 weights + scales + bias,
+  /// shared with the owning nn::Linear (immutable after quantization; a
+  /// re-quantize attaches a fresh object and invalidates cached plans).
+  std::shared_ptr<const quant::QuantizedLinearWeights> qlinear;
 
   /// Scratch buffers this node needs while executing (attention's K^T
   /// panel, conv's column/GEMM planes). The memory planner materializes

@@ -150,6 +150,12 @@ void EvalPlan::Execute(ExecState* st) const {
                                            n.tensor_attr, &kt, &out);
         break;
       }
+      case OpKind::kQuantLinear: {
+        const Tensor& x = in(0);
+        quant::QuantizedLinearForward(x.data(), x.dim(0), *n.qlinear,
+                                      out.data());
+        break;
+      }
       case OpKind::kConv1dCore: {
         Tensor& cols = st->bound[static_cast<size_t>(n.workspace_ids[0])];
         Tensor& out2 = st->bound[static_cast<size_t>(n.workspace_ids[1])];

@@ -51,6 +51,14 @@ void TraceConv1d(const Variable& input, const Tensor& w2, const Variable& bias,
   }
 }
 
+void TraceQuantLinear(const Variable& x,
+                      std::shared_ptr<const quant::QuantizedLinearWeights> w,
+                      const Variable& out) {
+  if (internal::Tracer* t = internal::t_tracer) {
+    t->RecordQuantLinear(x, std::move(w), out);
+  }
+}
+
 void NoteNodeCreated(const Variable& v) {
   if (internal::Tracer* t = internal::t_tracer) {
     t->NoteCreated(v);
@@ -294,6 +302,31 @@ void Tracer::RecordConv1d(const Variable& input, const Tensor& w2,
   add.inputs = {core_id, bias_id};
   add.output = out_id;
   graph_.nodes.push_back(std::move(add));
+  Register(out, out_id);
+}
+
+void Tracer::RecordQuantLinear(
+    const Variable& x, std::shared_ptr<const quant::QuantizedLinearWeights> w,
+    const Variable& out) {
+  if (poisoned_) {
+    return;
+  }
+  const int in_id = Resolve(x);
+  if (in_id < 0) {
+    return;
+  }
+  if (graph_.values[static_cast<size_t>(in_id)].is_const) {
+    // Constant input (weight-only subexpression): the result is too.
+    Register(out, NewConstValue(out.data()));
+    return;
+  }
+  const int out_id = NewDerivedValue(out.data().shape());
+  Node node;
+  node.kind = OpKind::kQuantLinear;
+  node.inputs = {in_id};
+  node.output = out_id;
+  node.qlinear = std::move(w);
+  graph_.nodes.push_back(std::move(node));
   Register(out, out_id);
 }
 

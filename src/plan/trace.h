@@ -54,6 +54,12 @@ void TraceConv1d(const autograd::Variable& input, const Tensor& w2,
                  const autograd::Variable& bias, const autograd::Variable& out,
                  int64_t kernel, int64_t dilation, int64_t pad_left,
                  int64_t pad_right);
+/// Quantized Linear (autograd::QuantizedLinear): one kQuantLinear node
+/// holding the layer's shared packed-int8 weights; bias is fused inside.
+void TraceQuantLinear(
+    const autograd::Variable& x,
+    std::shared_ptr<const quant::QuantizedLinearWeights> weights,
+    const autograd::Variable& out);
 
 /// Called from Variable::MakeNode for every op-produced Variable while
 /// tracing. Implements poison detection: if a later hooked op consumes a
@@ -99,6 +105,10 @@ class Tracer {
                     const autograd::Variable& bias,
                     const autograd::Variable& out, int64_t kernel,
                     int64_t dilation, int64_t pad_left, int64_t pad_right);
+  void RecordQuantLinear(
+      const autograd::Variable& x,
+      std::shared_ptr<const quant::QuantizedLinearWeights> weights,
+      const autograd::Variable& out);
   void NoteCreated(const autograd::Variable& v);
   void Poison(const std::string& reason);
 

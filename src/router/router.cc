@@ -587,7 +587,7 @@ void Router::HandleShardLine(Shard* s, bool ctrl, const std::string& line,
 void Router::NoteControlResponse(Shard* s, const Pending& p,
                                  const std::string& line) {
   const bool ok = ResponseOk(line);
-  if (p.op == "load" || p.op == "reload") {
+  if (p.op == "load" || p.op == "reload" || p.op == "quantize") {
     Dec(&s->loading, p.model);
     if (ok) {
       s->loaded.insert(p.model);
@@ -834,7 +834,7 @@ void Router::RouteClientLine(ClientConn* c, const std::string& line) {
                     Clock::now());
     return;
   }
-  if (op == "load" || op == "unload" || op == "reload") {
+  if (op == "load" || op == "unload" || op == "reload" || op == "quantize") {
     DispatchControl(c, entry_id, request, op, line);
     return;
   }
@@ -935,7 +935,9 @@ void Router::DispatchControl(ClientConn* c, uint64_t entry_id,
     return;
   }
   Shard* s = shards_[owner].get();
-  if (op == "load" || op == "reload") {
+  if (op == "load" || op == "reload" || op == "quantize") {
+    // quantize holds predicts like a reload: requests routed after it must
+    // not race the precision switch on the worker.
     Inc(&s->loading, *model);
   } else {
     Inc(&s->unloading, *model);

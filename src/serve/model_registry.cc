@@ -31,6 +31,23 @@ Result<core::TaskResult> ServableModel::Predict(const Tensor& x) {
   return pipeline_->Predict(x);
 }
 
+Result<int64_t> ServableModel::Quantize() {
+  std::lock_guard<std::mutex> lk(predict_mu_);
+  const int64_t quantized = pipeline_->QuantizeInt8();
+  if (quantized == 0) {
+    return Status::FailedPrecondition(
+        "model '" + name_ + "' has no quantizable layers");
+  }
+  UNITS_LOG(Info) << "registry: quantized '" << name_ << "' (" << quantized
+                  << " layers)";
+  return quantized;
+}
+
+std::string ServableModel::precision() const {
+  std::lock_guard<std::mutex> lk(predict_mu_);
+  return pipeline_->precision();
+}
+
 Result<std::shared_ptr<ServableModel>> ModelRegistry::LoadFromFile(
     const std::string& name, const std::string& path) {
   UNITS_ASSIGN_OR_RETURN(std::unique_ptr<core::UnitsPipeline> pipeline,
@@ -98,6 +115,21 @@ Status ModelRegistry::Reload(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   models_[name] = std::move(model);
   return Status::Ok();
+}
+
+Status ModelRegistry::Quantize(const std::string& name) {
+  std::shared_ptr<ServableModel> model;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = models_.find(name);
+    if (it == models_.end()) {
+      return Status::NotFound("model '" + name + "' is not loaded");
+    }
+    model = it->second;
+  }
+  // Quantize outside the registry lock — it serializes with Predict via
+  // the model's own mutex, and lookups of other models must not stall.
+  return model->Quantize().status();
 }
 
 Result<std::shared_ptr<ServableModel>> ModelRegistry::Get(

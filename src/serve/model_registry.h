@@ -34,6 +34,16 @@ class ServableModel {
   /// models run concurrently (they share only the intra-op thread pool).
   Result<core::TaskResult> Predict(const Tensor& x);
 
+  /// Quantizes this model's pipeline to int8 in place (DESIGN.md §17).
+  /// Takes the predict mutex, so it acts as a barrier: forwards issued
+  /// after it returns run the quantized path. Returns the number of
+  /// layers quantized.
+  Result<int64_t> Quantize();
+
+  /// "fp32", or "int8" after Quantize (or when loaded from a file saved
+  /// with int8 precision).
+  std::string precision() const;
+
   core::UnitsPipeline* pipeline() { return pipeline_.get(); }
 
   /// Largest per-execution arena any of this model's captured eval plans
@@ -49,7 +59,7 @@ class ServableModel {
   std::string path_;
   std::string task_;
   std::unique_ptr<core::UnitsPipeline> pipeline_;
-  std::mutex predict_mu_;
+  mutable std::mutex predict_mu_;
 };
 
 /// Thread-safe named collection of resident models: the serving layer's
@@ -76,6 +86,11 @@ class ModelRegistry {
   /// Re-loads `name` from its recorded path (picking up a re-fitted model
   /// file in place). Fails for adopted models without a path.
   Status Reload(const std::string& name);
+
+  /// Quantizes the resident model `name` to int8 in place. The fp32 and
+  /// int8 precisions coexist in the registry: other models are untouched,
+  /// and a later Reload restores this one to its file's precision.
+  Status Quantize(const std::string& name);
 
   /// Handle lookup; NotFound if the name is not registered.
   Result<std::shared_ptr<ServableModel>> Get(const std::string& name) const;

@@ -277,18 +277,27 @@ json::JsonValue RequestSession::HandleControl(const json::JsonValue& request) {
     }
     return resp;
   }
-  if (op == "unload" || op == "reload") {
+  if (op == "unload" || op == "reload" || op == "quantize") {
     auto model = GetStringField(request, "model");
     if (!model.ok()) {
       return ErrorResponse(json::JsonValue(), model.status().ToString());
     }
-    const Status status = op == "unload" ? registry_->Unload(*model)
-                                         : registry_->Reload(*model);
+    // quantize shares the control-op barrier: every predict queued before
+    // it is answered from the fp32 weights, every one after from int8.
+    const Status status = op == "unload"   ? registry_->Unload(*model)
+                          : op == "reload" ? registry_->Reload(*model)
+                                           : registry_->Quantize(*model);
     if (!status.ok()) {
       return ErrorResponse(json::JsonValue(), status.ToString());
     }
     json::JsonValue resp = OkResponse(op);
     resp.Set("model", json::JsonValue::String(*model));
+    if (op == "quantize") {
+      auto handle = registry_->Get(*model);
+      if (handle.ok()) {
+        resp.Set("precision", json::JsonValue::String((*handle)->precision()));
+      }
+    }
     return resp;
   }
   if (op == "list") {
@@ -304,6 +313,7 @@ json::JsonValue RequestSession::HandleControl(const json::JsonValue& request) {
       entry.Set("path", json::JsonValue::String((*handle)->path()));
       entry.Set("input_channels",
                 json::JsonValue::Int((*handle)->input_channels()));
+      entry.Set("precision", json::JsonValue::String((*handle)->precision()));
       models.Append(std::move(entry));
     }
     json::JsonValue resp = OkResponse(op);
@@ -326,6 +336,7 @@ json::JsonValue RequestSession::HandleControl(const json::JsonValue& request) {
       const plan::PlanCacheStats s =
           (*handle)->pipeline()->GetPlanCacheStats();
       json::JsonValue m = json::JsonValue::Object();
+      m.Set("precision", json::JsonValue::String((*handle)->precision()));
       m.Set("plans", json::JsonValue::Int(s.plans));
       m.Set("unplannable", json::JsonValue::Int(s.unplannable));
       m.Set("plan_arena_bytes", json::JsonValue::Int(s.arena_bytes_max));

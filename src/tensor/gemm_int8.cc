@@ -1,0 +1,298 @@
+#include "tensor/gemm_int8.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/parallel.h"
+#include "tensor/gemm.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define UNITS_GEMM_RESTRICT __restrict__
+#else
+#define UNITS_GEMM_RESTRICT
+#endif
+
+namespace units::gemm {
+
+namespace {
+
+using ::units::base::ParallelFor;
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Bytes per packed A micro-tile octet ([4 rows][8 k]) and per packed B
+/// micro-tile octet ([2 col halves][2 quads][8 cols][4 k]).
+constexpr int64_t kAOctetBytes = kMR8 * kKO8;
+constexpr int64_t kBOctetBytes = kNR8 * kKO8;
+
+/// True when UNITS_GEMM_INT8=generic: keep the packed path but skip the
+/// AVX2 micro-kernel (read once; the on/off gate below stays dynamic).
+bool ForceGenericInt8MicroKernel() {
+  static const bool force = [] {
+    const char* e = std::getenv("UNITS_GEMM_INT8");
+    return e != nullptr && std::string(e) == "generic";
+  }();
+  return force;
+}
+
+detail::Int8MicroKernelFn ActiveInt8MicroKernel() {
+  static const detail::Int8MicroKernelFn fn = [] {
+    if (!ForceGenericInt8MicroKernel() && detail::Int8Avx2KernelCompiled() &&
+        detail::Int8Avx2Supported()) {
+      return &detail::Int8MicroKernelAvx2;
+    }
+    return &detail::Int8MicroKernelGeneric;
+  }();
+  return fn;
+}
+
+/// Shared driver: parallel over row macro-tiles; packs A per tile into a
+/// per-thread slab and hands each finished kMR8 x kNR8 int32 micro-tile to
+/// `emit(tile, ic + ir, jr, mr, nr)`. Integer accumulation is exact, so
+/// chunking never changes a single output bit.
+template <typename EmitTile>
+void Int8GemmDrive(int64_t m, int64_t n, const uint8_t* a, int64_t lda,
+                   const PackedInt8B& b, const EmitTile& emit) {
+  const detail::Int8MicroKernelFn micro = ActiveInt8MicroKernel();
+  const int64_t k = b.k;
+  const int64_t ko = CeilDiv(k, kKO8);
+  const int64_t row_tiles = CeilDiv(m, kMC8);
+  const int64_t ntiles = CeilDiv(n, kNR8);
+  const int64_t grain = TileGrain(std::min<int64_t>(kMC8, m) * k * n);
+  ParallelFor(0, row_tiles, grain, [&](int64_t t0, int64_t t1) {
+    std::vector<uint8_t> apanel(
+        static_cast<size_t>((kMC8 / kMR8) * ko * kAOctetBytes));
+    alignas(32) int32_t tile[kMR8 * kNR8];
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t ic = t * kMC8;
+      const int64_t mc = std::min<int64_t>(kMC8, m - ic);
+      detail::PackAInt8(a + ic * lda, lda, mc, k, apanel.data());
+      const int64_t mtiles = CeilDiv(mc, kMR8);
+      for (int64_t jt = 0; jt < ntiles; ++jt) {
+        const int64_t jr = jt * kNR8;
+        const int64_t nr = std::min<int64_t>(kNR8, n - jr);
+        const int8_t* bp = b.data.data() + jt * ko * kBOctetBytes;
+        for (int64_t it = 0; it < mtiles; ++it) {
+          const int64_t ir = it * kMR8;
+          const int64_t mr = std::min<int64_t>(kMR8, mc - ir);
+          const uint8_t* ap = apanel.data() + it * ko * kAOctetBytes;
+          micro(ko, ap, bp, tile, kNR8);
+          emit(tile, ic + ir, jr, mr, nr);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+bool Int8GemmEnabled() {
+  const char* e = std::getenv("UNITS_GEMM_INT8");
+  return e == nullptr || std::string(e) != "off";
+}
+
+const char* Int8MicroKernelName() {
+  return ActiveInt8MicroKernel() == &detail::Int8MicroKernelAvx2 ? "avx2"
+                                                                 : "generic";
+}
+
+PackedInt8B PackBInt8(const int8_t* b, int64_t ldb, int64_t k, int64_t n) {
+  PackedInt8B out;
+  out.k = k;
+  out.n = n;
+  if (k <= 0 || n <= 0) {
+    return out;
+  }
+  const int64_t ko = CeilDiv(k, kKO8);
+  const int64_t ntiles = CeilDiv(n, kNR8);
+  out.data.assign(static_cast<size_t>(ntiles * ko * kBOctetBytes), 0);
+  out.colsum.assign(static_cast<size_t>(n), 0);
+  for (int64_t jt = 0; jt < ntiles; ++jt) {
+    int8_t* block = out.data.data() + jt * ko * kBOctetBytes;
+    for (int64_t o = 0; o < ko; ++o) {
+      int8_t* oct = block + o * kBOctetBytes;
+      for (int64_t h = 0; h < 2; ++h) {
+        for (int64_t q = 0; q < 2; ++q) {
+          int8_t* quad = oct + h * 64 + q * 32;
+          for (int64_t cg = 0; cg < 8; ++cg) {
+            const int64_t j = jt * kNR8 + h * 8 + cg;
+            if (j >= n) {
+              continue;  // padding stays zero
+            }
+            for (int64_t s = 0; s < 4; ++s) {
+              const int64_t p = o * kKO8 + q * 4 + s;
+              if (p >= k) {
+                continue;
+              }
+              quad[cg * 4 + s] = b[p * ldb + j];
+            }
+          }
+        }
+      }
+    }
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    int32_t s = 0;
+    for (int64_t p = 0; p < k; ++p) {
+      s += static_cast<int32_t>(b[p * ldb + j]);
+    }
+    out.colsum[static_cast<size_t>(j)] = s;
+  }
+  return out;
+}
+
+void Int8Gemm(int64_t m, int64_t n, const uint8_t* a, int64_t lda,
+              const PackedInt8B& b, int32_t* c) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (b.k <= 0) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(int32_t));
+    return;
+  }
+  Int8GemmDrive(m, n, a, lda, b,
+                [&](const int32_t* tile, int64_t row, int64_t col, int64_t mr,
+                    int64_t nr) {
+                  for (int64_t i = 0; i < mr; ++i) {
+                    int32_t* crow = c + (row + i) * n + col;
+                    const int32_t* trow = tile + i * kNR8;
+                    for (int64_t j = 0; j < nr; ++j) {
+                      crow[j] = trow[j];
+                    }
+                  }
+                });
+}
+
+void Int8GemmDequant(int64_t m, int64_t n, const uint8_t* a, int64_t lda,
+                     const int32_t* row_zero, const float* row_scale,
+                     const PackedInt8B& b, const float* col_scale,
+                     const float* bias, float* y) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (b.k <= 0) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        y[i * n + j] = bias != nullptr ? bias[j] : 0.0f;
+      }
+    }
+    return;
+  }
+  const int32_t* colsum = b.colsum.data();
+  Int8GemmDrive(
+      m, n, a, lda, b,
+      [&](const int32_t* tile, int64_t row, int64_t col, int64_t mr,
+          int64_t nr) {
+        // The int32 micro-tile is consumed right here — it never reaches
+        // main memory on the dequant path.
+        for (int64_t i = 0; i < mr; ++i) {
+          const int32_t z = row_zero[row + i];
+          const float sr = row_scale[row + i];
+          float* yrow = y + (row + i) * n + col;
+          const int32_t* trow = tile + i * kNR8;
+          for (int64_t j = 0; j < nr; ++j) {
+            const int32_t centered = trow[j] - z * colsum[col + j];
+            const float v =
+                sr * col_scale[col + j] * static_cast<float>(centered);
+            yrow[j] = bias != nullptr ? v + bias[col + j] : v;
+          }
+        }
+      });
+}
+
+void NaiveInt8Gemm(int64_t m, int64_t k, int64_t n, const uint8_t* a,
+                   int64_t lda, const int8_t* b, int64_t ldb, int32_t* c) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(int32_t));
+  if (k <= 0) {
+    return;
+  }
+  const int64_t grain =
+      std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, k * n));
+  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const uint8_t* arow = a + i * lda;
+      int32_t* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t av = static_cast<int32_t>(arow[p]);
+        if (av == 0) {
+          continue;
+        }
+        const int8_t* brow = b + p * ldb;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += av * static_cast<int32_t>(brow[j]);
+        }
+      }
+    }
+  });
+}
+
+namespace detail {
+
+void PackAInt8(const uint8_t* UNITS_GEMM_RESTRICT a, int64_t lda, int64_t mc,
+               int64_t k, uint8_t* UNITS_GEMM_RESTRICT out) {
+  const int64_t ko = CeilDiv(k, kKO8);
+  for (int64_t ir = 0; ir < mc; ir += kMR8) {
+    const int64_t mr = std::min<int64_t>(kMR8, mc - ir);
+    for (int64_t o = 0; o < ko; ++o) {
+      uint8_t* oct = out + o * kAOctetBytes;
+      const int64_t p0 = o * kKO8;
+      const int64_t kk = std::min<int64_t>(kKO8, k - p0);
+      for (int64_t i = 0; i < mr; ++i) {
+        const uint8_t* arow = a + (ir + i) * lda + p0;
+        uint8_t* orow = oct + i * kKO8;
+        for (int64_t s = 0; s < kk; ++s) {
+          orow[s] = arow[s];
+        }
+        for (int64_t s = kk; s < kKO8; ++s) {
+          orow[s] = 0;
+        }
+      }
+      for (int64_t i = mr; i < kMR8; ++i) {
+        std::memset(oct + i * kKO8, 0, static_cast<size_t>(kKO8));
+      }
+    }
+    out += ko * kAOctetBytes;
+  }
+}
+
+void Int8MicroKernelGeneric(int64_t ko, const uint8_t* UNITS_GEMM_RESTRICT a,
+                            const int8_t* UNITS_GEMM_RESTRICT b,
+                            int32_t* UNITS_GEMM_RESTRICT c, int64_t ldc) {
+  int32_t acc[kMR8][kNR8] = {};
+  for (int64_t o = 0; o < ko; ++o) {
+    const uint8_t* ap = a + o * kAOctetBytes;
+    const int8_t* bp = b + o * kBOctetBytes;
+    for (int64_t i = 0; i < kMR8; ++i) {
+      const uint8_t* arow = ap + i * kKO8;
+      for (int64_t h = 0; h < 2; ++h) {
+        for (int64_t cg = 0; cg < 8; ++cg) {
+          int32_t s = 0;
+          for (int64_t q = 0; q < 2; ++q) {
+            const int8_t* quad = bp + h * 64 + q * 32 + cg * 4;
+            for (int64_t t = 0; t < 4; ++t) {
+              s += static_cast<int32_t>(arow[q * 4 + t]) *
+                   static_cast<int32_t>(quad[t]);
+            }
+          }
+          acc[i][h * 8 + cg] += s;
+        }
+      }
+    }
+  }
+  for (int64_t i = 0; i < kMR8; ++i) {
+    int32_t* crow = c + i * ldc;
+    for (int64_t j = 0; j < kNR8; ++j) {
+      crow[j] = acc[i][j];
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace units::gemm

@@ -1,0 +1,148 @@
+#ifndef UNITS_TENSOR_GEMM_INT8_H_
+#define UNITS_TENSOR_GEMM_INT8_H_
+
+#include <cstdint>
+#include <vector>
+
+/// Packed int8 GEMM for quantized serving (DESIGN.md §17). Same BLIS-style
+/// structure as the fp32 engine in tensor/gemm.{h,cc}: packed operand
+/// panels, a register-blocked micro-kernel, parallelism at whole row
+/// macro-tile granularity. Because the accumulator is exact int32
+/// arithmetic, results are bitwise identical across thread counts and
+/// across the AVX2 / generic micro-kernels by construction.
+///
+/// Operand contract (chosen so the AVX2 `maddubs` pipeline is exact):
+///
+///   A: uint8, values in [0, kActQMax=64]  (per-row asymmetric activations)
+///   B: int8, any value in [-128, 127]     (per-channel symmetric weights)
+///   C: int32 = sum_k a[i][k] * b[k][j]    (exact; K <= kInt8MaxK)
+///
+/// `_mm256_maddubs_epi16` multiplies u8 x s8 pairs and saturating-adds
+/// adjacent int16 products. With a <= 64 each pair sum is within
+/// [-16384, 16256] (no saturation), and the sum of TWO maddubs results is
+/// within [-32768, 32512] — still exact in int16. That lets the kernel
+/// consume eight k values (one "octet") per accumulator update:
+///
+///   t0 = maddubs(a[k0..k3] bcast, Bq0)    // 16 x int16
+///   t1 = maddubs(a[k4..k7] bcast, Bq1)
+///   acc += pmaddwd(t0 + t1, ones)         // 8 x int32, exact
+///
+/// i.e. 64 multiply-adds per 5 instructions — comfortably above 2x the
+/// fp32 FMA kernel's arithmetic density. Weights keep the full s8 range;
+/// activations trade 1 bit for exactness (task-metric parity is enforced
+/// by tests/test_quantize.cc, the accuracy contract for serving).
+
+namespace units::gemm {
+
+// ---------------------------------------------------------------------------
+// Tile constants
+// ---------------------------------------------------------------------------
+
+/// Micro-kernel register block: 4 rows x 16 int32 columns = 8 ymm
+/// accumulators, plus 4 B loads and 1 A broadcast per octet step.
+inline constexpr int64_t kMR8 = 4;
+inline constexpr int64_t kNR8 = 16;
+
+/// k values consumed per packed octet (two maddubs quads).
+inline constexpr int64_t kKO8 = 8;
+
+/// Rows per parallel macro-tile (multiple of kMR8, mirrors fp32 kMC).
+inline constexpr int64_t kMC8 = 96;
+
+/// Quantized activations live in [0, kActQMax]; the exactness proof above
+/// needs a <= 64. quant::QuantizeActivationRows honors this ceiling.
+inline constexpr int32_t kActQMax = 64;
+
+/// Largest K for which the int32 accumulator provably cannot overflow:
+/// |sum| <= K * 64 * 128 = K * 2^13 < 2^31 for K < 2^18.
+inline constexpr int64_t kInt8MaxK = int64_t{1} << 17;
+
+static_assert(kMC8 % kMR8 == 0, "macro row tile must hold whole micro tiles");
+
+// ---------------------------------------------------------------------------
+// Gating / dispatch
+// ---------------------------------------------------------------------------
+
+/// UNITS_GEMM_INT8=off routes quantized Linear layers back to the fp32
+/// weights (the runnable oracle). Read per call so tests and operators can
+/// flip it at runtime; anything other than "off" enables the path.
+bool Int8GemmEnabled();
+
+/// Name of the int8 micro-kernel dispatched on this machine:
+/// "avx2" or "generic".
+const char* Int8MicroKernelName();
+
+// ---------------------------------------------------------------------------
+// Packed weights
+// ---------------------------------------------------------------------------
+
+/// B[k,n] packed once at quantize time (weights are static at serving):
+/// per 16-column tile, per k-octet, 128 bytes laid out as
+///   [cols 0-7, k0..k3][cols 0-7, k4..k7][cols 8-15, k0..k3][cols 8-15, k4..k7]
+/// with each 32-byte group holding eight 4-byte column quads — exactly the
+/// operand shape maddubs wants. Edges are zero-padded (zeros contribute
+/// nothing, so padded and unpadded results match exactly). `colsum[j]` is
+/// sum_k b[k][j], used by the dequant epilogue's zero-point correction.
+struct PackedInt8B {
+  int64_t k = 0;
+  int64_t n = 0;
+  std::vector<int8_t> data;
+  std::vector<int32_t> colsum;
+};
+
+/// Packs ldb-strided B[k,n] (row-major; pass ldb=n for contiguous).
+PackedInt8B PackBInt8(const int8_t* b, int64_t ldb, int64_t k, int64_t n);
+
+// ---------------------------------------------------------------------------
+// GEMM entry points
+// ---------------------------------------------------------------------------
+
+/// C[m,n] (int32, overwritten) = A[m,k] * B. A is lda-strided u8 with
+/// values <= kActQMax. Parallel over row macro-tiles; exact, so bitwise
+/// thread-count-independent.
+void Int8Gemm(int64_t m, int64_t n, const uint8_t* a, int64_t lda,
+              const PackedInt8B& b, int32_t* c);
+
+/// Fused dequantize epilogue: the int32 micro-tile never leaves registers/
+/// stack before being scaled to fp32:
+///   y[i,j] = row_scale[i] * col_scale[j] * (S[i,j] - row_zero[i]*colsum[j])
+///            + (bias ? bias[j] : 0)
+/// where S is the exact int32 product above.
+void Int8GemmDequant(int64_t m, int64_t n, const uint8_t* a, int64_t lda,
+                     const int32_t* row_zero, const float* row_scale,
+                     const PackedInt8B& b, const float* col_scale,
+                     const float* bias, float* y);
+
+/// Naive i-k-j int32 reference loop over unpacked operands (lda/ldb-strided)
+/// — the oracle for tests/test_gemm_int8.cc.
+void NaiveInt8Gemm(int64_t m, int64_t k, int64_t n, const uint8_t* a,
+                   int64_t lda, const int8_t* b, int64_t ldb, int32_t* c);
+
+namespace detail {
+
+/// Micro-kernel contract: overwrite the full kMR8 x kNR8 int32 tile
+/// C[ldc-strided] with the product of packed panels: a = ko octets of
+/// [4 rows x 8 bytes], b = ko octets of the 128-byte layout above.
+using Int8MicroKernelFn = void (*)(int64_t ko, const uint8_t* a,
+                                   const int8_t* b, int32_t* c, int64_t ldc);
+
+void Int8MicroKernelGeneric(int64_t ko, const uint8_t* a, const int8_t* b,
+                            int32_t* c, int64_t ldc);
+
+// Defined in gemm_int8_avx2.cc; stubs when built without AVX2.
+bool Int8Avx2KernelCompiled();
+bool Int8Avx2Supported();
+void Int8MicroKernelAvx2(int64_t ko, const uint8_t* a, const int8_t* b,
+                         int32_t* c, int64_t ldc);
+
+/// Packs A[mc x k] (lda-strided u8) for one macro-tile into per-micro-tile
+/// octet slabs: for each 4-row tile, ko groups of [row][8 bytes] (rows
+/// beyond mc and k values beyond k zero-padded). Exposed for tests.
+void PackAInt8(const uint8_t* a, int64_t lda, int64_t mc, int64_t k,
+               uint8_t* out);
+
+}  // namespace detail
+
+}  // namespace units::gemm
+
+#endif  // UNITS_TENSOR_GEMM_INT8_H_

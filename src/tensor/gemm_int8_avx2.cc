@@ -1,0 +1,111 @@
+// AVX2 int8 micro-kernel for the packed quantized GEMM. Like
+// tensor/gemm_avx2.cc this translation unit is the only one built with
+// -mavx2 (see src/CMakeLists.txt); gemm_int8.cc picks it at runtime via
+// Int8Avx2Supported(), so the library baseline ISA is unchanged.
+//
+// Exactness: activations are u8 <= 64 (gemm::kActQMax), so each
+// `maddubs` lane (two u8 x s8 products, saturating int16 add) is within
+// [-16384, 16256] — below saturation — and the plain `paddw` of the two
+// quad results stays within [-32768, 32512], exact in int16. `pmaddwd`
+// against ones then widens to int32 losslessly. Every output is the exact
+// integer dot product, bit-for-bit equal to the generic kernel and the
+// naive oracle.
+
+#include "tensor/gemm_int8.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace units::gemm::detail {
+
+static_assert(kMR8 == 4 && kNR8 == 16 && kKO8 == 8,
+              "the AVX2 int8 kernel is specialized for a 4x16x8 block");
+
+bool Int8Avx2KernelCompiled() { return true; }
+
+bool Int8Avx2Supported() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Broadcasts one 4-byte activation quad (k0..k3 of one row) across all
+/// eight 32-bit lanes — the operand shape maddubs pairs against a packed
+/// B quad group (eight columns x the same four k values).
+inline __m256i BroadcastQuad(const uint8_t* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return _mm256_set1_epi32(v);
+}
+
+}  // namespace
+
+void Int8MicroKernelAvx2(int64_t ko, const uint8_t* a, const int8_t* b,
+                         int32_t* c, int64_t ldc) {
+  // 4 rows x 16 cols = 8 int32 ymm accumulators; the 4 B quad groups, 2 A
+  // broadcasts, and the ones vector fill out the register file.
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i c0a = _mm256_setzero_si256(), c0b = _mm256_setzero_si256();
+  __m256i c1a = _mm256_setzero_si256(), c1b = _mm256_setzero_si256();
+  __m256i c2a = _mm256_setzero_si256(), c2b = _mm256_setzero_si256();
+  __m256i c3a = _mm256_setzero_si256(), c3b = _mm256_setzero_si256();
+  for (int64_t o = 0; o < ko; ++o) {
+    const int8_t* bp = b + o * kNR8 * kKO8;
+    const __m256i b0q0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    const __m256i b0q1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 32));
+    const __m256i b1q0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 64));
+    const __m256i b1q1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 96));
+    const uint8_t* ap = a + o * kMR8 * kKO8;
+#define UNITS_INT8_ROW(acc_lo, acc_hi, row)                                  \
+  {                                                                          \
+    const __m256i aq0 = BroadcastQuad(ap + (row)*kKO8);                      \
+    const __m256i aq1 = BroadcastQuad(ap + (row)*kKO8 + 4);                  \
+    const __m256i lo = _mm256_add_epi16(_mm256_maddubs_epi16(aq0, b0q0),     \
+                                        _mm256_maddubs_epi16(aq1, b0q1));    \
+    const __m256i hi = _mm256_add_epi16(_mm256_maddubs_epi16(aq0, b1q0),     \
+                                        _mm256_maddubs_epi16(aq1, b1q1));    \
+    acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(lo, ones));          \
+    acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(hi, ones));          \
+  }
+    UNITS_INT8_ROW(c0a, c0b, 0)
+    UNITS_INT8_ROW(c1a, c1b, 1)
+    UNITS_INT8_ROW(c2a, c2b, 2)
+    UNITS_INT8_ROW(c3a, c3b, 3)
+#undef UNITS_INT8_ROW
+  }
+  const auto store_row = [ldc](int32_t* crow, __m256i lo, __m256i hi) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow), lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + 8), hi);
+    (void)ldc;
+  };
+  store_row(c + 0 * ldc, c0a, c0b);
+  store_row(c + 1 * ldc, c1a, c1b);
+  store_row(c + 2 * ldc, c2a, c2b);
+  store_row(c + 3 * ldc, c3a, c3b);
+}
+
+}  // namespace units::gemm::detail
+
+#else  // !__AVX2__
+
+namespace units::gemm::detail {
+
+bool Int8Avx2KernelCompiled() { return false; }
+bool Int8Avx2Supported() { return false; }
+void Int8MicroKernelAvx2(int64_t, const uint8_t*, const int8_t*, int32_t*,
+                         int64_t) {}
+
+}  // namespace units::gemm::detail
+
+#endif

@@ -1,0 +1,135 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "base/check.h"
+#include "base/parallel.h"
+#include "tensor/gemm.h"
+
+namespace units::quant {
+
+namespace {
+
+using ::units::base::ParallelFor;
+
+int32_t ClampRound(float v, int32_t lo, int32_t hi) {
+  const int32_t r = static_cast<int32_t>(std::lrintf(v));
+  return std::min(hi, std::max(lo, r));
+}
+
+}  // namespace
+
+QuantizedLinearWeights QuantizeLinearWeight(const Tensor& weight,
+                                            const Tensor* bias) {
+  UNITS_CHECK_EQ(weight.ndim(), 2);
+  const int64_t in = weight.dim(0);
+  const int64_t out = weight.dim(1);
+  UNITS_CHECK_LE(in, gemm::kInt8MaxK);
+  QuantizedLinearWeights w;
+  w.in_features = in;
+  w.out_features = out;
+  w.qweight.assign(static_cast<size_t>(in * out), 0);
+  w.col_scale.assign(static_cast<size_t>(out), 1.0f);
+  const float* wd = weight.data();
+  for (int64_t j = 0; j < out; ++j) {
+    float absmax = 0.0f;
+    for (int64_t p = 0; p < in; ++p) {
+      absmax = std::max(absmax, std::fabs(wd[p * out + j]));
+    }
+    // absmax == 0: the channel is all zeros; any scale maps it to zeros.
+    const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    const float inv = 1.0f / scale;
+    w.col_scale[static_cast<size_t>(j)] = scale;
+    for (int64_t p = 0; p < in; ++p) {
+      w.qweight[static_cast<size_t>(p * out + j)] = static_cast<int8_t>(
+          ClampRound(wd[p * out + j] * inv, -127, 127));
+    }
+  }
+  w.packed = gemm::PackBInt8(w.qweight.data(), out, in, out);
+  if (bias != nullptr) {
+    UNITS_CHECK_EQ(bias->numel(), out);
+    w.has_bias = true;
+    w.bias.assign(bias->data(), bias->data() + out);
+  }
+  return w;
+}
+
+Tensor DequantizeLinearWeight(const QuantizedLinearWeights& w) {
+  Tensor t = Tensor::Zeros({w.in_features, w.out_features});
+  float* d = t.data();
+  for (int64_t p = 0; p < w.in_features; ++p) {
+    for (int64_t j = 0; j < w.out_features; ++j) {
+      d[p * w.out_features + j] =
+          static_cast<float>(w.qweight[static_cast<size_t>(
+              p * w.out_features + j)]) *
+          w.col_scale[static_cast<size_t>(j)];
+    }
+  }
+  return t;
+}
+
+void QuantizeActivationRows(const float* x, int64_t rows, int64_t cols,
+                            uint8_t* q, float* row_scale, int32_t* row_zero) {
+  if (rows <= 0 || cols <= 0) {
+    return;
+  }
+  const int64_t grain = std::max<int64_t>(
+      1, gemm::kGrainFlops / std::max<int64_t>(1, cols));
+  ParallelFor(0, rows, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* xr = x + i * cols;
+      uint8_t* qr = q + i * cols;
+      float lo = xr[0];
+      float hi = xr[0];
+      for (int64_t c = 1; c < cols; ++c) {
+        lo = std::min(lo, xr[c]);
+        hi = std::max(hi, xr[c]);
+      }
+      if (hi == lo) {
+        // Constant row: represent the value exactly as scale * (q - z).
+        const float v = lo;
+        if (v == 0.0f) {
+          row_scale[i] = 1.0f;
+          row_zero[i] = 0;
+          std::memset(qr, 0, static_cast<size_t>(cols));
+        } else {
+          row_scale[i] = std::fabs(v);
+          row_zero[i] = v > 0.0f ? 0 : 1;
+          std::memset(qr, v > 0.0f ? 1 : 0, static_cast<size_t>(cols));
+        }
+        continue;
+      }
+      const float scale = (hi - lo) / static_cast<float>(gemm::kActQMax);
+      const float inv = 1.0f / scale;
+      const int32_t zero = ClampRound(-lo * inv, 0, gemm::kActQMax);
+      row_scale[i] = scale;
+      row_zero[i] = zero;
+      for (int64_t c = 0; c < cols; ++c) {
+        qr[c] = static_cast<uint8_t>(
+            ClampRound(xr[c] * inv + static_cast<float>(zero), 0,
+                       gemm::kActQMax));
+      }
+    }
+  });
+}
+
+void QuantizedLinearForward(const float* x, int64_t rows,
+                            const QuantizedLinearWeights& w, float* y) {
+  if (rows <= 0 || w.out_features <= 0) {
+    return;
+  }
+  const int64_t in = w.in_features;
+  std::vector<uint8_t> qx(static_cast<size_t>(rows * in));
+  std::vector<float> row_scale(static_cast<size_t>(rows));
+  std::vector<int32_t> row_zero(static_cast<size_t>(rows));
+  QuantizeActivationRows(x, rows, in, qx.data(), row_scale.data(),
+                         row_zero.data());
+  gemm::Int8GemmDequant(rows, w.out_features, qx.data(), in, row_zero.data(),
+                        row_scale.data(), w.packed, w.col_scale.data(),
+                        w.has_bias ? w.bias.data() : nullptr, y);
+}
+
+}  // namespace units::quant

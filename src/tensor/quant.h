@@ -1,0 +1,63 @@
+#ifndef UNITS_TENSOR_QUANT_H_
+#define UNITS_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/gemm_int8.h"
+#include "tensor/tensor.h"
+
+/// Post-training quantization for serving (DESIGN.md §17).
+///
+/// Scheme:
+///   weights     per-output-channel symmetric int8 in [-127, 127]
+///               (col_scale[j] = absmax_j / 127, fp32)
+///   activations per-row asymmetric uint8 in [0, gemm::kActQMax=64]
+///               (row_scale[i] = (max_i - min_i) / 64, zero point z_i)
+///
+/// y[i,j] = row_scale[i] * col_scale[j] * (S[i,j] - z_i * colsum[j]) + b[j]
+/// with S the exact int32 GEMM (tensor/gemm_int8.h) — so quantization is
+/// the only source of error, and the whole path is deterministic: the same
+/// fp32 weights always quantize to the same int8 weights, and the same
+/// input always produces the same output bits at any thread count.
+
+namespace units::quant {
+
+/// Quantized weights (plus packed form and fp32 bias) for one Linear layer.
+/// The fp32 master weights stay on the module — UNITS_GEMM_INT8=off falls
+/// back to them, keeping the fp32 path as the runnable oracle.
+struct QuantizedLinearWeights {
+  int64_t in_features = 0;
+  int64_t out_features = 0;
+  std::vector<int8_t> qweight;    ///< [in, out] row-major (round-trip/tests)
+  std::vector<float> col_scale;   ///< [out] per-channel scales
+  gemm::PackedInt8B packed;       ///< qweight pre-packed for the kernel
+  bool has_bias = false;
+  std::vector<float> bias;        ///< [out] fp32 bias (empty if !has_bias)
+};
+
+/// Per-output-channel symmetric quantization of weight [in, out] (+ bias).
+/// Deterministic (pure function of the fp32 values), so re-quantizing after
+/// a save/load restart reproduces the exact same int8 model.
+QuantizedLinearWeights QuantizeLinearWeight(const Tensor& weight,
+                                            const Tensor* bias);
+
+/// Dequantized copy q * col_scale as an [in, out] tensor — for round-trip
+/// error-bound tests.
+Tensor DequantizeLinearWeight(const QuantizedLinearWeights& w);
+
+/// Per-row asymmetric u8 quantization of x[rows, cols] (row-major, lda=cols)
+/// into q (u8 in [0, kActQMax]), row_scale and row_zero. Constant rows are
+/// represented exactly. Parallel over rows, bitwise deterministic.
+void QuantizeActivationRows(const float* x, int64_t rows, int64_t cols,
+                            uint8_t* q, float* row_scale, int32_t* row_zero);
+
+/// Full quantized Linear: quantize activations per row, exact int8 GEMM,
+/// fused dequantize + bias epilogue. x is [rows, in], y is [rows, out].
+void QuantizedLinearForward(const float* x, int64_t rows,
+                            const QuantizedLinearWeights& w, float* y);
+
+}  // namespace units::quant
+
+#endif  // UNITS_TENSOR_QUANT_H_

@@ -1,0 +1,340 @@
+// Differential verification of the packed int8 GEMM
+// (tensor/gemm_int8.{h,cc} + gemm_int8_avx2.cc): a seeded 300-shape fuzz
+// sweep against the naive int32-accumulate oracle demanding EXACT integer
+// equality (integer arithmetic has no reassociation error, so the blocked/
+// SIMD path must match the oracle bit for bit), strided and transposed
+// operand sources, zero-size edges, micro-tile boundary shapes,
+// saturation-adjacent edge values (a=64 against b in {+127, -128, -127}),
+// 1-vs-8-thread bitwise determinism, and the fused dequantize epilogue
+// against a straightforward reference.
+
+#include "tensor/gemm_int8.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+
+namespace units::gemm {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() = default;
+  ~ThreadCountGuard() {
+    base::SetNumThreads(base::ThreadPool::DefaultNumThreads());
+  }
+};
+
+/// Scoped UNITS_GEMM_INT8 override restoring the previous value on exit.
+class Int8EnvGuard {
+ public:
+  explicit Int8EnvGuard(const char* value) {
+    const char* prev = getenv("UNITS_GEMM_INT8");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) {
+      prev_ = prev;
+    }
+    if (value != nullptr) {
+      setenv("UNITS_GEMM_INT8", value, 1);
+    } else {
+      unsetenv("UNITS_GEMM_INT8");
+    }
+  }
+  ~Int8EnvGuard() {
+    if (had_prev_) {
+      setenv("UNITS_GEMM_INT8", prev_.c_str(), 1);
+    } else {
+      unsetenv("UNITS_GEMM_INT8");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+std::vector<uint8_t> RandActivations(Rng* rng, int64_t count) {
+  std::vector<uint8_t> v(static_cast<size_t>(count));
+  for (auto& x : v) {
+    x = static_cast<uint8_t>(rng->UniformInt(int64_t{0}, int64_t{kActQMax}));
+  }
+  return v;
+}
+
+std::vector<int8_t> RandWeights(Rng* rng, int64_t count) {
+  std::vector<int8_t> v(static_cast<size_t>(count));
+  for (auto& x : v) {
+    x = static_cast<int8_t>(rng->UniformInt(int64_t{-128}, int64_t{127}));
+  }
+  return v;
+}
+
+/// Packed path (contiguous operands) vs the naive oracle: exact match.
+void ExpectPackedMatchesNaive(int64_t m, int64_t k, int64_t n,
+                              const std::vector<uint8_t>& a,
+                              const std::vector<int8_t>& b,
+                              const std::string& label) {
+  const PackedInt8B packed = PackBInt8(b.data(), n, k, n);
+  std::vector<int32_t> got(static_cast<size_t>(m * n), -1);
+  std::vector<int32_t> ref(static_cast<size_t>(m * n), -1);
+  Int8Gemm(m, n, a.data(), k, packed, got.data());
+  NaiveInt8Gemm(m, k, n, a.data(), k, b.data(), n, ref.data());
+  ASSERT_EQ(got, ref) << label;
+}
+
+TEST(Int8GemmOracleTest, FuzzSweepMatchesNaiveExactly) {
+  Rng rng(812);
+  const std::vector<int64_t> dims = {1,  2,  3,  4,  5,  7,  8,  9,
+                                     15, 16, 17, 31, 32, 33, 63, 64,
+                                     65, 95, 96, 97, 127, 128, 129};
+  for (int iter = 0; iter < 300; ++iter) {
+    const int64_t m = dims[rng.UniformInt(dims.size())];
+    const int64_t k = dims[rng.UniformInt(dims.size())];
+    const int64_t n = dims[rng.UniformInt(dims.size())];
+    const auto a = RandActivations(&rng, m * k);
+    const auto b = RandWeights(&rng, k * n);
+    ExpectPackedMatchesNaive(m, k, n, a, b,
+                             "m=" + std::to_string(m) + " k=" +
+                                 std::to_string(k) + " n=" + std::to_string(n));
+    if (HasFatalFailure()) {
+      break;
+    }
+  }
+}
+
+TEST(Int8GemmOracleTest, StridedAndTransposedSources) {
+  // A and B packed out of larger parent buffers (lda > k, ldb > n), the
+  // pattern a transposed or sliced view produces once materialized.
+  Rng rng(813);
+  const int64_t m = 21, k = 37, n = 29;
+  const int64_t lda = k + 11, ldb = n + 5;
+  const auto abuf = RandActivations(&rng, m * lda);
+  const auto bbuf = RandWeights(&rng, k * ldb);
+  const PackedInt8B packed = PackBInt8(bbuf.data(), ldb, k, n);
+  std::vector<int32_t> got(static_cast<size_t>(m * n));
+  std::vector<int32_t> ref(static_cast<size_t>(m * n));
+  Int8Gemm(m, n, abuf.data(), lda, packed, got.data());
+  NaiveInt8Gemm(m, k, n, abuf.data(), lda, bbuf.data(), ldb, ref.data());
+  EXPECT_EQ(got, ref);
+
+  // Explicit transpose: C = A * B^T computed by materializing B^T, checked
+  // against a transposed naive walk of the untransposed B.
+  const auto bsq = RandWeights(&rng, k * k);
+  std::vector<int8_t> bt(static_cast<size_t>(k * k));
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      bt[j * k + i] = bsq[i * k + j];
+    }
+  }
+  const PackedInt8B packed_t = PackBInt8(bt.data(), k, k, k);
+  std::vector<int32_t> got_t(static_cast<size_t>(m * k));
+  Int8Gemm(m, k, abuf.data(), lda, packed_t, got_t.data());
+  std::vector<int32_t> ref_t(static_cast<size_t>(m * k), 0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      int32_t s = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        s += static_cast<int32_t>(abuf[i * lda + p]) *
+             static_cast<int32_t>(bsq[j * k + p]);
+      }
+      ref_t[i * k + j] = s;
+    }
+  }
+  EXPECT_EQ(got_t, ref_t);
+}
+
+TEST(Int8GemmOracleTest, ZeroSizeEdges) {
+  Rng rng(814);
+  for (const auto& [m, k, n] :
+       std::vector<std::array<int64_t, 3>>{{0, 5, 7},
+                                           {5, 0, 7},
+                                           {5, 7, 0},
+                                           {0, 0, 0},
+                                           {1, 0, 1}}) {
+    const auto a = RandActivations(&rng, m * k);
+    const auto b = RandWeights(&rng, k * n);
+    const PackedInt8B packed = PackBInt8(b.data(), n, k, n);
+    std::vector<int32_t> got(static_cast<size_t>(m * n), -7);
+    Int8Gemm(m, n, a.data(), k, packed, got.data());
+    // k == 0 must yield exact zeros, not uninitialized memory.
+    for (const int32_t v : got) {
+      ASSERT_EQ(v, 0) << "m=" << m << " k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(Int8GemmOracleTest, SaturationEdgeValuesStayExact) {
+  // The maddubs pipeline saturates in int16 if operands exceed the proven
+  // bounds; with a = kActQMax = 64 everywhere and b at the extreme s8
+  // values the partial sums sit exactly ON those bounds (two products of
+  // 64 * -128 = -16384 per maddubs lane, and -32768 after the pair add).
+  // Every combination must still match the int32 oracle exactly.
+  const std::vector<int8_t> extremes = {-128, -127, 127};
+  for (const int8_t w0 : extremes) {
+    for (const int8_t w1 : extremes) {
+      const int64_t m = kMR8 + 1, k = 2 * kKO8, n = kNR8 + 1;
+      std::vector<uint8_t> a(static_cast<size_t>(m * k),
+                             static_cast<uint8_t>(kActQMax));
+      std::vector<int8_t> b(static_cast<size_t>(k * n));
+      for (int64_t p = 0; p < k; ++p) {
+        for (int64_t j = 0; j < n; ++j) {
+          b[p * n + j] = (p % 2 == 0) ? w0 : w1;
+        }
+      }
+      ExpectPackedMatchesNaive(m, k, n, a, b,
+                               "w0=" + std::to_string(w0) +
+                                   " w1=" + std::to_string(w1));
+    }
+  }
+}
+
+TEST(Int8GemmOracleTest, TileBoundaryShapes) {
+  Rng rng(815);
+  for (const auto& [m, k, n] : std::vector<std::array<int64_t, 3>>{
+           {kMR8 - 1, kKO8 - 1, kNR8 - 1},
+           {kMR8, kKO8, kNR8},
+           {kMR8 + 1, kKO8 + 1, kNR8 + 1},
+           {kMC8 - 1, 40, 2 * kNR8 + 1},
+           {kMC8, 2 * kKO8, kNR8},
+           {kMC8 + 1, 3 * kKO8 + 5, kNR8 * 3 + 7},
+           {2 * kMC8 + 3, 129, 2 * kNR8 + 9},
+       }) {
+    const auto a = RandActivations(&rng, m * k);
+    const auto b = RandWeights(&rng, k * n);
+    ExpectPackedMatchesNaive(m, k, n, a, b,
+                             "m=" + std::to_string(m) + " k=" +
+                                 std::to_string(k) + " n=" + std::to_string(n));
+  }
+}
+
+TEST(Int8GemmOracleTest, GenericAndAvx2MicroKernelsAgree) {
+  if (!detail::Int8Avx2KernelCompiled() || !detail::Int8Avx2Supported()) {
+    GTEST_SKIP() << "AVX2 int8 kernel unavailable on this machine";
+  }
+  Rng rng(816);
+  for (const int64_t k : {int64_t{1}, kKO8, 3 * kKO8 + 2, int64_t{200}}) {
+    const int64_t ko = (k + kKO8 - 1) / kKO8;
+    const auto a = RandActivations(&rng, kMR8 * k);
+    const auto b = RandWeights(&rng, k * kNR8);
+    std::vector<uint8_t> apanel(static_cast<size_t>(ko * kMR8 * kKO8));
+    detail::PackAInt8(a.data(), k, kMR8, k, apanel.data());
+    const PackedInt8B packed = PackBInt8(b.data(), kNR8, k, kNR8);
+    std::vector<int32_t> cg(static_cast<size_t>(kMR8 * kNR8));
+    std::vector<int32_t> cv(static_cast<size_t>(kMR8 * kNR8));
+    detail::Int8MicroKernelGeneric(ko, apanel.data(), packed.data.data(),
+                                   cg.data(), kNR8);
+    detail::Int8MicroKernelAvx2(ko, apanel.data(), packed.data.data(),
+                                cv.data(), kNR8);
+    EXPECT_EQ(cg, cv) << "k=" << k;
+  }
+}
+
+TEST(Int8GemmDeterminismTest, BitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(817);
+  for (const auto& [m, k, n] : std::vector<std::array<int64_t, 3>>{
+           {kMC8 - 1, 40, 2 * kNR8 + 1},
+           {kMC8 + 1, 129, kNR8 + 1},
+           {2 * kMC8 + 3, 64, 3 * kNR8 + 5},
+       }) {
+    const auto a = RandActivations(&rng, m * k);
+    const auto b = RandWeights(&rng, k * n);
+    const PackedInt8B packed = PackBInt8(b.data(), n, k, n);
+    base::SetNumThreads(1);
+    std::vector<int32_t> serial(static_cast<size_t>(m * n));
+    Int8Gemm(m, n, a.data(), k, packed, serial.data());
+    base::SetNumThreads(8);
+    std::vector<int32_t> parallel(static_cast<size_t>(m * n));
+    Int8Gemm(m, n, a.data(), k, packed, parallel.data());
+    EXPECT_EQ(serial, parallel) << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(Int8GemmDeterminismTest, DequantEpilogueBitwiseAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(818);
+  const int64_t m = kMC8 + 7, k = 50, n = 2 * kNR8 + 3;
+  const auto a = RandActivations(&rng, m * k);
+  const auto b = RandWeights(&rng, k * n);
+  const PackedInt8B packed = PackBInt8(b.data(), n, k, n);
+  std::vector<int32_t> row_zero(static_cast<size_t>(m));
+  std::vector<float> row_scale(static_cast<size_t>(m));
+  std::vector<float> col_scale(static_cast<size_t>(n));
+  std::vector<float> bias(static_cast<size_t>(n));
+  for (int64_t i = 0; i < m; ++i) {
+    row_zero[i] = static_cast<int32_t>(rng.UniformInt(int64_t{0}, int64_t{64}));
+    row_scale[i] = static_cast<float>(rng.Uniform(0.01, 1.0));
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    col_scale[j] = static_cast<float>(rng.Uniform(0.001, 0.2));
+    bias[j] = static_cast<float>(rng.Normal());
+  }
+  base::SetNumThreads(1);
+  std::vector<float> ys(static_cast<size_t>(m * n));
+  Int8GemmDequant(m, n, a.data(), k, row_zero.data(), row_scale.data(), packed,
+                  col_scale.data(), bias.data(), ys.data());
+  base::SetNumThreads(8);
+  std::vector<float> yp(static_cast<size_t>(m * n));
+  Int8GemmDequant(m, n, a.data(), k, row_zero.data(), row_scale.data(), packed,
+                  col_scale.data(), bias.data(), yp.data());
+  EXPECT_EQ(0, std::memcmp(ys.data(), yp.data(),
+                           ys.size() * sizeof(float)));
+
+  // Reference epilogue from the naive int32 product.
+  std::vector<int32_t> s(static_cast<size_t>(m * n));
+  NaiveInt8Gemm(m, k, n, a.data(), k, b.data(), n, s.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float want =
+          row_scale[i] * col_scale[j] *
+              static_cast<float>(s[i * n + j] -
+                                 row_zero[i] * packed.colsum[j]) +
+          bias[j];
+      ASSERT_EQ(want, ys[i * n + j]) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Int8GemmTest, PackBColsumMatchesColumnSums) {
+  Rng rng(819);
+  const int64_t k = 23, n = 19;
+  const auto b = RandWeights(&rng, k * n);
+  const PackedInt8B packed = PackBInt8(b.data(), n, k, n);
+  for (int64_t j = 0; j < n; ++j) {
+    int32_t want = 0;
+    for (int64_t p = 0; p < k; ++p) {
+      want += b[p * n + j];
+    }
+    EXPECT_EQ(packed.colsum[j], want) << "j=" << j;
+  }
+}
+
+TEST(Int8GemmTest, EnabledGateReadsEnvPerCall) {
+  {
+    Int8EnvGuard guard("off");
+    EXPECT_FALSE(Int8GemmEnabled());
+  }
+  {
+    Int8EnvGuard guard("on");
+    EXPECT_TRUE(Int8GemmEnabled());
+  }
+  {
+    Int8EnvGuard guard(nullptr);
+    EXPECT_TRUE(Int8GemmEnabled());
+  }
+}
+
+TEST(Int8GemmTest, MicroKernelNameIsKnown) {
+  const std::string name = Int8MicroKernelName();
+  EXPECT_TRUE(name == "avx2" || name == "generic") << name;
+}
+
+}  // namespace
+}  // namespace units::gemm

@@ -1,0 +1,510 @@
+// Int8 per-channel quantized serving (DESIGN.md §17): differential tests of
+// the quantized substrate against the fp32 pipeline it approximates. The
+// layering mirrors the guarantees: quantize->dequantize round-trip error is
+// bounded per channel, UNITS_GEMM_INT8=off reproduces the fp32 forward
+// bitwise, planned and dynamic quantized execution are bitwise identical,
+// and task metrics across all five synthetic suites stay within tight
+// parity gates of their fp32 values.
+
+#include "tensor/quant.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "base/parallel.h"
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "data/window.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "tensor/gemm_int8.h"
+#include "tensor/tensor_ops.h"
+
+namespace units {
+namespace {
+
+namespace ag = ::units::autograd;
+using ag::Variable;
+using core::UnitsPipeline;
+
+/// Scoped UNITS_GEMM_INT8 override; restores the prior value on destruction.
+class Int8EnvGuard {
+ public:
+  explicit Int8EnvGuard(const char* value) {
+    const char* prev = std::getenv("UNITS_GEMM_INT8");
+    if (prev != nullptr) {
+      saved_ = prev;
+      had_ = true;
+    }
+    Apply(value);
+  }
+  ~Int8EnvGuard() { Apply(had_ ? saved_.c_str() : nullptr); }
+
+ private:
+  static void Apply(const char* value) {
+    if (value != nullptr) {
+      setenv("UNITS_GEMM_INT8", value, 1);
+    } else {
+      unsetenv("UNITS_GEMM_INT8");
+    }
+  }
+  std::string saved_;
+  bool had_ = false;
+};
+
+/// Scoped UNITS_PLAN override (same contract as the guard in test_plan.cc).
+class PlanModeGuard {
+ public:
+  explicit PlanModeGuard(const char* mode) {
+    const char* prev = std::getenv("UNITS_PLAN");
+    if (prev != nullptr) {
+      saved_ = prev;
+    }
+    Apply(mode);
+  }
+  ~PlanModeGuard() { Apply(saved_.empty() ? nullptr : saved_.c_str()); }
+
+ private:
+  static void Apply(const char* mode) {
+    if (mode != nullptr) {
+      setenv("UNITS_PLAN", mode, 1);
+    } else {
+      unsetenv("UNITS_PLAN");
+    }
+  }
+  std::string saved_;
+};
+
+Tensor RandomTensor(const Shape& shape, std::mt19937* gen, float scale = 1.0f) {
+  std::normal_distribution<float> dist(0.0f, scale);
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = dist(*gen);
+  }
+  return t;
+}
+
+void ExpectBitwise(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  if (a.numel() == 0) {
+    return;
+  }
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<size_t>(a.numel()) * sizeof(float)))
+      << what << ": outputs are not bitwise identical";
+}
+
+// --- weight round-trip bounds ----------------------------------------------
+
+TEST(QuantizeRoundTripTest, PerChannelErrorIsHalfAScaleStep) {
+  std::mt19937 gen(21);
+  const int64_t in = 37, out = 19;
+  // Give every output channel its own magnitude so per-channel scales
+  // actually differ (a per-tensor scale would blow the bound below).
+  Tensor w({in, out});
+  for (int64_t j = 0; j < out; ++j) {
+    std::normal_distribution<float> dist(0.0f, 0.01f * float(1 << (j % 8)));
+    for (int64_t i = 0; i < in; ++i) {
+      w.data()[i * out + j] = dist(gen);
+    }
+  }
+  const quant::QuantizedLinearWeights q =
+      quant::QuantizeLinearWeight(w, nullptr);
+  ASSERT_EQ(q.in_features, in);
+  ASSERT_EQ(q.out_features, out);
+  const Tensor back = quant::DequantizeLinearWeight(q);
+  for (int64_t j = 0; j < out; ++j) {
+    const float scale = q.col_scale[j];
+    float absmax = 0.0f;
+    for (int64_t i = 0; i < in; ++i) {
+      absmax = std::max(absmax, std::abs(w.data()[i * out + j]));
+      const float err = std::abs(back.data()[i * out + j] -
+                                 w.data()[i * out + j]);
+      // Round-to-nearest on value/scale: at most half a quantization step.
+      ASSERT_LE(err, 0.5f * scale + 1e-7f) << "channel " << j << " row " << i;
+    }
+    EXPECT_NEAR(scale, absmax / 127.0f, 1e-6f * std::max(absmax, 1.0f));
+  }
+}
+
+TEST(QuantizeRoundTripTest, ZeroChannelAndExtremesAreExact) {
+  Tensor w({3, 3});
+  // col 0: all zero. col 1: exactly representable extremes. col 2: mixed.
+  const float vals[9] = {0.0f, -2.54f, 1.0f,   //
+                         0.0f, 2.54f,  -1.0f,  //
+                         0.0f, 0.0f,   0.5f};
+  std::copy(vals, vals + 9, w.data());
+  const quant::QuantizedLinearWeights q =
+      quant::QuantizeLinearWeight(w, nullptr);
+  const Tensor back = quant::DequantizeLinearWeight(q);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.data()[i * 3 + 0], 0.0f);  // zero channel stays zero
+    // scale = 2.54/127 = 0.02: every col-1 value sits exactly on the grid.
+    EXPECT_FLOAT_EQ(back.data()[i * 3 + 1], vals[i * 3 + 1]);
+  }
+}
+
+TEST(QuantizeRoundTripTest, RequantizationIsDeterministic) {
+  std::mt19937 gen(33);
+  const Tensor w = RandomTensor({64, 24}, &gen);
+  const Tensor b = RandomTensor({24}, &gen);
+  const quant::QuantizedLinearWeights q1 = quant::QuantizeLinearWeight(w, &b);
+  const quant::QuantizedLinearWeights q2 = quant::QuantizeLinearWeight(w, &b);
+  // Bitwise-stable quantization is what makes save -> load -> Predict
+  // reproducible across restarts (LoadJson requantizes the fp32 weights).
+  ASSERT_EQ(q1.qweight, q2.qweight);
+  ASSERT_EQ(q1.col_scale, q2.col_scale);
+  ASSERT_EQ(q1.bias, q2.bias);
+  ASSERT_EQ(q1.packed.data, q2.packed.data);
+  ASSERT_EQ(q1.packed.colsum, q2.packed.colsum);
+}
+
+// --- nn-layer behaviour ----------------------------------------------------
+
+TEST(QuantizeModuleTest, LinearServesInt8AndFallsBackWhenOff) {
+  std::mt19937 gen(5);
+  Rng rng(77);
+  nn::Linear linear(24, 12, &rng);
+  const Tensor x = RandomTensor({8, 24}, &gen);
+  linear.SetTraining(false);
+
+  const Tensor fp32 = linear.Forward(Variable(x)).data();
+  EXPECT_EQ(linear.QuantizeInt8Weights(), 1);
+  ASSERT_TRUE(linear.quantized());
+
+  const Tensor int8 = linear.Forward(Variable(x)).data();
+  // The quantized forward is close, but must not be the fp32 path in
+  // disguise: for random weights some element differs.
+  double max_err = 0.0, denom = 0.0;
+  bool any_diff = false;
+  for (int64_t i = 0; i < fp32.numel(); ++i) {
+    max_err = std::max<double>(max_err,
+                               std::abs(int8.data()[i] - fp32.data()[i]));
+    denom = std::max<double>(denom, std::abs(fp32.data()[i]));
+    any_diff |= int8.data()[i] != fp32.data()[i];
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_LE(max_err, 0.05 * std::max(denom, 1.0));
+
+  {
+    // The escape hatch routes the very same call back through fp32.
+    Int8EnvGuard off("off");
+    ExpectBitwise(linear.Forward(Variable(x)).data(), fp32,
+                  "UNITS_GEMM_INT8=off oracle");
+  }
+  // Training mode ignores the attached int8 weights entirely.
+  linear.SetTraining(true);
+  ExpectBitwise(linear.Forward(Variable(x)).data(), fp32, "training mode");
+  linear.ClearQuantizedWeights();
+  EXPECT_FALSE(linear.quantized());
+}
+
+TEST(QuantizeModuleTest, GruBackboneOptsOut) {
+  Rng rng(3);
+  nn::GruBackbone gru(2, 8, 12, &rng);
+  // Recurrent error compounds over timesteps; the GRU keeps fp32 weights.
+  EXPECT_EQ(gru.QuantizeInt8Weights(), 0);
+}
+
+// --- pipeline fixtures -----------------------------------------------------
+
+UnitsPipeline::Config TinyConfig(const std::string& task,
+                                 const std::string& backbone = "tcn") {
+  UnitsPipeline::Config cfg;
+  cfg.templates = {"whole_series_contrastive"};
+  cfg.task = task;
+  cfg.mode = core::ConfigMode::kManual;
+  cfg.pretrain_params.SetInt("epochs", 1);
+  cfg.pretrain_params.SetInt("batch_size", 8);
+  cfg.pretrain_params.SetInt("hidden_channels", 8);
+  cfg.pretrain_params.SetInt("repr_dim", 12);
+  cfg.pretrain_params.SetInt("num_blocks", 1);
+  cfg.pretrain_params.SetString("backbone", backbone);
+  if (backbone == "transformer") {
+    cfg.pretrain_params.SetInt("num_heads", 2);
+  }
+  cfg.finetune_params.SetInt("epochs", 2);
+  cfg.finetune_params.SetInt("batch_size", 8);
+  if (task == "clustering") {
+    cfg.finetune_params.SetInt("num_clusters", 2);
+    cfg.finetune_params.SetInt("cluster_finetune_epochs", 1);
+  }
+  cfg.seed = 7;
+  return cfg;
+}
+
+data::TimeSeriesDataset ClassData() {
+  data::ClassificationOpts opts;
+  opts.num_samples = 24;
+  opts.num_classes = 2;
+  opts.num_channels = 2;
+  opts.length = 32;
+  opts.noise = 0.2f;
+  opts.seed = 5;
+  return data::MakeClassificationDataset(opts);
+}
+
+data::TimeSeriesDataset ForecastData() {
+  data::ForecastSeriesOpts opts;
+  opts.num_channels = 2;
+  opts.seed = 3;
+  return data::MakeForecastDataset(opts, 32, 8, 8);
+}
+
+data::AnomalyOpts AnomalyOptions() {
+  data::AnomalyOpts opts;
+  opts.num_channels = 2;
+  opts.total_length = 600;
+  opts.seed = 11;
+  return opts;
+}
+
+data::TimeSeriesDataset AnomalyTrainData() {
+  Tensor clean = data::MakeCleanSeries(AnomalyOptions());
+  return data::TimeSeriesDataset(data::SlidingWindows(clean, 32, 16));
+}
+
+data::TimeSeriesDataset AnomalyEvalData() {
+  auto anomalous = data::MakeAnomalySeries(AnomalyOptions());
+  data::TimeSeriesDataset test(
+      data::SlidingWindows(anomalous.series, 32, 32));
+  test.set_point_labels(
+      data::SlidingLabelWindows(anomalous.labels, 32, 32));
+  return test;
+}
+
+std::unique_ptr<UnitsPipeline> FitServing(
+    const UnitsPipeline::Config& cfg, const data::TimeSeriesDataset& train) {
+  auto pipeline = UnitsPipeline::Create(cfg, 2);
+  EXPECT_TRUE(pipeline.ok());
+  EXPECT_TRUE((*pipeline)->FineTune(train).ok());
+  EXPECT_TRUE((*pipeline)->EnsureReadyForServing().ok());
+  return std::move(*pipeline);
+}
+
+/// Parity gate: every fp32 metric must survive quantization within a tight
+/// delta. Bounded scores (accuracy, f1, nmi, ...) get an absolute gate;
+/// error magnitudes (mse, mae, rmse) a relative one.
+void ExpectMetricParity(const std::map<std::string, double>& fp32,
+                        const std::map<std::string, double>& int8,
+                        const std::string& what) {
+  ASSERT_EQ(fp32.size(), int8.size()) << what;
+  for (const auto& [name, v32] : fp32) {
+    const auto it = int8.find(name);
+    ASSERT_TRUE(it != int8.end()) << what << ": metric '" << name << "'";
+    const double tol =
+        (v32 >= -1.0 && v32 <= 1.0) ? 0.1 : 0.1 * std::abs(v32);
+    EXPECT_NEAR(it->second, v32, tol) << what << ": metric '" << name << "'";
+  }
+}
+
+/// The full differential harness for one task: fp32 vs int8 task metrics,
+/// row-independence of the quantized forward across batch sizes, and
+/// bitwise fp32 recovery through the UNITS_GEMM_INT8=off escape hatch.
+void CheckTaskParity(const std::string& task,
+                     const data::TimeSeriesDataset& train,
+                     const std::string& backbone,
+                     const data::TimeSeriesDataset* eval_set = nullptr) {
+  PlanModeGuard planned(nullptr);
+  Int8EnvGuard on(nullptr);
+  const data::TimeSeriesDataset& data = eval_set != nullptr ? *eval_set
+                                                            : train;
+  const std::string what = task + "/" + backbone;
+  auto pipeline = FitServing(TinyConfig(task, backbone), train);
+  ASSERT_NE(pipeline, nullptr);
+  ASSERT_EQ(pipeline->precision(), "fp32");
+
+  auto fp32_metrics = core::Evaluate(pipeline.get(), data);
+  ASSERT_TRUE(fp32_metrics.ok()) << what << ": "
+                                 << fp32_metrics.status().ToString();
+  const Tensor x16 = ops::Slice(data.values(), 0, 0, 16);
+  auto fp32_pred = pipeline->Predict(x16);
+  ASSERT_TRUE(fp32_pred.ok()) << what;
+
+  ASSERT_GT(pipeline->QuantizeInt8(), 0) << what;
+  ASSERT_EQ(pipeline->precision(), "int8");
+
+  auto int8_metrics = core::Evaluate(pipeline.get(), data);
+  ASSERT_TRUE(int8_metrics.ok()) << what;
+  ExpectMetricParity(*fp32_metrics, *int8_metrics, what);
+
+  // Batch-size sweep: the quantized forward must stay row-independent
+  // (activation quantization is per-row), the invariant the serving
+  // micro-batcher splices batches under.
+  auto full = pipeline->Predict(x16);
+  ASSERT_TRUE(full.ok()) << what;
+  const int64_t per_row_pred = full->predictions.numel() / 16;
+  const int64_t per_row_score = full->scores.numel() / 16;
+  for (const int64_t batch : {int64_t{1}, int64_t{4}}) {
+    for (int64_t start = 0; start + batch <= 16; start += 8) {
+      auto part =
+          pipeline->Predict(ops::Slice(data.values(), 0, start, batch));
+      ASSERT_TRUE(part.ok()) << what;
+      ASSERT_EQ(0,
+                std::memcmp(part->predictions.data(),
+                            full->predictions.data() + start * per_row_pred,
+                            static_cast<size_t>(batch * per_row_pred) *
+                                sizeof(float)))
+          << what << ": batch " << batch << " start " << start;
+      if (per_row_score > 0 && part->scores.numel() > 0) {
+        ASSERT_EQ(0,
+                  std::memcmp(part->scores.data(),
+                              full->scores.data() + start * per_row_score,
+                              static_cast<size_t>(batch * per_row_score) *
+                                  sizeof(float)))
+            << what << ": batch " << batch << " start " << start;
+      }
+    }
+  }
+
+  // Escape hatch: with the int8 GEMM disabled, the quantized pipeline is
+  // bitwise the fp32 pipeline again — including labels.
+  {
+    Int8EnvGuard off("off");
+    auto oracle = pipeline->Predict(x16);
+    ASSERT_TRUE(oracle.ok()) << what;
+    ASSERT_EQ(oracle->labels, fp32_pred->labels) << what;
+    ExpectBitwise(oracle->predictions, fp32_pred->predictions,
+                  what + " off-oracle predictions");
+    ExpectBitwise(oracle->scores, fp32_pred->scores,
+                  what + " off-oracle scores");
+  }
+}
+
+TEST(QuantizeParityTest, Classification) {
+  CheckTaskParity("classification", ClassData(), "tcn");
+}
+
+TEST(QuantizeParityTest, ClassificationTransformerBackbone) {
+  // The transformer variant routes the attention projections (q/k/v/out)
+  // through the quantized Linear path.
+  CheckTaskParity("classification", ClassData(), "transformer");
+}
+
+// Clustering, anomaly detection, and imputation have distance- or
+// reconstruction-style heads without Linear layers, so the TCN variant
+// would have nothing to quantize; the transformer backbone puts the
+// attention projections on the int8 path instead.
+
+TEST(QuantizeParityTest, Clustering) {
+  CheckTaskParity("clustering", ClassData(), "transformer");
+}
+
+TEST(QuantizeParityTest, Forecasting) {
+  CheckTaskParity("forecasting", ForecastData(), "tcn");
+}
+
+TEST(QuantizeParityTest, AnomalyDetection) {
+  const auto eval_set = AnomalyEvalData();
+  CheckTaskParity("anomaly_detection", AnomalyTrainData(), "transformer",
+                  &eval_set);
+}
+
+TEST(QuantizeParityTest, Imputation) {
+  CheckTaskParity("imputation", ForecastData(), "transformer");
+}
+
+// --- captured plans over the quantized forward ------------------------------
+
+TEST(QuantizePlanTest, PlannedMatchesDynamicBitwise) {
+  PlanModeGuard planned(nullptr);
+  Int8EnvGuard on(nullptr);
+  auto train = ClassData();
+  auto pipeline = FitServing(TinyConfig("classification"), train);
+  ASSERT_NE(pipeline, nullptr);
+  ASSERT_GT(pipeline->QuantizeInt8(), 0);
+
+  const Tensor x = ops::Slice(train.values(), 0, 0, 16);
+  for (const int threads : {1, 8}) {
+    base::SetNumThreads(threads);
+    auto planned_r = pipeline->Predict(x);
+    ASSERT_TRUE(planned_r.ok());
+    auto dynamic_r = [&] {
+      PlanModeGuard dyn("dynamic");
+      return pipeline->Predict(x);
+    }();
+    ASSERT_TRUE(dynamic_r.ok());
+    ASSERT_EQ(planned_r->labels, dynamic_r->labels);
+    ExpectBitwise(planned_r->predictions, dynamic_r->predictions,
+                  "quantized planned vs dynamic @" + std::to_string(threads));
+    ExpectBitwise(planned_r->scores, dynamic_r->scores,
+                  "quantized planned vs dynamic scores @" +
+                      std::to_string(threads));
+  }
+  base::SetNumThreads(1);
+  const plan::PlanCacheStats stats = pipeline->GetPlanCacheStats();
+  EXPECT_GE(stats.plans, 1);
+  EXPECT_GT(stats.planned_chunks, 0);
+}
+
+TEST(QuantizePlanTest, QuantizeInvalidatesCapturedPlans) {
+  // Regression: plans captured from the fp32 forward hold fp32 matmul
+  // nodes (or const-folded fp32 outputs). Re-quantizing a resident model
+  // must drop them, or planned Predicts keep serving fp32 silently.
+  PlanModeGuard planned(nullptr);
+  Int8EnvGuard on(nullptr);
+  auto train = ClassData();
+  auto pipeline = FitServing(TinyConfig("classification"), train);
+  ASSERT_NE(pipeline, nullptr);
+  const Tensor x = ops::Slice(train.values(), 0, 0, 8);
+  ASSERT_TRUE(pipeline->Predict(x).ok());
+  ASSERT_GE(pipeline->GetPlanCacheStats().plans, 1);
+
+  ASSERT_GT(pipeline->QuantizeInt8(), 0);
+  EXPECT_EQ(pipeline->GetPlanCacheStats().plans, 0)
+      << "quantize left stale fp32 plans in the cache";
+
+  // The recaptured plan must execute the int8 path; UNITS_PLAN=verify
+  // aborts the process on any planned/dynamic divergence.
+  auto r = pipeline->Predict(x);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(pipeline->GetPlanCacheStats().plans, 1);
+  {
+    PlanModeGuard verify("verify");
+    ASSERT_TRUE(pipeline->Predict(x).ok());
+  }
+}
+
+TEST(QuantizePlanTest, EnvFlipMidServeRecaptures) {
+  // Regression for the UNITS_GEMM_INT8 escape hatch under captured plans:
+  // the gate is read per forward, so plans captured while the int8 GEMM
+  // was live must not be replayed after the operator exports =off (and
+  // vice versa). RunEvalProgram detects the flip and recaptures.
+  PlanModeGuard planned(nullptr);
+  Int8EnvGuard on(nullptr);
+  auto train = ClassData();
+  auto pipeline = FitServing(TinyConfig("classification"), train);
+  ASSERT_NE(pipeline, nullptr);
+  const Tensor x = ops::Slice(train.values(), 0, 0, 8);
+  auto fp32_r = pipeline->Predict(x);
+  ASSERT_TRUE(fp32_r.ok());
+
+  ASSERT_GT(pipeline->QuantizeInt8(), 0);
+  auto int8_r = pipeline->Predict(x);  // captures the int8 plan
+  ASSERT_TRUE(int8_r.ok());
+
+  {
+    Int8EnvGuard off("off");
+    auto oracle = pipeline->Predict(x);
+    ASSERT_TRUE(oracle.ok());
+    ExpectBitwise(oracle->predictions, fp32_r->predictions,
+                  "off-flip must serve the fp32 oracle, not a stale plan");
+  }
+  // Flip back: int8 plans return, bitwise equal to the pre-flip answer.
+  auto again = pipeline->Predict(x);
+  ASSERT_TRUE(again.ok());
+  ExpectBitwise(again->predictions, int8_r->predictions,
+                "int8 answer must be stable across an off/on round trip");
+}
+
+}  // namespace
+}  // namespace units

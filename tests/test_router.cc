@@ -418,6 +418,51 @@ TEST_F(RouterTest, PlacesModelsByHashAndMatchesDirectWorkerBitwise) {
   EXPECT_EQ(harness.Stop(), 0);
 }
 
+TEST_F(RouterTest, QuantizeForwardsToOwningShard) {
+  // "quantize" rides the same control path as reload: routed to the
+  // model's owner, holding predicts while in flight. Afterwards the model
+  // stays resident (still answers predicts) and reports int8 precision.
+  RouterHarness harness(Defaults(/*shards=*/1));
+  ASSERT_TRUE(harness.Start());
+  TestClient client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_NO_FATAL_FAILURE(WaitForHealthyShards(&client, 1));
+  LoadViaRouter(&client, "alpha");
+
+  ASSERT_TRUE(client.SendLine("{\"op\": \"quantize\", \"model\": \"alpha\"}"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line, 60.0));
+  auto quant = json::Parse(line);
+  ASSERT_TRUE(quant.ok()) << line;
+  ASSERT_TRUE(quant->at("ok").AsBool()) << line;
+  EXPECT_EQ(quant->at("op").AsString(), "quantize") << line;
+  EXPECT_EQ(quant->at("precision").AsString(), "int8") << line;
+
+  // Still resident and serving (labels may legitimately match fp32 on this
+  // toy model; the assertion is only that the quantized model answers).
+  ASSERT_TRUE(client.SendLine(PredictLine("alpha", Ref("alpha").row, 9)));
+  ASSERT_TRUE(client.ReadLine(&line, 60.0));
+  ExpectPredictOk(line, "alpha", 9);
+
+  // list (fanned out through the router) carries the worker's label.
+  ASSERT_TRUE(client.SendLine("{\"op\": \"list\"}"));
+  ASSERT_TRUE(client.ReadLine(&line, 60.0));
+  auto listed = json::Parse(line);
+  ASSERT_TRUE(listed.ok() && listed->at("ok").AsBool()) << line;
+  const json::JsonValue& models = listed->at("models");
+  ASSERT_GE(models.size(), 1u) << line;
+  EXPECT_EQ(models[0].at("precision").AsString(), "int8") << line;
+
+  // Unknown model: structured error, not a hang.
+  ASSERT_TRUE(client.SendLine("{\"op\": \"quantize\", \"model\": \"ghost\"}"));
+  ASSERT_TRUE(client.ReadLine(&line, 60.0));
+  auto ghost = json::Parse(line);
+  ASSERT_TRUE(ghost.ok()) << line;
+  EXPECT_FALSE(ghost->at("ok").AsBool()) << line;
+
+  EXPECT_EQ(harness.Stop(), 0);
+}
+
 TEST_F(RouterTest, KilledWorkerRebalancesWithZeroLostPredicts) {
   auto options = Defaults();
   // Park predicts in the worker's batcher long enough to kill the shard

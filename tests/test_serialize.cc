@@ -1,5 +1,6 @@
 #include "core/serialize.h"
 
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -173,6 +174,51 @@ TEST(PipelineJsonTest, UnfittedTaskStillSavable) {
   auto loaded = UnitsPipeline::LoadJson(path);
   ASSERT_TRUE(loaded.ok());
   EXPECT_FALSE((*loaded)->Predict(TinyData().values()).ok());
+}
+
+TEST(PipelineJsonTest, QuantizedPipelineRoundTripsBitwiseStable) {
+  // Saving an int8 pipeline persists the fp32 weights plus precision=int8;
+  // LoadJson requantizes deterministically, so two independent loads (two
+  // "restarts") must Predict bitwise identically — and identically to the
+  // resident quantized pipeline that was saved.
+  const std::string path = ::testing::TempDir() + "/pipe_int8.json";
+  auto data = TinyData();
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE((*pipeline)->FineTune(data).ok());
+  ASSERT_TRUE((*pipeline)->EnsureReadyForServing().ok());
+  ASSERT_GT((*pipeline)->QuantizeInt8(), 0);
+  EXPECT_EQ((*pipeline)->precision(), "int8");
+  auto before = (*pipeline)->Predict(data.values());
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+
+  auto CheckLoad = [&]() {
+    auto loaded = UnitsPipeline::LoadJson(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ((*loaded)->precision(), "int8");
+    ASSERT_TRUE((*loaded)->EnsureReadyForServing().ok());
+    auto after = (*loaded)->Predict(data.values());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(before->labels, after->labels);
+    ASSERT_EQ(before->predictions.shape(), after->predictions.shape());
+    EXPECT_EQ(0, std::memcmp(before->predictions.data(),
+                             after->predictions.data(),
+                             static_cast<size_t>(
+                                 before->predictions.numel()) *
+                                 sizeof(float)));
+  };
+  CheckLoad();  // restart #1
+  CheckLoad();  // restart #2: no hidden state leaked into the file
+}
+
+TEST(PipelineJsonTest, Fp32PipelineStaysFp32AcrossRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pipe_fp32.json";
+  auto pipeline = UnitsPipeline::Create(TinyConfig("classification"), 2);
+  ASSERT_TRUE((*pipeline)->FineTune(TinyData()).ok());
+  ASSERT_TRUE((*pipeline)->SaveJson(path).ok());
+  auto loaded = UnitsPipeline::LoadJson(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->precision(), "fp32");
 }
 
 TEST(PipelineJsonTest, LoadRejectsWrongFormat) {

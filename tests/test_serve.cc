@@ -655,5 +655,183 @@ TEST(JsonLineServerTest, StatsReportPlanArenaAndAdmissionGauge) {
       << line;
 }
 
+/// Scoped UNITS_GEMM_INT8 override; restores the prior value on destruction.
+class Int8EnvGuard {
+ public:
+  explicit Int8EnvGuard(const char* value) {
+    const char* prev = std::getenv("UNITS_GEMM_INT8");
+    if (prev != nullptr) {
+      saved_ = prev;
+      had_ = true;
+    }
+    Apply(value);
+  }
+  ~Int8EnvGuard() { Apply(had_ ? saved_.c_str() : nullptr); }
+
+ private:
+  static void Apply(const char* value) {
+    if (value != nullptr) {
+      setenv("UNITS_GEMM_INT8", value, 1);
+    } else {
+      unsetenv("UNITS_GEMM_INT8");
+    }
+  }
+  std::string saved_;
+  bool had_ = false;
+};
+
+/// fp32 and int8 models coexist in one registry: quantizing one model must
+/// not touch the other, precision labels must track the switch, and the
+/// UNITS_GEMM_INT8=off escape hatch must reproduce the quantized model's
+/// pre-quantization fp32 answers bitwise.
+TEST(ModelRegistryTest, QuantizeInPlaceMixedPrecision) {
+  PlanModeGuard planned(nullptr);
+  Int8EnvGuard on(nullptr);
+  FittedModel cls = MakeFitted("classification");
+  FittedModel fcst = MakeFitted("forecasting");
+  const Tensor cls_row = ops::Slice(cls.data, 0, 0, 2);
+  const Tensor fcst_row = ops::Slice(fcst.data, 0, 0, 2);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("cls", std::move(cls.pipeline)).ok());
+  ASSERT_TRUE(registry.Add("fcst", std::move(fcst.pipeline)).ok());
+  auto cls_handle = registry.Get("cls");
+  auto fcst_handle = registry.Get("fcst");
+  ASSERT_TRUE(cls_handle.ok() && fcst_handle.ok());
+  EXPECT_EQ((*cls_handle)->precision(), "fp32");
+  EXPECT_EQ((*fcst_handle)->precision(), "fp32");
+
+  auto cls_fp32 = (*cls_handle)->Predict(cls_row);
+  auto fcst_fp32 = (*fcst_handle)->Predict(fcst_row);
+  ASSERT_TRUE(cls_fp32.ok() && fcst_fp32.ok());
+
+  EXPECT_EQ(registry.Quantize("nope").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(registry.Quantize("fcst").ok());
+  EXPECT_EQ((*fcst_handle)->precision(), "int8");
+  EXPECT_EQ((*cls_handle)->precision(), "fp32") << "wrong model quantized";
+
+  // The fp32 neighbour is byte-for-byte unaffected.
+  auto cls_again = (*cls_handle)->Predict(cls_row);
+  ASSERT_TRUE(cls_again.ok());
+  ExpectBitwiseEqual(*cls_again, *cls_fp32, "fp32 neighbour");
+
+  // The quantized model answers (validly, but differently), and the env
+  // escape hatch recovers its fp32 answers bitwise.
+  auto fcst_int8 = (*fcst_handle)->Predict(fcst_row);
+  ASSERT_TRUE(fcst_int8.ok());
+  {
+    Int8EnvGuard off("off");
+    auto oracle = (*fcst_handle)->Predict(fcst_row);
+    ASSERT_TRUE(oracle.ok());
+    ExpectBitwiseEqual(*oracle, *fcst_fp32, "off-oracle");
+  }
+}
+
+/// Mixed-precision serving through the micro-batcher: an int8 model and an
+/// fp32 model take interleaved traffic on the same batcher, and each row
+/// stays bitwise identical to its model's direct sequential Predict.
+TEST(MicroBatcherTest, MixedPrecisionModelsServeConcurrently) {
+  ThreadCountGuard guard;
+  PlanModeGuard planned(nullptr);
+  Int8EnvGuard on(nullptr);
+  base::SetNumThreads(1);
+  FittedModel cls = MakeFitted("classification");
+  FittedModel fcst = MakeFitted("forecasting");
+  const Tensor cls_data = cls.data;
+  const Tensor fcst_data = fcst.data;
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("cls", std::move(cls.pipeline)).ok());
+  ASSERT_TRUE(registry.Add("fcst", std::move(fcst.pipeline)).ok());
+  ASSERT_TRUE(registry.Quantize("fcst").ok());
+
+  auto cls_handle = registry.Get("cls");
+  auto fcst_handle = registry.Get("fcst");
+  ASSERT_TRUE(cls_handle.ok() && fcst_handle.ok());
+  const int64_t n = 8;
+  std::vector<core::TaskResult> cls_ref, fcst_ref;
+  for (int64_t i = 0; i < n; ++i) {
+    auto a = (*cls_handle)->Predict(ops::Slice(cls_data, 0, i, 1));
+    auto b = (*fcst_handle)->Predict(ops::Slice(fcst_data, 0, i, 1));
+    ASSERT_TRUE(a.ok() && b.ok());
+    cls_ref.push_back(std::move(*a));
+    fcst_ref.push_back(std::move(*b));
+  }
+
+  MicroBatcher::Options options;
+  options.max_batch_size = 4;
+  options.max_delay_ms = 5.0;
+  MicroBatcher batcher(&registry, options);
+  std::vector<std::future<Result<core::TaskResult>>> cls_fut, fcst_fut;
+  for (int64_t i = 0; i < n; ++i) {
+    cls_fut.push_back(batcher.Submit("cls", ops::Slice(cls_data, 0, i, 1)));
+    fcst_fut.push_back(
+        batcher.Submit("fcst", ops::Slice(fcst_data, 0, i, 1)));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    auto a = cls_fut[static_cast<size_t>(i)].get();
+    auto b = fcst_fut[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectBitwiseEqual(*a, cls_ref[static_cast<size_t>(i)],
+                       "fp32 row " + std::to_string(i));
+    ExpectBitwiseEqual(*b, fcst_ref[static_cast<size_t>(i)],
+                       "int8 row " + std::to_string(i));
+  }
+}
+
+/// The "quantize" control op over the JSON-line protocol: barrier
+/// semantics, precision in the response, and precision labels in both
+/// "list" entries and the per-model "stats" block.
+TEST(JsonLineServerTest, QuantizeOpFlipsPrecisionInListAndStats) {
+  PlanModeGuard planned(nullptr);
+  Int8EnvGuard on(nullptr);
+  FittedModel fitted = MakeFitted("classification");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("m", std::move(fitted.pipeline)).ok());
+
+  std::ostringstream input;
+  input << "{\"op\": \"list\"}\n"
+        << "{\"op\": \"quantize\", \"model\": \"m\"}\n"
+        << "{\"op\": \"quantize\", \"model\": \"ghost\"}\n"
+        << "{\"op\": \"list\"}\n"
+        << "{\"op\": \"stats\"}\n";
+
+  JsonLineServer::Options options;
+  options.batcher.max_delay_ms = 0.0;
+  JsonLineServer server(&registry, options);
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.Run(in, out), 0);
+
+  std::istringstream responses(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(responses, line));  // list #1
+  auto list1 = json::Parse(line);
+  ASSERT_TRUE(list1.ok() && list1->at("ok").AsBool()) << line;
+  EXPECT_EQ(list1->at("models")[0].at("precision").AsString(), "fp32");
+
+  ASSERT_TRUE(std::getline(responses, line));  // quantize m
+  auto quant = json::Parse(line);
+  ASSERT_TRUE(quant.ok() && quant->at("ok").AsBool()) << line;
+  EXPECT_EQ(quant->at("model").AsString(), "m");
+  EXPECT_EQ(quant->at("precision").AsString(), "int8");
+
+  ASSERT_TRUE(std::getline(responses, line));  // quantize ghost -> error
+  auto ghost = json::Parse(line);
+  ASSERT_TRUE(ghost.ok()) << line;
+  EXPECT_FALSE(ghost->at("ok").AsBool()) << line;
+
+  ASSERT_TRUE(std::getline(responses, line));  // list #2
+  auto list2 = json::Parse(line);
+  ASSERT_TRUE(list2.ok() && list2->at("ok").AsBool()) << line;
+  EXPECT_EQ(list2->at("models")[0].at("precision").AsString(), "int8");
+
+  ASSERT_TRUE(std::getline(responses, line));  // stats
+  auto stats = json::Parse(line);
+  ASSERT_TRUE(stats.ok() && stats->at("ok").AsBool()) << line;
+  EXPECT_EQ(stats->at("plan").at("models").at("m").at("precision").AsString(),
+            "int8");
+}
+
 }  // namespace
 }  // namespace units::serve

@@ -282,6 +282,24 @@ Status CmdPredict(const Args& args) {
   return Status::Ok();
 }
 
+Status CmdQuantize(const Args& args) {
+  UNITS_RETURN_IF_ERROR(RequireFlag(args, "model"));
+  UNITS_RETURN_IF_ERROR(RequireFlag(args, "out"));
+  UNITS_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::UnitsPipeline> pipeline,
+      core::UnitsPipeline::LoadJson(args.flags.at("model")));
+  const int64_t layers = pipeline->QuantizeInt8();
+  if (layers == 0) {
+    return Status::FailedPrecondition("model has no quantizable layers");
+  }
+  // The saved file keeps the fp32 weights and records precision=int8;
+  // loading it re-runs the (deterministic) quantization.
+  UNITS_RETURN_IF_ERROR(pipeline->SaveJson(args.flags.at("out")));
+  std::printf("quantized %lld layers to int8; wrote %s\n",
+              static_cast<long long>(layers), args.flags.at("out").c_str());
+  return Status::Ok();
+}
+
 Status CmdInfo(const Args& args) {
   UNITS_RETURN_IF_ERROR(RequireFlag(args, "model"));
   UNITS_ASSIGN_OR_RETURN(json::JsonValue model,
@@ -339,6 +357,10 @@ Status CmdInfo(const Args& args) {
   std::printf("channels: %lld\n",
               static_cast<long long>(channels->AsInt()));
   std::printf("pretrained: %s\n", pretrained->AsBool() ? "yes" : "no");
+  std::printf("precision: %s\n",
+              model.Contains("precision") && model.at("precision").is_string()
+                  ? model.at("precision").AsString().c_str()
+                  : "fp32");
   std::printf("task state: %s\n",
               model.Contains("task_state") ? "fitted" : "absent");
   // Parameter count across encoders.
@@ -375,6 +397,7 @@ int Usage() {
       "           [--templates a,b] [--fusion f] [--task t] [--set k=v]\n"
       "  finetune --model M --data F --task t --out M2 [--set k=v]\n"
       "  predict  --model M --data F [--out pred.csv]\n"
+      "  quantize --model M --out M2   (int8 per-channel, DESIGN.md §17)\n"
       "  info     --model M\n");
   return 2;
 }
@@ -391,6 +414,8 @@ int Main(int argc, char** argv) {
     status = CmdFinetune(args);
   } else if (args.command == "predict") {
     status = CmdPredict(args);
+  } else if (args.command == "quantize") {
+    status = CmdQuantize(args);
   } else if (args.command == "info") {
     status = CmdInfo(args);
   } else {
