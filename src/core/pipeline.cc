@@ -148,6 +148,11 @@ int64_t UnitsPipeline::QuantizeInt8() {
   if (task_ != nullptr && task_->head() != nullptr) {
     quantized += task_->head()->QuantizeInt8Weights();
   }
+  if (quantized == 0) {
+    // Nothing took the int8 path (e.g. a GRU-only model): the pipeline is
+    // still pure fp32, so don't relabel it or drop valid captured plans.
+    return 0;
+  }
   precision_ = "int8";
   // Captured plans traced the fp32 forward (possibly const-folding fp32
   // linear outputs); they are stale now. The next RunEvalProgram recaptures

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "base/check.h"
@@ -16,8 +17,13 @@ namespace {
 using ::units::base::ParallelFor;
 
 int32_t ClampRound(float v, int32_t lo, int32_t hi) {
-  const int32_t r = static_cast<int32_t>(std::lrintf(v));
-  return std::min(hi, std::max(lo, r));
+  // Clamp in the float domain: lrintf on values beyond int32 range is
+  // undefined, and narrowing its long result can wrap back inside the
+  // clamp bounds. The bounds here are small ints, exactly representable.
+  // NaN compares false everywhere, so std::max pins it to `lo`.
+  const float c = std::min(static_cast<float>(hi),
+                           std::max(static_cast<float>(lo), v));
+  return static_cast<int32_t>(std::lrintf(c));
 }
 
 }  // namespace
@@ -102,7 +108,18 @@ void QuantizeActivationRows(const float* x, int64_t rows, int64_t cols,
         }
         continue;
       }
-      const float scale = (hi - lo) / static_cast<float>(gemm::kActQMax);
+      // Extend the range to include zero: the affine code for 0 must land
+      // inside [0, kActQMax], otherwise rows that don't straddle zero (all
+      // positive or all negative) get a clamped zero point and every value
+      // saturates to the same code. With lo <= 0 <= hi, -lo/scale lies in
+      // [0, kActQMax] by construction, which also preserves the z*colsum
+      // int32 overflow bound in the GEMM epilogue.
+      lo = std::min(lo, 0.0f);
+      hi = std::max(hi, 0.0f);
+      // Guard against a denormal spread whose reciprocal overflows to inf.
+      const float scale =
+          std::max((hi - lo) / static_cast<float>(gemm::kActQMax),
+                   std::numeric_limits<float>::min());
       const float inv = 1.0f / scale;
       const int32_t zero = ClampRound(-lo * inv, 0, gemm::kActQMax);
       row_scale[i] = scale;

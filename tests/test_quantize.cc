@@ -168,6 +168,42 @@ TEST(QuantizeRoundTripTest, RequantizationIsDeterministic) {
   ASSERT_EQ(q1.packed.colsum, q2.packed.colsum);
 }
 
+// --- activation quantization -----------------------------------------------
+
+TEST(QuantizeActivationTest, NonZeroStraddlingRowsReconstruct) {
+  // Regression: rows whose range does not include zero (all-positive raw
+  // features, sigmoid outputs, all-negative rows) used to clamp the zero
+  // point into [0, kActQMax], saturating every code so the row dequantized
+  // to a single value. The range is now extended to include zero first.
+  const int64_t cols = 16;
+  std::mt19937 gen(9);
+  std::uniform_real_distribution<float> pos(0.6f, 0.9f);
+  std::vector<float> x(static_cast<size_t>(3 * cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    x[static_cast<size_t>(0 * cols + c)] = pos(gen);           // all positive
+    x[static_cast<size_t>(1 * cols + c)] = -pos(gen);          // all negative
+    x[static_cast<size_t>(2 * cols + c)] = pos(gen) - 0.75f;   // straddles 0
+  }
+  std::vector<uint8_t> q(static_cast<size_t>(3 * cols));
+  std::vector<float> scale(3);
+  std::vector<int32_t> zero(3);
+  quant::QuantizeActivationRows(x.data(), 3, cols, q.data(), scale.data(),
+                                zero.data());
+  for (int64_t i = 0; i < 3; ++i) {
+    ASSERT_GE(zero[i], 0) << "row " << i;
+    ASSERT_LE(zero[i], gemm::kActQMax) << "row " << i;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float back =
+          scale[i] * (static_cast<float>(q[static_cast<size_t>(i * cols + c)]) -
+                      static_cast<float>(zero[i]));
+      // Round-to-nearest: at most half a quantization step per element.
+      EXPECT_NEAR(back, x[static_cast<size_t>(i * cols + c)],
+                  0.5f * scale[i] + 1e-5f)
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
 // --- nn-layer behaviour ----------------------------------------------------
 
 TEST(QuantizeModuleTest, LinearServesInt8AndFallsBackWhenOff) {
@@ -206,6 +242,30 @@ TEST(QuantizeModuleTest, LinearServesInt8AndFallsBackWhenOff) {
   ExpectBitwise(linear.Forward(Variable(x)).data(), fp32, "training mode");
   linear.ClearQuantizedWeights();
   EXPECT_FALSE(linear.quantized());
+}
+
+TEST(QuantizeModuleTest, LinearParityOnNonZeroStraddlingInputs) {
+  // End-to-end companion to NonZeroStraddlingRowsReconstruct: the quantized
+  // Linear forward must track fp32 on inputs that live entirely on one side
+  // of zero, not collapse to a constant per row.
+  std::mt19937 gen(13);
+  Rng rng(41);
+  nn::Linear linear(24, 12, &rng);
+  linear.SetTraining(false);
+  Tensor x = RandomTensor({8, 24}, &gen, 0.1f);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = 0.75f + std::abs(x.data()[i]);  // all values in ~[0.75, 1.1]
+  }
+  const Tensor fp32 = linear.Forward(Variable(x)).data();
+  ASSERT_EQ(linear.QuantizeInt8Weights(), 1);
+  const Tensor int8 = linear.Forward(Variable(x)).data();
+  double max_err = 0.0, denom = 0.0;
+  for (int64_t i = 0; i < fp32.numel(); ++i) {
+    max_err = std::max<double>(max_err,
+                               std::abs(int8.data()[i] - fp32.data()[i]));
+    denom = std::max<double>(denom, std::abs(fp32.data()[i]));
+  }
+  EXPECT_LE(max_err, 0.05 * std::max(denom, 1.0));
 }
 
 TEST(QuantizeModuleTest, GruBackboneOptsOut) {
@@ -472,6 +532,32 @@ TEST(QuantizePlanTest, QuantizeInvalidatesCapturedPlans) {
     PlanModeGuard verify("verify");
     ASSERT_TRUE(pipeline->Predict(x).ok());
   }
+}
+
+TEST(QuantizePlanTest, ZeroLayerQuantizeKeepsFp32PrecisionAndPlans) {
+  // Regression: a quantize that touches zero layers (clustering head has no
+  // Linear, TCN backbone included) must not relabel the model int8 or drop
+  // valid fp32 plans — the pipeline still serves pure fp32.
+  PlanModeGuard planned(nullptr);
+  Int8EnvGuard on(nullptr);
+  auto train = ClassData();
+  auto pipeline = FitServing(TinyConfig("clustering", "tcn"), train);
+  ASSERT_NE(pipeline, nullptr);
+  const Tensor x = ops::Slice(train.values(), 0, 0, 8);
+  auto fp32_r = pipeline->Predict(x);
+  ASSERT_TRUE(fp32_r.ok());
+  const int64_t plans_before = pipeline->GetPlanCacheStats().plans;
+  ASSERT_GE(plans_before, 1);
+
+  EXPECT_EQ(pipeline->QuantizeInt8(), 0);
+  EXPECT_EQ(pipeline->precision(), "fp32");
+  EXPECT_EQ(pipeline->GetPlanCacheStats().plans, plans_before)
+      << "no-op quantize dropped valid fp32 plans";
+
+  auto again = pipeline->Predict(x);
+  ASSERT_TRUE(again.ok());
+  ExpectBitwise(again->predictions, fp32_r->predictions,
+                "no-op quantize must leave the fp32 forward untouched");
 }
 
 TEST(QuantizePlanTest, EnvFlipMidServeRecaptures) {
